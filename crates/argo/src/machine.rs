@@ -1,0 +1,208 @@
+//! The Argo machine: a simulated cluster you can run DRF programs on.
+//!
+//! [`ArgoMachine`] bundles the interconnect, the Carina DSM, and a thread
+//! team launcher. A parallel region is executed by real OS threads — one
+//! per simulated core — each carrying a virtual clock; the region's
+//! reported execution time is the maximum clock at region end, measured
+//! from the last `start_measurement` barrier (so initialization can be
+//! excluded, as the paper does).
+
+use crate::ctx::ArgoCtx;
+use carina::{CarinaConfig, CoherenceSnapshot, Dsm};
+use simnet::{ClusterTopology, CostModel, Interconnect, NodeId, SimThread};
+use simnet::stats::NetStatsSnapshot;
+use std::sync::Arc;
+use vela::{ClockBarrier, HierBarrier};
+
+/// Configuration of a simulated Argo cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct ArgoConfig {
+    /// Cluster machines.
+    pub nodes: usize,
+    /// Worker threads per machine. The paper uses 15 of 16 cores ("leaving
+    /// one to take the OS overhead").
+    pub threads_per_node: usize,
+    /// NUMA shape of each machine.
+    pub sockets_per_node: usize,
+    pub cores_per_socket: usize,
+    /// Global memory contributed by each node.
+    pub bytes_per_node: u64,
+    /// Network/cost constants.
+    pub cost: CostModel,
+    /// Coherence configuration.
+    pub carina: CarinaConfig,
+}
+
+impl ArgoConfig {
+    /// A small cluster with the paper's cost constants; convenient default
+    /// for examples and tests.
+    pub fn small(nodes: usize, threads_per_node: usize) -> Self {
+        ArgoConfig {
+            nodes,
+            threads_per_node,
+            sockets_per_node: 4,
+            cores_per_socket: 4,
+            bytes_per_node: 16 << 20,
+            cost: CostModel::paper_2011(),
+            carina: CarinaConfig::default(),
+        }
+    }
+
+    /// The paper's evaluation shape: 15 worker threads on 4×4-core nodes.
+    pub fn paper(nodes: usize) -> Self {
+        Self::small(nodes, 15)
+    }
+
+    pub fn topology(&self) -> ClusterTopology {
+        ClusterTopology {
+            nodes: self.nodes,
+            sockets_per_node: self.sockets_per_node,
+            cores_per_socket: self.cores_per_socket,
+        }
+    }
+
+    pub fn total_threads(&self) -> usize {
+        self.nodes * self.threads_per_node
+    }
+}
+
+/// Result of running a parallel region.
+#[derive(Debug, Clone)]
+pub struct RunReport<R> {
+    /// Virtual cycles of the measured section (max over threads, from the
+    /// last `start_measurement` to region end).
+    pub cycles: u64,
+    /// The same in seconds at the model's CPU frequency.
+    pub seconds: f64,
+    /// Per-thread return values, indexed by global thread id.
+    pub results: Vec<R>,
+    /// Coherence events during the region (including unmeasured prefix).
+    pub coherence: CoherenceSnapshot,
+    /// Network traffic during the region (including unmeasured prefix).
+    pub net: NetStatsSnapshot,
+}
+
+/// A simulated Argo cluster.
+pub struct ArgoMachine {
+    config: ArgoConfig,
+    net: Arc<Interconnect>,
+    dsm: Arc<Dsm>,
+}
+
+impl ArgoMachine {
+    pub fn new(config: ArgoConfig) -> Arc<Self> {
+        assert!(
+            config.threads_per_node <= config.topology().cores_per_node(),
+            "more threads per node ({}) than cores ({})",
+            config.threads_per_node,
+            config.topology().cores_per_node()
+        );
+        let net = Interconnect::new(config.topology(), config.cost);
+        let dsm = Dsm::new(net.clone(), config.bytes_per_node, config.carina);
+        Arc::new(ArgoMachine { config, net, dsm })
+    }
+
+    pub fn config(&self) -> &ArgoConfig {
+        &self.config
+    }
+
+    pub fn dsm(&self) -> &Arc<Dsm> {
+        &self.dsm
+    }
+
+    pub fn net(&self) -> &Arc<Interconnect> {
+        &self.net
+    }
+
+    /// Run a parallel region: `f` is invoked once per simulated thread with
+    /// an [`ArgoCtx`]. Blocks until every thread finishes; returns timing
+    /// and per-thread results.
+    ///
+    /// The measured interval starts at 0 unless some thread calls
+    /// [`ArgoCtx::start_measurement`] (a collective operation), in which
+    /// case it starts at that barrier.
+    pub fn run<R, F>(self: &Arc<Self>, f: F) -> RunReport<R>
+    where
+        R: Send + 'static,
+        F: Fn(&mut ArgoCtx) -> R + Send + Sync + 'static,
+    {
+        let cfg = self.config;
+        let topo = cfg.topology();
+        let total = cfg.total_threads();
+        let barrier = Arc::new(HierBarrier::new(
+            self.dsm.clone(),
+            &vec![cfg.threads_per_node; cfg.nodes],
+        ));
+        let control = Arc::new(ClockBarrier::new(total, 0));
+        let f = Arc::new(f);
+        let mut handles = Vec::with_capacity(total);
+        for tid in 0..total {
+            let node = tid / cfg.threads_per_node;
+            let core = tid % cfg.threads_per_node;
+            let loc = topo.loc(NodeId(node as u16), core);
+            let net = self.net.clone();
+            let dsm = self.dsm.clone();
+            let barrier = barrier.clone();
+            let control = control.clone();
+            let f = f.clone();
+            let builder = std::thread::Builder::new()
+                .name(format!("argo-n{node}c{core}"))
+                .stack_size(1 << 20);
+            handles.push(
+                builder
+                    .spawn(move || {
+                        let thread = SimThread::new(loc, net);
+                        let mut ctx =
+                            ArgoCtx::new(thread, dsm, barrier, control, tid, total, cfg);
+                        let r = f(&mut ctx);
+                        (r, ctx.measured_cycles(), tid)
+                    })
+                    .expect("failed to spawn simulated thread"),
+            );
+        }
+        let mut results: Vec<Option<R>> = (0..total).map(|_| None).collect();
+        let mut cycles = 0u64;
+        for h in handles {
+            let (r, c, tid) = h.join().expect("simulated thread panicked");
+            results[tid] = Some(r);
+            cycles = cycles.max(c);
+        }
+        RunReport {
+            cycles,
+            seconds: cfg.cost.cycles_to_secs(cycles),
+            results: results.into_iter().map(|r| r.expect("missing result")).collect(),
+            coherence: self.dsm.stats().snapshot(),
+            net: self.net.stats().snapshot(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_executes_every_thread_once() {
+        let m = ArgoMachine::new(ArgoConfig::small(2, 3));
+        let report = m.run(|ctx| ctx.tid());
+        assert_eq!(report.results, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn report_times_the_slowest_thread() {
+        let m = ArgoMachine::new(ArgoConfig::small(1, 4));
+        let report = m.run(|ctx| {
+            ctx.thread.compute(1000 * (ctx.tid() as u64 + 1));
+        });
+        assert_eq!(report.cycles, 4000);
+    }
+
+    #[test]
+    #[should_panic(expected = "more threads per node")]
+    fn rejects_oversubscription() {
+        let mut cfg = ArgoConfig::small(1, 17);
+        cfg.sockets_per_node = 4;
+        cfg.cores_per_socket = 4;
+        ArgoMachine::new(cfg);
+    }
+}

@@ -1,0 +1,153 @@
+//! A PGAS-style (UPC-like) access mode, for the paper's UPC baselines.
+//!
+//! In PGAS there is **no remote caching** (paper §2.1): the address space
+//! is partitioned, every access to a non-local element is a fine-grained
+//! remote operation, and programmers move data in bulk to thread-local
+//! space by hand. `PgasCtx` wraps a `SimThread` and provides exactly that
+//! cost model over the same global memory layout — no page cache, no
+//! directory, no fences.
+
+use carina::Dsm;
+use mem::GlobalAddr;
+use simnet::{NodeId, SimThread};
+use std::sync::Arc;
+
+/// Fine-grained remote element size (UPC shared scalar access).
+const ELEM_BYTES: u64 = 8;
+
+/// PGAS access handle: same global memory, UPC cost semantics.
+pub struct PgasCtx {
+    dsm: Arc<Dsm>,
+}
+
+impl PgasCtx {
+    pub fn new(dsm: Arc<Dsm>) -> Self {
+        PgasCtx { dsm }
+    }
+
+    fn charge(&self, t: &mut SimThread, addr: GlobalAddr, write: bool) {
+        let home = self.dsm.home_of(addr);
+        if home == t.node().0 {
+            t.dram_access();
+        } else if write {
+            t.rdma_write(NodeId(home), ELEM_BYTES);
+        } else {
+            t.rdma_read(NodeId(home), ELEM_BYTES);
+        }
+    }
+
+    /// Fine-grained shared read (remote unless the element is local).
+    pub fn read_u64(&self, t: &mut SimThread, addr: GlobalAddr) -> u64 {
+        self.charge(t, addr, false);
+        self.dsm.peek_u64(addr)
+    }
+
+    pub fn write_u64(&self, t: &mut SimThread, addr: GlobalAddr, v: u64) {
+        self.charge(t, addr, true);
+        self.dsm.poke_u64(addr, v);
+    }
+
+    pub fn read_f64(&self, t: &mut SimThread, addr: GlobalAddr) -> f64 {
+        f64::from_bits(self.read_u64(t, addr))
+    }
+
+    pub fn write_f64(&self, t: &mut SimThread, addr: GlobalAddr, v: f64) {
+        self.write_u64(t, addr, v.to_bits())
+    }
+
+    /// Bulk transfer of `words` elements starting at `addr` into local
+    /// space ("programmers are advised to cast such pointers to local
+    /// pointers" / move data in bulk). One message per home node touched.
+    pub fn bulk_read_f64(&self, t: &mut SimThread, addr: GlobalAddr, words: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(words);
+        // Charge one transfer per home-node run of the interleaved pages.
+        let mut i = 0usize;
+        while i < words {
+            let a = addr.offset(i as u64 * 8);
+            let home = self.dsm.home_of(a);
+            // Extent of this run: to the end of the page.
+            let page_end = (a.page().0 + 1) * mem::PAGE_BYTES;
+            let run_words = (((page_end - a.0) / 8) as usize).min(words - i);
+            if home == t.node().0 {
+                t.dram_access();
+            } else {
+                t.rdma_read(NodeId(home), run_words as u64 * 8);
+            }
+            for k in 0..run_words {
+                out.push(f64::from_bits(self.dsm.peek_u64(addr.offset((i + k) as u64 * 8))));
+            }
+            i += run_words;
+        }
+        out
+    }
+
+    /// Bulk write of local data back to shared space.
+    pub fn bulk_write_f64(&self, t: &mut SimThread, addr: GlobalAddr, data: &[f64]) {
+        let mut i = 0usize;
+        while i < data.len() {
+            let a = addr.offset(i as u64 * 8);
+            let home = self.dsm.home_of(a);
+            let page_end = (a.page().0 + 1) * mem::PAGE_BYTES;
+            let run_words = (((page_end - a.0) / 8) as usize).min(data.len() - i);
+            if home == t.node().0 {
+                t.dram_access();
+            } else {
+                t.rdma_write(NodeId(home), run_words as u64 * 8);
+            }
+            for k in 0..run_words {
+                self.dsm.poke_u64(addr.offset((i + k) as u64 * 8), data[i + k].to_bits());
+            }
+            i += run_words;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{ArgoConfig, ArgoMachine};
+    use simnet::CostModel;
+
+    #[test]
+    fn fine_grained_remote_access_charges_round_trip() {
+        let m = ArgoMachine::new(ArgoConfig::small(2, 1));
+        let addr = m.dsm().allocator().alloc_pages(4).unwrap();
+        let pgas = PgasCtx::new(m.dsm().clone());
+        let report = m.run(move |ctx| {
+            // Find an element homed on the *other* node.
+            let mut a = addr;
+            while pgas_home(ctx.dsm(), a) == ctx.node() as u16 {
+                a = a.offset(mem::PAGE_BYTES);
+            }
+            let before = ctx.thread.now();
+            let _ = pgas.read_u64(&mut ctx.thread, a);
+            ctx.thread.now() - before
+        });
+        let c = CostModel::paper_2011();
+        for cycles in report.results {
+            assert!(cycles >= 2 * c.network_latency);
+        }
+
+        fn pgas_home(dsm: &Dsm, a: GlobalAddr) -> u16 {
+            dsm.home_of(a)
+        }
+    }
+
+    #[test]
+    fn bulk_read_matches_values() {
+        let m = ArgoMachine::new(ArgoConfig::small(2, 1));
+        let addr = m.dsm().allocator().alloc_pages(2).unwrap();
+        let report = m.run(move |ctx| {
+            let pgas = PgasCtx::new(ctx.dsm().clone());
+            if ctx.tid() == 0 {
+                for i in 0..100 {
+                    pgas.write_f64(&mut ctx.thread, addr.offset(i * 8), i as f64);
+                }
+            }
+            ctx.barrier();
+            let data = pgas.bulk_read_f64(&mut ctx.thread, addr, 100);
+            data.iter().sum::<f64>()
+        });
+        assert!(report.results.iter().all(|&s| s == 4950.0));
+    }
+}

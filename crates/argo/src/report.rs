@@ -1,0 +1,82 @@
+//! Human-readable run summaries.
+//!
+//! [`RunReport::summary`] renders the timing, coherence, and network
+//! profile of a parallel region the way the examples print it — one place
+//! to keep the format consistent.
+
+use crate::machine::RunReport;
+use std::fmt::Write as _;
+
+impl<R> RunReport<R> {
+    /// A multi-line human-readable summary of the run.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "virtual time : {:.3} ms ({} cycles)",
+            self.seconds * 1e3,
+            self.cycles
+        );
+        let c = &self.coherence;
+        let _ = writeln!(
+            s,
+            "coherence    : {} read misses, {} write faults, {} writebacks ({} KiB)",
+            c.read_misses,
+            c.write_faults,
+            c.writebacks,
+            c.writeback_bytes >> 10
+        );
+        let _ = writeln!(
+            s,
+            "classification: P->S {}, NW->SW {}, SW->MW {}; SI kept {} / invalidated {}",
+            c.p_to_s, c.nw_to_sw, c.sw_to_mw, c.si_kept, c.si_invalidated
+        );
+        let n = &self.net;
+        let _ = writeln!(
+            s,
+            "network      : {} reads ({} KiB), {} writes ({} KiB), {} atomics, {} handlers",
+            n.rdma_reads,
+            n.bytes_read >> 10,
+            n.rdma_writes,
+            n.bytes_written >> 10,
+            n.rdma_atomics,
+            n.handler_invocations
+        );
+        s
+    }
+
+    /// One-line headline: time plus the dominant coherence costs.
+    pub fn headline(&self) -> String {
+        format!(
+            "{:.3} ms virtual, {} misses, {} writebacks, {} handler invocations",
+            self.seconds * 1e3,
+            self.coherence.read_misses,
+            self.coherence.writebacks,
+            self.net.handler_invocations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::machine::{ArgoConfig, ArgoMachine};
+    use crate::types::GlobalU64Array;
+
+    #[test]
+    fn summary_mentions_the_traffic() {
+        let m = ArgoMachine::new(ArgoConfig::small(2, 2));
+        let arr = GlobalU64Array::alloc(m.dsm(), 2048);
+        let report = m.run(move |ctx| {
+            for i in ctx.my_chunk(2048) {
+                arr.set(ctx, i, i as u64);
+            }
+            ctx.barrier();
+            arr.get(ctx, 0)
+        });
+        let s = report.summary();
+        assert!(s.contains("virtual time"));
+        assert!(s.contains("read misses"));
+        assert!(s.contains("handlers"));
+        assert!(report.headline().contains("ms virtual"));
+    }
+}

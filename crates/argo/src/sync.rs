@@ -1,0 +1,122 @@
+//! Pthreads-compatible synchronization for Argo programs.
+//!
+//! The paper: "It runs unmodified Pthreads (data-race-free) shared memory
+//! programs" — a pthread mutex on Argo is a cluster-wide lock whose
+//! acquire/release carry the Carina fences implicitly (SI on lock, SD on
+//! unlock), so lock-protected data is coherent with no source changes.
+//! (For lock-*intensive* code the paper recommends porting to HQDL —
+//! `vela::Hqdl` — which is what Figure 12 measures.)
+
+use crate::ctx::ArgoCtx;
+use carina::Dsm;
+use simnet::NodeId;
+use std::sync::Arc;
+use vela::DsmGlobalLock;
+
+/// A cluster-wide mutex with pthreads semantics (SI on lock, SD on unlock).
+pub struct ArgoMutex {
+    dsm: Arc<Dsm>,
+    lock: Arc<DsmGlobalLock>,
+}
+
+impl ArgoMutex {
+    /// Create a mutex whose lock word lives on `home`.
+    pub fn new(dsm: Arc<Dsm>, home: u16) -> Arc<Self> {
+        Arc::new(ArgoMutex {
+            lock: DsmGlobalLock::new(NodeId(home)),
+            dsm,
+        })
+    }
+
+    /// Acquire: take the global lock, then self-invalidate so this thread
+    /// observes every earlier critical section's writes.
+    pub fn lock(&self, ctx: &mut ArgoCtx) -> ArgoMutexGuard<'_> {
+        self.lock.acquire(&mut ctx.thread);
+        self.dsm.si_fence(&mut ctx.thread);
+        ArgoMutexGuard { mutex: self }
+    }
+
+    /// Run `f` as a critical section (lock, f, unlock).
+    pub fn with<R>(&self, ctx: &mut ArgoCtx, f: impl FnOnce(&mut ArgoCtx) -> R) -> R {
+        let guard = self.lock(ctx);
+        let r = f(ctx);
+        guard.unlock(ctx);
+        r
+    }
+}
+
+/// Proof of ownership; must be explicitly released with the owning thread's
+/// context (the context cannot be captured in the guard because the critical
+/// section itself needs it mutably).
+#[must_use = "the mutex stays locked until unlock(ctx) is called"]
+pub struct ArgoMutexGuard<'a> {
+    mutex: &'a ArgoMutex,
+}
+
+impl ArgoMutexGuard<'_> {
+    /// Release: self-downgrade (publish this section's writes), then free
+    /// the global lock.
+    pub fn unlock(self, ctx: &mut ArgoCtx) {
+        self.mutex.dsm.sd_fence(&mut ctx.thread);
+        self.mutex.lock.release(&mut ctx.thread);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{ArgoConfig, ArgoMachine};
+    use crate::types::GlobalU64Array;
+
+    #[test]
+    fn mutex_protects_cross_node_counter() {
+        let m = ArgoMachine::new(ArgoConfig::small(3, 2));
+        let arr = GlobalU64Array::alloc(m.dsm(), 8);
+        let mutex = ArgoMutex::new(m.dsm().clone(), 0);
+        let report = m.run(move |ctx| {
+            for _ in 0..100 {
+                mutex.with(ctx, |ctx| {
+                    let v = arr.get(ctx, 0);
+                    arr.set(ctx, 0, v + 1);
+                });
+            }
+            ctx.barrier();
+            arr.get(ctx, 0)
+        });
+        assert!(report.results.iter().all(|&v| v == 600));
+    }
+
+    #[test]
+    fn critical_sections_are_serialized_in_virtual_time() {
+        // Time inside the mutex must be monotone across all acquisitions.
+        let m = ArgoMachine::new(ArgoConfig::small(2, 2));
+        let arr = GlobalU64Array::alloc(m.dsm(), 8);
+        let mutex = ArgoMutex::new(m.dsm().clone(), 0);
+        let report = m.run(move |ctx| {
+            let mut ok = true;
+            for _ in 0..50 {
+                mutex.with(ctx, |ctx| {
+                    let last = arr.get(ctx, 1);
+                    ok &= ctx.thread.now() >= last;
+                    arr.set(ctx, 1, ctx.thread.now());
+                    ctx.thread.compute(100);
+                });
+            }
+            ok
+        });
+        assert!(report.results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn guard_requires_explicit_unlock() {
+        let m = ArgoMachine::new(ArgoConfig::small(1, 1));
+        let mutex = ArgoMutex::new(m.dsm().clone(), 0);
+        let report = m.run(move |ctx| {
+            let g = mutex.lock(ctx);
+            ctx.thread.compute(10);
+            g.unlock(ctx);
+            ctx.thread.now()
+        });
+        assert!(report.results[0] > 0);
+    }
+}

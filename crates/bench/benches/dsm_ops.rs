@@ -1,0 +1,67 @@
+//! Criterion microbenchmarks of the DSM access path: the *real-time*
+//! cost of the protocol engine itself (hit path, miss path, fences) —
+//! i.e., how fast the simulator runs, not simulated time.
+
+use argo::{ArgoConfig, ArgoMachine};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mem::PAGE_BYTES;
+use simnet::{ClusterTopology, CostModel, Interconnect, NodeId, SimThread};
+use std::hint::black_box;
+
+fn bench_dsm(c: &mut Criterion) {
+    let topo = ClusterTopology::tiny(2);
+    let net = Interconnect::new(topo, CostModel::paper_2011());
+    let dsm = carina::Dsm::new(net.clone(), 32 << 20, carina::CarinaConfig::default());
+    let mut t = SimThread::new(topo.loc(NodeId(0), 0), net);
+
+    // Home (local) word read.
+    let local = mem::GlobalAddr(2 * PAGE_BYTES); // even page: homed at node 0
+    dsm.write_u64(&mut t, local, 1);
+    c.bench_function("dsm/read_home_word", |b| {
+        b.iter(|| black_box(dsm.read_u64(&mut t, local)))
+    });
+
+    // Cached remote word read (hit).
+    let remote = mem::GlobalAddr(3 * PAGE_BYTES);
+    let _ = dsm.read_u64(&mut t, remote);
+    c.bench_function("dsm/read_cached_remote_word", |b| {
+        b.iter(|| black_box(dsm.read_u64(&mut t, remote)))
+    });
+
+    // Bulk slice read of one page (hit).
+    let mut buf = vec![0.0f64; 512];
+    c.bench_function("dsm/read_page_slice_hit", |b| {
+        b.iter(|| dsm.read_f64_slice(&mut t, remote, black_box(&mut buf)))
+    });
+
+    // Cold miss + SI fence cycle: invalidate then refetch one page.
+    c.bench_function("dsm/si_fence_plus_refetch", |b| {
+        b.iter(|| {
+            dsm.si_fence(&mut t);
+            black_box(dsm.read_u64(&mut t, remote))
+        })
+    });
+
+    // Write fault (twin + buffer) then downgrade via SD fence.
+    c.bench_function("dsm/write_fault_plus_sd_fence", |b| {
+        b.iter(|| {
+            dsm.write_u64(&mut t, remote, 7);
+            dsm.sd_fence(&mut t);
+        })
+    });
+
+    // A whole small parallel region (machine spin-up + barrier).
+    c.bench_function("machine/run_4threads_barrier", |b| {
+        b.iter(|| {
+            let m = ArgoMachine::new(ArgoConfig::small(2, 2));
+            m.run(|ctx| ctx.barrier()).cycles
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_dsm
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion microbenchmarks of the local lock implementations (the
+//! real-time substrate of Figure 11): uncontended critical-section cost
+//! and contended throughput for each lock.
+
+use bench::prioq::LocalWork;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use vela::pairing_heap::PairingHeap;
+use vela::{ClhLock, CohortLock, CsLock, FcLock, McsLock, PthreadsMutex, QdLock};
+
+fn uncontended<L: CsLock<u64>>(c: &mut Criterion, name: &str, lock: L) {
+    c.bench_with_input(
+        BenchmarkId::new("uncontended_increment", name),
+        &lock,
+        |b, l| {
+            b.iter(|| {
+                l.with(0, |v| {
+                    *v = v.wrapping_add(1);
+                    *v
+                })
+            })
+        },
+    );
+}
+
+fn contended<L>(c: &mut Criterion, name: &str, make: impl Fn() -> L)
+where
+    L: CsLock<PairingHeap> + Send + Sync + 'static,
+{
+    c.bench_function(&format!("contended_heap_4t/{name}"), |b| {
+        b.iter_custom(|iters| {
+            let lock = Arc::new(make());
+            lock.with(0, |h| {
+                for k in 0..1024 {
+                    h.insert(k);
+                }
+            });
+            let stop = Arc::new(AtomicBool::new(false));
+            // 3 background contenders.
+            let handles: Vec<_> = (1..4)
+                .map(|t| {
+                    let lock = lock.clone();
+                    let stop = stop.clone();
+                    std::thread::spawn(move || {
+                        let mut w = LocalWork::new(t as u64);
+                        while !stop.load(Ordering::Relaxed) {
+                            black_box(w.run(16));
+                            let k = w.key();
+                            lock.with(t % 4, move |h| h.insert(k));
+                            lock.with(t % 4, |h| {
+                                h.extract_min();
+                            });
+                        }
+                    })
+                })
+                .collect();
+            let start = std::time::Instant::now();
+            let mut w = LocalWork::new(0);
+            for _ in 0..iters {
+                let k = w.key();
+                lock.with(0, move |h| h.insert(k));
+            }
+            let elapsed = start.elapsed();
+            stop.store(true, Ordering::Relaxed);
+            for h in handles {
+                h.join().unwrap();
+            }
+            elapsed
+        })
+    });
+}
+
+fn bench_locks(c: &mut Criterion) {
+    uncontended(c, "pthreads", PthreadsMutex::new(0u64));
+    uncontended(c, "mcs", McsLock::new(0u64));
+    uncontended(c, "clh", ClhLock::new(0u64));
+    uncontended(c, "cohort", CohortLock::new(4, 48, 0u64));
+    uncontended(c, "qd", QdLock::new(0u64));
+    uncontended(c, "flat_combining", FcLock::new(256, 0u64));
+
+    contended(c, "pthreads", || PthreadsMutex::new(PairingHeap::new()));
+    contended(c, "cohort", || CohortLock::new(4, 48, PairingHeap::new()));
+    contended(c, "qd", || QdLock::new(PairingHeap::new()));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_locks
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion microbenchmarks of the pairing heap — the sequential data
+//! structure at the heart of the §5.3 microbenchmark. Also compares the
+//! DSM-resident variant's real-time overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::prelude::*;
+use simnet::{ClusterTopology, CostModel, Interconnect, NodeId, SimThread};
+use std::hint::black_box;
+use vela::pairing_heap::PairingHeap;
+use vela::DsmPairingHeap;
+
+fn bench_heap(c: &mut Criterion) {
+    c.bench_function("pairing_heap/insert_extract_cycle", |b| {
+        let mut h = PairingHeap::with_capacity(1024);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..512 {
+            h.insert(rng.random());
+        }
+        b.iter(|| {
+            h.insert(black_box(rng.random()));
+            black_box(h.extract_min());
+        })
+    });
+
+    c.bench_function("pairing_heap/sort_1k", |b| {
+        let keys: Vec<u64> = SmallRng::seed_from_u64(2).random_iter().take(1000).collect();
+        b.iter(|| {
+            let mut h = PairingHeap::with_capacity(1000);
+            for &k in &keys {
+                h.insert(k);
+            }
+            let mut last = 0;
+            while let Some(k) = h.extract_min() {
+                last = k;
+            }
+            black_box(last)
+        })
+    });
+
+    c.bench_function("dsm_pairing_heap/insert_extract_cycle", |b| {
+        let topo = ClusterTopology::tiny(2);
+        let net = Interconnect::new(topo, CostModel::paper_2011());
+        let dsm = carina::Dsm::new(net.clone(), 8 << 20, carina::CarinaConfig::default());
+        let mut t = SimThread::new(topo.loc(NodeId(0), 0), net);
+        let base = dsm
+            .allocator()
+            .alloc(DsmPairingHeap::bytes_needed(2048), 8)
+            .unwrap();
+        let h = DsmPairingHeap::init(&dsm, &mut t, base, 2048);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..512 {
+            h.insert(&dsm, &mut t, rng.random());
+        }
+        b.iter(|| {
+            h.insert(&dsm, &mut t, black_box(rng.random()));
+            black_box(h.extract_min(&dsm, &mut t));
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_heap
+}
+criterion_main!(benches);

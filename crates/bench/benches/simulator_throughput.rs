@@ -1,0 +1,56 @@
+//! Criterion benchmarks of the *simulator's* real-time throughput on whole
+//! workloads — a regression guard: protocol-engine slowdowns show up here
+//! long before they make the figure harnesses unusable.
+
+use argo::{ArgoConfig, ArgoMachine};
+use criterion::{criterion_group, criterion_main, Criterion};
+use workloads::{blackscholes, cg, sor};
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator_throughput");
+    g.sample_size(10);
+
+    g.bench_function("blackscholes_4n_2t", |b| {
+        let p = blackscholes::BsParams {
+            options: 4096,
+            iterations: 2,
+        };
+        b.iter(|| {
+            let m = ArgoMachine::new(ArgoConfig::small(4, 2));
+            blackscholes::run_argo(&m, p).cycles
+        })
+    });
+
+    g.bench_function("cg_2n_2t", |b| {
+        let p = cg::CgParams {
+            n: 512,
+            nnz_per_row: 6,
+            iterations: 3,
+        };
+        b.iter(|| {
+            let m = ArgoMachine::new(ArgoConfig::small(2, 2));
+            cg::run_argo(&m, p).cycles
+        })
+    });
+
+    g.bench_function("sor_2n_2t", |b| {
+        let p = sor::SorParams {
+            n: 64,
+            iterations: 3,
+            omega: 1.25,
+        };
+        b.iter(|| {
+            let m = ArgoMachine::new(ArgoConfig::small(2, 2));
+            sor::run_argo(&m, p).cycles
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_workloads
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Ablation: adaptive classification by decay (paper §3.2 future work).
+//!
+//! Carina's classification is one-way: once a page is Shared,MW it
+//! self-invalidates at every fence forever — even if its sharing pattern
+//! changes. A phase-structured workload (ownership of a working set
+//! migrates between phases) shows the cost, and the decay extension
+//! (`ArgoCtx::adapt_classification`) recovers it by letting pages
+//! re-classify to the new phase's pattern.
+
+use argo::types::GlobalF64Array;
+use argo::{ArgoConfig, ArgoMachine};
+use bench::{cell, f2, full_scale, print_header, print_row};
+
+/// Phased workload: in each phase, ownership of every chunk shifts by one
+/// thread; within a phase, each owner re-reads and re-writes its chunk
+/// `sweeps` times with a barrier after each sweep.
+fn run(adapt: bool, elements: usize, phases: usize, sweeps: usize) -> (u64, u64, u64) {
+    let machine = ArgoMachine::new(ArgoConfig::small(4, 2));
+    let data = GlobalF64Array::alloc(machine.dsm(), elements);
+    let report = machine.run(move |ctx| {
+        ctx.start_measurement();
+        let nt = ctx.nthreads();
+        let per = elements.div_ceil(nt);
+        let mut buf = vec![0.0f64; per];
+        for phase in 0..phases {
+            if adapt && phase > 0 {
+                ctx.adapt_classification();
+            }
+            let owner_shift = (ctx.tid() + phase) % nt;
+            let lo = (owner_shift * per).min(elements);
+            let hi = ((owner_shift + 1) * per).min(elements);
+            for _ in 0..sweeps {
+                if hi > lo {
+                    ctx.read_f64_slice(data.addr(lo), &mut buf[..hi - lo]);
+                    for v in &mut buf[..hi - lo] {
+                        *v += 1.0;
+                    }
+                    ctx.thread.compute((hi - lo) as u64 * 2);
+                    ctx.write_f64_slice(data.addr(lo), &buf[..hi - lo]);
+                }
+                ctx.barrier();
+            }
+        }
+        0.0
+    });
+    (
+        report.cycles,
+        report.coherence.si_invalidated,
+        report.coherence.read_misses,
+    )
+}
+
+fn main() {
+    let full = full_scale();
+    let (elements, phases, sweeps) = if full {
+        (1 << 17, 6, 8)
+    } else {
+        (1 << 14, 4, 5)
+    };
+    print_header(
+        "Ablation: adaptive classification (phase-migrating ownership)",
+        &["variant", "Mcycles", "SI-invalidated", "read misses"],
+    );
+    let (c1, si1, m1) = run(false, elements, phases, sweeps);
+    print_row(&[
+        cell("one-way (paper)"),
+        f2(c1 as f64 / 1e6),
+        cell(si1),
+        cell(m1),
+    ]);
+    let (c2, si2, m2) = run(true, elements, phases, sweeps);
+    print_row(&[
+        cell("with decay"),
+        f2(c2 as f64 / 1e6),
+        cell(si2),
+        cell(m2),
+    ]);
+    println!(
+        "\ndecay speedup: {:.2}x (SI events {} -> {}, misses {} -> {})",
+        c1 as f64 / c2 as f64,
+        si1,
+        si2,
+        m1,
+        m2
+    );
+    println!("Expectation: after each ownership shift the one-way classification is");
+    println!("stuck at S,MW (invalidate + refetch every sweep), while decay lets the");
+    println!("new owners' pages re-classify private and survive fences.");
+}

@@ -1,0 +1,41 @@
+//! Ablation: passive vs active directory.
+//!
+//! Argo's central claim is that a directory needing **no message handlers**
+//! (all protocol actions are requester-issued one-sided ops) removes
+//! latency from every coherence action. This ablation runs the same
+//! benchmarks with `active_directory = true`, which charges a software
+//! message-handler invocation at the home for every directory operation
+//! and notification — the traditional DSM design.
+
+use bench::{cell, f3, full_scale, geomean, print_header, print_row, six, threads_per_node};
+use carina::CarinaConfig;
+
+fn main() {
+    let full = full_scale();
+    let nodes = 4;
+    let tpn = threads_per_node();
+    print_header(
+        "Ablation: active-directory slowdown vs passive (Argo)",
+        &["benchmark", "passive", "active", "handlers"],
+    );
+    let mut ratios = Vec::new();
+    for name in six::NAMES {
+        let passive = six::run(name, nodes, tpn, CarinaConfig::default(), full);
+        let mut cfg = CarinaConfig::default();
+        cfg.active_directory = true;
+        let active = six::run(name, nodes, tpn, cfg, full);
+        assert!(passive.checksum_matches(&active, 1e-6));
+        assert_eq!(passive.net.handler_invocations, 0);
+        let r = active.cycles as f64 / passive.cycles as f64;
+        ratios.push(r);
+        print_row(&[
+            cell(name),
+            f3(1.0),
+            f3(r),
+            cell(active.net.handler_invocations),
+        ]);
+    }
+    print_row(&[cell("Average"), f3(1.0), f3(geomean(&ratios)), cell("")]);
+    println!("\nExpectation: active >= passive on every benchmark; the gap grows with");
+    println!("miss rate (each miss's directory access pays a handler at the home).");
+}

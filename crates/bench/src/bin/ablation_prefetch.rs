@@ -1,0 +1,38 @@
+//! Ablation: prefetch line size (paper §3.6.2).
+//!
+//! Argo fetches a configurable "cache line" of consecutive pages on every
+//! miss, trading bandwidth for latency. Sweep the line size for the
+//! streaming-friendly benchmarks (Blackscholes, MM) and the pointer-chasing
+//! one (CG) to show where prefetching helps and where it wastes bandwidth.
+
+use bench::{cell, f3, full_scale, print_header, print_row, six, threads_per_node};
+use carina::CarinaConfig;
+use mem::CacheConfig;
+
+fn main() {
+    let full = full_scale();
+    let nodes = 4;
+    let tpn = threads_per_node();
+    let lines = [1usize, 2, 4, 8, 16];
+    let mut cols: Vec<&str> = vec!["benchmark"];
+    let labels: Vec<String> = lines.iter().map(|l| format!("{l}p")).collect();
+    cols.extend(labels.iter().map(|s| s.as_str()));
+    print_header("Ablation: exec time vs prefetch line size (norm. to 1 page)", &cols);
+    for name in ["Blackscholes", "MM", "CG", "Nbody"] {
+        let mut base_cycles = 0u64;
+        let mut row = vec![cell(name)];
+        for (i, &ppl) in lines.iter().enumerate() {
+            let mut cfg = CarinaConfig::default();
+            cfg.cache = CacheConfig::new(8192 / ppl, ppl);
+            let out = six::run(name, nodes, tpn, cfg, full);
+            if i == 0 {
+                base_cycles = out.cycles;
+            }
+            row.push(f3(out.cycles as f64 / base_cycles as f64));
+        }
+        print_row(&row);
+    }
+    println!("\nExpectation: streaming benchmarks gain from longer lines (latency");
+    println!("amortized); irregular access (CG) gains less or regresses (wasted");
+    println!("transfers and conflict evictions).");
+}

@@ -1,0 +1,60 @@
+//! Figure 1: technology trends for network bandwidth/latency and DRAM
+//! latency, normalized to CPU cycles — the paper's motivation data.
+//!
+//! This table is static (adapted by the paper from Ramesh's thesis); we
+//! reprint it and derive the observation the paper draws from it: the
+//! cycles-per-KB metric reversed its trend around 2000, turning network
+//! bandwidth from a deterrent into an incentive for DSM.
+
+use bench::{cell, print_header, print_row};
+
+struct Year {
+    year: u32,
+    cpu_mhz: u32,
+    dram_lat: u32,
+    net_lat: u32,
+    cycles_per_kb: u32,
+}
+
+const DATA: &[Year] = &[
+    Year { year: 1992, cpu_mhz: 200, dram_lat: 16, net_lat: 40_000, cycles_per_kb: 1092 },
+    Year { year: 1994, cpu_mhz: 500, dram_lat: 35, net_lat: 50_000, cycles_per_kb: 2731 },
+    Year { year: 1997, cpu_mhz: 1000, dram_lat: 70, net_lat: 30_000, cycles_per_kb: 3901 },
+    Year { year: 2000, cpu_mhz: 2400, dram_lat: 168, net_lat: 24_000, cycles_per_kb: 2313 },
+    Year { year: 2005, cpu_mhz: 3200, dram_lat: 224, net_lat: 4_160, cycles_per_kb: 1311 },
+    Year { year: 2007, cpu_mhz: 3200, dram_lat: 192, net_lat: 4_160, cycles_per_kb: 655 },
+    Year { year: 2009, cpu_mhz: 3300, dram_lat: 165, net_lat: 3_300, cycles_per_kb: 211 },
+    Year { year: 2011, cpu_mhz: 3400, dram_lat: 170, net_lat: 1_700, cycles_per_kb: 111 },
+];
+
+fn main() {
+    print_header(
+        "Figure 1: trends normalized to CPU cycles",
+        &["year", "CPU MHz", "DRAM lat", "net lat", "cyc/KB", "net/DRAM"],
+    );
+    for y in DATA {
+        print_row(&[
+            cell(y.year),
+            cell(y.cpu_mhz),
+            cell(y.dram_lat),
+            cell(y.net_lat),
+            cell(y.cycles_per_kb),
+            format!("{:.0}x", y.net_lat as f64 / y.dram_lat as f64),
+        ]);
+    }
+    let peak = DATA.iter().max_by_key(|y| y.cycles_per_kb).expect("data");
+    let last = DATA.last().expect("data");
+    println!(
+        "\nBandwidth trend reversal: cycles/KB peaked at {} ({}), down to {} by {}.",
+        peak.cycles_per_kb, peak.year, last.cycles_per_kb, last.year
+    );
+    println!(
+        "Network latency is now ~{:.0}x DRAM latency (was ~{:.0}x in {}):",
+        last.net_lat as f64 / last.dram_lat as f64,
+        DATA[0].net_lat as f64 / DATA[0].dram_lat as f64,
+        DATA[0].year
+    );
+    println!("=> trade bandwidth for latency; eliminate message handlers; keep dependent");
+    println!("   computation (critical sections) from migrating — the Argo design rules.");
+    println!("\nThese 2011 constants are the simulator's default CostModel::paper_2011().");
+}

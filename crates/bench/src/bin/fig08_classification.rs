@@ -1,0 +1,62 @@
+//! Figure 8: impact of the classification scheme (S vs naive P/S vs P/S3)
+//! on execution time, normalized to S, for the six benchmarks on 4 nodes.
+//!
+//! Expected shape (paper): naive P/S is *no better* than S — the private
+//! pages it refuses to self-downgrade must be checkpointed at every sync
+//! point, which eats the benefit. P/S3 (private pages self-downgraded,
+//! writer classification filtering SI) wins, averaging ~20 % faster.
+
+use bench::{cell, f3, full_scale, geomean, print_header, print_row, six, threads_per_node};
+use carina::{CarinaConfig, ClassificationMode};
+
+fn main() {
+    let full = full_scale();
+    let nodes = 4;
+    let tpn = threads_per_node();
+    print_header(
+        "Figure 8: normalized execution time (lower is better)",
+        &["benchmark", "S", "P/S", "P/S3"],
+    );
+    let mut ratios_ps = Vec::new();
+    let mut ratios_ps3 = Vec::new();
+    for name in six::NAMES {
+        let s = six::run(
+            name,
+            nodes,
+            tpn,
+            CarinaConfig::with_mode(ClassificationMode::AllShared),
+            full,
+        );
+        let ps = six::run(
+            name,
+            nodes,
+            tpn,
+            CarinaConfig::with_mode(ClassificationMode::PsNaive),
+            full,
+        );
+        let ps3 = six::run(
+            name,
+            nodes,
+            tpn,
+            CarinaConfig::with_mode(ClassificationMode::Ps3),
+            full,
+        );
+        assert!(
+            s.checksum_matches(&ps3, 1e-6) && s.checksum_matches(&ps, 1e-6),
+            "{name}: checksums diverge across modes"
+        );
+        let rps = ps.cycles as f64 / s.cycles as f64;
+        let rps3 = ps3.cycles as f64 / s.cycles as f64;
+        ratios_ps.push(rps);
+        ratios_ps3.push(rps3);
+        print_row(&[cell(name), f3(1.0), f3(rps), f3(rps3)]);
+    }
+    print_row(&[
+        cell("Average"),
+        f3(1.0),
+        f3(geomean(&ratios_ps)),
+        f3(geomean(&ratios_ps3)),
+    ]);
+    println!("\nShape check (paper): P/S ~= S (checkpointing overhead cancels the gain);");
+    println!("P/S3 < 1.0 on benchmarks with private/read-only pages (avg ~0.8).");
+}

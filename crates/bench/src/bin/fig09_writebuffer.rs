@@ -1,0 +1,41 @@
+//! Figure 9: execution time as a function of write-buffer size.
+//!
+//! Expected shape (paper): below a benchmark-specific critical size,
+//! performance is "devastated" (every write fault forces an immediate
+//! downgrade of a still-hot page, which immediately refaults); above it,
+//! time is flat with a slight rise at very large buffers (sync-point
+//! flush latency).
+
+use bench::{cell, full_scale, print_header, print_row, six, threads_per_node};
+use carina::CarinaConfig;
+
+fn sizes(full: bool) -> Vec<usize> {
+    if full {
+        vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768]
+    } else {
+        vec![1, 2, 4, 8, 32, 128, 1024, 8192]
+    }
+}
+
+fn main() {
+    let full = full_scale();
+    let nodes = 4;
+    let tpn = threads_per_node();
+    let szs = sizes(full);
+    let mut cols: Vec<&str> = vec!["benchmark"];
+    let labels: Vec<String> = szs.iter().map(|s| s.to_string()).collect();
+    cols.extend(labels.iter().map(|s| s.as_str()));
+    print_header("Figure 9: execution time (Mcycles) vs write-buffer pages", &cols);
+    for name in six::NAMES {
+        let mut row = vec![cell(name)];
+        for &wb in &szs {
+            let mut cfg = CarinaConfig::default();
+            cfg.write_buffer_pages = wb;
+            let out = six::run(name, nodes, tpn, cfg, full);
+            row.push(format!("{:.1}", out.cycles as f64 / 1e6));
+        }
+        print_row(&row);
+    }
+    println!("\nShape check (paper): time explodes below a per-benchmark critical size,");
+    println!("then flattens; very large buffers cost slightly more at sync points.");
+}

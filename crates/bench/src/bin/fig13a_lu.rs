@@ -1,0 +1,45 @@
+//! Figure 13a: SPLASH-2 LU speedup — Argo vs Pthreads (single machine).
+//!
+//! Expected shape (paper): heavy data migration gives Argo significant
+//! overhead, but multiple nodes still beat single-machine Pthreads, with
+//! gains up to ~8 nodes before flattening.
+
+use argo::{ArgoConfig, ArgoMachine};
+use bench::{cell, f2, full_scale, print_header, print_row, threads_per_node};
+use workloads::lu::{run_argo, LuParams};
+
+fn main() {
+    let full = full_scale();
+    let p = if full {
+        LuParams { n: 1024, block: 16 }
+    } else {
+        LuParams { n: 320, block: 16 }
+    };
+    let tpn = threads_per_node();
+    let seq = run_argo(&ArgoMachine::new(ArgoConfig::small(1, 1)), p);
+
+    print_header(
+        "Figure 13a: SPLASH-2 LU speedup over sequential",
+        &["config", "threads", "speedup"],
+    );
+    let mut pthreads_ts = vec![2, 4, 8];
+    if !pthreads_ts.contains(&tpn.min(16)) {
+        pthreads_ts.push(tpn.min(16));
+    }
+    for t in pthreads_ts {
+        let out = run_argo(&ArgoMachine::new(ArgoConfig::small(1, t)), p);
+        assert!(out.checksum_matches(&seq, 1e-6), "pthreads checksum diverged");
+        print_row(&[cell("Pthreads"), cell(t), f2(out.speedup_over(&seq))]);
+    }
+    for n in bench::node_sweep(32) {
+        let out = run_argo(&ArgoMachine::new(ArgoConfig::small(n, tpn)), p);
+        assert!(out.checksum_matches(&seq, 1e-6), "argo checksum diverged");
+        print_row(&[
+            cell(format!("Argo {n}n")),
+            cell(n * tpn),
+            f2(out.speedup_over(&seq)),
+        ]);
+    }
+    println!("\nShape check (paper): Argo multi-node beats single-machine Pthreads");
+    println!("despite migration overhead; gains continue to ~8 nodes.");
+}

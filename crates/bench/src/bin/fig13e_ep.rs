@@ -1,0 +1,52 @@
+//! Figure 13e: NAS EP (CLASS D in the paper) — Argo vs OpenMP vs UPC.
+//!
+//! Expected shape (paper): embarrassingly parallel; all three scale
+//! near-linearly to 128 nodes / 2048 threads, showing Argo "can compete
+//! directly with PGAS systems that require significant effort to program".
+
+use argo::{ArgoConfig, ArgoMachine};
+use bench::{cell, f2, full_scale, print_header, print_row, threads_per_node};
+use workloads::ep::{run_argo, run_pgas, EpParams};
+
+fn main() {
+    let full = full_scale();
+    let p = if full {
+        EpParams { pairs: 1 << 22 }
+    } else {
+        EpParams { pairs: 1 << 18 }
+    };
+    let tpn = threads_per_node();
+    let seq = run_argo(&ArgoMachine::new(ArgoConfig::small(1, 1)), p);
+
+    print_header(
+        "Figure 13e: NAS EP speedup over sequential",
+        &["config", "threads", "speedup"],
+    );
+    let mut pthreads_ts = vec![4];
+    if !pthreads_ts.contains(&tpn.min(16)) {
+        pthreads_ts.push(tpn.min(16));
+    }
+    for t in pthreads_ts {
+        let out = run_argo(&ArgoMachine::new(ArgoConfig::small(1, t)), p);
+        assert!(out.checksum_matches(&seq, 1e-6));
+        print_row(&[cell("OpenMP"), cell(t), f2(out.speedup_over(&seq))]);
+    }
+    for n in bench::node_sweep(128) {
+        let argo = run_argo(&ArgoMachine::new(ArgoConfig::small(n, tpn)), p);
+        assert!(argo.checksum_matches(&seq, 1e-6));
+        let upc = run_pgas(n, tpn, p);
+        assert!(upc.checksum_matches(&seq, 1e-6));
+        print_row(&[
+            cell(format!("Argo {n}n")),
+            cell(n * tpn),
+            f2(argo.speedup_over(&seq)),
+        ]);
+        print_row(&[
+            cell(format!("UPC {n}n")),
+            cell(n * tpn),
+            f2(upc.speedup_over(&seq)),
+        ]);
+    }
+    println!("\nShape check (paper): near-linear scaling for Argo and UPC alike;");
+    println!("the only communication is the final reduction.");
+}

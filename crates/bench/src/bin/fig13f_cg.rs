@@ -1,0 +1,54 @@
+//! Figure 13f: NAS CG (CLASS C in the paper) — Argo vs OpenMP vs UPC.
+//!
+//! Expected shape (paper): the optimized UPC implementation starts with a
+//! significant single-node advantage, but stops scaling at 8 nodes (its
+//! per-rank bulk pulls of the whole `p` vector saturate the home NICs),
+//! while Argo — whose page caches pull each page once per *node* and keep
+//! read-mostly pages across barriers — continues to 32 nodes.
+
+use argo::{ArgoConfig, ArgoMachine};
+use bench::{cell, f2, full_scale, print_header, print_row, threads_per_node};
+use workloads::cg::{run_argo, run_pgas, CgParams};
+
+fn main() {
+    let full = full_scale();
+    let p = if full {
+        CgParams { n: 16_384, nnz_per_row: 16, iterations: 12 }
+    } else {
+        CgParams { n: 4_096, nnz_per_row: 8, iterations: 6 }
+    };
+    let tpn = threads_per_node();
+    let seq = run_argo(&ArgoMachine::new(ArgoConfig::small(1, 1)), p);
+
+    print_header(
+        "Figure 13f: NAS CG speedup over sequential",
+        &["config", "threads", "speedup"],
+    );
+    let mut pthreads_ts = vec![4];
+    if !pthreads_ts.contains(&tpn.min(16)) {
+        pthreads_ts.push(tpn.min(16));
+    }
+    for t in pthreads_ts {
+        let out = run_argo(&ArgoMachine::new(ArgoConfig::small(1, t)), p);
+        assert!(out.checksum_matches(&seq, 1e-6));
+        print_row(&[cell("OpenMP"), cell(t), f2(out.speedup_over(&seq))]);
+    }
+    for n in bench::node_sweep(32) {
+        let argo = run_argo(&ArgoMachine::new(ArgoConfig::small(n, tpn)), p);
+        assert!(argo.checksum_matches(&seq, 1e-6));
+        let upc = run_pgas(n, tpn, p);
+        assert!(upc.checksum_matches(&seq, 1e-6));
+        print_row(&[
+            cell(format!("Argo {n}n")),
+            cell(n * tpn),
+            f2(argo.speedup_over(&seq)),
+        ]);
+        print_row(&[
+            cell(format!("UPC {n}n")),
+            cell(n * tpn),
+            f2(upc.speedup_over(&seq)),
+        ]);
+    }
+    println!("\nShape check (paper): UPC ahead at 1 node (optimized kernel), flattens");
+    println!("by ~8 nodes; Argo's per-node caching lets it keep scaling past that.");
+}

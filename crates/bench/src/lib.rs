@@ -1,0 +1,113 @@
+//! # bench — per-figure reproduction harnesses
+//!
+//! One binary per table/figure of the paper (see `DESIGN.md` §6 for the
+//! index). Each prints the same rows/series the paper reports, from the
+//! simulated cluster. Run e.g.:
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig08_classification
+//! cargo run --release -p bench --bin fig13c_blackscholes -- --full
+//! ```
+//!
+//! `--full` selects paper-scale sweeps (slow); the default is a reduced
+//! sweep with the same shape. This library holds shared table/CLI helpers.
+
+use std::fmt::Display;
+
+/// Parse `--full` from the process arguments.
+pub fn full_scale() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// Print a header row followed by a separator.
+pub fn print_header(title: &str, cols: &[&str]) {
+    println!("\n== {title} ==");
+    let row = cols
+        .iter()
+        .map(|c| format!("{c:>14}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    println!("{row}");
+    println!("{}", "-".repeat(row.len()));
+}
+
+/// Print one row of right-aligned cells.
+pub fn print_row(cells: &[String]) {
+    let row = cells
+        .iter()
+        .map(|c| format!("{c:>14}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    println!("{row}");
+}
+
+/// Format helper.
+pub fn cell(v: impl Display) -> String {
+    format!("{v}")
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Geometric mean of positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Node-count sweep for a scaling figure: reduced by default, the paper's
+/// range with `--full`.
+pub fn node_sweep(max_full: usize) -> Vec<usize> {
+    let full = full_scale();
+    let cap = if full { max_full } else { max_full.min(8) };
+    let mut v = vec![1, 2, 4];
+    let mut n = 8;
+    while n <= cap {
+        v.push(n);
+        n *= 2;
+    }
+    v.retain(|&x| x <= cap);
+    v.dedup();
+    v
+}
+
+/// Threads per node for cluster runs: the paper's 15, or 4 in reduced mode
+/// (so reduced runs stay fast on a laptop).
+pub fn threads_per_node() -> usize {
+    if full_scale() {
+        15
+    } else {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_identical_is_identity() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn node_sweep_is_monotone_and_capped() {
+        let v = node_sweep(32);
+        assert_eq!(v[0], 1);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+        assert!(v.iter().all(|&n| n <= 32));
+    }
+}
+
+pub mod six;
+pub mod prioq;

@@ -1,0 +1,73 @@
+//! The concurrent priority-queue microbenchmark of §5.3 (Figures 11/12):
+//! a sequential pairing heap protected by a lock; each thread alternates
+//! thread-local work with a global operation (insert or extract_min with
+//! equal probability). Inserts don't need a result and may be delegated
+//! detached; extract_min waits.
+
+use rand::prelude::*;
+
+/// One unit of thread-local work: two updates to random elements of a
+/// thread-local array of 64 integers (exactly the paper's definition).
+pub struct LocalWork {
+    array: [u64; 64],
+    rng: SmallRng,
+}
+
+impl LocalWork {
+    pub fn new(seed: u64) -> Self {
+        LocalWork {
+            array: [0; 64],
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Perform `units` work units; returns a sink value so the work is not
+    /// optimized away.
+    #[inline]
+    pub fn run(&mut self, units: usize) -> u64 {
+        let mut sink = 0;
+        for _ in 0..units {
+            let i = (self.rng.random::<u32>() as usize) % 64;
+            let j = (self.rng.random::<u32>() as usize) % 64;
+            self.array[i] = self.array[i].wrapping_add(1);
+            self.array[j] ^= self.array[i];
+            sink ^= self.array[j];
+        }
+        sink
+    }
+
+    /// Flip a fair coin: true = insert, false = extract_min.
+    #[inline]
+    pub fn coin(&mut self) -> bool {
+        self.rng.random_bool(0.5)
+    }
+
+    /// A random key.
+    #[inline]
+    pub fn key(&mut self) -> u64 {
+        self.rng.random()
+    }
+}
+
+/// Virtual cycles for one unit of local work (a handful of ALU ops and two
+/// L1 accesses).
+pub const WORK_UNIT_CYCLES: u64 = 20;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_work_is_deterministic_per_seed() {
+        let mut a = LocalWork::new(7);
+        let mut b = LocalWork::new(7);
+        assert_eq!(a.run(100), b.run(100));
+    }
+
+    #[test]
+    fn coin_is_roughly_fair() {
+        let mut w = LocalWork::new(3);
+        let heads = (0..10_000).filter(|_| w.coin()).count();
+        assert!((4_000..6_000).contains(&heads), "{heads}");
+    }
+}

@@ -1,0 +1,83 @@
+//! The six-benchmark suite used by the protocol-characterization figures
+//! (8, 9, 10): Blackscholes, CG, EP, LU, MM, Nbody on a 4-node cluster,
+//! with a configurable Carina configuration.
+
+use argo::{ArgoConfig, ArgoMachine};
+use carina::CarinaConfig;
+use workloads::{blackscholes, cg, ep, lu, matmul, nbody, Outcome};
+
+/// Benchmark names in the paper's Figure 8 order.
+pub const NAMES: [&str; 6] = ["Blackscholes", "CG", "EP", "LU", "MM", "Nbody"];
+
+/// Run one of the six by name on a cluster with the given coherence
+/// config. `full` selects larger inputs.
+pub fn run(
+    name: &str,
+    nodes: usize,
+    threads_per_node: usize,
+    carina: CarinaConfig,
+    full: bool,
+) -> Outcome {
+    let mut cfg = ArgoConfig::small(nodes, threads_per_node);
+    cfg.carina = carina;
+    cfg.bytes_per_node = 32 << 20;
+    let machine = ArgoMachine::new(cfg);
+    let s = |reduced: usize, fullv: usize| if full { fullv } else { reduced };
+    match name {
+        "Blackscholes" => blackscholes::run_argo(
+            &machine,
+            blackscholes::BsParams {
+                options: s(8_192, 65_536),
+                iterations: s(3, 5),
+            },
+        ),
+        "CG" => cg::run_argo(
+            &machine,
+            cg::CgParams {
+                n: s(2_048, 16_384),
+                nnz_per_row: s(8, 16),
+                iterations: s(4, 15),
+            },
+        ),
+        "EP" => ep::run_argo(
+            &machine,
+            ep::EpParams {
+                pairs: s(1 << 16, 1 << 20),
+            },
+        ),
+        "LU" => lu::run_argo(
+            &machine,
+            lu::LuParams {
+                n: s(128, 384),
+                block: 16,
+            },
+        ),
+        "MM" => matmul::run_argo(
+            &machine,
+            matmul::MatmulParams { n: s(96, 384) },
+        ),
+        "Nbody" => nbody::run_argo(
+            &machine,
+            nbody::NbodyParams {
+                bodies: s(768, 4_096),
+                steps: s(2, 4),
+            },
+        ),
+        other => panic!("unknown benchmark {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "runs all six workloads; use --release")]
+    fn every_name_runs() {
+        for name in NAMES {
+            let out = run(name, 2, 2, CarinaConfig::default(), false);
+            assert!(out.cycles > 0, "{name} produced no time");
+            assert!(out.checksum.is_finite(), "{name} checksum not finite");
+        }
+    }
+}

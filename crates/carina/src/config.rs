@@ -1,0 +1,101 @@
+//! Carina configuration knobs.
+
+use crate::classification::ClassificationMode;
+use mem::addr::HomePolicy;
+use mem::CacheConfig;
+
+/// All tunables of the coherence layer. Defaults match the paper's shipped
+/// configuration (P/S3, passive directory, prefetching off unless asked).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CarinaConfig {
+    /// Classification scheme (the Figure 8 sweep).
+    pub mode: ClassificationMode,
+    /// Page-cache geometry (lines × pages per line).
+    pub cache: CacheConfig,
+    /// How pages map to home nodes (paper: interleaved).
+    pub home_policy: HomePolicy,
+    /// Write-buffer capacity in pages (the Figure 9/10 sweep). When the
+    /// buffer exceeds this, the oldest dirty page is downgraded.
+    pub write_buffer_pages: usize,
+    /// Ablation: charge a software message-handler invocation at the home
+    /// node for every directory operation and notification, as a
+    /// traditional *active* directory would. Argo's contribution is that
+    /// this is `false`.
+    pub active_directory: bool,
+    /// Extension (paper future work §3.2): a single writer skips twin/diff
+    /// creation and downgrades by transmitting the whole page — no false
+    /// sharing is possible with one writer.
+    pub sw_no_diff: bool,
+    /// Cycles for a page-cache hit (TLB + local cache access).
+    pub hit_cycles: u64,
+    /// Cycles to copy one 4 KiB page that is hot in the CPU cache (twin
+    /// creation at a write fault: the faulting access just touched it).
+    pub page_copy_cycles: u64,
+    /// Cycles to copy one *cold* 4 KiB page during a sync-point checkpoint
+    /// sweep (naïve P/S only): every line misses on the way in and out, so
+    /// this is an order of magnitude more than a hot copy — the cost that
+    /// makes the paper's naïve P/S "no better than S" (§5.1).
+    pub checkpoint_cycles: u64,
+    /// Cycles to examine one cached page during a fence sweep.
+    pub fence_scan_cycles: u64,
+    /// Cycles to flip protection on one page (the mprotect analogue).
+    pub protect_cycles: u64,
+}
+
+impl Default for CarinaConfig {
+    fn default() -> Self {
+        CarinaConfig {
+            mode: ClassificationMode::Ps3,
+            cache: CacheConfig::default(),
+            home_policy: HomePolicy::Interleaved,
+            write_buffer_pages: 8192,
+            active_directory: false,
+            sw_no_diff: false,
+            hit_cycles: 4,
+            page_copy_cycles: 430, // ~170 DRAM + 4096 B at 16 B/cycle (hot)
+            checkpoint_cycles: 4200, // 2×64 cache lines of cold DRAM traffic
+            fence_scan_cycles: 6,
+            protect_cycles: 150,
+        }
+    }
+}
+
+impl CarinaConfig {
+    /// Convenience: default config with a specific classification mode.
+    pub fn with_mode(mode: ClassificationMode) -> Self {
+        CarinaConfig {
+            mode,
+            ..Default::default()
+        }
+    }
+
+    /// Convenience: default config with a specific write-buffer size.
+    pub fn with_write_buffer(pages: usize) -> Self {
+        CarinaConfig {
+            write_buffer_pages: pages,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_ps3_passive() {
+        let c = CarinaConfig::default();
+        assert_eq!(c.mode, ClassificationMode::Ps3);
+        assert!(!c.active_directory);
+        assert!(!c.sw_no_diff);
+    }
+
+    #[test]
+    fn builders_override_one_field() {
+        assert_eq!(
+            CarinaConfig::with_mode(ClassificationMode::AllShared).mode,
+            ClassificationMode::AllShared
+        );
+        assert_eq!(CarinaConfig::with_write_buffer(32).write_buffer_pages, 32);
+    }
+}

@@ -1,0 +1,281 @@
+//! Pyxis: the passive classification directory.
+//!
+//! A directory entry is nothing but four 64-bit words of home-node memory —
+//! a 128-bit reader full map and a 128-bit writer full map. Requesting nodes
+//! deposit their ID with a remote fetch-or (the paper uses MPI `Fetch&Add`)
+//! and receive the updated maps; **no code ever runs at the home node**.
+//!
+//! Each node additionally keeps a *directory cache*: a local copy of every
+//! remote entry it has consulted. When a node causes a classification
+//! transition, it is that node's burden to notify the affected node(s) — by
+//! remotely OR-ing the new bits into *their* directory caches (again plain
+//! RDMA, no handler). The affected node observes the change at its next
+//! synchronization or request: *deferred invalidation* (paper §3.4.1).
+
+use crate::classification::DirView;
+use mem::PageNum;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One directory entry: reader and writer full maps for up to 128 nodes.
+#[derive(Debug, Default)]
+pub struct DirEntry {
+    readers: [AtomicU64; 2],
+    writers: [AtomicU64; 2],
+}
+
+#[inline]
+fn split(map: u128) -> (u64, u64) {
+    (map as u64, (map >> 64) as u64)
+}
+
+#[inline]
+fn join(lo: u64, hi: u64) -> u128 {
+    lo as u128 | ((hi as u128) << 64)
+}
+
+impl DirEntry {
+    /// Decode the current maps.
+    pub fn view(&self) -> DirView {
+        DirView {
+            readers: join(
+                self.readers[0].load(Ordering::Acquire),
+                self.readers[1].load(Ordering::Acquire),
+            ),
+            writers: join(
+                self.writers[0].load(Ordering::Acquire),
+                self.writers[1].load(Ordering::Acquire),
+            ),
+        }
+    }
+
+    /// Atomically OR `bits` into the reader map; returns the view *before*
+    /// this update (what the initiating node uses to detect transitions).
+    pub fn or_readers(&self, bits: u128) -> DirView {
+        let before = self.view();
+        let (lo, hi) = split(bits);
+        if lo != 0 {
+            self.readers[0].fetch_or(lo, Ordering::AcqRel);
+        }
+        if hi != 0 {
+            self.readers[1].fetch_or(hi, Ordering::AcqRel);
+        }
+        before
+    }
+
+    /// Atomically OR `bits` into the writer map; returns the prior view.
+    pub fn or_writers(&self, bits: u128) -> DirView {
+        let before = self.view();
+        let (lo, hi) = split(bits);
+        if lo != 0 {
+            self.writers[0].fetch_or(lo, Ordering::AcqRel);
+        }
+        if hi != 0 {
+            self.writers[1].fetch_or(hi, Ordering::AcqRel);
+        }
+        before
+    }
+
+    /// Overwrite with a full view (used to refresh a directory cache copy).
+    pub fn store_view(&self, v: DirView) {
+        let (rlo, rhi) = split(v.readers);
+        let (wlo, whi) = split(v.writers);
+        self.readers[0].store(rlo, Ordering::Release);
+        self.readers[1].store(rhi, Ordering::Release);
+        self.writers[0].store(wlo, Ordering::Release);
+        self.writers[1].store(whi, Ordering::Release);
+    }
+
+    /// OR both maps (remote notification of a transition).
+    pub fn or_view(&self, v: DirView) {
+        if v.readers != 0 {
+            self.or_readers(v.readers);
+        }
+        if v.writers != 0 {
+            self.or_writers(v.writers);
+        }
+    }
+
+    /// Reset to empty maps (end-of-initialization reset, paper §3.4).
+    pub fn reset(&self) {
+        self.store_view(DirView::default());
+    }
+}
+
+/// The home-side directory: one entry per page, living in the page's home
+/// node's memory (like the data pages, the placement is timing metadata in
+/// the simulator; the entries themselves are stored flat).
+#[derive(Debug)]
+pub struct Pyxis {
+    entries: Vec<DirEntry>,
+}
+
+impl Pyxis {
+    pub fn new(total_pages: u64) -> Self {
+        Pyxis {
+            entries: (0..total_pages).map(|_| DirEntry::default()).collect(),
+        }
+    }
+
+    /// The home entry for `page`.
+    #[inline]
+    pub fn entry(&self, page: PageNum) -> &DirEntry {
+        &self.entries[page.0 as usize]
+    }
+
+    /// Reset every entry — the paper's "initialization writes do not count"
+    /// rule: reader/writer maps are nulled when the parallel section starts.
+    pub fn reset_all(&self) {
+        for e in &self.entries {
+            e.reset();
+        }
+    }
+}
+
+/// Per-node directory caches: `caches[node]` holds that node's local copy of
+/// every directory entry it has consulted, indexed by global page number.
+///
+/// Other nodes write into these remotely on classification transitions; the
+/// owner reads them locally at fences. That asymmetry is the whole point:
+/// the *causing* node pays, the affected node stays passive.
+///
+/// Entries are created lazily in sharded hash maps: a 128-node cluster over
+/// a large address space would otherwise need gigabytes of always-resident
+/// metadata for pages most nodes never touch.
+#[derive(Debug)]
+pub struct DirCaches {
+    caches: Vec<NodeDirCache>,
+}
+
+const DIR_SHARDS: usize = 16;
+
+#[derive(Debug)]
+struct NodeDirCache {
+    shards: Vec<parking_lot::RwLock<std::collections::HashMap<u64, std::sync::Arc<DirEntry>>>>,
+}
+
+impl NodeDirCache {
+    fn new() -> Self {
+        NodeDirCache {
+            shards: (0..DIR_SHARDS)
+                .map(|_| parking_lot::RwLock::new(std::collections::HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn entry(&self, page: PageNum) -> std::sync::Arc<DirEntry> {
+        let shard = &self.shards[(page.0 as usize) % DIR_SHARDS];
+        if let Some(e) = shard.read().get(&page.0) {
+            return e.clone();
+        }
+        shard
+            .write()
+            .entry(page.0)
+            .or_insert_with(|| std::sync::Arc::new(DirEntry::default()))
+            .clone()
+    }
+
+    fn reset(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+    }
+}
+
+impl DirCaches {
+    pub fn new(nodes: usize, _total_pages: u64) -> Self {
+        DirCaches {
+            caches: (0..nodes).map(|_| NodeDirCache::new()).collect(),
+        }
+    }
+
+    /// `node`'s cached copy of the entry for `page` (created empty on first
+    /// touch).
+    #[inline]
+    pub fn entry(&self, node: u16, page: PageNum) -> std::sync::Arc<DirEntry> {
+        self.caches[node as usize].entry(page)
+    }
+
+    pub fn reset_all(&self) {
+        for node in &self.caches {
+            node.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classification::node_bit;
+
+    #[test]
+    fn or_returns_prior_view() {
+        let e = DirEntry::default();
+        let before = e.or_readers(node_bit(3));
+        assert_eq!(before.readers, 0);
+        let before = e.or_readers(node_bit(70));
+        assert_eq!(before.readers, node_bit(3));
+        assert_eq!(e.view().readers, node_bit(3) | node_bit(70));
+    }
+
+    #[test]
+    fn high_node_ids_use_second_word() {
+        let e = DirEntry::default();
+        e.or_writers(node_bit(127));
+        assert_eq!(e.view().writers, 1u128 << 127);
+    }
+
+    #[test]
+    fn store_view_overwrites() {
+        let e = DirEntry::default();
+        e.or_readers(node_bit(1));
+        e.store_view(DirView {
+            readers: node_bit(5),
+            writers: node_bit(6),
+        });
+        let v = e.view();
+        assert_eq!(v.readers, node_bit(5));
+        assert_eq!(v.writers, node_bit(6));
+        e.reset();
+        assert_eq!(e.view(), DirView::default());
+    }
+
+    #[test]
+    fn pyxis_shards_like_data_pages() {
+        let p = Pyxis::new(32);
+        // Pages 1 and 5 both live on home node 1; distinct entries.
+        p.entry(PageNum(1)).or_readers(node_bit(0));
+        assert_eq!(p.entry(PageNum(5)).view().readers, 0);
+        assert_eq!(p.entry(PageNum(1)).view().readers, node_bit(0));
+        p.reset_all();
+        assert_eq!(p.entry(PageNum(1)).view().readers, 0);
+    }
+
+    #[test]
+    fn dir_caches_are_per_node() {
+        let d = DirCaches::new(2, 16);
+        d.entry(0, PageNum(3)).or_view(DirView {
+            readers: node_bit(1),
+            writers: 0,
+        });
+        assert_eq!(d.entry(0, PageNum(3)).view().readers, node_bit(1));
+        assert_eq!(d.entry(1, PageNum(3)).view().readers, 0);
+    }
+
+    #[test]
+    fn concurrent_or_preserves_all_bits() {
+        use std::sync::Arc;
+        let e = Arc::new(DirEntry::default());
+        let handles: Vec<_> = (0..16u16)
+            .map(|n| {
+                let e = e.clone();
+                std::thread::spawn(move || {
+                    e.or_readers(node_bit(n));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(e.view().readers.count_ones(), 16);
+    }
+}

@@ -1,0 +1,1113 @@
+//! The Carina protocol engine.
+//!
+//! [`Dsm`] ties together the global memory, the Pyxis directory, the
+//! per-node directory caches, page caches and write buffers, and implements
+//! the access path of the paper's §3:
+//!
+//! - **Read miss** (§3.3): fetch a whole cache line of pages from their
+//!   homes, depositing our reader ID in each page's directory entry with a
+//!   remote fetch-or. The prior map tells us whether we caused a P→S
+//!   transition, in which case *we* notify the private owner by remotely
+//!   updating its directory cache (no handler runs anywhere).
+//! - **Write fault** (§3.5): first write to a page registers us as a
+//!   writer, possibly causing NW→SW (notify all sharers) or SW→MW (notify
+//!   the single writer), snapshots a twin for diffing, and enqueues the page
+//!   in the FIFO write buffer (§3.6.1) whose overflow downgrades the oldest
+//!   dirty page.
+//! - **SI fence** (§3.1): sweep the page cache and invalidate exactly what
+//!   Table 1 says for the configured classification mode.
+//! - **SD fence** (§3.1): drain the write buffer, diffing dirty pages
+//!   against their twins and posting the result to their homes; wait for
+//!   all posted writes to settle.
+//!
+//! Pages whose home is the accessing node are read and written directly in
+//! home memory (they are local); they still register in the directory so
+//! remote sharers classify them correctly.
+
+use crate::classification::{node_bit, ClassificationMode, DirView, PageClass};
+use crate::config::CarinaConfig;
+use crate::directory::{DirCaches, Pyxis};
+use crate::stats::CoherenceStats;
+use crate::write_buffer::WriteBuffer;
+use mem::cache::LineState;
+use mem::{GlobalAddr, GlobalAllocator, GlobalMemory, PageCache, PageNum, PAGE_BYTES};
+use simnet::{Interconnect, NodeId, SimThread};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Wire overhead of a downgrade message header (address + length).
+const DOWNGRADE_HEADER_BYTES: u64 = 32;
+/// Wire bytes per diffed word (8 data + 2 index).
+const DIFF_WORD_BYTES: u64 = 10;
+/// Wire footprint of a directory-cache notification (one entry).
+const NOTIFY_BYTES: u64 = 32;
+/// Per-word compute charge of bulk (streaming) slice access.
+const STREAM_WORD_CYCLES: u64 = 1;
+
+/// A lock-free page-indexed bitset: the fast-path mirror of "this node's
+/// bit is already in the directory maps", checked on every access.
+#[derive(Debug)]
+struct PageBitSet {
+    words: Vec<AtomicU64>,
+}
+
+impl PageBitSet {
+    fn new(pages: u64) -> Self {
+        PageBitSet {
+            words: (0..pages.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, page: PageNum) -> bool {
+        let w = (page.0 / 64) as usize;
+        self.words[w].load(Ordering::Relaxed) & (1 << (page.0 % 64)) != 0
+    }
+
+    #[inline]
+    fn set(&self, page: PageNum) {
+        let w = (page.0 / 64) as usize;
+        self.words[w].fetch_or(1 << (page.0 % 64), Ordering::Relaxed);
+    }
+
+    fn clear_all(&self) {
+        for w in &self.words {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Per-node coherence state.
+#[derive(Debug)]
+struct NodeState {
+    cache: PageCache,
+    wbuf: WriteBuffer,
+    /// Max settle time of writes this node has posted but not yet fenced.
+    pending_settle: AtomicU64,
+    /// Fast-path: pages this node has registered as reader / writer of.
+    reg_read: PageBitSet,
+    reg_write: PageBitSet,
+}
+
+/// The distributed shared memory: data plane plus the Carina protocol.
+///
+/// ```
+/// use carina::{CarinaConfig, Dsm};
+/// use mem::{GlobalAddr, PAGE_BYTES};
+/// use simnet::{ClusterTopology, CostModel, Interconnect, NodeId, SimThread};
+///
+/// let topo = ClusterTopology::tiny(2);
+/// let net = Interconnect::new(topo, CostModel::paper_2011());
+/// let dsm = Dsm::new(net.clone(), 1 << 20, CarinaConfig::default());
+/// let mut producer = SimThread::new(topo.loc(NodeId(0), 0), net.clone());
+/// let mut consumer = SimThread::new(topo.loc(NodeId(1), 0), net);
+///
+/// let addr = GlobalAddr(3 * PAGE_BYTES);
+/// dsm.write_u64(&mut producer, addr, 7);
+/// dsm.sd_fence(&mut producer); // release
+/// dsm.si_fence(&mut consumer); // acquire
+/// assert_eq!(dsm.read_u64(&mut consumer, addr), 7);
+/// ```
+#[derive(Debug)]
+pub struct Dsm {
+    global: GlobalMemory,
+    pyxis: Pyxis,
+    dir_caches: DirCaches,
+    allocator: GlobalAllocator,
+    net: Arc<Interconnect>,
+    config: CarinaConfig,
+    stats: CoherenceStats,
+    tracer: crate::trace::Tracer,
+    nodes: Vec<NodeState>,
+}
+
+impl Dsm {
+    /// Build a DSM over `net`'s topology with `bytes_per_node` of global
+    /// memory contributed by each node.
+    pub fn new(net: Arc<Interconnect>, bytes_per_node: u64, config: CarinaConfig) -> Arc<Self> {
+        let n = net.topology().nodes;
+        assert!(n <= 128, "Pyxis full maps support up to 128 nodes");
+        let global = GlobalMemory::with_policy(n, bytes_per_node, config.home_policy);
+        let total_pages = global.total_pages();
+        Arc::new(Dsm {
+            pyxis: Pyxis::new(total_pages),
+            dir_caches: DirCaches::new(n, total_pages),
+            allocator: GlobalAllocator::new(global.total_bytes()),
+            global,
+            net,
+            config,
+            stats: CoherenceStats::default(),
+            tracer: crate::trace::Tracer::new(4096),
+            nodes: (0..n)
+                .map(|_| NodeState {
+                    cache: PageCache::new(config.cache),
+                    wbuf: WriteBuffer::new(config.write_buffer_pages),
+                    pending_settle: AtomicU64::new(0),
+                    reg_read: PageBitSet::new(total_pages),
+                    reg_write: PageBitSet::new(total_pages),
+                })
+                .collect(),
+        })
+    }
+
+    #[inline]
+    pub fn config(&self) -> &CarinaConfig {
+        &self.config
+    }
+
+    #[inline]
+    pub fn net(&self) -> &Arc<Interconnect> {
+        &self.net
+    }
+
+    #[inline]
+    pub fn stats(&self) -> &CoherenceStats {
+        &self.stats
+    }
+
+    /// The protocol event tracer (disabled by default; see
+    /// [`crate::trace::Tracer::set_enabled`]).
+    #[inline]
+    pub fn tracer(&self) -> &crate::trace::Tracer {
+        &self.tracer
+    }
+
+    #[inline]
+    pub fn allocator(&self) -> &GlobalAllocator {
+        &self.allocator
+    }
+
+    #[inline]
+    pub fn total_bytes(&self) -> u64 {
+        self.global.total_bytes()
+    }
+
+    /// Home node of the page containing `addr`.
+    #[inline]
+    pub fn home_of(&self, addr: GlobalAddr) -> u16 {
+        self.global.home_of(addr.page())
+    }
+
+    /// Allocate page-aligned storage whose pages are **block-distributed**
+    /// across the cluster: the allocation's page range is split into equal
+    /// contiguous runs, one per node — so chunked access patterns touch
+    /// mostly-local homes. This is the per-allocation distribution hint the
+    /// paper leaves as future work (§3). Must be called before any access
+    /// to the range.
+    pub fn alloc_blocked(&self, bytes: u64) -> Result<GlobalAddr, mem::alloc::OutOfGlobalMemory> {
+        let pages = bytes.div_ceil(PAGE_BYTES);
+        let base = self.allocator.alloc(pages * PAGE_BYTES, PAGE_BYTES)?;
+        let nodes = self.nodes.len() as u64;
+        let first = base.page().0;
+        let per = pages.div_ceil(nodes);
+        for i in 0..pages {
+            let node = (i / per).min(nodes - 1) as u16;
+            self.global.set_home(PageNum(first + i), node);
+        }
+        Ok(base)
+    }
+
+    // ------------------------------------------------------------------
+    // Typed access path
+    // ------------------------------------------------------------------
+
+    /// Read an aligned 64-bit word at `addr`.
+    pub fn read_u64(&self, t: &mut SimThread, addr: GlobalAddr) -> u64 {
+        let page = addr.page();
+        let word = addr.word_index();
+        let me = t.node().0;
+        t.compute(self.config.hit_cycles);
+        if self.global.home_of(page) == me {
+            self.register_reader_home(t, page, me);
+            return self.global.home_page(page).load(word);
+        }
+        let ns = &self.nodes[me as usize];
+        let slot = ns.cache.slot_for(page);
+        let mut st = slot.lock();
+        let line = ns.cache.line_of(page);
+        let idx = ns.cache.index_in_line(page);
+        if st.tag == Some(line) && st.pages[idx].valid {
+            CoherenceStats::bump(&self.stats.read_hits);
+            let ready = st.ready_at;
+            let v = st.pages[idx].data().load(word);
+            t.merge(ready);
+            return v;
+        }
+        self.read_miss(t, &mut st, page, me);
+        st.pages[idx].data().load(word)
+    }
+
+    /// Write an aligned 64-bit word at `addr`.
+    pub fn write_u64(&self, t: &mut SimThread, addr: GlobalAddr, value: u64) {
+        let page = addr.page();
+        let word = addr.word_index();
+        let me = t.node().0;
+        t.compute(self.config.hit_cycles);
+        if self.global.home_of(page) == me {
+            self.register_writer_home(t, page, me);
+            self.global.home_page(page).store(word, value);
+            return;
+        }
+        let ns = &self.nodes[me as usize];
+        let slot = ns.cache.slot_for(page);
+        let mut st = slot.lock();
+        let line = ns.cache.line_of(page);
+        let idx = ns.cache.index_in_line(page);
+        if st.tag != Some(line) || !st.pages[idx].valid {
+            self.read_miss(t, &mut st, page, me); // write-allocate
+        }
+        let was_dirty = st.pages[idx].dirty;
+        if was_dirty {
+            CoherenceStats::bump(&self.stats.write_hits);
+            st.pages[idx].data().store(word, value);
+            return;
+        }
+        let buffered = self.write_fault_locked(t, &mut st, page, me);
+        st.pages[idx].data().store(word, value);
+        drop(st);
+        if buffered {
+            if let Some(victim) = ns.wbuf.push(page) {
+                self.downgrade(t, victim, me);
+            }
+        }
+    }
+
+    /// The clean→dirty transition of a cached page (a protection fault in
+    /// the real implementation): register as writer, snapshot a twin, mark
+    /// dirty. Returns whether the page should enter the write buffer; the
+    /// caller must push it after releasing the slot lock.
+    fn write_fault_locked(
+        &self,
+        t: &mut SimThread,
+        st: &mut LineState,
+        page: PageNum,
+        me: u16,
+    ) -> bool {
+        let ns = &self.nodes[me as usize];
+        let idx = ns.cache.index_in_line(page);
+        CoherenceStats::bump(&self.stats.write_faults);
+        self.tracer
+            .record(t.now(), || crate::trace::Event::WriteFault { node: me, page });
+        t.fault_trap();
+        self.register_writer(t, page, me);
+        let view = self.dir_caches.entry(me, page).view();
+        let need_twin = !(self.config.sw_no_diff && view.writers == node_bit(me));
+        if need_twin {
+            st.pages[idx].twin = Some(st.pages[idx].data().snapshot());
+            t.compute(self.config.page_copy_cycles);
+            CoherenceStats::bump(&self.stats.twins_created);
+        }
+        st.pages[idx].dirty = true;
+        view.must_self_downgrade(self.config.mode, me)
+    }
+
+    /// Read an aligned f64.
+    pub fn read_f64(&self, t: &mut SimThread, addr: GlobalAddr) -> f64 {
+        f64::from_bits(self.read_u64(t, addr))
+    }
+
+    /// Write an aligned f64.
+    pub fn write_f64(&self, t: &mut SimThread, addr: GlobalAddr, value: f64) {
+        self.write_u64(t, addr, value.to_bits());
+    }
+
+    /// Bulk read of `out.len()` consecutive words starting at `addr`.
+    ///
+    /// Semantically identical to a loop of [`Self::read_u64`], but the
+    /// protocol work (slot locking, hit check) is done once per *page* and
+    /// streaming words are charged [`STREAM_WORD_CYCLES`] each — modeling a
+    /// loop whose per-element cost is hidden by hardware caches. Workload
+    /// kernels use this for row-contiguous access.
+    pub fn read_u64_slice(&self, t: &mut SimThread, addr: GlobalAddr, out: &mut [u64]) {
+        let me = t.node().0;
+        let mut i = 0usize;
+        while i < out.len() {
+            let a = addr.offset(i as u64 * 8);
+            let page = a.page();
+            let first_word = a.word_index();
+            let run = (mem::WORDS_PER_PAGE - first_word).min(out.len() - i);
+            t.compute(self.config.hit_cycles + run as u64 * STREAM_WORD_CYCLES);
+            if self.global.home_of(page) == me {
+                self.register_reader_home(t, page, me);
+                let hp = self.global.home_page(page);
+                for k in 0..run {
+                    out[i + k] = hp.load(first_word + k);
+                }
+            } else {
+                let ns = &self.nodes[me as usize];
+                let slot = ns.cache.slot_for(page);
+                let mut st = slot.lock();
+                let line = ns.cache.line_of(page);
+                let idx = ns.cache.index_in_line(page);
+                if st.tag == Some(line) && st.pages[idx].valid {
+                    CoherenceStats::bump(&self.stats.read_hits);
+                    t.merge(st.ready_at);
+                } else {
+                    self.read_miss(t, &mut st, page, me);
+                }
+                let data = st.pages[idx].data();
+                for k in 0..run {
+                    out[i + k] = data.load(first_word + k);
+                }
+            }
+            i += run;
+        }
+    }
+
+    /// Bulk write of consecutive words (see [`Self::read_u64_slice`]).
+    pub fn write_u64_slice(&self, t: &mut SimThread, addr: GlobalAddr, data: &[u64]) {
+        let me = t.node().0;
+        let mut i = 0usize;
+        while i < data.len() {
+            let a = addr.offset(i as u64 * 8);
+            let page = a.page();
+            let first_word = a.word_index();
+            let run = (mem::WORDS_PER_PAGE - first_word).min(data.len() - i);
+            t.compute(self.config.hit_cycles + run as u64 * STREAM_WORD_CYCLES);
+            if self.global.home_of(page) == me {
+                self.register_writer_home(t, page, me);
+                let hp = self.global.home_page(page);
+                for k in 0..run {
+                    hp.store(first_word + k, data[i + k]);
+                }
+            } else {
+                let ns = &self.nodes[me as usize];
+                let slot = ns.cache.slot_for(page);
+                let mut st = slot.lock();
+                let line = ns.cache.line_of(page);
+                let idx = ns.cache.index_in_line(page);
+                if st.tag != Some(line) || !st.pages[idx].valid {
+                    self.read_miss(t, &mut st, page, me); // write-allocate
+                }
+                let buffered = if st.pages[idx].dirty {
+                    CoherenceStats::bump(&self.stats.write_hits);
+                    false
+                } else {
+                    self.write_fault_locked(t, &mut st, page, me)
+                };
+                let pd = st.pages[idx].data();
+                for k in 0..run {
+                    pd.store(first_word + k, data[i + k]);
+                }
+                drop(st);
+                if buffered {
+                    if let Some(victim) = ns.wbuf.push(page) {
+                        self.downgrade(t, victim, me);
+                    }
+                }
+            }
+            i += run;
+        }
+    }
+
+    /// Bulk f64 read (see [`Self::read_u64_slice`]).
+    pub fn read_f64_slice(&self, t: &mut SimThread, addr: GlobalAddr, out: &mut [f64]) {
+        // Reuse the u64 path through a scratch reinterpretation.
+        let mut tmp = vec![0u64; out.len()];
+        self.read_u64_slice(t, addr, &mut tmp);
+        for (o, w) in out.iter_mut().zip(tmp) {
+            *o = f64::from_bits(w);
+        }
+    }
+
+    /// Bulk f64 write (see [`Self::write_u64_slice`]).
+    pub fn write_f64_slice(&self, t: &mut SimThread, addr: GlobalAddr, data: &[f64]) {
+        let tmp: Vec<u64> = data.iter().map(|v| v.to_bits()).collect();
+        self.write_u64_slice(t, addr, &tmp);
+    }
+
+    // ------------------------------------------------------------------
+    // Fences
+    // ------------------------------------------------------------------
+
+    /// Self-invalidation fence (acquire side): invalidate every cached page
+    /// that Table 1 requires for the configured mode. Dirty pages are
+    /// downgraded before invalidation so no write is lost.
+    pub fn si_fence(&self, t: &mut SimThread) {
+        let me = t.node().0;
+        CoherenceStats::bump(&self.stats.si_fences);
+        self.tracer.record(t.now(), || crate::trace::Event::Fence {
+            node: me,
+            kind: crate::trace::FenceKind::SelfInvalidate,
+        });
+        let ns = &self.nodes[me as usize];
+        for slot in ns.cache.slots() {
+            let mut st = slot.lock();
+            let Some(tag) = st.tag else { continue };
+            let base = ns.cache.line_base(tag);
+            for idx in 0..st.pages.len() {
+                if !st.pages[idx].valid {
+                    continue;
+                }
+                let page = PageNum(base.0 + idx as u64);
+                t.compute(self.config.fence_scan_cycles);
+                let view = self.dir_caches.entry(me, page).view();
+                if view.must_self_invalidate(self.config.mode, me) {
+                    if st.pages[idx].dirty {
+                        self.downgrade_locked(t, &mut st, page, me);
+                        ns.wbuf.remove(page);
+                    }
+                    st.pages[idx].invalidate();
+                    t.compute(self.config.protect_cycles);
+                    CoherenceStats::bump(&self.stats.si_invalidated);
+                    self.tracer.record(t.now(), || crate::trace::Event::SiInvalidate {
+                        node: me,
+                        page,
+                    });
+                } else {
+                    CoherenceStats::bump(&self.stats.si_kept);
+                    self.tracer
+                        .record(t.now(), || crate::trace::Event::SiKeep { node: me, page });
+                }
+            }
+        }
+    }
+
+    /// Self-downgrade fence (release side): drain the write buffer and wait
+    /// for every posted write of this node to settle at its home.
+    pub fn sd_fence(&self, t: &mut SimThread) {
+        let me = t.node().0;
+        CoherenceStats::bump(&self.stats.sd_fences);
+        self.tracer.record(t.now(), || crate::trace::Event::Fence {
+            node: me,
+            kind: crate::trace::FenceKind::SelfDowngrade,
+        });
+        let ns = &self.nodes[me as usize];
+        for page in ns.wbuf.drain() {
+            self.downgrade(t, page, me);
+        }
+        if self.config.mode == ClassificationMode::PsNaive {
+            self.naive_checkpoint_sweep(t, me);
+        }
+        // Wait for posted downgrades/notifications to become globally
+        // visible. `pending_settle` carries the settle time of every write
+        // this node posted (including its NIC serialization), which is
+        // exactly the set the fence must await — the NIC timeline itself
+        // also holds *other* nodes' future reservations and must not be
+        // merged wholesale.
+        t.merge(ns.pending_settle.load(Ordering::Acquire));
+    }
+
+    /// The naïve P/S scheme's sync-point obligation (§3.4.2): checkpoint
+    /// every modified private page so a later P→S transition can be
+    /// serviced. The page stays dirty and private; the checkpoint cost is
+    /// paid at *every* synchronization point — which is why Figure 8 shows
+    /// naïve P/S performing no better than no classification at all.
+    fn naive_checkpoint_sweep(&self, t: &mut SimThread, me: u16) {
+        let ns = &self.nodes[me as usize];
+        for slot in ns.cache.slots() {
+            let mut st = slot.lock();
+            let Some(tag) = st.tag else { continue };
+            let base = ns.cache.line_base(tag);
+            for idx in 0..st.pages.len() {
+                if !st.pages[idx].valid || !st.pages[idx].dirty {
+                    continue;
+                }
+                let page = PageNum(base.0 + idx as u64);
+                let view = self.dir_caches.entry(me, page).view();
+                if view.page_class() == PageClass::Private {
+                    // Local checkpoint copy; the simulator also quietly
+                    // deposits the data at home so a later P→S reader finds
+                    // it (the newcomer is charged the checkpoint-service
+                    // round trip at transition time instead). The copy is
+                    // cold — the sweep touches pages no CPU cache holds.
+                    t.compute(self.config.checkpoint_cycles);
+                    CoherenceStats::bump(&self.stats.checkpoints);
+                    self.tracer.record(t.now(), || crate::trace::Event::Checkpoint {
+                        node: me,
+                        page,
+                    });
+                    self.silently_write_through(&st, page, idx);
+                } else {
+                    // Became shared since the write fault: downgrade now.
+                    self.downgrade_locked(t, &mut st, page, me);
+                }
+            }
+        }
+    }
+
+    fn silently_write_through(&self, st: &LineState, page: PageNum, idx: usize) {
+        let home = self.global.home_page(page);
+        match &st.pages[idx].twin {
+            Some(twin) => home.apply_diff(&st.pages[idx].data().diff_against(twin)),
+            None => home.copy_from(st.pages[idx].data()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Miss handling
+    // ------------------------------------------------------------------
+
+    /// Handle a read miss on `page`: evict/flush the conflicting line if
+    /// needed, then fetch the whole line from the pages' homes, registering
+    /// as a reader of each fetched page.
+    fn read_miss(&self, t: &mut SimThread, st: &mut LineState, page: PageNum, me: u16) {
+        CoherenceStats::bump(&self.stats.read_misses);
+        self.tracer
+            .record(t.now(), || crate::trace::Event::ReadMiss { node: me, page });
+        t.fault_trap();
+        let ns = &self.nodes[me as usize];
+        let line = ns.cache.line_of(page);
+        if st.tag != Some(line) {
+            // Conflict eviction: flush dirty pages of the old line.
+            if let Some(old) = st.tag {
+                let old_base = ns.cache.line_base(old);
+                let mut evicted_live = false;
+                for idx in 0..st.pages.len() {
+                    if st.pages[idx].valid {
+                        evicted_live = true;
+                        if st.pages[idx].dirty {
+                            let old_page = PageNum(old_base.0 + idx as u64);
+                            self.downgrade_locked(t, st, old_page, me);
+                            ns.wbuf.remove(old_page);
+                        }
+                    }
+                }
+                if evicted_live {
+                    CoherenceStats::bump(&self.stats.evictions);
+                }
+            }
+            st.retag(line);
+        }
+        // Fetch every not-yet-valid remote page of the line, grouped by
+        // home so transfers to distinct homes overlap (pipelined one-sided
+        // reads issued back to back).
+        let base = ns.cache.line_base(line);
+        let total_pages = self.global.total_pages();
+        let start = t.now();
+        let mut done = start;
+        let mut group: Vec<(u16, Vec<usize>)> = Vec::new();
+        for idx in 0..st.pages.len() {
+            let p = PageNum(base.0 + idx as u64);
+            if p.0 >= total_pages || st.pages[idx].valid {
+                continue;
+            }
+            let home = self.global.home_of(p);
+            if home == me {
+                continue; // local pages are never cached
+            }
+            match group.iter_mut().find(|(h, _)| *h == home) {
+                Some((_, v)) => v.push(idx),
+                None => group.push((home, vec![idx])),
+            }
+        }
+        for (home, idxs) in &group {
+            // Directory registrations for the group's pages are issued
+            // back-to-back (pipelined one-sided atomics: latencies overlap,
+            // only wire occupancy serializes), then one read of the group's
+            // pages. Groups for distinct homes also overlap.
+            let mut reg_done = start;
+            for &idx in idxs {
+                let p = PageNum(base.0 + idx as u64);
+                if let Some(completed) = self.register_reader_remote(t, p, me, *home, start) {
+                    reg_done = reg_done.max(completed);
+                }
+            }
+            let bytes = idxs.len() as u64 * PAGE_BYTES;
+            let timing = self.net.rdma_read(t.loc(), NodeId(*home), reg_done, bytes);
+            done = done.max(timing.initiator_done);
+            for &idx in idxs {
+                let p = PageNum(base.0 + idx as u64);
+                st.pages[idx].data_mut().copy_from(self.global.home_page(p));
+                st.pages[idx].valid = true;
+                st.pages[idx].dirty = false;
+                st.pages[idx].twin = None;
+            }
+        }
+        t.merge(done);
+        st.ready_at = t.now();
+    }
+
+    // ------------------------------------------------------------------
+    // Directory registration & notifications
+    // ------------------------------------------------------------------
+
+    /// Register as a reader of a page homed here (local, cheap).
+    fn register_reader_home(&self, t: &mut SimThread, page: PageNum, me: u16) {
+        let ns = &self.nodes[me as usize];
+        if ns.reg_read.get(page) {
+            return;
+        }
+        t.dram_access();
+        let before = self.pyxis.entry(page).or_readers(node_bit(me));
+        let after = DirView {
+            readers: before.readers | node_bit(me),
+            writers: before.writers,
+        };
+        self.dir_caches.entry(me, page).store_view(after);
+        ns.reg_read.set(page);
+        self.handle_read_transition(t, page, me, before, after);
+    }
+
+    /// Register as a reader of `page` at remote `home`, issuing the
+    /// directory atomic at virtual time `start` (pipelined with the rest
+    /// of its line-fill group). Returns the completion time, or `None` if
+    /// no directory access was needed.
+    fn register_reader_remote(
+        &self,
+        t: &mut SimThread,
+        page: PageNum,
+        me: u16,
+        home: u16,
+        start: u64,
+    ) -> Option<u64> {
+        if self.nodes[me as usize].reg_read.get(page) {
+            // Already a registered reader: refresh is piggy-backed on the
+            // data fetch (no separate atomic).
+            return None;
+        }
+        let timing = self.net.rdma_atomic(t.loc(), NodeId(home), start);
+        let mut op_clock = timing.initiator_done;
+        if self.config.active_directory {
+            op_clock += self.net.cost().handler_cycles;
+            self.net
+                .stats()
+                .handler_invocations
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let before = self.pyxis.entry(page).or_readers(node_bit(me));
+        let after = DirView {
+            readers: before.readers | node_bit(me),
+            writers: before.writers,
+        };
+        self.dir_caches.entry(me, page).store_view(after);
+        self.nodes[me as usize].reg_read.set(page);
+        self.handle_read_transition(t, page, me, before, after);
+        Some(op_clock)
+    }
+
+    /// Detect and service a P→S transition caused by our read.
+    fn handle_read_transition(
+        &self,
+        t: &mut SimThread,
+        page: PageNum,
+        me: u16,
+        before: DirView,
+        after: DirView,
+    ) {
+        let prior = before.accessors();
+        if prior != 0 && prior & node_bit(me) == 0 && prior.count_ones() == 1 {
+            let owner = prior.trailing_zeros() as u16;
+            CoherenceStats::bump(&self.stats.p_to_s);
+            self.tracer.record(t.now(), || crate::trace::Event::PToS {
+                page,
+                newcomer: me,
+                owner,
+            });
+            self.notify(t, owner, page, after, me);
+            if self.config.mode == ClassificationMode::PsNaive {
+                // Service the transition from the owner's checkpoint: one
+                // extra round trip to the owner (§3.4.2 "naïve solution").
+                let timing = self.net.rdma_read(t.loc(), NodeId(owner), t.now(), PAGE_BYTES);
+                t.merge(timing.initiator_done);
+            }
+        }
+    }
+
+    /// Register as a writer of a page homed here.
+    fn register_writer_home(&self, t: &mut SimThread, page: PageNum, me: u16) {
+        if self.nodes[me as usize].reg_write.get(page) {
+            return;
+        }
+        t.dram_access();
+        self.register_writer_common(t, page, me);
+    }
+
+    /// Register as a writer of a (remote) page; charges the directory
+    /// atomic unless we are already registered.
+    fn register_writer(&self, t: &mut SimThread, page: PageNum, me: u16) {
+        if self.nodes[me as usize].reg_write.get(page) {
+            return;
+        }
+        let home = self.global.home_of(page);
+        t.rdma_atomic(NodeId(home));
+        if self.config.active_directory {
+            t.compute(self.net.cost().handler_cycles);
+            self.net
+                .stats()
+                .handler_invocations
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        self.register_writer_common(t, page, me);
+    }
+
+    fn register_writer_common(&self, t: &mut SimThread, page: PageNum, me: u16) {
+        let before = self.pyxis.entry(page).or_writers(node_bit(me));
+        let after = DirView {
+            readers: before.readers,
+            writers: before.writers | node_bit(me),
+        };
+        self.dir_caches.entry(me, page).store_view(after);
+        self.nodes[me as usize].reg_write.set(page);
+
+        // P→S caused by a write from a new node (§3.5 "Private, but written
+        // by a new node").
+        let prior = before.accessors();
+        if prior != 0 && prior & node_bit(me) == 0 && prior.count_ones() == 1 {
+            let owner = prior.trailing_zeros() as u16;
+            CoherenceStats::bump(&self.stats.p_to_s);
+            self.tracer.record(t.now(), || crate::trace::Event::PToS {
+                page,
+                newcomer: me,
+                owner,
+            });
+            self.notify(t, owner, page, after, me);
+        }
+        // Writer-class transitions.
+        match before.writers.count_ones() {
+            0 => {
+                // NW→SW. If the page is shared, every node caching it must
+                // learn there is now a writer (§3.5 "Shared, NW").
+                if prior.count_ones() > 1 || (prior != 0 && prior & node_bit(me) == 0) {
+                    CoherenceStats::bump(&self.stats.nw_to_sw);
+                    self.tracer.record(t.now(), || crate::trace::Event::NwToSw {
+                        page,
+                        writer: me,
+                    });
+                    let mut others = prior & !node_bit(me);
+                    while others != 0 {
+                        let n = others.trailing_zeros() as u16;
+                        others &= others - 1;
+                        self.notify(t, n, page, after, me);
+                    }
+                }
+            }
+            1 if before.writers & node_bit(me) == 0 => {
+                // SW→MW: only the previous single writer needs to know
+                // (§3.5 "Shared, SW"); for everyone else SW and MW are
+                // equivalent.
+                CoherenceStats::bump(&self.stats.sw_to_mw);
+                let w = before.writers.trailing_zeros() as u16;
+                self.tracer.record(t.now(), || crate::trace::Event::SwToMw {
+                    page,
+                    new_writer: me,
+                    old_writer: w,
+                });
+                self.notify(t, w, page, after, me);
+            }
+            _ => {}
+        }
+    }
+
+    /// Remotely update `target`'s directory cache entry for `page` — the
+    /// passive notification mechanism. A posted one-sided write; no code
+    /// runs at `target`.
+    fn notify(&self, t: &mut SimThread, target: u16, page: PageNum, view: DirView, me: u16) {
+        if target == me {
+            return;
+        }
+        self.dir_caches.entry(target, page).or_view(view);
+        self.tracer.record(t.now(), || crate::trace::Event::Notify {
+            from: me,
+            to: target,
+            page,
+        });
+        let timing = self.net.rdma_write(t.loc(), NodeId(target), t.now(), NOTIFY_BYTES);
+        t.merge(timing.initiator_done);
+        if self.config.active_directory {
+            t.compute(self.net.cost().handler_cycles);
+            self.net
+                .stats()
+                .handler_invocations
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        self.nodes[me as usize]
+            .pending_settle
+            .fetch_max(timing.settled, Ordering::AcqRel);
+    }
+
+    // ------------------------------------------------------------------
+    // Downgrades
+    // ------------------------------------------------------------------
+
+    /// Downgrade `page` (write its dirty data back to home), locking its
+    /// slot. Used by write-buffer overflow and fence drains.
+    fn downgrade(&self, t: &mut SimThread, page: PageNum, me: u16) {
+        let ns = &self.nodes[me as usize];
+        let slot = ns.cache.slot_for(page);
+        let mut st = slot.lock();
+        if st.tag != Some(ns.cache.line_of(page)) {
+            return; // evicted (and flushed) since it was buffered
+        }
+        self.downgrade_locked(t, &mut st, page, me);
+    }
+
+    /// Downgrade with the slot lock already held.
+    fn downgrade_locked(&self, t: &mut SimThread, st: &mut LineState, page: PageNum, me: u16) {
+        let ns = &self.nodes[me as usize];
+        let idx = ns.cache.index_in_line(page);
+        let cp = &mut st.pages[idx];
+        if !cp.valid || !cp.dirty {
+            return;
+        }
+        let home = self.global.home_of(page);
+        let home_page = self.global.home_page(page);
+        let view = self.dir_caches.entry(me, page).view();
+        // A single writer may skip diff transmission: no other node can
+        // have written this page, so the whole page is safe to send and the
+        // diff computation is saved (the sw_no_diff extension; paper §3.2
+        // leaves it as future work).
+        let sw_skip = self.config.sw_no_diff && view.writers == node_bit(me);
+        let bytes = match (&cp.twin, sw_skip) {
+            (Some(twin), false) => {
+                t.compute(self.config.page_copy_cycles); // diff scan
+                let diff = cp.data().diff_against(twin);
+                let diff_bytes =
+                    DOWNGRADE_HEADER_BYTES + diff.len() as u64 * DIFF_WORD_BYTES;
+                if diff_bytes < PAGE_BYTES {
+                    CoherenceStats::add(&self.stats.diff_words, diff.len() as u64);
+                    home_page.apply_diff(&diff);
+                    diff_bytes
+                } else {
+                    home_page.copy_from(cp.data());
+                    PAGE_BYTES
+                }
+            }
+            _ => {
+                home_page.copy_from(cp.data());
+                PAGE_BYTES
+            }
+        };
+        cp.dirty = false;
+        cp.twin = None;
+        // The real implementation re-protects the page read-only so the
+        // next write faults again.
+        t.compute(self.config.protect_cycles);
+        if home == me {
+            // Cannot happen: local pages are never cached. Kept as a guard.
+            return;
+        }
+        let timing = self.net.rdma_write(t.loc(), NodeId(home), t.now(), bytes);
+        t.merge(timing.initiator_done);
+        ns.pending_settle.fetch_max(timing.settled, Ordering::AcqRel);
+        CoherenceStats::bump(&self.stats.writebacks);
+        CoherenceStats::add(&self.stats.writeback_bytes, bytes);
+        self.tracer.record(t.now(), || crate::trace::Event::Downgrade {
+            node: me,
+            page,
+            bytes,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Phase control
+    // ------------------------------------------------------------------
+
+    /// End-of-initialization reset (paper §3.4): initialization writes do
+    /// not count toward classification. Flushes all caches to home (data
+    /// plane only — initialization is excluded from measurements), then
+    /// nulls every reader/writer map, directory cache, and statistic.
+    pub fn reset_for_parallel_section(&self) {
+        for (n, ns) in self.nodes.iter().enumerate() {
+            let _ = n;
+            for slot in ns.cache.slots() {
+                let mut st = slot.lock();
+                let Some(tag) = st.tag else { continue };
+                let base = ns.cache.line_base(tag);
+                for idx in 0..st.pages.len() {
+                    if st.pages[idx].valid && st.pages[idx].dirty {
+                        let page = PageNum(base.0 + idx as u64);
+                        self.silently_write_through(&st, page, idx);
+                    }
+                    st.pages[idx].invalidate();
+                }
+                st.tag = None;
+                st.ready_at = 0;
+            }
+            let _ = ns.wbuf.drain();
+            ns.pending_settle.store(0, Ordering::Release);
+            ns.reg_read.clear_all();
+            ns.reg_write.clear_all();
+        }
+        self.pyxis.reset_all();
+        self.dir_caches.reset_all();
+        self.stats.reset();
+    }
+
+    /// Adaptive classification by decay — the extension the paper sketches
+    /// in §3.2 ("straightforward to extend the classification to adaptive
+    /// … using simple decay techniques"). A *collective* operation: the
+    /// caller (one thread, with every other thread quiescent at a barrier)
+    /// flushes and invalidates every node's cache and nulls all
+    /// reader/writer maps, so pages re-classify according to the access
+    /// pattern of the *next* phase. Unlike
+    /// [`Self::reset_for_parallel_section`], all work is charged to the
+    /// calling thread's clock and statistics are preserved.
+    pub fn decay_classification(&self, t: &mut SimThread) {
+        let me = t.node().0;
+        for (n, ns) in self.nodes.iter().enumerate() {
+            for slot in ns.cache.slots() {
+                let mut st = slot.lock();
+                let Some(tag) = st.tag else { continue };
+                let base = ns.cache.line_base(tag);
+                for idx in 0..st.pages.len() {
+                    if !st.pages[idx].valid {
+                        continue;
+                    }
+                    t.compute(self.config.fence_scan_cycles);
+                    if st.pages[idx].dirty {
+                        let page = PageNum(base.0 + idx as u64);
+                        // Downgrade on behalf of the owning node; charge
+                        // the decay initiator (it coordinates the epoch).
+                        self.downgrade_as(t, &mut st, page, n as u16);
+                        ns.wbuf.remove(page);
+                    }
+                    st.pages[idx].invalidate();
+                    t.compute(self.config.protect_cycles);
+                    CoherenceStats::bump(&self.stats.si_invalidated);
+                }
+                st.tag = None;
+                st.ready_at = 0;
+            }
+            ns.pending_settle.store(0, Ordering::Release);
+            ns.reg_read.clear_all();
+            ns.reg_write.clear_all();
+        }
+        self.pyxis.reset_all();
+        self.dir_caches.reset_all();
+        CoherenceStats::bump(&self.stats.decays);
+        let _ = me;
+    }
+
+    /// [`Self::downgrade_locked`] but writing back on behalf of node
+    /// `owner` (used by the collective decay, where one thread flushes
+    /// every node's cache).
+    fn downgrade_as(&self, t: &mut SimThread, st: &mut LineState, page: PageNum, owner: u16) {
+        let ns = &self.nodes[owner as usize];
+        let idx = ns.cache.index_in_line(page);
+        let cp = &mut st.pages[idx];
+        if !cp.valid || !cp.dirty {
+            return;
+        }
+        let home = self.global.home_of(page);
+        let home_page = self.global.home_page(page);
+        let bytes = match &cp.twin {
+            Some(twin) => {
+                t.compute(self.config.page_copy_cycles);
+                let diff = cp.data().diff_against(twin);
+                let diff_bytes = DOWNGRADE_HEADER_BYTES + diff.len() as u64 * DIFF_WORD_BYTES;
+                if diff_bytes < PAGE_BYTES {
+                    CoherenceStats::add(&self.stats.diff_words, diff.len() as u64);
+                    home_page.apply_diff(&diff);
+                    diff_bytes
+                } else {
+                    home_page.copy_from(cp.data());
+                    PAGE_BYTES
+                }
+            }
+            None => {
+                home_page.copy_from(cp.data());
+                PAGE_BYTES
+            }
+        };
+        cp.dirty = false;
+        cp.twin = None;
+        if home != owner {
+            let timing = self.net.rdma_write(t.loc(), NodeId(home), t.now(), bytes);
+            t.merge(timing.settled);
+            CoherenceStats::bump(&self.stats.writebacks);
+            CoherenceStats::add(&self.stats.writeback_bytes, bytes);
+        }
+    }
+
+    /// Check the protocol's internal invariants; returns a list of
+    /// violations (empty = healthy). Intended for tests and debugging at
+    /// quiescent points (no concurrent accesses):
+    ///
+    /// 1. A dirty cached page always has its writer bit registered.
+    /// 2. Clean pages hold no twin; dirty pages are valid.
+    /// 3. In P/S3 and AllShared modes, a quiescent node's write buffer
+    ///    contains exactly its dirty page set (no leaks, no strays).
+    /// 4. Every registered fast-path bit is reflected in the home maps.
+    /// 5. Cached pages are never homed on the caching node.
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for (n, ns) in self.nodes.iter().enumerate() {
+            let me = n as u16;
+            let mut dirty_pages = Vec::new();
+            for slot in ns.cache.slots() {
+                let st = slot.lock();
+                let Some(tag) = st.tag else { continue };
+                let base = ns.cache.line_base(tag);
+                for idx in 0..st.pages.len() {
+                    let page = PageNum(base.0 + idx as u64);
+                    let cp = &st.pages[idx];
+                    if cp.valid && self.global.home_of(page) == me {
+                        problems.push(format!("n{n}: caches its own home page {}", page.0));
+                    }
+                    if cp.dirty {
+                        if !cp.valid {
+                            problems.push(format!("n{n}: dirty but invalid page {}", page.0));
+                        }
+                        dirty_pages.push(page);
+                        let home = self.pyxis.entry(page).view();
+                        if home.writers & node_bit(me) == 0 {
+                            problems.push(format!(
+                                "n{n}: dirty page {} without writer registration",
+                                page.0
+                            ));
+                        }
+                    } else if cp.twin.is_some() {
+                        problems.push(format!("n{n}: clean page {} holds a twin", page.0));
+                    }
+                }
+            }
+            if self.config.mode != ClassificationMode::PsNaive {
+                let mut buffered = {
+                    let b = ns.wbuf.drain();
+                    for &q in &b {
+                        let _ = ns.wbuf.push(q); // restore
+                    }
+                    b
+                };
+                buffered.sort_unstable();
+                let mut dirty = dirty_pages.clone();
+                dirty.sort_unstable();
+                if buffered != dirty {
+                    problems.push(format!(
+                        "n{n}: write buffer {:?} != dirty set {:?}",
+                        buffered.iter().map(|q| q.0).collect::<Vec<_>>(),
+                        dirty.iter().map(|q| q.0).collect::<Vec<_>>()
+                    ));
+                }
+            }
+            // Fast-path bitsets must be a subset of the home maps.
+            for q in 0..self.global.total_pages() {
+                let page = PageNum(q);
+                let home = self.pyxis.entry(page).view();
+                if ns.reg_read.get(page) && home.readers & node_bit(me) == 0 {
+                    problems.push(format!("n{n}: reg_read bit for {q} not in home map"));
+                }
+                if ns.reg_write.get(page) && home.writers & node_bit(me) == 0 {
+                    problems.push(format!("n{n}: reg_write bit for {q} not in home map"));
+                }
+            }
+        }
+        problems
+    }
+
+    /// Data-plane read of the home copy, bypassing caches and charging no
+    /// time. Used by PGAS mode (which has no caching by design) and by test
+    /// assertions on final memory contents.
+    pub fn peek_u64(&self, addr: GlobalAddr) -> u64 {
+        self.global.home_page(addr.page()).load(addr.word_index())
+    }
+
+    /// Data-plane write of the home copy (see [`Self::peek_u64`]).
+    pub fn poke_u64(&self, addr: GlobalAddr, value: u64) {
+        self.global
+            .home_page(addr.page())
+            .store(addr.word_index(), value)
+    }
+
+    /// The directory view a node currently holds for `addr`'s page
+    /// (test/diagnostic aid).
+    pub fn dir_view(&self, node: u16, addr: GlobalAddr) -> DirView {
+        self.dir_caches.entry(node, addr.page()).view()
+    }
+
+    /// The authoritative home directory view for `addr`'s page.
+    pub fn home_dir_view(&self, addr: GlobalAddr) -> DirView {
+        self.pyxis.entry(addr.page()).view()
+    }
+}

@@ -1,0 +1,163 @@
+//! Coherence event counters.
+//!
+//! These drive the paper's protocol-characterization figures: Figure 8
+//! (self-invalidations avoided per classification mode) and Figure 10
+//! (writebacks vs write-buffer size), plus the ablation benches.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cluster-wide coherence event counters (Relaxed; read after joins).
+#[derive(Debug, Default)]
+pub struct CoherenceStats {
+    pub read_hits: AtomicU64,
+    pub write_hits: AtomicU64,
+    pub read_misses: AtomicU64,
+    /// Protection faults on a valid page (first write after a downgrade).
+    pub write_faults: AtomicU64,
+    /// Pages invalidated by SI fences.
+    pub si_invalidated: AtomicU64,
+    /// Pages an SI fence kept because classification said so.
+    pub si_kept: AtomicU64,
+    /// Dirty pages written back to their home (buffer overflow, fence, or
+    /// eviction).
+    pub writebacks: AtomicU64,
+    /// Bytes of downgrade traffic (diffs or whole pages).
+    pub writeback_bytes: AtomicU64,
+    /// Twin snapshots created on write faults.
+    pub twins_created: AtomicU64,
+    /// Words carried by diffs (vs whole-page transfers).
+    pub diff_words: AtomicU64,
+    /// Private-page checkpoints taken at sync points (naïve P/S only).
+    pub checkpoints: AtomicU64,
+    /// Classification transitions observed.
+    pub p_to_s: AtomicU64,
+    pub nw_to_sw: AtomicU64,
+    pub sw_to_mw: AtomicU64,
+    /// Lines evicted with live contents due to direct-map conflicts.
+    pub evictions: AtomicU64,
+    /// SI fences executed.
+    pub si_fences: AtomicU64,
+    /// SD fences executed.
+    pub sd_fences: AtomicU64,
+    /// Collective classification decays performed (adaptive extension).
+    pub decays: AtomicU64,
+}
+
+/// Plain snapshot of [`CoherenceStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoherenceSnapshot {
+    pub read_hits: u64,
+    pub write_hits: u64,
+    pub read_misses: u64,
+    pub write_faults: u64,
+    pub si_invalidated: u64,
+    pub si_kept: u64,
+    pub writebacks: u64,
+    pub writeback_bytes: u64,
+    pub twins_created: u64,
+    pub diff_words: u64,
+    pub checkpoints: u64,
+    pub p_to_s: u64,
+    pub nw_to_sw: u64,
+    pub sw_to_mw: u64,
+    pub evictions: u64,
+    pub si_fences: u64,
+    pub sd_fences: u64,
+    pub decays: u64,
+}
+
+impl CoherenceStats {
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> CoherenceSnapshot {
+        let l = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        CoherenceSnapshot {
+            read_hits: l(&self.read_hits),
+            write_hits: l(&self.write_hits),
+            read_misses: l(&self.read_misses),
+            write_faults: l(&self.write_faults),
+            si_invalidated: l(&self.si_invalidated),
+            si_kept: l(&self.si_kept),
+            writebacks: l(&self.writebacks),
+            writeback_bytes: l(&self.writeback_bytes),
+            twins_created: l(&self.twins_created),
+            diff_words: l(&self.diff_words),
+            checkpoints: l(&self.checkpoints),
+            p_to_s: l(&self.p_to_s),
+            nw_to_sw: l(&self.nw_to_sw),
+            sw_to_mw: l(&self.sw_to_mw),
+            evictions: l(&self.evictions),
+            si_fences: l(&self.si_fences),
+            sd_fences: l(&self.sd_fences),
+            decays: l(&self.decays),
+        }
+    }
+
+    pub fn reset(&self) {
+        let z = |c: &AtomicU64| c.store(0, Ordering::Relaxed);
+        z(&self.read_hits);
+        z(&self.write_hits);
+        z(&self.read_misses);
+        z(&self.write_faults);
+        z(&self.si_invalidated);
+        z(&self.si_kept);
+        z(&self.writebacks);
+        z(&self.writeback_bytes);
+        z(&self.twins_created);
+        z(&self.diff_words);
+        z(&self.checkpoints);
+        z(&self.p_to_s);
+        z(&self.nw_to_sw);
+        z(&self.sw_to_mw);
+        z(&self.evictions);
+        z(&self.si_fences);
+        z(&self.sd_fences);
+        z(&self.decays);
+    }
+}
+
+impl CoherenceSnapshot {
+    /// Fraction of SI-fence page examinations that resulted in keeping the
+    /// page — the benefit classification buys (higher is better).
+    pub fn si_keep_ratio(&self) -> f64 {
+        let total = self.si_invalidated + self.si_kept;
+        if total == 0 {
+            return 0.0;
+        }
+        self.si_kept as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let s = CoherenceStats::default();
+        CoherenceStats::bump(&s.read_misses);
+        CoherenceStats::add(&s.writeback_bytes, 4096);
+        let snap = s.snapshot();
+        assert_eq!(snap.read_misses, 1);
+        assert_eq!(snap.writeback_bytes, 4096);
+        s.reset();
+        assert_eq!(s.snapshot(), CoherenceSnapshot::default());
+    }
+
+    #[test]
+    fn keep_ratio_handles_zero() {
+        assert_eq!(CoherenceSnapshot::default().si_keep_ratio(), 0.0);
+        let mut s = CoherenceSnapshot::default();
+        s.si_kept = 3;
+        s.si_invalidated = 1;
+        assert!((s.si_keep_ratio() - 0.75).abs() < 1e-12);
+    }
+}

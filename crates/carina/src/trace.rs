@@ -1,0 +1,190 @@
+//! Protocol event tracing.
+//!
+//! A bounded ring buffer of coherence events for debugging and teaching
+//! (the `protocol_tour` example prints one). Disabled by default — the
+//! enabled check is a single relaxed atomic load on the hot path, and no
+//! event is materialized unless tracing is on.
+
+use mem::PageNum;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// One protocol event. `node` is the acting node; virtual timestamps come
+/// from the acting thread's clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    ReadMiss { node: u16, page: PageNum },
+    WriteFault { node: u16, page: PageNum },
+    Downgrade { node: u16, page: PageNum, bytes: u64 },
+    SiInvalidate { node: u16, page: PageNum },
+    SiKeep { node: u16, page: PageNum },
+    PToS { page: PageNum, newcomer: u16, owner: u16 },
+    NwToSw { page: PageNum, writer: u16 },
+    SwToMw { page: PageNum, new_writer: u16, old_writer: u16 },
+    Notify { from: u16, to: u16, page: PageNum },
+    Checkpoint { node: u16, page: PageNum },
+    Fence { node: u16, kind: FenceKind },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FenceKind {
+    SelfInvalidate,
+    SelfDowngrade,
+}
+
+/// A traced event with its global sequence number and virtual timestamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TracedEvent {
+    pub seq: u64,
+    pub at_cycles: u64,
+    pub event: Event,
+}
+
+/// Bounded protocol trace.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: AtomicBool,
+    seq: AtomicU64,
+    capacity: usize,
+    ring: Mutex<VecDeque<TracedEvent>>,
+}
+
+impl Tracer {
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            enabled: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.max(1).min(1 << 16))),
+        }
+    }
+
+    /// Turn tracing on or off (off by default; safe at any time).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Release);
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Record an event if tracing is on. `make` is only invoked when
+    /// enabled, so the hot path pays one relaxed load.
+    #[inline]
+    pub fn record(&self, at_cycles: u64, make: impl FnOnce() -> Event) {
+        if !self.is_enabled() {
+            return;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let ev = TracedEvent {
+            seq,
+            at_cycles,
+            event: make(),
+        };
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(ev);
+    }
+
+    /// Snapshot the buffered events, oldest first.
+    pub fn events(&self) -> Vec<TracedEvent> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// Drop all buffered events.
+    pub fn clear(&self) {
+        self.ring.lock().clear();
+    }
+
+    /// Total events recorded since creation (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Display for TracedEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:>6}] @{:<10} ", self.seq, self.at_cycles)?;
+        match &self.event {
+            Event::ReadMiss { node, page } => write!(f, "n{node} read-miss  p{}", page.0),
+            Event::WriteFault { node, page } => write!(f, "n{node} write-fault p{}", page.0),
+            Event::Downgrade { node, page, bytes } => {
+                write!(f, "n{node} downgrade   p{} ({bytes} B)", page.0)
+            }
+            Event::SiInvalidate { node, page } => write!(f, "n{node} SI-inval    p{}", page.0),
+            Event::SiKeep { node, page } => write!(f, "n{node} SI-keep     p{}", page.0),
+            Event::PToS { page, newcomer, owner } => {
+                write!(f, "P->S        p{} (n{newcomer} joins n{owner})", page.0)
+            }
+            Event::NwToSw { page, writer } => write!(f, "NW->SW      p{} (n{writer})", page.0),
+            Event::SwToMw { page, new_writer, old_writer } => write!(
+                f,
+                "SW->MW      p{} (n{new_writer} joins n{old_writer})",
+                page.0
+            ),
+            Event::Notify { from, to, page } => {
+                write!(f, "n{from} notify->n{to} p{}", page.0)
+            }
+            Event::Checkpoint { node, page } => write!(f, "n{node} checkpoint  p{}", page.0),
+            Event::Fence { node, kind } => match kind {
+                FenceKind::SelfInvalidate => write!(f, "n{node} SI-fence"),
+                FenceKind::SelfDowngrade => write!(f, "n{node} SD-fence"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new(8);
+        t.record(0, || Event::Fence {
+            node: 0,
+            kind: FenceKind::SelfInvalidate,
+        });
+        assert!(t.events().is_empty());
+        assert_eq!(t.recorded(), 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let t = Tracer::new(3);
+        t.set_enabled(true);
+        for n in 0..5u16 {
+            t.record(n as u64, || Event::ReadMiss {
+                node: n,
+                page: PageNum(n as u64),
+            });
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].seq, 2);
+        assert_eq!(evs[2].seq, 4);
+        assert_eq!(t.recorded(), 5);
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let ev = TracedEvent {
+            seq: 1,
+            at_cycles: 42,
+            event: Event::PToS {
+                page: PageNum(7),
+                newcomer: 1,
+                owner: 0,
+            },
+        };
+        let s = format!("{ev}");
+        assert!(s.contains("P->S"));
+        assert!(s.contains("p7"));
+    }
+}

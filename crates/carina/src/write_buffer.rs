@@ -1,0 +1,114 @@
+//! The per-node FIFO write buffer (paper §3.6.1).
+//!
+//! Downgrading only at synchronization points would make SD fences flush an
+//! unbounded pile of dirty pages at once. Instead, dirty pages enter a FIFO
+//! of configurable capacity that "drains slowly": each push beyond capacity
+//! downgrades the *oldest* dirty page, bounding both steady-state write
+//! traffic and the worst-case fence latency. This is the knob swept by
+//! Figures 9 and 10.
+
+use mem::PageNum;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// FIFO of dirty pages awaiting downgrade.
+#[derive(Debug)]
+pub struct WriteBuffer {
+    inner: Mutex<VecDeque<PageNum>>,
+    capacity: usize,
+}
+
+impl WriteBuffer {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "write buffer needs capacity >= 1");
+        WriteBuffer {
+            inner: Mutex::new(VecDeque::with_capacity(capacity.min(1 << 16))),
+            capacity,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Record that `page` became dirty. Returns the overflow victim (the
+    /// oldest entry) if the buffer exceeded capacity — the caller must
+    /// downgrade it. Pages are only pushed on a clean→dirty transition, so
+    /// entries are unique.
+    #[must_use]
+    pub fn push(&self, page: PageNum) -> Option<PageNum> {
+        let mut q = self.inner.lock();
+        q.push_back(page);
+        if q.len() > self.capacity {
+            q.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Remove a specific page (it was downgraded or invalidated out of
+    /// band, e.g. by an eviction). Returns true if it was present.
+    pub fn remove(&self, page: PageNum) -> bool {
+        let mut q = self.inner.lock();
+        if let Some(pos) = q.iter().position(|&p| p == page) {
+            q.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Take everything, oldest first (SD-fence drain).
+    pub fn drain(&self) -> Vec<PageNum> {
+        self.inner.lock().drain(..).collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_overflow_returns_oldest() {
+        let wb = WriteBuffer::new(2);
+        assert_eq!(wb.push(PageNum(1)), None);
+        assert_eq!(wb.push(PageNum(2)), None);
+        assert_eq!(wb.push(PageNum(3)), Some(PageNum(1)));
+        assert_eq!(wb.len(), 2);
+    }
+
+    #[test]
+    fn drain_is_oldest_first_and_empties() {
+        let wb = WriteBuffer::new(8);
+        for p in [5, 6, 7] {
+            let _ = wb.push(PageNum(p));
+        }
+        assert_eq!(wb.drain(), vec![PageNum(5), PageNum(6), PageNum(7)]);
+        assert!(wb.is_empty());
+    }
+
+    #[test]
+    fn remove_deletes_mid_queue() {
+        let wb = WriteBuffer::new(8);
+        for p in [1, 2, 3] {
+            let _ = wb.push(PageNum(p));
+        }
+        assert!(wb.remove(PageNum(2)));
+        assert!(!wb.remove(PageNum(2)));
+        assert_eq!(wb.drain(), vec![PageNum(1), PageNum(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        WriteBuffer::new(0);
+    }
+}

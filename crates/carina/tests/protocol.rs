@@ -1,0 +1,482 @@
+//! Integration tests of the Carina protocol state machine: classification
+//! transitions, deferred invalidation, diffs under false sharing, write
+//! buffering, and the fence semantics that make DRF programs SC.
+
+use carina::{CarinaConfig, ClassificationMode, Dsm, PageClass, WriterClass};
+use mem::{CacheConfig, GlobalAddr, PAGE_BYTES};
+use simnet::{ClusterTopology, CostModel, Interconnect, NodeId, SimThread};
+use std::sync::Arc;
+
+fn cluster(nodes: usize, config: CarinaConfig) -> (Arc<Dsm>, Vec<SimThread>) {
+    let topo = ClusterTopology::tiny(nodes);
+    let net = Interconnect::new(topo, CostModel::paper_2011());
+    let dsm = Dsm::new(net.clone(), 4 << 20, config);
+    let threads = (0..nodes)
+        .map(|n| SimThread::new(topo.loc(NodeId(n as u16), 0), net.clone()))
+        .collect();
+    (dsm, threads)
+}
+
+/// An address on a page homed at `home` (page number ≡ home mod nodes),
+/// skipping page 0 to avoid accidental offsets.
+fn addr_homed_at(nodes: usize, home: u16, salt: u64) -> GlobalAddr {
+    let page = home as u64 + nodes as u64 * (salt + 1);
+    GlobalAddr(page * PAGE_BYTES)
+}
+
+#[test]
+fn local_home_access_round_trips() {
+    let (dsm, mut ts) = cluster(2, CarinaConfig::default());
+    let a = addr_homed_at(2, 0, 0);
+    let t0 = &mut ts[0];
+    dsm.write_u64(t0, a, 42);
+    assert_eq!(dsm.read_u64(t0, a), 42);
+    // No network traffic for home accesses.
+    assert_eq!(dsm.net().stats().snapshot().rdma_reads, 0);
+}
+
+#[test]
+fn remote_read_fetches_home_data() {
+    let (dsm, mut ts) = cluster(2, CarinaConfig::default());
+    let a = addr_homed_at(2, 0, 0);
+    dsm.write_u64(&mut ts[0], a, 7);
+    // Node 1 reads: page cache miss, fetch from home.
+    assert_eq!(dsm.read_u64(&mut ts[1], a, ), 7);
+    let s = dsm.stats().snapshot();
+    assert_eq!(s.read_misses, 1);
+    assert!(dsm.net().stats().snapshot().rdma_reads >= 1);
+    // Second read is a hit: no further misses.
+    assert_eq!(dsm.read_u64(&mut ts[1], a), 7);
+    assert_eq!(dsm.stats().snapshot().read_misses, 1);
+    assert_eq!(dsm.stats().snapshot().read_hits, 1);
+}
+
+#[test]
+fn producer_consumer_through_fences() {
+    // The canonical DRF pattern: producer writes, releases (SD); consumer
+    // acquires (SI), reads fresh data.
+    let (dsm, mut ts) = cluster(2, CarinaConfig::default());
+    let a = addr_homed_at(2, 0, 0);
+    let (t0, rest) = ts.split_at_mut(1);
+    let t0 = &mut t0[0];
+    let t1 = &mut rest[0];
+
+    // Consumer caches the old value first.
+    assert_eq!(dsm.read_u64(t1, a), 0);
+    // Producer (remote to the page's home) writes and releases.
+    dsm.write_u64(t0, a, 99);
+    dsm.sd_fence(t0);
+    // Without an acquire, the consumer may still see its cached 0.
+    assert_eq!(dsm.read_u64(t1, a), 0);
+    // After SI, the consumer must see 99.
+    dsm.si_fence(t1);
+    assert_eq!(dsm.read_u64(t1, a), 99);
+}
+
+#[test]
+fn p_to_s_transition_detected_and_deferred() {
+    let (dsm, mut ts) = cluster(3, CarinaConfig::default());
+    // Page homed at node 2; node 0 reads it first (private to node 0).
+    let a = addr_homed_at(3, 2, 0);
+    dsm.read_u64(&mut ts[0], a);
+    assert_eq!(dsm.home_dir_view(a).page_class(), PageClass::Private);
+    assert!(dsm.home_dir_view(a).is_private_to(0));
+
+    // Node 1 joins: causes P→S and must notify node 0's directory cache.
+    dsm.read_u64(&mut ts[1], a);
+    assert_eq!(dsm.stats().snapshot().p_to_s, 1);
+    assert_eq!(dsm.home_dir_view(a).page_class(), PageClass::Shared);
+    // Deferred invalidation: node 0's *cached* view now shows both readers
+    // even though node 0 took no action.
+    assert_eq!(dsm.dir_view(0, a).page_class(), PageClass::Shared);
+}
+
+#[test]
+fn private_pages_survive_si_fence_in_ps3() {
+    let (dsm, mut ts) = cluster(2, CarinaConfig::default());
+    let a = addr_homed_at(2, 1, 0); // homed remotely from node 0
+    dsm.read_u64(&mut ts[0], a);
+    dsm.si_fence(&mut ts[0]);
+    let s = dsm.stats().snapshot();
+    assert_eq!(s.si_invalidated, 0);
+    assert_eq!(s.si_kept, 1);
+    // Still a hit afterwards.
+    dsm.read_u64(&mut ts[0], a);
+    assert_eq!(dsm.stats().snapshot().read_misses, 1);
+}
+
+#[test]
+fn all_shared_mode_invalidates_everything() {
+    let (dsm, mut ts) = cluster(
+        2,
+        CarinaConfig::with_mode(ClassificationMode::AllShared),
+    );
+    let a = addr_homed_at(2, 1, 0);
+    dsm.read_u64(&mut ts[0], a);
+    dsm.si_fence(&mut ts[0]);
+    let s = dsm.stats().snapshot();
+    assert_eq!(s.si_invalidated, 1);
+    assert_eq!(s.si_kept, 0);
+    dsm.read_u64(&mut ts[0], a);
+    assert_eq!(dsm.stats().snapshot().read_misses, 2);
+}
+
+#[test]
+fn single_writer_keeps_page_others_invalidate() {
+    // Producer/consumer classification: the single writer of a shared page
+    // does not self-invalidate; consumers do (Figure 5, sync 2 vs sync 4).
+    let (dsm, mut ts) = cluster(3, CarinaConfig::default());
+    let a = addr_homed_at(3, 2, 0);
+    let (a01, rest) = ts.split_at_mut(2);
+    let (t0, t1) = a01.split_at_mut(1);
+    let t0 = &mut t0[0];
+    let t1 = &mut t1[0];
+    let _ = rest;
+
+    dsm.read_u64(t0, a); // node 0 reads
+    dsm.read_u64(t1, a); // node 1 reads (S,NW)
+    dsm.write_u64(t0, a, 5); // node 0 writes: NW→SW
+    assert_eq!(dsm.home_dir_view(a).writer_class(), WriterClass::Single(0));
+    assert_eq!(dsm.stats().snapshot().nw_to_sw, 1);
+    // Node 1 was notified (passively).
+    assert_eq!(dsm.dir_view(1, a).writer_class(), WriterClass::Single(0));
+
+    dsm.sd_fence(t0);
+    dsm.si_fence(t0); // writer keeps its copy
+    dsm.si_fence(t1); // consumer invalidates
+    let s = dsm.stats().snapshot();
+    assert_eq!(s.si_kept, 1);
+    assert_eq!(s.si_invalidated, 1);
+    assert_eq!(dsm.read_u64(t1, a), 5);
+}
+
+#[test]
+fn sw_to_mw_notifies_previous_writer() {
+    let (dsm, mut ts) = cluster(3, CarinaConfig::default());
+    let a = addr_homed_at(3, 2, 0);
+    let (t01, _) = ts.split_at_mut(2);
+    let (t0, t1) = t01.split_at_mut(1);
+    let t0 = &mut t0[0];
+    let t1 = &mut t1[0];
+
+    dsm.write_u64(t0, a, 1);
+    dsm.sd_fence(t0);
+    dsm.write_u64(t1, a, 2);
+    assert_eq!(dsm.home_dir_view(a).writer_class(), WriterClass::Multiple);
+    // Node 0 (the previous single writer) learns of MW via its dir cache.
+    assert_eq!(dsm.dir_view(0, a).writer_class(), WriterClass::Multiple);
+    // p_to_s fires too (node 0 was the only accessor before node 1 wrote):
+    let s = dsm.stats().snapshot();
+    assert_eq!(s.p_to_s, 1);
+    assert_eq!(s.sw_to_mw, 1);
+}
+
+#[test]
+fn false_sharing_merges_through_diffs() {
+    // Two nodes write disjoint words of the same page; diffs at downgrade
+    // must preserve both updates at home.
+    let (dsm, mut ts) = cluster(3, CarinaConfig::default());
+    let page_base = addr_homed_at(3, 2, 0);
+    let a0 = page_base; // word 0
+    let a1 = page_base.offset(8); // word 1
+    let (t01, rest) = ts.split_at_mut(2);
+    let (t0, t1) = t01.split_at_mut(1);
+    let t0 = &mut t0[0];
+    let t1 = &mut t1[0];
+    let t2 = &mut rest[0];
+
+    dsm.write_u64(t0, a0, 10);
+    dsm.write_u64(t1, a1, 20);
+    dsm.sd_fence(t0);
+    dsm.sd_fence(t1);
+    dsm.si_fence(t2);
+    assert_eq!(dsm.read_u64(t2, a0), 10);
+    assert_eq!(dsm.read_u64(t2, a1), 20);
+    assert!(dsm.stats().snapshot().twins_created >= 2);
+    assert!(dsm.stats().snapshot().diff_words >= 2);
+}
+
+#[test]
+fn write_buffer_overflow_downgrades_oldest() {
+    let mut cfg = CarinaConfig::default();
+    cfg.write_buffer_pages = 2;
+    let (dsm, mut ts) = cluster(2, cfg);
+    // Dirty three distinct pages homed at node 1 from node 0.
+    for salt in 0..3 {
+        let a = addr_homed_at(2, 1, salt);
+        dsm.write_u64(&mut ts[0], a, salt);
+    }
+    // Third write overflowed the 2-entry buffer → oldest written back.
+    let s = dsm.stats().snapshot();
+    assert_eq!(s.writebacks, 1);
+    // Home already has the first page's data without any fence.
+    // (Read it from node 1's perspective — it is local there.)
+    let first = addr_homed_at(2, 1, 0);
+    assert_eq!(dsm.read_u64(&mut ts[1], first), 0u64.max(0)); // page homed at 1, value 0
+}
+
+#[test]
+fn sd_fence_drains_all_dirty_pages() {
+    let (dsm, mut ts) = cluster(2, CarinaConfig::default());
+    for salt in 0..5 {
+        let a = addr_homed_at(2, 1, salt);
+        dsm.write_u64(&mut ts[0], a, 100 + salt);
+    }
+    dsm.sd_fence(&mut ts[0]);
+    assert_eq!(dsm.stats().snapshot().writebacks, 5);
+    // All values visible at home.
+    for salt in 0..5 {
+        let a = addr_homed_at(2, 1, salt);
+        assert_eq!(dsm.read_u64(&mut ts[1], a), 100 + salt);
+    }
+}
+
+#[test]
+fn eviction_flushes_dirty_conflicting_line() {
+    // A 1-line cache forces every new page to evict the previous one.
+    let mut cfg = CarinaConfig::default();
+    cfg.cache = CacheConfig::new(1, 1);
+    let (dsm, mut ts) = cluster(2, cfg);
+    let a = addr_homed_at(2, 1, 0);
+    let b = addr_homed_at(2, 1, 1);
+    dsm.write_u64(&mut ts[0], a, 11);
+    dsm.read_u64(&mut ts[0], b); // conflicts → evicts dirty page a
+    let s = dsm.stats().snapshot();
+    assert!(s.evictions >= 1);
+    assert_eq!(s.writebacks, 1);
+    assert_eq!(dsm.read_u64(&mut ts[1], a), 11);
+}
+
+#[test]
+fn naive_ps_checkpoints_private_pages_every_sync() {
+    let (dsm, mut ts) = cluster(2, CarinaConfig::with_mode(ClassificationMode::PsNaive));
+    let a = addr_homed_at(2, 1, 0);
+    dsm.write_u64(&mut ts[0], a, 3);
+    dsm.sd_fence(&mut ts[0]);
+    dsm.sd_fence(&mut ts[0]);
+    let s = dsm.stats().snapshot();
+    // Private page: no writebacks, but a checkpoint at *each* fence.
+    assert_eq!(s.writebacks, 0);
+    assert_eq!(s.checkpoints, 2);
+    // Data still reaches a late joiner correctly.
+    assert_eq!(dsm.read_u64(&mut ts[1], a), 3);
+}
+
+#[test]
+fn ps3_self_downgrades_private_pages_without_checkpoints() {
+    let (dsm, mut ts) = cluster(2, CarinaConfig::default());
+    let a = addr_homed_at(2, 1, 0);
+    dsm.write_u64(&mut ts[0], a, 3);
+    dsm.sd_fence(&mut ts[0]);
+    let s = dsm.stats().snapshot();
+    assert_eq!(s.writebacks, 1);
+    assert_eq!(s.checkpoints, 0);
+}
+
+#[test]
+fn active_directory_ablation_invokes_handlers() {
+    let mut cfg = CarinaConfig::default();
+    cfg.active_directory = true;
+    let (dsm, mut ts) = cluster(2, cfg);
+    let a = addr_homed_at(2, 1, 0);
+    dsm.read_u64(&mut ts[0], a);
+    assert!(dsm.net().stats().snapshot().handler_invocations >= 1);
+
+    // Passive default: zero handler invocations ever.
+    let (dsm2, mut ts2) = cluster(2, CarinaConfig::default());
+    dsm2.read_u64(&mut ts2[0], a);
+    dsm2.write_u64(&mut ts2[1], a, 1);
+    dsm2.sd_fence(&mut ts2[1]);
+    assert_eq!(dsm2.net().stats().snapshot().handler_invocations, 0);
+}
+
+#[test]
+fn prefetch_line_fills_neighbor_pages() {
+    let mut cfg = CarinaConfig::default();
+    cfg.cache = CacheConfig::new(1024, 4);
+    let (dsm, mut ts) = cluster(2, cfg);
+    // Pages 4..8 form one line; pages 5 and 7 are homed at node 1 (odd).
+    // Node 0 reads page 5 → page 7 is prefetched.
+    dsm.read_u64(&mut ts[0], GlobalAddr(5 * PAGE_BYTES));
+    assert_eq!(dsm.stats().snapshot().read_misses, 1);
+    dsm.read_u64(&mut ts[0], GlobalAddr(7 * PAGE_BYTES));
+    assert_eq!(dsm.stats().snapshot().read_misses, 1); // hit via prefetch
+}
+
+#[test]
+fn reset_for_parallel_section_clears_classification() {
+    let (dsm, mut ts) = cluster(2, CarinaConfig::default());
+    let a = addr_homed_at(2, 1, 0);
+    dsm.write_u64(&mut ts[0], a, 77);
+    dsm.reset_for_parallel_section();
+    // Directory wiped, stats wiped, but data preserved at home.
+    assert_eq!(dsm.home_dir_view(a).accessors(), 0);
+    assert_eq!(dsm.stats().snapshot().read_misses, 0);
+    assert_eq!(dsm.read_u64(&mut ts[1], a), 77);
+}
+
+#[test]
+fn virtual_time_charges_remote_misses() {
+    let (dsm, mut ts) = cluster(2, CarinaConfig::default());
+    let a = addr_homed_at(2, 1, 0);
+    let before = ts[0].now();
+    dsm.read_u64(&mut ts[0], a);
+    let cost = CostModel::paper_2011();
+    // At least a fault trap + directory round trip + data round trip.
+    assert!(ts[0].now() - before >= cost.fault_trap_cycles + 4 * cost.network_latency);
+    // A subsequent hit is nearly free.
+    let before = ts[0].now();
+    dsm.read_u64(&mut ts[0], a);
+    assert!(ts[0].now() - before < 100);
+}
+
+#[test]
+fn sw_no_diff_extension_skips_diff_transmission() {
+    let mut cfg = CarinaConfig::default();
+    cfg.sw_no_diff = true;
+    let (dsm, mut ts) = cluster(2, cfg);
+    let a = addr_homed_at(2, 1, 0);
+    dsm.write_u64(&mut ts[0], a, 9);
+    dsm.sd_fence(&mut ts[0]);
+    let s = dsm.stats().snapshot();
+    assert_eq!(s.twins_created, 0); // single writer: no twin
+    assert_eq!(s.diff_words, 0); // whole page transmitted
+    assert_eq!(s.writeback_bytes, PAGE_BYTES);
+    assert_eq!(dsm.read_u64(&mut ts[1], a), 9);
+}
+
+#[test]
+fn concurrent_threads_same_node_share_cache() {
+    // Two OS threads on the same simulated node: one fills, the other hits.
+    let topo = ClusterTopology::tiny(2);
+    let net = Interconnect::new(topo, CostModel::paper_2011());
+    let dsm = Dsm::new(net.clone(), 1 << 20, CarinaConfig::default());
+    let a = addr_homed_at(2, 1, 0);
+    let d1 = dsm.clone();
+    let n1 = net.clone();
+    let h = std::thread::spawn(move || {
+        let mut t = SimThread::new(topo.loc(NodeId(0), 0), n1);
+        d1.read_u64(&mut t, a)
+    });
+    h.join().unwrap();
+    let mut t2 = SimThread::new(topo.loc(NodeId(0), 1), net);
+    dsm.read_u64(&mut t2, a);
+    assert_eq!(dsm.stats().snapshot().read_misses, 1);
+    assert_eq!(dsm.stats().snapshot().read_hits, 1);
+}
+
+#[test]
+fn decay_allows_reclassification_to_new_owner() {
+    // Phase 1: node 0 owns a page (writes it). Phase 2: node 1 takes over.
+    // Without decay the page is stuck at S,MW and node 1 self-invalidates
+    // it at every fence; after a decay it re-classifies as private to
+    // node 1 and survives fences.
+    let (dsm, mut ts) = cluster(2, CarinaConfig::default());
+    let a = addr_homed_at(2, 0, 0); // homed at node 0, cached by node 1
+    let (t0s, t1s) = ts.split_at_mut(1);
+    let t0 = &mut t0s[0];
+    let t1 = &mut t1s[0];
+
+    // Phase 1: both nodes touch it; node 0 and node 1 both write → S,MW.
+    dsm.write_u64(t0, a, 1);
+    dsm.sd_fence(t0);
+    dsm.si_fence(t1);
+    dsm.write_u64(t1, a, 2);
+    dsm.sd_fence(t1);
+    assert_eq!(dsm.home_dir_view(a).writer_class(), carina::WriterClass::Multiple);
+
+    // Without decay: node 1's fence invalidates its copy every time.
+    dsm.si_fence(t1);
+    let before = dsm.stats().snapshot().si_invalidated;
+    assert!(before > 0);
+
+    // Decay epoch (collective; t0 acts as the coordinator).
+    dsm.decay_classification(t0);
+    assert_eq!(dsm.stats().snapshot().decays, 1);
+    assert_eq!(dsm.home_dir_view(a).accessors(), 0);
+
+    // Phase 2: only node 1 uses the page — it re-classifies private (to
+    // node 1) and now survives node 1's fences.
+    assert_eq!(dsm.read_u64(t1, a), 2); // data survived the decay
+    dsm.write_u64(t1, a, 3);
+    let kept_before = dsm.stats().snapshot().si_kept;
+    dsm.si_fence(t1);
+    assert!(dsm.stats().snapshot().si_kept > kept_before, "page not kept after decay");
+}
+
+#[test]
+fn decay_preserves_dirty_data() {
+    let (dsm, mut ts) = cluster(2, CarinaConfig::default());
+    let a = addr_homed_at(2, 1, 0);
+    dsm.write_u64(&mut ts[0], a, 555); // dirty in node 0's cache
+    let (t0s, _) = ts.split_at_mut(1);
+    dsm.decay_classification(&mut t0s[0]);
+    assert_eq!(dsm.peek_u64(a), 555, "decay lost a dirty page");
+}
+
+#[test]
+fn tracer_captures_the_protocol_story() {
+    use carina::trace::{Event, FenceKind};
+    let (dsm, mut ts) = cluster(2, CarinaConfig::default());
+    dsm.tracer().set_enabled(true);
+    let a = addr_homed_at(2, 1, 0);
+    let (t0s, t1s) = ts.split_at_mut(1);
+    let t0 = &mut t0s[0];
+    let t1 = &mut t1s[0];
+
+    dsm.read_u64(t0, a); // miss
+    dsm.write_u64(t0, a, 1); // write fault
+    dsm.sd_fence(t0); // downgrade
+    dsm.read_u64(t1, a); // P->S + notify
+
+    let events: Vec<_> = dsm.tracer().events().into_iter().map(|e| e.event).collect();
+    assert!(events.iter().any(|e| matches!(e, Event::ReadMiss { node: 0, .. })));
+    assert!(events.iter().any(|e| matches!(e, Event::WriteFault { node: 0, .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, Event::Fence { node: 0, kind: FenceKind::SelfDowngrade })));
+    assert!(events.iter().any(|e| matches!(e, Event::Downgrade { node: 0, .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, Event::PToS { newcomer: 1, owner: 0, .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, Event::Notify { from: 1, to: 0, .. })));
+    // Sequence numbers are monotone; timestamps never decrease per node.
+    let seqs: Vec<u64> = dsm.tracer().events().iter().map(|e| e.seq).collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+
+    // Disabled tracer stops recording.
+    dsm.tracer().set_enabled(false);
+    let before = dsm.tracer().recorded();
+    dsm.read_u64(t1, a);
+    assert_eq!(dsm.tracer().recorded(), before);
+}
+
+#[test]
+fn invariants_hold_through_a_protocol_workout() {
+    let (dsm, mut ts) = cluster(3, CarinaConfig::default());
+    assert!(dsm.check_invariants().is_empty());
+    let (t01, rest) = ts.split_at_mut(2);
+    let (t0s, t1s) = t01.split_at_mut(1);
+    let t0 = &mut t0s[0];
+    let t1 = &mut t1s[0];
+    let t2 = &mut rest[0];
+
+    for salt in 0..6 {
+        let a = addr_homed_at(3, 2, salt);
+        dsm.write_u64(t0, a, salt);
+        dsm.read_u64(t1, a);
+    }
+    let v = dsm.check_invariants();
+    assert!(v.is_empty(), "after writes: {v:?}");
+    dsm.sd_fence(t0);
+    dsm.si_fence(t1);
+    dsm.write_u64(t1, addr_homed_at(3, 2, 0), 99);
+    dsm.si_fence(t2);
+    let v = dsm.check_invariants();
+    assert!(v.is_empty(), "after fences: {v:?}");
+    dsm.decay_classification(t0);
+    let v = dsm.check_invariants();
+    assert!(v.is_empty(), "after decay: {v:?}");
+}

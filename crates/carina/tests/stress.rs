@@ -1,0 +1,191 @@
+//! Stress tests: pathological cache geometries, conflict storms, slice
+//! boundary cases, and concurrent mixed workloads — the protocol must
+//! stay correct (home memory converges to the DRF-expected values) no
+//! matter how hostile the configuration.
+
+use carina::{CarinaConfig, Dsm};
+use mem::{CacheConfig, GlobalAddr, PAGE_BYTES};
+use simnet::{ClusterTopology, CostModel, Interconnect, NodeId, SimThread};
+use std::sync::Arc;
+
+fn cluster_with(
+    nodes: usize,
+    cfg: CarinaConfig,
+) -> (Arc<Dsm>, Arc<Interconnect>, ClusterTopology) {
+    let topo = ClusterTopology::tiny(nodes);
+    let net = Interconnect::new(topo, CostModel::paper_2011());
+    let dsm = Dsm::new(net.clone(), 8 << 20, cfg);
+    (dsm, net, topo)
+}
+
+#[test]
+fn conflict_storm_tiny_cache_preserves_all_writes() {
+    // A 2-slot cache with every page fighting for the same slots: constant
+    // evictions with dirty flushes. Every written value must survive.
+    let mut cfg = CarinaConfig::default();
+    cfg.cache = CacheConfig::new(2, 1);
+    cfg.write_buffer_pages = 1;
+    let (dsm, net, topo) = cluster_with(2, cfg);
+    let mut t = SimThread::new(topo.loc(NodeId(0), 0), net);
+    // Write one word on each of 64 distinct pages (odd pages are remote).
+    for p in 0..64u64 {
+        let addr = GlobalAddr((2 * p + 1) * PAGE_BYTES); // all homed node 1
+        dsm.write_u64(&mut t, addr, 7000 + p);
+    }
+    dsm.sd_fence(&mut t);
+    for p in 0..64u64 {
+        let addr = GlobalAddr((2 * p + 1) * PAGE_BYTES);
+        assert_eq!(dsm.peek_u64(addr), 7000 + p, "lost write on page {p}");
+    }
+    let s = dsm.stats().snapshot();
+    assert!(s.evictions > 0, "storm did not evict");
+}
+
+#[test]
+fn prefetch_lines_with_evictions_stay_coherent() {
+    // 2 slots × 4-page lines: any two distinct lines conflict. Interleave
+    // reads and writes across lines so fills/evictions/flushes churn.
+    let mut cfg = CarinaConfig::default();
+    cfg.cache = CacheConfig::new(2, 4);
+    let (dsm, net, topo) = cluster_with(2, cfg);
+    let mut t = SimThread::new(topo.loc(NodeId(0), 0), net);
+    for round in 0..4u64 {
+        for line in 0..6u64 {
+            // One odd (remote) page per line.
+            let page = line * 4 + 1;
+            let addr = GlobalAddr(page * PAGE_BYTES).offset(8 * round);
+            dsm.write_u64(&mut t, addr, round * 100 + line);
+        }
+    }
+    dsm.sd_fence(&mut t);
+    for round in 0..4u64 {
+        for line in 0..6u64 {
+            let page = line * 4 + 1;
+            let addr = GlobalAddr(page * PAGE_BYTES).offset(8 * round);
+            assert_eq!(dsm.peek_u64(addr), round * 100 + line);
+        }
+    }
+}
+
+#[test]
+fn slices_spanning_many_pages_round_trip() {
+    let (dsm, net, topo) = cluster_with(3, CarinaConfig::default());
+    let mut t = SimThread::new(topo.loc(NodeId(0), 0), net);
+    // Start mid-page, span 5 pages, cross home boundaries (interleaved).
+    let start = GlobalAddr(7 * PAGE_BYTES + 1000 * 8 % PAGE_BYTES);
+    let n = (5 * 512) + 123;
+    let data: Vec<f64> = (0..n).map(|i| i as f64 * 0.5 - 7.0).collect();
+    dsm.write_f64_slice(&mut t, start, &data);
+    let mut back = vec![0.0f64; n];
+    dsm.read_f64_slice(&mut t, start, &mut back);
+    assert_eq!(data, back);
+    // And via single-element reads (different code path).
+    for (i, &expect) in data.iter().enumerate().step_by(97) {
+        assert_eq!(dsm.read_f64(&mut t, start.offset(i as u64 * 8)), expect);
+    }
+}
+
+#[test]
+fn slice_of_one_element_and_empty_slice() {
+    let (dsm, net, topo) = cluster_with(2, CarinaConfig::default());
+    let mut t = SimThread::new(topo.loc(NodeId(0), 0), net);
+    let addr = GlobalAddr(3 * PAGE_BYTES);
+    dsm.write_f64_slice(&mut t, addr, &[42.5]);
+    let mut one = [0.0];
+    dsm.read_f64_slice(&mut t, addr, &mut one);
+    assert_eq!(one[0], 42.5);
+    let mut empty: [f64; 0] = [];
+    dsm.read_f64_slice(&mut t, addr, &mut empty); // must not panic
+    dsm.write_f64_slice(&mut t, addr, &empty);
+}
+
+#[test]
+fn concurrent_mixed_access_converges() {
+    // 6 real threads across 3 nodes hammer disjoint striped slots with
+    // barrier-free writes, then fence; home must hold exactly the last
+    // value each thread wrote to each of its slots.
+    let (dsm, net, topo) = cluster_with(3, CarinaConfig::default());
+    let handles: Vec<_> = (0..6u64)
+        .map(|id| {
+            let dsm = dsm.clone();
+            let net = net.clone();
+            std::thread::spawn(move || {
+                let node = (id % 3) as u16;
+                let mut t = SimThread::new(topo.loc(NodeId(node), (id / 3) as usize), net);
+                // 50 slots, strided so threads never share a word.
+                for round in 0..20u64 {
+                    for s in 0..50u64 {
+                        let addr = GlobalAddr(((s * 6 + id) * 8) + 64 * PAGE_BYTES);
+                        dsm.write_u64(&mut t, addr, id * 1_000_000 + round * 1000 + s);
+                    }
+                }
+                dsm.sd_fence(&mut t);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    for id in 0..6u64 {
+        for s in 0..50u64 {
+            let addr = GlobalAddr(((s * 6 + id) * 8) + 64 * PAGE_BYTES);
+            assert_eq!(
+                dsm.peek_u64(addr),
+                id * 1_000_000 + 19 * 1000 + s,
+                "thread {id} slot {s}"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_page_cache_still_correct_under_producer_consumer() {
+    let mut cfg = CarinaConfig::default();
+    cfg.cache = CacheConfig::new(1, 1);
+    let (dsm, net, topo) = cluster_with(2, cfg);
+    let mut t0 = SimThread::new(topo.loc(NodeId(0), 0), net.clone());
+    let mut t1 = SimThread::new(topo.loc(NodeId(1), 0), net);
+    for round in 0..10u64 {
+        // Producer writes two pages (they conflict in its 1-slot cache).
+        let a = GlobalAddr(3 * PAGE_BYTES);
+        let b = GlobalAddr(5 * PAGE_BYTES);
+        dsm.write_u64(&mut t0, a, round);
+        dsm.write_u64(&mut t0, b, round * 2);
+        dsm.sd_fence(&mut t0);
+        dsm.si_fence(&mut t1);
+        assert_eq!(dsm.read_u64(&mut t1, a), round);
+        assert_eq!(dsm.read_u64(&mut t1, b), round * 2);
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "96-node cluster; run with --release")]
+fn many_nodes_full_map_boundaries() {
+    // 96 nodes exercises the second full-map word (nodes >= 64).
+    let topo = ClusterTopology {
+        nodes: 96,
+        sockets_per_node: 1,
+        cores_per_socket: 1,
+    };
+    let net = Interconnect::new(topo, CostModel::paper_2011());
+    let dsm = Dsm::new(net.clone(), 1 << 20, CarinaConfig::default());
+    let page = GlobalAddr(95 * PAGE_BYTES); // homed on node 95
+    // Nodes 60..70 all read, then node 70 writes.
+    let mut threads: Vec<SimThread> = (60..71)
+        .map(|n| SimThread::new(topo.loc(NodeId(n), 0), net.clone()))
+        .collect();
+    for t in threads.iter_mut().take(10) {
+        dsm.read_u64(t, page);
+    }
+    let v = dsm.home_dir_view(page);
+    assert_eq!(v.readers.count_ones(), 10);
+    dsm.write_u64(&mut threads[10], page, 9);
+    assert_eq!(
+        dsm.home_dir_view(page).writer_class(),
+        carina::WriterClass::Single(70)
+    );
+    dsm.sd_fence(&mut threads[10]);
+    // A reader from the low word re-reads after a fence.
+    dsm.si_fence(&mut threads[0]);
+    assert_eq!(dsm.read_u64(&mut threads[0], page), 9);
+}

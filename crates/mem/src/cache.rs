@@ -1,0 +1,244 @@
+//! Per-node page caches.
+//!
+//! Each node caches remote pages in a local, **direct-mapped** cache whose
+//! unit of fill is a *line* of consecutive pages (paper §3.6.2: on a miss
+//! Argo fetches not just the page but a configurable line of pages, trading
+//! bandwidth for latency). A thread missing on a page that is already being
+//! fetched waits for that fill — modeled by the line's `ready_at` virtual
+//! timestamp, which every hit merges into its clock.
+//!
+//! This module is purely structural: eviction/fill/invalidation *policy* and
+//! all network charging live in `carina`.
+
+use crate::addr::PageNum;
+use crate::page::PageData;
+use parking_lot::{Mutex, MutexGuard};
+
+/// Geometry of a node's page cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of direct-mapped line slots.
+    pub lines: usize,
+    /// Consecutive pages fetched per line (the paper's prefetch "cache line
+    /// size"; 1 disables prefetching).
+    pub pages_per_line: usize,
+}
+
+impl CacheConfig {
+    pub fn new(lines: usize, pages_per_line: usize) -> Self {
+        assert!(lines > 0 && pages_per_line > 0, "cache dimensions must be positive");
+        CacheConfig { lines, pages_per_line }
+    }
+
+    /// Total pages the cache can hold.
+    pub fn capacity_pages(&self) -> usize {
+        self.lines * self.pages_per_line
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        // Roomy default: 8192 single-page lines = 32 MiB of cache.
+        CacheConfig::new(8192, 1)
+    }
+}
+
+/// One cached page within a line: data plus protocol bits.
+///
+/// Page data is allocated lazily on first fill: a cache is sized for the
+/// worst case (thousands of slots per node) but typical programs touch a
+/// small fraction, and eager allocation would cost gigabytes at 128 nodes.
+#[derive(Debug)]
+pub struct CachedPage {
+    data: Option<PageData>,
+    /// Holds a valid copy of the tagged page.
+    pub valid: bool,
+    /// Written since the last downgrade (a twin exists while dirty).
+    pub dirty: bool,
+    /// Snapshot taken at write-miss time; diffed against `data` on
+    /// downgrade to avoid clobbering concurrent remote writers.
+    pub twin: Option<PageData>,
+}
+
+impl CachedPage {
+    fn empty() -> Self {
+        CachedPage {
+            data: None,
+            valid: false,
+            dirty: false,
+            twin: None,
+        }
+    }
+
+    /// The page's data storage, allocating it on first use.
+    pub fn data_mut(&mut self) -> &PageData {
+        self.data.get_or_insert_with(PageData::zeroed)
+    }
+
+    /// The page's data storage.
+    ///
+    /// # Panics
+    /// Panics if the page was never filled — protocol code only reads data
+    /// from `valid` pages, which have always been filled.
+    pub fn data(&self) -> &PageData {
+        self.data.as_ref().expect("reading a never-filled cache page")
+    }
+
+    /// Drop contents and protocol state (self-invalidation of this page).
+    /// The data allocation is kept for reuse.
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+        self.dirty = false;
+        self.twin = None;
+    }
+}
+
+/// Mutable state of a line slot.
+#[derive(Debug)]
+pub struct LineState {
+    /// Line id (`page / pages_per_line`) currently resident, if any.
+    pub tag: Option<u64>,
+    /// Virtual time at which the resident line's fill completed. Hits merge
+    /// this: a thread cannot consume data before it arrived.
+    pub ready_at: u64,
+    pub pages: Vec<CachedPage>,
+}
+
+impl LineState {
+    /// Reset the slot for a new line tag; all pages become invalid/clean.
+    pub fn retag(&mut self, tag: u64) {
+        self.tag = Some(tag);
+        self.ready_at = 0;
+        for p in &mut self.pages {
+            p.invalidate();
+        }
+    }
+}
+
+/// A direct-mapped slot holding one line.
+#[derive(Debug)]
+pub struct LineSlot {
+    state: Mutex<LineState>,
+}
+
+impl LineSlot {
+    fn new(pages_per_line: usize) -> Self {
+        LineSlot {
+            state: Mutex::new(LineState {
+                tag: None,
+                ready_at: 0,
+                pages: (0..pages_per_line).map(|_| CachedPage::empty()).collect(),
+            }),
+        }
+    }
+
+    /// Lock the slot for access or protocol action.
+    pub fn lock(&self) -> MutexGuard<'_, LineState> {
+        self.state.lock()
+    }
+}
+
+/// A node's page cache.
+#[derive(Debug)]
+pub struct PageCache {
+    config: CacheConfig,
+    slots: Vec<LineSlot>,
+}
+
+impl PageCache {
+    pub fn new(config: CacheConfig) -> Self {
+        PageCache {
+            config,
+            slots: (0..config.lines)
+                .map(|_| LineSlot::new(config.pages_per_line))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Line id containing `page`.
+    #[inline]
+    pub fn line_of(&self, page: PageNum) -> u64 {
+        page.0 / self.config.pages_per_line as u64
+    }
+
+    /// First page of line `line`.
+    #[inline]
+    pub fn line_base(&self, line: u64) -> PageNum {
+        PageNum(line * self.config.pages_per_line as u64)
+    }
+
+    /// Index of `page` within its line.
+    #[inline]
+    pub fn index_in_line(&self, page: PageNum) -> usize {
+        (page.0 % self.config.pages_per_line as u64) as usize
+    }
+
+    /// The direct-mapped slot that `page` maps to.
+    #[inline]
+    pub fn slot_for(&self, page: PageNum) -> &LineSlot {
+        let line = self.line_of(page);
+        &self.slots[(line % self.config.lines as u64) as usize]
+    }
+
+    /// All slots, for whole-cache fence sweeps.
+    pub fn slots(&self) -> impl Iterator<Item = &LineSlot> {
+        self.slots.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_mapping_is_stable_and_conflicting() {
+        let c = PageCache::new(CacheConfig::new(4, 2));
+        // Pages 0 and 1 share line 0; page 8 maps to line 4 which conflicts
+        // with line 0 in a 4-slot cache.
+        assert_eq!(c.line_of(PageNum(0)), 0);
+        assert_eq!(c.line_of(PageNum(1)), 0);
+        assert_eq!(c.line_of(PageNum(8)), 4);
+        assert!(std::ptr::eq(c.slot_for(PageNum(0)), c.slot_for(PageNum(1))));
+        assert!(std::ptr::eq(c.slot_for(PageNum(0)), c.slot_for(PageNum(8))));
+        assert!(!std::ptr::eq(c.slot_for(PageNum(0)), c.slot_for(PageNum(2))));
+    }
+
+    #[test]
+    fn retag_invalidates_all_pages() {
+        let c = PageCache::new(CacheConfig::new(2, 2));
+        let slot = c.slot_for(PageNum(0));
+        {
+            let mut st = slot.lock();
+            st.tag = Some(0);
+            st.pages[0].valid = true;
+            st.pages[0].dirty = true;
+            st.pages[0].twin = Some(PageData::zeroed());
+            st.retag(5);
+            assert_eq!(st.tag, Some(5));
+            assert!(!st.pages[0].valid);
+            assert!(!st.pages[0].dirty);
+            assert!(st.pages[0].twin.is_none());
+        }
+    }
+
+    #[test]
+    fn line_base_and_index_round_trip() {
+        let c = PageCache::new(CacheConfig::new(8, 4));
+        let p = PageNum(13);
+        let line = c.line_of(p);
+        assert_eq!(line, 3);
+        assert_eq!(c.line_base(line), PageNum(12));
+        assert_eq!(c.index_in_line(p), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_lines_rejected() {
+        CacheConfig::new(0, 1);
+    }
+}

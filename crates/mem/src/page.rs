@@ -1,0 +1,183 @@
+//! Page data: 512 atomic 64-bit words of simulated DRAM.
+//!
+//! All data-plane loads and stores are `Relaxed`: ordering between nodes is
+//! the job of the coherence protocol's fences (which synchronize through
+//! acquire/release control structures), never of individual data words —
+//! mirroring how real DRAM provides no ordering by itself.
+
+use crate::addr::WORDS_PER_PAGE;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One 4 KiB page of word-atomic memory.
+#[derive(Debug)]
+pub struct PageData {
+    words: Box<[AtomicU64]>,
+}
+
+impl PageData {
+    /// A zeroed page.
+    pub fn zeroed() -> Self {
+        PageData {
+            words: (0..WORDS_PER_PAGE).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    #[inline]
+    pub fn load(&self, word: usize) -> u64 {
+        self.words[word].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn store(&self, word: usize, value: u64) {
+        self.words[word].store(value, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn load_f64(&self, word: usize) -> f64 {
+        f64::from_bits(self.load(word))
+    }
+
+    #[inline]
+    pub fn store_f64(&self, word: usize, value: f64) {
+        self.store(word, value.to_bits());
+    }
+
+    /// Copy every word of `src` into `self` (an RDMA page transfer).
+    pub fn copy_from(&self, src: &PageData) {
+        for w in 0..WORDS_PER_PAGE {
+            self.store(w, src.load(w));
+        }
+    }
+
+    /// Fill with zeroes.
+    pub fn clear(&self) {
+        for w in 0..WORDS_PER_PAGE {
+            self.store(w, 0);
+        }
+    }
+
+    /// Words where `self` differs from `twin`, as `(index, new_value)` pairs
+    /// — the paper's diff creation against a twin copy (§3.2), used to
+    /// downgrade multiple-writer pages without clobbering concurrent writers
+    /// of *other* words (false sharing).
+    pub fn diff_against(&self, twin: &PageData) -> Vec<(usize, u64)> {
+        let mut out = Vec::new();
+        for w in 0..WORDS_PER_PAGE {
+            let v = self.load(w);
+            if v != twin.load(w) {
+                out.push((w, v));
+            }
+        }
+        out
+    }
+
+    /// Apply a diff produced by [`Self::diff_against`].
+    pub fn apply_diff(&self, diff: &[(usize, u64)]) {
+        for &(w, v) in diff {
+            self.store(w, v);
+        }
+    }
+
+    /// Snapshot into a fresh page (twin creation on first write miss).
+    pub fn snapshot(&self) -> PageData {
+        let twin = PageData::zeroed();
+        twin.copy_from(self);
+        twin
+    }
+}
+
+impl Default for PageData {
+    fn default() -> Self {
+        Self::zeroed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeroed_page_is_zero() {
+        let p = PageData::zeroed();
+        assert_eq!(p.load(0), 0);
+        assert_eq!(p.load(WORDS_PER_PAGE - 1), 0);
+    }
+
+    #[test]
+    fn f64_round_trips() {
+        let p = PageData::zeroed();
+        p.store_f64(7, -3.25);
+        assert_eq!(p.load_f64(7), -3.25);
+        p.store_f64(7, f64::NEG_INFINITY);
+        assert_eq!(p.load_f64(7), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn copy_replicates_all_words() {
+        let a = PageData::zeroed();
+        a.store(0, 1);
+        a.store(511, 2);
+        let b = PageData::zeroed();
+        b.copy_from(&a);
+        assert_eq!(b.load(0), 1);
+        assert_eq!(b.load(511), 2);
+    }
+
+    #[test]
+    fn diff_finds_only_changed_words() {
+        let p = PageData::zeroed();
+        let twin = p.snapshot();
+        p.store(3, 42);
+        p.store(100, 7);
+        let d = p.diff_against(&twin);
+        assert_eq!(d, vec![(3, 42), (100, 7)]);
+    }
+
+    #[test]
+    fn diff_merges_nonoverlapping_writers() {
+        // The false-sharing scenario diffs exist for: two nodes write
+        // disjoint words of the same page; applying both diffs at home
+        // preserves both updates.
+        let home = PageData::zeroed();
+        let twin_a = home.snapshot();
+        let twin_b = home.snapshot();
+        let copy_a = home.snapshot();
+        let copy_b = home.snapshot();
+        copy_a.store(1, 11);
+        copy_b.store(2, 22);
+        home.apply_diff(&copy_a.diff_against(&twin_a));
+        home.apply_diff(&copy_b.diff_against(&twin_b));
+        assert_eq!(home.load(1), 11);
+        assert_eq!(home.load(2), 22);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_diff_apply_reconstructs(
+            writes in proptest::collection::vec((0usize..WORDS_PER_PAGE, any::<u64>()), 0..64)
+        ) {
+            let original = PageData::zeroed();
+            let twin = original.snapshot();
+            let modified = original.snapshot();
+            for &(w, v) in &writes {
+                modified.store(w, v);
+            }
+            // Applying the diff to a fresh copy of the original must equal
+            // the modified page.
+            let target = original.snapshot();
+            target.apply_diff(&modified.diff_against(&twin));
+            for w in 0..WORDS_PER_PAGE {
+                prop_assert_eq!(target.load(w), modified.load(w));
+            }
+        }
+
+        #[test]
+        fn prop_diff_of_identical_is_empty(seed in any::<u64>()) {
+            let p = PageData::zeroed();
+            p.store((seed % 512) as usize, seed);
+            let twin = p.snapshot();
+            prop_assert!(p.diff_against(&twin).is_empty());
+        }
+    }
+}

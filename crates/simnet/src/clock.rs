@@ -1,0 +1,169 @@
+//! Per-thread virtual clocks.
+//!
+//! Every simulated application thread owns a [`SimThread`]: its placement in
+//! the topology plus a monotone cycle counter. Compute work and network verbs
+//! advance the counter; synchronization primitives exchange counters so that
+//! causally-later events never carry earlier timestamps (a conservative
+//! parallel virtual-time simulation).
+
+use crate::net::Interconnect;
+use crate::topology::{NodeId, ThreadLoc};
+use std::sync::Arc;
+
+/// A simulated hardware thread: placement + virtual clock + interconnect.
+///
+/// `SimThread` is deliberately `!Sync`-by-usage: each OS thread owns exactly
+/// one and mutates it without sharing. Clocks cross threads only as plain
+/// `u64` timestamps through synchronization structures.
+///
+/// ```
+/// use simnet::{ClusterTopology, CostModel, Interconnect, NodeId, SimThread};
+///
+/// let topo = ClusterTopology::tiny(2);
+/// let net = Interconnect::new(topo, CostModel::paper_2011());
+/// let mut t = SimThread::new(topo.loc(NodeId(0), 0), net);
+/// t.compute(100);
+/// t.rdma_read(NodeId(1), 4096); // a remote page fetch
+/// assert!(t.now() >= 100 + 2 * CostModel::paper_2011().network_latency);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimThread {
+    loc: ThreadLoc,
+    now: u64,
+    net: Arc<Interconnect>,
+}
+
+impl SimThread {
+    pub fn new(loc: ThreadLoc, net: Arc<Interconnect>) -> Self {
+        SimThread { loc, now: 0, net }
+    }
+
+    #[inline]
+    pub fn loc(&self) -> ThreadLoc {
+        self.loc
+    }
+
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        self.loc.node
+    }
+
+    #[inline]
+    pub fn net(&self) -> &Arc<Interconnect> {
+        &self.net
+    }
+
+    /// Current virtual time in cycles.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Current virtual time in seconds at the cost model's CPU frequency.
+    #[inline]
+    pub fn now_secs(&self) -> f64 {
+        self.net.cost().cycles_to_secs(self.now)
+    }
+
+    /// Charge `cycles` of local computation.
+    #[inline]
+    pub fn compute(&mut self, cycles: u64) {
+        self.now += cycles;
+    }
+
+    /// Charge one local DRAM access (page-cache hit missing CPU caches).
+    #[inline]
+    pub fn dram_access(&mut self) {
+        self.now += self.net.cost().dram_latency;
+    }
+
+    /// Charge a page-fault trap into the DSM runtime (models SIGSEGV entry).
+    #[inline]
+    pub fn fault_trap(&mut self) {
+        self.now += self.net.cost().fault_trap_cycles;
+    }
+
+    /// Merge an externally observed timestamp: this thread cannot proceed
+    /// before `t` (lock hand-off, barrier exit, message receipt).
+    #[inline]
+    pub fn merge(&mut self, t: u64) {
+        self.now = self.now.max(t);
+    }
+
+    /// Blocking one-sided read of `bytes` from `target`'s memory.
+    pub fn rdma_read(&mut self, target: NodeId, bytes: u64) {
+        let t = self.net.rdma_read(self.loc, target, self.now, bytes);
+        self.now = t.initiator_done;
+    }
+
+    /// Posted one-sided write of `bytes` to `target`'s memory. Returns the
+    /// virtual time at which the payload settles remotely; SD fences collect
+    /// the max of these.
+    pub fn rdma_write(&mut self, target: NodeId, bytes: u64) -> u64 {
+        let t = self.net.rdma_write(self.loc, target, self.now, bytes);
+        self.now = t.initiator_done;
+        t.settled
+    }
+
+    /// Blocking remote atomic (fetch-and-add on a directory word).
+    pub fn rdma_atomic(&mut self, target: NodeId) {
+        let t = self.net.rdma_atomic(self.loc, target, self.now);
+        self.now = t.initiator_done;
+    }
+
+    /// Wait (in virtual time) until `target`'s NIC has drained everything
+    /// reserved so far. Combined with settle timestamps this implements the
+    /// completion side of an SD fence.
+    pub fn wait_nic_drain(&mut self, target: NodeId) {
+        let t = self.net.nic_drained_at(target);
+        self.merge(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::topology::ClusterTopology;
+
+    fn thread_on(node: u16) -> SimThread {
+        let topo = ClusterTopology::tiny(4);
+        let net = Interconnect::new(topo, CostModel::paper_2011());
+        SimThread::new(topo.loc(NodeId(node), 0), net)
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut t = thread_on(0);
+        t.compute(100);
+        assert_eq!(t.now(), 100);
+        t.dram_access();
+        assert_eq!(t.now(), 270);
+        t.merge(50); // must not go backwards
+        assert_eq!(t.now(), 270);
+        t.merge(1000);
+        assert_eq!(t.now(), 1000);
+    }
+
+    #[test]
+    fn rdma_read_blocks_for_round_trip() {
+        let mut t = thread_on(0);
+        t.rdma_read(NodeId(1), 4096);
+        let c = CostModel::paper_2011();
+        assert_eq!(t.now(), 2 * c.network_latency + c.transfer_cycles(4096));
+    }
+
+    #[test]
+    fn posted_write_returns_later_settle_time() {
+        let mut t = thread_on(0);
+        let settled = t.rdma_write(NodeId(1), 4096);
+        assert!(settled > t.now());
+    }
+
+    #[test]
+    fn now_secs_matches_model() {
+        let mut t = thread_on(0);
+        t.compute(3_400_000); // 1 ms at 3.4 GHz
+        assert!((t.now_secs() - 1e-3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,125 @@
+//! Global traffic counters for a simulated interconnect.
+//!
+//! The paper repeatedly *trades bandwidth for latency*; these counters are
+//! what lets the benchmarks show that trade (e.g. Figure 10 counts
+//! writebacks as a function of write-buffer size).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone counters of everything that crossed the simulated network.
+///
+/// All counters use `Relaxed` ordering: they are statistics, not
+/// synchronization, and are only read coherently after worker threads join.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    pub rdma_reads: AtomicU64,
+    pub rdma_writes: AtomicU64,
+    pub rdma_atomics: AtomicU64,
+    pub bytes_read: AtomicU64,
+    pub bytes_written: AtomicU64,
+    pub messages: AtomicU64,
+    pub msg_bytes: AtomicU64,
+    /// Message-handler invocations (MPI-style receives, active-directory
+    /// ablation). Always zero for Argo's passive protocol.
+    pub handler_invocations: AtomicU64,
+}
+
+/// A plain-old-data snapshot of [`NetStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStatsSnapshot {
+    pub rdma_reads: u64,
+    pub rdma_writes: u64,
+    pub rdma_atomics: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    pub messages: u64,
+    pub msg_bytes: u64,
+    pub handler_invocations: u64,
+}
+
+impl NetStats {
+    pub fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            rdma_reads: self.rdma_reads.load(Ordering::Relaxed),
+            rdma_writes: self.rdma_writes.load(Ordering::Relaxed),
+            rdma_atomics: self.rdma_atomics.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            messages: self.messages.load(Ordering::Relaxed),
+            msg_bytes: self.msg_bytes.load(Ordering::Relaxed),
+            handler_invocations: self.handler_invocations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset every counter to zero (used between benchmark phases, e.g. to
+    /// exclude initialization traffic as the paper does).
+    pub fn reset(&self) {
+        self.rdma_reads.store(0, Ordering::Relaxed);
+        self.rdma_writes.store(0, Ordering::Relaxed);
+        self.rdma_atomics.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.messages.store(0, Ordering::Relaxed);
+        self.msg_bytes.store(0, Ordering::Relaxed);
+        self.handler_invocations.store(0, Ordering::Relaxed);
+    }
+}
+
+impl NetStatsSnapshot {
+    /// Total bytes that crossed the network in any direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written + self.msg_bytes
+    }
+}
+
+/// Per-node traffic accounting (who is hot?).
+#[derive(Debug, Default)]
+pub struct PerNodeStats {
+    /// Bytes that entered this node's NIC (it was the transfer target).
+    pub bytes_in: AtomicU64,
+    /// Bytes that left this node's NIC (it was the transfer source).
+    pub bytes_out: AtomicU64,
+    /// One-sided/messaging operations that targeted this node.
+    pub ops_in: AtomicU64,
+}
+
+/// Plain snapshot of [`PerNodeStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerNodeSnapshot {
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+    pub ops_in: u64,
+}
+
+impl PerNodeStats {
+    pub fn snapshot(&self) -> PerNodeSnapshot {
+        PerNodeSnapshot {
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            ops_in: self.ops_in.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.bytes_in.store(0, Ordering::Relaxed);
+        self.bytes_out.store(0, Ordering::Relaxed);
+        self.ops_in.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_reset() {
+        let s = NetStats::default();
+        s.rdma_reads.fetch_add(3, Ordering::Relaxed);
+        s.bytes_read.fetch_add(4096, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.rdma_reads, 3);
+        assert_eq!(snap.total_bytes(), 4096);
+        s.reset();
+        assert_eq!(s.snapshot(), NetStatsSnapshot::default());
+    }
+}

@@ -1,0 +1,158 @@
+//! Cluster topology: nodes, sockets (NUMA domains), and cores.
+//!
+//! The paper's machines have two Opteron 6220 packages, each containing two
+//! quad-core dies on a shared interconnect — i.e. **4 NUMA domains of 4 cores
+//! per node** (16 cores, of which Argo uses 15). The default topology mirrors
+//! this; all dimensions are configurable.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a cluster node (one machine in the paper's cluster).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Index usable for array addressing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Placement of a simulated hardware thread: which node, which NUMA socket
+/// within the node, and which core within the socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ThreadLoc {
+    pub node: NodeId,
+    pub socket: u16,
+    pub core: u16,
+}
+
+impl ThreadLoc {
+    /// True if `self` and `other` share a NUMA domain (fastest communication).
+    #[inline]
+    pub fn same_socket(&self, other: &ThreadLoc) -> bool {
+        self.node == other.node && self.socket == other.socket
+    }
+
+    /// True if `self` and `other` are on the same machine.
+    #[inline]
+    pub fn same_node(&self, other: &ThreadLoc) -> bool {
+        self.node == other.node
+    }
+}
+
+/// Shape of the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterTopology {
+    /// Number of machines in the cluster.
+    pub nodes: usize,
+    /// NUMA domains per machine.
+    pub sockets_per_node: usize,
+    /// Cores per NUMA domain.
+    pub cores_per_socket: usize,
+}
+
+impl ClusterTopology {
+    /// Topology of the paper's evaluation cluster nodes: 4 NUMA domains × 4
+    /// cores (two dual-die Opteron 6220 packages).
+    pub fn paper(nodes: usize) -> Self {
+        ClusterTopology {
+            nodes,
+            sockets_per_node: 4,
+            cores_per_socket: 4,
+        }
+    }
+
+    /// A small topology convenient for unit tests.
+    pub fn tiny(nodes: usize) -> Self {
+        ClusterTopology {
+            nodes,
+            sockets_per_node: 1,
+            cores_per_socket: 2,
+        }
+    }
+
+    #[inline]
+    pub fn cores_per_node(&self) -> usize {
+        self.sockets_per_node * self.cores_per_socket
+    }
+
+    #[inline]
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node()
+    }
+
+    /// Placement of local core index `core` (0-based within the node).
+    ///
+    /// # Panics
+    /// Panics if `node` or `core` is out of range.
+    pub fn loc(&self, node: NodeId, core: usize) -> ThreadLoc {
+        assert!(node.idx() < self.nodes, "node {node} out of range");
+        assert!(
+            core < self.cores_per_node(),
+            "core {core} out of range for {} cores/node",
+            self.cores_per_node()
+        );
+        ThreadLoc {
+            node,
+            socket: (core / self.cores_per_socket) as u16,
+            core: (core % self.cores_per_socket) as u16,
+        }
+    }
+
+    /// Iterate over all `(NodeId, local core index)` pairs.
+    pub fn all_cores(&self) -> impl Iterator<Item = (NodeId, usize)> + '_ {
+        (0..self.nodes).flat_map(move |n| {
+            (0..self.cores_per_node()).map(move |c| (NodeId(n as u16), c))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_topology_has_16_cores_per_node() {
+        let t = ClusterTopology::paper(4);
+        assert_eq!(t.cores_per_node(), 16);
+        assert_eq!(t.total_cores(), 64);
+    }
+
+    #[test]
+    fn loc_maps_cores_to_sockets() {
+        let t = ClusterTopology::paper(2);
+        let a = t.loc(NodeId(0), 0);
+        let b = t.loc(NodeId(0), 3);
+        let c = t.loc(NodeId(0), 4);
+        let d = t.loc(NodeId(1), 4);
+        assert!(a.same_socket(&b));
+        assert!(!a.same_socket(&c));
+        assert!(a.same_node(&c));
+        assert!(!c.same_node(&d));
+        assert_eq!(c.socket, 1);
+        assert_eq!(c.core, 0);
+    }
+
+    #[test]
+    fn all_cores_enumerates_every_core_once() {
+        let t = ClusterTopology::tiny(3);
+        let v: Vec<_> = t.all_cores().collect();
+        assert_eq!(v.len(), t.total_cores());
+        assert_eq!(v[0], (NodeId(0), 0));
+        assert_eq!(*v.last().unwrap(), (NodeId(2), 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn loc_panics_on_bad_core() {
+        ClusterTopology::tiny(1).loc(NodeId(0), 99);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests on the virtual-time substrate: monotonicity, merge
+//! semantics, and cost-model algebra must hold for arbitrary inputs.
+
+use proptest::prelude::*;
+use simnet::{ClusterTopology, CostModel, Interconnect, NodeId, SimThread};
+
+proptest! {
+    /// A thread's clock never goes backwards under any op sequence.
+    #[test]
+    fn prop_clock_monotone(ops in proptest::collection::vec((0u8..5, 0u64..10_000), 1..100)) {
+        let topo = ClusterTopology::tiny(4);
+        let net = Interconnect::new(topo, CostModel::paper_2011());
+        let mut t = SimThread::new(topo.loc(NodeId(0), 0), net);
+        let mut last = 0;
+        for (kind, arg) in ops {
+            match kind {
+                0 => t.compute(arg),
+                1 => t.merge(arg),
+                2 => t.rdma_read(NodeId((arg % 4) as u16), arg % 65536),
+                3 => { let _ = t.rdma_write(NodeId((arg % 4) as u16), arg % 65536); }
+                _ => t.rdma_atomic(NodeId((arg % 4) as u16)),
+            }
+            prop_assert!(t.now() >= last, "clock went backwards");
+            last = t.now();
+        }
+    }
+
+    /// Transfer cost is monotone in size and additive-dominated (cost of a
+    /// combined transfer never exceeds the sum of its halves' wire terms).
+    #[test]
+    fn prop_transfer_cost_monotone(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let c = CostModel::paper_2011();
+        prop_assert!(c.transfer_cycles(a + b) >= c.transfer_cycles(a));
+        prop_assert!(c.transfer_cycles(a + b) <= c.transfer_cycles(a) + c.transfer_cycles(b) + 1);
+    }
+
+    /// cycles→secs→cycles round-trips within rounding.
+    #[test]
+    fn prop_time_conversion_round_trips(cycles in 0u64..1_000_000_000_000) {
+        let c = CostModel::paper_2011();
+        let back = c.secs_to_cycles(c.cycles_to_secs(cycles));
+        prop_assert!(back.abs_diff(cycles) <= cycles / 1_000_000 + 1);
+    }
+
+    /// Posted writes settle no earlier than the initiator unblocks, and
+    /// reads settle exactly when the initiator unblocks.
+    #[test]
+    fn prop_settle_ordering(bytes in 1u64..1_000_000, start in 0u64..1_000_000) {
+        let topo = ClusterTopology::tiny(2);
+        let net = Interconnect::new(topo, CostModel::paper_2011());
+        let loc = topo.loc(NodeId(0), 0);
+        let w = net.rdma_write(loc, NodeId(1), start, bytes);
+        prop_assert!(w.settled >= w.initiator_done);
+        let r = net.rdma_read(loc, NodeId(1), start, bytes);
+        prop_assert_eq!(r.settled, r.initiator_done);
+        prop_assert!(r.initiator_done >= start);
+    }
+
+    /// Per-node accounting conserves bytes: sum(in) == sum(out).
+    #[test]
+    fn prop_per_node_accounting_conserves(
+        transfers in proptest::collection::vec((0u16..4, 0u16..4, 1u64..100_000), 1..50)
+    ) {
+        let topo = ClusterTopology::tiny(4);
+        let net = Interconnect::new(topo, CostModel::paper_2011());
+        for (src, dst, bytes) in transfers {
+            let loc = topo.loc(NodeId(src), 0);
+            let _ = net.rdma_write(loc, NodeId(dst), 0, bytes);
+        }
+        let per = net.per_node_stats();
+        let total_in: u64 = per.iter().map(|p| p.bytes_in).sum();
+        let total_out: u64 = per.iter().map(|p| p.bytes_out).sum();
+        prop_assert_eq!(total_in, total_out);
+    }
+}

@@ -1,0 +1,206 @@
+//! Barriers with virtual-clock merging, and Argo's hierarchical barrier
+//! (paper §4.1).
+//!
+//! The hierarchical barrier is: node-local barrier → leader self-downgrades
+//! the node's write buffer → global barrier across node leaders → leader
+//! self-invalidates the node's cache → node-local release. One SD and one
+//! SI per *node* per barrier episode, not per thread.
+
+use carina::Dsm;
+use parking_lot::{Condvar, Mutex};
+use simnet::SimThread;
+use std::sync::Arc;
+
+struct BarrierState {
+    entered: usize,
+    generation: u64,
+    max_clock: u64,
+    release_clock: u64,
+}
+
+/// A reusable barrier for `n` participants that merges virtual clocks:
+/// every participant leaves with `max(entry clocks) + exit_cost`.
+pub struct ClockBarrier {
+    n: usize,
+    exit_cost: u64,
+    state: Mutex<BarrierState>,
+    cond: Condvar,
+}
+
+impl ClockBarrier {
+    pub fn new(n: usize, exit_cost: u64) -> Self {
+        assert!(n > 0, "barrier needs participants");
+        ClockBarrier {
+            n,
+            exit_cost,
+            state: Mutex::new(BarrierState {
+                entered: 0,
+                generation: 0,
+                max_clock: 0,
+                release_clock: 0,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    pub fn participants(&self) -> usize {
+        self.n
+    }
+
+    /// Wait for all participants; merge clocks.
+    pub fn wait(&self, t: &mut SimThread) {
+        self.wait_leader(t, |_| {});
+    }
+
+    /// Wait for all participants; the **last** to arrive runs `leader`
+    /// (with the merged clock) before everyone is released with the
+    /// leader's final clock. This is how the hierarchical barrier performs
+    /// its one-per-node fences.
+    pub fn wait_leader(&self, t: &mut SimThread, leader: impl FnOnce(&mut SimThread)) {
+        let mut st = self.state.lock();
+        let my_gen = st.generation;
+        st.entered += 1;
+        st.max_clock = st.max_clock.max(t.now());
+        if st.entered == self.n {
+            // Leader: everyone has arrived. Run the leader section at the
+            // merged clock, then release.
+            t.merge(st.max_clock);
+            drop(st);
+            leader(t);
+            t.compute(self.exit_cost);
+            let mut st = self.state.lock();
+            st.entered = 0;
+            st.generation += 1;
+            st.max_clock = 0;
+            st.release_clock = t.now();
+            self.cond.notify_all();
+        } else {
+            while st.generation == my_gen {
+                self.cond.wait(&mut st);
+            }
+            t.merge(st.release_clock);
+        }
+    }
+}
+
+/// Argo's hierarchical barrier over a DSM cluster.
+pub struct HierBarrier {
+    dsm: Arc<Dsm>,
+    node_barriers: Vec<ClockBarrier>,
+    global: Arc<ClockBarrier>,
+}
+
+impl HierBarrier {
+    /// `threads_per_node[i]` = participating threads on node `i`. Nodes
+    /// with zero threads do not participate.
+    pub fn new(dsm: Arc<Dsm>, threads_per_node: &[usize]) -> Self {
+        let cost = dsm.net().cost();
+        let active_nodes = threads_per_node.iter().filter(|&&n| n > 0).count();
+        assert!(active_nodes > 0, "barrier needs at least one active node");
+        let local_cost = 2 * cost.intersocket_latency;
+        let rounds = (active_nodes as u64).next_power_of_two().trailing_zeros() as u64;
+        let global_cost = 2 * cost.network_latency * rounds.max(if active_nodes > 1 { 1 } else { 0 });
+        HierBarrier {
+            dsm,
+            node_barriers: threads_per_node
+                .iter()
+                .map(|&n| ClockBarrier::new(n.max(1), local_cost))
+                .collect(),
+            global: Arc::new(ClockBarrier::new(active_nodes, global_cost)),
+        }
+    }
+
+    /// Wait at the barrier. DRF programs may rely on: every write before
+    /// the barrier (on any thread) is visible to every read after it.
+    pub fn wait(&self, t: &mut SimThread) {
+        let node = t.node().idx();
+        let dsm = &self.dsm;
+        let global = &self.global;
+        self.node_barriers[node].wait_leader(t, |t| {
+            dsm.sd_fence(t);
+            global.wait(t);
+            dsm.si_fence(t);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carina::CarinaConfig;
+    use mem::{GlobalAddr, PAGE_BYTES};
+    use simnet::{ClusterTopology, CostModel, Interconnect, NodeId};
+
+    #[test]
+    fn clock_barrier_merges_to_max_plus_cost() {
+        let b = Arc::new(ClockBarrier::new(3, 100));
+        let topo = ClusterTopology::tiny(1);
+        let net = Interconnect::new(topo, CostModel::paper_2011());
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                let b = b.clone();
+                let net = net.clone();
+                std::thread::spawn(move || {
+                    let mut t = SimThread::new(topo.loc(NodeId(0), 0), net);
+                    t.compute((i as u64 + 1) * 500);
+                    b.wait(&mut t);
+                    t.now()
+                })
+            })
+            .collect();
+        let exits: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(exits.iter().all(|&e| e == 1600)); // max(500,1000,1500)+100
+    }
+
+    #[test]
+    fn clock_barrier_is_reusable() {
+        let b = ClockBarrier::new(1, 10);
+        let topo = ClusterTopology::tiny(1);
+        let net = Interconnect::new(topo, CostModel::paper_2011());
+        let mut t = SimThread::new(topo.loc(NodeId(0), 0), net);
+        b.wait(&mut t);
+        b.wait(&mut t);
+        assert_eq!(t.now(), 20);
+    }
+
+    #[test]
+    fn hier_barrier_publishes_writes() {
+        // Two nodes, one thread each: node 0 writes, both barrier, node 1
+        // must read the new value.
+        let topo = ClusterTopology::tiny(2);
+        let net = Interconnect::new(topo, CostModel::paper_2011());
+        let dsm = carina::Dsm::new(net.clone(), 1 << 20, CarinaConfig::default());
+        let barrier = Arc::new(HierBarrier::new(dsm.clone(), &[1, 1]));
+        let addr = GlobalAddr(3 * PAGE_BYTES); // homed on node 1
+
+        let d0 = dsm.clone();
+        let b0 = barrier.clone();
+        let n0 = net.clone();
+        let writer = std::thread::spawn(move || {
+            let mut t = SimThread::new(topo.loc(NodeId(0), 0), n0);
+            d0.write_u64(&mut t, addr, 123);
+            b0.wait(&mut t);
+        });
+        let reader = std::thread::spawn(move || {
+            let mut t = SimThread::new(topo.loc(NodeId(1), 0), net);
+            // Cache the stale value first to prove SI happens.
+            let _ = dsm.read_u64(&mut t, addr);
+            barrier.wait(&mut t);
+            dsm.read_u64(&mut t, addr)
+        });
+        writer.join().unwrap();
+        assert_eq!(reader.join().unwrap(), 123);
+    }
+
+    #[test]
+    fn single_node_barrier_costs_no_network() {
+        let topo = ClusterTopology::tiny(1);
+        let net = Interconnect::new(topo, CostModel::paper_2011());
+        let dsm = carina::Dsm::new(net.clone(), 1 << 20, CarinaConfig::default());
+        let barrier = HierBarrier::new(dsm, &[1]);
+        let mut t = SimThread::new(topo.loc(NodeId(0), 0), net.clone());
+        barrier.wait(&mut t);
+        assert_eq!(net.stats().snapshot().messages, 0);
+        assert!(t.now() < 10_000);
+    }
+}

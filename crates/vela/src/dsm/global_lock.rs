@@ -1,0 +1,176 @@
+//! A cluster-wide lock acquired with one-sided atomics.
+//!
+//! Models an MCS-style queue lock whose word lives in one node's share of
+//! global memory: acquisition is a remote atomic (one round trip); a
+//! contended hand-off is the previous holder's one-way flag write. The
+//! *coherence* consequences of locking (SI on acquire / SD on release) are
+//! deliberately **not** part of this type — HQDL's whole point is choosing
+//! where those fences go (paper §4.2).
+
+use parking_lot::{Condvar, Mutex};
+use simnet::{NodeId, SimThread};
+use std::sync::Arc;
+
+struct LockState {
+    locked: bool,
+    /// Virtual time of the last release (what the next holder merges).
+    last_release: u64,
+    /// Successive acquisitions by the same node skip the remote round trip
+    /// probability model — tracked for stats only.
+    last_holder: Option<u16>,
+}
+
+/// Statistics of a [`DsmGlobalLock`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GlobalLockStats {
+    pub acquisitions: u64,
+    /// Acquisitions where the lock came from a different node.
+    pub node_switches: u64,
+}
+
+/// A global (cluster-wide) mutual-exclusion lock with virtual-time costs.
+pub struct DsmGlobalLock {
+    home: NodeId,
+    state: Mutex<(LockState, GlobalLockStats)>,
+    cond: Condvar,
+}
+
+impl DsmGlobalLock {
+    /// `home`: the node whose memory holds the lock word.
+    pub fn new(home: NodeId) -> Arc<Self> {
+        Arc::new(DsmGlobalLock {
+            home,
+            state: Mutex::new((
+                LockState {
+                    locked: false,
+                    last_release: 0,
+                    last_holder: None,
+                },
+                GlobalLockStats::default(),
+            )),
+            cond: Condvar::new(),
+        })
+    }
+
+    /// Acquire: one remote atomic on the lock word, plus waiting for the
+    /// previous holder's release to propagate.
+    pub fn acquire(&self, t: &mut SimThread) {
+        // The CAS on the lock word costs a round trip regardless of outcome.
+        t.rdma_atomic(self.home);
+        let mut st = self.state.lock();
+        while st.0.locked {
+            self.cond.wait(&mut st);
+        }
+        st.0.locked = true;
+        st.1.acquisitions += 1;
+        let me = t.node().0;
+        let switched = st.0.last_holder != Some(me);
+        let before = t.now();
+        if switched {
+            st.1.node_switches += 1;
+            // Hand-off from another node: the release flag travelled one
+            // network hop to reach us.
+            t.merge(st.0.last_release + t.net().cost().network_latency);
+        } else {
+            t.merge(st.0.last_release);
+        }
+        st.0.last_holder = Some(me);
+        drop(st);
+        let jump = t.now() - before;
+        if switched && jump > 0 {
+            // Real-time shadow of the virtual wait (~0.3 ns per simulated
+            // cycle, capped). Without this, waiting out another node's
+            // tenure is instantaneous in wall-clock terms and delegation
+            // queues never accumulate the way they do on real hardware —
+            // queue *dynamics* must track the virtual timeline for HQDL
+            // batching (and cohort pass behaviour) to be representative.
+            let shadow = std::time::Duration::from_nanos((jump * 3 / 10).min(100_000));
+            let start = std::time::Instant::now();
+            while start.elapsed() < shadow {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Release: a posted write of the lock word (the successor's spin flag).
+    pub fn release(&self, t: &mut SimThread) {
+        t.rdma_write(self.home, 8);
+        let mut st = self.state.lock();
+        assert!(st.0.locked, "releasing an unheld global lock");
+        st.0.locked = false;
+        st.0.last_release = t.now();
+        self.cond.notify_one();
+    }
+
+    pub fn stats(&self) -> GlobalLockStats {
+        self.state.lock().1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{ClusterTopology, CostModel, Interconnect};
+
+    #[test]
+    fn mutual_exclusion_and_clock_monotonicity() {
+        let topo = ClusterTopology::tiny(4);
+        let net = Interconnect::new(topo, CostModel::paper_2011());
+        let lock = DsmGlobalLock::new(NodeId(0));
+        let shared = Arc::new(Mutex::new((0u64, 0u64))); // (counter, last_clock)
+        let handles: Vec<_> = (0..4)
+            .map(|n| {
+                let lock = lock.clone();
+                let net = net.clone();
+                let shared = shared.clone();
+                std::thread::spawn(move || {
+                    let mut t = SimThread::new(topo.loc(NodeId(n as u16), 0), net);
+                    for _ in 0..200 {
+                        lock.acquire(&mut t);
+                        {
+                            let mut s = shared.lock();
+                            s.0 += 1;
+                            // Virtual time inside the lock is monotone
+                            // across holders.
+                            assert!(t.now() >= s.1);
+                            s.1 = t.now();
+                        }
+                        t.compute(50);
+                        lock.release(&mut t);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(shared.lock().0, 800);
+        let st = lock.stats();
+        assert_eq!(st.acquisitions, 800);
+        assert!(st.node_switches >= 3);
+    }
+
+    #[test]
+    fn acquisition_costs_a_round_trip() {
+        let topo = ClusterTopology::tiny(2);
+        let net = Interconnect::new(topo, CostModel::paper_2011());
+        let lock = DsmGlobalLock::new(NodeId(1));
+        let mut t = SimThread::new(topo.loc(NodeId(0), 0), net);
+        lock.acquire(&mut t);
+        let c = CostModel::paper_2011();
+        assert!(t.now() >= 2 * c.network_latency);
+        lock.release(&mut t);
+    }
+
+    #[test]
+    #[should_panic(expected = "unheld")]
+    fn double_release_is_a_bug() {
+        let topo = ClusterTopology::tiny(1);
+        let net = Interconnect::new(topo, CostModel::paper_2011());
+        let lock = DsmGlobalLock::new(NodeId(0));
+        let mut t = SimThread::new(topo.loc(NodeId(0), 0), net);
+        lock.acquire(&mut t);
+        lock.release(&mut t);
+        lock.release(&mut t);
+    }
+}

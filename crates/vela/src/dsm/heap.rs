@@ -1,0 +1,256 @@
+//! A pairing heap living **in global DSM memory**.
+//!
+//! The distributed lock microbenchmark (Figure 12) protects a shared
+//! priority queue with a lock; the queue's nodes live in the global address
+//! space, so whichever node executes a critical section pulls the touched
+//! heap pages through the coherence layer. This is the migratory-data
+//! behaviour that makes consolidated (hierarchical) critical-section
+//! execution pay off.
+//!
+//! Same algorithm as [`crate::pairing_heap`], but every word access goes
+//! through `Dsm::{read,write}_u64` and is charged virtual time.
+
+use carina::Dsm;
+use mem::GlobalAddr;
+use simnet::SimThread;
+
+const NONE: u64 = u64::MAX;
+
+/// Header words.
+const H_LEN: u64 = 0;
+const H_ROOT: u64 = 1;
+const H_FREE: u64 = 2;
+const H_NEXT: u64 = 3;
+const H_CAP: u64 = 4;
+/// First node starts after an 8-word header.
+const HEADER_WORDS: u64 = 8;
+/// Words per node: key, child, sibling.
+const NODE_WORDS: u64 = 3;
+
+/// A handle to a pairing heap at a fixed global address. The handle itself
+/// is plain data; all state lives in the DSM. Callers must serialize
+/// operations with a lock (that is the point of the benchmark).
+#[derive(Debug, Clone, Copy)]
+pub struct DsmPairingHeap {
+    base: GlobalAddr,
+}
+
+impl DsmPairingHeap {
+    /// Bytes of global memory needed for a heap of `capacity` keys.
+    pub fn bytes_needed(capacity: u64) -> u64 {
+        (HEADER_WORDS + capacity * NODE_WORDS) * 8
+    }
+
+    /// Initialize an empty heap at `base` (which must have
+    /// [`Self::bytes_needed`] bytes of space).
+    pub fn init(dsm: &Dsm, t: &mut SimThread, base: GlobalAddr, capacity: u64) -> Self {
+        let h = DsmPairingHeap { base };
+        dsm.write_u64(t, h.word(H_LEN), 0);
+        dsm.write_u64(t, h.word(H_ROOT), NONE);
+        dsm.write_u64(t, h.word(H_FREE), NONE);
+        dsm.write_u64(t, h.word(H_NEXT), 0);
+        dsm.write_u64(t, h.word(H_CAP), capacity);
+        h
+    }
+
+    /// Attach to an already initialized heap.
+    pub fn attach(base: GlobalAddr) -> Self {
+        DsmPairingHeap { base }
+    }
+
+    #[inline]
+    fn word(&self, w: u64) -> GlobalAddr {
+        self.base.offset(w * 8)
+    }
+
+    #[inline]
+    fn node_word(&self, node: u64, field: u64) -> GlobalAddr {
+        self.word(HEADER_WORDS + node * NODE_WORDS + field)
+    }
+
+    fn key(&self, dsm: &Dsm, t: &mut SimThread, n: u64) -> u64 {
+        dsm.read_u64(t, self.node_word(n, 0))
+    }
+
+    fn child(&self, dsm: &Dsm, t: &mut SimThread, n: u64) -> u64 {
+        dsm.read_u64(t, self.node_word(n, 1))
+    }
+
+    fn sibling(&self, dsm: &Dsm, t: &mut SimThread, n: u64) -> u64 {
+        dsm.read_u64(t, self.node_word(n, 2))
+    }
+
+    fn set_child(&self, dsm: &Dsm, t: &mut SimThread, n: u64, v: u64) {
+        dsm.write_u64(t, self.node_word(n, 1), v);
+    }
+
+    fn set_sibling(&self, dsm: &Dsm, t: &mut SimThread, n: u64, v: u64) {
+        dsm.write_u64(t, self.node_word(n, 2), v);
+    }
+
+    pub fn len(&self, dsm: &Dsm, t: &mut SimThread) -> u64 {
+        dsm.read_u64(t, self.word(H_LEN))
+    }
+
+    pub fn is_empty(&self, dsm: &Dsm, t: &mut SimThread) -> bool {
+        self.len(dsm, t) == 0
+    }
+
+    fn alloc(&self, dsm: &Dsm, t: &mut SimThread, key: u64) -> u64 {
+        let free = dsm.read_u64(t, self.word(H_FREE));
+        let n = if free != NONE {
+            let next_free = self.sibling(dsm, t, free);
+            dsm.write_u64(t, self.word(H_FREE), next_free);
+            free
+        } else {
+            let next = dsm.read_u64(t, self.word(H_NEXT));
+            let cap = dsm.read_u64(t, self.word(H_CAP));
+            assert!(next < cap, "DSM pairing heap capacity exceeded");
+            dsm.write_u64(t, self.word(H_NEXT), next + 1);
+            next
+        };
+        dsm.write_u64(t, self.node_word(n, 0), key);
+        self.set_child(dsm, t, n, NONE);
+        self.set_sibling(dsm, t, n, NONE);
+        n
+    }
+
+    fn release(&self, dsm: &Dsm, t: &mut SimThread, n: u64) {
+        let free = dsm.read_u64(t, self.word(H_FREE));
+        self.set_sibling(dsm, t, n, free);
+        dsm.write_u64(t, self.word(H_FREE), n);
+    }
+
+    fn meld(&self, dsm: &Dsm, t: &mut SimThread, a: u64, b: u64) -> u64 {
+        if a == NONE {
+            return b;
+        }
+        if b == NONE {
+            return a;
+        }
+        let (parent, child) = if self.key(dsm, t, a) <= self.key(dsm, t, b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let old_child = self.child(dsm, t, parent);
+        self.set_sibling(dsm, t, child, old_child);
+        self.set_child(dsm, t, parent, child);
+        parent
+    }
+
+    pub fn insert(&self, dsm: &Dsm, t: &mut SimThread, key: u64) {
+        let n = self.alloc(dsm, t, key);
+        let root = dsm.read_u64(t, self.word(H_ROOT));
+        let new_root = self.meld(dsm, t, root, n);
+        dsm.write_u64(t, self.word(H_ROOT), new_root);
+        let len = dsm.read_u64(t, self.word(H_LEN));
+        dsm.write_u64(t, self.word(H_LEN), len + 1);
+    }
+
+    pub fn extract_min(&self, dsm: &Dsm, t: &mut SimThread) -> Option<u64> {
+        let root = dsm.read_u64(t, self.word(H_ROOT));
+        if root == NONE {
+            return None;
+        }
+        let key = self.key(dsm, t, root);
+        let first = self.child(dsm, t, root);
+        // Two-pass pairing.
+        let mut pairs: Vec<u64> = Vec::new();
+        let mut cur = first;
+        while cur != NONE {
+            let a = cur;
+            let b = self.sibling(dsm, t, a);
+            if b == NONE {
+                self.set_sibling(dsm, t, a, NONE);
+                pairs.push(a);
+                break;
+            }
+            let next = self.sibling(dsm, t, b);
+            self.set_sibling(dsm, t, a, NONE);
+            self.set_sibling(dsm, t, b, NONE);
+            pairs.push(self.meld(dsm, t, a, b));
+            cur = next;
+        }
+        let mut new_root = NONE;
+        for &p in pairs.iter().rev() {
+            new_root = self.meld(dsm, t, new_root, p);
+        }
+        dsm.write_u64(t, self.word(H_ROOT), new_root);
+        self.release(dsm, t, root);
+        let len = dsm.read_u64(t, self.word(H_LEN));
+        dsm.write_u64(t, self.word(H_LEN), len - 1);
+        Some(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carina::CarinaConfig;
+    use rand::prelude::*;
+    use simnet::{ClusterTopology, CostModel, Interconnect, NodeId};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Dsm>, SimThread) {
+        let topo = ClusterTopology::tiny(2);
+        let net = Interconnect::new(topo, CostModel::paper_2011());
+        let dsm = Dsm::new(net.clone(), 4 << 20, CarinaConfig::default());
+        let t = SimThread::new(topo.loc(NodeId(0), 0), net);
+        (dsm, t)
+    }
+
+    #[test]
+    fn sorts_like_local_heap() {
+        let (dsm, mut t) = setup();
+        let base = dsm.allocator().alloc(DsmPairingHeap::bytes_needed(256), 8).unwrap();
+        let h = DsmPairingHeap::init(&dsm, &mut t, base, 256);
+        let mut rng = StdRng::seed_from_u64(7);
+        let keys: Vec<u64> = (0..200).map(|_| rng.random_range(0..500)).collect();
+        for &k in &keys {
+            h.insert(&dsm, &mut t, k);
+        }
+        assert_eq!(h.len(&dsm, &mut t), 200);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        let out: Vec<u64> = std::iter::from_fn(|| h.extract_min(&dsm, &mut t)).collect();
+        assert_eq!(out, sorted);
+    }
+
+    #[test]
+    fn free_list_bounds_allocation() {
+        let (dsm, mut t) = setup();
+        let base = dsm.allocator().alloc(DsmPairingHeap::bytes_needed(4), 8).unwrap();
+        let h = DsmPairingHeap::init(&dsm, &mut t, base, 4);
+        for round in 0..10 {
+            for k in 0..4u64 {
+                h.insert(&dsm, &mut t, k + round);
+            }
+            for _ in 0..4 {
+                h.extract_min(&dsm, &mut t).unwrap();
+            }
+        }
+        assert!(h.is_empty(&dsm, &mut t));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity exceeded")]
+    fn overflow_panics() {
+        let (dsm, mut t) = setup();
+        let base = dsm.allocator().alloc(DsmPairingHeap::bytes_needed(2), 8).unwrap();
+        let h = DsmPairingHeap::init(&dsm, &mut t, base, 2);
+        for k in 0..3 {
+            h.insert(&dsm, &mut t, k);
+        }
+    }
+
+    #[test]
+    fn operations_charge_virtual_time() {
+        let (dsm, mut t) = setup();
+        let base = dsm.allocator().alloc(DsmPairingHeap::bytes_needed(64), 8).unwrap();
+        let h = DsmPairingHeap::init(&dsm, &mut t, base, 64);
+        let before = t.now();
+        h.insert(&dsm, &mut t, 1);
+        assert!(t.now() > before);
+    }
+}

@@ -1,0 +1,339 @@
+//! Hierarchical Queue Delegation Locking — the paper's second contribution
+//! (§4.2).
+//!
+//! Plain (flat) queue delegation does not survive distribution: delegating
+//! a section to a *remote* helper forces the delegator to self-downgrade
+//! first (the helper must see its writes) and to self-invalidate on wait —
+//! delegation saves nothing. HQDL therefore only allows delegation **from
+//! the same node as the lock holder**:
+//!
+//! 1. A node's would-be helper acquires a *global* lock; the node becomes
+//!    the active node.
+//! 2. The helper performs **one** SI fence ("see data possibly written in
+//!    earlier executions of critical sections in other nodes").
+//! 3. Threads of the active node delegate critical sections into the node
+//!    queue; the helper executes them back to back on one core — no
+//!    fences, no lock hand-offs, local cache reuse.
+//! 4. After the queue is empty (or a batch limit is reached), **one** SD
+//!    fence publishes every executed section's writes, and the global lock
+//!    moves on.
+//!
+//! Threads on non-active nodes simply wait to become the active node; "if
+//! the program depends on lock performance, it has enough work even on a
+//! single node, otherwise there are only negligible stalls on other nodes."
+
+use crate::dsm::global_lock::DsmGlobalLock;
+use carina::Dsm;
+use crossbeam::queue::SegQueue;
+use parking_lot::lock_api::RawMutex as _;
+use parking_lot::RawMutex;
+use simnet::{NodeId, SimThread};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+type DsmJob = Box<dyn FnOnce(&mut SimThread) + Send>;
+
+struct Slot<R> {
+    done: AtomicBool,
+    /// The helper's virtual clock when the section completed; the waiter
+    /// merges it.
+    clock: AtomicU64,
+    value: UnsafeCell<Option<R>>,
+}
+
+// SAFETY: `value` written once before `done` is released, read after.
+unsafe impl<R: Send> Sync for Slot<R> {}
+
+/// Handle to a delegated (possibly detached) DSM critical section.
+pub struct DsmFuture<R> {
+    slot: Arc<Slot<R>>,
+}
+
+impl<R> DsmFuture<R> {
+    pub fn is_done(&self) -> bool {
+        self.slot.done.load(Ordering::Acquire)
+    }
+}
+
+struct NodeQueue {
+    queue: SegQueue<DsmJob>,
+    /// Guards the helper role on this node.
+    helper: RawMutex,
+}
+
+/// Statistics of an [`Hqdl`] lock.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HqdlStats {
+    pub sections_executed: u64,
+    pub batches: u64,
+    /// Virtual cycles helpers spent acquiring the global lock (incl.
+    /// waiting for other nodes' tenures).
+    pub acquire_cycles: u64,
+    /// Virtual cycles helpers spent in SI/SD fences.
+    pub fence_cycles: u64,
+    /// Virtual cycles helpers spent executing delegated sections.
+    pub section_cycles: u64,
+    /// Largest single batch.
+    pub max_batch: u64,
+}
+
+/// A hierarchical queue delegation lock over a DSM cluster.
+pub struct Hqdl {
+    dsm: Arc<Dsm>,
+    global: Arc<DsmGlobalLock>,
+    node_queues: Vec<NodeQueue>,
+    batch_limit: usize,
+    sections: AtomicU64,
+    batches: AtomicU64,
+    acquire_cycles: AtomicU64,
+    fence_cycles: AtomicU64,
+    section_cycles: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+impl Hqdl {
+    /// `batch_limit`: maximum sections executed per global-lock tenure
+    /// ("either because there are no more, or a limit is reached").
+    pub fn new(dsm: Arc<Dsm>, batch_limit: usize) -> Arc<Self> {
+        assert!(batch_limit > 0, "batch limit must be positive");
+        let nodes = dsm.net().topology().nodes;
+        Arc::new(Hqdl {
+            global: DsmGlobalLock::new(NodeId(0)),
+            node_queues: (0..nodes)
+                .map(|_| NodeQueue {
+                    queue: SegQueue::new(),
+                    helper: RawMutex::INIT,
+                })
+                .collect(),
+            dsm,
+            batch_limit,
+            sections: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            acquire_cycles: AtomicU64::new(0),
+            fence_cycles: AtomicU64::new(0),
+            section_cycles: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+        })
+    }
+
+    pub fn stats(&self) -> HqdlStats {
+        HqdlStats {
+            sections_executed: self.sections.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            acquire_cycles: self.acquire_cycles.load(Ordering::Relaxed),
+            fence_cycles: self.fence_cycles.load(Ordering::Relaxed),
+            section_cycles: self.section_cycles.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Delegate a critical section from `t`'s node; returns immediately
+    /// (detached execution). The closure runs on the node's helper thread
+    /// with the helper's virtual clock and may access the DSM freely.
+    pub fn delegate<R: Send + 'static>(
+        self: &Arc<Self>,
+        t: &mut SimThread,
+        f: impl FnOnce(&mut SimThread) -> R + Send + 'static,
+    ) -> DsmFuture<R> {
+        let slot = Arc::new(Slot {
+            done: AtomicBool::new(false),
+            clock: AtomicU64::new(0),
+            value: UnsafeCell::new(None),
+        });
+        let s = slot.clone();
+        // Publication cost: writing the request where the helper reads it
+        // (same node, possibly another socket).
+        t.compute(t.net().cost().intersocket_latency);
+        let node = t.node().idx();
+        self.node_queues[node].queue.push(Box::new(move |ht: &mut SimThread| {
+            let r = f(ht);
+            // SAFETY: sole writer before the `done` release.
+            unsafe { *s.value.get() = Some(r) };
+            s.clock.store(ht.now(), Ordering::Relaxed);
+            s.done.store(true, Ordering::Release);
+        }));
+        // Deliberately do NOT help here: detached delegation returns
+        // immediately, letting sections accumulate so the eventual helper
+        // executes a large batch (the whole point of QDL). Execution is
+        // guaranteed by any subsequent `wait` (including our own), or by a
+        // flushing `delegate_wait`.
+        DsmFuture { slot }
+    }
+
+    /// Wait for a delegated section, helping if the helper role is free.
+    pub fn wait<R>(self: &Arc<Self>, t: &mut SimThread, future: DsmFuture<R>) -> R {
+        let node = t.node().idx();
+        let mut spins = 0u32;
+        while !future.is_done() {
+            self.try_help(t, node);
+            if future.is_done() {
+                break;
+            }
+            spins += 1;
+            if spins > 32 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        // The result was produced at the helper's clock; we cannot have it
+        // earlier.
+        t.merge(future.slot.clock.load(Ordering::Relaxed));
+        // SAFETY: done acquired.
+        unsafe { (*future.slot.value.get()).take().expect("result taken twice") }
+    }
+
+    /// Delegate and wait (synchronous critical section).
+    pub fn delegate_wait<R: Send + 'static>(
+        self: &Arc<Self>,
+        t: &mut SimThread,
+        f: impl FnOnce(&mut SimThread) -> R + Send + 'static,
+    ) -> R {
+        let fut = self.delegate(t, f);
+        self.wait(t, fut)
+    }
+
+    /// Become this node's helper if the role is free and the queue is
+    /// non-empty: acquire the global lock, SI once, run a batch, SD once,
+    /// release.
+    fn try_help(&self, t: &mut SimThread, node: usize) {
+        let nq = &self.node_queues[node];
+        if nq.queue.is_empty() || !nq.helper.try_lock() {
+            return;
+        }
+        if nq.queue.is_empty() {
+            // Raced with a previous helper that drained everything.
+            // SAFETY: locked above.
+            unsafe { nq.helper.unlock() };
+            return;
+        }
+        let t0 = t.now();
+        self.global.acquire(t);
+        let t1 = t.now();
+        // Open the delegation queue: one SI to observe earlier critical
+        // sections executed on other nodes.
+        self.dsm.si_fence(t);
+        let t2 = t.now();
+        self.acquire_cycles.fetch_add(t1 - t0, Ordering::Relaxed);
+        let mut executed = 0usize;
+        'batch: while executed < self.batch_limit {
+            match nq.queue.pop() {
+                Some(job) => {
+                    job(t);
+                    executed += 1;
+                }
+                None => {
+                    // The queue is open while we hold the lock: linger
+                    // briefly for sections being enqueued right now, so
+                    // real-thread scheduling doesn't shatter the batch.
+                    // Yield rather than spin — on an oversubscribed host
+                    // the producers need the CPU to enqueue anything.
+                    for _ in 0..48 {
+                        std::thread::yield_now();
+                        if !nq.queue.is_empty() {
+                            continue 'batch;
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        self.sections.fetch_add(executed as u64, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.max_batch.fetch_max(executed as u64, Ordering::Relaxed);
+        let t3 = t.now();
+        self.section_cycles.fetch_add(t3 - t2, Ordering::Relaxed);
+        // Close the queue: one SD to publish every section's writes.
+        self.dsm.sd_fence(t);
+        self.fence_cycles
+            .fetch_add((t2 - t1) + (t.now() - t3), Ordering::Relaxed);
+        self.global.release(t);
+        // SAFETY: locked above.
+        unsafe { nq.helper.unlock() };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carina::CarinaConfig;
+    use mem::{GlobalAddr, PAGE_BYTES};
+    use simnet::{ClusterTopology, CostModel, Interconnect};
+
+    fn setup(nodes: usize) -> (Arc<Dsm>, Arc<Interconnect>, ClusterTopology) {
+        let topo = ClusterTopology::tiny(nodes);
+        let net = Interconnect::new(topo, CostModel::paper_2011());
+        let dsm = Dsm::new(net.clone(), 1 << 20, CarinaConfig::default());
+        (dsm, net, topo)
+    }
+
+    #[test]
+    fn delegated_counter_across_nodes() {
+        let (dsm, net, topo) = setup(3);
+        let addr = GlobalAddr(5 * PAGE_BYTES);
+        let lock = Hqdl::new(dsm.clone(), 64);
+        let handles: Vec<_> = (0..3)
+            .map(|n| {
+                let lock = lock.clone();
+                let dsm = dsm.clone();
+                let net = net.clone();
+                std::thread::spawn(move || {
+                    let mut t = SimThread::new(topo.loc(NodeId(n as u16), 0), net);
+                    for _ in 0..500 {
+                        let d = dsm.clone();
+                        lock.delegate_wait(&mut t, move |ht| {
+                            let v = d.read_u64(ht, addr);
+                            d.write_u64(ht, addr, v + 1);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut t = SimThread::new(topo.loc(NodeId(0), 0), net);
+        let final_v = lock.delegate_wait(&mut t, {
+            let d = dsm.clone();
+            move |ht| d.read_u64(ht, addr)
+        });
+        assert_eq!(final_v, 1500);
+        let st = lock.stats();
+        assert_eq!(st.sections_executed, 1501);
+        // Batching: far fewer global-lock tenures than sections.
+        assert!(st.batches <= st.sections_executed);
+    }
+
+    #[test]
+    fn detached_sections_complete_on_wait() {
+        let (dsm, net, topo) = setup(1);
+        let addr = GlobalAddr(PAGE_BYTES);
+        let lock = Hqdl::new(dsm.clone(), 1024);
+        let mut t = SimThread::new(topo.loc(NodeId(0), 0), net);
+        let futs: Vec<_> = (0..100)
+            .map(|_| {
+                let d = dsm.clone();
+                lock.delegate(&mut t, move |ht| {
+                    let v = d.read_u64(ht, addr);
+                    d.write_u64(ht, addr, v + 1);
+                })
+            })
+            .collect();
+        for f in futs {
+            lock.wait(&mut t, f);
+        }
+        let d = dsm.clone();
+        assert_eq!(lock.delegate_wait(&mut t, move |ht| d.read_u64(ht, addr)), 100);
+    }
+
+    #[test]
+    fn waiter_clock_includes_helper_time() {
+        let (dsm, net, topo) = setup(2);
+        let lock = Hqdl::new(dsm.clone(), 8);
+        let mut t = SimThread::new(topo.loc(NodeId(0), 0), net);
+        let before = t.now();
+        lock.delegate_wait(&mut t, |ht| ht.compute(10_000));
+        assert!(t.now() >= before + 10_000);
+    }
+}

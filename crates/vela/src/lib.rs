@@ -1,0 +1,29 @@
+//! # vela — Argo's synchronization system
+//!
+//! The paper's second contribution. Synchronization is where a
+//! self-invalidation DSM lives or dies: every acquire costs an SI fence
+//! over the node's whole page cache, so the protocol must synchronize as
+//! rarely — and as locally — as possible.
+//!
+//! Two halves:
+//!
+//! - [`local`]: real shared-memory locks measured in real time on real
+//!   threads — Pthreads mutex, MCS, CLH, flat combining, **queue delegation
+//!   (QDL)** and the **cohort lock**. These reproduce Figure 11's
+//!   single-node comparison.
+//! - [`dsm`]: cluster-wide primitives with virtual-time semantics — the
+//!   hierarchical barrier (§4.1), a one-sided global lock, **HQDL**
+//!   (hierarchical queue delegation, §4.2), the distributed cohort-lock
+//!   baseline, and a pairing heap resident in global memory. These
+//!   reproduce Figure 12.
+//!
+//! [`pairing_heap`] is the sequential priority queue both microbenchmarks
+//! wrap a lock around (§5.3).
+
+pub mod dsm;
+pub mod local;
+pub mod pairing_heap;
+
+pub use dsm::{ClockBarrier, DsmCohortLock, DsmFlag, DsmGlobalLock, DsmPairingHeap, FencePlacement, HierBarrier, Hqdl};
+pub use local::{ClhLock, CohortLock, CsLock, FcLock, HboLock, HclhLock, McsLock, PthreadsMutex, QdLock, TicketLock};
+pub use pairing_heap::PairingHeap;

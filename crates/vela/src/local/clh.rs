@@ -1,0 +1,108 @@
+//! The CLH queue lock (Craig 1993; Magnusson, Landin & Hagersten 1994).
+//!
+//! Like MCS, waiters form a queue; unlike MCS each waiter spins on its
+//! *predecessor's* node, and releases by flipping its own node — the
+//! predecessor's node is then recycled by the releasing thread.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+struct ClhNode {
+    locked: AtomicBool,
+}
+
+/// A CLH lock protecting `T`.
+pub struct ClhLock<T> {
+    tail: AtomicPtr<ClhNode>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: queue protocol guarantees exclusivity between acquire and release.
+unsafe impl<T: Send> Sync for ClhLock<T> {}
+unsafe impl<T: Send> Send for ClhLock<T> {}
+
+impl<T> ClhLock<T> {
+    pub fn new(data: T) -> Self {
+        // The queue starts with a sentinel "released" node.
+        let sentinel = Box::into_raw(Box::new(ClhNode {
+            locked: AtomicBool::new(false),
+        }));
+        ClhLock {
+            tail: AtomicPtr::new(sentinel),
+            data: UnsafeCell::new(data),
+        }
+    }
+
+    /// Run `f` with exclusive access to the data.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let node = Box::into_raw(Box::new(ClhNode {
+            locked: AtomicBool::new(true),
+        }));
+        let pred = self.tail.swap(node, Ordering::AcqRel);
+        // SAFETY: `pred` stays allocated until we recycle it below; its
+        // owner only flips `locked` and never frees it.
+        let mut spins = 0u32;
+        while unsafe { (*pred).locked.load(Ordering::Acquire) } {
+            spins += 1;
+            if spins > 128 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        // SAFETY: predecessor released; we hold the lock.
+        let result = f(unsafe { &mut *self.data.get() });
+        unsafe {
+            // Release our node for our successor, recycle the predecessor.
+            (*node).locked.store(false, Ordering::Release);
+            drop(Box::from_raw(pred));
+        }
+        result
+    }
+}
+
+impl<T> Drop for ClhLock<T> {
+    fn drop(&mut self) {
+        // The final tail node (sentinel or last releaser's node) is live.
+        let tail = *self.tail.get_mut();
+        if !tail.is_null() {
+            // SAFETY: no threads can hold references (we have &mut self).
+            unsafe { drop(Box::from_raw(tail)) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_under_contention() {
+        let lock = Arc::new(ClhLock::new(0u64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let l = lock.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..20_000 {
+                        l.with(|v| *v += 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        lock.with(|v| assert_eq!(*v, 160_000));
+    }
+
+    #[test]
+    fn no_leak_on_drop() {
+        // Exercise drop with a used lock (would double-free or leak if the
+        // recycling protocol were wrong; run under Miri/ASan to verify).
+        let lock = ClhLock::new(1u32);
+        lock.with(|v| *v += 1);
+        lock.with(|v| assert_eq!(*v, 2));
+        drop(lock);
+    }
+}

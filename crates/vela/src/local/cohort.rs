@@ -1,0 +1,149 @@
+//! Lock cohorting (Dice, Marathe & Shavit 2012).
+//!
+//! A NUMA-aware composite lock: one local (per-socket) lock plus one global
+//! lock. While threads of the current socket keep arriving, the holder
+//! passes the *local* lock and retains the global one ("cohort passing"),
+//! so the protected data stays in the socket's caches; after a bounded
+//! number of passes fairness forces a global release. This is the
+//! state-of-the-art non-delegation baseline the paper compares QDL and
+//! HQDL against (Figures 11 and 12).
+
+use crate::local::ticket::TicketLock;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct LocalTier {
+    lock: TicketLock,
+    /// Does this socket currently own the global lock? Only read/written
+    /// while holding the local lock.
+    owns_global: AtomicU64, // 0 or 1 (atomic for Sync; protected by `lock`)
+    passes: AtomicU64,
+}
+
+/// A cohort lock over `sockets` NUMA domains, protecting `T`.
+pub struct CohortLock<T> {
+    global: TicketLock,
+    locals: Vec<LocalTier>,
+    /// Maximum consecutive local passes before releasing the global lock.
+    pass_limit: u64,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: `data` is only accessed between a successful acquire (local +
+// global ownership) and the matching release.
+unsafe impl<T: Send> Sync for CohortLock<T> {}
+unsafe impl<T: Send> Send for CohortLock<T> {}
+
+impl<T> CohortLock<T> {
+    /// `sockets`: number of NUMA domains; `pass_limit`: fairness bound on
+    /// consecutive local handoffs (the paper's cohort locks use a few tens).
+    pub fn new(sockets: usize, pass_limit: u64, data: T) -> Self {
+        assert!(sockets > 0, "need at least one socket");
+        CohortLock {
+            global: TicketLock::new(),
+            locals: (0..sockets)
+                .map(|_| LocalTier {
+                    lock: TicketLock::new(),
+                    owns_global: AtomicU64::new(0),
+                    passes: AtomicU64::new(0),
+                })
+                .collect(),
+            pass_limit,
+            data: UnsafeCell::new(data),
+        }
+    }
+
+    pub fn sockets(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// Run `f` with exclusive access, from a thread on `socket`.
+    pub fn with<R>(&self, socket: usize, f: impl FnOnce(&mut T) -> R) -> R {
+        let tier = &self.locals[socket];
+        tier.lock.lock();
+        if tier.owns_global.load(Ordering::Relaxed) == 0 {
+            self.global.lock();
+            tier.owns_global.store(1, Ordering::Relaxed);
+            tier.passes.store(0, Ordering::Relaxed);
+        }
+        // SAFETY: we hold the local lock of a socket that owns the global
+        // lock — system-wide exclusivity.
+        let result = f(unsafe { &mut *self.data.get() });
+        // Release policy: pass locally while waiters exist and the fairness
+        // budget allows; otherwise surrender the global lock.
+        let passes = tier.passes.load(Ordering::Relaxed);
+        if tier.lock.has_waiters() && passes < self.pass_limit {
+            tier.passes.store(passes + 1, Ordering::Relaxed);
+            tier.lock.unlock(); // global stays with this socket
+        } else {
+            tier.owns_global.store(0, Ordering::Relaxed);
+            self.global.unlock();
+            tier.lock.unlock();
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_under_contention_across_sockets() {
+        let lock = Arc::new(CohortLock::new(4, 32, 0u64));
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let l = lock.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..20_000 {
+                        l.with(i % 4, |v| *v += 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(lock.with(0, |v| *v), 160_000);
+    }
+
+    #[test]
+    fn single_socket_degenerates_to_plain_lock() {
+        let lock = Arc::new(CohortLock::new(1, 8, Vec::new()));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let l = lock.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        l.with(0, |v| v.push((t, i)));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(lock.with(0, |v| v.len()), 2000);
+    }
+
+    #[test]
+    fn pass_limit_zero_releases_global_every_time() {
+        // With a zero pass budget the lock is still correct (just slower).
+        let lock = Arc::new(CohortLock::new(2, 0, 0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let l = lock.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..5_000 {
+                        l.with(i % 2, |v| *v += 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(lock.with(0, |v| *v), 20_000);
+    }
+}

@@ -1,0 +1,144 @@
+//! Flat combining (Hendler, Incze, Shavit & Tzafrir 2010).
+//!
+//! The delegation ancestor of QDL (and the mechanism Grappa uses, §2.3):
+//! threads publish operations; one thread — the combiner — acquires the
+//! lock and applies a bounded batch of published operations before
+//! releasing. Unlike QDL there is no detached execution: every publisher
+//! waits for its own operation to complete.
+
+use crossbeam::queue::SegQueue;
+use parking_lot::lock_api::RawMutex as _;
+use parking_lot::RawMutex;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+type Job<T> = Box<dyn FnOnce(&mut T) + Send>;
+
+/// A flat-combining lock protecting `T`.
+pub struct FcLock<T> {
+    mutex: RawMutex,
+    queue: SegQueue<Job<T>>,
+    /// Combining pass bound: how many publications one combiner applies
+    /// before handing the role over (prevents combiner starvation).
+    combine_limit: usize,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: `data` is only touched while holding `mutex`.
+unsafe impl<T: Send> Sync for FcLock<T> {}
+unsafe impl<T: Send> Send for FcLock<T> {}
+
+impl<T> FcLock<T> {
+    pub fn new(combine_limit: usize, data: T) -> Self {
+        assert!(combine_limit > 0, "combine limit must be positive");
+        FcLock {
+            mutex: RawMutex::INIT,
+            queue: SegQueue::new(),
+            combine_limit,
+            data: UnsafeCell::new(data),
+        }
+    }
+
+    /// Publish a critical section and wait for its completion (possibly by
+    /// becoming the combiner ourselves).
+    pub fn with<R: Send + 'static>(&self, f: impl FnOnce(&mut T) -> R + Send + 'static) -> R {
+        // Publication record: `value` is written exactly once before `done`
+        // is released and read only after `done` is acquired.
+        struct Record<R> {
+            done: AtomicBool,
+            value: UnsafeCell<Option<R>>,
+        }
+        // SAFETY: see the protocol above.
+        unsafe impl<R: Send> Sync for Record<R> {}
+        let slot = Arc::new(Record::<R> {
+            done: AtomicBool::new(false),
+            value: UnsafeCell::new(None),
+        });
+        let rec = slot.clone();
+        self.queue.push(Box::new(move |data: &mut T| {
+            let r = f(data);
+            unsafe { *rec.value.get() = Some(r) };
+            rec.done.store(true, Ordering::Release);
+        }));
+
+        let mut spins = 0u32;
+        while !slot.done.load(Ordering::Acquire) {
+            if self.mutex.try_lock() {
+                // SAFETY: we hold the mutex.
+                let data = unsafe { &mut *self.data.get() };
+                let mut applied = 0;
+                while applied < self.combine_limit {
+                    match self.queue.pop() {
+                        Some(job) => {
+                            job(data);
+                            applied += 1;
+                        }
+                        None => break,
+                    }
+                }
+                // SAFETY: locked above.
+                unsafe { self.mutex.unlock() };
+                continue;
+            }
+            spins += 1;
+            if spins > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        // SAFETY: `done` acquired; writer wrote before releasing it.
+        unsafe { (*slot.value.get()).take().expect("combiner lost a result") }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_under_contention() {
+        let lock = Arc::new(FcLock::new(128, 0u64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let l = lock.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..20_000 {
+                        l.with(|v| *v += 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(lock.with(|v| *v), 160_000);
+    }
+
+    #[test]
+    fn small_combine_limit_still_correct() {
+        let lock = Arc::new(FcLock::new(1, 0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let l = lock.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..5_000 {
+                        l.with(|v| *v += 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(lock.with(|v| *v), 20_000);
+    }
+
+    #[test]
+    fn returns_results() {
+        let lock = FcLock::new(8, vec![1, 2, 3]);
+        let sum: i32 = lock.with(|v| v.iter().sum());
+        assert_eq!(sum, 6);
+    }
+}

@@ -1,0 +1,230 @@
+//! Queue Delegation Locking (Klaftenegger, Sagonas & Winblad 2014).
+//!
+//! Instead of moving the *lock* (and the protected data) to each thread,
+//! QDL moves the *operations* to wherever the lock is currently held: a
+//! thread that finds the lock busy enqueues its critical section into a
+//! delegation queue and either waits for the result or **detaches** —
+//! continues with other work and collects the result later. The lock
+//! holder ("helper") executes queued sections in large batches on one core,
+//! keeping the protected data hot in its caches.
+
+use crossbeam::queue::SegQueue;
+use parking_lot::lock_api::RawMutex as _;
+use parking_lot::RawMutex;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+type Job<T> = Box<dyn FnOnce(&mut T) + Send>;
+
+struct ResultSlot<R> {
+    done: AtomicBool,
+    value: UnsafeCell<Option<R>>,
+}
+
+// SAFETY: `value` is written exactly once (before `done` is released) and
+// read only after `done` is acquired.
+unsafe impl<R: Send> Sync for ResultSlot<R> {}
+
+/// Handle to a delegated, possibly detached, critical section.
+///
+/// Dropping the future without waiting is allowed: the section will still
+/// execute (it lives in the queue), its result is discarded.
+pub struct QdFuture<R> {
+    slot: Arc<ResultSlot<R>>,
+}
+
+impl<R> QdFuture<R> {
+    /// Has the delegated section completed?
+    pub fn is_done(&self) -> bool {
+        self.slot.done.load(Ordering::Acquire)
+    }
+
+    fn take(&self) -> R {
+        // SAFETY: done was acquired; the writer released it after writing.
+        unsafe { (*self.slot.value.get()).take().expect("result taken twice") }
+    }
+}
+
+/// A queue delegation lock protecting `T`.
+///
+/// ```
+/// use vela::QdLock;
+///
+/// let lock = QdLock::new(Vec::new());
+/// // Detached: returns immediately, executes when someone helps.
+/// let fut = lock.delegate(|v: &mut Vec<i32>| {
+///     v.push(1);
+///     v.len()
+/// });
+/// // Synchronous: also flushes the queue ahead of it.
+/// let len = lock.delegate_wait(|v| v.len());
+/// assert_eq!(len, 1);
+/// assert_eq!(lock.wait(fut), 1);
+/// ```
+pub struct QdLock<T> {
+    mutex: RawMutex,
+    queue: SegQueue<Job<T>>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: `data` is only touched by the thread holding `mutex`.
+unsafe impl<T: Send> Sync for QdLock<T> {}
+unsafe impl<T: Send> Send for QdLock<T> {}
+
+impl<T> QdLock<T> {
+    pub fn new(data: T) -> Self {
+        QdLock {
+            mutex: RawMutex::INIT,
+            queue: SegQueue::new(),
+            data: UnsafeCell::new(data),
+        }
+    }
+
+    /// Become the helper if the lock is free: drain the delegation queue
+    /// until empty. Returns true if we helped.
+    fn try_help(&self) -> bool {
+        if !self.mutex.try_lock() {
+            return false;
+        }
+        // SAFETY: we hold the mutex.
+        let data = unsafe { &mut *self.data.get() };
+        while let Some(job) = self.queue.pop() {
+            job(data);
+        }
+        // SAFETY: we locked it above.
+        unsafe { self.mutex.unlock() };
+        true
+    }
+
+    /// Delegate a critical section and **detach**: return immediately with
+    /// a future. The section runs when any thread next helps (including a
+    /// later `wait` on this future).
+    pub fn delegate<R: Send + 'static>(
+        &self,
+        f: impl FnOnce(&mut T) -> R + Send + 'static,
+    ) -> QdFuture<R> {
+        let slot = Arc::new(ResultSlot {
+            done: AtomicBool::new(false),
+            value: UnsafeCell::new(None),
+        });
+        let s = slot.clone();
+        self.queue.push(Box::new(move |data: &mut T| {
+            let r = f(data);
+            // SAFETY: sole writer; readers wait for `done`.
+            unsafe { *s.value.get() = Some(r) };
+            s.done.store(true, Ordering::Release);
+        }));
+        // Opportunistically become the helper so detached work cannot
+        // starve when the lock is idle.
+        if !self.queue.is_empty() {
+            self.try_help();
+        }
+        QdFuture { slot }
+    }
+
+    /// Wait for a delegated section to complete, helping if possible.
+    pub fn wait<R>(&self, future: QdFuture<R>) -> R {
+        let mut spins = 0u32;
+        while !future.is_done() {
+            if self.try_help() && future.is_done() {
+                break;
+            }
+            spins += 1;
+            if spins > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        future.take()
+    }
+
+    /// Delegate and wait: the classic synchronous critical section.
+    pub fn delegate_wait<R: Send + 'static>(
+        &self,
+        f: impl FnOnce(&mut T) -> R + Send + 'static,
+    ) -> R {
+        let fut = self.delegate(f);
+        self.wait(fut)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delegate_wait_mutual_exclusion() {
+        let lock = Arc::new(QdLock::new(0u64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let l = lock.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..20_000 {
+                        l.delegate_wait(|v| *v += 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(lock.delegate_wait(|v| *v), 160_000);
+    }
+
+    #[test]
+    fn detached_sections_eventually_run() {
+        let lock = Arc::new(QdLock::new(Vec::new()));
+        let futs: Vec<_> = (0..100).map(|i| lock.delegate(move |v| v.push(i))).collect();
+        // A final synchronous op flushes everything before it.
+        let len = lock.delegate_wait(|v| v.len());
+        assert_eq!(len, 100);
+        for f in futs {
+            assert!(f.is_done());
+        }
+    }
+
+    #[test]
+    fn results_are_returned_in_order_of_execution() {
+        let lock = QdLock::new(0u64);
+        let f1 = lock.delegate(|v| {
+            *v += 1;
+            *v
+        });
+        let f2 = lock.delegate(|v| {
+            *v += 1;
+            *v
+        });
+        let r2 = lock.wait(f2);
+        let r1 = lock.wait(f1);
+        assert_eq!((r1, r2), (1, 2));
+    }
+
+    #[test]
+    fn helper_batches_across_threads() {
+        // Many threads delegate detached work; a single wait drains it all.
+        let lock = Arc::new(QdLock::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let l = lock.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        let _ = l.delegate(|v| *v += 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(lock.delegate_wait(|v| *v), 4000);
+    }
+
+    #[test]
+    fn dropping_future_does_not_lose_update() {
+        let lock = QdLock::new(0u64);
+        drop(lock.delegate(|v| *v += 5));
+        assert_eq!(lock.delegate_wait(|v| *v), 5);
+    }
+}

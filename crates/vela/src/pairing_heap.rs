@@ -1,0 +1,257 @@
+//! A sequential pairing heap (Fredman, Sedgewick, Sleator, Tarjan 1986).
+//!
+//! The paper's lock microbenchmark (§5.3, Figures 11 and 12) builds a
+//! concurrent priority queue from "a fast sequential implementation and a
+//! lock to access it", using a pairing heap — which outperforms non-blocking
+//! priority queues when combined with combining/delegation locks.
+//!
+//! Arena-based: nodes live in a `Vec` with an intrusive free list, so
+//! insert/extract do no per-operation heap allocation in steady state.
+
+/// Index of a node in the arena; `NONE` encodes absence.
+type Idx = u32;
+const NONE: Idx = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    key: u64,
+    /// First child (leftmost).
+    child: Idx,
+    /// Next sibling in the child list, or next free-list entry.
+    sibling: Idx,
+}
+
+/// A min-heap of `u64` keys.
+///
+/// ```
+/// use vela::PairingHeap;
+///
+/// let mut h = PairingHeap::new();
+/// for k in [5, 1, 3] {
+///     h.insert(k);
+/// }
+/// assert_eq!(h.extract_min(), Some(1));
+/// assert_eq!(h.peek_min(), Some(3));
+/// assert_eq!(h.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct PairingHeap {
+    nodes: Vec<Node>,
+    root: Idx,
+    free: Idx,
+    len: usize,
+}
+
+impl PairingHeap {
+    pub fn new() -> Self {
+        PairingHeap {
+            nodes: Vec::new(),
+            root: NONE,
+            free: NONE,
+            len: 0,
+        }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        PairingHeap {
+            nodes: Vec::with_capacity(cap),
+            root: NONE,
+            free: NONE,
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn peek_min(&self) -> Option<u64> {
+        if self.root == NONE {
+            None
+        } else {
+            Some(self.nodes[self.root as usize].key)
+        }
+    }
+
+    fn alloc(&mut self, key: u64) -> Idx {
+        if self.free != NONE {
+            let i = self.free;
+            self.free = self.nodes[i as usize].sibling;
+            self.nodes[i as usize] = Node {
+                key,
+                child: NONE,
+                sibling: NONE,
+            };
+            i
+        } else {
+            self.nodes.push(Node {
+                key,
+                child: NONE,
+                sibling: NONE,
+            });
+            (self.nodes.len() - 1) as Idx
+        }
+    }
+
+    fn release(&mut self, i: Idx) {
+        self.nodes[i as usize].sibling = self.free;
+        self.free = i;
+    }
+
+    /// Meld two heaps rooted at `a` and `b`; returns the new root.
+    fn meld(&mut self, a: Idx, b: Idx) -> Idx {
+        if a == NONE {
+            return b;
+        }
+        if b == NONE {
+            return a;
+        }
+        let (parent, child) = if self.nodes[a as usize].key <= self.nodes[b as usize].key {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.nodes[child as usize].sibling = self.nodes[parent as usize].child;
+        self.nodes[parent as usize].child = child;
+        parent
+    }
+
+    pub fn insert(&mut self, key: u64) {
+        let n = self.alloc(key);
+        self.root = self.meld(self.root, n);
+        self.len += 1;
+    }
+
+    /// Two-pass pairing of the root's child list after the root is removed.
+    fn combine_children(&mut self, first: Idx) -> Idx {
+        if first == NONE {
+            return NONE;
+        }
+        // Pass 1: meld pairs left to right, collecting results.
+        let mut pairs: Vec<Idx> = Vec::new();
+        let mut cur = first;
+        while cur != NONE {
+            let a = cur;
+            let b = self.nodes[a as usize].sibling;
+            if b == NONE {
+                self.nodes[a as usize].sibling = NONE;
+                pairs.push(a);
+                break;
+            }
+            let next = self.nodes[b as usize].sibling;
+            self.nodes[a as usize].sibling = NONE;
+            self.nodes[b as usize].sibling = NONE;
+            pairs.push(self.meld(a, b));
+            cur = next;
+        }
+        // Pass 2: meld right to left.
+        let mut root = NONE;
+        for &p in pairs.iter().rev() {
+            root = self.meld(root, p);
+        }
+        root
+    }
+
+    pub fn extract_min(&mut self) -> Option<u64> {
+        if self.root == NONE {
+            return None;
+        }
+        let old = self.root;
+        let key = self.nodes[old as usize].key;
+        let first_child = self.nodes[old as usize].child;
+        self.root = self.combine_children(first_child);
+        self.release(old);
+        self.len -= 1;
+        Some(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn empty_heap_behaves() {
+        let mut h = PairingHeap::new();
+        assert!(h.is_empty());
+        assert_eq!(h.peek_min(), None);
+        assert_eq!(h.extract_min(), None);
+    }
+
+    #[test]
+    fn extracts_in_sorted_order() {
+        let mut h = PairingHeap::new();
+        for k in [5u64, 3, 8, 1, 9, 2, 7] {
+            h.insert(k);
+        }
+        let mut out = Vec::new();
+        while let Some(k) = h.extract_min() {
+            out.push(k);
+        }
+        assert_eq!(out, vec![1, 2, 3, 5, 7, 8, 9]);
+    }
+
+    #[test]
+    fn duplicates_preserved() {
+        let mut h = PairingHeap::new();
+        for k in [4u64, 4, 4, 1, 1] {
+            h.insert(k);
+        }
+        assert_eq!(h.len(), 5);
+        let out: Vec<_> = std::iter::from_fn(|| h.extract_min()).collect();
+        assert_eq!(out, vec![1, 1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn free_list_reuses_nodes() {
+        let mut h = PairingHeap::new();
+        for k in 0..100u64 {
+            h.insert(k);
+        }
+        for _ in 0..100 {
+            h.extract_min();
+        }
+        let cap = h.nodes.len();
+        for k in 0..100u64 {
+            h.insert(k);
+        }
+        assert_eq!(h.nodes.len(), cap, "arena grew despite free list");
+    }
+
+    #[test]
+    fn interleaved_random_ops_match_btreemap() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut h = PairingHeap::new();
+        let mut model = std::collections::BinaryHeap::new();
+        for _ in 0..10_000 {
+            if rng.random_bool(0.5) {
+                let k = rng.random_range(0..1000u64);
+                h.insert(k);
+                model.push(std::cmp::Reverse(k));
+            } else {
+                assert_eq!(h.extract_min(), model.pop().map(|r| r.0));
+            }
+            assert_eq!(h.len(), model.len());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_heap_sorts_any_sequence(keys in proptest::collection::vec(any::<u64>(), 0..200)) {
+            let mut h = PairingHeap::new();
+            for &k in &keys {
+                h.insert(k);
+            }
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            let out: Vec<_> = std::iter::from_fn(|| h.extract_min()).collect();
+            prop_assert_eq!(out, sorted);
+        }
+    }
+}

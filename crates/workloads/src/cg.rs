@@ -1,0 +1,355 @@
+//! NAS CG: conjugate-gradient iterations on a sparse matrix.
+//!
+//! Paper §5.5 / Figure 13f: UPC's hand-optimized CG starts with "a
+//! significant advantage" on one node, but "withers as the UPC version
+//! stops scaling earlier than Argo (at eight nodes, 128 cores) whereas
+//! Argo continues up to 32 nodes". The mechanism our simulation reproduces:
+//! every UPC rank pulls the whole `p` vector to itself each iteration
+//! (per-*thread* traffic), while Argo's per-*node* page cache fetches each
+//! page once per node and the S,NW/S,SW classification keeps read-mostly
+//! pages across barriers.
+
+use crate::costs;
+use crate::harness::{outcome_of, GlobalReducer, Outcome};
+use argo::types::{GlobalF64Array, GlobalU64Array};
+use argo::{ArgoConfig, ArgoMachine, PgasCtx};
+use simnet::CostModel;
+use std::sync::Arc;
+use vela::ClockBarrier;
+
+#[derive(Debug, Clone, Copy)]
+pub struct CgParams {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Nonzeros per row (including the diagonal).
+    pub nnz_per_row: usize,
+    /// CG iterations.
+    pub iterations: usize,
+}
+
+impl Default for CgParams {
+    fn default() -> Self {
+        CgParams {
+            n: 4096,
+            nnz_per_row: 16,
+            iterations: 8,
+        }
+    }
+}
+
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic sparse row `i`: `nnz` (column, value) pairs, diagonal
+/// first and dominant (keeps the iteration numerically tame).
+pub fn row_entries(i: usize, n: usize, nnz: usize) -> Vec<(usize, f64)> {
+    let mut out = Vec::with_capacity(nnz);
+    out.push((i, nnz as f64 + 2.0));
+    for k in 1..nnz {
+        let col = (mix((i * nnz + k) as u64) % n as u64) as usize;
+        let val = ((mix((i * nnz + k) as u64 ^ 0xABCD) % 1000) as f64 / 1000.0) - 0.5;
+        out.push((col, val));
+    }
+    out
+}
+
+/// Sequential reference: run the same CG iterations on plain vectors;
+/// returns the checksum (sum of the final z).
+pub fn reference_checksum(p: CgParams) -> f64 {
+    let n = p.n;
+    let rows: Vec<Vec<(usize, f64)>> =
+        (0..n).map(|i| row_entries(i, n, p.nnz_per_row)).collect();
+    let spmv = |x: &[f64]| -> Vec<f64> {
+        rows.iter()
+            .map(|r| r.iter().map(|&(c, v)| v * x[c]).sum())
+            .collect()
+    };
+    let dot = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>();
+
+    let x = vec![1.0f64; n];
+    let mut z = vec![0.0f64; n];
+    let mut r = x.clone();
+    let mut pv = r.clone();
+    let mut rho = dot(&r, &r);
+    for _ in 0..p.iterations {
+        let q = spmv(&pv);
+        let alpha = rho / dot(&pv, &q);
+        for i in 0..n {
+            z[i] += alpha * pv[i];
+            r[i] -= alpha * q[i];
+        }
+        let rho_new = dot(&r, &r);
+        let beta = rho_new / rho;
+        rho = rho_new;
+        for i in 0..n {
+            pv[i] = r[i] + beta * pv[i];
+        }
+    }
+    z.iter().sum()
+}
+
+/// Run on an Argo cluster (with `nodes == 1` this is the OpenMP baseline).
+pub fn run_argo(machine: &Arc<ArgoMachine>, prm: CgParams) -> Outcome {
+    let dsm = machine.dsm();
+    let cfg = *machine.config();
+    let n = prm.n;
+    let nnz = n * prm.nnz_per_row;
+    let rowptr = GlobalU64Array::alloc(dsm, n + 1);
+    let colidx = GlobalU64Array::alloc(dsm, nnz);
+    let vals = GlobalF64Array::alloc(dsm, nnz);
+    let pvec = GlobalF64Array::alloc(dsm, n);
+    let reducer = Arc::new(GlobalReducer::new(dsm, cfg.total_threads(), cfg.nodes));
+    let report = machine.run(move |ctx| {
+        let chunk = ctx.my_chunk(n);
+        // Build my rows of the matrix (excluded from measurement).
+        for i in chunk.clone() {
+            let entries = row_entries(i, n, prm.nnz_per_row);
+            ctx.write_u64(rowptr.addr(i), (i * prm.nnz_per_row) as u64);
+            for (k, &(c, v)) in entries.iter().enumerate() {
+                let at = i * prm.nnz_per_row + k;
+                ctx.write_u64(colidx.addr(at), c as u64);
+                ctx.write_f64(vals.addr(at), v);
+            }
+        }
+        if ctx.tid() == 0 {
+            ctx.write_u64(rowptr.addr(n), nnz as u64);
+        }
+        ctx.start_measurement();
+        // Thread-local vector chunks (z, r, q live per owner; p is the
+        // globally shared vector, rebuilt chunk-wise each iteration).
+        let m = chunk.len();
+        let mut z = vec![0.0f64; m];
+        let mut r = vec![1.0f64; m]; // r = x = ones
+        let mut q = vec![0.0f64; m];
+        let mut p_local = r.clone();
+        if m > 0 {
+            ctx.write_f64_slice(pvec.addr(chunk.start), &p_local);
+        }
+        let mut rho = reducer.sum(ctx, r.iter().map(|v| v * v).sum());
+        // (reducer.sum barriers make everyone's p visible)
+        let mut vals_buf = vec![0.0f64; m * prm.nnz_per_row];
+        let mut cols_buf = vec![0u64; m * prm.nnz_per_row];
+        if m > 0 {
+            ctx.read_f64_slice(vals.addr(chunk.start * prm.nnz_per_row),
+                &mut vals_buf,
+            );
+            ctx.read_u64_slice(colidx.addr(chunk.start * prm.nnz_per_row),
+                &mut cols_buf,
+            );
+        }
+        for _ in 0..prm.iterations {
+            // q = A p over my rows; p's remote elements come through the
+            // page cache (fine-grained reads, the CG access pattern).
+            for li in 0..m {
+                let mut acc = 0.0;
+                for k in 0..prm.nnz_per_row {
+                    let at = li * prm.nnz_per_row + k;
+                    let col = cols_buf[at] as usize;
+                    let pv = if col >= chunk.start && col < chunk.end {
+                        p_local[col - chunk.start]
+                    } else {
+                        ctx.read_f64(pvec.addr(col))
+                    };
+                    acc += vals_buf[at] * pv;
+                }
+                q[li] = acc;
+            }
+            ctx.thread
+                .compute((m * prm.nnz_per_row) as u64 * costs::CG_NONZERO);
+            let pq = reducer.sum(ctx, p_local.iter().zip(&q).map(|(a, b)| a * b).sum());
+            let alpha = rho / pq;
+            for li in 0..m {
+                z[li] += alpha * p_local[li];
+                r[li] -= alpha * q[li];
+            }
+            ctx.thread.compute(2 * m as u64 * costs::VEC_OP);
+            let rho_new = reducer.sum(ctx, r.iter().map(|v| v * v).sum());
+            let beta = rho_new / rho;
+            rho = rho_new;
+            for li in 0..m {
+                p_local[li] = r[li] + beta * p_local[li];
+            }
+            ctx.thread.compute(m as u64 * costs::VEC_OP);
+            if m > 0 {
+                ctx.write_f64_slice(pvec.addr(chunk.start), &p_local);
+            }
+            ctx.barrier(); // publish p for the next SpMV
+        }
+        z.iter().sum::<f64>()
+    });
+    outcome_of(report)
+}
+
+/// UPC-style run: each rank keeps its vector chunks local, pulls the whole
+/// `p` vector with a bulk transfer every iteration, and runs the
+/// hand-optimized kernel.
+pub fn run_pgas(nodes: usize, threads_per_node: usize, prm: CgParams) -> Outcome {
+    let cfg = ArgoConfig::small(nodes, threads_per_node);
+    let machine = ArgoMachine::new(cfg);
+    let dsm = machine.dsm().clone();
+    let n = prm.n;
+    let total = cfg.total_threads();
+    let pvec = GlobalF64Array::alloc(&dsm, n);
+    let slots = dsm
+        .allocator()
+        .alloc(total as u64 * mem::PAGE_BYTES, mem::PAGE_BYTES)
+        .expect("global memory");
+    let sum_slot = dsm.allocator().alloc_pages(1).expect("global memory");
+    let rounds = (nodes.max(2) as u64).next_power_of_two().trailing_zeros() as u64;
+    let barrier = Arc::new(ClockBarrier::new(
+        total,
+        2 * CostModel::paper_2011().network_latency * rounds,
+    ));
+    let b2 = barrier.clone();
+    // A tiny PGAS all-reduce built from fine-grained remote ops.
+    let reduce = move |ctx: &mut argo::ArgoCtx, pgas: &PgasCtx, v: f64| -> f64 {
+        let my = slots.offset(ctx.tid() as u64 * mem::PAGE_BYTES);
+        pgas.write_f64(&mut ctx.thread, my, v);
+        b2.wait(&mut ctx.thread);
+        if ctx.tid() == 0 {
+            let mut s = 0.0;
+            for t in 0..ctx.nthreads() {
+                s += pgas.read_f64(&mut ctx.thread, slots.offset(t as u64 * mem::PAGE_BYTES));
+            }
+            pgas.write_f64(&mut ctx.thread, sum_slot, s);
+        }
+        b2.wait(&mut ctx.thread);
+        pgas.read_f64(&mut ctx.thread, sum_slot)
+    };
+    let report = machine.run(move |ctx| {
+        let pgas = PgasCtx::new(ctx.dsm().clone());
+        let chunk = ctx.my_chunk(n);
+        let m = chunk.len();
+        // Rank-local matrix rows (UPC keeps its share in private memory).
+        let rows: Vec<Vec<(usize, f64)>> = chunk
+            .clone()
+            .map(|i| row_entries(i, n, prm.nnz_per_row))
+            .collect();
+        let mut z = vec![0.0f64; m];
+        let mut r = vec![1.0f64; m];
+        let mut q = vec![0.0f64; m];
+        let mut p_local = r.clone();
+        if m > 0 {
+            pgas.bulk_write_f64(&mut ctx.thread, pvec.addr(chunk.start), &p_local);
+        }
+        let mut rho = reduce(ctx, &pgas, r.iter().map(|v| v * v).sum());
+        for _ in 0..prm.iterations {
+            // Pull the whole p vector (per-rank traffic — the UPC cost).
+            let p_all = pgas.bulk_read_f64(&mut ctx.thread, pvec.addr(0), n);
+            for li in 0..m {
+                let mut acc = 0.0;
+                for &(c, v) in &rows[li] {
+                    acc += v * p_all[c];
+                }
+                q[li] = acc;
+            }
+            ctx.thread
+                .compute((m * prm.nnz_per_row) as u64 * costs::CG_NONZERO_OPTIMIZED);
+            let pq = reduce(ctx, &pgas, p_local.iter().zip(&q).map(|(a, b)| a * b).sum());
+            let alpha = rho / pq;
+            for li in 0..m {
+                z[li] += alpha * p_local[li];
+                r[li] -= alpha * q[li];
+            }
+            let rho_new = reduce(ctx, &pgas, r.iter().map(|v| v * v).sum());
+            let beta = rho_new / rho;
+            rho = rho_new;
+            for li in 0..m {
+                p_local[li] = r[li] + beta * p_local[li];
+            }
+            ctx.thread.compute(3 * m as u64 * costs::VEC_OP);
+            if m > 0 {
+                pgas.bulk_write_f64(&mut ctx.thread, pvec.addr(chunk.start), &p_local);
+            }
+            barrier.wait(&mut ctx.thread);
+        }
+        z.iter().sum::<f64>()
+    });
+    outcome_of(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CgParams {
+        CgParams {
+            n: 300,
+            nnz_per_row: 6,
+            iterations: 4,
+        }
+    }
+
+    #[test]
+    fn rows_are_deterministic_and_diagonal_heavy() {
+        let r1 = row_entries(5, 100, 8);
+        let r2 = row_entries(5, 100, 8);
+        assert_eq!(r1, r2);
+        assert_eq!(r1[0].0, 5);
+        assert!(r1[0].1 > 8.0);
+        assert!(r1.iter().all(|&(c, _)| c < 100));
+    }
+
+    #[test]
+    fn argo_matches_reference() {
+        let m = ArgoMachine::new(ArgoConfig::small(2, 2));
+        let out = run_argo(&m, small());
+        let reference = reference_checksum(small());
+        assert!(
+            (out.checksum - reference).abs() < 1e-6 * reference.abs().max(1.0),
+            "argo {} vs ref {}",
+            out.checksum,
+            reference
+        );
+    }
+
+    #[test]
+    fn pgas_matches_reference() {
+        let out = run_pgas(2, 2, small());
+        let reference = reference_checksum(small());
+        assert!(
+            (out.checksum - reference).abs() < 1e-6 * reference.abs().max(1.0),
+            "pgas {} vs ref {}",
+            out.checksum,
+            reference
+        );
+    }
+
+    #[test]
+    fn reference_iteration_reduces_residual() {
+        // The diagonal-dominant system should make CG reduce r·r.
+        let p = small();
+        let n = p.n;
+        let rows: Vec<Vec<(usize, f64)>> =
+            (0..n).map(|i| row_entries(i, n, p.nnz_per_row)).collect();
+        let spmv = |x: &[f64]| -> Vec<f64> {
+            rows.iter()
+                .map(|r| r.iter().map(|&(c, v)| v * x[c]).sum())
+                .collect()
+        };
+        let dot = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>();
+        let mut r = vec![1.0f64; n];
+        let mut pv = r.clone();
+        let mut rho = dot(&r, &r);
+        let rho0 = rho;
+        for _ in 0..p.iterations {
+            let q = spmv(&pv);
+            let alpha = rho / dot(&pv, &q);
+            for i in 0..n {
+                r[i] -= alpha * q[i];
+            }
+            let rho_new = dot(&r, &r);
+            let beta = rho_new / rho;
+            rho = rho_new;
+            for i in 0..n {
+                pv[i] = r[i] + beta * pv[i];
+            }
+        }
+        assert!(rho < rho0, "residual grew: {rho} vs {rho0}");
+    }
+}

@@ -1,0 +1,35 @@
+//! Per-operation compute-cost constants (cycles on the reference CPU).
+//!
+//! The workloads really compute their answers (so checksums validate
+//! against sequential references), but wall-clock compute time on the host
+//! machine is meaningless for the simulation — instead each kernel charges
+//! these documented virtual costs to its thread clock. Values are rough
+//! flop counts × a few cycles per flop on a 2011-class core, which is all
+//! the *shape* of the paper's figures needs.
+
+/// One Black-Scholes option pricing (CNDs, logs, exps ≈ 100+ flops).
+pub const BLACKSCHOLES_OPTION: u64 = 400;
+
+/// One N-body pairwise interaction (distance, rsqrt, accumulate ≈ 20 flops).
+pub const NBODY_INTERACTION: u64 = 30;
+
+/// One fused multiply-add of the matrix-multiply inner loop.
+pub const MATMUL_FMA: u64 = 2;
+
+/// One multiply-subtract of the LU update kernels.
+pub const LU_FLOP: u64 = 2;
+
+/// One EP pair: two LCG draws, acceptance test, log/sqrt on acceptance.
+pub const EP_PAIR: u64 = 60;
+
+/// One nonzero of the CG sparse matrix-vector product (as shipped on Argo,
+/// straight from the Pthreads code).
+pub const CG_NONZERO: u64 = 8;
+
+/// The same nonzero in the hand-optimized UPC/OpenMP port — the paper
+/// notes the non-Pthreads CG and MM codes start with "a significant
+/// [single-node] advantage" due to an optimized implementation.
+pub const CG_NONZERO_OPTIMIZED: u64 = 4;
+
+/// One vector element op (axpy, dot contribution).
+pub const VEC_OP: u64 = 4;

@@ -1,0 +1,213 @@
+//! NAS EP (Embarrassingly Parallel): Gaussian deviates by acceptance-
+//! rejection, tallied into annuli.
+//!
+//! Paper §5.5 / Figure 13e: EP scales linearly for Argo, OpenMP, and UPC
+//! alike up to 128 nodes (2048 cores) — it only communicates in the final
+//! reduction. "This shows that Argo can compete directly with PGAS systems
+//! that require significant effort to program in."
+
+use crate::costs;
+use crate::harness::{outcome_of, GlobalReducer, Outcome};
+use argo::{ArgoConfig, ArgoMachine, PgasCtx};
+use simnet::CostModel;
+use std::sync::Arc;
+use vela::ClockBarrier;
+
+#[derive(Debug, Clone, Copy)]
+pub struct EpParams {
+    /// Number of random pairs to generate.
+    pub pairs: usize,
+}
+
+impl Default for EpParams {
+    fn default() -> Self {
+        EpParams { pairs: 1 << 18 }
+    }
+}
+
+/// SplitMix64: deterministic per-index stream, so work can be partitioned
+/// arbitrarily without changing results (the NAS EP property).
+#[inline]
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn uniform(seed: u64) -> f64 {
+    (splitmix(seed) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Tally of one EP run: Gaussian sums and annulus counts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpTally {
+    pub sx: f64,
+    pub sy: f64,
+    pub q: [u64; 10],
+}
+
+impl EpTally {
+    /// Combine partial tallies (exposed for partition tests and future
+    /// multi-tally reductions).
+    pub fn merge(&mut self, other: &EpTally) {
+        self.sx += other.sx;
+        self.sy += other.sy;
+        for (a, b) in self.q.iter_mut().zip(other.q) {
+            *a += b;
+        }
+    }
+
+    /// Scalar checksum combining sums and counts.
+    pub fn checksum(&self) -> f64 {
+        self.sx + self.sy + self.q.iter().enumerate().map(|(i, &c)| (i as f64 + 1.0) * c as f64).sum::<f64>()
+    }
+}
+
+/// Process pairs `[lo, hi)`.
+pub fn ep_kernel(lo: usize, hi: usize) -> EpTally {
+    let mut t = EpTally::default();
+    for i in lo..hi {
+        let x = 2.0 * uniform(2 * i as u64) - 1.0;
+        let y = 2.0 * uniform(2 * i as u64 + 1) - 1.0;
+        let s = x * x + y * y;
+        if s <= 1.0 && s > 0.0 {
+            let f = (-2.0 * s.ln() / s).sqrt();
+            let (gx, gy) = (x * f, y * f);
+            t.sx += gx;
+            t.sy += gy;
+            let m = gx.abs().max(gy.abs()) as usize;
+            if m < 10 {
+                t.q[m] += 1;
+            }
+        }
+    }
+    t
+}
+
+/// Sequential reference.
+pub fn reference_tally(p: EpParams) -> EpTally {
+    ep_kernel(0, p.pairs)
+}
+
+/// Run on an Argo cluster (with `nodes == 1` this is the OpenMP baseline).
+pub fn run_argo(machine: &Arc<ArgoMachine>, p: EpParams) -> Outcome {
+    let dsm = machine.dsm();
+    let cfg = *machine.config();
+    let reducer = Arc::new(GlobalReducer::new(dsm, cfg.total_threads(), cfg.nodes));
+    let report = machine.run(move |ctx| {
+        ctx.start_measurement();
+        let chunk = ctx.my_chunk(p.pairs);
+        let tally = ep_kernel(chunk.start, chunk.end);
+        ctx.thread.compute(chunk.len() as u64 * costs::EP_PAIR);
+        // Reduce the scalar checksum across the cluster (the real kernel
+        // reduces sx, sy and ten counts; one reduction per quantity).
+        let total = reducer.sum(ctx, tally.checksum());
+        // Every thread holds the same total; report it once.
+        if ctx.tid() == 0 {
+            total
+        } else {
+            0.0
+        }
+    });
+    outcome_of(report)
+}
+
+/// UPC-style PGAS run: same kernel, but partial tallies are deposited with
+/// fine-grained remote writes and rank 0 combines them — no caching layer.
+pub fn run_pgas(nodes: usize, threads_per_node: usize, p: EpParams) -> Outcome {
+    let cfg = ArgoConfig::small(nodes, threads_per_node);
+    let machine = ArgoMachine::new(cfg);
+    let dsm = machine.dsm().clone();
+    let total = cfg.total_threads();
+    let slots = dsm
+        .allocator()
+        .alloc(total as u64 * mem::PAGE_BYTES, mem::PAGE_BYTES)
+        .expect("global memory");
+    let result_slot = dsm.allocator().alloc_pages(1).expect("global memory");
+    let rounds = (nodes.max(2) as u64).next_power_of_two().trailing_zeros() as u64;
+    let barrier = Arc::new(ClockBarrier::new(
+        total,
+        2 * CostModel::paper_2011().network_latency * rounds,
+    ));
+    let report = machine.run(move |ctx| {
+        let pgas = PgasCtx::new(ctx.dsm().clone());
+        let chunk = ctx.my_chunk(p.pairs);
+        let tally = ep_kernel(chunk.start, chunk.end);
+        ctx.thread.compute(chunk.len() as u64 * costs::EP_PAIR);
+        let my_slot = slots.offset(ctx.tid() as u64 * mem::PAGE_BYTES);
+        pgas.write_f64(&mut ctx.thread, my_slot, tally.checksum());
+        barrier.wait(&mut ctx.thread);
+        if ctx.tid() == 0 {
+            let mut total_sum = 0.0;
+            for t in 0..ctx.nthreads() {
+                total_sum +=
+                    pgas.read_f64(&mut ctx.thread, slots.offset(t as u64 * mem::PAGE_BYTES));
+            }
+            pgas.write_f64(&mut ctx.thread, result_slot, total_sum);
+        }
+        barrier.wait(&mut ctx.thread);
+        pgas.read_f64(&mut ctx.thread, result_slot)
+    });
+    let checksum = report.results[0];
+    Outcome {
+        cycles: report.cycles,
+        seconds: report.seconds,
+        checksum,
+        coherence: report.coherence,
+        net: report.net,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> EpParams {
+        EpParams { pairs: 20_000 }
+    }
+
+    #[test]
+    fn kernel_is_partition_independent() {
+        let whole = ep_kernel(0, 10_000);
+        let mut parts = ep_kernel(0, 3_000);
+        parts.merge(&ep_kernel(3_000, 7_500));
+        parts.merge(&ep_kernel(7_500, 10_000));
+        assert_eq!(whole.q, parts.q);
+        assert!((whole.sx - parts.sx).abs() < 1e-9);
+    }
+
+    #[test]
+    fn acceptance_rate_is_pi_over_four() {
+        let t = ep_kernel(0, 100_000);
+        let accepted: u64 = t.q.iter().sum();
+        let rate = accepted as f64 / 100_000.0;
+        assert!((rate - std::f64::consts::FRAC_PI_4).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn argo_matches_reference() {
+        let m = ArgoMachine::new(ArgoConfig::small(2, 2));
+        let out = run_argo(&m, small());
+        let reference = reference_tally(small()).checksum();
+        assert!(
+            (out.checksum - reference).abs() < 1e-6 * reference.abs().max(1.0),
+            "argo {} vs ref {}",
+            out.checksum,
+            reference
+        );
+    }
+
+    #[test]
+    fn pgas_matches_reference() {
+        let out = run_pgas(2, 2, small());
+        let reference = reference_tally(small()).checksum();
+        assert!(
+            (out.checksum - reference).abs() < 1e-6 * reference.abs().max(1.0),
+            "pgas {} vs ref {}",
+            out.checksum,
+            reference
+        );
+    }
+}

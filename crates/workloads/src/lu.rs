@@ -1,0 +1,331 @@
+//! SPLASH-2 LU: blocked dense LU factorization (no pivoting).
+//!
+//! Paper §5.4 / Figure 13a: "this benchmark involves a lot of data
+//! migration within the system, there is significant overhead when running
+//! it on Argo. Still, using multiple nodes outperforms the Pthreads version
+//! on a single machine, and continues to gain performance up to eight
+//! nodes."
+//!
+//! The classic SPLASH kernel: the matrix is split into B×B blocks owned by
+//! threads round-robin; step k factors the diagonal block, solves the
+//! perimeter row/column, then updates the interior — three barriers per
+//! step. Perimeter blocks are read by many threads each step (migratory,
+//! multi-reader), which is what stresses the coherence layer.
+
+use crate::costs;
+use crate::harness::{outcome_of, Outcome};
+use argo::types::GlobalF64Array;
+use argo::{ArgoCtx, ArgoMachine};
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Copy)]
+pub struct LuParams {
+    /// Matrix dimension (multiple of `block`).
+    pub n: usize,
+    /// Block edge.
+    pub block: usize,
+}
+
+impl Default for LuParams {
+    fn default() -> Self {
+        LuParams { n: 256, block: 16 }
+    }
+}
+
+/// Deterministic, diagonally dominant input (safe without pivoting).
+#[inline]
+pub fn lu_elem(n: usize, i: usize, j: usize) -> f64 {
+    if i == j {
+        n as f64 + 2.0
+    } else {
+        ((i * 13 + j * 7) % 19) as f64 / 19.0 - 0.25
+    }
+}
+
+/// In-place LU of a B×B block (unit lower / upper packed).
+fn factor_block(blk: &mut [f64], b: usize) {
+    for k in 0..b {
+        let pivot = blk[k * b + k];
+        for i in (k + 1)..b {
+            blk[i * b + k] /= pivot;
+            let lik = blk[i * b + k];
+            for j in (k + 1)..b {
+                blk[i * b + j] -= lik * blk[k * b + j];
+            }
+        }
+    }
+}
+
+/// Solve L_kk · X = A_kj for a perimeter-row block (in place).
+fn solve_row_block(diag: &[f64], blk: &mut [f64], b: usize) {
+    for k in 0..b {
+        for i in (k + 1)..b {
+            let lik = diag[i * b + k];
+            for j in 0..b {
+                blk[i * b + j] -= lik * blk[k * b + j];
+            }
+        }
+    }
+}
+
+/// Solve X · U_kk = A_ik for a perimeter-column block (in place).
+fn solve_col_block(diag: &[f64], blk: &mut [f64], b: usize) {
+    for k in 0..b {
+        let ukk = diag[k * b + k];
+        for i in 0..b {
+            blk[i * b + k] /= ukk;
+            let xik = blk[i * b + k];
+            for j in (k + 1)..b {
+                blk[i * b + j] -= xik * diag[k * b + j];
+            }
+        }
+    }
+}
+
+/// A_ij -= A_ik × A_kj.
+fn update_block(aik: &[f64], akj: &[f64], aij: &mut [f64], b: usize) {
+    for i in 0..b {
+        for k in 0..b {
+            let v = aik[i * b + k];
+            for j in 0..b {
+                aij[i * b + j] -= v * akj[k * b + j];
+            }
+        }
+    }
+}
+
+/// Sequential reference: the same blocked algorithm on a plain vector.
+/// Returns the factored matrix.
+pub fn reference_factor(p: LuParams) -> Vec<f64> {
+    let (n, b) = (p.n, p.block);
+    assert_eq!(n % b, 0, "n must be a multiple of the block size");
+    let nb = n / b;
+    let mut m: Vec<f64> = (0..n * n).map(|x| lu_elem(n, x / n, x % n)).collect();
+    let get = |m: &Vec<f64>, bi: usize, bj: usize| -> Vec<f64> {
+        let mut blk = vec![0.0; b * b];
+        for r in 0..b {
+            let src = (bi * b + r) * n + bj * b;
+            blk[r * b..(r + 1) * b].copy_from_slice(&m[src..src + b]);
+        }
+        blk
+    };
+    let put = |m: &mut Vec<f64>, bi: usize, bj: usize, blk: &[f64]| {
+        for r in 0..b {
+            let dst = (bi * b + r) * n + bj * b;
+            m[dst..dst + b].copy_from_slice(&blk[r * b..(r + 1) * b]);
+        }
+    };
+    for k in 0..nb {
+        let mut diag = get(&m, k, k);
+        factor_block(&mut diag, b);
+        put(&mut m, k, k, &diag);
+        for j in (k + 1)..nb {
+            let mut blk = get(&m, k, j);
+            solve_row_block(&diag, &mut blk, b);
+            put(&mut m, k, j, &blk);
+        }
+        for i in (k + 1)..nb {
+            let mut blk = get(&m, i, k);
+            solve_col_block(&diag, &mut blk, b);
+            put(&mut m, i, k, &blk);
+        }
+        for i in (k + 1)..nb {
+            let aik = get(&m, i, k);
+            for j in (k + 1)..nb {
+                let akj = get(&m, k, j);
+                let mut aij = get(&m, i, j);
+                update_block(&aik, &akj, &mut aij, b);
+                put(&mut m, i, j, &aij);
+            }
+        }
+    }
+    m
+}
+
+/// Sequential reference checksum (sum of the packed LU factors).
+pub fn reference_checksum(p: LuParams) -> f64 {
+    reference_factor(p).iter().sum()
+}
+
+fn load_block(ctx: &mut ArgoCtx, mat: &GlobalF64Array, n: usize, b: usize, bi: usize, bj: usize) -> Vec<f64> {
+    let mut blk = vec![0.0; b * b];
+    for r in 0..b {
+        let src = (bi * b + r) * n + bj * b;
+        ctx.read_f64_slice(mat.addr(src), &mut blk[r * b..(r + 1) * b]);
+    }
+    blk
+}
+
+fn store_block(ctx: &mut ArgoCtx, mat: &GlobalF64Array, n: usize, b: usize, bi: usize, bj: usize, blk: &[f64]) {
+    for r in 0..b {
+        let dst = (bi * b + r) * n + bj * b;
+        ctx.write_f64_slice(mat.addr(dst), &blk[r * b..(r + 1) * b]);
+    }
+}
+
+/// Run on an Argo cluster.
+pub fn run_argo(machine: &Arc<ArgoMachine>, p: LuParams) -> Outcome {
+    let (n, b) = (p.n, p.block);
+    assert_eq!(n % b, 0, "n must be a multiple of the block size");
+    let nb = n / b;
+    let mat = GlobalF64Array::alloc(machine.dsm(), n * n);
+    let report = machine.run(move |ctx| {
+        let nt = ctx.nthreads();
+        // Block-*row* ownership: a thread's blocks are contiguous memory
+        // (a block row spans whole matrix rows), so its writes stay on
+        // pages no other thread writes — the single-writer classification
+        // keeps them across barriers, and only the perimeter row/column of
+        // step k migrates. (SPLASH-2's contiguous_blocks allocation has
+        // the same goal.)
+        let owner = |bi: usize, bj: usize| {
+            let _ = bj;
+            bi % nt
+        };
+        // Initialize my blocks.
+        for bi in 0..nb {
+            for bj in 0..nb {
+                if owner(bi, bj) == ctx.tid() {
+                    let blk: Vec<f64> = (0..b * b)
+                        .map(|x| lu_elem(n, bi * b + x / b, bj * b + x % b))
+                        .collect();
+                    store_block(ctx, &mat, n, b, bi, bj, &blk);
+                }
+            }
+        }
+        ctx.start_measurement();
+        ctx.barrier();
+        for k in 0..nb {
+            if owner(k, k) == ctx.tid() {
+                let mut diag = load_block(ctx, &mat, n, b, k, k);
+                factor_block(&mut diag, b);
+                ctx.thread
+                    .compute((b * b * b) as u64 / 3 * costs::LU_FLOP);
+                store_block(ctx, &mat, n, b, k, k, &diag);
+            }
+            ctx.barrier();
+            // Perimeter: everyone reads the diagonal block. Row blocks
+            // stay with block-row k's owner (distributing them across
+            // threads parallelizes the phase but turns block-row k's pages
+            // multi-writer — measured slower at our scales).
+            let diag = load_block(ctx, &mat, n, b, k, k);
+            for j in (k + 1)..nb {
+                if owner(k, j) == ctx.tid() {
+                    let mut blk = load_block(ctx, &mat, n, b, k, j);
+                    solve_row_block(&diag, &mut blk, b);
+                    ctx.thread
+                        .compute((b * b * b) as u64 / 2 * costs::LU_FLOP);
+                    store_block(ctx, &mat, n, b, k, j, &blk);
+                }
+            }
+            for i in (k + 1)..nb {
+                if owner(i, k) == ctx.tid() {
+                    let mut blk = load_block(ctx, &mat, n, b, i, k);
+                    solve_col_block(&diag, &mut blk, b);
+                    ctx.thread
+                        .compute((b * b * b) as u64 / 2 * costs::LU_FLOP);
+                    store_block(ctx, &mat, n, b, i, k, &blk);
+                }
+            }
+            ctx.barrier();
+            // Interior updates.
+            for i in (k + 1)..nb {
+                // Load A_ik once per owned row that needs it.
+                let mut aik: Option<Vec<f64>> = None;
+                for j in (k + 1)..nb {
+                    if owner(i, j) == ctx.tid() {
+                        let aik = aik.get_or_insert_with(|| load_block(ctx, &mat, n, b, i, k));
+                        let akj = load_block(ctx, &mat, n, b, k, j);
+                        let mut aij = load_block(ctx, &mat, n, b, i, j);
+                        update_block(aik, &akj, &mut aij, b);
+                        ctx.thread.compute((b * b * b) as u64 * costs::LU_FLOP);
+                        store_block(ctx, &mat, n, b, i, j, &aij);
+                    }
+                }
+            }
+            ctx.barrier();
+        }
+        // Checksum over my blocks.
+        let mut sum = 0.0;
+        for bi in 0..nb {
+            for bj in 0..nb {
+                if owner(bi, bj) == ctx.tid() {
+                    sum += load_block(ctx, &mat, n, b, bi, bj).iter().sum::<f64>();
+                }
+            }
+        }
+        sum
+    });
+    outcome_of(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argo::ArgoConfig;
+
+    fn small() -> LuParams {
+        LuParams { n: 64, block: 8 }
+    }
+
+    #[test]
+    fn factorization_reconstructs_input() {
+        // L·U must equal A (no pivoting needed: diagonally dominant).
+        let p = LuParams { n: 16, block: 4 };
+        let f = reference_factor(p);
+        let n = p.n;
+        for i in 0..n {
+            for j in 0..n {
+                let mut lu = 0.0;
+                for k in 0..=i.min(j) {
+                    let l = if k == i { 1.0 } else { f[i * n + k] };
+                    let u = f[k * n + j];
+                    if k < i {
+                        lu += l * u;
+                    } else {
+                        lu += u; // l == 1 on the diagonal of L
+                    }
+                }
+                let a = lu_elem(n, i, j);
+                assert!(
+                    (lu - a).abs() < 1e-8,
+                    "A[{i}][{j}]: reconstructed {lu}, expected {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn argo_matches_reference() {
+        let m = ArgoMachine::new(ArgoConfig::small(2, 2));
+        let out = run_argo(&m, small());
+        let reference = reference_checksum(small());
+        assert!(
+            (out.checksum - reference).abs() < 1e-6 * reference.abs().max(1.0),
+            "argo {} vs ref {}",
+            out.checksum,
+            reference
+        );
+    }
+
+    #[test]
+    fn argo_single_thread_matches_reference_tightly() {
+        // Same arithmetic, same order — only the checksum summation order
+        // differs (block-wise vs row-major), so the tolerance is tight.
+        let m = ArgoMachine::new(ArgoConfig::small(1, 1));
+        let out = run_argo(&m, small());
+        let reference = reference_checksum(small());
+        assert!(
+            (out.checksum - reference).abs() < 1e-9 * reference.abs(),
+            "argo {} vs ref {}",
+            out.checksum,
+            reference
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the block size")]
+    fn rejects_misaligned_block() {
+        let m = ArgoMachine::new(ArgoConfig::small(1, 1));
+        run_argo(&m, LuParams { n: 30, block: 8 });
+    }
+}

@@ -1,0 +1,346 @@
+//! N-body: iterative all-pairs gravitational simulation.
+//!
+//! Paper §5.4 / Figure 13b: "a simple iterative approach, separating
+//! iteration steps with barriers. The additional cost of synchronization
+//! over a network is barely noticeable for large problem sizes" — Argo
+//! scales it to 32 nodes (512 cores), exceeding the MPI port.
+//!
+//! Positions are double-buffered: each step reads the previous buffer and
+//! writes the next, with one hierarchical barrier per step.
+
+use crate::costs;
+use crate::harness::{outcome_of, run_mpi, MpiCtx, Outcome};
+use argo::types::GlobalF64Array;
+use argo::ArgoMachine;
+use simnet::{CostModel, Tag};
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Copy)]
+pub struct NbodyParams {
+    pub bodies: usize,
+    pub steps: usize,
+}
+
+impl Default for NbodyParams {
+    fn default() -> Self {
+        NbodyParams {
+            bodies: 2048,
+            steps: 4,
+        }
+    }
+}
+
+const DT: f64 = 0.01;
+const SOFTENING: f64 = 1e-3;
+
+/// Deterministic initial (position, velocity, mass) of body `i`.
+pub fn body_init(i: usize) -> ([f64; 3], [f64; 3], f64) {
+    // Low-discrepancy-ish spread; avoids coincident bodies.
+    let k = i as f64;
+    let pos = [
+        (k * 0.618_033_988_75).fract() * 10.0 - 5.0,
+        (k * 0.414_213_562_37).fract() * 10.0 - 5.0,
+        (k * 0.732_050_807_57).fract() * 10.0 - 5.0,
+    ];
+    let vel = [0.0, 0.0, 0.0];
+    let mass = 1.0 + (k * 0.302_775_637_73).fract();
+    (pos, vel, mass)
+}
+
+/// One step of the sequential reference on plain vectors.
+fn step_reference(pos: &[[f64; 3]], vel: &mut [[f64; 3]], mass: &[f64]) -> Vec<[f64; 3]> {
+    let n = pos.len();
+    let mut next = vec![[0.0; 3]; n];
+    for i in 0..n {
+        let mut acc = [0.0f64; 3];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let dx = pos[j][0] - pos[i][0];
+            let dy = pos[j][1] - pos[i][1];
+            let dz = pos[j][2] - pos[i][2];
+            let d2 = dx * dx + dy * dy + dz * dz + SOFTENING;
+            let inv = mass[j] / (d2 * d2.sqrt());
+            acc[0] += dx * inv;
+            acc[1] += dy * inv;
+            acc[2] += dz * inv;
+        }
+        for a in 0..3 {
+            vel[i][a] += acc[a] * DT;
+            next[i][a] = pos[i][a] + vel[i][a] * DT;
+        }
+    }
+    next
+}
+
+/// Sequential reference checksum (sum of all final coordinates).
+pub fn reference_checksum(p: NbodyParams) -> f64 {
+    let n = p.bodies;
+    let mut pos = Vec::with_capacity(n);
+    let mut vel = Vec::with_capacity(n);
+    let mut mass = Vec::with_capacity(n);
+    for i in 0..n {
+        let (x, v, m) = body_init(i);
+        pos.push(x);
+        vel.push(v);
+        mass.push(m);
+    }
+    for _ in 0..p.steps {
+        pos = step_reference(&pos, &mut vel, &mass);
+    }
+    pos.iter().flat_map(|x| x.iter()).sum()
+}
+
+/// Kernel shared by the Argo and MPI variants: compute the accelerations of
+/// `chunk` against all bodies and step positions/velocities.
+#[allow(clippy::too_many_arguments)]
+fn step_chunk(
+    chunk: std::ops::Range<usize>,
+    px: &[f64],
+    py: &[f64],
+    pz: &[f64],
+    mass: &[f64],
+    vel: &mut [[f64; 3]],
+    out: &mut [[f64; 3]],
+) {
+    let n = px.len();
+    for (li, i) in chunk.enumerate() {
+        let mut acc = [0.0f64; 3];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let dx = px[j] - px[i];
+            let dy = py[j] - py[i];
+            let dz = pz[j] - pz[i];
+            let d2 = dx * dx + dy * dy + dz * dz + SOFTENING;
+            let inv = mass[j] / (d2 * d2.sqrt());
+            acc[0] += dx * inv;
+            acc[1] += dy * inv;
+            acc[2] += dz * inv;
+        }
+        for a in 0..3 {
+            vel[li][a] += acc[a] * DT;
+        }
+        out[li][0] = px[i] + vel[li][0] * DT;
+        out[li][1] = py[i] + vel[li][1] * DT;
+        out[li][2] = pz[i] + vel[li][2] * DT;
+    }
+}
+
+/// Run on an Argo cluster.
+pub fn run_argo(machine: &Arc<ArgoMachine>, p: NbodyParams) -> Outcome {
+    let dsm = machine.dsm();
+    let n = p.bodies;
+    // Double-buffered positions (3 axes × 2 buffers) + masses.
+    let bufs: [[GlobalF64Array; 3]; 2] =
+        std::array::from_fn(|_| std::array::from_fn(|_| GlobalF64Array::alloc(dsm, n)));
+    let mass_arr = GlobalF64Array::alloc(dsm, n);
+    let report = machine.run(move |ctx| {
+        let chunk = ctx.my_chunk(n);
+        for i in chunk.clone() {
+            let (pos, _, m) = body_init(i);
+            for a in 0..3 {
+                bufs[0][a].set(ctx, i, pos[a]);
+            }
+            mass_arr.set(ctx, i, m);
+        }
+        ctx.start_measurement();
+        let mut vel = vec![[0.0f64; 3]; chunk.len()];
+        let mut out = vec![[0.0f64; 3]; chunk.len()];
+        let (mut px, mut py, mut pz) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        let mut mass = vec![0.0; n];
+        ctx.barrier(); // everyone's init visible
+        ctx.read_f64_slice(mass_arr.addr(0), &mut mass);
+        for step in 0..p.steps {
+            let src = &bufs[step % 2];
+            let dst = &bufs[(step + 1) % 2];
+            ctx.read_f64_slice(src[0].addr(0), &mut px);
+            ctx.read_f64_slice(src[1].addr(0), &mut py);
+            ctx.read_f64_slice(src[2].addr(0), &mut pz);
+            step_chunk(chunk.clone(), &px, &py, &pz, &mass, &mut vel, &mut out);
+            ctx.thread
+                .compute((chunk.len() * n) as u64 * costs::NBODY_INTERACTION);
+            if !chunk.is_empty() {
+                for a in 0..3 {
+                    let col: Vec<f64> = out.iter().map(|b| b[a]).collect();
+                    ctx.write_f64_slice(dst[a].addr(chunk.start), &col);
+                }
+            }
+            ctx.barrier();
+        }
+        // Checksum of final positions (own chunk).
+        let fin = &bufs[p.steps % 2];
+        let mut sum = 0.0;
+        for i in chunk {
+            for arr in fin.iter() {
+                sum += arr.get(ctx, i);
+            }
+        }
+        sum
+    });
+    outcome_of(report)
+}
+
+/// MPI port: each rank owns a chunk; a ring all-gather exchanges positions
+/// every step.
+pub fn run_mpi_variant(nodes: usize, ranks_per_node: usize, p: NbodyParams) -> Outcome {
+    let cost = CostModel::paper_2011();
+    let n = p.bodies;
+    let (cycles, results, net) = run_mpi(nodes, ranks_per_node, cost, move |ctx: &mut MpiCtx| {
+        let ranks = ctx.ranks;
+        let chunk = ctx.my_chunk(n);
+        let per = n.div_ceil(ranks);
+        // Global state assembled locally by the all-gather.
+        let (mut px, mut py, mut pz) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        let mut mass = vec![0.0; n];
+        for i in 0..n {
+            let (pos, _, m) = body_init(i);
+            px[i] = pos[0];
+            py[i] = pos[1];
+            pz[i] = pos[2];
+            mass[i] = m;
+        }
+        let mut vel = vec![[0.0f64; 3]; chunk.len()];
+        let mut out = vec![[0.0f64; 3]; chunk.len()];
+        for step in 0..p.steps {
+            step_chunk(chunk.clone(), &px, &py, &pz, &mass, &mut vel, &mut out);
+            ctx.thread
+                .compute((chunk.len() * n) as u64 * costs::NBODY_INTERACTION);
+            // Write own chunk into the global arrays.
+            for (li, i) in chunk.clone().enumerate() {
+                px[i] = out[li][0];
+                py[i] = out[li][1];
+                pz[i] = out[li][2];
+            }
+            // Ring all-gather: (ranks-1) rounds, passing chunks around.
+            let next = (ctx.rank + 1) % ranks;
+            let prev = (ctx.rank + ranks - 1) % ranks;
+            let mut carry = ctx.rank; // whose chunk we forward next
+            for round in 0..ranks.saturating_sub(1) {
+                let tag = Tag((step * ranks + round) as u32);
+                let lo = (carry * per).min(n);
+                let hi = ((carry + 1) * per).min(n);
+                let mut payload = Vec::with_capacity((hi - lo) * 24);
+                for i in lo..hi {
+                    payload.extend_from_slice(&px[i].to_le_bytes());
+                    payload.extend_from_slice(&py[i].to_le_bytes());
+                    payload.extend_from_slice(&pz[i].to_le_bytes());
+                }
+                ctx.world.send(&mut ctx.thread, ctx.rank, next, tag, payload);
+                let m = ctx.world.recv(&mut ctx.thread, ctx.rank, Some(prev), tag);
+                carry = (carry + ranks - 1) % ranks;
+                let lo = (carry * per).min(n);
+                for (k, triple) in m.payload.chunks_exact(24).enumerate() {
+                    let i = lo + k;
+                    px[i] = f64::from_le_bytes(triple[0..8].try_into().expect("8"));
+                    py[i] = f64::from_le_bytes(triple[8..16].try_into().expect("8"));
+                    pz[i] = f64::from_le_bytes(triple[16..24].try_into().expect("8"));
+                }
+            }
+        }
+        let local: f64 = chunk.map(|i| px[i] + py[i] + pz[i]).sum();
+        ctx.world.allreduce_sum(&mut ctx.thread, local)
+    });
+    Outcome {
+        cycles,
+        seconds: cost.cycles_to_secs(cycles),
+        checksum: results[0],
+        coherence: Default::default(),
+        net,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argo::ArgoConfig;
+
+    fn small() -> NbodyParams {
+        NbodyParams {
+            bodies: 120,
+            steps: 3,
+        }
+    }
+
+    #[test]
+    fn argo_matches_reference() {
+        let m = ArgoMachine::new(ArgoConfig::small(2, 2));
+        let out = run_argo(&m, small());
+        let reference = reference_checksum(small());
+        assert!(
+            (out.checksum - reference).abs() < 1e-6 * reference.abs().max(1.0),
+            "argo {} vs ref {}",
+            out.checksum,
+            reference
+        );
+    }
+
+    #[test]
+    fn mpi_matches_reference() {
+        let out = run_mpi_variant(3, 2, small());
+        let reference = reference_checksum(small());
+        assert!(
+            (out.checksum - reference).abs() < 1e-6 * reference.abs().max(1.0),
+            "mpi {} vs ref {}",
+            out.checksum,
+            reference
+        );
+    }
+
+    #[test]
+    fn energy_does_not_explode() {
+        // Sanity on the physics: bounded positions for a few steps.
+        let reference = reference_checksum(NbodyParams { bodies: 50, steps: 5 });
+        assert!(reference.is_finite());
+        assert!(reference.abs() < 50.0 * 3.0 * 100.0);
+    }
+}
+
+#[cfg(test)]
+mod invariant_tests {
+    use super::*;
+
+    /// Total momentum is (approximately) conserved by the symmetric
+    /// pairwise forces: sum(m_i * v_i) stays near zero from a cold start.
+    #[test]
+    fn momentum_stays_bounded() {
+        let n = 200;
+        let mut pos = Vec::new();
+        let mut vel = Vec::new();
+        let mut mass = Vec::new();
+        for i in 0..n {
+            let (x, v, m) = body_init(i);
+            pos.push(x);
+            vel.push(v);
+            mass.push(m);
+        }
+        for _ in 0..10 {
+            pos = step_reference(&pos, &mut vel, &mass);
+        }
+        let mut p = [0.0f64; 3];
+        let mut speed_sum = 0.0;
+        for i in 0..n {
+            for a in 0..3 {
+                p[a] += mass[i] * vel[i][a];
+            }
+            speed_sum += vel[i].iter().map(|v| v.abs()).sum::<f64>();
+        }
+        // Momentum should be tiny relative to the total |velocity| scale.
+        let pmag = (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt();
+        assert!(speed_sum > 0.0, "nothing moved");
+        assert!(
+            pmag < 1e-9 * speed_sum.max(1.0),
+            "momentum drift: {pmag} vs motion {speed_sum}"
+        );
+    }
+
+    /// Determinism: the same configuration twice gives identical positions.
+    #[test]
+    fn reference_is_deterministic() {
+        let a = reference_checksum(NbodyParams { bodies: 64, steps: 4 });
+        let b = reference_checksum(NbodyParams { bodies: 64, steps: 4 });
+        assert_eq!(a, b);
+    }
+}

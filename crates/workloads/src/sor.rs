@@ -1,0 +1,207 @@
+//! Red-black successive over-relaxation (SOR) — the classic software-DSM
+//! benchmark (TreadMarks' flagship workload; the paper's §2 positions Argo
+//! against exactly that lineage).
+//!
+//! A 2D grid relaxes under the red-black checkerboard schedule: all "red"
+//! cells update from black neighbours, barrier, all "black" from red,
+//! barrier. Rows are block-distributed; only the halo rows at chunk
+//! boundaries migrate between nodes — the sharing pattern page-based DSMs
+//! were built for.
+
+use crate::harness::{outcome_of, Outcome};
+use argo::types::GlobalF64Array;
+use argo::ArgoMachine;
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Copy)]
+pub struct SorParams {
+    /// Grid is `n x n`.
+    pub n: usize,
+    /// Red+black sweeps.
+    pub iterations: usize,
+    /// Over-relaxation factor in (0, 2).
+    pub omega: f64,
+}
+
+impl Default for SorParams {
+    fn default() -> Self {
+        SorParams {
+            n: 256,
+            iterations: 10,
+            omega: 1.25,
+        }
+    }
+}
+
+/// Deterministic initial grid: hot left edge, cold elsewhere.
+#[inline]
+pub fn initial(n: usize, i: usize, j: usize) -> f64 {
+    if j == 0 {
+        100.0
+    } else if i == 0 || i == n - 1 || j == n - 1 {
+        0.0
+    } else {
+        ((i * 7 + j * 13) % 10) as f64
+    }
+}
+
+/// Sequential reference: identical schedule on a plain vector.
+pub fn reference_checksum(p: SorParams) -> f64 {
+    let n = p.n;
+    let mut g: Vec<f64> = (0..n * n).map(|x| initial(n, x / n, x % n)).collect();
+    for _ in 0..p.iterations {
+        for colour in 0..2 {
+            for i in 1..(n - 1) {
+                for j in 1..(n - 1) {
+                    if (i + j) % 2 == colour {
+                        let nb = g[(i - 1) * n + j]
+                            + g[(i + 1) * n + j]
+                            + g[i * n + j - 1]
+                            + g[i * n + j + 1];
+                        g[i * n + j] += p.omega * (nb / 4.0 - g[i * n + j]);
+                    }
+                }
+            }
+        }
+    }
+    g.iter().sum()
+}
+
+/// Run on an Argo cluster.
+pub fn run_argo(machine: &Arc<ArgoMachine>, p: SorParams) -> Outcome {
+    let n = p.n;
+    let grid = GlobalF64Array::alloc(machine.dsm(), n * n);
+    let omega = p.omega;
+    let report = machine.run(move |ctx| {
+        // Interior rows are block-distributed.
+        let nt = ctx.nthreads();
+        let per = (n - 2).div_ceil(nt);
+        let lo = 1 + ctx.tid() * per;
+        let hi = (lo + per).min(n - 1);
+        // Initialize my rows (plus thread 0 takes the boundary rows).
+        let mut init_rows: Vec<usize> = (lo..hi).collect();
+        if ctx.tid() == 0 {
+            init_rows.push(0);
+            init_rows.push(n - 1);
+        }
+        for &i in &init_rows {
+            let row: Vec<f64> = (0..n).map(|j| initial(n, i, j)).collect();
+            ctx.write_f64_slice(grid.addr(i * n), &row);
+        }
+        ctx.start_measurement();
+        ctx.barrier();
+        let mut rows = [vec![0.0f64; n], vec![0.0f64; n], vec![0.0f64; n]];
+        let mut out = vec![0.0f64; n];
+        for _ in 0..p.iterations {
+            for colour in 0..2usize {
+                for i in lo..hi {
+                    // Bulk halo reads: the off-colour neighbour cells the
+                    // stencil consumes are stable this half-sweep (the
+                    // same-colour words also fetched are unused).
+                    for (k, r) in rows.iter_mut().enumerate() {
+                        ctx.read_f64_slice(grid.addr((i - 1 + k) * n), r);
+                    }
+                    out.copy_from_slice(&rows[1]);
+                    for j in 1..(n - 1) {
+                        if (i + j) % 2 == colour {
+                            let nb = rows[0][j] + rows[2][j] + rows[1][j - 1] + rows[1][j + 1];
+                            out[j] += omega * (nb / 4.0 - rows[1][j]);
+                        }
+                    }
+                    ctx.thread.compute(n as u64 * 4);
+                    // Write back only this colour's cells — the others are
+                    // read concurrently by neighbour threads.
+                    for j in 1..(n - 1) {
+                        if (i + j) % 2 == colour {
+                            ctx.write_f64(grid.addr(i * n + j), out[j]);
+                        }
+                    }
+                }
+                ctx.barrier();
+            }
+        }
+        // Checksum over my rows (+ boundary rows from thread 0).
+        let mut sum = 0.0;
+        let mut buf = vec![0.0f64; n];
+        for &i in &init_rows {
+            ctx.read_f64_slice(grid.addr(i * n), &mut buf);
+            sum += buf.iter().sum::<f64>();
+        }
+        sum
+    });
+    outcome_of(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argo::ArgoConfig;
+
+    fn small() -> SorParams {
+        SorParams {
+            n: 48,
+            iterations: 4,
+            omega: 1.25,
+        }
+    }
+
+    #[test]
+    fn argo_matches_reference() {
+        let m = ArgoMachine::new(ArgoConfig::small(2, 2));
+        let out = run_argo(&m, small());
+        let reference = reference_checksum(small());
+        assert!(
+            (out.checksum - reference).abs() < 1e-6 * reference.abs().max(1.0),
+            "argo {} vs ref {}",
+            out.checksum,
+            reference
+        );
+    }
+
+    #[test]
+    fn relaxation_spreads_heat_inward() {
+        // After enough sweeps the cell next to the hot edge must be warm.
+        let p = SorParams {
+            n: 32,
+            iterations: 50,
+            omega: 1.0,
+        };
+        let n = p.n;
+        let mut g: Vec<f64> = (0..n * n).map(|x| initial(n, x / n, x % n)).collect();
+        for _ in 0..p.iterations {
+            for colour in 0..2 {
+                for i in 1..(n - 1) {
+                    for j in 1..(n - 1) {
+                        if (i + j) % 2 == colour {
+                            let nb = g[(i - 1) * n + j]
+                                + g[(i + 1) * n + j]
+                                + g[i * n + j - 1]
+                                + g[i * n + j + 1];
+                            g[i * n + j] += p.omega * (nb / 4.0 - g[i * n + j]);
+                        }
+                    }
+                }
+            }
+        }
+        let mid = n / 2;
+        assert!(g[mid * n + 1] > 30.0, "heat did not spread: {}", g[mid * n + 1]);
+        assert!(g[mid * n + n - 2] < 30.0, "far edge too hot");
+    }
+
+    #[test]
+    fn scales_with_nodes() {
+        let p = SorParams {
+            n: 192,
+            iterations: 6,
+            omega: 1.25,
+        };
+        let seq = run_argo(&ArgoMachine::new(ArgoConfig::small(1, 1)), p);
+        let par = run_argo(&ArgoMachine::new(ArgoConfig::small(4, 2)), p);
+        assert!(par.checksum_matches(&seq, 1e-9));
+        assert!(
+            par.speedup_over(&seq) > 2.0,
+            "speedup {}",
+            par.speedup_over(&seq)
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! Branch-and-bound travelling salesman — a lock-structured application
+//! using HQDL end to end (the workload family §4 motivates: critical
+//! sections all touching a common dataset, i.e. migratory data).
+//!
+//! A shared work queue of partial tours and a shared best-so-far bound
+//! live under one delegation lock. Workers pop a partial tour, extend it
+//! locally (pure compute), and push children / update the bound through
+//! delegated critical sections — so the queue and bound stay hot on
+//! whichever node currently helps, instead of ping-ponging.
+
+use crate::harness::Outcome;
+use argo::{ArgoConfig, ArgoMachine};
+use std::sync::Arc;
+use vela::Hqdl;
+
+#[derive(Debug, Clone, Copy)]
+pub struct TspParams {
+    pub cities: usize,
+    pub seed: u64,
+}
+
+impl Default for TspParams {
+    fn default() -> Self {
+        TspParams { cities: 10, seed: 7 }
+    }
+}
+
+/// Deterministic distance matrix (symmetric, positive).
+pub fn distances(p: TspParams) -> Vec<Vec<u32>> {
+    let n = p.cities;
+    let mut d = vec![vec![0u32; n]; n];
+    let mut state = p.seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let w = (next() % 90 + 10) as u32;
+            d[i][j] = w;
+            d[j][i] = w;
+        }
+    }
+    d
+}
+
+/// A partial tour in the branch-and-bound queue.
+#[derive(Debug, Clone)]
+struct Partial {
+    path: Vec<u8>,
+    visited: u32,
+    cost: u32,
+}
+
+/// Shared search state, protected by one HQDL lock.
+struct SearchState {
+    queue: Vec<Partial>,
+    best: u32,
+    outstanding: usize,
+}
+
+/// Exact sequential solver (Held-Karp-free, plain DFS B&B) for reference.
+pub fn reference_best(p: TspParams) -> u32 {
+    let d = distances(p);
+    let n = p.cities;
+    let mut best = u32::MAX;
+    fn dfs(d: &[Vec<u32>], n: usize, last: usize, visited: u32, cost: u32, best: &mut u32) {
+        if cost >= *best {
+            return;
+        }
+        if visited.count_ones() as usize == n {
+            let total = cost + d[last][0];
+            if total < *best {
+                *best = total;
+            }
+            return;
+        }
+        for next in 1..n {
+            if visited & (1 << next) == 0 {
+                dfs(d, n, next, visited | (1 << next), cost + d[last][next], best);
+            }
+        }
+    }
+    dfs(&d, n, 0, 1, 0, &mut best);
+    best
+}
+
+/// Parallel branch and bound on an Argo cluster with HQDL-protected shared
+/// state. Returns the optimal tour cost as the checksum.
+pub fn run_argo(nodes: usize, threads_per_node: usize, p: TspParams) -> Outcome {
+    let machine = ArgoMachine::new(ArgoConfig::small(nodes, threads_per_node));
+    let dsm = machine.dsm().clone();
+    let lock = Hqdl::new(dsm.clone(), 512);
+    let d = Arc::new(distances(p));
+    let n = p.cities;
+    // The search state is plain host data owned by the lock's critical
+    // sections; its *access costs* are charged inside the delegated
+    // closures (queue/bound words live on the helper's node in spirit).
+    let state = Arc::new(parking_lot::Mutex::new(SearchState {
+        queue: vec![Partial {
+            path: vec![0],
+            visited: 1,
+            cost: 0,
+        }],
+        best: u32::MAX,
+        outstanding: 1,
+    }));
+
+    let report = machine.run(move |ctx| {
+        ctx.start_measurement();
+        loop {
+            // Pop one partial tour (delegated critical section).
+            let st = state.clone();
+            let popped = lock.delegate_wait(&mut ctx.thread, move |ht| {
+                // Queue-touch cost: a few words of shared state.
+                ht.compute(60);
+                let mut s = st.lock();
+                match s.queue.pop() {
+                    Some(t) => Some((t, s.best)),
+                    None => {
+                        if s.outstanding == 0 {
+                            None // search finished
+                        } else {
+                            Some((
+                                Partial {
+                                    path: Vec::new(),
+                                    visited: 0,
+                                    cost: 0,
+                                },
+                                s.best,
+                            )) // spin marker: queue empty but work in flight
+                        }
+                    }
+                }
+            });
+            let Some((partial, best)) = popped else { break };
+            if partial.path.is_empty() {
+                std::thread::yield_now();
+                continue;
+            }
+            // Expand locally (pure compute, charged per child).
+            let last = *partial.path.last().expect("nonempty") as usize;
+            let mut children = Vec::new();
+            let mut complete: Option<u32> = None;
+            if partial.visited.count_ones() as usize == n {
+                complete = Some(partial.cost + d[last][0]);
+            } else {
+                for next in 1..n {
+                    if partial.visited & (1 << next) == 0 {
+                        let cost = partial.cost + d[last][next];
+                        if cost < best {
+                            let mut path = partial.path.clone();
+                            path.push(next as u8);
+                            children.push(Partial {
+                                path,
+                                visited: partial.visited | (1 << next),
+                                cost,
+                            });
+                        }
+                    }
+                }
+            }
+            ctx.thread.compute(40 * (n as u64));
+            // Publish children / bound (delegated).
+            let st = state.clone();
+            lock.delegate_wait(&mut ctx.thread, move |ht| {
+                ht.compute(40 + 20 * children.len() as u64);
+                let mut s = st.lock();
+                if let Some(total) = complete {
+                    if total < s.best {
+                        s.best = total;
+                    }
+                }
+                let best_now = s.best;
+                for c in children {
+                    if c.cost < best_now {
+                        s.outstanding += 1;
+                        s.queue.push(c);
+                    }
+                }
+                s.outstanding -= 1;
+            });
+        }
+        // Everyone reads the final bound.
+        let st = state.clone();
+        lock.delegate_wait(&mut ctx.thread, move |ht| {
+            ht.compute(20);
+            st.lock().best as f64
+        })
+    });
+    let best = report.results[0];
+    Outcome {
+        cycles: report.cycles,
+        seconds: report.seconds,
+        checksum: best,
+        coherence: report.coherence,
+        net: report.net,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_are_symmetric_and_deterministic() {
+        let p = TspParams { cities: 8, seed: 3 };
+        let a = distances(p);
+        let b = distances(p);
+        assert_eq!(a, b);
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(a[i][j], a[j][i]);
+                if i != j {
+                    assert!(a[i][j] >= 10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_finds_the_optimum() {
+        let p = TspParams { cities: 9, seed: 11 };
+        let expect = reference_best(p) as f64;
+        let out = run_argo(2, 2, p);
+        assert_eq!(out.checksum, expect, "wrong tour cost");
+        assert!(out.cycles > 0);
+    }
+
+    #[test]
+    fn different_shapes_agree() {
+        let p = TspParams { cities: 8, seed: 5 };
+        let expect = reference_best(p) as f64;
+        for (nodes, tpn) in [(1, 1), (1, 4), (3, 2)] {
+            let out = run_argo(nodes, tpn, p);
+            assert_eq!(out.checksum, expect, "{nodes}x{tpn}");
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Tutorial: data placement matters — and how to control it.
+//!
+//! Runs the same chunked kernel (scale a big vector in place, barrier,
+//! sum it) three ways:
+//!   1. default interleaved homes (the paper's prototype),
+//!   2. per-allocation blocked homes (`alloc_blocked`: each thread's chunk
+//!      lands on its own node),
+//!   3. blocked homes *with mismatched chunking* (threads deliberately work
+//!      on another node's block) — placement can hurt, too.
+//!
+//! Run: `cargo run --release --example distribution_tutorial`
+
+use argo::types::GlobalF64Array;
+use argo::{ArgoConfig, ArgoMachine};
+
+const N: usize = 1 << 17;
+const SWEEPS: usize = 4;
+
+fn run(label: &str, blocked: bool, rotate_chunks: bool) {
+    let machine = ArgoMachine::new(ArgoConfig::small(4, 4));
+    let data = if blocked {
+        GlobalF64Array::alloc_blocked(machine.dsm(), N)
+    } else {
+        GlobalF64Array::alloc(machine.dsm(), N)
+    };
+    let report = machine.run(move |ctx| {
+        // Optionally work on the "wrong" chunk: the one belonging to the
+        // next node's threads.
+        let nt = ctx.nthreads();
+        let shift = if rotate_chunks { 4 } else { 0 };
+        let tid = (ctx.tid() + shift) % nt;
+        let per = N.div_ceil(nt);
+        let lo = (tid * per).min(N);
+        let hi = ((tid + 1) * per).min(N);
+        for i in lo..hi {
+            data.set(ctx, i, i as f64);
+        }
+        ctx.start_measurement();
+        ctx.barrier();
+        let mut buf = vec![0.0f64; hi - lo];
+        let mut acc = 0.0;
+        for _ in 0..SWEEPS {
+            ctx.read_f64_slice(data.addr(lo), &mut buf);
+            for v in &mut buf {
+                *v *= 1.0000001;
+            }
+            ctx.thread.compute((hi - lo) as u64 * 2);
+            ctx.write_f64_slice(data.addr(lo), &buf);
+            acc += buf[0];
+            ctx.barrier();
+        }
+        acc
+    });
+    println!("--- {label} ---");
+    print!("{}", report.summary());
+}
+
+fn main() {
+    run("interleaved homes (default)", false, false);
+    run("blocked allocation, aligned chunks", true, false);
+    run("blocked allocation, rotated chunks (anti-pattern)", true, true);
+    println!();
+    println!("Aligned blocked placement turns every access home-local (zero network");
+    println!("reads); rotating the chunks makes the same placement maximally wrong.");
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper into results/.
+# Pass --full for paper-scale sweeps (much slower).
+set -u
+cd "$(dirname "$0")/.."
+ARGS="${1:-}"
+BINS="fig01_trends table1_classification fig07_bandwidth fig08_classification \
+fig09_writebuffer fig10_writebacks fig11_locks_single_node fig11v_locks_virtual fig12_locks_dsm \
+fig13a_lu fig13b_nbody fig13c_blackscholes fig13d_matmul fig13e_ep fig13f_cg \
+ablation_passive_dir ablation_hqdl_batch ablation_prefetch ablation_cohort_fencing ablation_adaptive ablation_distribution extra_workloads inspect_traffic"
+mkdir -p results
+for b in $BINS; do
+    echo "== $b =="
+    cargo run --release -p bench --bin "$b" -- $ARGS 2>/dev/null | tee "results/$b.txt"
+done
+echo "All outputs in results/"

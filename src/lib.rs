@@ -1,0 +1,11 @@
+//! # argo-dsm — workspace façade
+//!
+//! Re-exports the public API of every crate in the Argo DSM reproduction.
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use argo;
+pub use carina;
+pub use mem;
+pub use simnet;
+pub use vela;
+pub use workloads;

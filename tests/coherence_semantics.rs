@@ -1,0 +1,161 @@
+//! Memory-model integration tests: SC-for-DRF through the full stack.
+//!
+//! Argo's contract (paper §3.1): data-race-free programs observe
+//! sequentially consistent behaviour provided synchronization is exposed
+//! to Carina — SI on acquire, SD on release, both at barriers. These tests
+//! drive the publication idioms that contract must support.
+
+use argo::types::GlobalU64Array;
+use argo::{ArgoConfig, ArgoMachine};
+use std::sync::Arc;
+use vela::Hqdl;
+
+/// Message passing via shared memory: writer publishes a payload, then a
+/// flag; reader acquires and must observe the payload if it saw the flag.
+#[test]
+fn publication_via_barrier() {
+    let m = ArgoMachine::new(ArgoConfig::small(4, 2));
+    let data = GlobalU64Array::alloc(m.dsm(), 256);
+    let report = m.run(move |ctx| {
+        let writer = ctx.tid() == 0;
+        if writer {
+            for i in 0..256 {
+                data.set(ctx, i, (i * i) as u64);
+            }
+        } else {
+            // Pre-cache stale zeroes to make the SI meaningful.
+            let _ = data.get(ctx, 0);
+            let _ = data.get(ctx, 255);
+        }
+        ctx.barrier();
+        (0..256).map(|i| data.get(ctx, i)).sum::<u64>()
+    });
+    let expect: u64 = (0..256u64).map(|i| i * i).sum();
+    assert!(report.results.iter().all(|&s| s == expect));
+}
+
+/// Repeated producer/consumer epochs with role rotation: every thread
+/// writes in some epochs and reads in others.
+#[test]
+fn rotating_producers_across_epochs() {
+    let m = ArgoMachine::new(ArgoConfig::small(3, 2));
+    let slots = GlobalU64Array::alloc(m.dsm(), 64);
+    let report = m.run(move |ctx| {
+        let nt = ctx.nthreads();
+        let mut observed = 0u64;
+        for epoch in 0..6u64 {
+            let producer = (epoch as usize) % nt;
+            if ctx.tid() == producer {
+                for i in 0..64 {
+                    slots.set(ctx, i, epoch * 1000 + i as u64);
+                }
+            }
+            ctx.barrier();
+            // Everyone (including the producer) must read this epoch's
+            // values, not a stale epoch's.
+            for i in 0..64 {
+                let v = slots.get(ctx, i);
+                assert_eq!(v, epoch * 1000 + i as u64, "stale read in epoch {epoch}");
+                observed ^= v;
+            }
+            ctx.barrier();
+        }
+        observed
+    });
+    assert!(report.results.windows(2).all(|w| w[0] == w[1]));
+}
+
+/// Release/acquire through explicit fences + a delegation lock: the HQDL
+/// helper's writes must be visible to any thread that waits on its future.
+#[test]
+fn delegation_results_are_coherent() {
+    let m = ArgoMachine::new(ArgoConfig::small(3, 2));
+    let dsm = m.dsm().clone();
+    let counter = dsm.allocator().alloc_pages(1).expect("mem");
+    let lock = Hqdl::new(dsm.clone(), 64);
+    let d0 = dsm.clone();
+    let report = m.run(move |ctx| {
+        let mut last_seen = 0u64;
+        for _ in 0..50 {
+            let dsm = d0.clone();
+            let v = lock.delegate_wait(&mut ctx.thread, move |ht| {
+                let v = dsm.read_u64(ht, counter);
+                dsm.write_u64(ht, counter, v + 1);
+                v + 1
+            });
+            // Strictly increasing view of the counter from this thread.
+            assert!(v > last_seen, "went backwards: {v} after {last_seen}");
+            last_seen = v;
+        }
+        last_seen
+    });
+    // Total increments = 6 threads x 50.
+    let max = report.results.iter().copied().fold(0, u64::max);
+    assert_eq!(max, 300);
+}
+
+/// Writes without a release fence must *not* be assumed visible — and the
+/// write buffer's background drain is allowed to make them visible early.
+/// Either way, after an explicit release+acquire pair they must be.
+#[test]
+fn explicit_fences_publish() {
+    let m = ArgoMachine::new(ArgoConfig::small(2, 1));
+    let dsm = m.dsm().clone();
+    let addr = dsm.allocator().alloc_pages(4).expect("mem");
+    let flag = Arc::new(std::sync::Barrier::new(2));
+    let report = m.run(move |ctx| {
+        if ctx.tid() == 0 {
+            ctx.write_u64(addr, 77);
+            ctx.release(); // SD fence
+            flag.wait();
+            0
+        } else {
+            flag.wait();
+            ctx.acquire(); // SI fence
+            ctx.read_u64(addr)
+        }
+    });
+    assert_eq!(report.results[1], 77);
+}
+
+/// The same DRF program must produce identical results under every
+/// classification mode (classification is a performance feature, not a
+/// semantics feature).
+#[test]
+fn classification_modes_are_semantically_equivalent() {
+    use carina::{CarinaConfig, ClassificationMode};
+    let mut sums = Vec::new();
+    for mode in [
+        ClassificationMode::AllShared,
+        ClassificationMode::PsNaive,
+        ClassificationMode::Ps3,
+    ] {
+        let mut cfg = ArgoConfig::small(3, 2);
+        cfg.carina = CarinaConfig::with_mode(mode);
+        let m = ArgoMachine::new(cfg);
+        let arr = GlobalU64Array::alloc(m.dsm(), 512);
+        let report = m.run(move |ctx| {
+            for round in 0..4u64 {
+                for i in ctx.my_chunk(512) {
+                    let old = arr.get(ctx, i);
+                    arr.set(ctx, i, old + round + i as u64);
+                }
+                ctx.barrier();
+                // Read a neighbour thread's chunk.
+                let peer = (ctx.tid() + 1) % ctx.nthreads();
+                let per = 512usize.div_ceil(ctx.nthreads());
+                let lo = (peer * per).min(512);
+                let hi = ((peer + 1) * per).min(512);
+                let mut s = 0u64;
+                for i in lo..hi {
+                    s ^= arr.get(ctx, i);
+                }
+                std::hint::black_box(s);
+                ctx.barrier();
+            }
+            (0..512).map(|i| arr.get(ctx, i)).sum::<u64>()
+        });
+        sums.push(report.results[0]);
+    }
+    assert!(sums.windows(2).all(|w| w[0] == w[1]), "{sums:?}");
+}

@@ -1,0 +1,111 @@
+//! Cross-crate integration tests: full workloads through the whole stack
+//! (simnet → mem → carina → vela → argo → workloads), validating results
+//! across programming models.
+
+use argo::{ArgoConfig, ArgoMachine};
+use workloads::{blackscholes, cg, ep, lu, matmul, nbody};
+
+#[test]
+fn blackscholes_three_models_agree() {
+    let p = blackscholes::BsParams {
+        options: 500,
+        iterations: 2,
+    };
+    let reference = blackscholes::reference_checksum(p);
+    let argo = blackscholes::run_argo(&ArgoMachine::new(ArgoConfig::small(3, 2)), p);
+    let mpi = blackscholes::run_mpi_variant(3, 2, p);
+    for (name, got) in [("argo", argo.checksum), ("mpi", mpi.checksum)] {
+        assert!(
+            (got - reference).abs() < 1e-9 * reference,
+            "{name}: {got} vs {reference}"
+        );
+    }
+}
+
+#[test]
+fn nbody_argo_and_mpi_agree_with_reference() {
+    let p = nbody::NbodyParams {
+        bodies: 96,
+        steps: 2,
+    };
+    let reference = nbody::reference_checksum(p);
+    let argo = nbody::run_argo(&ArgoMachine::new(ArgoConfig::small(2, 3)), p);
+    let mpi = nbody::run_mpi_variant(2, 3, p);
+    assert!((argo.checksum - reference).abs() < 1e-6 * reference.abs().max(1.0));
+    assert!((mpi.checksum - reference).abs() < 1e-6 * reference.abs().max(1.0));
+}
+
+#[test]
+fn matmul_and_lu_checksums_hold_on_odd_cluster_shapes() {
+    // 3 nodes x 5 threads: chunk sizes don't divide anything evenly.
+    let m = ArgoMachine::new(ArgoConfig::small(3, 5));
+    let mm = matmul::run_argo(&m, matmul::MatmulParams { n: 40 });
+    let mm_ref = matmul::reference_checksum(matmul::MatmulParams { n: 40 });
+    assert!((mm.checksum - mm_ref).abs() < 1e-6 * mm_ref.abs().max(1.0));
+
+    let m = ArgoMachine::new(ArgoConfig::small(3, 5));
+    let l = lu::run_argo(&m, lu::LuParams { n: 48, block: 8 });
+    let l_ref = lu::reference_checksum(lu::LuParams { n: 48, block: 8 });
+    assert!((l.checksum - l_ref).abs() < 1e-6 * l_ref.abs().max(1.0));
+}
+
+#[test]
+fn ep_and_cg_match_references_on_pgas_and_argo() {
+    let ep_p = ep::EpParams { pairs: 10_000 };
+    let ep_ref = ep::reference_tally(ep_p).checksum();
+    let a = ep::run_argo(&ArgoMachine::new(ArgoConfig::small(2, 2)), ep_p);
+    let u = ep::run_pgas(2, 2, ep_p);
+    assert!((a.checksum - ep_ref).abs() < 1e-6 * ep_ref.abs().max(1.0));
+    assert!((u.checksum - ep_ref).abs() < 1e-6 * ep_ref.abs().max(1.0));
+
+    let cg_p = cg::CgParams {
+        n: 200,
+        nnz_per_row: 5,
+        iterations: 3,
+    };
+    let cg_ref = cg::reference_checksum(cg_p);
+    let a = cg::run_argo(&ArgoMachine::new(ArgoConfig::small(2, 2)), cg_p);
+    let u = cg::run_pgas(2, 2, cg_p);
+    assert!((a.checksum - cg_ref).abs() < 1e-6 * cg_ref.abs().max(1.0));
+    assert!((u.checksum - cg_ref).abs() < 1e-6 * cg_ref.abs().max(1.0));
+}
+
+#[test]
+fn checksums_are_stable_across_repeat_runs() {
+    let p = nbody::NbodyParams {
+        bodies: 64,
+        steps: 2,
+    };
+    let a = nbody::run_argo(&ArgoMachine::new(ArgoConfig::small(2, 2)), p);
+    let b = nbody::run_argo(&ArgoMachine::new(ArgoConfig::small(2, 2)), p);
+    // Real-thread interleavings differ but the computation is DRF: results
+    // must be bit-identical.
+    assert_eq!(a.checksum, b.checksum);
+    // Virtual time may wiggle with interleaving (NIC reservation order),
+    // but not wildly.
+    let ratio = a.cycles as f64 / b.cycles as f64;
+    assert!((0.5..2.0).contains(&ratio), "cycles diverged: {ratio}");
+}
+
+#[test]
+fn single_node_runs_produce_no_network_traffic() {
+    let p = matmul::MatmulParams { n: 32 };
+    let out = matmul::run_argo(&ArgoMachine::new(ArgoConfig::small(1, 4)), p);
+    assert_eq!(out.net.rdma_reads, 0);
+    assert_eq!(out.net.rdma_writes, 0);
+    assert_eq!(out.net.handler_invocations, 0);
+}
+
+#[test]
+fn argo_never_executes_message_handlers() {
+    // The headline property: across a full multi-node workload, zero
+    // software message handlers run.
+    let p = cg::CgParams {
+        n: 300,
+        nnz_per_row: 6,
+        iterations: 3,
+    };
+    let out = cg::run_argo(&ArgoMachine::new(ArgoConfig::small(4, 2)), p);
+    assert!(out.net.rdma_reads > 0, "workload did use the network");
+    assert_eq!(out.net.handler_invocations, 0);
+}
