@@ -194,7 +194,7 @@ mod tests {
     fn chunks_partition_exactly() {
         let m = ArgoMachine::new(ArgoConfig::small(2, 2));
         let report = m.run(|ctx| ctx.my_chunk(10));
-        let mut covered = vec![false; 10];
+        let mut covered = [false; 10];
         for r in &report.results {
             for i in r.clone() {
                 assert!(!covered[i], "overlap at {i}");

@@ -176,7 +176,7 @@ mod tests {
         let mat = GlobalMatrix::alloc(m.dsm(), 3, 4);
         let report = m.run(move |ctx| {
             mat.set(ctx, 1, 2, 42.0);
-            mat.array().get(ctx, 1 * 4 + 2)
+            mat.array().get(ctx, 4 + 2)
         });
         assert_eq!(report.results[0], 42.0);
     }

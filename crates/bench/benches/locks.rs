@@ -29,7 +29,7 @@ fn contended<L>(c: &mut Criterion, name: &str, make: impl Fn() -> L)
 where
     L: CsLock<PairingHeap> + Send + Sync + 'static,
 {
-    c.bench_function(&format!("contended_heap_4t/{name}"), |b| {
+    c.bench_function(format!("contended_heap_4t/{name}"), |b| {
         b.iter_custom(|iters| {
             let lock = Arc::new(make());
             lock.with(0, |h| {

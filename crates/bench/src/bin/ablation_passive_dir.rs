@@ -21,8 +21,10 @@ fn main() {
     let mut ratios = Vec::new();
     for name in six::NAMES {
         let passive = six::run(name, nodes, tpn, CarinaConfig::default(), full);
-        let mut cfg = CarinaConfig::default();
-        cfg.active_directory = true;
+        let cfg = CarinaConfig {
+            active_directory: true,
+            ..Default::default()
+        };
         let active = six::run(name, nodes, tpn, cfg, full);
         assert!(passive.checksum_matches(&active, 1e-6));
         assert_eq!(passive.net.handler_invocations, 0);

@@ -22,8 +22,10 @@ fn main() {
         let mut base_cycles = 0u64;
         let mut row = vec![cell(name)];
         for (i, &ppl) in lines.iter().enumerate() {
-            let mut cfg = CarinaConfig::default();
-            cfg.cache = CacheConfig::new(8192 / ppl, ppl);
+            let cfg = CarinaConfig {
+                cache: CacheConfig::new(8192 / ppl, ppl),
+                ..Default::default()
+            };
             let out = six::run(name, nodes, tpn, cfg, full);
             if i == 0 {
                 base_cycles = out.cycles;

@@ -29,8 +29,7 @@ fn main() {
     for name in six::NAMES {
         let mut row = vec![cell(name)];
         for &wb in &szs {
-            let mut cfg = CarinaConfig::default();
-            cfg.write_buffer_pages = wb;
+            let cfg = CarinaConfig::with_write_buffer(wb);
             let out = six::run(name, nodes, tpn, cfg, full);
             row.push(format!("{:.1}", out.cycles as f64 / 1e6));
         }

@@ -29,8 +29,7 @@ fn main() {
         let mut row = vec![cell(name)];
         let mut prev = u64::MAX;
         for &wb in &szs {
-            let mut cfg = CarinaConfig::default();
-            cfg.write_buffer_pages = wb;
+            let cfg = CarinaConfig::with_write_buffer(wb);
             let out = six::run(name, nodes, tpn, cfg, full);
             row.push(out.coherence.writebacks.to_string());
             // Monotonicity sanity: writebacks should not grow with size.

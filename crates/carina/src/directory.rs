@@ -14,7 +14,7 @@
 
 use crate::classification::DirView;
 use mem::PageNum;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 
 /// One directory entry: reader and writer full maps for up to 128 nodes.
 #[derive(Debug, Default)]
@@ -138,60 +138,117 @@ impl Pyxis {
 /// owner reads them locally at fences. That asymmetry is the whole point:
 /// the *causing* node pays, the affected node stays passive.
 ///
-/// Entries are created lazily in sharded hash maps: a 128-node cluster over
-/// a large address space would otherwise need gigabytes of always-resident
-/// metadata for pages most nodes never touch.
+/// Every protocol operation consults a directory cache, so the lookup is a
+/// hot path: a flat page-indexed table of entries, grown lazily in
+/// fixed-size chunks that are published with a compare-and-swap. Lookups
+/// are two dependent loads and return a plain `&DirEntry` — no locks, no
+/// reference-count traffic. Laziness matters at scale: a 128-node cluster
+/// over a large address space would otherwise need gigabytes of
+/// always-resident metadata for pages most nodes never touch.
 #[derive(Debug)]
 pub struct DirCaches {
     caches: Vec<NodeDirCache>,
 }
 
-const DIR_SHARDS: usize = 16;
+/// Entries per lazily-allocated chunk (32 KiB of `DirEntry`s).
+const DIR_CHUNK: usize = 1024;
+
+type DirChunk = [DirEntry; DIR_CHUNK];
+
+fn new_chunk() -> Box<DirChunk> {
+    let entries: Box<[DirEntry]> = (0..DIR_CHUNK).map(|_| DirEntry::default()).collect();
+    // Infallible: the slice has exactly DIR_CHUNK elements.
+    entries.try_into().unwrap()
+}
 
 #[derive(Debug)]
 struct NodeDirCache {
-    shards: Vec<parking_lot::RwLock<std::collections::HashMap<u64, std::sync::Arc<DirEntry>>>>,
+    chunks: Box<[AtomicPtr<DirChunk>]>,
 }
 
 impl NodeDirCache {
-    fn new() -> Self {
+    fn new(total_pages: u64) -> Self {
+        let n = (total_pages as usize).div_ceil(DIR_CHUNK);
         NodeDirCache {
-            shards: (0..DIR_SHARDS)
-                .map(|_| parking_lot::RwLock::new(std::collections::HashMap::new()))
-                .collect(),
+            chunks: (0..n).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect(),
         }
     }
 
-    fn entry(&self, page: PageNum) -> std::sync::Arc<DirEntry> {
-        let shard = &self.shards[(page.0 as usize) % DIR_SHARDS];
-        if let Some(e) = shard.read().get(&page.0) {
-            return e.clone();
+    #[inline]
+    fn entry(&self, page: PageNum) -> &DirEntry {
+        let (c, o) = (page.0 as usize / DIR_CHUNK, page.0 as usize % DIR_CHUNK);
+        let ptr = self.chunks[c].load(Ordering::Acquire);
+        let chunk = if ptr.is_null() {
+            self.alloc_chunk(c)
+        } else {
+            // Safety: non-null chunk pointers are only installed by
+            // `alloc_chunk` below and stay valid until `Drop`.
+            unsafe { &*ptr }
+        };
+        &chunk[o]
+    }
+
+    #[cold]
+    fn alloc_chunk(&self, c: usize) -> &DirChunk {
+        let fresh = Box::into_raw(new_chunk());
+        match self.chunks[c].compare_exchange(
+            std::ptr::null_mut(),
+            fresh,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            // Safety: we just installed `fresh`; it is never removed or
+            // freed before `Drop`.
+            Ok(_) => unsafe { &*fresh },
+            Err(existing) => {
+                // Lost the race: free ours, use the winner's.
+                // Safety: `fresh` came from Box::into_raw above and was
+                // never shared; `existing` is a published chunk.
+                unsafe {
+                    drop(Box::from_raw(fresh));
+                    &*existing
+                }
+            }
         }
-        shard
-            .write()
-            .entry(page.0)
-            .or_insert_with(|| std::sync::Arc::new(DirEntry::default()))
-            .clone()
     }
 
     fn reset(&self) {
-        for shard in &self.shards {
-            shard.write().clear();
+        for chunk in self.chunks.iter() {
+            let ptr = chunk.load(Ordering::Acquire);
+            if !ptr.is_null() {
+                // Safety: published chunks stay valid until `Drop`.
+                for e in unsafe { &*ptr }.iter() {
+                    e.reset();
+                }
+            }
+        }
+    }
+}
+
+impl Drop for NodeDirCache {
+    fn drop(&mut self) {
+        for chunk in self.chunks.iter_mut() {
+            let ptr = *chunk.get_mut();
+            if !ptr.is_null() {
+                // Safety: exclusively owned at drop time; installed via
+                // Box::into_raw.
+                unsafe { drop(Box::from_raw(ptr)) };
+            }
         }
     }
 }
 
 impl DirCaches {
-    pub fn new(nodes: usize, _total_pages: u64) -> Self {
+    pub fn new(nodes: usize, total_pages: u64) -> Self {
         DirCaches {
-            caches: (0..nodes).map(|_| NodeDirCache::new()).collect(),
+            caches: (0..nodes).map(|_| NodeDirCache::new(total_pages)).collect(),
         }
     }
 
     /// `node`'s cached copy of the entry for `page` (created empty on first
     /// touch).
     #[inline]
-    pub fn entry(&self, node: u16, page: PageNum) -> std::sync::Arc<DirEntry> {
+    pub fn entry(&self, node: u16, page: PageNum) -> &DirEntry {
         self.caches[node as usize].entry(page)
     }
 

@@ -32,6 +32,6 @@ pub mod write_buffer;
 pub use classification::{ClassificationMode, DirView, PageClass, WriterClass};
 pub use config::CarinaConfig;
 pub use protocol::Dsm;
-pub use stats::{CoherenceSnapshot, CoherenceStats};
+pub use stats::{CoherenceSnapshot, CoherenceStats, StatShard};
 pub use trace::{Event as TraceEvent, TracedEvent, Tracer};
 pub use write_buffer::WriteBuffer;

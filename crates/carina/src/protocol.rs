@@ -29,8 +29,7 @@ use crate::config::CarinaConfig;
 use crate::directory::{DirCaches, Pyxis};
 use crate::stats::CoherenceStats;
 use crate::write_buffer::WriteBuffer;
-use mem::cache::LineState;
-use mem::{GlobalAddr, GlobalAllocator, GlobalMemory, PageCache, PageNum, PAGE_BYTES};
+use mem::{GlobalAddr, GlobalAllocator, GlobalMemory, PageCache, PageNum, SlotGuard, PAGE_BYTES};
 use simnet::{Interconnect, NodeId, SimThread};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -136,7 +135,7 @@ impl Dsm {
             global,
             net,
             config,
-            stats: CoherenceStats::default(),
+            stats: CoherenceStats::new(n),
             tracer: crate::trace::Tracer::new(4096),
             nodes: (0..n)
                 .map(|_| NodeState {
@@ -222,19 +221,23 @@ impl Dsm {
             return self.global.home_page(page).load(word);
         }
         let ns = &self.nodes[me as usize];
-        let slot = ns.cache.slot_for(page);
-        let mut st = slot.lock();
         let line = ns.cache.line_of(page);
         let idx = ns.cache.index_in_line(page);
-        if st.tag == Some(line) && st.pages[idx].valid {
-            CoherenceStats::bump(&self.stats.read_hits);
-            let ready = st.ready_at;
-            let v = st.pages[idx].data().load(word);
+        // Hit fast path: optimistic seqlock read, no slot mutex. Falls
+        // through to the locked path on a miss or a concurrent mutation.
+        if let Some((v, ready)) = ns.cache.slot_for(page).try_read(line, idx, word) {
+            CoherenceStats::bump(&self.stats.shard(me).read_hits);
             t.merge(ready);
             return v;
         }
+        let mut st = ns.cache.lock_slot(page);
+        if st.tag == Some(line) && st.pages[idx].valid {
+            CoherenceStats::bump(&self.stats.shard(me).read_hits);
+            t.merge(st.ready_at);
+            return st.data(idx).load(word);
+        }
         self.read_miss(t, &mut st, page, me);
-        st.pages[idx].data().load(word)
+        st.data(idx).load(word)
     }
 
     /// Write an aligned 64-bit word at `addr`.
@@ -249,8 +252,7 @@ impl Dsm {
             return;
         }
         let ns = &self.nodes[me as usize];
-        let slot = ns.cache.slot_for(page);
-        let mut st = slot.lock();
+        let mut st = ns.cache.lock_slot(page);
         let line = ns.cache.line_of(page);
         let idx = ns.cache.index_in_line(page);
         if st.tag != Some(line) || !st.pages[idx].valid {
@@ -258,12 +260,12 @@ impl Dsm {
         }
         let was_dirty = st.pages[idx].dirty;
         if was_dirty {
-            CoherenceStats::bump(&self.stats.write_hits);
-            st.pages[idx].data().store(word, value);
+            CoherenceStats::bump(&self.stats.shard(me).write_hits);
+            st.data(idx).store(word, value);
             return;
         }
         let buffered = self.write_fault_locked(t, &mut st, page, me);
-        st.pages[idx].data().store(word, value);
+        st.data(idx).store(word, value);
         drop(st);
         if buffered {
             if let Some(victim) = ns.wbuf.push(page) {
@@ -279,13 +281,13 @@ impl Dsm {
     fn write_fault_locked(
         &self,
         t: &mut SimThread,
-        st: &mut LineState,
+        st: &mut SlotGuard<'_>,
         page: PageNum,
         me: u16,
     ) -> bool {
         let ns = &self.nodes[me as usize];
         let idx = ns.cache.index_in_line(page);
-        CoherenceStats::bump(&self.stats.write_faults);
+        CoherenceStats::bump(&self.stats.shard(me).write_faults);
         self.tracer
             .record(t.now(), || crate::trace::Event::WriteFault { node: me, page });
         t.fault_trap();
@@ -293,9 +295,9 @@ impl Dsm {
         let view = self.dir_caches.entry(me, page).view();
         let need_twin = !(self.config.sw_no_diff && view.writers == node_bit(me));
         if need_twin {
-            st.pages[idx].twin = Some(st.pages[idx].data().snapshot());
+            st.pages[idx].twin = Some(st.data(idx).snapshot());
             t.compute(self.config.page_copy_cycles);
-            CoherenceStats::bump(&self.stats.twins_created);
+            CoherenceStats::bump(&self.stats.shard(me).twins_created);
         }
         st.pages[idx].dirty = true;
         view.must_self_downgrade(self.config.mode, me)
@@ -335,17 +337,28 @@ impl Dsm {
                 }
             } else {
                 let ns = &self.nodes[me as usize];
-                let slot = ns.cache.slot_for(page);
-                let mut st = slot.lock();
                 let line = ns.cache.line_of(page);
                 let idx = ns.cache.index_in_line(page);
+                // Hit fast path: whole run copied under one seqlock window.
+                if let Some(ready) = ns.cache.slot_for(page).try_read_run(
+                    line,
+                    idx,
+                    first_word,
+                    &mut out[i..i + run],
+                ) {
+                    CoherenceStats::bump(&self.stats.shard(me).read_hits);
+                    t.merge(ready);
+                    i += run;
+                    continue;
+                }
+                let mut st = ns.cache.lock_slot(page);
                 if st.tag == Some(line) && st.pages[idx].valid {
-                    CoherenceStats::bump(&self.stats.read_hits);
+                    CoherenceStats::bump(&self.stats.shard(me).read_hits);
                     t.merge(st.ready_at);
                 } else {
                     self.read_miss(t, &mut st, page, me);
                 }
-                let data = st.pages[idx].data();
+                let data = st.data(idx);
                 for k in 0..run {
                     out[i + k] = data.load(first_word + k);
                 }
@@ -372,20 +385,19 @@ impl Dsm {
                 }
             } else {
                 let ns = &self.nodes[me as usize];
-                let slot = ns.cache.slot_for(page);
-                let mut st = slot.lock();
+                let mut st = ns.cache.lock_slot(page);
                 let line = ns.cache.line_of(page);
                 let idx = ns.cache.index_in_line(page);
                 if st.tag != Some(line) || !st.pages[idx].valid {
                     self.read_miss(t, &mut st, page, me); // write-allocate
                 }
                 let buffered = if st.pages[idx].dirty {
-                    CoherenceStats::bump(&self.stats.write_hits);
+                    CoherenceStats::bump(&self.stats.shard(me).write_hits);
                     false
                 } else {
                     self.write_fault_locked(t, &mut st, page, me)
                 };
-                let pd = st.pages[idx].data();
+                let pd = st.data(idx);
                 for k in 0..run {
                     pd.store(first_word + k, data[i + k]);
                 }
@@ -402,18 +414,22 @@ impl Dsm {
 
     /// Bulk f64 read (see [`Self::read_u64_slice`]).
     pub fn read_f64_slice(&self, t: &mut SimThread, addr: GlobalAddr, out: &mut [f64]) {
-        // Reuse the u64 path through a scratch reinterpretation.
-        let mut tmp = vec![0u64; out.len()];
-        self.read_u64_slice(t, addr, &mut tmp);
-        for (o, w) in out.iter_mut().zip(tmp) {
-            *o = f64::from_bits(w);
-        }
+        // Reuse the u64 path by reinterpreting the buffer in place: f64 and
+        // u64 have identical size and alignment, and every u64 bit pattern
+        // is a valid f64 (and vice versa), so no scratch copy is needed.
+        // Safety: same layout, both types valid for all bit patterns, and
+        // the borrow is exclusive for the duration of the call.
+        let words =
+            unsafe { std::slice::from_raw_parts_mut(out.as_mut_ptr().cast::<u64>(), out.len()) };
+        self.read_u64_slice(t, addr, words);
     }
 
     /// Bulk f64 write (see [`Self::write_u64_slice`]).
     pub fn write_f64_slice(&self, t: &mut SimThread, addr: GlobalAddr, data: &[f64]) {
-        let tmp: Vec<u64> = data.iter().map(|v| v.to_bits()).collect();
-        self.write_u64_slice(t, addr, &tmp);
+        // Safety: as in `read_f64_slice`; shared borrow, read-only.
+        let words =
+            unsafe { std::slice::from_raw_parts(data.as_ptr().cast::<u64>(), data.len()) };
+        self.write_u64_slice(t, addr, words);
     }
 
     // ------------------------------------------------------------------
@@ -425,16 +441,19 @@ impl Dsm {
     /// downgraded before invalidation so no write is lost.
     pub fn si_fence(&self, t: &mut SimThread) {
         let me = t.node().0;
-        CoherenceStats::bump(&self.stats.si_fences);
+        CoherenceStats::bump(&self.stats.shard(me).si_fences);
         self.tracer.record(t.now(), || crate::trace::Event::Fence {
             node: me,
             kind: crate::trace::FenceKind::SelfInvalidate,
         });
         let ns = &self.nodes[me as usize];
-        for slot in ns.cache.slots() {
-            let mut st = slot.lock();
+        // O(resident): only slots holding a line are visited; empty slots
+        // of a roomy cache cost nothing.
+        for slot_idx in ns.cache.occupied_indices() {
+            let mut st = ns.cache.lock_index(slot_idx);
             let Some(tag) = st.tag else { continue };
             let base = ns.cache.line_base(tag);
+            let mut any_valid = false;
             for idx in 0..st.pages.len() {
                 if !st.pages[idx].valid {
                     continue;
@@ -449,16 +468,26 @@ impl Dsm {
                     }
                     st.pages[idx].invalidate();
                     t.compute(self.config.protect_cycles);
-                    CoherenceStats::bump(&self.stats.si_invalidated);
+                    CoherenceStats::bump(&self.stats.shard(me).si_invalidated);
                     self.tracer.record(t.now(), || crate::trace::Event::SiInvalidate {
                         node: me,
                         page,
                     });
                 } else {
-                    CoherenceStats::bump(&self.stats.si_kept);
+                    any_valid = true;
+                    CoherenceStats::bump(&self.stats.shard(me).si_kept);
                     self.tracer
                         .record(t.now(), || crate::trace::Event::SiKeep { node: me, page });
                 }
+            }
+            if !any_valid {
+                // Fully invalidated: release the slot so future fences skip
+                // it. Behaviorally identical to a tagged all-invalid line
+                // (the next access misses either way, with no eviction),
+                // but it keeps the occupied set — and thus fence cost —
+                // proportional to what actually survives fences.
+                st.tag = None;
+                st.ready_at = 0;
             }
         }
     }
@@ -467,7 +496,7 @@ impl Dsm {
     /// for every posted write of this node to settle at its home.
     pub fn sd_fence(&self, t: &mut SimThread) {
         let me = t.node().0;
-        CoherenceStats::bump(&self.stats.sd_fences);
+        CoherenceStats::bump(&self.stats.shard(me).sd_fences);
         self.tracer.record(t.now(), || crate::trace::Event::Fence {
             node: me,
             kind: crate::trace::FenceKind::SelfDowngrade,
@@ -495,8 +524,9 @@ impl Dsm {
     /// naïve P/S performing no better than no classification at all.
     fn naive_checkpoint_sweep(&self, t: &mut SimThread, me: u16) {
         let ns = &self.nodes[me as usize];
-        for slot in ns.cache.slots() {
-            let mut st = slot.lock();
+        // O(dirty): clean and empty slots owe the sweep nothing.
+        for slot_idx in ns.cache.dirty_indices() {
+            let mut st = ns.cache.lock_index(slot_idx);
             let Some(tag) = st.tag else { continue };
             let base = ns.cache.line_base(tag);
             for idx in 0..st.pages.len() {
@@ -512,7 +542,7 @@ impl Dsm {
                     // round trip at transition time instead). The copy is
                     // cold — the sweep touches pages no CPU cache holds.
                     t.compute(self.config.checkpoint_cycles);
-                    CoherenceStats::bump(&self.stats.checkpoints);
+                    CoherenceStats::bump(&self.stats.shard(me).checkpoints);
                     self.tracer.record(t.now(), || crate::trace::Event::Checkpoint {
                         node: me,
                         page,
@@ -526,11 +556,11 @@ impl Dsm {
         }
     }
 
-    fn silently_write_through(&self, st: &LineState, page: PageNum, idx: usize) {
+    fn silently_write_through(&self, st: &SlotGuard<'_>, page: PageNum, idx: usize) {
         let home = self.global.home_page(page);
         match &st.pages[idx].twin {
-            Some(twin) => home.apply_diff(&st.pages[idx].data().diff_against(twin)),
-            None => home.copy_from(st.pages[idx].data()),
+            Some(twin) => home.apply_diff(&st.data(idx).diff_against(twin)),
+            None => home.copy_from(st.data(idx)),
         }
     }
 
@@ -541,8 +571,8 @@ impl Dsm {
     /// Handle a read miss on `page`: evict/flush the conflicting line if
     /// needed, then fetch the whole line from the pages' homes, registering
     /// as a reader of each fetched page.
-    fn read_miss(&self, t: &mut SimThread, st: &mut LineState, page: PageNum, me: u16) {
-        CoherenceStats::bump(&self.stats.read_misses);
+    fn read_miss(&self, t: &mut SimThread, st: &mut SlotGuard<'_>, page: PageNum, me: u16) {
+        CoherenceStats::bump(&self.stats.shard(me).read_misses);
         self.tracer
             .record(t.now(), || crate::trace::Event::ReadMiss { node: me, page });
         t.fault_trap();
@@ -564,7 +594,7 @@ impl Dsm {
                     }
                 }
                 if evicted_live {
-                    CoherenceStats::bump(&self.stats.evictions);
+                    CoherenceStats::bump(&self.stats.shard(me).evictions);
                 }
             }
             st.retag(line);
@@ -608,7 +638,7 @@ impl Dsm {
             done = done.max(timing.initiator_done);
             for &idx in idxs {
                 let p = PageNum(base.0 + idx as u64);
-                st.pages[idx].data_mut().copy_from(self.global.home_page(p));
+                st.alloc_data(idx).copy_from(self.global.home_page(p));
                 st.pages[idx].valid = true;
                 st.pages[idx].dirty = false;
                 st.pages[idx].twin = None;
@@ -688,7 +718,7 @@ impl Dsm {
         let prior = before.accessors();
         if prior != 0 && prior & node_bit(me) == 0 && prior.count_ones() == 1 {
             let owner = prior.trailing_zeros() as u16;
-            CoherenceStats::bump(&self.stats.p_to_s);
+            CoherenceStats::bump(&self.stats.shard(me).p_to_s);
             self.tracer.record(t.now(), || crate::trace::Event::PToS {
                 page,
                 newcomer: me,
@@ -745,7 +775,7 @@ impl Dsm {
         let prior = before.accessors();
         if prior != 0 && prior & node_bit(me) == 0 && prior.count_ones() == 1 {
             let owner = prior.trailing_zeros() as u16;
-            CoherenceStats::bump(&self.stats.p_to_s);
+            CoherenceStats::bump(&self.stats.shard(me).p_to_s);
             self.tracer.record(t.now(), || crate::trace::Event::PToS {
                 page,
                 newcomer: me,
@@ -755,11 +785,11 @@ impl Dsm {
         }
         // Writer-class transitions.
         match before.writers.count_ones() {
-            0 => {
+            0
                 // NW→SW. If the page is shared, every node caching it must
                 // learn there is now a writer (§3.5 "Shared, NW").
-                if prior.count_ones() > 1 || (prior != 0 && prior & node_bit(me) == 0) {
-                    CoherenceStats::bump(&self.stats.nw_to_sw);
+                if (prior.count_ones() > 1 || (prior != 0 && prior & node_bit(me) == 0)) => {
+                    CoherenceStats::bump(&self.stats.shard(me).nw_to_sw);
                     self.tracer.record(t.now(), || crate::trace::Event::NwToSw {
                         page,
                         writer: me,
@@ -771,12 +801,11 @@ impl Dsm {
                         self.notify(t, n, page, after, me);
                     }
                 }
-            }
             1 if before.writers & node_bit(me) == 0 => {
                 // SW→MW: only the previous single writer needs to know
                 // (§3.5 "Shared, SW"); for everyone else SW and MW are
                 // equivalent.
-                CoherenceStats::bump(&self.stats.sw_to_mw);
+                CoherenceStats::bump(&self.stats.shard(me).sw_to_mw);
                 let w = before.writers.trailing_zeros() as u16;
                 self.tracer.record(t.now(), || crate::trace::Event::SwToMw {
                     page,
@@ -824,8 +853,7 @@ impl Dsm {
     /// slot. Used by write-buffer overflow and fence drains.
     fn downgrade(&self, t: &mut SimThread, page: PageNum, me: u16) {
         let ns = &self.nodes[me as usize];
-        let slot = ns.cache.slot_for(page);
-        let mut st = slot.lock();
+        let mut st = ns.cache.lock_slot(page);
         if st.tag != Some(ns.cache.line_of(page)) {
             return; // evicted (and flushed) since it was buffered
         }
@@ -833,11 +861,10 @@ impl Dsm {
     }
 
     /// Downgrade with the slot lock already held.
-    fn downgrade_locked(&self, t: &mut SimThread, st: &mut LineState, page: PageNum, me: u16) {
+    fn downgrade_locked(&self, t: &mut SimThread, st: &mut SlotGuard<'_>, page: PageNum, me: u16) {
         let ns = &self.nodes[me as usize];
         let idx = ns.cache.index_in_line(page);
-        let cp = &mut st.pages[idx];
-        if !cp.valid || !cp.dirty {
+        if !st.pages[idx].valid || !st.pages[idx].dirty {
             return;
         }
         let home = self.global.home_of(page);
@@ -848,28 +875,29 @@ impl Dsm {
         // diff computation is saved (the sw_no_diff extension; paper §3.2
         // leaves it as future work).
         let sw_skip = self.config.sw_no_diff && view.writers == node_bit(me);
-        let bytes = match (&cp.twin, sw_skip) {
+        let data = st.data(idx);
+        let bytes = match (&st.pages[idx].twin, sw_skip) {
             (Some(twin), false) => {
                 t.compute(self.config.page_copy_cycles); // diff scan
-                let diff = cp.data().diff_against(twin);
+                let diff = data.diff_against(twin);
                 let diff_bytes =
                     DOWNGRADE_HEADER_BYTES + diff.len() as u64 * DIFF_WORD_BYTES;
                 if diff_bytes < PAGE_BYTES {
-                    CoherenceStats::add(&self.stats.diff_words, diff.len() as u64);
+                    CoherenceStats::add(&self.stats.shard(me).diff_words, diff.len() as u64);
                     home_page.apply_diff(&diff);
                     diff_bytes
                 } else {
-                    home_page.copy_from(cp.data());
+                    home_page.copy_from(data);
                     PAGE_BYTES
                 }
             }
             _ => {
-                home_page.copy_from(cp.data());
+                home_page.copy_from(data);
                 PAGE_BYTES
             }
         };
-        cp.dirty = false;
-        cp.twin = None;
+        st.pages[idx].dirty = false;
+        st.pages[idx].twin = None;
         // The real implementation re-protects the page read-only so the
         // next write faults again.
         t.compute(self.config.protect_cycles);
@@ -880,8 +908,8 @@ impl Dsm {
         let timing = self.net.rdma_write(t.loc(), NodeId(home), t.now(), bytes);
         t.merge(timing.initiator_done);
         ns.pending_settle.fetch_max(timing.settled, Ordering::AcqRel);
-        CoherenceStats::bump(&self.stats.writebacks);
-        CoherenceStats::add(&self.stats.writeback_bytes, bytes);
+        CoherenceStats::bump(&self.stats.shard(me).writebacks);
+        CoherenceStats::add(&self.stats.shard(me).writeback_bytes, bytes);
         self.tracer.record(t.now(), || crate::trace::Event::Downgrade {
             node: me,
             page,
@@ -898,10 +926,9 @@ impl Dsm {
     /// plane only — initialization is excluded from measurements), then
     /// nulls every reader/writer map, directory cache, and statistic.
     pub fn reset_for_parallel_section(&self) {
-        for (n, ns) in self.nodes.iter().enumerate() {
-            let _ = n;
-            for slot in ns.cache.slots() {
-                let mut st = slot.lock();
+        for ns in self.nodes.iter() {
+            for slot_idx in ns.cache.occupied_indices() {
+                let mut st = ns.cache.lock_index(slot_idx);
                 let Some(tag) = st.tag else { continue };
                 let base = ns.cache.line_base(tag);
                 for idx in 0..st.pages.len() {
@@ -936,8 +963,8 @@ impl Dsm {
     pub fn decay_classification(&self, t: &mut SimThread) {
         let me = t.node().0;
         for (n, ns) in self.nodes.iter().enumerate() {
-            for slot in ns.cache.slots() {
-                let mut st = slot.lock();
+            for slot_idx in ns.cache.occupied_indices() {
+                let mut st = ns.cache.lock_index(slot_idx);
                 let Some(tag) = st.tag else { continue };
                 let base = ns.cache.line_base(tag);
                 for idx in 0..st.pages.len() {
@@ -954,7 +981,7 @@ impl Dsm {
                     }
                     st.pages[idx].invalidate();
                     t.compute(self.config.protect_cycles);
-                    CoherenceStats::bump(&self.stats.si_invalidated);
+                    CoherenceStats::bump(&self.stats.shard(me).si_invalidated);
                 }
                 st.tag = None;
                 st.ready_at = 0;
@@ -965,48 +992,47 @@ impl Dsm {
         }
         self.pyxis.reset_all();
         self.dir_caches.reset_all();
-        CoherenceStats::bump(&self.stats.decays);
-        let _ = me;
+        CoherenceStats::bump(&self.stats.shard(me).decays);
     }
 
     /// [`Self::downgrade_locked`] but writing back on behalf of node
     /// `owner` (used by the collective decay, where one thread flushes
     /// every node's cache).
-    fn downgrade_as(&self, t: &mut SimThread, st: &mut LineState, page: PageNum, owner: u16) {
+    fn downgrade_as(&self, t: &mut SimThread, st: &mut SlotGuard<'_>, page: PageNum, owner: u16) {
         let ns = &self.nodes[owner as usize];
         let idx = ns.cache.index_in_line(page);
-        let cp = &mut st.pages[idx];
-        if !cp.valid || !cp.dirty {
+        if !st.pages[idx].valid || !st.pages[idx].dirty {
             return;
         }
         let home = self.global.home_of(page);
         let home_page = self.global.home_page(page);
-        let bytes = match &cp.twin {
+        let data = st.data(idx);
+        let bytes = match &st.pages[idx].twin {
             Some(twin) => {
                 t.compute(self.config.page_copy_cycles);
-                let diff = cp.data().diff_against(twin);
+                let diff = data.diff_against(twin);
                 let diff_bytes = DOWNGRADE_HEADER_BYTES + diff.len() as u64 * DIFF_WORD_BYTES;
                 if diff_bytes < PAGE_BYTES {
-                    CoherenceStats::add(&self.stats.diff_words, diff.len() as u64);
+                    CoherenceStats::add(&self.stats.shard(owner).diff_words, diff.len() as u64);
                     home_page.apply_diff(&diff);
                     diff_bytes
                 } else {
-                    home_page.copy_from(cp.data());
+                    home_page.copy_from(data);
                     PAGE_BYTES
                 }
             }
             None => {
-                home_page.copy_from(cp.data());
+                home_page.copy_from(data);
                 PAGE_BYTES
             }
         };
-        cp.dirty = false;
-        cp.twin = None;
+        st.pages[idx].dirty = false;
+        st.pages[idx].twin = None;
         if home != owner {
             let timing = self.net.rdma_write(t.loc(), NodeId(home), t.now(), bytes);
             t.merge(timing.settled);
-            CoherenceStats::bump(&self.stats.writebacks);
-            CoherenceStats::add(&self.stats.writeback_bytes, bytes);
+            CoherenceStats::bump(&self.stats.shard(owner).writebacks);
+            CoherenceStats::add(&self.stats.shard(owner).writeback_bytes, bytes);
         }
     }
 
@@ -1025,8 +1051,8 @@ impl Dsm {
         for (n, ns) in self.nodes.iter().enumerate() {
             let me = n as u16;
             let mut dirty_pages = Vec::new();
-            for slot in ns.cache.slots() {
-                let st = slot.lock();
+            for slot_idx in ns.cache.occupied_indices() {
+                let st = ns.cache.lock_index(slot_idx);
                 let Some(tag) = st.tag else { continue };
                 let base = ns.cache.line_base(tag);
                 for idx in 0..st.pages.len() {
@@ -1053,13 +1079,7 @@ impl Dsm {
                 }
             }
             if self.config.mode != ClassificationMode::PsNaive {
-                let mut buffered = {
-                    let b = ns.wbuf.drain();
-                    for &q in &b {
-                        let _ = ns.wbuf.push(q); // restore
-                    }
-                    b
-                };
+                let mut buffered = ns.wbuf.snapshot();
                 buffered.sort_unstable();
                 let mut dirty = dirty_pages.clone();
                 dirty.sort_unstable();

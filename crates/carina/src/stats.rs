@@ -3,12 +3,22 @@
 //! These drive the paper's protocol-characterization figures: Figure 8
 //! (self-invalidations avoided per classification mode) and Figure 10
 //! (writebacks vs write-buffer size), plus the ablation benches.
+//!
+//! Counters are sharded per node: every protocol operation bumps counters,
+//! and a single cluster-wide set would put all nodes' hot increments on the
+//! same cache lines. Each node writes its own [`StatShard`] (padded to its
+//! own cache lines); [`CoherenceStats::snapshot`] merges the shards into
+//! the same cluster-wide totals a single set would have produced.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Cluster-wide coherence event counters (Relaxed; read after joins).
+/// One node's coherence event counters (Relaxed; read after joins).
+///
+/// Aligned to 128 bytes so adjacent nodes' shards never share a cache line
+/// (two lines covers adjacent-line prefetchers).
 #[derive(Debug, Default)]
-pub struct CoherenceStats {
+#[repr(align(128))]
+pub struct StatShard {
     pub read_hits: AtomicU64,
     pub write_hits: AtomicU64,
     pub read_misses: AtomicU64,
@@ -43,7 +53,59 @@ pub struct CoherenceStats {
     pub decays: AtomicU64,
 }
 
-/// Plain snapshot of [`CoherenceStats`].
+impl StatShard {
+    fn add_into(&self, out: &mut CoherenceSnapshot) {
+        let l = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        out.read_hits += l(&self.read_hits);
+        out.write_hits += l(&self.write_hits);
+        out.read_misses += l(&self.read_misses);
+        out.write_faults += l(&self.write_faults);
+        out.si_invalidated += l(&self.si_invalidated);
+        out.si_kept += l(&self.si_kept);
+        out.writebacks += l(&self.writebacks);
+        out.writeback_bytes += l(&self.writeback_bytes);
+        out.twins_created += l(&self.twins_created);
+        out.diff_words += l(&self.diff_words);
+        out.checkpoints += l(&self.checkpoints);
+        out.p_to_s += l(&self.p_to_s);
+        out.nw_to_sw += l(&self.nw_to_sw);
+        out.sw_to_mw += l(&self.sw_to_mw);
+        out.evictions += l(&self.evictions);
+        out.si_fences += l(&self.si_fences);
+        out.sd_fences += l(&self.sd_fences);
+        out.decays += l(&self.decays);
+    }
+
+    fn reset(&self) {
+        let z = |c: &AtomicU64| c.store(0, Ordering::Relaxed);
+        z(&self.read_hits);
+        z(&self.write_hits);
+        z(&self.read_misses);
+        z(&self.write_faults);
+        z(&self.si_invalidated);
+        z(&self.si_kept);
+        z(&self.writebacks);
+        z(&self.writeback_bytes);
+        z(&self.twins_created);
+        z(&self.diff_words);
+        z(&self.checkpoints);
+        z(&self.p_to_s);
+        z(&self.nw_to_sw);
+        z(&self.sw_to_mw);
+        z(&self.evictions);
+        z(&self.si_fences);
+        z(&self.sd_fences);
+        z(&self.decays);
+    }
+}
+
+/// Cluster-wide coherence event counters, sharded per node.
+#[derive(Debug)]
+pub struct CoherenceStats {
+    shards: Box<[StatShard]>,
+}
+
+/// Plain snapshot of [`CoherenceStats`]: cluster-wide totals.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoherenceSnapshot {
     pub read_hits: u64,
@@ -67,6 +129,19 @@ pub struct CoherenceSnapshot {
 }
 
 impl CoherenceStats {
+    /// Counters for a cluster of `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        CoherenceStats {
+            shards: (0..nodes.max(1)).map(|_| StatShard::default()).collect(),
+        }
+    }
+
+    /// The shard that `node`'s events are counted in.
+    #[inline]
+    pub fn shard(&self, node: u16) -> &StatShard {
+        &self.shards[node as usize]
+    }
+
     #[inline]
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
@@ -77,50 +152,26 @@ impl CoherenceStats {
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Cluster-wide totals (all shards merged).
     pub fn snapshot(&self) -> CoherenceSnapshot {
-        let l = |c: &AtomicU64| c.load(Ordering::Relaxed);
-        CoherenceSnapshot {
-            read_hits: l(&self.read_hits),
-            write_hits: l(&self.write_hits),
-            read_misses: l(&self.read_misses),
-            write_faults: l(&self.write_faults),
-            si_invalidated: l(&self.si_invalidated),
-            si_kept: l(&self.si_kept),
-            writebacks: l(&self.writebacks),
-            writeback_bytes: l(&self.writeback_bytes),
-            twins_created: l(&self.twins_created),
-            diff_words: l(&self.diff_words),
-            checkpoints: l(&self.checkpoints),
-            p_to_s: l(&self.p_to_s),
-            nw_to_sw: l(&self.nw_to_sw),
-            sw_to_mw: l(&self.sw_to_mw),
-            evictions: l(&self.evictions),
-            si_fences: l(&self.si_fences),
-            sd_fences: l(&self.sd_fences),
-            decays: l(&self.decays),
+        let mut out = CoherenceSnapshot::default();
+        for s in self.shards.iter() {
+            s.add_into(&mut out);
         }
+        out
+    }
+
+    /// One node's totals.
+    pub fn node_snapshot(&self, node: u16) -> CoherenceSnapshot {
+        let mut out = CoherenceSnapshot::default();
+        self.shards[node as usize].add_into(&mut out);
+        out
     }
 
     pub fn reset(&self) {
-        let z = |c: &AtomicU64| c.store(0, Ordering::Relaxed);
-        z(&self.read_hits);
-        z(&self.write_hits);
-        z(&self.read_misses);
-        z(&self.write_faults);
-        z(&self.si_invalidated);
-        z(&self.si_kept);
-        z(&self.writebacks);
-        z(&self.writeback_bytes);
-        z(&self.twins_created);
-        z(&self.diff_words);
-        z(&self.checkpoints);
-        z(&self.p_to_s);
-        z(&self.nw_to_sw);
-        z(&self.sw_to_mw);
-        z(&self.evictions);
-        z(&self.si_fences);
-        z(&self.sd_fences);
-        z(&self.decays);
+        for s in self.shards.iter() {
+            s.reset();
+        }
     }
 }
 
@@ -141,23 +192,34 @@ mod tests {
     use super::*;
 
     #[test]
-    fn snapshot_reflects_bumps() {
-        let s = CoherenceStats::default();
-        CoherenceStats::bump(&s.read_misses);
-        CoherenceStats::add(&s.writeback_bytes, 4096);
+    fn snapshot_merges_shards() {
+        let s = CoherenceStats::new(3);
+        CoherenceStats::bump(&s.shard(0).read_misses);
+        CoherenceStats::bump(&s.shard(2).read_misses);
+        CoherenceStats::add(&s.shard(1).writeback_bytes, 4096);
         let snap = s.snapshot();
-        assert_eq!(snap.read_misses, 1);
+        assert_eq!(snap.read_misses, 2);
         assert_eq!(snap.writeback_bytes, 4096);
+        assert_eq!(s.node_snapshot(0).read_misses, 1);
+        assert_eq!(s.node_snapshot(1).read_misses, 0);
         s.reset();
         assert_eq!(s.snapshot(), CoherenceSnapshot::default());
     }
 
     #[test]
+    fn shards_do_not_share_cache_lines() {
+        assert!(std::mem::align_of::<StatShard>() >= 128);
+        assert!(std::mem::size_of::<StatShard>() >= 128);
+    }
+
+    #[test]
     fn keep_ratio_handles_zero() {
         assert_eq!(CoherenceSnapshot::default().si_keep_ratio(), 0.0);
-        let mut s = CoherenceSnapshot::default();
-        s.si_kept = 3;
-        s.si_invalidated = 1;
+        let s = CoherenceSnapshot {
+            si_kept: 3,
+            si_invalidated: 1,
+            ..Default::default()
+        };
         assert!((s.si_keep_ratio() - 0.75).abs() < 1e-12);
     }
 }

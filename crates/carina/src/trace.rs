@@ -56,7 +56,7 @@ impl Tracer {
             enabled: AtomicBool::new(false),
             seq: AtomicU64::new(0),
             capacity: capacity.max(1),
-            ring: Mutex::new(VecDeque::with_capacity(capacity.max(1).min(1 << 16))),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 1 << 16))),
         }
     }
 

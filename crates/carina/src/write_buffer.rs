@@ -6,15 +6,47 @@
 //! downgrades the *oldest* dirty page, bounding both steady-state write
 //! traffic and the worst-case fence latency. This is the knob swept by
 //! Figures 9 and 10.
+//!
+//! Removal must be O(1): evictions and SI fences pull pages out of the
+//! middle of the queue on the access fast path. The FIFO therefore pairs an
+//! append-only deque of `(page, sequence)` tickets with a page→sequence
+//! membership map; `remove` just deletes the map entry, and stale tickets
+//! (whose sequence no longer matches the map) are lazily discarded when the
+//! deque head is consumed. Victim order is bit-for-bit what a plain deque
+//! with mid-queue deletion would produce.
 
 use mem::PageNum;
 use parking_lot::Mutex;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+
+#[derive(Debug, Default)]
+struct Fifo {
+    /// Insertion tickets, oldest first. May contain stale entries for
+    /// removed pages; `live` is authoritative.
+    queue: VecDeque<(PageNum, u64)>,
+    /// Buffered pages → the ticket that represents them.
+    live: HashMap<u64, u64>,
+    next_ticket: u64,
+}
+
+impl Fifo {
+    /// Drop stale head tickets, then pop the oldest live page.
+    fn pop_oldest(&mut self) -> Option<PageNum> {
+        while let Some(&(page, ticket)) = self.queue.front() {
+            self.queue.pop_front();
+            if self.live.get(&page.0) == Some(&ticket) {
+                self.live.remove(&page.0);
+                return Some(page);
+            }
+        }
+        None
+    }
+}
 
 /// FIFO of dirty pages awaiting downgrade.
 #[derive(Debug)]
 pub struct WriteBuffer {
-    inner: Mutex<VecDeque<PageNum>>,
+    inner: Mutex<Fifo>,
     capacity: usize,
 }
 
@@ -22,7 +54,7 @@ impl WriteBuffer {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "write buffer needs capacity >= 1");
         WriteBuffer {
-            inner: Mutex::new(VecDeque::with_capacity(capacity.min(1 << 16))),
+            inner: Mutex::new(Fifo::default()),
             capacity,
         }
     }
@@ -38,37 +70,61 @@ impl WriteBuffer {
     #[must_use]
     pub fn push(&self, page: PageNum) -> Option<PageNum> {
         let mut q = self.inner.lock();
-        q.push_back(page);
-        if q.len() > self.capacity {
-            q.pop_front()
+        let ticket = q.next_ticket;
+        q.next_ticket += 1;
+        q.queue.push_back((page, ticket));
+        q.live.insert(page.0, ticket);
+        // Keep stale tickets from accumulating across push/remove churn:
+        // compact when they outnumber live entries (amortized O(1)).
+        if q.queue.len() > 2 * q.live.len() + 16 {
+            let Fifo { queue, live, .. } = &mut *q;
+            queue.retain(|(page, ticket)| live.get(&page.0) == Some(ticket));
+        }
+        if q.live.len() > self.capacity {
+            q.pop_oldest()
         } else {
             None
         }
     }
 
     /// Remove a specific page (it was downgraded or invalidated out of
-    /// band, e.g. by an eviction). Returns true if it was present.
+    /// band, e.g. by an eviction). O(1). Returns true if it was present.
     pub fn remove(&self, page: PageNum) -> bool {
-        let mut q = self.inner.lock();
-        if let Some(pos) = q.iter().position(|&p| p == page) {
-            q.remove(pos);
-            true
-        } else {
-            false
-        }
+        self.inner.lock().live.remove(&page.0).is_some()
     }
 
     /// Take everything, oldest first (SD-fence drain).
     pub fn drain(&self) -> Vec<PageNum> {
-        self.inner.lock().drain(..).collect()
+        let mut q = self.inner.lock();
+        let q = &mut *q;
+        let out = q
+            .queue
+            .drain(..)
+            .filter(|(page, ticket)| q.live.get(&page.0) == Some(ticket))
+            .map(|(page, _)| page)
+            .collect();
+        q.live.clear();
+        q.next_ticket = 0;
+        out
+    }
+
+    /// The buffered pages, oldest first, without consuming them (invariant
+    /// checking).
+    pub fn snapshot(&self) -> Vec<PageNum> {
+        let q = self.inner.lock();
+        q.queue
+            .iter()
+            .filter(|(page, ticket)| q.live.get(&page.0) == Some(ticket))
+            .map(|(page, _)| *page)
+            .collect()
     }
 
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().live.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.inner.lock().live.is_empty()
     }
 }
 
@@ -104,6 +160,42 @@ mod tests {
         assert!(wb.remove(PageNum(2)));
         assert!(!wb.remove(PageNum(2)));
         assert_eq!(wb.drain(), vec![PageNum(1), PageNum(3)]);
+    }
+
+    #[test]
+    fn removed_pages_do_not_count_toward_overflow() {
+        let wb = WriteBuffer::new(2);
+        let _ = wb.push(PageNum(1));
+        let _ = wb.push(PageNum(2));
+        assert!(wb.remove(PageNum(1)));
+        // Only page 2 is live: pushing two more overflows once, victim 2.
+        assert_eq!(wb.push(PageNum(3)), None);
+        assert_eq!(wb.push(PageNum(4)), Some(PageNum(2)));
+        assert_eq!(wb.snapshot(), vec![PageNum(3), PageNum(4)]);
+    }
+
+    #[test]
+    fn repushed_page_takes_queue_position_of_newest_ticket() {
+        // Remove then re-push: the page's FIFO position is its newest push,
+        // exactly as a deque with mid-queue deletion would behave.
+        let wb = WriteBuffer::new(8);
+        for p in [1, 2, 3] {
+            let _ = wb.push(PageNum(p));
+        }
+        assert!(wb.remove(PageNum(1)));
+        let _ = wb.push(PageNum(1));
+        assert_eq!(wb.drain(), vec![PageNum(2), PageNum(3), PageNum(1)]);
+    }
+
+    #[test]
+    fn snapshot_is_nondestructive() {
+        let wb = WriteBuffer::new(4);
+        for p in [9, 4] {
+            let _ = wb.push(PageNum(p));
+        }
+        assert_eq!(wb.snapshot(), vec![PageNum(9), PageNum(4)]);
+        assert_eq!(wb.len(), 2);
+        assert_eq!(wb.drain(), vec![PageNum(9), PageNum(4)]);
     }
 
     #[test]

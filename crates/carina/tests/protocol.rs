@@ -198,8 +198,7 @@ fn false_sharing_merges_through_diffs() {
 
 #[test]
 fn write_buffer_overflow_downgrades_oldest() {
-    let mut cfg = CarinaConfig::default();
-    cfg.write_buffer_pages = 2;
+    let cfg = CarinaConfig::with_write_buffer(2);
     let (dsm, mut ts) = cluster(2, cfg);
     // Dirty three distinct pages homed at node 1 from node 0.
     for salt in 0..3 {
@@ -212,7 +211,7 @@ fn write_buffer_overflow_downgrades_oldest() {
     // Home already has the first page's data without any fence.
     // (Read it from node 1's perspective — it is local there.)
     let first = addr_homed_at(2, 1, 0);
-    assert_eq!(dsm.read_u64(&mut ts[1], first), 0u64.max(0)); // page homed at 1, value 0
+    assert_eq!(dsm.read_u64(&mut ts[1], first), 0); // page homed at 1, value 0
 }
 
 #[test]
@@ -234,8 +233,10 @@ fn sd_fence_drains_all_dirty_pages() {
 #[test]
 fn eviction_flushes_dirty_conflicting_line() {
     // A 1-line cache forces every new page to evict the previous one.
-    let mut cfg = CarinaConfig::default();
-    cfg.cache = CacheConfig::new(1, 1);
+    let cfg = CarinaConfig {
+        cache: CacheConfig::new(1, 1),
+        ..Default::default()
+    };
     let (dsm, mut ts) = cluster(2, cfg);
     let a = addr_homed_at(2, 1, 0);
     let b = addr_homed_at(2, 1, 1);
@@ -275,8 +276,10 @@ fn ps3_self_downgrades_private_pages_without_checkpoints() {
 
 #[test]
 fn active_directory_ablation_invokes_handlers() {
-    let mut cfg = CarinaConfig::default();
-    cfg.active_directory = true;
+    let cfg = CarinaConfig {
+        active_directory: true,
+        ..Default::default()
+    };
     let (dsm, mut ts) = cluster(2, cfg);
     let a = addr_homed_at(2, 1, 0);
     dsm.read_u64(&mut ts[0], a);
@@ -292,8 +295,10 @@ fn active_directory_ablation_invokes_handlers() {
 
 #[test]
 fn prefetch_line_fills_neighbor_pages() {
-    let mut cfg = CarinaConfig::default();
-    cfg.cache = CacheConfig::new(1024, 4);
+    let cfg = CarinaConfig {
+        cache: CacheConfig::new(1024, 4),
+        ..Default::default()
+    };
     let (dsm, mut ts) = cluster(2, cfg);
     // Pages 4..8 form one line; pages 5 and 7 are homed at node 1 (odd).
     // Node 0 reads page 5 → page 7 is prefetched.
@@ -332,8 +337,10 @@ fn virtual_time_charges_remote_misses() {
 
 #[test]
 fn sw_no_diff_extension_skips_diff_transmission() {
-    let mut cfg = CarinaConfig::default();
-    cfg.sw_no_diff = true;
+    let cfg = CarinaConfig {
+        sw_no_diff: true,
+        ..Default::default()
+    };
     let (dsm, mut ts) = cluster(2, cfg);
     let a = addr_homed_at(2, 1, 0);
     dsm.write_u64(&mut ts[0], a, 9);

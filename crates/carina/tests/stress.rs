@@ -22,9 +22,11 @@ fn cluster_with(
 fn conflict_storm_tiny_cache_preserves_all_writes() {
     // A 2-slot cache with every page fighting for the same slots: constant
     // evictions with dirty flushes. Every written value must survive.
-    let mut cfg = CarinaConfig::default();
-    cfg.cache = CacheConfig::new(2, 1);
-    cfg.write_buffer_pages = 1;
+    let cfg = CarinaConfig {
+        cache: CacheConfig::new(2, 1),
+        write_buffer_pages: 1,
+        ..Default::default()
+    };
     let (dsm, net, topo) = cluster_with(2, cfg);
     let mut t = SimThread::new(topo.loc(NodeId(0), 0), net);
     // Write one word on each of 64 distinct pages (odd pages are remote).
@@ -45,8 +47,10 @@ fn conflict_storm_tiny_cache_preserves_all_writes() {
 fn prefetch_lines_with_evictions_stay_coherent() {
     // 2 slots × 4-page lines: any two distinct lines conflict. Interleave
     // reads and writes across lines so fills/evictions/flushes churn.
-    let mut cfg = CarinaConfig::default();
-    cfg.cache = CacheConfig::new(2, 4);
+    let cfg = CarinaConfig {
+        cache: CacheConfig::new(2, 4),
+        ..Default::default()
+    };
     let (dsm, net, topo) = cluster_with(2, cfg);
     let mut t = SimThread::new(topo.loc(NodeId(0), 0), net);
     for round in 0..4u64 {
@@ -140,8 +144,10 @@ fn concurrent_mixed_access_converges() {
 
 #[test]
 fn single_page_cache_still_correct_under_producer_consumer() {
-    let mut cfg = CarinaConfig::default();
-    cfg.cache = CacheConfig::new(1, 1);
+    let cfg = CarinaConfig {
+        cache: CacheConfig::new(1, 1),
+        ..Default::default()
+    };
     let (dsm, net, topo) = cluster_with(2, cfg);
     let mut t0 = SimThread::new(topo.loc(NodeId(0), 0), net.clone());
     let mut t1 = SimThread::new(topo.loc(NodeId(1), 0), net);

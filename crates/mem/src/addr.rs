@@ -106,7 +106,7 @@ impl GlobalAddr {
     #[inline]
     pub fn word_index(self) -> usize {
         assert!(
-            self.0 % WORD_BYTES == 0,
+            self.0.is_multiple_of(WORD_BYTES),
             "unaligned word access at global address {:#x}",
             self.0
         );

@@ -7,12 +7,34 @@
 //! fetched waits for that fill — modeled by the line's `ready_at` virtual
 //! timestamp, which every hit merges into its clock.
 //!
+//! Host-side engineering (none of it visible in virtual time):
+//!
+//! - **Seqlock read path.** Each slot publishes lock-free mirrors of its
+//!   tag, valid mask, and fill timestamp, guarded by a sequence word
+//!   ([`LineSlot::try_read`]). Read hits — the overwhelming majority of
+//!   protocol operations — validate the mirrors optimistically and never
+//!   touch the slot mutex; any concurrent metadata mutation is caught by
+//!   the sequence check and falls back to the locked path. Page contents
+//!   are word-atomic, so the optimistic loads are race-free by
+//!   construction.
+//! - **Occupancy bitsets.** The cache tracks which slots hold a line and
+//!   which hold dirty pages, so fence sweeps visit O(resident) slots
+//!   instead of scanning every slot of a mostly-empty cache.
+//!
+//! Both structures are maintained in one place: [`SlotGuard`], the only
+//! handle through which slot metadata can be mutated. Its `Drop` republishes
+//! the mirrors and bitset bits while the slot mutex is still held, so they
+//! can never drift from the locked state.
+//!
 //! This module is purely structural: eviction/fill/invalidation *policy* and
 //! all network charging live in `carina`.
 
 use crate::addr::PageNum;
 use crate::page::PageData;
 use parking_lot::{Mutex, MutexGuard};
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Geometry of a node's page cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +49,8 @@ pub struct CacheConfig {
 impl CacheConfig {
     pub fn new(lines: usize, pages_per_line: usize) -> Self {
         assert!(lines > 0 && pages_per_line > 0, "cache dimensions must be positive");
+        // The per-slot valid mask is one 64-bit word.
+        assert!(pages_per_line <= 64, "lines are limited to 64 pages");
         CacheConfig { lines, pages_per_line }
     }
 
@@ -43,19 +67,16 @@ impl Default for CacheConfig {
     }
 }
 
-/// One cached page within a line: data plus protocol bits.
-///
-/// Page data is allocated lazily on first fill: a cache is sized for the
-/// worst case (thousands of slots per node) but typical programs touch a
-/// small fraction, and eager allocation would cost gigabytes at 128 nodes.
+/// Protocol metadata of one cached page within a line. The page *contents*
+/// live outside the slot mutex (see [`LineSlot`]) so lock-free readers can
+/// reach them.
 #[derive(Debug)]
 pub struct CachedPage {
-    data: Option<PageData>,
     /// Holds a valid copy of the tagged page.
     pub valid: bool,
     /// Written since the last downgrade (a twin exists while dirty).
     pub dirty: bool,
-    /// Snapshot taken at write-miss time; diffed against `data` on
+    /// Snapshot taken at write-miss time; diffed against the live data on
     /// downgrade to avoid clobbering concurrent remote writers.
     pub twin: Option<PageData>,
 }
@@ -63,29 +84,14 @@ pub struct CachedPage {
 impl CachedPage {
     fn empty() -> Self {
         CachedPage {
-            data: None,
             valid: false,
             dirty: false,
             twin: None,
         }
     }
 
-    /// The page's data storage, allocating it on first use.
-    pub fn data_mut(&mut self) -> &PageData {
-        self.data.get_or_insert_with(PageData::zeroed)
-    }
-
-    /// The page's data storage.
-    ///
-    /// # Panics
-    /// Panics if the page was never filled — protocol code only reads data
-    /// from `valid` pages, which have always been filled.
-    pub fn data(&self) -> &PageData {
-        self.data.as_ref().expect("reading a never-filled cache page")
-    }
-
-    /// Drop contents and protocol state (self-invalidation of this page).
-    /// The data allocation is kept for reuse.
+    /// Drop protocol state (self-invalidation of this page). The data
+    /// allocation is kept for reuse.
     pub fn invalidate(&mut self) {
         self.valid = false;
         self.dirty = false;
@@ -116,9 +122,35 @@ impl LineState {
 }
 
 /// A direct-mapped slot holding one line.
+///
+/// Alongside the mutex-protected [`LineState`], the slot carries:
+///
+/// - per-page data storage in [`OnceLock`]s — allocated on first fill,
+///   never freed, contents word-atomic, readable without the mutex;
+/// - seqlock mirrors of the metadata (`seq`, `tag`, valid mask,
+///   `ready_at`), republished by [`SlotGuard`] on every mutation.
+///
+/// Writer protocol (inside `SlotGuard`): bump `seq` to odd before the
+/// first mutation with a release fence, mutate under the mutex, republish
+/// the mirrors, bump `seq` back to even with a release store. Readers
+/// ([`Self::try_read`]) load `seq` (acquire), read the mirrors and data,
+/// then re-check `seq` behind an acquire fence.
 #[derive(Debug)]
 pub struct LineSlot {
     state: Mutex<LineState>,
+    /// Seqlock word: odd while a mutation is in flight.
+    seq: AtomicU64,
+    /// Mirror of `tag`, biased by one (0 = empty slot).
+    fast_tag: AtomicU64,
+    /// Mirror of the per-page `valid` bits.
+    fast_valid: AtomicU64,
+    /// Mirror of `ready_at`.
+    fast_ready: AtomicU64,
+    /// Page contents, indexed like `LineState::pages`. Allocation is lazy:
+    /// a cache is sized for the worst case (thousands of slots per node)
+    /// but typical programs touch a small fraction, and eager allocation
+    /// would cost gigabytes at 128 nodes.
+    data: Box<[OnceLock<PageData>]>,
 }
 
 impl LineSlot {
@@ -129,13 +161,113 @@ impl LineSlot {
                 ready_at: 0,
                 pages: (0..pages_per_line).map(|_| CachedPage::empty()).collect(),
             }),
+            seq: AtomicU64::new(0),
+            fast_tag: AtomicU64::new(0),
+            fast_valid: AtomicU64::new(0),
+            fast_ready: AtomicU64::new(0),
+            data: (0..pages_per_line).map(|_| OnceLock::new()).collect(),
         }
     }
 
-    /// Lock the slot for access or protocol action.
-    pub fn lock(&self) -> MutexGuard<'_, LineState> {
-        self.state.lock()
+    /// Optimistic lock-free read of `word` of the page at `idx`, provided
+    /// the slot currently holds line `tag` and that page is valid. Returns
+    /// the value and the line's `ready_at` on success; `None` means the
+    /// caller must take the locked path (miss, or a concurrent mutation).
+    #[inline]
+    pub fn try_read(&self, tag: u64, idx: usize, word: usize) -> Option<(u64, u64)> {
+        let s1 = self.seq.load(Ordering::Acquire);
+        if s1 & 1 != 0 {
+            return None;
+        }
+        if self.fast_tag.load(Ordering::Relaxed) != tag.wrapping_add(1)
+            || self.fast_valid.load(Ordering::Relaxed) & (1u64 << idx) == 0
+        {
+            return None;
+        }
+        let ready = self.fast_ready.load(Ordering::Relaxed);
+        let value = self.data[idx].get()?.load(word);
+        fence(Ordering::Acquire);
+        if self.seq.load(Ordering::Relaxed) != s1 {
+            return None;
+        }
+        Some((value, ready))
     }
+
+    /// Bulk variant of [`Self::try_read`]: fills `out` from consecutive
+    /// words starting at `first_word`. Returns `ready_at` on success.
+    #[inline]
+    pub fn try_read_run(
+        &self,
+        tag: u64,
+        idx: usize,
+        first_word: usize,
+        out: &mut [u64],
+    ) -> Option<u64> {
+        let s1 = self.seq.load(Ordering::Acquire);
+        if s1 & 1 != 0 {
+            return None;
+        }
+        if self.fast_tag.load(Ordering::Relaxed) != tag.wrapping_add(1)
+            || self.fast_valid.load(Ordering::Relaxed) & (1u64 << idx) == 0
+        {
+            return None;
+        }
+        let ready = self.fast_ready.load(Ordering::Relaxed);
+        let data = self.data[idx].get()?;
+        for (k, o) in out.iter_mut().enumerate() {
+            *o = data.load(first_word + k);
+        }
+        fence(Ordering::Acquire);
+        if self.seq.load(Ordering::Relaxed) != s1 {
+            return None;
+        }
+        Some(ready)
+    }
+
+    /// The data storage of the page at `idx`.
+    ///
+    /// # Panics
+    /// Panics if the page was never filled — protocol code only reads data
+    /// from `valid` pages, which have always been filled.
+    #[inline]
+    pub fn data(&self, idx: usize) -> &PageData {
+        self.data[idx].get().expect("reading a never-filled cache page")
+    }
+
+    /// The data storage of the page at `idx`, allocating it on first use.
+    #[inline]
+    pub fn alloc_data(&self, idx: usize) -> &PageData {
+        self.data[idx].get_or_init(PageData::zeroed)
+    }
+}
+
+#[inline]
+fn bitset_words(bits: usize) -> Box<[AtomicU64]> {
+    (0..bits.div_ceil(64)).map(|_| AtomicU64::new(0)).collect()
+}
+
+#[inline]
+fn bitset_write(words: &[AtomicU64], i: usize, on: bool) {
+    let mask = 1u64 << (i % 64);
+    if on {
+        words[i / 64].fetch_or(mask, Ordering::Relaxed);
+    } else {
+        words[i / 64].fetch_and(!mask, Ordering::Relaxed);
+    }
+}
+
+fn bitset_indices(words: &[AtomicU64]) -> impl Iterator<Item = usize> + '_ {
+    words.iter().enumerate().flat_map(|(w, word)| {
+        let mut bits = word.load(Ordering::Relaxed);
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let b = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            Some(w * 64 + b)
+        })
+    })
 }
 
 /// A node's page cache.
@@ -143,6 +275,10 @@ impl LineSlot {
 pub struct PageCache {
     config: CacheConfig,
     slots: Vec<LineSlot>,
+    /// Slots currently holding a line (`tag.is_some()`).
+    occupied: Box<[AtomicU64]>,
+    /// Slots currently holding at least one dirty page.
+    dirty: Box<[AtomicU64]>,
 }
 
 impl PageCache {
@@ -152,6 +288,8 @@ impl PageCache {
             slots: (0..config.lines)
                 .map(|_| LineSlot::new(config.pages_per_line))
                 .collect(),
+            occupied: bitset_words(config.lines),
+            dirty: bitset_words(config.lines),
         }
     }
 
@@ -178,22 +316,155 @@ impl PageCache {
         (page.0 % self.config.pages_per_line as u64) as usize
     }
 
-    /// The direct-mapped slot that `page` maps to.
+    /// The direct-mapped slot that `page` maps to (for the lock-free read
+    /// path; mutations go through [`Self::lock_slot`]).
     #[inline]
     pub fn slot_for(&self, page: PageNum) -> &LineSlot {
-        let line = self.line_of(page);
-        &self.slots[(line % self.config.lines as u64) as usize]
+        &self.slots[self.slot_index_for(page)]
     }
 
-    /// All slots, for whole-cache fence sweeps.
-    pub fn slots(&self) -> impl Iterator<Item = &LineSlot> {
-        self.slots.iter()
+    #[inline]
+    fn slot_index_for(&self, page: PageNum) -> usize {
+        (self.line_of(page) % self.config.lines as u64) as usize
+    }
+
+    #[inline]
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Lock the slot that `page` maps to.
+    #[inline]
+    pub fn lock_slot(&self, page: PageNum) -> SlotGuard<'_> {
+        self.lock_index(self.slot_index_for(page))
+    }
+
+    /// Lock slot `index` (used with the occupancy iterators for sweeps).
+    #[inline]
+    pub fn lock_index(&self, index: usize) -> SlotGuard<'_> {
+        SlotGuard {
+            cache: self,
+            index,
+            wrote: false,
+            st: self.slots[index].state.lock(),
+        }
+    }
+
+    /// Indices of slots currently holding a line, ascending. A lock-free
+    /// snapshot: slots mutated concurrently may appear or not, exactly as
+    /// they might under a full scan — callers re-check under the slot lock.
+    pub fn occupied_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        bitset_indices(&self.occupied)
+    }
+
+    /// Indices of slots currently holding at least one dirty page,
+    /// ascending (same snapshot semantics as [`Self::occupied_indices`]).
+    pub fn dirty_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        bitset_indices(&self.dirty)
+    }
+}
+
+/// Exclusive access to one slot's metadata.
+///
+/// Dereferences to [`LineState`]. The first mutable dereference flips the
+/// slot's seqlock odd (fencing out optimistic readers); dropping the guard
+/// after a mutation republishes the lock-free mirrors and the cache's
+/// occupancy bitsets, then flips the seqlock even — all before the mutex is
+/// released, so locked and lock-free views can never disagree. Read-only
+/// uses pay none of this.
+pub struct SlotGuard<'a> {
+    cache: &'a PageCache,
+    index: usize,
+    wrote: bool,
+    // Dropped last (declaration order): the republish in `Drop::drop` runs
+    // while the mutex is still held.
+    st: MutexGuard<'a, LineState>,
+}
+
+impl<'a> SlotGuard<'a> {
+    #[inline]
+    fn slot(&self) -> &'a LineSlot {
+        &self.cache.slots[self.index]
+    }
+
+    /// This slot's index within the cache.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Data storage of the page at `idx`. The reference is tied to the
+    /// cache, not the guard, so it can be used while metadata is mutably
+    /// borrowed; contents are word-atomic.
+    #[inline]
+    pub fn data(&self, idx: usize) -> &'a PageData {
+        self.slot().data(idx)
+    }
+
+    /// Like [`Self::data`], allocating the page storage on first use.
+    #[inline]
+    pub fn alloc_data(&self, idx: usize) -> &'a PageData {
+        self.slot().alloc_data(idx)
+    }
+}
+
+impl Deref for SlotGuard<'_> {
+    type Target = LineState;
+
+    #[inline]
+    fn deref(&self) -> &LineState {
+        &self.st
+    }
+}
+
+impl DerefMut for SlotGuard<'_> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut LineState {
+        if !self.wrote {
+            self.wrote = true;
+            let slot = &self.cache.slots[self.index];
+            // Seqlock writer entry: odd store, then a release fence so the
+            // odd value is visible before any mutation.
+            let s = slot.seq.load(Ordering::Relaxed);
+            slot.seq.store(s.wrapping_add(1), Ordering::Relaxed);
+            fence(Ordering::Release);
+        }
+        &mut self.st
+    }
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        if !self.wrote {
+            return;
+        }
+        let slot = &self.cache.slots[self.index];
+        let st = &*self.st;
+        slot.fast_tag
+            .store(st.tag.map_or(0, |t| t.wrapping_add(1)), Ordering::Relaxed);
+        let mut valid = 0u64;
+        let mut any_dirty = false;
+        for (i, p) in st.pages.iter().enumerate() {
+            if p.valid {
+                valid |= 1u64 << i;
+            }
+            any_dirty |= p.dirty;
+        }
+        slot.fast_valid.store(valid, Ordering::Relaxed);
+        slot.fast_ready.store(st.ready_at, Ordering::Relaxed);
+        bitset_write(&self.cache.occupied, self.index, st.tag.is_some());
+        bitset_write(&self.cache.dirty, self.index, any_dirty);
+        // Seqlock writer exit: back to even, releasing the mutations.
+        let s = slot.seq.load(Ordering::Relaxed);
+        slot.seq.store(s.wrapping_add(1), Ordering::Release);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
 
     #[test]
     fn direct_mapping_is_stable_and_conflicting() {
@@ -211,19 +482,16 @@ mod tests {
     #[test]
     fn retag_invalidates_all_pages() {
         let c = PageCache::new(CacheConfig::new(2, 2));
-        let slot = c.slot_for(PageNum(0));
-        {
-            let mut st = slot.lock();
-            st.tag = Some(0);
-            st.pages[0].valid = true;
-            st.pages[0].dirty = true;
-            st.pages[0].twin = Some(PageData::zeroed());
-            st.retag(5);
-            assert_eq!(st.tag, Some(5));
-            assert!(!st.pages[0].valid);
-            assert!(!st.pages[0].dirty);
-            assert!(st.pages[0].twin.is_none());
-        }
+        let mut st = c.lock_slot(PageNum(0));
+        st.tag = Some(0);
+        st.pages[0].valid = true;
+        st.pages[0].dirty = true;
+        st.pages[0].twin = Some(PageData::zeroed());
+        st.retag(5);
+        assert_eq!(st.tag, Some(5));
+        assert!(!st.pages[0].valid);
+        assert!(!st.pages[0].dirty);
+        assert!(st.pages[0].twin.is_none());
     }
 
     #[test]
@@ -240,5 +508,159 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_lines_rejected() {
         CacheConfig::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "64")]
+    fn oversized_lines_rejected() {
+        CacheConfig::new(1, 65);
+    }
+
+    #[test]
+    fn occupancy_bitsets_track_guard_mutations() {
+        let c = PageCache::new(CacheConfig::new(128, 1));
+        assert_eq!(c.occupied_indices().count(), 0);
+        for page in [3u64, 70, 100] {
+            let mut g = c.lock_slot(PageNum(page));
+            let line = c.line_of(PageNum(page));
+            g.retag(line);
+            g.alloc_data(0).store(0, page);
+            g.pages[0].valid = true;
+        }
+        assert_eq!(c.occupied_indices().collect::<Vec<_>>(), vec![3, 70, 100]);
+        assert_eq!(c.dirty_indices().count(), 0);
+        {
+            let mut g = c.lock_slot(PageNum(70));
+            g.pages[0].dirty = true;
+        }
+        assert_eq!(c.dirty_indices().collect::<Vec<_>>(), vec![70]);
+        {
+            let mut g = c.lock_slot(PageNum(70));
+            g.pages[0].invalidate();
+            g.tag = None;
+        }
+        assert_eq!(c.occupied_indices().collect::<Vec<_>>(), vec![3, 100]);
+        assert_eq!(c.dirty_indices().count(), 0);
+    }
+
+    #[test]
+    fn read_only_guard_leaves_seqlock_untouched() {
+        let c = PageCache::new(CacheConfig::new(4, 1));
+        let before = c.slots[0].seq.load(Ordering::Relaxed);
+        {
+            let g = c.lock_index(0);
+            assert_eq!(g.tag, None);
+        }
+        assert_eq!(c.slots[0].seq.load(Ordering::Relaxed), before);
+    }
+
+    #[test]
+    fn try_read_hits_only_valid_tagged_pages() {
+        let c = PageCache::new(CacheConfig::new(4, 2));
+        let slot = c.slot_for(PageNum(0));
+        assert_eq!(slot.try_read(0, 0, 0), None); // empty slot
+        {
+            let mut g = c.lock_slot(PageNum(0));
+            g.retag(0);
+            g.alloc_data(0).store(7, 42);
+            g.pages[0].valid = true;
+            g.ready_at = 123;
+        }
+        assert_eq!(slot.try_read(0, 0, 7), Some((42, 123)));
+        assert_eq!(slot.try_read(0, 1, 7), None); // page 1 invalid
+        assert_eq!(slot.try_read(9, 0, 7), None); // wrong tag
+        {
+            let mut g = c.lock_slot(PageNum(0));
+            g.pages[0].invalidate();
+        }
+        assert_eq!(slot.try_read(0, 0, 7), None); // invalidated
+    }
+
+    #[test]
+    fn try_read_run_reads_consecutive_words() {
+        let c = PageCache::new(CacheConfig::new(4, 1));
+        {
+            let mut g = c.lock_slot(PageNum(5));
+            g.retag(5);
+            let d = g.alloc_data(0);
+            for w in 0..8 {
+                d.store(w, (w as u64) * 11);
+            }
+            g.pages[0].valid = true;
+            g.ready_at = 9;
+        }
+        let mut out = [0u64; 4];
+        let slot = c.slot_for(PageNum(5));
+        assert_eq!(slot.try_read_run(5, 0, 2, &mut out), Some(9));
+        assert_eq!(out, [22, 33, 44, 55]);
+        assert_eq!(slot.try_read_run(6, 0, 2, &mut out), None);
+    }
+
+    #[test]
+    fn concurrent_retag_and_fill_is_consistent() {
+        let cache = Arc::new(PageCache::new(CacheConfig::new(4, 2)));
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let cache = cache.clone();
+                std::thread::spawn(move || {
+                    for round in 0..500u64 {
+                        let page = PageNum((t * 500 + round) * 2);
+                        let mut st = cache.lock_slot(page);
+                        let line = cache.line_of(page);
+                        if st.tag != Some(line) {
+                            st.retag(line);
+                        }
+                        let idx = cache.index_in_line(page);
+                        st.alloc_data(idx).store(0, t * 1000 + round);
+                        st.pages[idx].valid = true;
+                        // Invariant under the lock: tag matches what we set.
+                        assert_eq!(st.tag, Some(line));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn seqlock_readers_never_observe_torn_state() {
+        // One thread alternates slot contents between two (tag, value)
+        // pairs; readers must only ever observe matched pairs.
+        let cache = Arc::new(PageCache::new(CacheConfig::new(1, 1)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let cache = cache.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut hits = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for tag in [0u64, 1] {
+                            let slot = cache.slot_for(PageNum(tag));
+                            if let Some((v, ready)) = slot.try_read(tag, 0, 0) {
+                                assert_eq!(v, tag * 1000 + 5, "torn value for tag {tag}");
+                                assert_eq!(ready, tag + 7, "torn ready_at for tag {tag}");
+                                hits += 1;
+                            }
+                        }
+                    }
+                    hits
+                })
+            })
+            .collect();
+        for round in 0..20_000u64 {
+            let tag = round % 2;
+            let mut g = cache.lock_slot(PageNum(tag));
+            g.retag(tag);
+            g.alloc_data(0).store(0, tag * 1000 + 5);
+            g.pages[0].valid = true;
+            g.ready_at = tag + 7;
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in readers {
+            h.join().unwrap();
+        }
     }
 }

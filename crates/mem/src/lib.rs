@@ -28,6 +28,6 @@ pub mod page;
 
 pub use addr::{GlobalAddr, HomeMap, HomePolicy, PageNum, PAGE_BYTES, WORDS_PER_PAGE, WORD_BYTES};
 pub use alloc::GlobalAllocator;
-pub use cache::{CacheConfig, CachedPage, LineSlot, PageCache};
+pub use cache::{CacheConfig, CachedPage, LineSlot, PageCache, SlotGuard};
 pub use global::GlobalMemory;
 pub use page::PageData;

@@ -1,5 +1,6 @@
 //! Concurrency tests for the page-cache structure: slot locking must keep
-//! line state consistent under contention.
+//! line state consistent under contention, and the lock-free read path must
+//! agree with the locked state it mirrors.
 
 use mem::{CacheConfig, PageCache, PageNum};
 use std::sync::Arc;
@@ -13,14 +14,13 @@ fn concurrent_retag_and_fill_is_consistent() {
             std::thread::spawn(move || {
                 for round in 0..500u64 {
                     let page = PageNum((t * 500 + round) * 2);
-                    let slot = cache.slot_for(page);
-                    let mut st = slot.lock();
+                    let mut st = cache.lock_slot(page);
                     let line = cache.line_of(page);
                     if st.tag != Some(line) {
                         st.retag(line);
                     }
                     let idx = cache.index_in_line(page);
-                    st.pages[idx].data_mut().store(0, t * 1000 + round);
+                    st.alloc_data(idx).store(0, t * 1000 + round);
                     st.pages[idx].valid = true;
                     // Invariant under the lock: tag matches what we set.
                     assert_eq!(st.tag, Some(line));
@@ -34,16 +34,75 @@ fn concurrent_retag_and_fill_is_consistent() {
 }
 
 #[test]
-fn slots_iter_covers_every_slot_exactly_once() {
+fn occupancy_covers_every_filled_slot_exactly_once() {
     let cache = PageCache::new(CacheConfig::new(16, 4));
-    assert_eq!(cache.slots().count(), 16);
+    assert_eq!(cache.num_slots(), 16);
+    assert_eq!(cache.occupied_indices().count(), 0);
     // Distinct lines within capacity hit distinct slots.
     let mut seen = std::collections::HashSet::new();
     for line in 0..16u64 {
         let p = cache.line_base(line);
         seen.insert(cache.slot_for(p) as *const _ as usize);
+        let mut g = cache.lock_slot(p);
+        g.retag(line);
     }
     assert_eq!(seen.len(), 16);
+    assert_eq!(cache.occupied_indices().count(), 16);
+}
+
+#[test]
+fn lock_free_reads_race_with_locked_writers() {
+    // Readers spin on try_read while writers churn fills and invalidations;
+    // every successful optimistic read must return a value actually
+    // published for that tag.
+    let cache = Arc::new(PageCache::new(CacheConfig::new(8, 1)));
+    let writers: Vec<_> = (0..2u64)
+        .map(|w| {
+            let cache = cache.clone();
+            std::thread::spawn(move || {
+                for round in 0..20_000u64 {
+                    let line = (w * 4) + (round % 4);
+                    let page = PageNum(line);
+                    let mut g = cache.lock_slot(page);
+                    if round % 7 == 3 {
+                        if g.tag == Some(line) {
+                            g.pages[0].invalidate();
+                            g.tag = None;
+                        }
+                    } else {
+                        g.retag(line);
+                        g.alloc_data(0).store(3, line * 100 + 9);
+                        g.pages[0].valid = true;
+                        g.ready_at = line;
+                    }
+                }
+            })
+        })
+        .collect();
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let cache = cache.clone();
+            std::thread::spawn(move || {
+                let mut hits = 0u64;
+                for round in 0..40_000u64 {
+                    let line = round % 8;
+                    if let Some((v, ready)) = cache.slot_for(PageNum(line)).try_read(line, 0, 3)
+                    {
+                        assert_eq!(v, line * 100 + 9);
+                        assert_eq!(ready, line);
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        })
+        .collect();
+    for h in writers {
+        h.join().unwrap();
+    }
+    for h in readers {
+        h.join().unwrap();
+    }
 }
 
 #[test]

@@ -6,10 +6,9 @@
 //! cycles of that reference machine and are freely configurable.
 
 use crate::topology::ThreadLoc;
-use serde::{Deserialize, Serialize};
 
 /// Cost constants (CPU cycles) for every simulated hardware event.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Local DRAM access (page-cache hit that misses CPU caches).
     pub dram_latency: u64,

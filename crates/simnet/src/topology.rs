@@ -5,10 +5,9 @@
 //! per node** (16 cores, of which Argo uses 15). The default topology mirrors
 //! this; all dimensions are configurable.
 
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a cluster node (one machine in the paper's cluster).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u16);
 
 impl NodeId {
@@ -27,7 +26,7 @@ impl std::fmt::Display for NodeId {
 
 /// Placement of a simulated hardware thread: which node, which NUMA socket
 /// within the node, and which core within the socket.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ThreadLoc {
     pub node: NodeId,
     pub socket: u16,
@@ -49,7 +48,7 @@ impl ThreadLoc {
 }
 
 /// Shape of the simulated cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClusterTopology {
     /// Number of machines in the cluster.
     pub nodes: usize,

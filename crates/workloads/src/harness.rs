@@ -160,7 +160,7 @@ impl GlobalReducer {
         self.thread_slots.set(ctx, tid * SLOT_STRIDE, value);
         ctx.barrier();
         let node = ctx.node();
-        if tid % self.threads_per_node == 0 {
+        if tid.is_multiple_of(self.threads_per_node) {
             // Node leader: sum this node's thread slots.
             let mut partial = 0.0;
             for i in 0..self.threads_per_node {

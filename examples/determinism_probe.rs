@@ -1,0 +1,143 @@
+//! Determinism probe: drives the Carina protocol engine through a fixed
+//! scripted scenario from a *single host thread* (so every interleaving is
+//! deterministic) and prints the resulting coherence statistics, virtual
+//! clocks, and a memory checksum.
+//!
+//! Host-side performance work on the engine must not change anything this
+//! prints: run it before and after a change and diff the output.
+//!
+//! ```sh
+//! cargo run --release --example determinism_probe > after.txt
+//! diff before.txt after.txt
+//! ```
+
+
+// Indexed loops below mirror the reference kernels (multi-array accesses
+// keyed by one index); iterator rewrites would obscure them.
+#![allow(clippy::needless_range_loop)]
+use carina::{CarinaConfig, ClassificationMode, Dsm};
+use mem::{CacheConfig, GlobalAddr, PAGE_BYTES};
+use simnet::{ClusterTopology, CostModel, Interconnect, NodeId, SimThread};
+use std::sync::Arc;
+
+fn cluster(nodes: usize, config: CarinaConfig) -> (Arc<Dsm>, Vec<SimThread>) {
+    let topo = ClusterTopology::tiny(nodes);
+    let net = Interconnect::new(topo, CostModel::paper_2011());
+    let dsm = Dsm::new(net.clone(), 4 << 20, config);
+    let threads = (0..nodes)
+        .map(|n| SimThread::new(topo.loc(NodeId(n as u16), 0), net.clone()))
+        .collect();
+    (dsm, threads)
+}
+
+/// A fixed workout touching every protocol path: misses, hits, write
+/// faults, false sharing, fences, evictions, buffer overflow, and decay.
+fn workout(mode: ClassificationMode) {
+    let nodes = 3usize;
+    let mut cfg = CarinaConfig::with_mode(mode);
+    cfg.cache = CacheConfig::new(64, 2); // small enough to force conflicts
+    cfg.write_buffer_pages = 4; // small enough to overflow
+    let (dsm, mut ts) = cluster(nodes, cfg);
+
+    // Phase 1: every node reads a shared region homed across the cluster.
+    for round in 0..3u64 {
+        for n in 0..nodes {
+            let t = &mut ts[n];
+            for p in 0..24u64 {
+                let a = GlobalAddr((p + 1) * PAGE_BYTES + (round % 8) * 64);
+                let _ = dsm.read_u64(t, a);
+            }
+        }
+    }
+    // Phase 2: staggered writers create P/S + SW/MW mixes and overflow the
+    // write buffer.
+    for round in 0..4u64 {
+        for n in 0..nodes {
+            let t = &mut ts[n];
+            for p in 0..12u64 {
+                let a = GlobalAddr((p + 1 + (n as u64 % 2) * 6) * PAGE_BYTES + round * 8);
+                dsm.write_u64(t, a, round * 1000 + p * 10 + n as u64);
+            }
+            dsm.sd_fence(t);
+        }
+        for n in 0..nodes {
+            dsm.si_fence(&mut ts[n]);
+        }
+    }
+    // Phase 3: conflict evictions (pages far apart map to the same slots).
+    for n in 0..nodes {
+        let t = &mut ts[n];
+        for k in 0..8u64 {
+            let a = GlobalAddr((1 + k * 128) * PAGE_BYTES);
+            dsm.write_u64(t, a, k + n as u64);
+            let _ = dsm.read_u64(t, a);
+        }
+        dsm.sd_fence(t);
+    }
+    // Phase 4: slices, both u64 and f64.
+    let mut buf = vec![0u64; 1500];
+    dsm.write_u64_slice(
+        &mut ts[0],
+        GlobalAddr(40 * PAGE_BYTES),
+        &(0..1500u64).map(|i| i * 3 + 1).collect::<Vec<_>>(),
+    );
+    dsm.read_u64_slice(&mut ts[1], GlobalAddr(40 * PAGE_BYTES), &mut buf);
+    let mut fbuf = vec![0f64; 700];
+    dsm.write_f64_slice(
+        &mut ts[2],
+        GlobalAddr(50 * PAGE_BYTES),
+        &(0..700).map(|i| i as f64 * 0.5 - 3.0).collect::<Vec<_>>(),
+    );
+    dsm.read_f64_slice(&mut ts[0], GlobalAddr(50 * PAGE_BYTES), &mut fbuf);
+    for t in &mut ts {
+        dsm.sd_fence(t);
+        dsm.si_fence(t);
+    }
+    // Phase 5: decay, then a second ownership pattern.
+    dsm.decay_classification(&mut ts[0]);
+    for n in 0..nodes {
+        let t = &mut ts[n];
+        for p in 0..6u64 {
+            let a = GlobalAddr((60 + p + n as u64 * 6) * PAGE_BYTES);
+            dsm.write_u64(t, a, p + 100 * n as u64);
+        }
+        dsm.sd_fence(t);
+        dsm.si_fence(t);
+    }
+
+    let v = dsm.check_invariants();
+    assert!(v.is_empty(), "invariants violated: {v:?}");
+
+    // Checksum of home memory over the touched region.
+    let mut checksum = 0u64;
+    for p in 0..200u64 {
+        for w in (0..mem::WORDS_PER_PAGE as u64).step_by(7) {
+            checksum = checksum
+                .wrapping_mul(1099511628211)
+                .wrapping_add(dsm.peek_u64(GlobalAddr(p * PAGE_BYTES + w * 8)));
+        }
+    }
+    let slice_sum: u64 = buf.iter().sum();
+    let fslice_sum: f64 = fbuf.iter().sum();
+    let s = dsm.stats().snapshot();
+    println!("=== mode {mode:?} ===");
+    println!("checksum        {checksum}");
+    println!("slice_sum       {slice_sum}");
+    println!("fslice_sum      {fslice_sum}");
+    for (n, t) in ts.iter().enumerate() {
+        println!("clock[{n}]        {}", t.now());
+    }
+    println!("{s:#?}");
+    println!("net {:#?}", dsm.net().stats().snapshot());
+}
+
+fn main() {
+    for mode in [
+        ClassificationMode::AllShared,
+        ClassificationMode::PsNaive,
+        ClassificationMode::Ps3,
+    ] {
+        workout(mode);
+    }
+}
+

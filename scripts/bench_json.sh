@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Run the simulator-throughput and fence microbenchmarks and aggregate the
+# per-benchmark JSON records into BENCH_simulator.json at the repo root.
+#
+# If a baseline exists (target/bench-baseline/*.json, captured by running
+# this script once on the pre-change tree and copying target/bench-current
+# over), the report includes per-benchmark speedups and their geomean.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Absolute paths: cargo runs bench binaries from the package directory.
+OUT_DIR=$PWD/target/bench-current
+BASELINE_DIR=${BENCH_BASELINE_DIR:-$PWD/target/bench-baseline}
+rm -rf "$OUT_DIR"
+mkdir -p "$OUT_DIR"
+
+CRITERION_MINI_OUT="$OUT_DIR" cargo bench -p bench --bench simulator_throughput
+CRITERION_MINI_OUT="$OUT_DIR" cargo bench -p bench --bench fences
+
+python3 - "$OUT_DIR" "$BASELINE_DIR" <<'EOF'
+import json, glob, os, sys
+
+out_dir, baseline_dir = sys.argv[1], sys.argv[2]
+
+def load(d):
+    recs = {}
+    for f in sorted(glob.glob(os.path.join(d, "*.json"))):
+        with open(f) as fh:
+            r = json.load(fh)
+        recs[r["id"]] = r
+    return recs
+
+current = load(out_dir)
+baseline = load(baseline_dir) if os.path.isdir(baseline_dir) else {}
+
+report = {"benchmarks": [], "geomean_speedup": None}
+ratios = []
+for bid, cur in sorted(current.items()):
+    entry = {"id": bid, "current_mean_ns": cur["mean_ns"]}
+    base = baseline.get(bid)
+    if base:
+        entry["baseline_mean_ns"] = base["mean_ns"]
+        entry["speedup"] = base["mean_ns"] / cur["mean_ns"]
+        # Only the throughput suite feeds the geomean gate; the fence
+        # microbenches have no meaningful pre-change baseline shape.
+        if bid.startswith("simulator_throughput/"):
+            ratios.append(entry["speedup"])
+    report["benchmarks"].append(entry)
+
+if ratios:
+    g = 1.0
+    for r in ratios:
+        g *= r
+    report["geomean_speedup"] = g ** (1.0 / len(ratios))
+
+with open("BENCH_simulator.json", "w") as fh:
+    json.dump(report, fh, indent=2)
+    fh.write("\n")
+print(json.dumps(report, indent=2))
+EOF

@@ -1,0 +1,374 @@
+//! Offline stand-in for the `criterion` crate (no crates.io access in the
+//! build environment).
+//!
+//! Implements the subset this workspace's benches use: `criterion_group!` /
+//! `criterion_main!`, `Criterion` with `measurement_time` / `warm_up_time` /
+//! `sample_size`, benchmark groups, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, and `Bencher::{iter, iter_custom, iter_batched}`.
+//!
+//! Methodology: geometric warmup until the warmup budget is spent, then
+//! `sample_size` timed batches sized to fill the measurement budget; the
+//! reported estimate is the mean ns/iter over all batches. Every estimate
+//! is also appended as one JSON object to
+//! `$CRITERION_MINI_OUT/<sanitized-id>.json` (default
+//! `target/criterion-mini/`), which `scripts/bench_json.sh` aggregates.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark registry entry point, mirroring criterion's builder.
+pub struct Criterion {
+    measurement: Duration,
+    warmup: Duration,
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_secs(2),
+            warmup: Duration::from_millis(300),
+            sample_size: 10,
+            filter: parse_filter(),
+        }
+    }
+}
+
+/// First free-standing CLI argument = substring filter, as cargo bench
+/// forwards trailing args. Flags (`--bench`, `--test`, …) are ignored.
+fn parse_filter() -> Option<String> {
+    std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+}
+
+/// True when cargo invoked the bench binary in test mode (`cargo test`
+/// passes `--test`); benches then exit without running.
+pub fn in_test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            measurement: None,
+            warmup: None,
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().render();
+        run_benchmark(
+            &id,
+            self.measurement,
+            self.warmup,
+            self.sample_size,
+            self.filter.as_deref(),
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+}
+
+/// A named cluster of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    measurement: Option<Duration>,
+    warmup: Option<Duration>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = Some(d);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warmup = Some(d);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().render());
+        run_benchmark(
+            &id,
+            self.measurement.unwrap_or(self.parent.measurement),
+            self.warmup.unwrap_or(self.parent.warmup),
+            self.sample_size.unwrap_or(self.parent.sample_size),
+            self.parent.filter.as_deref(),
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A two-part benchmark name (`function/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    fn render(self) -> String {
+        self.id
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+impl From<&String> for BenchmarkId {
+    fn from(id: &String) -> Self {
+        BenchmarkId { id: id.clone() }
+    }
+}
+
+/// Handed to the benchmark closure; records how the routine maps iteration
+/// counts to elapsed time.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_custom(&mut self, mut routine: impl FnMut(u64) -> Duration) {
+        self.elapsed = routine(self.iters);
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Batch sizing hint; the stand-in times each iteration individually, so
+/// the variants only exist for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+fn run_benchmark<F>(
+    id: &str,
+    measurement: Duration,
+    warmup: Duration,
+    sample_size: usize,
+    filter: Option<&str>,
+    mut routine: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(f) = filter {
+        if !id.contains(f) {
+            return;
+        }
+    }
+    // Warmup: geometrically grow the iteration count until the budget is
+    // spent; this also calibrates the per-iteration cost.
+    let mut iters = 1u64;
+    let mut spent = Duration::ZERO;
+    let mut per_iter;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        spent += b.elapsed;
+        per_iter = b.elapsed.max(Duration::from_nanos(1)) / iters as u32;
+        if spent >= warmup {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    // Measurement: sample_size batches splitting the measurement budget.
+    let batch_budget = measurement / sample_size as u32;
+    let batch_iters = (batch_budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    let mut means = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: batch_iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        total += b.elapsed;
+        total_iters += batch_iters;
+        means.push(b.elapsed.as_nanos() as f64 / batch_iters as f64);
+    }
+    let mean_ns = total.as_nanos() as f64 / total_iters as f64;
+    let spread = means.iter().cloned().fold(f64::INFINITY, f64::min)
+        ..means.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{id:<48} time: [{:>12.1} ns {:>12.1} ns {:>12.1} ns]  ({} samples x {} iters)",
+        spread.start, mean_ns, spread.end, sample_size, batch_iters
+    );
+    write_estimate(id, mean_ns, spread.start, spread.end, total_iters);
+}
+
+fn write_estimate(id: &str, mean_ns: f64, min_ns: f64, max_ns: f64, iters: u64) {
+    let dir = std::env::var("CRITERION_MINI_OUT")
+        .unwrap_or_else(|_| "target/criterion-mini".to_string());
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let sanitized: String = id
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let json = format!(
+        "{{\"id\":\"{id}\",\"mean_ns\":{mean_ns:.3},\"min_ns\":{min_ns:.3},\"max_ns\":{max_ns:.3},\"iters\":{iters}}}\n"
+    );
+    let _ = std::fs::write(format!("{dir}/{sanitized}.json"), json);
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                {
+                    let mut c: $crate::Criterion = $config;
+                    $target(&mut c);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if $crate::in_test_mode() {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_compose() {
+        assert_eq!(BenchmarkId::new("f", 3).render(), "f/3");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+    }
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 100);
+        assert!(b.elapsed > Duration::ZERO || count == 100);
+    }
+}

@@ -1,0 +1,61 @@
+//! Offline stand-in for the `crossbeam` crate (no crates.io access in the
+//! build environment). Only `queue::SegQueue` is provided — the single API
+//! this workspace consumes — implemented as a mutex-protected `VecDeque`.
+//! Semantics match (MPMC, FIFO, unbounded); only the lock-free scalability
+//! is approximated.
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Unbounded MPMC FIFO queue.
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        pub const fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        pub fn push(&self, value: T) {
+            self.lock().push_back(value);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.lock().pop_front()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        pub fn len(&self) -> usize {
+            self.lock().len()
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_order() {
+            let q = SegQueue::new();
+            assert!(q.is_empty());
+            q.push(1);
+            q.push(2);
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), None);
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the small API subset it actually uses. Lock types delegate to
+//! `std::sync` (swallowing poison, as parking_lot does by not having it);
+//! [`RawMutex`] is a test-and-test-and-set spinlock with yielding backoff.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+pub mod lock_api {
+    /// The subset of `lock_api::RawMutex` the workspace relies on.
+    pub trait RawMutex {
+        /// An unlocked mutex, usable in const contexts.
+        const INIT: Self;
+        fn lock(&self);
+        fn try_lock(&self) -> bool;
+        /// # Safety
+        /// The caller must hold the lock.
+        unsafe fn unlock(&self);
+    }
+}
+
+/// A word-sized raw mutex: test-and-test-and-set with yielding backoff.
+pub struct RawMutex {
+    locked: AtomicBool,
+}
+
+impl lock_api::RawMutex for RawMutex {
+    const INIT: RawMutex = RawMutex {
+        locked: AtomicBool::new(false),
+    };
+
+    fn lock(&self) {
+        let mut spins = 0u32;
+        loop {
+            if self.try_lock() {
+                return;
+            }
+            while self.locked.load(Ordering::Relaxed) {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn try_lock(&self) -> bool {
+        self.locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    #[inline]
+    unsafe fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+}
+
+impl std::fmt::Debug for RawMutex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RawMutex")
+            .field("locked", &self.locked.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+/// `std::sync::Mutex` with parking_lot's poison-free API.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    #[inline]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[inline]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// `std::sync::RwLock` with parking_lot's poison-free API.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    #[inline]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[inline]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Result of a timed condition-variable wait.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    #[inline]
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// `std::sync::Condvar` adapted to parking_lot's `&mut guard` calling
+/// convention.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        self.replace_guard(guard, |g| {
+            self.0.wait(g).unwrap_or_else(|e| e.into_inner())
+        });
+    }
+
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        self.replace_guard(guard, |g| {
+            let (g, r) = self
+                .0
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            timed_out = r.timed_out();
+            g
+        });
+        WaitTimeoutResult(timed_out)
+    }
+
+    #[inline]
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    #[inline]
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Move the guard out of `&mut`, run `f` (which consumes and returns a
+    /// guard), and move the result back in. `f` must not panic; the only
+    /// panic source in `std::sync::Condvar::wait*` is lock poisoning, which
+    /// the callers above swallow via `into_inner`.
+    fn replace_guard<'a, T>(
+        &self,
+        slot: &mut MutexGuard<'a, T>,
+        f: impl FnOnce(MutexGuard<'a, T>) -> MutexGuard<'a, T>,
+    ) {
+        unsafe {
+            let guard = std::ptr::read(slot);
+            let guard = f(guard);
+            std::ptr::write(slot, guard);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::lock_api::RawMutex as _;
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn raw_mutex_excludes() {
+        let m = RawMutex::INIT;
+        m.lock();
+        assert!(!m.try_lock());
+        unsafe { m.unlock() };
+        assert!(m.try_lock());
+        unsafe { m.unlock() };
+    }
+
+    #[test]
+    fn condvar_signals_across_threads() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let h = std::thread::spawn(move || {
+            let (m, c) = &*p2;
+            let mut done = m.lock();
+            *done = true;
+            c.notify_one();
+            drop(done);
+        });
+        let (m, c) = &*pair;
+        let mut done = m.lock();
+        while !*done {
+            c.wait(&mut done);
+        }
+        drop(done);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let m = Mutex::new(());
+        let c = Condvar::new();
+        let mut g = m.lock();
+        let r = c.wait_for(&mut g, Duration::from_millis(5));
+        assert!(r.timed_out());
+    }
+}

@@ -1,0 +1,252 @@
+//! Offline stand-in for the `proptest` crate (no crates.io access in the
+//! build environment).
+//!
+//! Supports the subset this workspace's tests use: the `proptest!` macro
+//! with `arg in strategy` bindings, `prop_assert!`/`prop_assert_eq!`,
+//! `any::<T>()`, half-open integer ranges, tuples of strategies, and
+//! `collection::vec`. Each test runs [`CASES`] deterministic cases seeded
+//! from the test name; failing inputs are printed but not shrunk.
+
+use std::ops::Range;
+
+/// Cases per property; proptest's default is 256, this keeps CI fast while
+/// still covering the input space well for the sizes used here.
+pub const CASES: u32 = 128;
+
+/// Deterministic per-test generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeded from the property name so every test gets a stable but
+    /// distinct stream.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h = 0xcbf29ce484222325u64; // FNV-1a
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng(h)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A value generator: the proptest notion, minus shrinking.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Integers produced uniformly from a range or the full domain.
+pub trait UniformInt: Copy + std::fmt::Debug {
+    fn from_u64_in(raw: u64, lo: Self, hi: Self) -> Self;
+    fn from_u64_any(raw: u64) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn from_u64_in(raw: u64, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                assert!(span > 0, "empty strategy range");
+                (lo as i128 + ((raw as u128 * span) >> 64) as i128) as $t
+            }
+            #[inline]
+            fn from_u64_any(raw: u64) -> Self {
+                raw as $t
+            }
+        }
+    )*};
+}
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: UniformInt> Strategy for Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::from_u64_in(rng.next_u64(), self.start, self.end)
+    }
+}
+
+/// `any::<T>()`: the full domain of `T`.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: UniformInt> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::from_u64_any(rng.next_u64())
+    }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $i:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A / 0);
+    (A / 0, B / 1);
+    (A / 0, B / 1, C / 2);
+    (A / 0, B / 1, C / 2, D / 3);
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng, UniformInt};
+    use std::ops::Range;
+
+    /// Vec of `element` samples with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = usize::from_u64_in(rng.next_u64(), self.len.start, self.len.end);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Run one property over [`CASES`] deterministic inputs. Used by the
+/// `proptest!` macro; kept as a function so failure reporting lives in one
+/// place.
+pub fn run_cases(name: &str, mut case: impl FnMut(&mut TestRng) -> Result<(), String>) {
+    let mut rng = TestRng::deterministic(name);
+    for i in 0..CASES {
+        if let Err(msg) = case(&mut rng) {
+            panic!("property {name} failed on case {i}: {msg}");
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(stringify!($name), |rng| {
+                $(let $arg = $crate::Strategy::sample(&($strat), rng);)+
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond),
+                format!($($fmt)+),
+                file!(),
+                line!()
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {} ({:?} != {:?}) at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Strategy, TestRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs_in_bounds(
+            xs in collection::vec(1u64..100, 1..20),
+            k in 0usize..8,
+        ) {
+            prop_assert!(k < 8);
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            for x in xs {
+                prop_assert!((1..100).contains(&x), "x = {x}");
+            }
+        }
+
+        #[test]
+        fn tuples_compose(pair in (0u8..5, any::<u64>())) {
+            prop_assert!(pair.0 < 5);
+            let _ = pair.1;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::deterministic("t");
+        let mut b = TestRng::deterministic("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,250 @@
+//! Offline stand-in for the `rand` crate (0.9 API surface), vendored
+//! because the build environment has no crates.io access.
+//!
+//! Provides deterministic, seedable generators (`StdRng`, `SmallRng` — both
+//! xoshiro256**-based here) and the `Rng` method subset the workspace uses:
+//! `random`, `random_bool`, `random_range`, `random_iter`. Distribution
+//! quality is adequate for tests and workload shuffling, not cryptography.
+
+use std::ops::Range;
+
+/// Core entropy source: 64 random bits at a time.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64: seeds the main generators and serves as their state mixer.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256** state, the engine behind both [`StdRng`] and [`SmallRng`].
+#[derive(Debug, Clone)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl RngCore for Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256 {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Xoshiro256 {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+macro_rules! wrapper_rng {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone)]
+        pub struct $name(Xoshiro256);
+
+        impl RngCore for $name {
+            #[inline]
+            fn next_u64(&mut self) -> u64 {
+                self.0.next_u64()
+            }
+        }
+
+        impl SeedableRng for $name {
+            fn seed_from_u64(seed: u64) -> Self {
+                $name(Xoshiro256::seed_from_u64(seed))
+            }
+        }
+    };
+}
+
+wrapper_rng!(
+    /// The default general-purpose generator.
+    StdRng
+);
+wrapper_rng!(
+    /// The small/fast generator (same engine here).
+    SmallRng
+);
+
+/// Types producible uniformly from raw generator output (`rng.random()`).
+pub trait Standard: Sized {
+    fn from_rng(rng: &mut impl RngCore) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn from_rng(rng: &mut impl RngCore) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    #[inline]
+    fn from_rng(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn from_rng(rng: &mut impl RngCore) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn from_rng(rng: &mut impl RngCore) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Types with uniform sampling over a half-open range.
+pub trait SampleUniform: Sized {
+    fn sample_range(rng: &mut impl RngCore, range: Range<Self>) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range(rng: &mut impl RngCore, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty random_range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                // Multiply-shift rejection-free mapping; bias is < 2^-64,
+                // irrelevant for simulation workloads.
+                let v = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (range.start as i128 + v) as $t
+            }
+        }
+    )*};
+}
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_range(rng: &mut impl RngCore, range: Range<Self>) -> Self {
+        let unit: f64 = Standard::from_rng(rng);
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+/// The user-facing method bundle, blanket-implemented for every generator.
+pub trait Rng: RngCore + Sized {
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        let unit: f64 = Standard::from_rng(self);
+        unit < p
+    }
+
+    #[inline]
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+
+    #[inline]
+    fn random_iter<T: Standard>(self) -> RandomIter<Self, T> {
+        RandomIter {
+            rng: self,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+/// Endless stream of `T` samples, consuming the generator.
+#[derive(Debug)]
+pub struct RandomIter<R: RngCore, T: Standard> {
+    rng: R,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<R: RngCore, T: Standard> Iterator for RandomIter<R, T> {
+    type Item = T;
+
+    #[inline]
+    fn next(&mut self) -> Option<T> {
+        Some(T::from_rng(&mut self.rng))
+    }
+}
+
+pub mod prelude {
+    pub use crate::{Rng, RngCore, SampleUniform, SeedableRng, SmallRng, Standard, StdRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let a: Vec<u64> = StdRng::seed_from_u64(42).random_iter().take(8).collect();
+        let b: Vec<u64> = StdRng::seed_from_u64(42).random_iter().take(8).collect();
+        let c: Vec<u64> = StdRng::seed_from_u64(43).random_iter().take(8).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(0usize..3);
+            assert!(w < 3);
+            let f = rng.random_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn random_bool_respects_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+}
