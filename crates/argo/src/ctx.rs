@@ -8,17 +8,17 @@
 use crate::machine::ArgoConfig;
 use carina::Dsm;
 use mem::GlobalAddr;
-use simnet::SimThread;
+use rma::{Endpoint, SimTransport, Transport};
 use std::sync::Arc;
 use vela::{ClockBarrier, HierBarrier};
 
 /// The handle each simulated thread receives in [`crate::ArgoMachine::run`].
-pub struct ArgoCtx {
-    /// The thread's virtual clock and placement. Public so workloads can
-    /// charge their compute costs directly.
-    pub thread: SimThread,
-    dsm: Arc<Dsm>,
-    barrier: Arc<HierBarrier>,
+pub struct ArgoCtx<T: Transport = SimTransport> {
+    /// The thread's virtual clock and placement (an RMA endpoint). Public
+    /// so workloads can charge their compute costs directly.
+    pub thread: T::Endpoint,
+    dsm: Arc<Dsm<T>>,
+    barrier: Arc<HierBarrier<T>>,
     control: Arc<ClockBarrier>,
     tid: usize,
     nthreads: usize,
@@ -26,11 +26,11 @@ pub struct ArgoCtx {
     measure_from: u64,
 }
 
-impl ArgoCtx {
+impl<T: Transport> ArgoCtx<T> {
     pub(crate) fn new(
-        thread: SimThread,
-        dsm: Arc<Dsm>,
-        barrier: Arc<HierBarrier>,
+        thread: T::Endpoint,
+        dsm: Arc<Dsm<T>>,
+        barrier: Arc<HierBarrier<T>>,
         control: Arc<ClockBarrier>,
         tid: usize,
         nthreads: usize,
@@ -74,7 +74,7 @@ impl ArgoCtx {
 
     /// The underlying DSM (for direct protocol access, e.g. Vela locks).
     #[inline]
-    pub fn dsm(&self) -> &Arc<Dsm> {
+    pub fn dsm(&self) -> &Arc<Dsm<T>> {
         &self.dsm
     }
 

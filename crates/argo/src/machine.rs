@@ -9,8 +9,9 @@
 
 use crate::ctx::ArgoCtx;
 use carina::{CarinaConfig, CoherenceSnapshot, Dsm};
-use simnet::{ClusterTopology, CostModel, Interconnect, NodeId, SimThread};
+use rma::{NativeTransport, SimTransport, Transport};
 use simnet::stats::NetStatsSnapshot;
+use simnet::{ClusterTopology, CostModel, Interconnect, NodeId};
 use std::sync::Arc;
 use vela::{ClockBarrier, HierBarrier};
 
@@ -70,10 +71,15 @@ impl ArgoConfig {
 #[derive(Debug, Clone)]
 pub struct RunReport<R> {
     /// Virtual cycles of the measured section (max over threads, from the
-    /// last `start_measurement` to region end).
+    /// last `start_measurement` to region end). Always 0 on the native
+    /// backend, which has no virtual clock.
     pub cycles: u64,
     /// The same in seconds at the model's CPU frequency.
     pub seconds: f64,
+    /// Wall-clock seconds of the whole region (spawn to last join). This is
+    /// the figure of merit on the native backend; on the simulator it only
+    /// measures how fast the simulation ran.
+    pub wall_seconds: f64,
     /// Per-thread return values, indexed by global thread id.
     pub results: Vec<R>,
     /// Coherence events during the region (including unmeasured prefix).
@@ -82,22 +88,48 @@ pub struct RunReport<R> {
     pub net: NetStatsSnapshot,
 }
 
-/// A simulated Argo cluster.
-pub struct ArgoMachine {
+/// An Argo cluster, generic over its RMA transport. The default transport
+/// is the virtual-time simulator; [`ArgoMachine::native`] builds the same
+/// machine on the wall-clock shared-memory backend.
+pub struct ArgoMachine<T: Transport = SimTransport> {
     config: ArgoConfig,
-    net: Arc<Interconnect>,
-    dsm: Arc<Dsm>,
+    net: Arc<T>,
+    dsm: Arc<Dsm<T>>,
+}
+
+fn check_shape(config: &ArgoConfig) {
+    assert!(
+        config.threads_per_node <= config.topology().cores_per_node(),
+        "more threads per node ({}) than cores ({})",
+        config.threads_per_node,
+        config.topology().cores_per_node()
+    );
 }
 
 impl ArgoMachine {
+    /// A simulated cluster (virtual-time interconnect).
     pub fn new(config: ArgoConfig) -> Arc<Self> {
-        assert!(
-            config.threads_per_node <= config.topology().cores_per_node(),
-            "more threads per node ({}) than cores ({})",
-            config.threads_per_node,
-            config.topology().cores_per_node()
-        );
+        check_shape(&config);
         let net = Interconnect::new(config.topology(), config.cost);
+        Self::on(config, net)
+    }
+}
+
+impl ArgoMachine<NativeTransport> {
+    /// The same machine on real shared memory: identical protocol engine,
+    /// no virtual clock, wall-clock timing in [`RunReport::wall_seconds`].
+    pub fn native(config: ArgoConfig) -> Arc<Self> {
+        check_shape(&config);
+        let net = NativeTransport::with_cost(config.topology(), config.cost);
+        Self::on(config, net)
+    }
+}
+
+impl<T: Transport> ArgoMachine<T> {
+    /// Build a machine on an existing fabric (any transport).
+    pub fn on(config: ArgoConfig, net: Arc<T>) -> Arc<Self> {
+        check_shape(&config);
+        assert_eq!(net.topology(), &config.topology(), "fabric/config shape mismatch");
         let dsm = Dsm::new(net.clone(), config.bytes_per_node, config.carina);
         Arc::new(ArgoMachine { config, net, dsm })
     }
@@ -106,11 +138,11 @@ impl ArgoMachine {
         &self.config
     }
 
-    pub fn dsm(&self) -> &Arc<Dsm> {
+    pub fn dsm(&self) -> &Arc<Dsm<T>> {
         &self.dsm
     }
 
-    pub fn net(&self) -> &Arc<Interconnect> {
+    pub fn net(&self) -> &Arc<T> {
         &self.net
     }
 
@@ -124,7 +156,7 @@ impl ArgoMachine {
     pub fn run<R, F>(self: &Arc<Self>, f: F) -> RunReport<R>
     where
         R: Send + 'static,
-        F: Fn(&mut ArgoCtx) -> R + Send + Sync + 'static,
+        F: Fn(&mut ArgoCtx<T>) -> R + Send + Sync + 'static,
     {
         let cfg = self.config;
         let topo = cfg.topology();
@@ -135,6 +167,7 @@ impl ArgoMachine {
         ));
         let control = Arc::new(ClockBarrier::new(total, 0));
         let f = Arc::new(f);
+        let wall_start = std::time::Instant::now();
         let mut handles = Vec::with_capacity(total);
         for tid in 0..total {
             let node = tid / cfg.threads_per_node;
@@ -151,7 +184,7 @@ impl ArgoMachine {
             handles.push(
                 builder
                     .spawn(move || {
-                        let thread = SimThread::new(loc, net);
+                        let thread = T::endpoint(&net, loc);
                         let mut ctx =
                             ArgoCtx::new(thread, dsm, barrier, control, tid, total, cfg);
                         let r = f(&mut ctx);
@@ -170,6 +203,7 @@ impl ArgoMachine {
         RunReport {
             cycles,
             seconds: cfg.cost.cycles_to_secs(cycles),
+            wall_seconds: wall_start.elapsed().as_secs_f64(),
             results: results.into_iter().map(|r| r.expect("missing result")).collect(),
             coherence: self.dsm.stats().snapshot(),
             net: self.net.stats().snapshot(),

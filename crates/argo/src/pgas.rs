@@ -9,23 +9,24 @@
 
 use carina::Dsm;
 use mem::GlobalAddr;
-use simnet::{NodeId, SimThread};
+use rma::{Endpoint, SimTransport, Transport};
+use simnet::NodeId;
 use std::sync::Arc;
 
 /// Fine-grained remote element size (UPC shared scalar access).
 const ELEM_BYTES: u64 = 8;
 
 /// PGAS access handle: same global memory, UPC cost semantics.
-pub struct PgasCtx {
-    dsm: Arc<Dsm>,
+pub struct PgasCtx<T: Transport = SimTransport> {
+    dsm: Arc<Dsm<T>>,
 }
 
-impl PgasCtx {
-    pub fn new(dsm: Arc<Dsm>) -> Self {
+impl<T: Transport> PgasCtx<T> {
+    pub fn new(dsm: Arc<Dsm<T>>) -> Self {
         PgasCtx { dsm }
     }
 
-    fn charge(&self, t: &mut SimThread, addr: GlobalAddr, write: bool) {
+    fn charge(&self, t: &mut T::Endpoint, addr: GlobalAddr, write: bool) {
         let home = self.dsm.home_of(addr);
         if home == t.node().0 {
             t.dram_access();
@@ -37,28 +38,28 @@ impl PgasCtx {
     }
 
     /// Fine-grained shared read (remote unless the element is local).
-    pub fn read_u64(&self, t: &mut SimThread, addr: GlobalAddr) -> u64 {
+    pub fn read_u64(&self, t: &mut T::Endpoint, addr: GlobalAddr) -> u64 {
         self.charge(t, addr, false);
         self.dsm.peek_u64(addr)
     }
 
-    pub fn write_u64(&self, t: &mut SimThread, addr: GlobalAddr, v: u64) {
+    pub fn write_u64(&self, t: &mut T::Endpoint, addr: GlobalAddr, v: u64) {
         self.charge(t, addr, true);
         self.dsm.poke_u64(addr, v);
     }
 
-    pub fn read_f64(&self, t: &mut SimThread, addr: GlobalAddr) -> f64 {
+    pub fn read_f64(&self, t: &mut T::Endpoint, addr: GlobalAddr) -> f64 {
         f64::from_bits(self.read_u64(t, addr))
     }
 
-    pub fn write_f64(&self, t: &mut SimThread, addr: GlobalAddr, v: f64) {
+    pub fn write_f64(&self, t: &mut T::Endpoint, addr: GlobalAddr, v: f64) {
         self.write_u64(t, addr, v.to_bits())
     }
 
     /// Bulk transfer of `words` elements starting at `addr` into local
     /// space ("programmers are advised to cast such pointers to local
     /// pointers" / move data in bulk). One message per home node touched.
-    pub fn bulk_read_f64(&self, t: &mut SimThread, addr: GlobalAddr, words: usize) -> Vec<f64> {
+    pub fn bulk_read_f64(&self, t: &mut T::Endpoint, addr: GlobalAddr, words: usize) -> Vec<f64> {
         let mut out = Vec::with_capacity(words);
         // Charge one transfer per home-node run of the interleaved pages.
         let mut i = 0usize;
@@ -82,7 +83,7 @@ impl PgasCtx {
     }
 
     /// Bulk write of local data back to shared space.
-    pub fn bulk_write_f64(&self, t: &mut SimThread, addr: GlobalAddr, data: &[f64]) {
+    pub fn bulk_write_f64(&self, t: &mut T::Endpoint, addr: GlobalAddr, data: &[f64]) {
         let mut i = 0usize;
         while i < data.len() {
             let a = addr.offset(i as u64 * 8);

@@ -9,19 +9,20 @@
 
 use crate::ctx::ArgoCtx;
 use carina::Dsm;
+use rma::{SimTransport, Transport};
 use simnet::NodeId;
 use std::sync::Arc;
 use vela::DsmGlobalLock;
 
 /// A cluster-wide mutex with pthreads semantics (SI on lock, SD on unlock).
-pub struct ArgoMutex {
-    dsm: Arc<Dsm>,
+pub struct ArgoMutex<T: Transport = SimTransport> {
+    dsm: Arc<Dsm<T>>,
     lock: Arc<DsmGlobalLock>,
 }
 
-impl ArgoMutex {
+impl<T: Transport> ArgoMutex<T> {
     /// Create a mutex whose lock word lives on `home`.
-    pub fn new(dsm: Arc<Dsm>, home: u16) -> Arc<Self> {
+    pub fn new(dsm: Arc<Dsm<T>>, home: u16) -> Arc<Self> {
         Arc::new(ArgoMutex {
             lock: DsmGlobalLock::new(NodeId(home)),
             dsm,
@@ -30,14 +31,14 @@ impl ArgoMutex {
 
     /// Acquire: take the global lock, then self-invalidate so this thread
     /// observes every earlier critical section's writes.
-    pub fn lock(&self, ctx: &mut ArgoCtx) -> ArgoMutexGuard<'_> {
+    pub fn lock(&self, ctx: &mut ArgoCtx<T>) -> ArgoMutexGuard<'_, T> {
         self.lock.acquire(&mut ctx.thread);
         self.dsm.si_fence(&mut ctx.thread);
         ArgoMutexGuard { mutex: self }
     }
 
     /// Run `f` as a critical section (lock, f, unlock).
-    pub fn with<R>(&self, ctx: &mut ArgoCtx, f: impl FnOnce(&mut ArgoCtx) -> R) -> R {
+    pub fn with<R>(&self, ctx: &mut ArgoCtx<T>, f: impl FnOnce(&mut ArgoCtx<T>) -> R) -> R {
         let guard = self.lock(ctx);
         let r = f(ctx);
         guard.unlock(ctx);
@@ -49,14 +50,14 @@ impl ArgoMutex {
 /// context (the context cannot be captured in the guard because the critical
 /// section itself needs it mutably).
 #[must_use = "the mutex stays locked until unlock(ctx) is called"]
-pub struct ArgoMutexGuard<'a> {
-    mutex: &'a ArgoMutex,
+pub struct ArgoMutexGuard<'a, T: Transport = SimTransport> {
+    mutex: &'a ArgoMutex<T>,
 }
 
-impl ArgoMutexGuard<'_> {
+impl<T: Transport> ArgoMutexGuard<'_, T> {
     /// Release: self-downgrade (publish this section's writes), then free
     /// the global lock.
-    pub fn unlock(self, ctx: &mut ArgoCtx) {
+    pub fn unlock(self, ctx: &mut ArgoCtx<T>) {
         self.mutex.dsm.sd_fence(&mut ctx.thread);
         self.mutex.lock.release(&mut ctx.thread);
     }

@@ -1,0 +1,105 @@
+//! Wall-clock workload benchmark on the native transport.
+//!
+//! Runs a set of Argo workloads end-to-end on [`ArgoMachine::native`] — the
+//! real shared-memory backend with no virtual clock — and emits one JSON
+//! record per (workload, cluster shape) with wall-clock timings. This is
+//! the native counterpart of `BENCH_simulator.json`: the simulator report
+//! gates simulation throughput, this one gates how fast the *protocol
+//! engine itself* executes on host threads.
+//!
+//! Usage: `bench_native [OUT.json]` (default `BENCH_native.json`). Scale
+//! with `NATIVE_BENCH_REPS` (default 3) and `FULL_SCALE=1` for the larger
+//! inputs.
+
+use argo::{ArgoConfig, ArgoMachine};
+use workloads::harness::Outcome;
+use workloads::{matmul, sor};
+
+struct Record {
+    id: String,
+    wall_seconds: Vec<f64>,
+    checksum: f64,
+    rdma_reads: u64,
+    rdma_writes: u64,
+    rdma_atomics: u64,
+}
+
+fn bench<F: Fn() -> Outcome>(id: &str, reps: usize, run: F) -> Record {
+    let mut wall = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let out = run();
+        wall.push(out.wall_seconds);
+        last = Some(out);
+    }
+    let out = last.expect("at least one rep");
+    assert_eq!(out.cycles, 0, "native runs must not carry virtual time");
+    Record {
+        id: id.to_string(),
+        wall_seconds: wall,
+        checksum: out.checksum,
+        rdma_reads: out.net.rdma_reads,
+        rdma_writes: out.net.rdma_writes,
+        rdma_atomics: out.net.rdma_atomics,
+    }
+}
+
+fn json_f64_list(xs: &[f64]) -> String {
+    let items: Vec<String> = xs.iter().map(|x| format!("{x:.6}")).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_native.json".into());
+    let reps: usize = std::env::var("NATIVE_BENCH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let full = std::env::var("FULL_SCALE").is_ok_and(|v| v == "1");
+    let (mm_n, sor_n, sor_iters) = if full { (256, 512, 10) } else { (96, 128, 6) };
+    let shapes: &[(usize, usize)] = &[(1, 4), (2, 2), (4, 2)];
+
+    let mut records = Vec::new();
+    for &(nodes, tpn) in shapes {
+        let p = matmul::MatmulParams { n: mm_n };
+        records.push(bench(
+            &format!("native/matmul_n{mm_n}/{nodes}x{tpn}"),
+            reps,
+            || matmul::run_argo(&ArgoMachine::native(ArgoConfig::small(nodes, tpn)), p),
+        ));
+        let p = sor::SorParams {
+            n: sor_n,
+            iterations: sor_iters,
+            omega: 1.25,
+        };
+        records.push(bench(
+            &format!("native/sor_n{sor_n}/{nodes}x{tpn}"),
+            reps,
+            || sor::run_argo(&ArgoMachine::native(ArgoConfig::small(nodes, tpn)), p),
+        ));
+    }
+
+    let mut body = String::from("{\n  \"backend\": \"native\",\n  \"benchmarks\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let mean = r.wall_seconds.iter().sum::<f64>() / r.wall_seconds.len() as f64;
+        let min = r.wall_seconds.iter().cloned().fold(f64::INFINITY, f64::min);
+        body.push_str(&format!(
+            "    {{\"id\": \"{}\", \"mean_wall_s\": {:.6}, \"min_wall_s\": {:.6}, \
+             \"reps_wall_s\": {}, \"checksum\": {:.6}, \
+             \"rdma_reads\": {}, \"rdma_writes\": {}, \"rdma_atomics\": {}}}{}\n",
+            r.id,
+            mean,
+            min,
+            json_f64_list(&r.wall_seconds),
+            r.checksum,
+            r.rdma_reads,
+            r.rdma_writes,
+            r.rdma_atomics,
+            if i + 1 == records.len() { "" } else { "," },
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &body).expect("write native bench report");
+    println!("{body}");
+    eprintln!("wrote {out_path}");
+}

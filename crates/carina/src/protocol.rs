@@ -30,7 +30,8 @@ use crate::directory::{DirCaches, Pyxis};
 use crate::stats::CoherenceStats;
 use crate::write_buffer::WriteBuffer;
 use mem::{GlobalAddr, GlobalAllocator, GlobalMemory, PageCache, PageNum, SlotGuard, PAGE_BYTES};
-use simnet::{Interconnect, NodeId, SimThread};
+use rma::{Endpoint, SimTransport, Transport};
+use simnet::NodeId;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -90,16 +91,20 @@ struct NodeState {
 
 /// The distributed shared memory: data plane plus the Carina protocol.
 ///
+/// Generic over the RMA [`Transport`] backend; defaults to the virtual-time
+/// [`SimTransport`]. All dispatch is static — instantiating with
+/// `rma::NativeTransport` runs the identical protocol at wall-clock speed.
+///
 /// ```
 /// use carina::{CarinaConfig, Dsm};
 /// use mem::{GlobalAddr, PAGE_BYTES};
-/// use simnet::{ClusterTopology, CostModel, Interconnect, NodeId, SimThread};
+/// use rma::{ClusterTopology, CostModel, NodeId, SimTransport, Transport};
 ///
 /// let topo = ClusterTopology::tiny(2);
-/// let net = Interconnect::new(topo, CostModel::paper_2011());
+/// let net = SimTransport::new(topo, CostModel::paper_2011());
 /// let dsm = Dsm::new(net.clone(), 1 << 20, CarinaConfig::default());
-/// let mut producer = SimThread::new(topo.loc(NodeId(0), 0), net.clone());
-/// let mut consumer = SimThread::new(topo.loc(NodeId(1), 0), net);
+/// let mut producer = SimTransport::endpoint(&net, topo.loc(NodeId(0), 0));
+/// let mut consumer = SimTransport::endpoint(&net, topo.loc(NodeId(1), 0));
 ///
 /// let addr = GlobalAddr(3 * PAGE_BYTES);
 /// dsm.write_u64(&mut producer, addr, 7);
@@ -108,22 +113,22 @@ struct NodeState {
 /// assert_eq!(dsm.read_u64(&mut consumer, addr), 7);
 /// ```
 #[derive(Debug)]
-pub struct Dsm {
+pub struct Dsm<T: Transport = SimTransport> {
     global: GlobalMemory,
     pyxis: Pyxis,
     dir_caches: DirCaches,
     allocator: GlobalAllocator,
-    net: Arc<Interconnect>,
+    net: Arc<T>,
     config: CarinaConfig,
     stats: CoherenceStats,
     tracer: crate::trace::Tracer,
     nodes: Vec<NodeState>,
 }
 
-impl Dsm {
+impl<T: Transport> Dsm<T> {
     /// Build a DSM over `net`'s topology with `bytes_per_node` of global
     /// memory contributed by each node.
-    pub fn new(net: Arc<Interconnect>, bytes_per_node: u64, config: CarinaConfig) -> Arc<Self> {
+    pub fn new(net: Arc<T>, bytes_per_node: u64, config: CarinaConfig) -> Arc<Self> {
         let n = net.topology().nodes;
         assert!(n <= 128, "Pyxis full maps support up to 128 nodes");
         let global = GlobalMemory::with_policy(n, bytes_per_node, config.home_policy);
@@ -155,7 +160,7 @@ impl Dsm {
     }
 
     #[inline]
-    pub fn net(&self) -> &Arc<Interconnect> {
+    pub fn net(&self) -> &Arc<T> {
         &self.net
     }
 
@@ -211,7 +216,7 @@ impl Dsm {
     // ------------------------------------------------------------------
 
     /// Read an aligned 64-bit word at `addr`.
-    pub fn read_u64(&self, t: &mut SimThread, addr: GlobalAddr) -> u64 {
+    pub fn read_u64(&self, t: &mut T::Endpoint, addr: GlobalAddr) -> u64 {
         let page = addr.page();
         let word = addr.word_index();
         let me = t.node().0;
@@ -241,7 +246,7 @@ impl Dsm {
     }
 
     /// Write an aligned 64-bit word at `addr`.
-    pub fn write_u64(&self, t: &mut SimThread, addr: GlobalAddr, value: u64) {
+    pub fn write_u64(&self, t: &mut T::Endpoint, addr: GlobalAddr, value: u64) {
         let page = addr.page();
         let word = addr.word_index();
         let me = t.node().0;
@@ -280,7 +285,7 @@ impl Dsm {
     /// caller must push it after releasing the slot lock.
     fn write_fault_locked(
         &self,
-        t: &mut SimThread,
+        t: &mut T::Endpoint,
         st: &mut SlotGuard<'_>,
         page: PageNum,
         me: u16,
@@ -304,12 +309,12 @@ impl Dsm {
     }
 
     /// Read an aligned f64.
-    pub fn read_f64(&self, t: &mut SimThread, addr: GlobalAddr) -> f64 {
+    pub fn read_f64(&self, t: &mut T::Endpoint, addr: GlobalAddr) -> f64 {
         f64::from_bits(self.read_u64(t, addr))
     }
 
     /// Write an aligned f64.
-    pub fn write_f64(&self, t: &mut SimThread, addr: GlobalAddr, value: f64) {
+    pub fn write_f64(&self, t: &mut T::Endpoint, addr: GlobalAddr, value: f64) {
         self.write_u64(t, addr, value.to_bits());
     }
 
@@ -320,7 +325,7 @@ impl Dsm {
     /// streaming words are charged [`STREAM_WORD_CYCLES`] each — modeling a
     /// loop whose per-element cost is hidden by hardware caches. Workload
     /// kernels use this for row-contiguous access.
-    pub fn read_u64_slice(&self, t: &mut SimThread, addr: GlobalAddr, out: &mut [u64]) {
+    pub fn read_u64_slice(&self, t: &mut T::Endpoint, addr: GlobalAddr, out: &mut [u64]) {
         let me = t.node().0;
         let mut i = 0usize;
         while i < out.len() {
@@ -368,7 +373,7 @@ impl Dsm {
     }
 
     /// Bulk write of consecutive words (see [`Self::read_u64_slice`]).
-    pub fn write_u64_slice(&self, t: &mut SimThread, addr: GlobalAddr, data: &[u64]) {
+    pub fn write_u64_slice(&self, t: &mut T::Endpoint, addr: GlobalAddr, data: &[u64]) {
         let me = t.node().0;
         let mut i = 0usize;
         while i < data.len() {
@@ -413,7 +418,7 @@ impl Dsm {
     }
 
     /// Bulk f64 read (see [`Self::read_u64_slice`]).
-    pub fn read_f64_slice(&self, t: &mut SimThread, addr: GlobalAddr, out: &mut [f64]) {
+    pub fn read_f64_slice(&self, t: &mut T::Endpoint, addr: GlobalAddr, out: &mut [f64]) {
         // Reuse the u64 path by reinterpreting the buffer in place: f64 and
         // u64 have identical size and alignment, and every u64 bit pattern
         // is a valid f64 (and vice versa), so no scratch copy is needed.
@@ -425,7 +430,7 @@ impl Dsm {
     }
 
     /// Bulk f64 write (see [`Self::write_u64_slice`]).
-    pub fn write_f64_slice(&self, t: &mut SimThread, addr: GlobalAddr, data: &[f64]) {
+    pub fn write_f64_slice(&self, t: &mut T::Endpoint, addr: GlobalAddr, data: &[f64]) {
         // Safety: as in `read_f64_slice`; shared borrow, read-only.
         let words =
             unsafe { std::slice::from_raw_parts(data.as_ptr().cast::<u64>(), data.len()) };
@@ -439,7 +444,7 @@ impl Dsm {
     /// Self-invalidation fence (acquire side): invalidate every cached page
     /// that Table 1 requires for the configured mode. Dirty pages are
     /// downgraded before invalidation so no write is lost.
-    pub fn si_fence(&self, t: &mut SimThread) {
+    pub fn si_fence(&self, t: &mut T::Endpoint) {
         let me = t.node().0;
         CoherenceStats::bump(&self.stats.shard(me).si_fences);
         self.tracer.record(t.now(), || crate::trace::Event::Fence {
@@ -494,7 +499,7 @@ impl Dsm {
 
     /// Self-downgrade fence (release side): drain the write buffer and wait
     /// for every posted write of this node to settle at its home.
-    pub fn sd_fence(&self, t: &mut SimThread) {
+    pub fn sd_fence(&self, t: &mut T::Endpoint) {
         let me = t.node().0;
         CoherenceStats::bump(&self.stats.shard(me).sd_fences);
         self.tracer.record(t.now(), || crate::trace::Event::Fence {
@@ -522,7 +527,7 @@ impl Dsm {
     /// serviced. The page stays dirty and private; the checkpoint cost is
     /// paid at *every* synchronization point — which is why Figure 8 shows
     /// naïve P/S performing no better than no classification at all.
-    fn naive_checkpoint_sweep(&self, t: &mut SimThread, me: u16) {
+    fn naive_checkpoint_sweep(&self, t: &mut T::Endpoint, me: u16) {
         let ns = &self.nodes[me as usize];
         // O(dirty): clean and empty slots owe the sweep nothing.
         for slot_idx in ns.cache.dirty_indices() {
@@ -571,7 +576,7 @@ impl Dsm {
     /// Handle a read miss on `page`: evict/flush the conflicting line if
     /// needed, then fetch the whole line from the pages' homes, registering
     /// as a reader of each fetched page.
-    fn read_miss(&self, t: &mut SimThread, st: &mut SlotGuard<'_>, page: PageNum, me: u16) {
+    fn read_miss(&self, t: &mut T::Endpoint, st: &mut SlotGuard<'_>, page: PageNum, me: u16) {
         CoherenceStats::bump(&self.stats.shard(me).read_misses);
         self.tracer
             .record(t.now(), || crate::trace::Event::ReadMiss { node: me, page });
@@ -653,7 +658,7 @@ impl Dsm {
     // ------------------------------------------------------------------
 
     /// Register as a reader of a page homed here (local, cheap).
-    fn register_reader_home(&self, t: &mut SimThread, page: PageNum, me: u16) {
+    fn register_reader_home(&self, t: &mut T::Endpoint, page: PageNum, me: u16) {
         let ns = &self.nodes[me as usize];
         if ns.reg_read.get(page) {
             return;
@@ -675,7 +680,7 @@ impl Dsm {
     /// no directory access was needed.
     fn register_reader_remote(
         &self,
-        t: &mut SimThread,
+        t: &mut T::Endpoint,
         page: PageNum,
         me: u16,
         home: u16,
@@ -686,7 +691,7 @@ impl Dsm {
             // data fetch (no separate atomic).
             return None;
         }
-        let timing = self.net.rdma_atomic(t.loc(), NodeId(home), start);
+        let timing = self.net.rdma_fetch_or(t.loc(), NodeId(home), start);
         let mut op_clock = timing.initiator_done;
         if self.config.active_directory {
             op_clock += self.net.cost().handler_cycles;
@@ -709,7 +714,7 @@ impl Dsm {
     /// Detect and service a P→S transition caused by our read.
     fn handle_read_transition(
         &self,
-        t: &mut SimThread,
+        t: &mut T::Endpoint,
         page: PageNum,
         me: u16,
         before: DirView,
@@ -735,7 +740,7 @@ impl Dsm {
     }
 
     /// Register as a writer of a page homed here.
-    fn register_writer_home(&self, t: &mut SimThread, page: PageNum, me: u16) {
+    fn register_writer_home(&self, t: &mut T::Endpoint, page: PageNum, me: u16) {
         if self.nodes[me as usize].reg_write.get(page) {
             return;
         }
@@ -745,12 +750,12 @@ impl Dsm {
 
     /// Register as a writer of a (remote) page; charges the directory
     /// atomic unless we are already registered.
-    fn register_writer(&self, t: &mut SimThread, page: PageNum, me: u16) {
+    fn register_writer(&self, t: &mut T::Endpoint, page: PageNum, me: u16) {
         if self.nodes[me as usize].reg_write.get(page) {
             return;
         }
         let home = self.global.home_of(page);
-        t.rdma_atomic(NodeId(home));
+        t.rdma_fetch_or(NodeId(home));
         if self.config.active_directory {
             t.compute(self.net.cost().handler_cycles);
             self.net
@@ -761,7 +766,7 @@ impl Dsm {
         self.register_writer_common(t, page, me);
     }
 
-    fn register_writer_common(&self, t: &mut SimThread, page: PageNum, me: u16) {
+    fn register_writer_common(&self, t: &mut T::Endpoint, page: PageNum, me: u16) {
         let before = self.pyxis.entry(page).or_writers(node_bit(me));
         let after = DirView {
             readers: before.readers,
@@ -821,7 +826,7 @@ impl Dsm {
     /// Remotely update `target`'s directory cache entry for `page` — the
     /// passive notification mechanism. A posted one-sided write; no code
     /// runs at `target`.
-    fn notify(&self, t: &mut SimThread, target: u16, page: PageNum, view: DirView, me: u16) {
+    fn notify(&self, t: &mut T::Endpoint, target: u16, page: PageNum, view: DirView, me: u16) {
         if target == me {
             return;
         }
@@ -851,7 +856,7 @@ impl Dsm {
 
     /// Downgrade `page` (write its dirty data back to home), locking its
     /// slot. Used by write-buffer overflow and fence drains.
-    fn downgrade(&self, t: &mut SimThread, page: PageNum, me: u16) {
+    fn downgrade(&self, t: &mut T::Endpoint, page: PageNum, me: u16) {
         let ns = &self.nodes[me as usize];
         let mut st = ns.cache.lock_slot(page);
         if st.tag != Some(ns.cache.line_of(page)) {
@@ -861,7 +866,7 @@ impl Dsm {
     }
 
     /// Downgrade with the slot lock already held.
-    fn downgrade_locked(&self, t: &mut SimThread, st: &mut SlotGuard<'_>, page: PageNum, me: u16) {
+    fn downgrade_locked(&self, t: &mut T::Endpoint, st: &mut SlotGuard<'_>, page: PageNum, me: u16) {
         let ns = &self.nodes[me as usize];
         let idx = ns.cache.index_in_line(page);
         if !st.pages[idx].valid || !st.pages[idx].dirty {
@@ -960,7 +965,7 @@ impl Dsm {
     /// pattern of the *next* phase. Unlike
     /// [`Self::reset_for_parallel_section`], all work is charged to the
     /// calling thread's clock and statistics are preserved.
-    pub fn decay_classification(&self, t: &mut SimThread) {
+    pub fn decay_classification(&self, t: &mut T::Endpoint) {
         let me = t.node().0;
         for (n, ns) in self.nodes.iter().enumerate() {
             for slot_idx in ns.cache.occupied_indices() {
@@ -998,7 +1003,7 @@ impl Dsm {
     /// [`Self::downgrade_locked`] but writing back on behalf of node
     /// `owner` (used by the collective decay, where one thread flushes
     /// every node's cache).
-    fn downgrade_as(&self, t: &mut SimThread, st: &mut SlotGuard<'_>, page: PageNum, owner: u16) {
+    fn downgrade_as(&self, t: &mut T::Endpoint, st: &mut SlotGuard<'_>, page: PageNum, owner: u16) {
         let ns = &self.nodes[owner as usize];
         let idx = ns.cache.index_in_line(page);
         if !st.pages[idx].valid || !st.pages[idx].dirty {

@@ -4,16 +4,14 @@
 
 use carina::{CarinaConfig, ClassificationMode, Dsm, PageClass, WriterClass};
 use mem::{CacheConfig, GlobalAddr, PAGE_BYTES};
-use simnet::{ClusterTopology, CostModel, Interconnect, NodeId, SimThread};
+use simnet::testkit::{thread, tiny_net};
+use simnet::{CostModel, SimThread};
 use std::sync::Arc;
 
 fn cluster(nodes: usize, config: CarinaConfig) -> (Arc<Dsm>, Vec<SimThread>) {
-    let topo = ClusterTopology::tiny(nodes);
-    let net = Interconnect::new(topo, CostModel::paper_2011());
+    let net = tiny_net(nodes);
     let dsm = Dsm::new(net.clone(), 4 << 20, config);
-    let threads = (0..nodes)
-        .map(|n| SimThread::new(topo.loc(NodeId(n as u16), 0), net.clone()))
-        .collect();
+    let threads = (0..nodes).map(|n| thread(&net, n as u16, 0)).collect();
     (dsm, threads)
 }
 
@@ -355,18 +353,17 @@ fn sw_no_diff_extension_skips_diff_transmission() {
 #[test]
 fn concurrent_threads_same_node_share_cache() {
     // Two OS threads on the same simulated node: one fills, the other hits.
-    let topo = ClusterTopology::tiny(2);
-    let net = Interconnect::new(topo, CostModel::paper_2011());
+    let net = tiny_net(2);
     let dsm = Dsm::new(net.clone(), 1 << 20, CarinaConfig::default());
     let a = addr_homed_at(2, 1, 0);
     let d1 = dsm.clone();
     let n1 = net.clone();
     let h = std::thread::spawn(move || {
-        let mut t = SimThread::new(topo.loc(NodeId(0), 0), n1);
+        let mut t = thread(&n1, 0, 0);
         d1.read_u64(&mut t, a)
     });
     h.join().unwrap();
-    let mut t2 = SimThread::new(topo.loc(NodeId(0), 1), net);
+    let mut t2 = thread(&net, 0, 1);
     dsm.read_u64(&mut t2, a);
     assert_eq!(dsm.stats().snapshot().read_misses, 1);
     assert_eq!(dsm.stats().snapshot().read_hits, 1);

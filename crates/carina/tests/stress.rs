@@ -5,6 +5,7 @@
 
 use carina::{CarinaConfig, Dsm};
 use mem::{CacheConfig, GlobalAddr, PAGE_BYTES};
+use simnet::testkit::tiny_net;
 use simnet::{ClusterTopology, CostModel, Interconnect, NodeId, SimThread};
 use std::sync::Arc;
 
@@ -12,8 +13,8 @@ fn cluster_with(
     nodes: usize,
     cfg: CarinaConfig,
 ) -> (Arc<Dsm>, Arc<Interconnect>, ClusterTopology) {
-    let topo = ClusterTopology::tiny(nodes);
-    let net = Interconnect::new(topo, CostModel::paper_2011());
+    let net = tiny_net(nodes);
+    let topo = *net.topology();
     let dsm = Dsm::new(net.clone(), 8 << 20, cfg);
     (dsm, net, topo)
 }

@@ -6,6 +6,7 @@
 
 use carina::{CarinaConfig, Dsm};
 use mem::{CacheConfig, GlobalAddr, PAGE_BYTES};
+use simnet::testkit::tiny_net;
 use simnet::{ClusterTopology, CostModel, Interconnect, NodeId, SimThread};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -21,8 +22,7 @@ fn concurrent_stripes_account_every_access() {
     const THREADS: u64 = 6;
     const ROUNDS: u64 = 12;
     const SLOTS: u64 = 40;
-    let topo = ClusterTopology::tiny(NODES as usize);
-    let net = Interconnect::new(topo, CostModel::paper_2011());
+    let net = tiny_net(NODES as usize);
     let cfg = CarinaConfig {
         write_buffer_pages: 4, // force overflow downgrades mid-round
         ..Default::default()
@@ -41,7 +41,7 @@ fn concurrent_stripes_account_every_access() {
             let net = net.clone();
             std::thread::spawn(move || {
                 let node = (id % NODES) as u16;
-                let mut t = SimThread::new(topo.loc(NodeId(node), (id / NODES) as usize), net);
+                let mut t = simnet::testkit::thread(&net, node, (id / NODES) as usize);
                 let mut remote_writes = 0u64;
                 for round in 0..ROUNDS {
                     for s in 0..SLOTS {

@@ -19,6 +19,12 @@
 //!
 //! This crate holds *state*; the coherence protocol that manipulates it
 //! (misses, classification, fences) lives in `carina`.
+//!
+//! The data plane is **backend-neutral**: pages, caches, and the directory
+//! live in host shared memory regardless of which `rma::Transport` the
+//! protocol runs over. The simulator backend moves no bytes — it only
+//! charges virtual time for the transfers these structures imply — and the
+//! native backend uses the very same storage at wall-clock speed.
 
 pub mod addr;
 pub mod alloc;

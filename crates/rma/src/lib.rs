@@ -1,0 +1,38 @@
+//! # rma — the pluggable RMA transport layer
+//!
+//! Carina's whole design rests on one observation (paper §3): every protocol
+//! action is *just an RMA verb* — a one-sided read, a posted write, a remote
+//! fetch-or / fetch-add / CAS — issued by the requesting node against memory
+//! it does not own, with no code running at the target. This crate cuts that
+//! observation into a seam: the [`Transport`] trait is the verb surface the
+//! paper assumes from MPI-3 RMA, and everything above it (carina's protocol,
+//! vela's synchronization, argo's machine, the workloads) is generic over it.
+//!
+//! Two backends ship:
+//!
+//! * [`SimTransport`] — the virtual-time simulator. It *is*
+//!   [`simnet::Interconnect`] (a type alias, with the trait implemented
+//!   directly on it), so the adapter adds zero state and zero arithmetic:
+//!   results are bit-for-bit identical to calling the interconnect directly.
+//!   `examples/determinism_probe.rs` holds that contract.
+//! * [`NativeTransport`] — a real shared-memory backend with **no virtual
+//!   clock**. Verbs complete instantly in virtual time (the data plane in
+//!   `mem` is host shared memory either way) and the identical protocol
+//!   executes on host threads at wall-clock speed, so workloads can be
+//!   benchmarked as real programs rather than simulated ones.
+//!
+//! Dispatch is static throughout: no `dyn Transport` exists on the read-hit
+//! or fence hot paths. Generic structs default their parameter to
+//! [`SimTransport`], so pre-existing call sites compile unchanged.
+
+pub mod native;
+pub mod sim;
+pub mod transport;
+
+pub use native::{NativeEndpoint, NativeTransport};
+pub use sim::{SimEndpoint, SimTransport};
+pub use transport::{Completion, Endpoint, Transport};
+
+// Kept re-exported so call sites migrating to the transport layer can name
+// the concrete simulator types through one crate.
+pub use simnet::{ClusterTopology, CostModel, Interconnect, NodeId, SimThread, ThreadLoc};

@@ -1,0 +1,257 @@
+//! The native backend: real shared memory, real threads, **no virtual
+//! clock**.
+//!
+//! Under the simulator, the data plane is already host shared memory — the
+//! interconnect only *charges time*. The native backend keeps the data plane
+//! and drops the time: every verb completes instantly (all [`Completion`]
+//! stamps are 0), `compute`/`merge`/`fault_trap` are no-ops, and the
+//! identical protocol engine executes on host threads at wall-clock speed.
+//! The mutual exclusion that makes this sound (directory word atomics, line
+//! seqlocks, real barrier condvars) is exactly the mutual exclusion the
+//! engine already uses to keep *parallel virtual-time* simulation coherent,
+//! so no protocol code changes between backends.
+//!
+//! Verb *accounting* is kept: [`NetStats`] and per-node counters tick the
+//! same way the simulator's do, which lets the cross-backend conformance
+//! suite compare traffic shapes, and lets wall-clock benchmarks report
+//! verbs/second.
+
+use crate::transport::{Completion, Endpoint, Transport};
+use simnet::stats::PerNodeStats;
+use simnet::{ClusterTopology, CostModel, NetStats, NodeId, PerNodeSnapshot, ThreadLoc};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// A fabric with no latency model: topology + verb accounting only.
+#[derive(Debug)]
+pub struct NativeTransport {
+    topology: ClusterTopology,
+    /// Reference constants. Protocol code reads sizes (`atomic_op_bytes`)
+    /// and classification knobs from here; the latency fields are never
+    /// charged to anything.
+    cost: CostModel,
+    stats: NetStats,
+    per_node: Vec<PerNodeStats>,
+}
+
+impl NativeTransport {
+    pub fn new(topology: ClusterTopology) -> Arc<Self> {
+        Self::with_cost(topology, CostModel::paper_2011())
+    }
+
+    /// Use specific reference constants (sizes still matter even when
+    /// latencies don't).
+    pub fn with_cost(topology: ClusterTopology, cost: CostModel) -> Arc<Self> {
+        Arc::new(NativeTransport {
+            topology,
+            cost,
+            stats: NetStats::default(),
+            per_node: (0..topology.nodes).map(|_| PerNodeStats::default()).collect(),
+        })
+    }
+
+    /// Account a transfer of `bytes` from `src` into `dst` (same shape as
+    /// the simulator's accounting: intra-node traffic is free).
+    fn account(&self, src: NodeId, dst: NodeId, bytes: u64) {
+        if src == dst {
+            return;
+        }
+        self.per_node[src.idx()]
+            .bytes_out
+            .fetch_add(bytes, Ordering::Relaxed);
+        let d = &self.per_node[dst.idx()];
+        d.bytes_in.fetch_add(bytes, Ordering::Relaxed);
+        d.ops_in.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn atomic(&self, from: ThreadLoc, target: NodeId) -> Completion {
+        self.stats.rdma_atomics.fetch_add(1, Ordering::Relaxed);
+        self.account(target, from.node, self.cost.atomic_op_bytes);
+        Completion::instant(0)
+    }
+}
+
+impl Transport for NativeTransport {
+    type Endpoint = NativeEndpoint;
+
+    fn endpoint(this: &Arc<Self>, loc: ThreadLoc) -> NativeEndpoint {
+        NativeEndpoint {
+            loc,
+            net: this.clone(),
+        }
+    }
+
+    #[inline]
+    fn topology(&self) -> &ClusterTopology {
+        &self.topology
+    }
+
+    #[inline]
+    fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    #[inline]
+    fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    fn per_node_stats(&self) -> Vec<PerNodeSnapshot> {
+        self.per_node.iter().map(|p| p.snapshot()).collect()
+    }
+
+    fn reset_per_node_stats(&self) {
+        for p in &self.per_node {
+            p.reset();
+        }
+    }
+
+    #[inline]
+    fn rdma_read(&self, from: ThreadLoc, target: NodeId, _at: u64, bytes: u64) -> Completion {
+        self.stats.rdma_reads.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.account(target, from.node, bytes);
+        Completion::instant(0)
+    }
+
+    #[inline]
+    fn rdma_write(&self, from: ThreadLoc, target: NodeId, _at: u64, bytes: u64) -> Completion {
+        self.stats.rdma_writes.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.account(from.node, target, bytes);
+        Completion::instant(0)
+    }
+
+    #[inline]
+    fn rdma_fetch_or(&self, from: ThreadLoc, target: NodeId, _at: u64) -> Completion {
+        self.atomic(from, target)
+    }
+
+    #[inline]
+    fn rdma_fetch_add(&self, from: ThreadLoc, target: NodeId, _at: u64) -> Completion {
+        self.atomic(from, target)
+    }
+
+    #[inline]
+    fn rdma_cas(&self, from: ThreadLoc, target: NodeId, _at: u64) -> Completion {
+        self.atomic(from, target)
+    }
+
+    /// Nothing queues: writes are plain stores, visible under the engine's
+    /// own synchronization by the time any fence asks.
+    #[inline]
+    fn drained_at(&self, _node: NodeId) -> u64 {
+        0
+    }
+}
+
+/// A native issue port: placement plus a handle to the fabric's counters.
+/// Carries no clock — `now()` is always 0.
+#[derive(Debug, Clone)]
+pub struct NativeEndpoint {
+    loc: ThreadLoc,
+    net: Arc<NativeTransport>,
+}
+
+impl NativeEndpoint {
+    #[inline]
+    pub fn net(&self) -> &Arc<NativeTransport> {
+        &self.net
+    }
+}
+
+impl Endpoint for NativeEndpoint {
+    #[inline]
+    fn loc(&self) -> ThreadLoc {
+        self.loc
+    }
+
+    #[inline]
+    fn now(&self) -> u64 {
+        0
+    }
+
+    #[inline]
+    fn now_secs(&self) -> f64 {
+        0.0
+    }
+
+    #[inline]
+    fn cost(&self) -> &CostModel {
+        self.net.cost()
+    }
+
+    #[inline]
+    fn compute(&mut self, _cycles: u64) {}
+
+    #[inline]
+    fn dram_access(&mut self) {}
+
+    #[inline]
+    fn fault_trap(&mut self) {}
+
+    #[inline]
+    fn merge(&mut self, _t: u64) {}
+
+    #[inline]
+    fn rdma_read(&mut self, target: NodeId, bytes: u64) {
+        Transport::rdma_read(&*self.net, self.loc, target, 0, bytes);
+    }
+
+    #[inline]
+    fn rdma_write(&mut self, target: NodeId, bytes: u64) -> u64 {
+        Transport::rdma_write(&*self.net, self.loc, target, 0, bytes).settled
+    }
+
+    #[inline]
+    fn rdma_fetch_or(&mut self, target: NodeId) {
+        self.net.atomic(self.loc, target);
+    }
+
+    #[inline]
+    fn rdma_fetch_add(&mut self, target: NodeId) {
+        self.net.atomic(self.loc, target);
+    }
+
+    #[inline]
+    fn rdma_cas(&mut self, target: NodeId) {
+        self.net.atomic(self.loc, target);
+    }
+
+    #[inline]
+    fn wait_drain(&mut self, _target: NodeId) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_are_instant_but_counted() {
+        let net = NativeTransport::new(ClusterTopology::tiny(2));
+        let loc = net.topology().loc(NodeId(0), 0);
+        let mut e = <NativeTransport as Transport>::endpoint(&net, loc);
+        e.compute(1_000_000);
+        e.rdma_read(NodeId(1), 4096);
+        let settled = Endpoint::rdma_write(&mut e, NodeId(1), 64);
+        e.rdma_fetch_or(NodeId(1));
+        assert_eq!(e.now(), 0);
+        assert_eq!(settled, 0);
+        let s = net.stats().snapshot();
+        assert_eq!((s.rdma_reads, s.rdma_writes, s.rdma_atomics), (1, 1, 1));
+        assert_eq!(s.bytes_read, 4096);
+        let per = net.per_node_stats();
+        // Read pulls into node 0; the atomic's footprint lands there too.
+        assert_eq!(per[0].bytes_in, 4096 + net.cost().atomic_op_bytes);
+        assert_eq!(per[1].bytes_in, 64); // write pushes into node 1
+    }
+
+    #[test]
+    fn intra_node_traffic_is_not_accounted() {
+        let net = NativeTransport::new(ClusterTopology::tiny(2));
+        let loc = net.topology().loc(NodeId(0), 0);
+        Transport::rdma_read(&*net, loc, NodeId(0), 0, 4096);
+        assert_eq!(net.per_node_stats()[0].bytes_in, 0);
+        assert_eq!(net.stats().snapshot().rdma_reads, 1);
+    }
+}

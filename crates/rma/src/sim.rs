@@ -1,0 +1,213 @@
+//! The simulated backend: [`Transport`] implemented **directly on**
+//! [`simnet::Interconnect`] and [`Endpoint`] directly on
+//! [`simnet::SimThread`].
+//!
+//! There is deliberately no adapter struct. Every trait method forwards to
+//! the inherent method of the same shape (all three atomics map onto
+//! [`Interconnect::rdma_atomic`], which is how the simulator already priced
+//! them), so a program driven through the trait performs the *same sequence
+//! of the same calls* as one driven through the concrete types — virtual-time
+//! results are bit-for-bit identical by construction, and
+//! `examples/determinism_probe.rs` checks it empirically.
+
+use crate::transport::{Completion, Endpoint, Transport};
+use simnet::{
+    ClusterTopology, CostModel, Interconnect, NetStats, NodeId, PerNodeSnapshot, SimThread,
+    ThreadLoc,
+};
+use std::sync::Arc;
+
+/// The virtual-time backend *is* the interconnect.
+pub type SimTransport = Interconnect;
+
+/// The virtual-time endpoint *is* the simulated thread.
+pub type SimEndpoint = SimThread;
+
+impl Transport for Interconnect {
+    type Endpoint = SimThread;
+
+    fn endpoint(this: &Arc<Self>, loc: ThreadLoc) -> SimThread {
+        SimThread::new(loc, this.clone())
+    }
+
+    #[inline]
+    fn topology(&self) -> &ClusterTopology {
+        Interconnect::topology(self)
+    }
+
+    #[inline]
+    fn cost(&self) -> &CostModel {
+        Interconnect::cost(self)
+    }
+
+    #[inline]
+    fn stats(&self) -> &NetStats {
+        Interconnect::stats(self)
+    }
+
+    fn per_node_stats(&self) -> Vec<PerNodeSnapshot> {
+        Interconnect::per_node_stats(self)
+    }
+
+    fn reset_per_node_stats(&self) {
+        Interconnect::reset_per_node_stats(self)
+    }
+
+    #[inline]
+    fn rdma_read(&self, from: ThreadLoc, target: NodeId, at: u64, bytes: u64) -> Completion {
+        Interconnect::rdma_read(self, from, target, at, bytes).into()
+    }
+
+    #[inline]
+    fn rdma_write(&self, from: ThreadLoc, target: NodeId, at: u64, bytes: u64) -> Completion {
+        Interconnect::rdma_write(self, from, target, at, bytes).into()
+    }
+
+    #[inline]
+    fn rdma_fetch_or(&self, from: ThreadLoc, target: NodeId, at: u64) -> Completion {
+        Interconnect::rdma_atomic(self, from, target, at).into()
+    }
+
+    #[inline]
+    fn rdma_fetch_add(&self, from: ThreadLoc, target: NodeId, at: u64) -> Completion {
+        Interconnect::rdma_atomic(self, from, target, at).into()
+    }
+
+    #[inline]
+    fn rdma_cas(&self, from: ThreadLoc, target: NodeId, at: u64) -> Completion {
+        Interconnect::rdma_atomic(self, from, target, at).into()
+    }
+
+    #[inline]
+    fn drained_at(&self, node: NodeId) -> u64 {
+        self.nic_drained_at(node)
+    }
+}
+
+impl Endpoint for SimThread {
+    #[inline]
+    fn loc(&self) -> ThreadLoc {
+        SimThread::loc(self)
+    }
+
+    #[inline]
+    fn now(&self) -> u64 {
+        SimThread::now(self)
+    }
+
+    #[inline]
+    fn now_secs(&self) -> f64 {
+        SimThread::now_secs(self)
+    }
+
+    #[inline]
+    fn cost(&self) -> &CostModel {
+        self.net().cost()
+    }
+
+    #[inline]
+    fn compute(&mut self, cycles: u64) {
+        SimThread::compute(self, cycles)
+    }
+
+    #[inline]
+    fn dram_access(&mut self) {
+        SimThread::dram_access(self)
+    }
+
+    #[inline]
+    fn fault_trap(&mut self) {
+        SimThread::fault_trap(self)
+    }
+
+    #[inline]
+    fn merge(&mut self, t: u64) {
+        SimThread::merge(self, t)
+    }
+
+    #[inline]
+    fn rdma_read(&mut self, target: NodeId, bytes: u64) {
+        SimThread::rdma_read(self, target, bytes)
+    }
+
+    #[inline]
+    fn rdma_write(&mut self, target: NodeId, bytes: u64) -> u64 {
+        SimThread::rdma_write(self, target, bytes)
+    }
+
+    #[inline]
+    fn rdma_fetch_or(&mut self, target: NodeId) {
+        SimThread::rdma_atomic(self, target)
+    }
+
+    #[inline]
+    fn rdma_fetch_add(&mut self, target: NodeId) {
+        SimThread::rdma_atomic(self, target)
+    }
+
+    #[inline]
+    fn rdma_cas(&mut self, target: NodeId) {
+        SimThread::rdma_atomic(self, target)
+    }
+
+    #[inline]
+    fn wait_drain(&mut self, target: NodeId) {
+        SimThread::wait_nic_drain(self, target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric() -> Arc<SimTransport> {
+        Interconnect::new(ClusterTopology::tiny(2), CostModel::paper_2011())
+    }
+
+    /// The trait path and the inherent path must be the same arithmetic.
+    #[test]
+    fn trait_verbs_match_inherent_verbs() {
+        let a = fabric();
+        let b = fabric();
+        let loc = a.topology().loc(NodeId(0), 0);
+        let t1 = Interconnect::rdma_read(&a, loc, NodeId(1), 0, 4096);
+        let c1 = Transport::rdma_read(&*b, loc, NodeId(1), 0, 4096);
+        assert_eq!(t1.initiator_done, c1.initiator_done);
+        assert_eq!(t1.settled, c1.settled);
+
+        let t2 = Interconnect::rdma_write(&a, loc, NodeId(1), 500, 64);
+        let c2 = Transport::rdma_write(&*b, loc, NodeId(1), 500, 64);
+        assert_eq!((t2.initiator_done, t2.settled), (c2.initiator_done, c2.settled));
+
+        let t3 = Interconnect::rdma_atomic(&a, loc, NodeId(1), 900);
+        let c3 = Transport::rdma_fetch_or(&*b, loc, NodeId(1), 900);
+        assert_eq!((t3.initiator_done, t3.settled), (c3.initiator_done, c3.settled));
+    }
+
+    /// All three atomic flavors price identically (the simulator models one
+    /// "remote atomic" footprint). Fresh fabrics so NIC timelines don't
+    /// serialize the probes.
+    #[test]
+    fn atomic_flavors_price_identically() {
+        let loc = ClusterTopology::tiny(2).loc(NodeId(0), 0);
+        let or = Transport::rdma_fetch_or(&*fabric(), loc, NodeId(1), 0);
+        let add = Transport::rdma_fetch_add(&*fabric(), loc, NodeId(1), 0);
+        let cas = Transport::rdma_cas(&*fabric(), loc, NodeId(1), 0);
+        assert_eq!(or, add);
+        assert_eq!(add, cas);
+    }
+
+    #[test]
+    fn endpoint_is_a_sim_thread() {
+        let net = fabric();
+        let loc = net.topology().loc(NodeId(0), 0);
+        let mut e = <SimTransport as Transport>::endpoint(&net, loc);
+        Endpoint::compute(&mut e, 100);
+        Endpoint::rdma_read(&mut e, NodeId(1), 4096);
+        let c = net.cost();
+        assert_eq!(
+            Endpoint::now(&e),
+            100 + 2 * c.network_latency + c.transfer_cycles(4096)
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! The verb surface: [`Transport`] (shared fabric), [`Endpoint`] (per-thread
+//! issue port), and [`Completion`] (timing handle).
+//!
+//! The split mirrors MPI-3 RMA and InfiniBand verbs: a process-wide fabric
+//! object knows topology, cost constants, and global accounting; each thread
+//! owns an endpoint through which it issues verbs and on which any notion of
+//! "time" (virtual cycles for the simulator, nothing for native) accrues.
+
+use simnet::net::VerbTiming;
+use simnet::{ClusterTopology, CostModel, NetStats, NodeId, PerNodeSnapshot, ThreadLoc};
+use std::fmt::Debug;
+use std::sync::Arc;
+
+/// Outcome of a verb: when the initiator may continue and when the payload is
+/// settled at the target.
+///
+/// Reads and atomics block the initiator until the response returns, so both
+/// fields coincide. Posted writes unblock the initiator as soon as the payload
+/// is handed to the NIC; `settled` is the later instant at which the data is
+/// globally visible — SD fences collect the max of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Completion {
+    /// Time at which the initiating thread unblocks.
+    pub initiator_done: u64,
+    /// Time at which the payload is fully deposited at the target.
+    pub settled: u64,
+}
+
+impl Completion {
+    /// A verb that is over the instant it is issued (native backend).
+    #[inline]
+    pub fn instant(at: u64) -> Self {
+        Completion {
+            initiator_done: at,
+            settled: at,
+        }
+    }
+}
+
+impl From<VerbTiming> for Completion {
+    #[inline]
+    fn from(t: VerbTiming) -> Self {
+        Completion {
+            initiator_done: t.initiator_done,
+            settled: t.settled,
+        }
+    }
+}
+
+/// A backend fabric: the process-wide half of the transport.
+///
+/// All verbs are *one-sided*: no code executes at the target node. The data
+/// plane (actually moving bytes) lives in the `mem` crate and is host shared
+/// memory under every backend; a `Transport` implementation decides only what
+/// the verb *costs* and how it is accounted.
+///
+/// `at` parameters and returned [`Completion`]s are in the backend's own time
+/// base — virtual cycles for [`crate::SimTransport`], always zero for
+/// [`crate::NativeTransport`].
+pub trait Transport: Send + Sync + Debug + 'static {
+    /// The per-thread issue port paired with this fabric.
+    type Endpoint: Endpoint;
+
+    /// Open an endpoint for the thread placed at `loc`.
+    ///
+    /// An associated function rather than a method because endpoints hold an
+    /// owning handle to the fabric (`&Arc<Self>` is not a stable receiver).
+    fn endpoint(this: &Arc<Self>, loc: ThreadLoc) -> Self::Endpoint
+    where
+        Self: Sized;
+
+    /// Cluster shape this fabric spans.
+    fn topology(&self) -> &ClusterTopology;
+
+    /// Cost constants. Meaningful timing for the simulator; reference
+    /// constants (handler costs, byte sizes) for native.
+    fn cost(&self) -> &CostModel;
+
+    /// Global verb counters, shared by all endpoints.
+    fn stats(&self) -> &NetStats;
+
+    /// Per-node traffic snapshot (who is the hotspot?).
+    fn per_node_stats(&self) -> Vec<PerNodeSnapshot>;
+
+    /// Reset the per-node counters ([`NetStats::reset`] resets the global
+    /// ones).
+    fn reset_per_node_stats(&self);
+
+    /// Blocking one-sided read of `bytes` from `target`'s memory.
+    fn rdma_read(&self, from: ThreadLoc, target: NodeId, at: u64, bytes: u64) -> Completion;
+
+    /// Posted one-sided write of `bytes` into `target`'s memory. The
+    /// initiator unblocks at `initiator_done`; the payload is visible at
+    /// `settled`.
+    fn rdma_write(&self, from: ThreadLoc, target: NodeId, at: u64, bytes: u64) -> Completion;
+
+    /// Blocking remote fetch-or on a directory word (reader/writer
+    /// registration, paper §3.2).
+    fn rdma_fetch_or(&self, from: ThreadLoc, target: NodeId, at: u64) -> Completion;
+
+    /// Blocking remote fetch-add on a synchronization word (ticket locks,
+    /// barrier counters).
+    fn rdma_fetch_add(&self, from: ThreadLoc, target: NodeId, at: u64) -> Completion;
+
+    /// Blocking remote compare-and-swap on a synchronization word.
+    fn rdma_cas(&self, from: ThreadLoc, target: NodeId, at: u64) -> Completion;
+
+    /// Time at which `node`'s NIC has drained everything posted so far; the
+    /// completion side of an SD fence. Always 0 on backends without queues.
+    fn drained_at(&self, node: NodeId) -> u64;
+}
+
+/// A per-thread issue port: placement, the thread's time base, and verb
+/// issue methods that advance it.
+///
+/// Each OS thread owns exactly one endpoint and mutates it without sharing;
+/// time crosses threads only as plain `u64` stamps through synchronization
+/// structures (which [`Endpoint::merge`] folds back in).
+pub trait Endpoint: Send + Clone + Debug + 'static {
+    /// Placement of this thread in the cluster topology.
+    fn loc(&self) -> ThreadLoc;
+
+    /// The node this thread runs on.
+    #[inline]
+    fn node(&self) -> NodeId {
+        self.loc().node
+    }
+
+    /// Current time on this endpoint's time base (virtual cycles for the
+    /// simulator, always 0 for native).
+    fn now(&self) -> u64;
+
+    /// [`Endpoint::now`] in seconds at the cost model's CPU frequency.
+    fn now_secs(&self) -> f64;
+
+    /// The fabric's cost constants.
+    fn cost(&self) -> &CostModel;
+
+    /// Charge `cycles` of local computation.
+    fn compute(&mut self, cycles: u64);
+
+    /// Charge one local DRAM access (page-cache hit missing CPU caches).
+    fn dram_access(&mut self);
+
+    /// Charge a page-fault trap into the DSM runtime (models SIGSEGV entry).
+    fn fault_trap(&mut self);
+
+    /// Fold in an externally observed timestamp: this thread cannot proceed
+    /// before `t` (lock hand-off, barrier exit, fence settle point).
+    fn merge(&mut self, t: u64);
+
+    /// Blocking one-sided read of `bytes` from `target`'s memory.
+    fn rdma_read(&mut self, target: NodeId, bytes: u64);
+
+    /// Posted one-sided write of `bytes` to `target`'s memory; returns the
+    /// settle stamp (SD fences collect the max of these).
+    fn rdma_write(&mut self, target: NodeId, bytes: u64) -> u64;
+
+    /// Blocking remote fetch-or (directory registration).
+    fn rdma_fetch_or(&mut self, target: NodeId);
+
+    /// Blocking remote fetch-add (tickets, counters).
+    fn rdma_fetch_add(&mut self, target: NodeId);
+
+    /// Blocking remote compare-and-swap.
+    fn rdma_cas(&mut self, target: NodeId);
+
+    /// Block until `target`'s NIC has drained everything posted so far.
+    fn wait_drain(&mut self, target: NodeId);
+}

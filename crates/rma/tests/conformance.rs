@@ -1,0 +1,164 @@
+//! Backend-conformance suite: every `Transport` implementation must satisfy
+//! the same verb contract, whatever its notion of time.
+//!
+//! Each check is written once, generically, and instantiated against both
+//! shipped backends. The contract deliberately avoids asserting *specific*
+//! latencies (the simulator charges the paper's constants, the native
+//! backend charges nothing); it pins down what protocol code is allowed to
+//! rely on:
+//!
+//! - completions are ordered: `settled >= initiator_done`;
+//! - verbs tick the shared [`NetStats`] counters and the per-node tables;
+//! - per-node accounting conserves bytes (every remote byte out lands in);
+//! - intra-node traffic is free (no per-node accounting);
+//! - all three atomic flavors count as `rdma_atomics`;
+//! - endpoints report the placement they were built with, their clock never
+//!   runs backwards, and posted writes settle no earlier than issue time.
+
+use rma::{ClusterTopology, Endpoint, NativeTransport, NodeId, Transport};
+use rma::{CostModel, Interconnect, SimTransport};
+use std::sync::Arc;
+
+fn completions_are_ordered<T: Transport>(net: &Arc<T>) {
+    let loc = net.topology().loc(NodeId(0), 0);
+    let r = net.rdma_read(loc, NodeId(1), 0, 4096);
+    assert!(r.settled >= r.initiator_done, "read settle before unblock");
+    let w = net.rdma_write(loc, NodeId(1), 0, 4096);
+    assert!(w.settled >= w.initiator_done, "write settle before unblock");
+    for c in [
+        net.rdma_fetch_or(loc, NodeId(1), 0),
+        net.rdma_fetch_add(loc, NodeId(1), 0),
+        net.rdma_cas(loc, NodeId(1), 0),
+    ] {
+        assert!(c.settled >= c.initiator_done, "atomic settle before unblock");
+    }
+}
+
+fn verbs_are_counted<T: Transport>(net: &Arc<T>) {
+    let loc = net.topology().loc(NodeId(0), 0);
+    let before = net.stats().snapshot();
+    net.rdma_read(loc, NodeId(1), 0, 4096);
+    net.rdma_write(loc, NodeId(1), 0, 128);
+    net.rdma_fetch_or(loc, NodeId(1), 0);
+    net.rdma_fetch_add(loc, NodeId(1), 0);
+    net.rdma_cas(loc, NodeId(1), 0);
+    let after = net.stats().snapshot();
+    assert_eq!(after.rdma_reads - before.rdma_reads, 1);
+    assert_eq!(after.rdma_writes - before.rdma_writes, 1);
+    assert_eq!(after.rdma_atomics - before.rdma_atomics, 3);
+    assert_eq!(after.bytes_read - before.bytes_read, 4096);
+    assert_eq!(after.bytes_written - before.bytes_written, 128);
+}
+
+fn per_node_accounting_conserves<T: Transport>(net: &Arc<T>) {
+    net.reset_per_node_stats();
+    let nodes = net.topology().nodes;
+    for src in 0..nodes as u16 {
+        for dst in 0..nodes as u16 {
+            let loc = net.topology().loc(NodeId(src), 0);
+            net.rdma_write(loc, NodeId(dst), 0, 1000 + dst as u64);
+        }
+    }
+    let per = net.per_node_stats();
+    let total_in: u64 = per.iter().map(|p| p.bytes_in).sum();
+    let total_out: u64 = per.iter().map(|p| p.bytes_out).sum();
+    assert_eq!(total_in, total_out, "bytes leaked in per-node accounting");
+    assert!(total_in > 0, "remote transfers must be accounted");
+    net.reset_per_node_stats();
+}
+
+fn intra_node_traffic_is_free<T: Transport>(net: &Arc<T>) {
+    net.reset_per_node_stats();
+    let loc = net.topology().loc(NodeId(0), 0);
+    net.rdma_read(loc, NodeId(0), 0, 4096);
+    net.rdma_write(loc, NodeId(0), 0, 4096);
+    let per = net.per_node_stats();
+    assert_eq!(per[0].bytes_in, 0, "intra-node read accounted");
+    assert_eq!(per[0].bytes_out, 0, "intra-node write accounted");
+    net.reset_per_node_stats();
+}
+
+fn endpoints_carry_placement_and_monotone_clocks<T: Transport>(net: &Arc<T>) {
+    let loc = net.topology().loc(NodeId(1), 2);
+    let mut e = T::endpoint(net, loc);
+    assert_eq!(e.loc(), loc);
+    assert_eq!(e.node(), NodeId(1));
+    let mut last = e.now();
+    e.compute(500);
+    assert!(e.now() >= last, "compute reversed the clock");
+    last = e.now();
+    e.dram_access();
+    e.fault_trap();
+    assert!(e.now() >= last, "local ops reversed the clock");
+    last = e.now();
+    e.rdma_read(NodeId(0), 4096);
+    let settled = e.rdma_write(NodeId(0), 64);
+    assert!(e.now() >= last, "verbs reversed the clock");
+    assert!(settled >= last, "posted write settled before issue");
+    e.rdma_fetch_or(NodeId(0));
+    e.rdma_fetch_add(NodeId(0));
+    e.rdma_cas(NodeId(0));
+    last = e.now();
+    e.merge(last + 1_000);
+    assert!(e.now() >= last, "merge reversed the clock");
+    e.wait_drain(NodeId(0)); // must not panic or reverse time
+    assert!(e.now() >= last);
+}
+
+fn endpoint_clones_share_the_fabric<T: Transport>(net: &Arc<T>) {
+    let loc = net.topology().loc(NodeId(0), 0);
+    let e = T::endpoint(net, loc);
+    let mut e2 = e.clone();
+    let before = net.stats().snapshot().rdma_reads;
+    e2.rdma_read(NodeId(1), 64);
+    assert_eq!(net.stats().snapshot().rdma_reads, before + 1);
+}
+
+fn run_all<T: Transport>(net: Arc<T>) {
+    completions_are_ordered(&net);
+    verbs_are_counted(&net);
+    per_node_accounting_conserves(&net);
+    intra_node_traffic_is_free(&net);
+    endpoints_carry_placement_and_monotone_clocks(&net);
+    endpoint_clones_share_the_fabric(&net);
+}
+
+#[test]
+fn sim_transport_meets_the_contract() {
+    let topo = ClusterTopology::paper(4);
+    run_all::<SimTransport>(Interconnect::new(topo, CostModel::paper_2011()));
+}
+
+#[test]
+fn native_transport_meets_the_contract() {
+    let topo = ClusterTopology::paper(4);
+    run_all(NativeTransport::new(topo));
+}
+
+/// The simulator additionally promises real latencies: remote verbs cost at
+/// least a network round trip, which the generic contract cannot ask for.
+#[test]
+fn sim_transport_charges_latency() {
+    let topo = ClusterTopology::tiny(2);
+    let net = Interconnect::new(topo, CostModel::paper_2011());
+    let c = *Transport::cost(&*net);
+    let loc = net.topology().loc(NodeId(0), 0);
+    let r = Transport::rdma_read(&*net, loc, NodeId(1), 0, 4096);
+    assert!(r.initiator_done >= 2 * c.network_latency);
+}
+
+/// The native backend additionally promises zero time: completions are
+/// always instant and endpoint clocks pinned at zero.
+#[test]
+fn native_transport_is_timeless() {
+    let topo = ClusterTopology::tiny(2);
+    let net = NativeTransport::new(topo);
+    let loc = net.topology().loc(NodeId(0), 0);
+    let r = net.rdma_read(loc, NodeId(1), 0, 4096);
+    assert_eq!((r.initiator_done, r.settled), (0, 0));
+    let mut e = <NativeTransport as Transport>::endpoint(&net, loc);
+    e.compute(1_000_000);
+    e.merge(u64::MAX / 2);
+    assert_eq!(e.now(), 0);
+    assert_eq!(net.drained_at(NodeId(0)), 0);
+}

@@ -16,6 +16,12 @@ use std::sync::Arc;
 /// one and mutates it without sharing. Clocks cross threads only as plain
 /// `u64` timestamps through synchronization structures.
 ///
+/// `SimThread` is the simulator backend's implementation of the `rma`
+/// crate's `Endpoint` trait (re-exported there as `SimEndpoint`); protocol
+/// code written against `rma::Transport` receives one of these when it runs
+/// on the simulator. Constructing one directly is equivalent to
+/// `SimTransport::endpoint(&net, loc)`:
+///
 /// ```
 /// use simnet::{ClusterTopology, CostModel, Interconnect, NodeId, SimThread};
 ///
@@ -124,12 +130,9 @@ impl SimThread {
 mod tests {
     use super::*;
     use crate::cost::CostModel;
-    use crate::topology::ClusterTopology;
 
     fn thread_on(node: u16) -> SimThread {
-        let topo = ClusterTopology::tiny(4);
-        let net = Interconnect::new(topo, CostModel::paper_2011());
-        SimThread::new(topo.loc(NodeId(node), 0), net)
+        crate::testkit::thread(&crate::testkit::tiny_net(4), node, 0)
     }
 
     #[test]

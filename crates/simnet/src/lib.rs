@@ -28,6 +28,7 @@ pub mod cost;
 pub mod msg;
 pub mod net;
 pub mod stats;
+pub mod testkit;
 pub mod topology;
 
 pub use clock::SimThread;

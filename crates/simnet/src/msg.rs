@@ -199,11 +199,11 @@ impl MsgWorld {
 mod tests {
     use super::*;
     use crate::cost::CostModel;
-    use crate::topology::{ClusterTopology, NodeId};
+    use crate::topology::NodeId;
 
     fn world(n: usize) -> (Arc<MsgWorld>, Vec<SimThread>) {
-        let topo = ClusterTopology::tiny(n);
-        let net = Interconnect::new(topo, CostModel::paper_2011());
+        let net = crate::testkit::tiny_net(n);
+        let topo = *net.topology();
         let locs: Vec<_> = (0..n).map(|i| topo.loc(NodeId(i as u16), 0)).collect();
         let threads = locs
             .iter()

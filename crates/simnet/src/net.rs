@@ -257,8 +257,8 @@ mod tests {
     use super::*;
 
     fn setup() -> (Arc<Interconnect>, ThreadLoc, ThreadLoc) {
-        let topo = ClusterTopology::tiny(4);
-        let net = Interconnect::new(topo, CostModel::paper_2011());
+        let net = crate::testkit::tiny_net(4);
+        let topo = *net.topology();
         let a = topo.loc(NodeId(0), 0);
         let b = topo.loc(NodeId(1), 0);
         (net, a, b)

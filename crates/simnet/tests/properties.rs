@@ -2,15 +2,14 @@
 //! semantics, and cost-model algebra must hold for arbitrary inputs.
 
 use proptest::prelude::*;
-use simnet::{ClusterTopology, CostModel, Interconnect, NodeId, SimThread};
+use simnet::testkit::{thread, tiny_net};
+use simnet::{CostModel, NodeId};
 
 proptest! {
     /// A thread's clock never goes backwards under any op sequence.
     #[test]
     fn prop_clock_monotone(ops in proptest::collection::vec((0u8..5, 0u64..10_000), 1..100)) {
-        let topo = ClusterTopology::tiny(4);
-        let net = Interconnect::new(topo, CostModel::paper_2011());
-        let mut t = SimThread::new(topo.loc(NodeId(0), 0), net);
+        let mut t = thread(&tiny_net(4), 0, 0);
         let mut last = 0;
         for (kind, arg) in ops {
             match kind {
@@ -46,9 +45,8 @@ proptest! {
     /// reads settle exactly when the initiator unblocks.
     #[test]
     fn prop_settle_ordering(bytes in 1u64..1_000_000, start in 0u64..1_000_000) {
-        let topo = ClusterTopology::tiny(2);
-        let net = Interconnect::new(topo, CostModel::paper_2011());
-        let loc = topo.loc(NodeId(0), 0);
+        let net = tiny_net(2);
+        let loc = net.topology().loc(NodeId(0), 0);
         let w = net.rdma_write(loc, NodeId(1), start, bytes);
         prop_assert!(w.settled >= w.initiator_done);
         let r = net.rdma_read(loc, NodeId(1), start, bytes);
@@ -61,10 +59,9 @@ proptest! {
     fn prop_per_node_accounting_conserves(
         transfers in proptest::collection::vec((0u16..4, 0u16..4, 1u64..100_000), 1..50)
     ) {
-        let topo = ClusterTopology::tiny(4);
-        let net = Interconnect::new(topo, CostModel::paper_2011());
+        let net = tiny_net(4);
         for (src, dst, bytes) in transfers {
-            let loc = topo.loc(NodeId(src), 0);
+            let loc = net.topology().loc(NodeId(src), 0);
             let _ = net.rdma_write(loc, NodeId(dst), 0, bytes);
         }
         let per = net.per_node_stats();

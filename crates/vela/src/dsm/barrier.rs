@@ -8,7 +8,7 @@
 
 use carina::Dsm;
 use parking_lot::{Condvar, Mutex};
-use simnet::SimThread;
+use rma::{Endpoint, SimTransport, Transport};
 use std::sync::Arc;
 
 struct BarrierState {
@@ -48,7 +48,7 @@ impl ClockBarrier {
     }
 
     /// Wait for all participants; merge clocks.
-    pub fn wait(&self, t: &mut SimThread) {
+    pub fn wait<E: Endpoint>(&self, t: &mut E) {
         self.wait_leader(t, |_| {});
     }
 
@@ -56,7 +56,7 @@ impl ClockBarrier {
     /// (with the merged clock) before everyone is released with the
     /// leader's final clock. This is how the hierarchical barrier performs
     /// its one-per-node fences.
-    pub fn wait_leader(&self, t: &mut SimThread, leader: impl FnOnce(&mut SimThread)) {
+    pub fn wait_leader<E: Endpoint>(&self, t: &mut E, leader: impl FnOnce(&mut E)) {
         let mut st = self.state.lock();
         let my_gen = st.generation;
         st.entered += 1;
@@ -84,16 +84,16 @@ impl ClockBarrier {
 }
 
 /// Argo's hierarchical barrier over a DSM cluster.
-pub struct HierBarrier {
-    dsm: Arc<Dsm>,
+pub struct HierBarrier<T: Transport = SimTransport> {
+    dsm: Arc<Dsm<T>>,
     node_barriers: Vec<ClockBarrier>,
     global: Arc<ClockBarrier>,
 }
 
-impl HierBarrier {
+impl<T: Transport> HierBarrier<T> {
     /// `threads_per_node[i]` = participating threads on node `i`. Nodes
     /// with zero threads do not participate.
-    pub fn new(dsm: Arc<Dsm>, threads_per_node: &[usize]) -> Self {
+    pub fn new(dsm: Arc<Dsm<T>>, threads_per_node: &[usize]) -> Self {
         let cost = dsm.net().cost();
         let active_nodes = threads_per_node.iter().filter(|&&n| n > 0).count();
         assert!(active_nodes > 0, "barrier needs at least one active node");
@@ -112,7 +112,7 @@ impl HierBarrier {
 
     /// Wait at the barrier. DRF programs may rely on: every write before
     /// the barrier (on any thread) is visible to every read after it.
-    pub fn wait(&self, t: &mut SimThread) {
+    pub fn wait(&self, t: &mut T::Endpoint) {
         let node = t.node().idx();
         let dsm = &self.dsm;
         let global = &self.global;
@@ -129,19 +129,18 @@ mod tests {
     use super::*;
     use carina::CarinaConfig;
     use mem::{GlobalAddr, PAGE_BYTES};
-    use simnet::{ClusterTopology, CostModel, Interconnect, NodeId};
+    use simnet::testkit::{thread, tiny_net};
 
     #[test]
     fn clock_barrier_merges_to_max_plus_cost() {
         let b = Arc::new(ClockBarrier::new(3, 100));
-        let topo = ClusterTopology::tiny(1);
-        let net = Interconnect::new(topo, CostModel::paper_2011());
+        let net = tiny_net(1);
         let handles: Vec<_> = (0..3)
             .map(|i| {
                 let b = b.clone();
                 let net = net.clone();
                 std::thread::spawn(move || {
-                    let mut t = SimThread::new(topo.loc(NodeId(0), 0), net);
+                    let mut t = thread(&net, 0, 0);
                     t.compute((i as u64 + 1) * 500);
                     b.wait(&mut t);
                     t.now()
@@ -155,9 +154,7 @@ mod tests {
     #[test]
     fn clock_barrier_is_reusable() {
         let b = ClockBarrier::new(1, 10);
-        let topo = ClusterTopology::tiny(1);
-        let net = Interconnect::new(topo, CostModel::paper_2011());
-        let mut t = SimThread::new(topo.loc(NodeId(0), 0), net);
+        let mut t = thread(&tiny_net(1), 0, 0);
         b.wait(&mut t);
         b.wait(&mut t);
         assert_eq!(t.now(), 20);
@@ -167,8 +164,7 @@ mod tests {
     fn hier_barrier_publishes_writes() {
         // Two nodes, one thread each: node 0 writes, both barrier, node 1
         // must read the new value.
-        let topo = ClusterTopology::tiny(2);
-        let net = Interconnect::new(topo, CostModel::paper_2011());
+        let net = tiny_net(2);
         let dsm = carina::Dsm::new(net.clone(), 1 << 20, CarinaConfig::default());
         let barrier = Arc::new(HierBarrier::new(dsm.clone(), &[1, 1]));
         let addr = GlobalAddr(3 * PAGE_BYTES); // homed on node 1
@@ -177,12 +173,12 @@ mod tests {
         let b0 = barrier.clone();
         let n0 = net.clone();
         let writer = std::thread::spawn(move || {
-            let mut t = SimThread::new(topo.loc(NodeId(0), 0), n0);
+            let mut t = thread(&n0, 0, 0);
             d0.write_u64(&mut t, addr, 123);
             b0.wait(&mut t);
         });
         let reader = std::thread::spawn(move || {
-            let mut t = SimThread::new(topo.loc(NodeId(1), 0), net);
+            let mut t = thread(&net, 1, 0);
             // Cache the stale value first to prove SI happens.
             let _ = dsm.read_u64(&mut t, addr);
             barrier.wait(&mut t);
@@ -194,11 +190,10 @@ mod tests {
 
     #[test]
     fn single_node_barrier_costs_no_network() {
-        let topo = ClusterTopology::tiny(1);
-        let net = Interconnect::new(topo, CostModel::paper_2011());
+        let net = tiny_net(1);
         let dsm = carina::Dsm::new(net.clone(), 1 << 20, CarinaConfig::default());
         let barrier = HierBarrier::new(dsm, &[1]);
-        let mut t = SimThread::new(topo.loc(NodeId(0), 0), net.clone());
+        let mut t = thread(&net, 0, 0);
         barrier.wait(&mut t);
         assert_eq!(net.stats().snapshot().messages, 0);
         assert!(t.now() < 10_000);

@@ -13,7 +13,8 @@
 use crate::dsm::global_lock::DsmGlobalLock;
 use carina::Dsm;
 use parking_lot::{Condvar, Mutex};
-use simnet::{NodeId, SimThread};
+use rma::{Endpoint, SimTransport, Transport};
+use simnet::NodeId;
 use std::sync::Arc;
 
 struct TierState {
@@ -44,22 +45,22 @@ pub enum FencePlacement {
 }
 
 /// A hierarchical (cohort) lock over a DSM cluster.
-pub struct DsmCohortLock {
-    dsm: Arc<Dsm>,
+pub struct DsmCohortLock<T: Transport = SimTransport> {
+    dsm: Arc<Dsm<T>>,
     global: Arc<DsmGlobalLock>,
     tiers: Vec<LocalTier>,
     pass_limit: u64,
     fencing: FencePlacement,
 }
 
-impl DsmCohortLock {
+impl<T: Transport> DsmCohortLock<T> {
     /// The paper's baseline configuration: per-section fences.
-    pub fn new(dsm: Arc<Dsm>, pass_limit: u64) -> Arc<Self> {
+    pub fn new(dsm: Arc<Dsm<T>>, pass_limit: u64) -> Arc<Self> {
         Self::with_fencing(dsm, pass_limit, FencePlacement::PerSection)
     }
 
     pub fn with_fencing(
-        dsm: Arc<Dsm>,
+        dsm: Arc<Dsm<T>>,
         pass_limit: u64,
         fencing: FencePlacement,
     ) -> Arc<Self> {
@@ -85,7 +86,7 @@ impl DsmCohortLock {
     }
 
     /// Execute `f` as a critical section from thread `t`.
-    pub fn with<R>(&self, t: &mut SimThread, f: impl FnOnce(&mut SimThread) -> R) -> R {
+    pub fn with<R>(&self, t: &mut T::Endpoint, f: impl FnOnce(&mut T::Endpoint) -> R) -> R {
         let node = t.node().idx();
         let tier = &self.tiers[node];
         // Local tier acquire.
@@ -99,7 +100,7 @@ impl DsmCohortLock {
             st.locked = true;
             // Local hand-off: the previous holder's release flag crossed a
             // socket at worst.
-            let handoff = st.last_release + t.net().cost().intersocket_latency;
+            let handoff = st.last_release + t.cost().intersocket_latency;
             t.merge(handoff);
             if !st.owns_global {
                 drop(st);
@@ -150,12 +151,11 @@ mod tests {
     use super::*;
     use carina::CarinaConfig;
     use mem::{GlobalAddr, PAGE_BYTES};
-    use simnet::{ClusterTopology, CostModel, Interconnect};
+    use simnet::testkit::{thread, tiny_net};
 
     #[test]
     fn counter_across_nodes() {
-        let topo = ClusterTopology::tiny(3);
-        let net = Interconnect::new(topo, CostModel::paper_2011());
+        let net = tiny_net(3);
         let dsm = Dsm::new(net.clone(), 1 << 20, CarinaConfig::default());
         let addr = GlobalAddr(4 * PAGE_BYTES);
         let lock = DsmCohortLock::new(dsm.clone(), 16);
@@ -165,8 +165,7 @@ mod tests {
                 let dsm = dsm.clone();
                 let net = net.clone();
                 std::thread::spawn(move || {
-                    let mut t =
-                        SimThread::new(topo.loc(NodeId((i % 3) as u16), i / 3), net);
+                    let mut t = thread(&net, (i % 3) as u16, i / 3);
                     for _ in 0..250 {
                         lock.with(&mut t, |ht| {
                             let v = dsm.read_u64(ht, addr);
@@ -179,7 +178,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        let mut t = SimThread::new(topo.loc(NodeId(0), 0), net);
+        let mut t = thread(&net, 0, 0);
         let v = lock.with(&mut t, |ht| dsm.read_u64(ht, addr));
         assert_eq!(v, 1500);
     }
@@ -188,11 +187,10 @@ mod tests {
     fn fences_only_on_node_switches() {
         // One node, one thread: the global lock never moves, so after the
         // first acquisition there are no SI fences per section.
-        let topo = ClusterTopology::tiny(1);
-        let net = Interconnect::new(topo, CostModel::paper_2011());
+        let net = tiny_net(1);
         let dsm = Dsm::new(net.clone(), 1 << 20, CarinaConfig::default());
         let lock = DsmCohortLock::new(dsm.clone(), 1_000_000);
-        let mut t = SimThread::new(topo.loc(NodeId(0), 0), net);
+        let mut t = thread(&net, 0, 0);
         for _ in 0..100 {
             lock.with(&mut t, |_| {});
         }

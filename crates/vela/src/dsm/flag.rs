@@ -13,7 +13,8 @@
 
 use carina::Dsm;
 use parking_lot::{Condvar, Mutex};
-use simnet::{NodeId, SimThread};
+use rma::{Endpoint, SimTransport, Transport};
+use simnet::NodeId;
 use std::sync::Arc;
 
 struct FlagState {
@@ -24,16 +25,16 @@ struct FlagState {
 }
 
 /// A cluster-wide signal/wait flag with release/acquire fence semantics.
-pub struct DsmFlag {
-    dsm: Arc<Dsm>,
+pub struct DsmFlag<T: Transport = SimTransport> {
+    dsm: Arc<Dsm<T>>,
     home: NodeId,
     state: Mutex<FlagState>,
     cond: Condvar,
 }
 
-impl DsmFlag {
+impl<T: Transport> DsmFlag<T> {
     /// Create a flag whose word lives on `home`.
-    pub fn new(dsm: Arc<Dsm>, home: NodeId) -> Arc<Self> {
+    pub fn new(dsm: Arc<Dsm<T>>, home: NodeId) -> Arc<Self> {
         Arc::new(DsmFlag {
             dsm,
             home,
@@ -47,7 +48,7 @@ impl DsmFlag {
 
     /// Release semantics: publish all our writes (SD fence), then raise
     /// the flag with a one-sided write to its home.
-    pub fn signal(&self, t: &mut SimThread) {
+    pub fn signal(&self, t: &mut T::Endpoint) {
         self.dsm.sd_fence(t);
         t.rdma_write(self.home, 8);
         let mut st = self.state.lock();
@@ -65,7 +66,7 @@ impl DsmFlag {
     /// `seen`, then self-invalidate. In the real system this is a remote
     /// polling loop; each poll is a one-sided read, charged on wakeup as a
     /// final successful poll.
-    pub fn wait_past(&self, t: &mut SimThread, seen: u64) {
+    pub fn wait_past(&self, t: &mut T::Endpoint, seen: u64) {
         {
             let mut st = self.state.lock();
             while st.generation <= seen {
@@ -82,7 +83,7 @@ impl DsmFlag {
     /// interest may already have fired, use [`Self::wait_past`] with a
     /// generation observed *before* the signaller could run — otherwise
     /// this blocks until a further signal.
-    pub fn wait(&self, t: &mut SimThread) {
+    pub fn wait(&self, t: &mut T::Endpoint) {
         let seen = self.generation();
         self.wait_past(t, seen);
     }
@@ -93,18 +94,18 @@ mod tests {
     use super::*;
     use carina::CarinaConfig;
     use mem::{GlobalAddr, PAGE_BYTES};
-    use simnet::{ClusterTopology, CostModel, Interconnect};
+    use simnet::testkit::{thread, tiny_net};
+    use simnet::Interconnect;
 
-    fn setup(nodes: usize) -> (Arc<Dsm>, Arc<Interconnect>, ClusterTopology) {
-        let topo = ClusterTopology::tiny(nodes);
-        let net = Interconnect::new(topo, CostModel::paper_2011());
+    fn setup(nodes: usize) -> (Arc<Dsm>, Arc<Interconnect>) {
+        let net = tiny_net(nodes);
         let dsm = Dsm::new(net.clone(), 1 << 20, CarinaConfig::default());
-        (dsm, net, topo)
+        (dsm, net)
     }
 
     #[test]
     fn signal_publishes_prior_writes() {
-        let (dsm, net, topo) = setup(2);
+        let (dsm, net) = setup(2);
         let flag = DsmFlag::new(dsm.clone(), NodeId(0));
         let addr = GlobalAddr(3 * PAGE_BYTES);
 
@@ -112,11 +113,11 @@ mod tests {
         let f = flag.clone();
         let n = net.clone();
         let producer = std::thread::spawn(move || {
-            let mut t = SimThread::new(topo.loc(NodeId(0), 0), n);
+            let mut t = thread(&n, 0, 0);
             d.write_u64(&mut t, addr, 1234);
             f.signal(&mut t);
         });
-        let mut t = SimThread::new(topo.loc(NodeId(1), 0), net);
+        let mut t = thread(&net, 1, 0);
         // Cache a stale copy first.
         let _ = dsm.read_u64(&mut t, addr);
         // Wait for the first signal ever (generation > 0) — the producer
@@ -128,17 +129,17 @@ mod tests {
 
     #[test]
     fn waiter_clock_reflects_signal_time() {
-        let (dsm, net, topo) = setup(2);
+        let (dsm, net) = setup(2);
         let flag = DsmFlag::new(dsm, NodeId(0));
         let f = flag.clone();
         let n = net.clone();
         let signaller = std::thread::spawn(move || {
-            let mut t = SimThread::new(topo.loc(NodeId(0), 0), n);
+            let mut t = thread(&n, 0, 0);
             t.compute(50_000);
             f.signal(&mut t);
             t.now()
         });
-        let mut t = SimThread::new(topo.loc(NodeId(1), 0), net);
+        let mut t = thread(&net, 1, 0);
         flag.wait_past(&mut t, 0);
         let signal_time = signaller.join().unwrap();
         assert!(t.now() >= signal_time);
@@ -146,10 +147,10 @@ mod tests {
 
     #[test]
     fn generations_support_repeated_signalling() {
-        let (dsm, net, topo) = setup(2);
+        let (dsm, net) = setup(2);
         let flag = DsmFlag::new(dsm, NodeId(0));
-        let mut t0 = SimThread::new(topo.loc(NodeId(0), 0), net.clone());
-        let mut t1 = SimThread::new(topo.loc(NodeId(1), 0), net);
+        let mut t0 = thread(&net, 0, 0);
+        let mut t1 = thread(&net, 1, 0);
         for i in 0..5 {
             let seen = flag.generation();
             assert_eq!(seen, i);

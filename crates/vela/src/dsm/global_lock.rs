@@ -8,7 +8,8 @@
 //! where those fences go (paper §4.2).
 
 use parking_lot::{Condvar, Mutex};
-use simnet::{NodeId, SimThread};
+use rma::Endpoint;
+use simnet::NodeId;
 use std::sync::Arc;
 
 struct LockState {
@@ -54,9 +55,9 @@ impl DsmGlobalLock {
 
     /// Acquire: one remote atomic on the lock word, plus waiting for the
     /// previous holder's release to propagate.
-    pub fn acquire(&self, t: &mut SimThread) {
+    pub fn acquire<E: Endpoint>(&self, t: &mut E) {
         // The CAS on the lock word costs a round trip regardless of outcome.
-        t.rdma_atomic(self.home);
+        t.rdma_cas(self.home);
         let mut st = self.state.lock();
         while st.0.locked {
             self.cond.wait(&mut st);
@@ -70,7 +71,7 @@ impl DsmGlobalLock {
             st.1.node_switches += 1;
             // Hand-off from another node: the release flag travelled one
             // network hop to reach us.
-            t.merge(st.0.last_release + t.net().cost().network_latency);
+            t.merge(st.0.last_release + t.cost().network_latency);
         } else {
             t.merge(st.0.last_release);
         }
@@ -93,7 +94,7 @@ impl DsmGlobalLock {
     }
 
     /// Release: a posted write of the lock word (the successor's spin flag).
-    pub fn release(&self, t: &mut SimThread) {
+    pub fn release<E: Endpoint>(&self, t: &mut E) {
         t.rdma_write(self.home, 8);
         let mut st = self.state.lock();
         assert!(st.0.locked, "releasing an unheld global lock");
@@ -110,12 +111,12 @@ impl DsmGlobalLock {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simnet::{ClusterTopology, CostModel, Interconnect};
+    use simnet::testkit::{thread, tiny_net};
+    use simnet::CostModel;
 
     #[test]
     fn mutual_exclusion_and_clock_monotonicity() {
-        let topo = ClusterTopology::tiny(4);
-        let net = Interconnect::new(topo, CostModel::paper_2011());
+        let net = tiny_net(4);
         let lock = DsmGlobalLock::new(NodeId(0));
         let shared = Arc::new(Mutex::new((0u64, 0u64))); // (counter, last_clock)
         let handles: Vec<_> = (0..4)
@@ -124,7 +125,7 @@ mod tests {
                 let net = net.clone();
                 let shared = shared.clone();
                 std::thread::spawn(move || {
-                    let mut t = SimThread::new(topo.loc(NodeId(n as u16), 0), net);
+                    let mut t = thread(&net, n as u16, 0);
                     for _ in 0..200 {
                         lock.acquire(&mut t);
                         {
@@ -152,10 +153,9 @@ mod tests {
 
     #[test]
     fn acquisition_costs_a_round_trip() {
-        let topo = ClusterTopology::tiny(2);
-        let net = Interconnect::new(topo, CostModel::paper_2011());
+        let net = tiny_net(2);
         let lock = DsmGlobalLock::new(NodeId(1));
-        let mut t = SimThread::new(topo.loc(NodeId(0), 0), net);
+        let mut t = thread(&net, 0, 0);
         lock.acquire(&mut t);
         let c = CostModel::paper_2011();
         assert!(t.now() >= 2 * c.network_latency);
@@ -165,10 +165,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "unheld")]
     fn double_release_is_a_bug() {
-        let topo = ClusterTopology::tiny(1);
-        let net = Interconnect::new(topo, CostModel::paper_2011());
         let lock = DsmGlobalLock::new(NodeId(0));
-        let mut t = SimThread::new(topo.loc(NodeId(0), 0), net);
+        let mut t = thread(&tiny_net(1), 0, 0);
         lock.acquire(&mut t);
         lock.release(&mut t);
         lock.release(&mut t);

@@ -12,7 +12,7 @@
 
 use carina::Dsm;
 use mem::GlobalAddr;
-use simnet::SimThread;
+use rma::Transport;
 
 const NONE: u64 = u64::MAX;
 
@@ -43,7 +43,12 @@ impl DsmPairingHeap {
 
     /// Initialize an empty heap at `base` (which must have
     /// [`Self::bytes_needed`] bytes of space).
-    pub fn init(dsm: &Dsm, t: &mut SimThread, base: GlobalAddr, capacity: u64) -> Self {
+    pub fn init<T: Transport>(
+        dsm: &Dsm<T>,
+        t: &mut T::Endpoint,
+        base: GlobalAddr,
+        capacity: u64,
+    ) -> Self {
         let h = DsmPairingHeap { base };
         dsm.write_u64(t, h.word(H_LEN), 0);
         dsm.write_u64(t, h.word(H_ROOT), NONE);
@@ -68,35 +73,35 @@ impl DsmPairingHeap {
         self.word(HEADER_WORDS + node * NODE_WORDS + field)
     }
 
-    fn key(&self, dsm: &Dsm, t: &mut SimThread, n: u64) -> u64 {
+    fn key<T: Transport>(&self, dsm: &Dsm<T>, t: &mut T::Endpoint, n: u64) -> u64 {
         dsm.read_u64(t, self.node_word(n, 0))
     }
 
-    fn child(&self, dsm: &Dsm, t: &mut SimThread, n: u64) -> u64 {
+    fn child<T: Transport>(&self, dsm: &Dsm<T>, t: &mut T::Endpoint, n: u64) -> u64 {
         dsm.read_u64(t, self.node_word(n, 1))
     }
 
-    fn sibling(&self, dsm: &Dsm, t: &mut SimThread, n: u64) -> u64 {
+    fn sibling<T: Transport>(&self, dsm: &Dsm<T>, t: &mut T::Endpoint, n: u64) -> u64 {
         dsm.read_u64(t, self.node_word(n, 2))
     }
 
-    fn set_child(&self, dsm: &Dsm, t: &mut SimThread, n: u64, v: u64) {
+    fn set_child<T: Transport>(&self, dsm: &Dsm<T>, t: &mut T::Endpoint, n: u64, v: u64) {
         dsm.write_u64(t, self.node_word(n, 1), v);
     }
 
-    fn set_sibling(&self, dsm: &Dsm, t: &mut SimThread, n: u64, v: u64) {
+    fn set_sibling<T: Transport>(&self, dsm: &Dsm<T>, t: &mut T::Endpoint, n: u64, v: u64) {
         dsm.write_u64(t, self.node_word(n, 2), v);
     }
 
-    pub fn len(&self, dsm: &Dsm, t: &mut SimThread) -> u64 {
+    pub fn len<T: Transport>(&self, dsm: &Dsm<T>, t: &mut T::Endpoint) -> u64 {
         dsm.read_u64(t, self.word(H_LEN))
     }
 
-    pub fn is_empty(&self, dsm: &Dsm, t: &mut SimThread) -> bool {
+    pub fn is_empty<T: Transport>(&self, dsm: &Dsm<T>, t: &mut T::Endpoint) -> bool {
         self.len(dsm, t) == 0
     }
 
-    fn alloc(&self, dsm: &Dsm, t: &mut SimThread, key: u64) -> u64 {
+    fn alloc<T: Transport>(&self, dsm: &Dsm<T>, t: &mut T::Endpoint, key: u64) -> u64 {
         let free = dsm.read_u64(t, self.word(H_FREE));
         let n = if free != NONE {
             let next_free = self.sibling(dsm, t, free);
@@ -115,13 +120,13 @@ impl DsmPairingHeap {
         n
     }
 
-    fn release(&self, dsm: &Dsm, t: &mut SimThread, n: u64) {
+    fn release<T: Transport>(&self, dsm: &Dsm<T>, t: &mut T::Endpoint, n: u64) {
         let free = dsm.read_u64(t, self.word(H_FREE));
         self.set_sibling(dsm, t, n, free);
         dsm.write_u64(t, self.word(H_FREE), n);
     }
 
-    fn meld(&self, dsm: &Dsm, t: &mut SimThread, a: u64, b: u64) -> u64 {
+    fn meld<T: Transport>(&self, dsm: &Dsm<T>, t: &mut T::Endpoint, a: u64, b: u64) -> u64 {
         if a == NONE {
             return b;
         }
@@ -139,7 +144,7 @@ impl DsmPairingHeap {
         parent
     }
 
-    pub fn insert(&self, dsm: &Dsm, t: &mut SimThread, key: u64) {
+    pub fn insert<T: Transport>(&self, dsm: &Dsm<T>, t: &mut T::Endpoint, key: u64) {
         let n = self.alloc(dsm, t, key);
         let root = dsm.read_u64(t, self.word(H_ROOT));
         let new_root = self.meld(dsm, t, root, n);
@@ -148,7 +153,7 @@ impl DsmPairingHeap {
         dsm.write_u64(t, self.word(H_LEN), len + 1);
     }
 
-    pub fn extract_min(&self, dsm: &Dsm, t: &mut SimThread) -> Option<u64> {
+    pub fn extract_min<T: Transport>(&self, dsm: &Dsm<T>, t: &mut T::Endpoint) -> Option<u64> {
         let root = dsm.read_u64(t, self.word(H_ROOT));
         if root == NONE {
             return None;
@@ -189,14 +194,14 @@ mod tests {
     use super::*;
     use carina::CarinaConfig;
     use rand::prelude::*;
-    use simnet::{ClusterTopology, CostModel, Interconnect, NodeId};
+    use simnet::testkit::{thread, tiny_net};
+    use simnet::SimThread;
     use std::sync::Arc;
 
     fn setup() -> (Arc<Dsm>, SimThread) {
-        let topo = ClusterTopology::tiny(2);
-        let net = Interconnect::new(topo, CostModel::paper_2011());
+        let net = tiny_net(2);
         let dsm = Dsm::new(net.clone(), 4 << 20, CarinaConfig::default());
-        let t = SimThread::new(topo.loc(NodeId(0), 0), net);
+        let t = thread(&net, 0, 0);
         (dsm, t)
     }
 

@@ -27,12 +27,13 @@ use carina::Dsm;
 use crossbeam::queue::SegQueue;
 use parking_lot::lock_api::RawMutex as _;
 use parking_lot::RawMutex;
-use simnet::{NodeId, SimThread};
+use rma::{Endpoint, SimTransport, Transport};
+use simnet::NodeId;
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-type DsmJob = Box<dyn FnOnce(&mut SimThread) + Send>;
+type DsmJob<T> = Box<dyn FnOnce(&mut <T as Transport>::Endpoint) + Send>;
 
 struct Slot<R> {
     done: AtomicBool,
@@ -56,8 +57,8 @@ impl<R> DsmFuture<R> {
     }
 }
 
-struct NodeQueue {
-    queue: SegQueue<DsmJob>,
+struct NodeQueue<T: Transport> {
+    queue: SegQueue<DsmJob<T>>,
     /// Guards the helper role on this node.
     helper: RawMutex,
 }
@@ -79,10 +80,10 @@ pub struct HqdlStats {
 }
 
 /// A hierarchical queue delegation lock over a DSM cluster.
-pub struct Hqdl {
-    dsm: Arc<Dsm>,
+pub struct Hqdl<T: Transport = SimTransport> {
+    dsm: Arc<Dsm<T>>,
     global: Arc<DsmGlobalLock>,
-    node_queues: Vec<NodeQueue>,
+    node_queues: Vec<NodeQueue<T>>,
     batch_limit: usize,
     sections: AtomicU64,
     batches: AtomicU64,
@@ -92,10 +93,10 @@ pub struct Hqdl {
     max_batch: AtomicU64,
 }
 
-impl Hqdl {
+impl<T: Transport> Hqdl<T> {
     /// `batch_limit`: maximum sections executed per global-lock tenure
     /// ("either because there are no more, or a limit is reached").
-    pub fn new(dsm: Arc<Dsm>, batch_limit: usize) -> Arc<Self> {
+    pub fn new(dsm: Arc<Dsm<T>>, batch_limit: usize) -> Arc<Self> {
         assert!(batch_limit > 0, "batch limit must be positive");
         let nodes = dsm.net().topology().nodes;
         Arc::new(Hqdl {
@@ -133,8 +134,8 @@ impl Hqdl {
     /// with the helper's virtual clock and may access the DSM freely.
     pub fn delegate<R: Send + 'static>(
         self: &Arc<Self>,
-        t: &mut SimThread,
-        f: impl FnOnce(&mut SimThread) -> R + Send + 'static,
+        t: &mut T::Endpoint,
+        f: impl FnOnce(&mut T::Endpoint) -> R + Send + 'static,
     ) -> DsmFuture<R> {
         let slot = Arc::new(Slot {
             done: AtomicBool::new(false),
@@ -144,9 +145,10 @@ impl Hqdl {
         let s = slot.clone();
         // Publication cost: writing the request where the helper reads it
         // (same node, possibly another socket).
-        t.compute(t.net().cost().intersocket_latency);
+        let publish = t.cost().intersocket_latency;
+        t.compute(publish);
         let node = t.node().idx();
-        self.node_queues[node].queue.push(Box::new(move |ht: &mut SimThread| {
+        self.node_queues[node].queue.push(Box::new(move |ht: &mut T::Endpoint| {
             let r = f(ht);
             // SAFETY: sole writer before the `done` release.
             unsafe { *s.value.get() = Some(r) };
@@ -162,7 +164,7 @@ impl Hqdl {
     }
 
     /// Wait for a delegated section, helping if the helper role is free.
-    pub fn wait<R>(self: &Arc<Self>, t: &mut SimThread, future: DsmFuture<R>) -> R {
+    pub fn wait<R>(self: &Arc<Self>, t: &mut T::Endpoint, future: DsmFuture<R>) -> R {
         let node = t.node().idx();
         let mut spins = 0u32;
         while !future.is_done() {
@@ -187,8 +189,8 @@ impl Hqdl {
     /// Delegate and wait (synchronous critical section).
     pub fn delegate_wait<R: Send + 'static>(
         self: &Arc<Self>,
-        t: &mut SimThread,
-        f: impl FnOnce(&mut SimThread) -> R + Send + 'static,
+        t: &mut T::Endpoint,
+        f: impl FnOnce(&mut T::Endpoint) -> R + Send + 'static,
     ) -> R {
         let fut = self.delegate(t, f);
         self.wait(t, fut)
@@ -197,7 +199,7 @@ impl Hqdl {
     /// Become this node's helper if the role is free and the queue is
     /// non-empty: acquire the global lock, SI once, run a batch, SD once,
     /// release.
-    fn try_help(&self, t: &mut SimThread, node: usize) {
+    fn try_help(&self, t: &mut T::Endpoint, node: usize) {
         let nq = &self.node_queues[node];
         if nq.queue.is_empty() || !nq.helper.try_lock() {
             return;
@@ -259,18 +261,18 @@ mod tests {
     use super::*;
     use carina::CarinaConfig;
     use mem::{GlobalAddr, PAGE_BYTES};
-    use simnet::{ClusterTopology, CostModel, Interconnect};
+    use simnet::testkit::{thread, tiny_net};
+    use simnet::Interconnect;
 
-    fn setup(nodes: usize) -> (Arc<Dsm>, Arc<Interconnect>, ClusterTopology) {
-        let topo = ClusterTopology::tiny(nodes);
-        let net = Interconnect::new(topo, CostModel::paper_2011());
+    fn setup(nodes: usize) -> (Arc<Dsm>, Arc<Interconnect>) {
+        let net = tiny_net(nodes);
         let dsm = Dsm::new(net.clone(), 1 << 20, CarinaConfig::default());
-        (dsm, net, topo)
+        (dsm, net)
     }
 
     #[test]
     fn delegated_counter_across_nodes() {
-        let (dsm, net, topo) = setup(3);
+        let (dsm, net) = setup(3);
         let addr = GlobalAddr(5 * PAGE_BYTES);
         let lock = Hqdl::new(dsm.clone(), 64);
         let handles: Vec<_> = (0..3)
@@ -279,7 +281,7 @@ mod tests {
                 let dsm = dsm.clone();
                 let net = net.clone();
                 std::thread::spawn(move || {
-                    let mut t = SimThread::new(topo.loc(NodeId(n as u16), 0), net);
+                    let mut t = thread(&net, n as u16, 0);
                     for _ in 0..500 {
                         let d = dsm.clone();
                         lock.delegate_wait(&mut t, move |ht| {
@@ -293,7 +295,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        let mut t = SimThread::new(topo.loc(NodeId(0), 0), net);
+        let mut t = thread(&net, 0, 0);
         let final_v = lock.delegate_wait(&mut t, {
             let d = dsm.clone();
             move |ht| d.read_u64(ht, addr)
@@ -307,10 +309,10 @@ mod tests {
 
     #[test]
     fn detached_sections_complete_on_wait() {
-        let (dsm, net, topo) = setup(1);
+        let (dsm, net) = setup(1);
         let addr = GlobalAddr(PAGE_BYTES);
         let lock = Hqdl::new(dsm.clone(), 1024);
-        let mut t = SimThread::new(topo.loc(NodeId(0), 0), net);
+        let mut t = thread(&net, 0, 0);
         let futs: Vec<_> = (0..100)
             .map(|_| {
                 let d = dsm.clone();
@@ -329,9 +331,9 @@ mod tests {
 
     #[test]
     fn waiter_clock_includes_helper_time() {
-        let (dsm, net, topo) = setup(2);
+        let (dsm, net) = setup(2);
         let lock = Hqdl::new(dsm.clone(), 8);
-        let mut t = SimThread::new(topo.loc(NodeId(0), 0), net);
+        let mut t = thread(&net, 0, 0);
         let before = t.now();
         lock.delegate_wait(&mut t, |ht| ht.compute(10_000));
         assert!(t.now() >= before + 10_000);

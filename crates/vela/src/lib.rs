@@ -11,11 +11,13 @@
 //!   threads — Pthreads mutex, MCS, CLH, flat combining, **queue delegation
 //!   (QDL)** and the **cohort lock**. These reproduce Figure 11's
 //!   single-node comparison.
-//! - [`dsm`]: cluster-wide primitives with virtual-time semantics — the
-//!   hierarchical barrier (§4.1), a one-sided global lock, **HQDL**
-//!   (hierarchical queue delegation, §4.2), the distributed cohort-lock
-//!   baseline, and a pairing heap resident in global memory. These
-//!   reproduce Figure 12.
+//! - [`dsm`]: cluster-wide primitives — the hierarchical barrier (§4.1), a
+//!   one-sided global lock, **HQDL** (hierarchical queue delegation, §4.2),
+//!   the distributed cohort-lock baseline, and a pairing heap resident in
+//!   global memory. These reproduce Figure 12. All of them are generic over
+//!   `rma::Transport`: on the default `SimTransport` they carry virtual-time
+//!   semantics; on `NativeTransport` the same fence placement runs at
+//!   wall-clock speed.
 //!
 //! [`pairing_heap`] is the sequential priority queue both microbenchmarks
 //! wrap a lock around (§5.3).

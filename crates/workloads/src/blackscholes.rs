@@ -13,6 +13,7 @@ use argo::types::GlobalF64Array;
 use argo::ArgoMachine;
 use simnet::{CostModel, Tag};
 use std::sync::Arc;
+use rma::{Endpoint, Transport};
 
 /// Problem parameters.
 #[derive(Debug, Clone, Copy)]
@@ -79,16 +80,16 @@ pub fn reference_checksum(p: BsParams) -> f64 {
 
 /// Run on an Argo cluster (also serves as the "Pthreads" baseline when the
 /// machine has a single node).
-pub fn run_argo(machine: &Arc<ArgoMachine>, p: BsParams) -> Outcome {
+pub fn run_argo<T: Transport>(machine: &Arc<ArgoMachine<T>>, p: BsParams) -> Outcome {
     run_argo_with(machine, p, false)
 }
 
 /// As [`run_argo`], optionally allocating the option arrays with
 /// block-distributed homes (each thread's chunk mostly node-local) — the
 /// per-allocation distribution hint explored by `ablation_distribution`.
-pub fn run_argo_with(machine: &Arc<ArgoMachine>, p: BsParams, blocked: bool) -> Outcome {
+pub fn run_argo_with<T: Transport>(machine: &Arc<ArgoMachine<T>>, p: BsParams, blocked: bool) -> Outcome {
     let dsm = machine.dsm();
-    let alloc = |dsm: &carina::Dsm, len: usize| {
+    let alloc = |dsm: &carina::Dsm<T>, len: usize| {
         if blocked {
             GlobalF64Array::alloc_blocked(dsm, len)
         } else {
@@ -181,6 +182,7 @@ pub fn run_mpi_variant(nodes: usize, ranks_per_node: usize, p: BsParams) -> Outc
     Outcome {
         cycles,
         seconds: cost.cycles_to_secs(cycles),
+        wall_seconds: 0.0,
         checksum: results[0],
         coherence: Default::default(),
         net,

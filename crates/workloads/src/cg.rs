@@ -20,6 +20,7 @@ use argo::{ArgoConfig, ArgoMachine, PgasCtx};
 use simnet::CostModel;
 use std::sync::Arc;
 use vela::ClockBarrier;
+use rma::{Endpoint, Transport};
 
 #[derive(Debug, Clone, Copy)]
 pub struct CgParams {
@@ -98,7 +99,7 @@ pub fn reference_checksum(p: CgParams) -> f64 {
 }
 
 /// Run on an Argo cluster (with `nodes == 1` this is the OpenMP baseline).
-pub fn run_argo(machine: &Arc<ArgoMachine>, prm: CgParams) -> Outcome {
+pub fn run_argo<T: Transport>(machine: &Arc<ArgoMachine<T>>, prm: CgParams) -> Outcome {
     let dsm = machine.dsm();
     let cfg = *machine.config();
     let n = prm.n;

@@ -12,6 +12,7 @@ use argo::{ArgoConfig, ArgoMachine, PgasCtx};
 use simnet::CostModel;
 use std::sync::Arc;
 use vela::ClockBarrier;
+use rma::{Endpoint, Transport};
 
 #[derive(Debug, Clone, Copy)]
 pub struct EpParams {
@@ -92,7 +93,7 @@ pub fn reference_tally(p: EpParams) -> EpTally {
 }
 
 /// Run on an Argo cluster (with `nodes == 1` this is the OpenMP baseline).
-pub fn run_argo(machine: &Arc<ArgoMachine>, p: EpParams) -> Outcome {
+pub fn run_argo<T: Transport>(machine: &Arc<ArgoMachine<T>>, p: EpParams) -> Outcome {
     let dsm = machine.dsm();
     let cfg = *machine.config();
     let reducer = Arc::new(GlobalReducer::new(dsm, cfg.total_threads(), cfg.nodes));
@@ -154,6 +155,7 @@ pub fn run_pgas(nodes: usize, threads_per_node: usize, p: EpParams) -> Outcome {
     Outcome {
         cycles: report.cycles,
         seconds: report.seconds,
+        wall_seconds: report.wall_seconds,
         checksum,
         coherence: report.coherence,
         net: report.net,

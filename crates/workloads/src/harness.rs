@@ -5,6 +5,7 @@
 use argo::ArgoCtx;
 use argo::types::GlobalF64Array;
 use carina::CoherenceSnapshot;
+use rma::Transport;
 use simnet::stats::NetStatsSnapshot;
 use simnet::{ClusterTopology, CostModel, Interconnect, MsgWorld, NodeId, SimThread};
 use std::sync::Arc;
@@ -12,10 +13,12 @@ use std::sync::Arc;
 /// The outcome of one benchmark run.
 #[derive(Debug, Clone)]
 pub struct Outcome {
-    /// Virtual cycles of the measured section.
+    /// Virtual cycles of the measured section (0 on the native backend).
     pub cycles: u64,
     /// Seconds at the cost model's CPU frequency.
     pub seconds: f64,
+    /// Wall-clock seconds of the parallel region.
+    pub wall_seconds: f64,
     /// Workload-defined checksum for cross-variant validation.
     pub checksum: f64,
     pub coherence: CoherenceSnapshot,
@@ -42,6 +45,7 @@ pub fn outcome_of(report: argo::RunReport<f64>) -> Outcome {
     Outcome {
         cycles: report.cycles,
         seconds: report.seconds,
+        wall_seconds: report.wall_seconds,
         checksum: report.results.iter().sum(),
         coherence: report.coherence,
         net: report.net,
@@ -144,7 +148,7 @@ pub struct GlobalReducer {
 const SLOT_STRIDE: usize = 512;
 
 impl GlobalReducer {
-    pub fn new(dsm: &carina::Dsm, nthreads: usize, nodes: usize) -> Self {
+    pub fn new<T: Transport>(dsm: &carina::Dsm<T>, nthreads: usize, nodes: usize) -> Self {
         GlobalReducer {
             thread_slots: GlobalF64Array::alloc(dsm, nthreads * SLOT_STRIDE),
             node_slots: GlobalF64Array::alloc(dsm, nodes * SLOT_STRIDE),
@@ -155,7 +159,7 @@ impl GlobalReducer {
 
     /// Collective sum across all region threads. Every thread receives the
     /// total. Involves two barriers.
-    pub fn sum(&self, ctx: &mut ArgoCtx, value: f64) -> f64 {
+    pub fn sum<T: Transport>(&self, ctx: &mut ArgoCtx<T>, value: f64) -> f64 {
         let tid = ctx.tid();
         self.thread_slots.set(ctx, tid * SLOT_STRIDE, value);
         ctx.barrier();
@@ -216,6 +220,7 @@ mod tests {
         let mk = |cycles, checksum| Outcome {
             cycles,
             seconds: 0.0,
+            wall_seconds: 0.0,
             checksum,
             coherence: Default::default(),
             net: Default::default(),

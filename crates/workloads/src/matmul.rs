@@ -22,6 +22,7 @@ use argo::types::GlobalF64Array;
 use argo::ArgoMachine;
 use simnet::{CostModel, Tag};
 use std::sync::Arc;
+use rma::{Endpoint, Transport};
 
 #[derive(Debug, Clone, Copy)]
 pub struct MatmulParams {
@@ -68,7 +69,7 @@ pub fn reference_checksum(p: MatmulParams) -> f64 {
 
 /// Run on an Argo cluster. Row-block decomposition of C; the kernel is the
 /// rank-1-update ("ikj") order so every DSM access is row-contiguous.
-pub fn run_argo(machine: &Arc<ArgoMachine>, p: MatmulParams) -> Outcome {
+pub fn run_argo<T: Transport>(machine: &Arc<ArgoMachine<T>>, p: MatmulParams) -> Outcome {
     let dsm = machine.dsm();
     let n = p.n;
     let a = GlobalF64Array::alloc(dsm, n * n);
@@ -173,6 +174,7 @@ pub fn run_mpi_variant(nodes: usize, ranks_per_node: usize, p: MatmulParams) -> 
     Outcome {
         cycles,
         seconds: cost.cycles_to_secs(cycles),
+        wall_seconds: 0.0,
         checksum: results[0],
         coherence: Default::default(),
         net,

@@ -14,6 +14,7 @@ use argo::types::GlobalF64Array;
 use argo::ArgoMachine;
 use simnet::{CostModel, Tag};
 use std::sync::Arc;
+use rma::{Endpoint, Transport};
 
 #[derive(Debug, Clone, Copy)]
 pub struct NbodyParams {
@@ -130,7 +131,7 @@ fn step_chunk(
 }
 
 /// Run on an Argo cluster.
-pub fn run_argo(machine: &Arc<ArgoMachine>, p: NbodyParams) -> Outcome {
+pub fn run_argo<T: Transport>(machine: &Arc<ArgoMachine<T>>, p: NbodyParams) -> Outcome {
     let dsm = machine.dsm();
     let n = p.bodies;
     // Double-buffered positions (3 axes × 2 buffers) + masses.
@@ -246,6 +247,7 @@ pub fn run_mpi_variant(nodes: usize, ranks_per_node: usize, p: NbodyParams) -> O
     Outcome {
         cycles,
         seconds: cost.cycles_to_secs(cycles),
+        wall_seconds: 0.0,
         checksum: results[0],
         coherence: Default::default(),
         net,

@@ -198,6 +198,7 @@ pub fn run_argo(nodes: usize, threads_per_node: usize, p: TspParams) -> Outcome 
     Outcome {
         cycles: report.cycles,
         seconds: report.seconds,
+        wall_seconds: report.wall_seconds,
         checksum: best,
         coherence: report.coherence,
         net: report.net,

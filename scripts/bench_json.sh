@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Run the simulator-throughput and fence microbenchmarks and aggregate the
-# per-benchmark JSON records into BENCH_simulator.json at the repo root.
+# per-benchmark JSON records into BENCH_simulator.json at the repo root,
+# then run the wall-clock workload benchmarks on the native transport and
+# emit BENCH_native.json alongside it.
 #
 # If a baseline exists (target/bench-baseline/*.json, captured by running
 # this script once on the pre-change tree and copying target/bench-current
@@ -58,3 +60,7 @@ with open("BENCH_simulator.json", "w") as fh:
     fh.write("\n")
 print(json.dumps(report, indent=2))
 EOF
+
+# Native-backend wall-clock workload timings (no virtual clock, same
+# protocol engine). Writes BENCH_native.json at the repo root.
+cargo run --release -p bench --bin bench_native -- BENCH_native.json

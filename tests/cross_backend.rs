@@ -1,0 +1,147 @@
+//! Cross-backend equivalence: the same DRF programs, the same protocol
+//! engine, two transports.
+//!
+//! The transport layer's promise is that backend choice changes *when
+//! things cost*, never *what the memory says*. Each program here is written
+//! once, generically over `rma::Transport`, and executed on both the
+//! virtual-time simulator and the wall-clock native backend; final global
+//! memory contents must agree bit for bit, and the coherence statistics
+//! must satisfy the same structural invariants (the raw counts may differ —
+//! timing changes eviction interleavings — but the protocol's bookkeeping
+//! identities hold on any backend).
+
+use argo::types::GlobalF64Array;
+use argo::{ArgoConfig, ArgoMachine};
+use carina::CoherenceSnapshot;
+use rma::Transport;
+use workloads::{matmul, sor};
+
+/// Producer/consumer over a page-striped array: even tids write their
+/// chunk, a barrier publishes, every thread then sums the whole array.
+/// Returns (final memory words, per-thread sums, coherence stats).
+fn producer_consumer<T: Transport>(
+    machine: &std::sync::Arc<ArgoMachine<T>>,
+    n: usize,
+) -> (Vec<u64>, Vec<f64>, CoherenceSnapshot) {
+    let arr = GlobalF64Array::alloc(machine.dsm(), n);
+    let report = machine.run(move |ctx| {
+        for i in ctx.my_chunk(n) {
+            arr.set(ctx, i, (i * i) as f64);
+        }
+        ctx.barrier();
+        let mut sum = 0.0;
+        for i in 0..n {
+            sum += arr.get(ctx, i);
+        }
+        sum
+    });
+    let words = (0..n)
+        .map(|i| machine.dsm().peek_u64(arr.addr(i)))
+        .collect();
+    (words, report.results, report.coherence)
+}
+
+/// Multi-phase barrier program: each phase, every thread increments every
+/// slot it owns and reads a neighbour thread's slot from the previous
+/// phase. Exercises repeated SI/SD cycles rather than one publish.
+fn barrier_phases<T: Transport>(
+    machine: &std::sync::Arc<ArgoMachine<T>>,
+    phases: usize,
+) -> (Vec<u64>, CoherenceSnapshot) {
+    let total = machine.config().total_threads();
+    let stride = 512; // one page per slot: keeps the program DRF per word
+    let arr = GlobalF64Array::alloc(machine.dsm(), total * stride);
+    let report = machine.run(move |ctx| {
+        let me = ctx.tid() * stride;
+        let neighbour = ((ctx.tid() + 1) % total) * stride;
+        let mut observed = 0.0;
+        for _ in 0..phases {
+            let v = arr.get(ctx, me);
+            arr.set(ctx, me, v + 1.0);
+            ctx.barrier();
+            observed += arr.get(ctx, neighbour);
+            ctx.barrier();
+        }
+        observed
+    });
+    let words = (0..total)
+        .map(|t| machine.dsm().peek_u64(arr.addr(t * stride)))
+        .collect();
+    // Each neighbour slot is read once per phase, after its phase-p
+    // increment: observed = 1 + 2 + ... + phases.
+    let expect = (phases * (phases + 1) / 2) as f64;
+    assert!(report.results.iter().all(|&o| o == expect));
+    (words, report.coherence)
+}
+
+/// Bookkeeping identities that hold on any backend.
+fn check_invariants(c: &CoherenceSnapshot) {
+    assert!(c.read_misses > 0, "cross-node program must miss");
+    assert!(c.write_faults > 0, "cross-node program must write-fault");
+    assert!(c.si_fences > 0 && c.sd_fences > 0, "barriers must fence");
+    assert!(
+        c.writeback_bytes == 0 || c.writebacks > 0,
+        "writeback bytes without writeback events"
+    );
+}
+
+fn machines(nodes: usize, tpn: usize) -> (
+    std::sync::Arc<ArgoMachine>,
+    std::sync::Arc<ArgoMachine<rma::NativeTransport>>,
+) {
+    let cfg = ArgoConfig::small(nodes, tpn);
+    (ArgoMachine::new(cfg), ArgoMachine::native(cfg))
+}
+
+#[test]
+fn producer_consumer_identical_memory_on_both_backends() {
+    let (sim, native) = machines(3, 2);
+    let (mem_sim, sums_sim, coh_sim) = producer_consumer(&sim, 2048);
+    let (mem_nat, sums_nat, coh_nat) = producer_consumer(&native, 2048);
+    assert_eq!(mem_sim, mem_nat, "final memory diverged across backends");
+    assert_eq!(sums_sim, sums_nat, "observed values diverged");
+    let expect: f64 = (0..2048u64).map(|i| (i * i) as f64).sum();
+    assert!(sums_sim.iter().all(|&s| s == expect));
+    check_invariants(&coh_sim);
+    check_invariants(&coh_nat);
+}
+
+#[test]
+fn barrier_phases_identical_memory_on_both_backends() {
+    let (sim, native) = machines(2, 3);
+    let (mem_sim, coh_sim) = barrier_phases(&sim, 5);
+    let (mem_nat, coh_nat) = barrier_phases(&native, 5);
+    assert_eq!(mem_sim, mem_nat, "final memory diverged across backends");
+    assert!(mem_sim.iter().all(|&w| f64::from_bits(w) == 5.0));
+    check_invariants(&coh_sim);
+    check_invariants(&coh_nat);
+}
+
+#[test]
+fn matmul_end_to_end_on_native() {
+    let p = matmul::MatmulParams { n: 48 };
+    let sim = matmul::run_argo(&ArgoMachine::new(ArgoConfig::small(2, 2)), p);
+    let nat = matmul::run_argo(&ArgoMachine::native(ArgoConfig::small(2, 2)), p);
+    assert!(
+        nat.checksum_matches(&sim, 1e-9),
+        "matmul checksum diverged: sim {} native {}",
+        sim.checksum,
+        nat.checksum
+    );
+    assert_eq!(nat.cycles, 0, "native backend has no virtual clock");
+    assert!(nat.wall_seconds > 0.0);
+}
+
+#[test]
+fn sor_end_to_end_on_native() {
+    let p = sor::SorParams { n: 64, iterations: 6, omega: 1.25 };
+    let sim = sor::run_argo(&ArgoMachine::new(ArgoConfig::small(2, 2)), p);
+    let nat = sor::run_argo(&ArgoMachine::native(ArgoConfig::small(2, 2)), p);
+    assert!(
+        nat.checksum_matches(&sim, 1e-9),
+        "sor checksum diverged: sim {} native {}",
+        sim.checksum,
+        nat.checksum
+    );
+    assert_eq!(nat.cycles, 0);
+}
