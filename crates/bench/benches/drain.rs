@@ -1,0 +1,95 @@
+//! Downgrade/drain cost — the regression guard for the write-mask diff
+//! path and the home-coalesced batch drain.
+//!
+//! A downgrade's host cost should be O(dirty words), not O(page): a page
+//! with a handful of scattered stores must diff by consulting its write
+//! mask, not by scanning all 512 words against an eagerly copied twin. And
+//! an SD fence holding many dirty pages should issue one batched verb per
+//! home rather than one posting per page. Two shapes pin this down:
+//!
+//! - `downgrade/{sparse,dense}`: dirty one page with 8 words in one chunk
+//!   vs. all 512 words, then fence. Sparse must be a small fraction of
+//!   dense — under the old full-scan path both cost the same diff sweep.
+//! - `sd_fence_drain/occupancy_N`: fence with N dirty pages buffered, for
+//!   the per-page and home-coalesced posting paths.
+
+use carina::{BatchDrain, CarinaConfig, Dsm};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mem::{GlobalAddr, PAGE_BYTES};
+use simnet::{ClusterTopology, CostModel, Interconnect, NodeId, SimThread};
+use std::sync::Arc;
+
+/// A node-0 thread on a 4-node machine (interleaved homes: 3 of 4 pages
+/// are remote, so fence drains have several homes to coalesce).
+fn setup(batch: BatchDrain) -> (Arc<Dsm>, SimThread) {
+    let topo = ClusterTopology::tiny(4);
+    let net = Interconnect::new(topo, CostModel::paper_2011());
+    let cfg = CarinaConfig {
+        batch_drain: batch,
+        ..Default::default()
+    };
+    let dsm = Dsm::new(net.clone(), 64 << 20, cfg);
+    let t = SimThread::new(topo.loc(NodeId(0), 0), net);
+    (dsm, t)
+}
+
+/// Remote page `i` as seen from node 0 (skip every 4th page: node 0's own
+/// homes are never cached).
+fn remote_page(i: u64) -> u64 {
+    let p = i + i / 3 + 1;
+    debug_assert!(!p.is_multiple_of(4));
+    p
+}
+
+fn bench_downgrade_density(c: &mut Criterion) {
+    let mut g = c.benchmark_group("downgrade");
+    // Sparse: 8 words inside one 64-word chunk — the masked diff visits one
+    // chunk; the lazy twin copies one chunk at the first store.
+    let (dsm, mut t) = setup(BatchDrain::Never);
+    g.bench_function("sparse_8_words", |b| {
+        b.iter(|| {
+            let base = remote_page(0) * PAGE_BYTES;
+            for w in 0..8u64 {
+                dsm.write_u64(&mut t, GlobalAddr(base + w * 8), w);
+            }
+            dsm.sd_fence(&mut t);
+        })
+    });
+    // Dense: every word of the page — mask covers all chunks, the diff
+    // degenerates to the full scan (and ships the whole page).
+    let (dsm, mut t) = setup(BatchDrain::Never);
+    g.bench_function("dense_512_words", |b| {
+        b.iter(|| {
+            let base = remote_page(0) * PAGE_BYTES;
+            for w in 0..512u64 {
+                dsm.write_u64(&mut t, GlobalAddr(base + w * 8), w);
+            }
+            dsm.sd_fence(&mut t);
+        })
+    });
+    g.finish();
+}
+
+fn bench_fence_drain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sd_fence_drain");
+    for &occupancy in &[8u64, 64, 512] {
+        for (tag, mode) in [("single", BatchDrain::Never), ("batched", BatchDrain::Always)] {
+            let (dsm, mut t) = setup(mode);
+            g.bench_function(format!("occupancy_{occupancy}/{tag}"), |b| {
+                b.iter(|| {
+                    // One store per page: the buffer holds `occupancy`
+                    // dirty pages spread over three homes at the fence.
+                    for i in 0..occupancy {
+                        let addr = GlobalAddr(remote_page(i) * PAGE_BYTES);
+                        dsm.write_u64(&mut t, addr, i);
+                    }
+                    dsm.sd_fence(&mut t);
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_downgrade_density, bench_fence_drain);
+criterion_main!(benches);

@@ -4,6 +4,26 @@ use crate::classification::ClassificationMode;
 use mem::addr::HomePolicy;
 use mem::CacheConfig;
 
+/// Whether SD fences drain the write buffer with one home-coalesced
+/// `rdma_write_batch` per home node, or with one `rdma_write` per page.
+///
+/// Both paths move the same diffs in the same global FIFO order and tick
+/// the same counters; they differ in verb timing (the batch pays one
+/// doorbell per home, the per-page path prices each write independently)
+/// and in host-side issue cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchDrain {
+    /// Defer to the transport (`Transport::prefers_batched_drain`): the
+    /// simulator keeps its calibrated, bit-reproducible per-page path, the
+    /// native backend coalesces.
+    #[default]
+    Auto,
+    /// Always coalesce (equivalence tests force this on the simulator).
+    Always,
+    /// Never coalesce.
+    Never,
+}
+
 /// All tunables of the coherence layer. Defaults match the paper's shipped
 /// configuration (P/S3, passive directory, prefetching off unless asked).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -17,6 +37,12 @@ pub struct CarinaConfig {
     /// Write-buffer capacity in pages (the Figure 9/10 sweep). When the
     /// buffer exceeds this, the oldest dirty page is downgraded.
     pub write_buffer_pages: usize,
+    /// Lock stripes of the write buffer (clean→dirty pushes from a node's
+    /// threads serialize per stripe, not globally). Purely host-side:
+    /// global FIFO victim order is preserved by push tickets.
+    pub write_buffer_shards: usize,
+    /// How SD fences post the drained pages home (see [`BatchDrain`]).
+    pub batch_drain: BatchDrain,
     /// Ablation: charge a software message-handler invocation at the home
     /// node for every directory operation and notification, as a
     /// traditional *active* directory would. Argo's contribution is that
@@ -49,6 +75,8 @@ impl Default for CarinaConfig {
             cache: CacheConfig::default(),
             home_policy: HomePolicy::Interleaved,
             write_buffer_pages: 8192,
+            write_buffer_shards: crate::write_buffer::DEFAULT_SHARDS,
+            batch_drain: BatchDrain::Auto,
             active_directory: false,
             sw_no_diff: false,
             hit_cycles: 4,

@@ -30,7 +30,7 @@ pub mod trace;
 pub mod write_buffer;
 
 pub use classification::{ClassificationMode, DirView, PageClass, WriterClass};
-pub use config::CarinaConfig;
+pub use config::{BatchDrain, CarinaConfig};
 pub use protocol::Dsm;
 pub use stats::{CoherenceSnapshot, CoherenceStats, StatShard};
 pub use trace::{Event as TraceEvent, TracedEvent, Tracer};

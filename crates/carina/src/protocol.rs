@@ -25,11 +25,14 @@
 //! remote sharers classify them correctly.
 
 use crate::classification::{node_bit, ClassificationMode, DirView, PageClass};
-use crate::config::CarinaConfig;
+use crate::config::{BatchDrain, CarinaConfig};
 use crate::directory::{DirCaches, Pyxis};
 use crate::stats::CoherenceStats;
 use crate::write_buffer::WriteBuffer;
-use mem::{GlobalAddr, GlobalAllocator, GlobalMemory, PageCache, PageNum, SlotGuard, PAGE_BYTES};
+use mem::{
+    GlobalAddr, GlobalAllocator, GlobalMemory, PageCache, PageData, PageNum, SlotGuard,
+    CHUNK_WORDS, PAGE_BYTES,
+};
 use rma::{Endpoint, SimTransport, Transport};
 use simnet::NodeId;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -145,7 +148,10 @@ impl<T: Transport> Dsm<T> {
             nodes: (0..n)
                 .map(|_| NodeState {
                     cache: PageCache::new(config.cache),
-                    wbuf: WriteBuffer::new(config.write_buffer_pages),
+                    wbuf: WriteBuffer::with_shards(
+                        config.write_buffer_pages,
+                        config.write_buffer_shards,
+                    ),
                     pending_settle: AtomicU64::new(0),
                     reg_read: PageBitSet::new(total_pages),
                     reg_write: PageBitSet::new(total_pages),
@@ -266,17 +272,35 @@ impl<T: Transport> Dsm<T> {
         let was_dirty = st.pages[idx].dirty;
         if was_dirty {
             CoherenceStats::bump(&self.stats.shard(me).write_hits);
-            st.data(idx).store(word, value);
+            Self::store_cached(&st, idx, word, value);
             return;
         }
         let buffered = self.write_fault_locked(t, &mut st, page, me);
-        st.data(idx).store(word, value);
+        Self::store_cached(&st, idx, word, value);
         drop(st);
         if buffered {
             if let Some(victim) = ns.wbuf.push(page) {
                 self.downgrade(t, victim, me);
             }
         }
+    }
+
+    /// Store into a cached page under its slot lock, maintaining the
+    /// page's write mask. The first store into each 64-word chunk copies
+    /// that chunk of the pre-store data into the twin — lazy, chunk-wise
+    /// twin materialization, so twin cost is O(chunks written), not
+    /// O(page). Sound because all stores to cached pages happen under the
+    /// slot mutex: nothing can change a chunk between the fault that
+    /// allocated the (empty) twin and the copy-on-first-touch here.
+    #[inline]
+    fn store_cached(st: &SlotGuard<'_>, idx: usize, word: usize, value: u64) {
+        let cp = &st.pages[idx];
+        if cp.mask.set(word) {
+            if let Some(twin) = &cp.twin {
+                twin.copy_chunk_from(st.data(idx), word / CHUNK_WORDS);
+            }
+        }
+        st.data(idx).store(word, value);
     }
 
     /// The clean→dirty transition of a cached page (a protection fault in
@@ -299,8 +323,14 @@ impl<T: Transport> Dsm<T> {
         self.register_writer(t, page, me);
         let view = self.dir_caches.entry(me, page).view();
         let need_twin = !(self.config.sw_no_diff && view.writers == node_bit(me));
+        debug_assert!(st.pages[idx].mask.is_empty(), "clean page carries mask bits");
         if need_twin {
-            st.pages[idx].twin = Some(st.data(idx).snapshot());
+            // The twin starts empty; `store_cached` copies each 64-word
+            // chunk from the live data the first time the chunk is written,
+            // so only touched chunks are ever materialized. The *virtual*
+            // charge stays a full hot page copy — the simulated machine
+            // snapshots eagerly; only host work became lazy.
+            st.pages[idx].twin = Some(PageData::zeroed());
             t.compute(self.config.page_copy_cycles);
             CoherenceStats::bump(&self.stats.shard(me).twins_created);
         }
@@ -403,6 +433,17 @@ impl<T: Transport> Dsm<T> {
                     self.write_fault_locked(t, &mut st, page, me)
                 };
                 let pd = st.data(idx);
+                {
+                    // Bulk mask update: one fetch_or per touched chunk, and
+                    // lazy twin chunks materialized before the stores land
+                    // (see `store_cached`).
+                    let cp = &st.pages[idx];
+                    cp.mask.cover(first_word, run, |chunk| {
+                        if let Some(twin) = &cp.twin {
+                            twin.copy_chunk_from(pd, chunk);
+                        }
+                    });
+                }
                 for k in 0..run {
                     pd.store(first_word + k, data[i + k]);
                 }
@@ -507,8 +548,18 @@ impl<T: Transport> Dsm<T> {
             kind: crate::trace::FenceKind::SelfDowngrade,
         });
         let ns = &self.nodes[me as usize];
-        for page in ns.wbuf.drain() {
-            self.downgrade(t, page, me);
+        let drained = ns.wbuf.drain();
+        let batch = match self.config.batch_drain {
+            BatchDrain::Auto => self.net.prefers_batched_drain(),
+            BatchDrain::Always => true,
+            BatchDrain::Never => false,
+        };
+        if batch {
+            self.drain_batched(t, &drained, me);
+        } else {
+            for page in drained {
+                self.downgrade(t, page, me);
+            }
         }
         if self.config.mode == ClassificationMode::PsNaive {
             self.naive_checkpoint_sweep(t, me);
@@ -564,7 +615,11 @@ impl<T: Transport> Dsm<T> {
     fn silently_write_through(&self, st: &SlotGuard<'_>, page: PageNum, idx: usize) {
         let home = self.global.home_page(page);
         match &st.pages[idx].twin {
-            Some(twin) => home.apply_diff(&st.data(idx).diff_against(twin)),
+            // Lazily-materialized twins are only meaningful inside masked
+            // chunks; the masked diff never looks outside them.
+            Some(twin) => home.apply_diff(
+                &st.data(idx).diff_against_masked(twin, &st.pages[idx].mask),
+            ),
             None => home.copy_from(st.data(idx)),
         }
     }
@@ -647,6 +702,7 @@ impl<T: Transport> Dsm<T> {
                 st.pages[idx].valid = true;
                 st.pages[idx].dirty = false;
                 st.pages[idx].twin = None;
+                st.pages[idx].mask.clear();
             }
         }
         t.merge(done);
@@ -865,14 +921,41 @@ impl<T: Transport> Dsm<T> {
         self.downgrade_locked(t, &mut st, page, me);
     }
 
-    /// Downgrade with the slot lock already held.
+    /// Downgrade with the slot lock already held: resolve the data locally,
+    /// then post the write-back home immediately (the per-page path).
     fn downgrade_locked(&self, t: &mut T::Endpoint, st: &mut SlotGuard<'_>, page: PageNum, me: u16) {
+        let Some(bytes) = self.downgrade_local(t, st, page, me) else {
+            return;
+        };
+        let home = self.global.home_of(page);
+        if home == me {
+            // Cannot happen: local pages are never cached. Kept as a guard.
+            return;
+        }
+        let timing = self.net.rdma_write(t.loc(), NodeId(home), t.now(), bytes);
+        t.merge(timing.initiator_done);
+        self.nodes[me as usize]
+            .pending_settle
+            .fetch_max(timing.settled, Ordering::AcqRel);
+    }
+
+    /// The local half of a downgrade: diff (or copy) the dirty page into
+    /// its home memory, flip it clean, and return the wire size of the
+    /// write-back that must now be posted to the home — `None` if the page
+    /// needed no downgrade. Split out so fence drains can batch the posting
+    /// by home while the data movement stays per-page.
+    fn downgrade_local(
+        &self,
+        t: &mut T::Endpoint,
+        st: &mut SlotGuard<'_>,
+        page: PageNum,
+        me: u16,
+    ) -> Option<u64> {
         let ns = &self.nodes[me as usize];
         let idx = ns.cache.index_in_line(page);
         if !st.pages[idx].valid || !st.pages[idx].dirty {
-            return;
+            return None;
         }
-        let home = self.global.home_of(page);
         let home_page = self.global.home_page(page);
         let view = self.dir_caches.entry(me, page).view();
         // A single writer may skip diff transmission: no other node can
@@ -884,7 +967,10 @@ impl<T: Transport> Dsm<T> {
         let bytes = match (&st.pages[idx].twin, sw_skip) {
             (Some(twin), false) => {
                 t.compute(self.config.page_copy_cycles); // diff scan
-                let diff = data.diff_against(twin);
+                // The twin is only materialized chunk-wise where the mask
+                // says stores landed; outside the mask both copies agree by
+                // construction, so the masked diff is exact.
+                let diff = data.diff_against_masked(twin, &st.pages[idx].mask);
                 let diff_bytes =
                     DOWNGRADE_HEADER_BYTES + diff.len() as u64 * DIFF_WORD_BYTES;
                 if diff_bytes < PAGE_BYTES {
@@ -903,16 +989,10 @@ impl<T: Transport> Dsm<T> {
         };
         st.pages[idx].dirty = false;
         st.pages[idx].twin = None;
+        st.pages[idx].mask.clear();
         // The real implementation re-protects the page read-only so the
         // next write faults again.
         t.compute(self.config.protect_cycles);
-        if home == me {
-            // Cannot happen: local pages are never cached. Kept as a guard.
-            return;
-        }
-        let timing = self.net.rdma_write(t.loc(), NodeId(home), t.now(), bytes);
-        t.merge(timing.initiator_done);
-        ns.pending_settle.fetch_max(timing.settled, Ordering::AcqRel);
         CoherenceStats::bump(&self.stats.shard(me).writebacks);
         CoherenceStats::add(&self.stats.shard(me).writeback_bytes, bytes);
         self.tracer.record(t.now(), || crate::trace::Event::Downgrade {
@@ -920,6 +1000,48 @@ impl<T: Transport> Dsm<T> {
             page,
             bytes,
         });
+        Some(bytes)
+    }
+
+    /// SD-fence drain that coalesces write-backs by home node: every dirty
+    /// page is still diffed into home memory individually and in global
+    /// FIFO order, but instead of one verb per page each home receives one
+    /// `rdma_write_batch` (one doorbell, one posting) carrying all of its
+    /// pages' diffs. Homes appear in first-victim order.
+    fn drain_batched(&self, t: &mut T::Endpoint, pages: &[PageNum], me: u16) {
+        let ns = &self.nodes[me as usize];
+        let mut batches: Vec<(u16, Vec<u64>)> = Vec::new();
+        for &page in pages {
+            let mut st = ns.cache.lock_slot(page);
+            if st.tag != Some(ns.cache.line_of(page)) {
+                continue; // evicted (and flushed) since it was buffered
+            }
+            let Some(bytes) = self.downgrade_local(t, &mut st, page, me) else {
+                continue;
+            };
+            let home = self.global.home_of(page);
+            if home == me {
+                continue; // guard; local pages are never cached
+            }
+            match batches.iter_mut().find(|(h, _)| *h == home) {
+                Some((_, sizes)) => sizes.push(bytes),
+                None => batches.push((home, vec![bytes])),
+            }
+        }
+        for (home, sizes) in &batches {
+            let timing = self
+                .net
+                .rdma_write_batch(t.loc(), NodeId(*home), t.now(), sizes);
+            t.merge(timing.initiator_done);
+            ns.pending_settle.fetch_max(timing.settled, Ordering::AcqRel);
+            self.tracer
+                .record(t.now(), || crate::trace::Event::DowngradeBatch {
+                    node: me,
+                    home: *home,
+                    pages: sizes.len() as u64,
+                    bytes: sizes.iter().sum(),
+                });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1015,7 +1137,7 @@ impl<T: Transport> Dsm<T> {
         let bytes = match &st.pages[idx].twin {
             Some(twin) => {
                 t.compute(self.config.page_copy_cycles);
-                let diff = data.diff_against(twin);
+                let diff = data.diff_against_masked(twin, &st.pages[idx].mask);
                 let diff_bytes = DOWNGRADE_HEADER_BYTES + diff.len() as u64 * DIFF_WORD_BYTES;
                 if diff_bytes < PAGE_BYTES {
                     CoherenceStats::add(&self.stats.shard(owner).diff_words, diff.len() as u64);
@@ -1033,6 +1155,7 @@ impl<T: Transport> Dsm<T> {
         };
         st.pages[idx].dirty = false;
         st.pages[idx].twin = None;
+        st.pages[idx].mask.clear();
         if home != owner {
             let timing = self.net.rdma_write(t.loc(), NodeId(home), t.now(), bytes);
             t.merge(timing.settled);
@@ -1080,6 +1203,10 @@ impl<T: Transport> Dsm<T> {
                         }
                     } else if cp.twin.is_some() {
                         problems.push(format!("n{n}: clean page {} holds a twin", page.0));
+                    } else if !cp.mask.is_empty() {
+                        // A stale mask would make the next fault's lazy twin
+                        // skip chunk snapshots it actually needs.
+                        problems.push(format!("n{n}: clean page {} carries mask bits", page.0));
                     }
                 }
             }

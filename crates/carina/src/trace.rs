@@ -17,6 +17,9 @@ pub enum Event {
     ReadMiss { node: u16, page: PageNum },
     WriteFault { node: u16, page: PageNum },
     Downgrade { node: u16, page: PageNum, bytes: u64 },
+    /// A home-coalesced fence drain posted `pages` write-backs to `home`
+    /// with a single batched verb.
+    DowngradeBatch { node: u16, home: u16, pages: u64, bytes: u64 },
     SiInvalidate { node: u16, page: PageNum },
     SiKeep { node: u16, page: PageNum },
     PToS { page: PageNum, newcomer: u16, owner: u16 },
@@ -114,6 +117,9 @@ impl std::fmt::Display for TracedEvent {
             Event::WriteFault { node, page } => write!(f, "n{node} write-fault p{}", page.0),
             Event::Downgrade { node, page, bytes } => {
                 write!(f, "n{node} downgrade   p{} ({bytes} B)", page.0)
+            }
+            Event::DowngradeBatch { node, home, pages, bytes } => {
+                write!(f, "n{node} batch->n{home} {pages} pages ({bytes} B)")
             }
             Event::SiInvalidate { node, page } => write!(f, "n{node} SI-inval    p{}", page.0),
             Event::SiKeep { node, page } => write!(f, "n{node} SI-keep     p{}", page.0),

@@ -104,6 +104,84 @@ fn concurrent_stripes_account_every_access() {
     assert!(problems.is_empty(), "invariants violated: {problems:?}");
 }
 
+/// Sharded write-buffer torture: pusher threads feed disjoint page ranges
+/// (with interleaved removals) while a fencer thread drains concurrently.
+/// Accounting must be airtight — every push is resolved exactly once, as an
+/// overflow victim, a successful removal, or a drained entry — and the
+/// buffer must end empty. A lost downgrade here would be silent data loss
+/// at the next SD fence.
+#[test]
+fn sharded_write_buffer_loses_nothing_under_contention() {
+    use carina::WriteBuffer;
+    use mem::PageNum;
+    use std::collections::HashMap;
+
+    const PUSHERS: u64 = 4;
+    const PAGES_EACH: u64 = 3_000;
+    let wb = Arc::new(WriteBuffer::with_shards(64, 8));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Fencer: drains everything, repeatedly, while pushes are in flight.
+    let drained = {
+        let wb = wb.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while !stop.load(Ordering::Acquire) {
+                got.extend(wb.drain());
+            }
+            got.extend(wb.drain()); // sweep what raced the stop flag
+            got
+        })
+    };
+
+    // Pushers own disjoint ranges, so no page is ever live twice; each
+    // removes every third page right after pushing it (the eviction path).
+    let pushers: Vec<_> = (0..PUSHERS)
+        .map(|id| {
+            let wb = wb.clone();
+            std::thread::spawn(move || {
+                let mut victims = Vec::new();
+                let mut removed = Vec::new();
+                for i in 0..PAGES_EACH {
+                    let page = PageNum(id * PAGES_EACH + i);
+                    if let Some(v) = wb.push(page) {
+                        victims.push(v);
+                    }
+                    if i % 3 == 0 && wb.remove(page) {
+                        removed.push(page);
+                    }
+                }
+                (victims, removed)
+            })
+        })
+        .collect();
+
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for h in pushers {
+        let (victims, removed) = h.join().unwrap();
+        for p in victims.into_iter().chain(removed) {
+            *counts.entry(p.0).or_default() += 1;
+        }
+    }
+    stop.store(true, Ordering::Release);
+    for p in drained.join().unwrap() {
+        *counts.entry(p.0).or_default() += 1;
+    }
+
+    assert!(wb.is_empty(), "buffer must end empty, len={}", wb.len());
+    assert_eq!(
+        counts.len() as u64,
+        PUSHERS * PAGES_EACH,
+        "some pushed pages were never resolved"
+    );
+    let dupes: Vec<_> = counts.iter().filter(|&(_, &c)| c != 1).collect();
+    assert!(
+        dupes.is_empty(),
+        "pages resolved more than once (duplicate downgrade): {dupes:?}"
+    );
+}
+
 /// Seqlock torture: two read-only pages fight over a single cache slot
 /// while reader threads race the evict/refill churn on the lock-free fast
 /// path. A reader must never observe page A's identity with page B's data,

@@ -30,7 +30,7 @@
 //! all network charging live in `carina`.
 
 use crate::addr::PageNum;
-use crate::page::PageData;
+use crate::page::{PageData, WriteMask};
 use parking_lot::{Mutex, MutexGuard};
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{fence, AtomicU64, Ordering};
@@ -77,8 +77,14 @@ pub struct CachedPage {
     /// Written since the last downgrade (a twin exists while dirty).
     pub dirty: bool,
     /// Snapshot taken at write-miss time; diffed against the live data on
-    /// downgrade to avoid clobbering concurrent remote writers.
+    /// downgrade to avoid clobbering concurrent remote writers. Lazily
+    /// materialized per 64-word chunk as the mask's chunks are first
+    /// touched, so it only holds meaningful data inside masked chunks.
     pub twin: Option<PageData>,
+    /// Which words have been stored to since the page last went clean — a
+    /// superset of the words that actually changed. Drives the masked diff
+    /// on downgrade and the lazy chunk-wise twin copies.
+    pub mask: WriteMask,
 }
 
 impl CachedPage {
@@ -87,6 +93,7 @@ impl CachedPage {
             valid: false,
             dirty: false,
             twin: None,
+            mask: WriteMask::new(),
         }
     }
 
@@ -96,6 +103,7 @@ impl CachedPage {
         self.valid = false;
         self.dirty = false;
         self.twin = None;
+        self.mask.clear();
     }
 }
 

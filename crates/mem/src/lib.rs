@@ -36,4 +36,4 @@ pub use addr::{GlobalAddr, HomeMap, HomePolicy, PageNum, PAGE_BYTES, WORDS_PER_P
 pub use alloc::GlobalAllocator;
 pub use cache::{CacheConfig, CachedPage, LineSlot, PageCache, SlotGuard};
 pub use global::GlobalMemory;
-pub use page::PageData;
+pub use page::{PageData, WriteMask, CHUNK_WORDS, MASK_WORDS};

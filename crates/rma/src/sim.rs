@@ -64,6 +64,17 @@ impl Transport for Interconnect {
     }
 
     #[inline]
+    fn rdma_write_batch(
+        &self,
+        from: ThreadLoc,
+        target: NodeId,
+        at: u64,
+        sizes: &[u64],
+    ) -> Completion {
+        Interconnect::rdma_write_batch(self, from, target, at, sizes).into()
+    }
+
+    #[inline]
     fn rdma_fetch_or(&self, from: ThreadLoc, target: NodeId, at: u64) -> Completion {
         Interconnect::rdma_atomic(self, from, target, at).into()
     }
@@ -133,6 +144,11 @@ impl Endpoint for SimThread {
     #[inline]
     fn rdma_write(&mut self, target: NodeId, bytes: u64) -> u64 {
         SimThread::rdma_write(self, target, bytes)
+    }
+
+    #[inline]
+    fn rdma_write_batch(&mut self, target: NodeId, sizes: &[u64]) -> u64 {
+        SimThread::rdma_write_batch(self, target, sizes)
     }
 
     #[inline]

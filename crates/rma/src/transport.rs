@@ -94,6 +94,42 @@ pub trait Transport: Send + Sync + Debug + 'static {
     /// `settled`.
     fn rdma_write(&self, from: ThreadLoc, target: NodeId, at: u64, bytes: u64) -> Completion;
 
+    /// Home-coalesced posted write: `sizes.len()` payloads to the same
+    /// `target` behind a single doorbell. Must account exactly like the
+    /// equivalent sequence of [`Self::rdma_write`]s (one write + its bytes
+    /// per payload); backends differ only in timing and host-side cost. The
+    /// default chains single writes, so every backend is correct without
+    /// opting in.
+    fn rdma_write_batch(
+        &self,
+        from: ThreadLoc,
+        target: NodeId,
+        at: u64,
+        sizes: &[u64],
+    ) -> Completion {
+        let mut now = at;
+        let mut settled = at;
+        for &bytes in sizes {
+            let c = self.rdma_write(from, target, now, bytes);
+            now = c.initiator_done;
+            settled = settled.max(c.settled);
+        }
+        Completion {
+            initiator_done: now,
+            settled,
+        }
+    }
+
+    /// Whether SD fences should coalesce their drain into per-home
+    /// [`Self::rdma_write_batch`] calls when the protocol leaves the choice
+    /// to the backend (`BatchDrain::Auto` in the protocol's config). The
+    /// simulator declines — its per-page path is the calibrated,
+    /// bit-reproducible one — while backends whose verb issue has real
+    /// host-side cost opt in.
+    fn prefers_batched_drain(&self) -> bool {
+        false
+    }
+
     /// Blocking remote fetch-or on a directory word (reader/writer
     /// registration, paper §3.2).
     fn rdma_fetch_or(&self, from: ThreadLoc, target: NodeId, at: u64) -> Completion;
@@ -155,6 +191,17 @@ pub trait Endpoint: Send + Clone + Debug + 'static {
     /// Posted one-sided write of `bytes` to `target`'s memory; returns the
     /// settle stamp (SD fences collect the max of these).
     fn rdma_write(&mut self, target: NodeId, bytes: u64) -> u64;
+
+    /// Posted batch write of `sizes.len()` payloads to `target` behind one
+    /// doorbell; returns the settle stamp of the whole batch. The default
+    /// chains single writes.
+    fn rdma_write_batch(&mut self, target: NodeId, sizes: &[u64]) -> u64 {
+        let mut settled = 0;
+        for &bytes in sizes {
+            settled = settled.max(self.rdma_write(target, bytes));
+        }
+        settled
+    }
 
     /// Blocking remote fetch-or (directory registration).
     fn rdma_fetch_or(&mut self, target: NodeId);

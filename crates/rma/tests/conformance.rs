@@ -114,11 +114,49 @@ fn endpoint_clones_share_the_fabric<T: Transport>(net: &Arc<T>) {
     assert_eq!(net.stats().snapshot().rdma_reads, before + 1);
 }
 
+/// The batched write verb must be counter-equivalent to issuing its pages
+/// as singles, on every backend: same `rdma_writes` ticks, same byte
+/// totals, same per-node conservation. An empty batch is a no-op.
+fn batched_writes_count_like_singles<T: Transport>(net: &Arc<T>) {
+    net.reset_per_node_stats();
+    let loc = net.topology().loc(NodeId(0), 0);
+    let sizes = [4096u64, 72, 4096, 160];
+    let total: u64 = sizes.iter().sum();
+    let before = net.stats().snapshot();
+    let b = net.rdma_write_batch(loc, NodeId(1), 0, &sizes);
+    assert!(b.settled >= b.initiator_done, "batch settle before unblock");
+    let after = net.stats().snapshot();
+    assert_eq!(after.rdma_writes - before.rdma_writes, sizes.len() as u64);
+    assert_eq!(after.bytes_written - before.bytes_written, total);
+    let per = net.per_node_stats();
+    assert_eq!(per[0].bytes_out, total, "batch bytes_out mismatch");
+    assert_eq!(per[1].bytes_in, total, "batch bytes_in mismatch");
+    assert_eq!(per[1].ops_in, sizes.len() as u64, "batch ops_in mismatch");
+
+    let mid = net.stats().snapshot();
+    net.rdma_write_batch(loc, NodeId(1), 0, &[]);
+    let end = net.stats().snapshot();
+    assert_eq!(end.rdma_writes, mid.rdma_writes, "empty batch counted");
+    assert_eq!(end.bytes_written, mid.bytes_written);
+    net.reset_per_node_stats();
+
+    // Endpoint flavor reaches the same fabric counters.
+    let mut e = T::endpoint(net, loc);
+    let before = net.stats().snapshot();
+    let settled = e.rdma_write_batch(NodeId(1), &sizes);
+    assert!(settled >= e.now(), "batch settled before issue completed");
+    let after = net.stats().snapshot();
+    assert_eq!(after.rdma_writes - before.rdma_writes, sizes.len() as u64);
+    assert_eq!(after.bytes_written - before.bytes_written, total);
+    net.reset_per_node_stats();
+}
+
 fn run_all<T: Transport>(net: Arc<T>) {
     completions_are_ordered(&net);
     verbs_are_counted(&net);
     per_node_accounting_conserves(&net);
     intra_node_traffic_is_free(&net);
+    batched_writes_count_like_singles(&net);
     endpoints_carry_placement_and_monotone_clocks(&net);
     endpoint_clones_share_the_fabric(&net);
 }

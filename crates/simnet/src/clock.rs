@@ -111,6 +111,15 @@ impl SimThread {
         t.settled
     }
 
+    /// Home-coalesced posted write of `sizes.len()` page payloads to
+    /// `target` behind one doorbell. Returns the settle stamp of the whole
+    /// batch (SD fences collect the max of these).
+    pub fn rdma_write_batch(&mut self, target: NodeId, sizes: &[u64]) -> u64 {
+        let t = self.net.rdma_write_batch(self.loc, target, self.now, sizes);
+        self.now = t.initiator_done;
+        t.settled
+    }
+
     /// Blocking remote atomic (fetch-and-add on a directory word).
     pub fn rdma_atomic(&mut self, target: NodeId) {
         let t = self.net.rdma_atomic(self.loc, target, self.now);

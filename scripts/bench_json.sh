@@ -18,6 +18,7 @@ mkdir -p "$OUT_DIR"
 
 CRITERION_MINI_OUT="$OUT_DIR" cargo bench -p bench --bench simulator_throughput
 CRITERION_MINI_OUT="$OUT_DIR" cargo bench -p bench --bench fences
+CRITERION_MINI_OUT="$OUT_DIR" cargo bench -p bench --bench drain
 
 python3 - "$OUT_DIR" "$BASELINE_DIR" <<'EOF'
 import json, glob, os, sys

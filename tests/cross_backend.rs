@@ -117,6 +117,66 @@ fn barrier_phases_identical_memory_on_both_backends() {
     check_invariants(&coh_nat);
 }
 
+/// Batched and per-page SD-fence drains are data-plane equivalent: forcing
+/// `BatchDrain::Always` vs `Never` must leave bit-identical final home
+/// memory (and identical observed values) on *both* backends. Only verb
+/// timing and doorbell accounting may differ.
+#[test]
+fn batched_drain_equals_per_page_drain_on_both_backends() {
+    use carina::BatchDrain;
+    // Thread-striped writes: every thread writes word `tid` of each of its
+    // slots, so every thread dirties (mostly remote) pages homed all over
+    // the cluster — fence drains then have several homes to coalesce per
+    // batch. One thread per node keeps each node's push/downgrade sequence
+    // fully deterministic, so the two modes' counters are exactly
+    // comparable.
+    fn striped<T: Transport>(
+        machine: &std::sync::Arc<ArgoMachine<T>>,
+        n: usize,
+    ) -> (Vec<u64>, Vec<f64>, CoherenceSnapshot) {
+        let total = machine.config().total_threads();
+        let arr = GlobalF64Array::alloc(machine.dsm(), n);
+        let report = machine.run(move |ctx| {
+            let mut i = ctx.tid();
+            while i < n {
+                arr.set(ctx, i, (i * i) as f64);
+                i += total;
+            }
+            ctx.barrier();
+            (0..n).map(|i| arr.get(ctx, i)).sum()
+        });
+        let words = (0..n)
+            .map(|i| machine.dsm().peek_u64(arr.addr(i)))
+            .collect();
+        (words, report.results, report.coherence)
+    }
+    let run = |mode: BatchDrain| {
+        let mut cfg = ArgoConfig::small(3, 1);
+        cfg.carina.batch_drain = mode;
+        // Small write buffer: overflow victims (always per-page) and fence
+        // drains (mode-dependent) both occur.
+        cfg.carina.write_buffer_pages = 6;
+        let sim = striped(&ArgoMachine::new(cfg), 1536);
+        let nat = striped(&ArgoMachine::native(cfg), 1536);
+        (sim, nat)
+    };
+    let (sim_b, nat_b) = run(BatchDrain::Always);
+    let (sim_p, nat_p) = run(BatchDrain::Never);
+    assert_eq!(sim_b.0, sim_p.0, "sim: batch vs per-page memory diverged");
+    assert_eq!(nat_b.0, nat_p.0, "native: batch vs per-page memory diverged");
+    assert_eq!(sim_b.0, nat_b.0, "backends diverged under batching");
+    assert_eq!(sim_b.1, sim_p.1, "sim: observed sums diverged");
+    check_invariants(&sim_b.2);
+    check_invariants(&nat_b.2);
+    // Batching coalesces postings but not traffic: byte totals match the
+    // per-page drain exactly on the deterministic simulator.
+    assert_eq!(
+        sim_b.2.writeback_bytes, sim_p.2.writeback_bytes,
+        "batching changed how many bytes go home"
+    );
+    assert_eq!(sim_b.2.writebacks, sim_p.2.writebacks);
+}
+
 #[test]
 fn matmul_end_to_end_on_native() {
     let p = matmul::MatmulParams { n: 48 };
