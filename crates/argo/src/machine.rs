@@ -86,6 +86,11 @@ pub struct RunReport<R> {
     pub coherence: CoherenceSnapshot,
     /// Network traffic during the region (including unmeasured prefix).
     pub net: NetStatsSnapshot,
+    /// Latency histograms (all nodes merged): virtual cycles on the
+    /// simulator, wall nanoseconds on the native backend.
+    pub profile: obs::ProfileSnapshot,
+    /// Per-lock delegation statistics, in lock-registration order.
+    pub locks: Vec<obs::LockObsSnapshot>,
 }
 
 /// An Argo cluster, generic over its RMA transport. The default transport
@@ -207,6 +212,8 @@ impl<T: Transport> ArgoMachine<T> {
             results: results.into_iter().map(|r| r.expect("missing result")).collect(),
             coherence: self.dsm.stats().snapshot(),
             net: self.net.stats().snapshot(),
+            profile: self.dsm.profile().snapshot(),
+            locks: self.dsm.lock_registry().snapshots(),
         }
     }
 }

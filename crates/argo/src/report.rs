@@ -1,11 +1,28 @@
-//! Human-readable run summaries.
+//! Human-readable run summaries and the machine-readable report export.
 //!
 //! [`RunReport::summary`] renders the timing, coherence, and network
 //! profile of a parallel region the way the examples print it — one place
-//! to keep the format consistent.
+//! to keep the format consistent. [`RunReport::to_json`] serializes the
+//! same data (plus latency histograms and per-lock delegation stats) for
+//! scripts and CI artifacts.
 
 use crate::machine::RunReport;
+use obs::HistogramSnapshot;
 use std::fmt::Write as _;
+
+/// Compact histogram serialization: sample count, mean, the common tail
+/// percentiles, and the upper edge of the largest occupied bucket.
+fn hist_json(h: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\":{},\"mean\":{:.3},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+        h.count(),
+        h.mean(),
+        h.percentile(50.0),
+        h.percentile(90.0),
+        h.percentile(99.0),
+        h.max_edge()
+    )
+}
 
 impl<R> RunReport<R> {
     /// A multi-line human-readable summary of the run.
@@ -31,6 +48,13 @@ impl<R> RunReport<R> {
             "classification: P->S {}, NW->SW {}, SW->MW {}; SI kept {} / invalidated {}",
             c.p_to_s, c.nw_to_sw, c.sw_to_mw, c.si_kept, c.si_invalidated
         );
+        let _ = writeln!(
+            s,
+            "downgrades   : {} batched drains, {:.1} pages/batch mean, {:.0}% of writeback bytes diffed",
+            c.downgrade_batches,
+            c.mean_drain_batch(),
+            100.0 * c.diff_efficiency()
+        );
         let n = &self.net;
         let _ = writeln!(
             s,
@@ -42,6 +66,104 @@ impl<R> RunReport<R> {
             n.rdma_atomics,
             n.handler_invocations
         );
+        s
+    }
+
+    /// The full report as a JSON document: timing, every coherence and
+    /// network counter, the merged latency histograms per site, and one
+    /// entry per registered lock. Parsable by `obs::JsonValue` (and any
+    /// real JSON parser).
+    pub fn to_json(&self) -> String {
+        let c = &self.coherence;
+        let n = &self.net;
+        let mut s = String::with_capacity(2048);
+        s.push('{');
+        let _ = write!(
+            s,
+            "\"cycles\":{},\"seconds\":{:.9},\"wall_seconds\":{:.6},\"threads\":{}",
+            self.cycles,
+            self.seconds,
+            self.wall_seconds,
+            self.results.len()
+        );
+        let _ = write!(
+            s,
+            ",\"coherence\":{{\"read_hits\":{},\"write_hits\":{},\"read_misses\":{},\
+             \"write_faults\":{},\"si_invalidated\":{},\"si_kept\":{},\"writebacks\":{},\
+             \"writeback_bytes\":{},\"twins_created\":{},\"diff_words\":{},\
+             \"checkpoints\":{},\"p_to_s\":{},\"nw_to_sw\":{},\"sw_to_mw\":{},\
+             \"evictions\":{},\"si_fences\":{},\"sd_fences\":{},\"decays\":{},\
+             \"downgrade_batches\":{},\"downgrade_batch_pages\":{},\
+             \"mean_drain_batch\":{:.3},\"diff_efficiency\":{:.4},\"si_keep_ratio\":{:.4}}}",
+            c.read_hits,
+            c.write_hits,
+            c.read_misses,
+            c.write_faults,
+            c.si_invalidated,
+            c.si_kept,
+            c.writebacks,
+            c.writeback_bytes,
+            c.twins_created,
+            c.diff_words,
+            c.checkpoints,
+            c.p_to_s,
+            c.nw_to_sw,
+            c.sw_to_mw,
+            c.evictions,
+            c.si_fences,
+            c.sd_fences,
+            c.decays,
+            c.downgrade_batches,
+            c.downgrade_batch_pages,
+            c.mean_drain_batch(),
+            c.diff_efficiency(),
+            c.si_keep_ratio()
+        );
+        let _ = write!(
+            s,
+            ",\"network\":{{\"rdma_reads\":{},\"rdma_writes\":{},\"rdma_atomics\":{},\
+             \"bytes_read\":{},\"bytes_written\":{},\"messages\":{},\"msg_bytes\":{},\
+             \"handler_invocations\":{}}}",
+            n.rdma_reads,
+            n.rdma_writes,
+            n.rdma_atomics,
+            n.bytes_read,
+            n.bytes_written,
+            n.messages,
+            n.msg_bytes,
+            n.handler_invocations
+        );
+        s.push_str(",\"profile\":{");
+        for (i, site) in obs::Site::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\":{}", site.name(), hist_json(self.profile.get(*site)));
+        }
+        s.push('}');
+        s.push_str(",\"locks\":[");
+        for (i, l) in self.locks.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"delegations\":{},\"executed_local\":{},\
+                 \"executed_remote\":{},\"batches\":{},\"handovers\":{},\
+                 \"mean_batch\":{:.3},\"queue_wait\":{},\"batch_size\":{},\"acquire\":{}}}",
+                obs::json::escape(&l.name),
+                l.delegations,
+                l.executed_local,
+                l.executed_remote,
+                l.batches,
+                l.handovers,
+                l.mean_batch(),
+                hist_json(&l.queue_wait),
+                hist_json(&l.batch_size),
+                hist_json(&l.acquire)
+            );
+        }
+        s.push_str("]}");
         s
     }
 
@@ -76,7 +198,41 @@ mod tests {
         let s = report.summary();
         assert!(s.contains("virtual time"));
         assert!(s.contains("read misses"));
+        assert!(s.contains("batched drains"));
         assert!(s.contains("handlers"));
         assert!(report.headline().contains("ms virtual"));
+    }
+
+    #[test]
+    fn to_json_round_trips_the_counters() {
+        let m = ArgoMachine::new(ArgoConfig::small(2, 2));
+        let arr = GlobalU64Array::alloc(m.dsm(), 1024);
+        let report = m.run(move |ctx| {
+            for i in ctx.my_chunk(1024) {
+                arr.set(ctx, i, 1);
+            }
+            ctx.barrier();
+            arr.get(ctx, 0)
+        });
+        let doc = obs::JsonValue::parse(&report.to_json()).expect("report JSON must parse");
+        let coh = doc.get("coherence").unwrap();
+        assert_eq!(
+            coh.get("read_misses").unwrap().as_u64(),
+            Some(report.coherence.read_misses)
+        );
+        assert_eq!(
+            doc.get("network").unwrap().get("rdma_reads").unwrap().as_u64(),
+            Some(report.net.rdma_reads)
+        );
+        assert_eq!(doc.get("threads").unwrap().as_u64(), Some(4));
+        // The barrier ran, so its site has samples in the profile section.
+        let bw = doc.get("profile").unwrap().get("barrier_wait").unwrap();
+        assert_eq!(
+            bw.get("count").unwrap().as_u64(),
+            Some(report.profile.get(obs::Site::BarrierWait).count())
+        );
+        assert!(bw.get("count").unwrap().as_u64().unwrap() >= 4);
+        // No locks registered: empty but present array.
+        assert!(doc.get("locks").unwrap().as_arr().unwrap().is_empty());
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::ctx::ArgoCtx;
 use carina::Dsm;
-use rma::{SimTransport, Transport};
+use rma::{Endpoint, SimTransport, Transport};
 use simnet::NodeId;
 use std::sync::Arc;
 use vela::DsmGlobalLock;
@@ -18,22 +18,41 @@ use vela::DsmGlobalLock;
 pub struct ArgoMutex<T: Transport = SimTransport> {
     dsm: Arc<Dsm<T>>,
     lock: Arc<DsmGlobalLock>,
+    obs: Arc<obs::LockObs>,
 }
 
 impl<T: Transport> ArgoMutex<T> {
     /// Create a mutex whose lock word lives on `home`.
     pub fn new(dsm: Arc<Dsm<T>>, home: u16) -> Arc<Self> {
+        Self::new_named(dsm, home, "mutex")
+    }
+
+    /// [`new`](Self::new) with a name for per-lock statistics in run
+    /// reports.
+    pub fn new_named(dsm: Arc<Dsm<T>>, home: u16, name: &str) -> Arc<Self> {
+        let obs = dsm.lock_registry().register(name);
         Arc::new(ArgoMutex {
             lock: DsmGlobalLock::new(NodeId(home)),
             dsm,
+            obs,
         })
     }
 
     /// Acquire: take the global lock, then self-invalidate so this thread
     /// observes every earlier critical section's writes.
     pub fn lock(&self, ctx: &mut ArgoCtx<T>) -> ArgoMutexGuard<'_, T> {
-        self.lock.acquire(&mut ctx.thread);
-        self.dsm.si_fence(&mut ctx.thread);
+        let t = &mut ctx.thread;
+        let obs_start = t.obs_now();
+        let switched = self.lock.acquire_tracked(t);
+        let dur = t.obs_now().saturating_sub(obs_start);
+        self.obs.acquire.record(dur);
+        self.dsm
+            .profile()
+            .record(t.node().idx(), obs::Site::LockAcquire, dur);
+        if switched {
+            obs::LockObs::bump(&self.obs.handovers);
+        }
+        self.dsm.si_fence(t);
         ArgoMutexGuard { mutex: self }
     }
 
@@ -85,6 +104,12 @@ mod tests {
             arr.get(ctx, 0)
         });
         assert!(report.results.iter().all(|&v| v == 600));
+        let locks = &report.locks;
+        assert_eq!(locks.len(), 1);
+        assert_eq!(locks[0].name, "mutex");
+        assert_eq!(locks[0].acquire.count(), 600);
+        assert!(locks[0].handovers >= 2, "three nodes contended");
+        assert_eq!(report.profile.get(obs::Site::LockAcquire).count(), 600);
     }
 
     #[test]

@@ -22,6 +22,8 @@ struct Record {
     rdma_reads: u64,
     rdma_writes: u64,
     rdma_atomics: u64,
+    /// Latency histograms of the last rep (wall nanoseconds on native).
+    profile: obs::ProfileSnapshot,
 }
 
 fn bench<F: Fn() -> Outcome>(id: &str, reps: usize, run: F) -> Record {
@@ -41,7 +43,27 @@ fn bench<F: Fn() -> Outcome>(id: &str, reps: usize, run: F) -> Record {
         rdma_reads: out.net.rdma_reads,
         rdma_writes: out.net.rdma_writes,
         rdma_atomics: out.net.rdma_atomics,
+        profile: out.profile,
     }
+}
+
+/// `{"site": {"count": n, "p50": .., "p99": ..}, ...}` for occupied sites.
+fn latency_json(p: &obs::ProfileSnapshot) -> String {
+    let mut parts = Vec::new();
+    for site in obs::Site::ALL {
+        let h = p.get(site);
+        if h.is_empty() {
+            continue;
+        }
+        parts.push(format!(
+            "\"{}\": {{\"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}",
+            site.name(),
+            h.count(),
+            h.percentile(50.0),
+            h.percentile(99.0)
+        ));
+    }
+    format!("{{{}}}", parts.join(", "))
 }
 
 fn json_f64_list(xs: &[f64]) -> String {
@@ -86,7 +108,8 @@ fn main() {
         body.push_str(&format!(
             "    {{\"id\": \"{}\", \"mean_wall_s\": {:.6}, \"min_wall_s\": {:.6}, \
              \"reps_wall_s\": {}, \"checksum\": {:.6}, \
-             \"rdma_reads\": {}, \"rdma_writes\": {}, \"rdma_atomics\": {}}}{}\n",
+             \"rdma_reads\": {}, \"rdma_writes\": {}, \"rdma_atomics\": {}, \
+             \"latency\": {}}}{}\n",
             r.id,
             mean,
             min,
@@ -95,6 +118,7 @@ fn main() {
             r.rdma_reads,
             r.rdma_writes,
             r.rdma_atomics,
+            latency_json(&r.profile),
             if i + 1 == records.len() { "" } else { "," },
         ));
     }

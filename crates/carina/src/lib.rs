@@ -21,6 +21,7 @@
 //! on release (both for a full fence). The `argo` crate's synchronization
 //! primitives do this implicitly.
 
+pub mod census;
 pub mod classification;
 pub mod config;
 pub mod directory;
@@ -29,9 +30,10 @@ pub mod stats;
 pub mod trace;
 pub mod write_buffer;
 
+pub use census::{Census, HotPage};
 pub use classification::{ClassificationMode, DirView, PageClass, WriterClass};
 pub use config::{BatchDrain, CarinaConfig};
 pub use protocol::Dsm;
 pub use stats::{CoherenceSnapshot, CoherenceStats, StatShard};
-pub use trace::{Event as TraceEvent, TracedEvent, Tracer};
+pub use trace::{Event as TraceEvent, TracedEvent, Tracer, TracerStats};
 pub use write_buffer::WriteBuffer;

@@ -125,6 +125,14 @@ pub struct Dsm<T: Transport = SimTransport> {
     config: CarinaConfig,
     stats: CoherenceStats,
     tracer: crate::trace::Tracer,
+    /// Latency histograms for the protocol slow paths (always on; recording
+    /// is two relaxed adds and the hit paths never touch it).
+    profile: obs::LatencyProfile,
+    /// Per-lock HQDL statistics; Vela locks register themselves here.
+    lock_obs: obs::LockRegistry,
+    /// Per-page read-miss counters feeding [`Dsm::census`]'s hottest-pages
+    /// report.
+    heat: obs::PageHeat,
     nodes: Vec<NodeState>,
 }
 
@@ -145,6 +153,9 @@ impl<T: Transport> Dsm<T> {
             config,
             stats: CoherenceStats::new(n),
             tracer: crate::trace::Tracer::new(4096),
+            profile: obs::LatencyProfile::new(n),
+            lock_obs: obs::LockRegistry::new(),
+            heat: obs::PageHeat::new(total_pages as usize),
             nodes: (0..n)
                 .map(|_| NodeState {
                     cache: PageCache::new(config.cache),
@@ -182,6 +193,26 @@ impl<T: Transport> Dsm<T> {
         &self.tracer
     }
 
+    /// The protocol's latency histograms (read-miss service, faults,
+    /// fences; locks and barriers record into it from Vela).
+    #[inline]
+    pub fn profile(&self) -> &obs::LatencyProfile {
+        &self.profile
+    }
+
+    /// Registry of per-lock HQDL statistics. Vela locks register here at
+    /// construction; run reports collect the snapshots.
+    #[inline]
+    pub fn lock_registry(&self) -> &obs::LockRegistry {
+        &self.lock_obs
+    }
+
+    /// Per-page read-miss counters (the census's heat source).
+    #[inline]
+    pub fn page_heat(&self) -> &obs::PageHeat {
+        &self.heat
+    }
+
     #[inline]
     pub fn allocator(&self) -> &GlobalAllocator {
         &self.allocator
@@ -190,6 +221,12 @@ impl<T: Transport> Dsm<T> {
     #[inline]
     pub fn total_bytes(&self) -> u64 {
         self.global.total_bytes()
+    }
+
+    /// Total pages in the global address space.
+    #[inline]
+    pub fn total_pages(&self) -> u64 {
+        self.global.total_pages()
     }
 
     /// Home node of the page containing `addr`.
@@ -316,9 +353,10 @@ impl<T: Transport> Dsm<T> {
     ) -> bool {
         let ns = &self.nodes[me as usize];
         let idx = ns.cache.index_in_line(page);
+        let obs_start = t.obs_now();
         CoherenceStats::bump(&self.stats.shard(me).write_faults);
         self.tracer
-            .record(t.now(), || crate::trace::Event::WriteFault { node: me, page });
+            .record(|| obs_start, || crate::trace::Event::WriteFault { node: me, page });
         t.fault_trap();
         self.register_writer(t, page, me);
         let view = self.dir_caches.entry(me, page).view();
@@ -335,6 +373,11 @@ impl<T: Transport> Dsm<T> {
             CoherenceStats::bump(&self.stats.shard(me).twins_created);
         }
         st.pages[idx].dirty = true;
+        self.profile.record(
+            me as usize,
+            obs::Site::WriteFault,
+            t.obs_now().saturating_sub(obs_start),
+        );
         view.must_self_downgrade(self.config.mode, me)
     }
 
@@ -487,11 +530,8 @@ impl<T: Transport> Dsm<T> {
     /// downgraded before invalidation so no write is lost.
     pub fn si_fence(&self, t: &mut T::Endpoint) {
         let me = t.node().0;
+        let obs_start = t.obs_now();
         CoherenceStats::bump(&self.stats.shard(me).si_fences);
-        self.tracer.record(t.now(), || crate::trace::Event::Fence {
-            node: me,
-            kind: crate::trace::FenceKind::SelfInvalidate,
-        });
         let ns = &self.nodes[me as usize];
         // O(resident): only slots holding a line are visited; empty slots
         // of a roomy cache cost nothing.
@@ -515,7 +555,7 @@ impl<T: Transport> Dsm<T> {
                     st.pages[idx].invalidate();
                     t.compute(self.config.protect_cycles);
                     CoherenceStats::bump(&self.stats.shard(me).si_invalidated);
-                    self.tracer.record(t.now(), || crate::trace::Event::SiInvalidate {
+                    self.tracer.record(|| t.obs_now(), || crate::trace::Event::SiInvalidate {
                         node: me,
                         page,
                     });
@@ -523,7 +563,7 @@ impl<T: Transport> Dsm<T> {
                     any_valid = true;
                     CoherenceStats::bump(&self.stats.shard(me).si_kept);
                     self.tracer
-                        .record(t.now(), || crate::trace::Event::SiKeep { node: me, page });
+                        .record(|| t.obs_now(), || crate::trace::Event::SiKeep { node: me, page });
                 }
             }
             if !any_valid {
@@ -536,17 +576,24 @@ impl<T: Transport> Dsm<T> {
                 st.ready_at = 0;
             }
         }
+        let dur = t.obs_now().saturating_sub(obs_start);
+        self.profile.record(me as usize, obs::Site::SiFence, dur);
+        self.tracer.record(
+            || obs_start,
+            || crate::trace::Event::Fence {
+                node: me,
+                kind: crate::trace::FenceKind::SelfInvalidate,
+                dur_cycles: dur,
+            },
+        );
     }
 
     /// Self-downgrade fence (release side): drain the write buffer and wait
     /// for every posted write of this node to settle at its home.
     pub fn sd_fence(&self, t: &mut T::Endpoint) {
         let me = t.node().0;
+        let obs_start = t.obs_now();
         CoherenceStats::bump(&self.stats.shard(me).sd_fences);
-        self.tracer.record(t.now(), || crate::trace::Event::Fence {
-            node: me,
-            kind: crate::trace::FenceKind::SelfDowngrade,
-        });
         let ns = &self.nodes[me as usize];
         let drained = ns.wbuf.drain();
         let batch = match self.config.batch_drain {
@@ -571,6 +618,16 @@ impl<T: Transport> Dsm<T> {
         // also holds *other* nodes' future reservations and must not be
         // merged wholesale.
         t.merge(ns.pending_settle.load(Ordering::Acquire));
+        let dur = t.obs_now().saturating_sub(obs_start);
+        self.profile.record(me as usize, obs::Site::SdFence, dur);
+        self.tracer.record(
+            || obs_start,
+            || crate::trace::Event::Fence {
+                node: me,
+                kind: crate::trace::FenceKind::SelfDowngrade,
+                dur_cycles: dur,
+            },
+        );
     }
 
     /// The naïve P/S scheme's sync-point obligation (§3.4.2): checkpoint
@@ -599,7 +656,7 @@ impl<T: Transport> Dsm<T> {
                     // cold — the sweep touches pages no CPU cache holds.
                     t.compute(self.config.checkpoint_cycles);
                     CoherenceStats::bump(&self.stats.shard(me).checkpoints);
-                    self.tracer.record(t.now(), || crate::trace::Event::Checkpoint {
+                    self.tracer.record(|| t.obs_now(), || crate::trace::Event::Checkpoint {
                         node: me,
                         page,
                     });
@@ -632,9 +689,11 @@ impl<T: Transport> Dsm<T> {
     /// needed, then fetch the whole line from the pages' homes, registering
     /// as a reader of each fetched page.
     fn read_miss(&self, t: &mut T::Endpoint, st: &mut SlotGuard<'_>, page: PageNum, me: u16) {
+        let obs_start = t.obs_now();
         CoherenceStats::bump(&self.stats.shard(me).read_misses);
+        self.heat.bump(page.0 as usize);
         self.tracer
-            .record(t.now(), || crate::trace::Event::ReadMiss { node: me, page });
+            .record(|| obs_start, || crate::trace::Event::ReadMiss { node: me, page });
         t.fault_trap();
         let ns = &self.nodes[me as usize];
         let line = ns.cache.line_of(page);
@@ -707,6 +766,11 @@ impl<T: Transport> Dsm<T> {
         }
         t.merge(done);
         st.ready_at = t.now();
+        self.profile.record(
+            me as usize,
+            obs::Site::ReadMiss,
+            t.obs_now().saturating_sub(obs_start),
+        );
     }
 
     // ------------------------------------------------------------------
@@ -780,7 +844,7 @@ impl<T: Transport> Dsm<T> {
         if prior != 0 && prior & node_bit(me) == 0 && prior.count_ones() == 1 {
             let owner = prior.trailing_zeros() as u16;
             CoherenceStats::bump(&self.stats.shard(me).p_to_s);
-            self.tracer.record(t.now(), || crate::trace::Event::PToS {
+            self.tracer.record(|| t.obs_now(), || crate::trace::Event::PToS {
                 page,
                 newcomer: me,
                 owner,
@@ -837,7 +901,7 @@ impl<T: Transport> Dsm<T> {
         if prior != 0 && prior & node_bit(me) == 0 && prior.count_ones() == 1 {
             let owner = prior.trailing_zeros() as u16;
             CoherenceStats::bump(&self.stats.shard(me).p_to_s);
-            self.tracer.record(t.now(), || crate::trace::Event::PToS {
+            self.tracer.record(|| t.obs_now(), || crate::trace::Event::PToS {
                 page,
                 newcomer: me,
                 owner,
@@ -851,7 +915,7 @@ impl<T: Transport> Dsm<T> {
                 // learn there is now a writer (§3.5 "Shared, NW").
                 if (prior.count_ones() > 1 || (prior != 0 && prior & node_bit(me) == 0)) => {
                     CoherenceStats::bump(&self.stats.shard(me).nw_to_sw);
-                    self.tracer.record(t.now(), || crate::trace::Event::NwToSw {
+                    self.tracer.record(|| t.obs_now(), || crate::trace::Event::NwToSw {
                         page,
                         writer: me,
                     });
@@ -868,7 +932,7 @@ impl<T: Transport> Dsm<T> {
                 // equivalent.
                 CoherenceStats::bump(&self.stats.shard(me).sw_to_mw);
                 let w = before.writers.trailing_zeros() as u16;
-                self.tracer.record(t.now(), || crate::trace::Event::SwToMw {
+                self.tracer.record(|| t.obs_now(), || crate::trace::Event::SwToMw {
                     page,
                     new_writer: me,
                     old_writer: w,
@@ -887,7 +951,7 @@ impl<T: Transport> Dsm<T> {
             return;
         }
         self.dir_caches.entry(target, page).or_view(view);
-        self.tracer.record(t.now(), || crate::trace::Event::Notify {
+        self.tracer.record(|| t.obs_now(), || crate::trace::Event::Notify {
             from: me,
             to: target,
             page,
@@ -995,7 +1059,7 @@ impl<T: Transport> Dsm<T> {
         t.compute(self.config.protect_cycles);
         CoherenceStats::bump(&self.stats.shard(me).writebacks);
         CoherenceStats::add(&self.stats.shard(me).writeback_bytes, bytes);
-        self.tracer.record(t.now(), || crate::trace::Event::Downgrade {
+        self.tracer.record(|| t.obs_now(), || crate::trace::Event::Downgrade {
             node: me,
             page,
             bytes,
@@ -1034,8 +1098,13 @@ impl<T: Transport> Dsm<T> {
                 .rdma_write_batch(t.loc(), NodeId(*home), t.now(), sizes);
             t.merge(timing.initiator_done);
             ns.pending_settle.fetch_max(timing.settled, Ordering::AcqRel);
+            CoherenceStats::bump(&self.stats.shard(me).downgrade_batches);
+            CoherenceStats::add(
+                &self.stats.shard(me).downgrade_batch_pages,
+                sizes.len() as u64,
+            );
             self.tracer
-                .record(t.now(), || crate::trace::Event::DowngradeBatch {
+                .record(|| t.obs_now(), || crate::trace::Event::DowngradeBatch {
                     node: me,
                     home: *home,
                     pages: sizes.len() as u64,
@@ -1076,6 +1145,9 @@ impl<T: Transport> Dsm<T> {
         self.pyxis.reset_all();
         self.dir_caches.reset_all();
         self.stats.reset();
+        self.profile.reset();
+        self.heat.reset();
+        self.lock_obs.reset();
     }
 
     /// Adaptive classification by decay — the extension the paper sketches
@@ -1261,5 +1333,10 @@ impl<T: Transport> Dsm<T> {
     /// The authoritative home directory view for `addr`'s page.
     pub fn home_dir_view(&self, addr: GlobalAddr) -> DirView {
         self.pyxis.entry(addr.page()).view()
+    }
+
+    /// The authoritative home directory view for `page` (census walks).
+    pub fn home_dir_view_of_page(&self, page: PageNum) -> DirView {
+        self.pyxis.entry(page).view()
     }
 }

@@ -51,6 +51,10 @@ pub struct StatShard {
     pub sd_fences: AtomicU64,
     /// Collective classification decays performed (adaptive extension).
     pub decays: AtomicU64,
+    /// Home-coalesced fence drains posted (one batched verb per home).
+    pub downgrade_batches: AtomicU64,
+    /// Write-backs carried inside those batches.
+    pub downgrade_batch_pages: AtomicU64,
 }
 
 impl StatShard {
@@ -74,6 +78,8 @@ impl StatShard {
         out.si_fences += l(&self.si_fences);
         out.sd_fences += l(&self.sd_fences);
         out.decays += l(&self.decays);
+        out.downgrade_batches += l(&self.downgrade_batches);
+        out.downgrade_batch_pages += l(&self.downgrade_batch_pages);
     }
 
     fn reset(&self) {
@@ -96,6 +102,8 @@ impl StatShard {
         z(&self.si_fences);
         z(&self.sd_fences);
         z(&self.decays);
+        z(&self.downgrade_batches);
+        z(&self.downgrade_batch_pages);
     }
 }
 
@@ -126,6 +134,8 @@ pub struct CoherenceSnapshot {
     pub si_fences: u64,
     pub sd_fences: u64,
     pub decays: u64,
+    pub downgrade_batches: u64,
+    pub downgrade_batch_pages: u64,
 }
 
 impl CoherenceStats {
@@ -184,6 +194,25 @@ impl CoherenceSnapshot {
             return 0.0;
         }
         self.si_kept as f64 / total as f64
+    }
+
+    /// Mean write-backs carried per home-coalesced drain batch.
+    pub fn mean_drain_batch(&self) -> f64 {
+        if self.downgrade_batches == 0 {
+            return 0.0;
+        }
+        self.downgrade_batch_pages as f64 / self.downgrade_batches as f64
+    }
+
+    /// Fraction of write-back wire bytes that were diffed words — how much
+    /// of the downgrade traffic the twin/diff machinery compressed into
+    /// word-granular payloads instead of whole pages (higher = diffs doing
+    /// more of the work).
+    pub fn diff_efficiency(&self) -> f64 {
+        if self.writeback_bytes == 0 {
+            return 0.0;
+        }
+        (self.diff_words * 8) as f64 / self.writeback_bytes as f64
     }
 }
 

@@ -1,17 +1,30 @@
 //! Protocol event tracing.
 //!
-//! A bounded ring buffer of coherence events for debugging and teaching
-//! (the `protocol_tour` example prints one). Disabled by default — the
-//! enabled check is a single relaxed atomic load on the hot path, and no
-//! event is materialized unless tracing is on.
+//! A bounded ring buffer of coherence events for debugging, teaching (the
+//! `protocol_tour` example prints one), and timeline export: a filled
+//! tracer renders itself as Perfetto-loadable Chrome-trace JSON via
+//! [`Tracer::to_chrome_trace`]. Disabled by default — the enabled check is
+//! a single relaxed atomic load on the hot path, and neither the event nor
+//! its timestamp is materialized unless tracing is on.
+//!
+//! Timestamps come from the acting endpoint's *observability* clock
+//! (`Endpoint::obs_now`): virtual cycles on the simulator, wall nanoseconds
+//! on the native backend (whose protocol clock is pinned at 0 and would
+//! flatten every trace onto one instant).
+//!
+//! When the ring is full, recording a new event evicts the oldest one; the
+//! eviction is **counted**, and [`Tracer::stats`] /
+//! [`Tracer::to_chrome_trace`] surface the drop count so a truncated trace
+//! never masquerades as a complete one.
 
 use mem::PageNum;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-/// One protocol event. `node` is the acting node; virtual timestamps come
-/// from the acting thread's clock.
+/// One protocol event. `node` is the acting node; timestamps come from the
+/// acting thread's observability clock.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event {
     ReadMiss { node: u16, page: PageNum },
@@ -27,7 +40,10 @@ pub enum Event {
     SwToMw { page: PageNum, new_writer: u16, old_writer: u16 },
     Notify { from: u16, to: u16, page: PageNum },
     Checkpoint { node: u16, page: PageNum },
-    Fence { node: u16, kind: FenceKind },
+    /// A completed fence. Recorded at fence *end* with `at_cycles` set to
+    /// the fence start, so `dur_cycles` spans the whole sweep/drain and the
+    /// trace renders it as a duration slice.
+    Fence { node: u16, kind: FenceKind, dur_cycles: u64 },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,7 +52,7 @@ pub enum FenceKind {
     SelfDowngrade,
 }
 
-/// A traced event with its global sequence number and virtual timestamp.
+/// A traced event with its global sequence number and timestamp.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TracedEvent {
     pub seq: u64,
@@ -44,11 +60,26 @@ pub struct TracedEvent {
     pub event: Event,
 }
 
+/// Counters describing how faithful the current trace buffer is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TracerStats {
+    /// Events recorded since creation (including later-evicted ones).
+    pub recorded: u64,
+    /// Events evicted because the ring was full: the trace is incomplete
+    /// whenever this is non-zero.
+    pub dropped: u64,
+    /// Events currently buffered.
+    pub buffered: u64,
+    /// Ring capacity.
+    pub capacity: u64,
+}
+
 /// Bounded protocol trace.
 #[derive(Debug)]
 pub struct Tracer {
     enabled: AtomicBool,
     seq: AtomicU64,
+    dropped: AtomicU64,
     capacity: usize,
     ring: Mutex<VecDeque<TracedEvent>>,
 }
@@ -58,6 +89,7 @@ impl Tracer {
         Tracer {
             enabled: AtomicBool::new(false),
             seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
             capacity: capacity.max(1),
             ring: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 1 << 16))),
         }
@@ -73,22 +105,25 @@ impl Tracer {
         self.enabled.load(Ordering::Relaxed)
     }
 
-    /// Record an event if tracing is on. `make` is only invoked when
-    /// enabled, so the hot path pays one relaxed load.
+    /// Record an event if tracing is on. Both `at` and `make` are only
+    /// invoked when enabled, so the hot path pays one relaxed load — in
+    /// particular the native backend's `obs_now()` (a wall-clock read) is
+    /// never taken for a disabled tracer.
     #[inline]
-    pub fn record(&self, at_cycles: u64, make: impl FnOnce() -> Event) {
+    pub fn record(&self, at: impl FnOnce() -> u64, make: impl FnOnce() -> Event) {
         if !self.is_enabled() {
             return;
         }
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let ev = TracedEvent {
             seq,
-            at_cycles,
+            at_cycles: at(),
             event: make(),
         };
         let mut ring = self.ring.lock();
         if ring.len() == self.capacity {
             ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         ring.push_back(ev);
     }
@@ -98,7 +133,8 @@ impl Tracer {
         self.ring.lock().iter().cloned().collect()
     }
 
-    /// Drop all buffered events.
+    /// Drop all buffered events (does not count as drops: clearing is the
+    /// caller's choice, eviction is not).
     pub fn clear(&self) {
         self.ring.lock().clear();
     }
@@ -106,6 +142,148 @@ impl Tracer {
     /// Total events recorded since creation (including evicted ones).
     pub fn recorded(&self) -> u64 {
         self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Events silently evicted by ring overflow since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Fidelity counters for the current buffer.
+    pub fn stats(&self) -> TracerStats {
+        TracerStats {
+            recorded: self.recorded(),
+            dropped: self.dropped(),
+            buffered: self.ring.lock().len() as u64,
+            capacity: self.capacity as u64,
+        }
+    }
+
+    /// Render the buffered events as Chrome-trace JSON (the "JSON Array
+    /// Format" with metadata), loadable in Perfetto / `chrome://tracing`.
+    ///
+    /// One track per node (`pid` 0, `tid` = node): fences are duration
+    /// (`"ph":"X"`) slices, everything else — misses, faults, downgrades,
+    /// classification transitions — thread-scoped instants (`"ph":"i"`).
+    /// Events are sorted by timestamp within each track (sequence number
+    /// breaks ties), so `ts` is monotonically non-decreasing per track.
+    /// `otherData` carries the recorded/dropped counters; a non-zero
+    /// `dropped` means the window is truncated.
+    pub fn to_chrome_trace(&self) -> String {
+        let events = self.events();
+        let stats = self.stats();
+
+        // Partition into per-node tracks, then order each track by time.
+        let max_node = events.iter().map(|e| track_of(&e.event)).max().unwrap_or(0);
+        let mut tracks: Vec<Vec<&TracedEvent>> = vec![Vec::new(); max_node as usize + 1];
+        for ev in &events {
+            tracks[track_of(&ev.event) as usize].push(ev);
+        }
+        for track in &mut tracks {
+            track.sort_by_key(|e| (e.at_cycles, e.seq));
+        }
+
+        let mut out = String::with_capacity(events.len() * 96 + 256);
+        out.push_str("{\"displayTimeUnit\":\"ns\",\"otherData\":{");
+        let _ = write!(
+            out,
+            "\"recorded\":{},\"dropped\":{},\"buffered\":{},\"capacity\":{}",
+            stats.recorded, stats.dropped, stats.buffered, stats.capacity
+        );
+        out.push_str("},\"traceEvents\":[");
+        let mut first = true;
+        for (node, track) in tracks.iter().enumerate() {
+            if track.is_empty() {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{node},\
+                 \"args\":{{\"name\":\"node {node}\"}}}}"
+            );
+            for ev in track {
+                out.push(',');
+                emit_event(&mut out, node, ev);
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// The node whose track an event belongs to — the acting node.
+fn track_of(event: &Event) -> u16 {
+    match event {
+        Event::ReadMiss { node, .. }
+        | Event::WriteFault { node, .. }
+        | Event::Downgrade { node, .. }
+        | Event::DowngradeBatch { node, .. }
+        | Event::SiInvalidate { node, .. }
+        | Event::SiKeep { node, .. }
+        | Event::Checkpoint { node, .. }
+        | Event::Fence { node, .. } => *node,
+        Event::PToS { newcomer, .. } => *newcomer,
+        Event::NwToSw { writer, .. } => *writer,
+        Event::SwToMw { new_writer, .. } => *new_writer,
+        Event::Notify { from, .. } => *from,
+    }
+}
+
+fn emit_event(out: &mut String, tid: usize, ev: &TracedEvent) {
+    let ts = ev.at_cycles;
+    match &ev.event {
+        Event::Fence { kind, dur_cycles, .. } => {
+            let name = match kind {
+                FenceKind::SelfInvalidate => "si_fence",
+                FenceKind::SelfDowngrade => "sd_fence",
+            };
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur_cycles},\
+                 \"pid\":0,\"tid\":{tid}}}"
+            );
+        }
+        other => {
+            let (name, args) = instant_payload(other);
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\
+                 \"pid\":0,\"tid\":{tid},\"args\":{{{args}}}}}"
+            );
+        }
+    }
+}
+
+fn instant_payload(event: &Event) -> (&'static str, String) {
+    match event {
+        Event::ReadMiss { page, .. } => ("read_miss", format!("\"page\":{}", page.0)),
+        Event::WriteFault { page, .. } => ("write_fault", format!("\"page\":{}", page.0)),
+        Event::Downgrade { page, bytes, .. } => {
+            ("downgrade", format!("\"page\":{},\"bytes\":{bytes}", page.0))
+        }
+        Event::DowngradeBatch { home, pages, bytes, .. } => (
+            "downgrade_batch",
+            format!("\"home\":{home},\"pages\":{pages},\"bytes\":{bytes}"),
+        ),
+        Event::SiInvalidate { page, .. } => ("si_invalidate", format!("\"page\":{}", page.0)),
+        Event::SiKeep { page, .. } => ("si_keep", format!("\"page\":{}", page.0)),
+        Event::PToS { page, owner, .. } => {
+            ("p_to_s", format!("\"page\":{},\"owner\":{owner}", page.0))
+        }
+        Event::NwToSw { page, .. } => ("nw_to_sw", format!("\"page\":{}", page.0)),
+        Event::SwToMw { page, old_writer, .. } => (
+            "sw_to_mw",
+            format!("\"page\":{},\"old_writer\":{old_writer}", page.0),
+        ),
+        Event::Notify { to, page, .. } => {
+            ("notify", format!("\"to\":{to},\"page\":{}", page.0))
+        }
+        Event::Checkpoint { page, .. } => ("checkpoint", format!("\"page\":{}", page.0)),
+        Event::Fence { .. } => unreachable!("fences are duration events"),
     }
 }
 
@@ -136,9 +314,9 @@ impl std::fmt::Display for TracedEvent {
                 write!(f, "n{from} notify->n{to} p{}", page.0)
             }
             Event::Checkpoint { node, page } => write!(f, "n{node} checkpoint  p{}", page.0),
-            Event::Fence { node, kind } => match kind {
-                FenceKind::SelfInvalidate => write!(f, "n{node} SI-fence"),
-                FenceKind::SelfDowngrade => write!(f, "n{node} SD-fence"),
+            Event::Fence { node, kind, dur_cycles } => match kind {
+                FenceKind::SelfInvalidate => write!(f, "n{node} SI-fence ({dur_cycles} cyc)"),
+                FenceKind::SelfDowngrade => write!(f, "n{node} SD-fence ({dur_cycles} cyc)"),
             },
         }
     }
@@ -151,31 +329,48 @@ mod tests {
     #[test]
     fn disabled_tracer_records_nothing() {
         let t = Tracer::new(8);
-        t.record(0, || Event::Fence {
-            node: 0,
-            kind: FenceKind::SelfInvalidate,
-        });
+        let mut clock_reads = 0u32;
+        t.record(
+            || {
+                clock_reads += 1;
+                0
+            },
+            || Event::Fence {
+                node: 0,
+                kind: FenceKind::SelfInvalidate,
+                dur_cycles: 0,
+            },
+        );
         assert!(t.events().is_empty());
         assert_eq!(t.recorded(), 0);
+        assert_eq!(clock_reads, 0, "disabled tracer must not read the clock");
     }
 
     #[test]
-    fn ring_evicts_oldest() {
+    fn ring_evicts_oldest_and_counts_drops() {
         let t = Tracer::new(3);
         t.set_enabled(true);
         for n in 0..5u16 {
-            t.record(n as u64, || Event::ReadMiss {
-                node: n,
-                page: PageNum(n as u64),
-            });
+            t.record(
+                || n as u64,
+                || Event::ReadMiss {
+                    node: n,
+                    page: PageNum(n as u64),
+                },
+            );
         }
         let evs = t.events();
         assert_eq!(evs.len(), 3);
         assert_eq!(evs[0].seq, 2);
         assert_eq!(evs[2].seq, 4);
-        assert_eq!(t.recorded(), 5);
+        let stats = t.stats();
+        assert_eq!(stats.recorded, 5);
+        assert_eq!(stats.dropped, 2);
+        assert_eq!(stats.buffered, 3);
+        assert_eq!(stats.capacity, 3);
         t.clear();
         assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 2, "clear() is not a drop");
     }
 
     #[test]
@@ -192,5 +387,46 @@ mod tests {
         let s = format!("{ev}");
         assert!(s.contains("P->S"));
         assert!(s.contains("p7"));
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let t = Tracer::new(16);
+        t.set_enabled(true);
+        // Deliberately record node 1 before node 0 and out of time order
+        // within node 0: the emitter must still sort each track.
+        t.record(
+            || 50,
+            || Event::SiKeep {
+                node: 1,
+                page: PageNum(3),
+            },
+        );
+        t.record(
+            || 40,
+            || Event::Fence {
+                node: 0,
+                kind: FenceKind::SelfDowngrade,
+                dur_cycles: 17,
+            },
+        );
+        t.record(
+            || 10,
+            || Event::ReadMiss {
+                node: 0,
+                page: PageNum(9),
+            },
+        );
+        let json = t.to_chrome_trace();
+        assert!(json.contains("\"dropped\":0"));
+        assert!(json.contains("\"recorded\":3"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":17"));
+        assert!(json.contains("\"name\":\"node 0\""));
+        assert!(json.contains("\"name\":\"node 1\""));
+        // Track 0 must emit the miss (ts 10) before the fence (ts 40).
+        let miss = json.find("\"name\":\"read_miss\"").unwrap();
+        let fence = json.find("\"name\":\"sd_fence\"").unwrap();
+        assert!(miss < fence);
     }
 }

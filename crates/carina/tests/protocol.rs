@@ -438,7 +438,7 @@ fn tracer_captures_the_protocol_story() {
     assert!(events.iter().any(|e| matches!(e, Event::WriteFault { node: 0, .. })));
     assert!(events
         .iter()
-        .any(|e| matches!(e, Event::Fence { node: 0, kind: FenceKind::SelfDowngrade })));
+        .any(|e| matches!(e, Event::Fence { node: 0, kind: FenceKind::SelfDowngrade, .. })));
     assert!(events.iter().any(|e| matches!(e, Event::Downgrade { node: 0, .. })));
     assert!(events
         .iter()

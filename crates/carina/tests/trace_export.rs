@@ -1,0 +1,166 @@
+//! Golden tests for the observability layer's export path: the chrome
+//! trace must be valid JSON with per-track monotonic timestamps and honest
+//! drop accounting, and the read-hit fast path must never record into the
+//! latency profile.
+
+use carina::{CarinaConfig, Dsm};
+use mem::{GlobalAddr, PAGE_BYTES};
+use obs::{JsonValue, Site};
+use rma::{ClusterTopology, CostModel, NodeId, SimTransport, Transport};
+use std::sync::Arc;
+
+fn small_cluster() -> (Arc<SimTransport>, Arc<Dsm>) {
+    let topo = ClusterTopology::tiny(2);
+    let net = SimTransport::new(topo, CostModel::paper_2011());
+    let dsm = Dsm::new(net.clone(), 1 << 20, CarinaConfig::default());
+    (net, dsm)
+}
+
+/// Drive a producer/consumer exchange so the trace holds misses, faults,
+/// downgrades, transitions, and fences on both node tracks.
+fn run_workload(net: &Arc<SimTransport>, dsm: &Dsm) {
+    let topo = *net.topology();
+    let mut a = <SimTransport as Transport>::endpoint(net, topo.loc(NodeId(0), 0));
+    let mut b = <SimTransport as Transport>::endpoint(net, topo.loc(NodeId(1), 0));
+    let base = dsm.total_bytes() / 2; // homed on node 1
+    for round in 0..3u64 {
+        for p in 0..4u64 {
+            let addr = GlobalAddr(base + p * PAGE_BYTES);
+            dsm.write_u64(&mut a, addr, round * 100 + p);
+        }
+        dsm.sd_fence(&mut a);
+        dsm.si_fence(&mut b);
+        for p in 0..4u64 {
+            let addr = GlobalAddr(base + p * PAGE_BYTES);
+            assert_eq!(dsm.read_u64(&mut b, addr), round * 100 + p);
+        }
+        dsm.sd_fence(&mut b);
+        dsm.si_fence(&mut a);
+    }
+}
+
+#[test]
+fn chrome_trace_parses_with_monotonic_ts_per_track() {
+    let (net, dsm) = small_cluster();
+    dsm.tracer().set_enabled(true);
+    run_workload(&net, &dsm);
+
+    let json = dsm.tracer().to_chrome_trace();
+    let doc = JsonValue::parse(&json).expect("trace must be valid JSON");
+
+    let other = doc.get("otherData").expect("otherData metadata");
+    assert_eq!(other.get("dropped").unwrap().as_u64(), Some(0));
+    let recorded = other.get("recorded").unwrap().as_u64().unwrap();
+    assert!(recorded > 0);
+
+    let events = doc.get("traceEvents").expect("traceEvents array");
+    let items = events.as_arr().unwrap();
+    assert!(!items.is_empty());
+    // Shape: every event has pid/tid/ph; fences are durations.
+    let mut fences = 0;
+    for ev in items {
+        let ph = ev.get("ph").unwrap().as_str().unwrap();
+        assert!(matches!(ph, "M" | "X" | "i"), "unexpected phase {ph}");
+        assert!(ev.get("tid").is_some());
+        if ph == "X" {
+            fences += 1;
+            assert!(ev.get("dur").unwrap().as_u64().is_some());
+        }
+    }
+    assert!(fences >= 4, "expected fence slices on both tracks");
+
+    // Both node tracks present, and ts non-decreasing within each.
+    let tracks = events.group_by_field("tid");
+    assert!(tracks.len() >= 2, "expected a track per node");
+    for (tid, evs) in &tracks {
+        let mut last = 0.0f64;
+        for ev in evs {
+            if ev.get("ph").unwrap().as_str() == Some("M") {
+                continue;
+            }
+            let ts = ev.get("ts").unwrap().as_f64().unwrap();
+            assert!(ts >= last, "track {tid}: ts went backwards: {last} -> {ts}");
+            last = ts;
+        }
+    }
+}
+
+#[test]
+fn trace_drops_are_surfaced_not_hidden() {
+    let (net, dsm) = small_cluster();
+    dsm.tracer().set_enabled(true);
+    // 4096-capacity ring: run enough rounds to overflow it.
+    let topo = *net.topology();
+    let mut a = <SimTransport as Transport>::endpoint(&net, topo.loc(NodeId(0), 0));
+    let mut b = <SimTransport as Transport>::endpoint(&net, topo.loc(NodeId(1), 0));
+    let base = dsm.total_bytes() / 2;
+    for round in 0..600u64 {
+        for p in 0..4u64 {
+            dsm.write_u64(&mut a, GlobalAddr(base + p * PAGE_BYTES), round);
+        }
+        dsm.sd_fence(&mut a);
+        dsm.si_fence(&mut b);
+        for p in 0..4u64 {
+            dsm.read_u64(&mut b, GlobalAddr(base + p * PAGE_BYTES));
+        }
+        dsm.sd_fence(&mut b);
+        dsm.si_fence(&mut a);
+    }
+    let stats = dsm.tracer().stats();
+    assert!(stats.dropped > 0, "workload sized to overflow the ring");
+    assert_eq!(stats.recorded, stats.dropped + stats.buffered);
+    let doc = JsonValue::parse(&dsm.tracer().to_chrome_trace()).unwrap();
+    assert_eq!(
+        doc.get("otherData").unwrap().get("dropped").unwrap().as_u64(),
+        Some(stats.dropped)
+    );
+}
+
+/// The seqlock read-hit fast path must not touch the latency profile, the
+/// heat counters, or the tracer: misses are the only recorded read events.
+#[test]
+fn read_hit_fast_path_records_nothing() {
+    let (net, dsm) = small_cluster();
+    dsm.tracer().set_enabled(true);
+    let topo = *net.topology();
+    let mut a = <SimTransport as Transport>::endpoint(&net, topo.loc(NodeId(0), 0));
+    let addr = GlobalAddr(PAGE_BYTES); // odd page: interleaved home = node 1
+    dsm.read_u64(&mut a, addr); // one miss
+
+    let profile_after_miss = dsm.profile().snapshot();
+    let heat_after_miss = dsm.page_heat().total();
+    let traced_after_miss = dsm.tracer().recorded();
+    assert_eq!(profile_after_miss.get(Site::ReadMiss).count(), 1);
+    assert_eq!(heat_after_miss, 1);
+
+    for _ in 0..10_000 {
+        dsm.read_u64(&mut a, addr); // hits
+    }
+
+    assert_eq!(dsm.profile().snapshot(), profile_after_miss);
+    assert_eq!(dsm.page_heat().total(), heat_after_miss);
+    assert_eq!(dsm.tracer().recorded(), traced_after_miss);
+    assert_eq!(dsm.stats().snapshot().read_hits, 10_000);
+}
+
+/// Batched drains land in the new coherence counters.
+#[test]
+fn batched_drain_counters_tick() {
+    let topo = ClusterTopology::tiny(2);
+    let net = SimTransport::new(topo, CostModel::paper_2011());
+    let config = CarinaConfig {
+        batch_drain: carina::BatchDrain::Always,
+        ..Default::default()
+    };
+    let dsm: Arc<Dsm> = Dsm::new(net.clone(), 1 << 20, config);
+    let mut a = <SimTransport as Transport>::endpoint(&net, topo.loc(NodeId(0), 0));
+    for p in 0..5u64 {
+        // Odd pages: all homed on node 1 under interleaved placement.
+        dsm.write_u64(&mut a, GlobalAddr((2 * p + 1) * PAGE_BYTES), p);
+    }
+    dsm.sd_fence(&mut a);
+    let snap = dsm.stats().snapshot();
+    assert_eq!(snap.downgrade_batches, 1, "one home, one batch");
+    assert_eq!(snap.downgrade_batch_pages, 5);
+    assert!((snap.mean_drain_batch() - 5.0).abs() < 1e-12);
+}

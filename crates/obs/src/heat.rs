@@ -1,0 +1,87 @@
+//! [`PageHeat`]: one relaxed counter per page, fed by the read-miss path
+//! and read back by the census's top-K hottest-pages report.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-page miss counters for the whole global address space.
+#[derive(Debug)]
+pub struct PageHeat {
+    counts: Box<[AtomicU64]>,
+}
+
+impl PageHeat {
+    pub fn new(pages: usize) -> Self {
+        PageHeat {
+            counts: (0..pages).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    pub fn pages(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Bump page `idx` by one. Out-of-range indices are ignored rather
+    /// than panicking a protocol path.
+    #[inline]
+    pub fn bump(&self, idx: usize) {
+        if let Some(c) = self.counts.get(idx) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self, idx: usize) -> u64 {
+        self.counts
+            .get(idx)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `k` hottest pages as `(page, misses)`, hottest first; ties break
+    /// toward the lower page number so output is deterministic.
+    pub fn top_k(&self, k: usize) -> Vec<(usize, u64)> {
+        let mut hot: Vec<(usize, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.load(Ordering::Relaxed)))
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hot.truncate(k);
+        hot
+    }
+
+    pub fn reset(&self) {
+        for c in self.counts.iter() {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_is_sorted_and_deterministic() {
+        let heat = PageHeat::new(8);
+        for _ in 0..3 {
+            heat.bump(5);
+        }
+        for _ in 0..3 {
+            heat.bump(2);
+        }
+        heat.bump(7);
+        heat.bump(100); // out of range: ignored
+        assert_eq!(heat.total(), 7);
+        assert_eq!(heat.get(100), 0);
+        assert_eq!(heat.top_k(2), vec![(2, 3), (5, 3)]);
+        assert_eq!(heat.top_k(10), vec![(2, 3), (5, 3), (7, 1)]);
+        heat.reset();
+        assert!(heat.top_k(10).is_empty());
+    }
+}

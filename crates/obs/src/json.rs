@@ -1,0 +1,332 @@
+//! Minimal JSON support: string escaping for the hand-rolled emitters
+//! (chrome traces, run reports, bench records) and a small recursive-
+//! descent parser used by the golden tests to validate what we emit.
+//!
+//! No external JSON crate is available in this build environment; this
+//! module is deliberately tiny rather than general — numbers are `f64`,
+//! objects are association lists (preserving emission order), and parse
+//! errors carry a byte offset but no recovery.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escape `s` for inclusion inside a JSON string literal (no quotes added).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    /// Key → value, in document order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parse a complete JSON document; trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.as_obj()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Group an array of objects by the value of string-or-number field
+    /// `key` (useful for splitting trace events into per-track streams).
+    pub fn group_by_field(&self, key: &str) -> BTreeMap<String, Vec<&JsonValue>> {
+        let mut groups: BTreeMap<String, Vec<&JsonValue>> = BTreeMap::new();
+        if let Some(items) = self.as_arr() {
+            for item in items {
+                let bucket = match item.get(key) {
+                    Some(JsonValue::Str(s)) => s.clone(),
+                    Some(JsonValue::Num(n)) => format!("{n}"),
+                    _ => continue,
+                };
+                groups.entry(bucket).or_default().push(item);
+            }
+        }
+        groups
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", b as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => Ok(JsonValue::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", JsonValue::Null),
+        Some(_) => parse_num(bytes, pos),
+    }
+}
+
+fn parse_lit(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("expected {lit} at byte {}", *pos))
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(JsonValue::Num)
+        .map_err(|_| format!("bad number {text:?} at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = Vec::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return String::from_utf8(out).map_err(|e| e.to_string());
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'/') => out.push(b'/'),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'b') => out.push(0x08),
+                    Some(b'f') => out.push(0x0c),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| format!("bad \\u{code:04x} escape"))?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(&b) => {
+                out.push(b);
+                *pos += 1;
+            }
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_quotes_backslashes_and_controls() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn parse_roundtrips_a_trace_shaped_document() {
+        let text = r#"{
+            "displayTimeUnit": "ns",
+            "otherData": {"recorded": 12, "dropped": 0},
+            "traceEvents": [
+                {"name": "fence \"si\"", "ph": "X", "ts": 10, "dur": 5, "pid": 0, "tid": 1},
+                {"name": "p_to_s", "ph": "i", "ts": 1.5, "pid": 0, "tid": 2, "s": "t"}
+            ]
+        }"#;
+        let doc = JsonValue::parse(text).unwrap();
+        assert_eq!(doc.get("displayTimeUnit").unwrap().as_str(), Some("ns"));
+        assert_eq!(
+            doc.get("otherData").unwrap().get("dropped").unwrap().as_u64(),
+            Some(0)
+        );
+        let events = doc.get("traceEvents").unwrap();
+        assert_eq!(events.as_arr().unwrap().len(), 2);
+        assert_eq!(
+            events.as_arr().unwrap()[0].get("name").unwrap().as_str(),
+            Some("fence \"si\"")
+        );
+        assert_eq!(
+            events.as_arr().unwrap()[1].get("ts").unwrap().as_f64(),
+            Some(1.5)
+        );
+        let tracks = events.group_by_field("tid");
+        assert_eq!(tracks.len(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage_and_bad_escapes() {
+        assert!(JsonValue::parse("{} extra").is_err());
+        assert!(JsonValue::parse("\"\\q\"").is_err());
+        assert!(JsonValue::parse("[1,").is_err());
+        assert!(JsonValue::parse("").is_err());
+    }
+
+    #[test]
+    fn numbers_parse_with_sign_exponent_and_u64_guard() {
+        let v = JsonValue::parse("[-2.5e3, 42, 0.5]").unwrap();
+        let items = v.as_arr().unwrap();
+        assert_eq!(items[0].as_f64(), Some(-2500.0));
+        assert_eq!(items[1].as_u64(), Some(42));
+        assert_eq!(items[2].as_u64(), None);
+    }
+}

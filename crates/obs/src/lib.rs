@@ -1,0 +1,39 @@
+//! # obs — Argoscope, the observability layer
+//!
+//! Every performance argument this repository makes — SI keeps vs
+//! invalidations, writebacks vs buffer size, HQDL delegation batching — is
+//! read off distributions and attributions, not cluster totals. This crate
+//! is the shared substrate those measurements report through:
+//!
+//! - [`hist`] — lock-free per-node log2-bucketed latency [`Histogram`]s.
+//!   Recording is two relaxed atomic adds; merging, percentiles, and a
+//!   compact text rendering happen on plain snapshots after the fact.
+//! - [`profile`] — [`LatencyProfile`], the fixed set of protocol hot-path
+//!   [`Site`]s (read-miss service, write faults, fences, barrier waits,
+//!   lock acquires) with one histogram per site per node. The read/write
+//!   *hit* paths contain no recording code at all.
+//! - [`lock_stats`] — [`LockObs`], per-lock HQDL delegation statistics
+//!   (remote vs local execution, queue wait, batch sizes, handovers) and
+//!   the [`LockRegistry`] a run report collects them from.
+//! - [`heat`] — [`PageHeat`], per-page miss counters feeding the census's
+//!   top-K hottest pages.
+//! - [`json`] — the tiny JSON writer/parser used by the Perfetto trace
+//!   emitter, `RunReport::to_json()`, and the golden tests (no external
+//!   dependencies are available in this build environment).
+//!
+//! Units are deliberately the caller's problem: histograms store whatever
+//! the backend's observability clock counts — virtual cycles under the
+//! simulator, wall nanoseconds under the native transport — and snapshots
+//! carry the numbers through unchanged.
+
+pub mod heat;
+pub mod hist;
+pub mod json;
+pub mod lock_stats;
+pub mod profile;
+
+pub use heat::PageHeat;
+pub use hist::{Histogram, HistogramSnapshot, BUCKETS};
+pub use json::JsonValue;
+pub use lock_stats::{LockObs, LockObsSnapshot, LockRegistry};
+pub use profile::{LatencyProfile, ProfileSnapshot, Site};

@@ -210,6 +210,17 @@ impl Endpoint for NativeEndpoint {
         0.0
     }
 
+    /// Wall nanoseconds since the first `obs_now()` call in this process.
+    /// The protocol clock stays at 0; this one exists so latency histograms
+    /// and traces have real durations to work with.
+    #[inline]
+    fn obs_now(&self) -> u64 {
+        use std::sync::OnceLock;
+        use std::time::Instant;
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+
     #[inline]
     fn cost(&self) -> &CostModel {
         self.net.cost()
@@ -283,6 +294,19 @@ mod tests {
         // Read pulls into node 0; the atomic's footprint lands there too.
         assert_eq!(per[0].bytes_in, 4096 + net.cost().atomic_op_bytes);
         assert_eq!(per[1].bytes_in, 64); // write pushes into node 1
+    }
+
+    /// The protocol clock is pinned at 0, but the observability clock moves.
+    #[test]
+    fn obs_clock_advances_while_protocol_clock_stays_zero() {
+        let net = NativeTransport::new(ClusterTopology::tiny(1));
+        let loc = net.topology().loc(NodeId(0), 0);
+        let e = <NativeTransport as Transport>::endpoint(&net, loc);
+        let t0 = e.obs_now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let t1 = e.obs_now();
+        assert!(t1 > t0, "obs clock did not advance: {t0} -> {t1}");
+        assert_eq!(e.now(), 0);
     }
 
     #[test]

@@ -166,6 +166,17 @@ pub trait Endpoint: Send + Clone + Debug + 'static {
     /// simulator, always 0 for native).
     fn now(&self) -> u64;
 
+    /// The *observability* clock: a monotonic stamp for latency histograms
+    /// and trace timestamps. Virtual cycles on the simulator (same as
+    /// [`Endpoint::now`]); wall nanoseconds since process start on the
+    /// native backend, whose protocol clock is pinned at 0. Differences of
+    /// `obs_now()` stamps are meaningful durations on every backend;
+    /// absolute values are backend-specific.
+    #[inline]
+    fn obs_now(&self) -> u64 {
+        self.now()
+    }
+
     /// [`Endpoint::now`] in seconds at the cost model's CPU frequency.
     fn now_secs(&self) -> f64;
 

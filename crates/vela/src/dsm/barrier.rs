@@ -114,6 +114,7 @@ impl<T: Transport> HierBarrier<T> {
     /// the barrier (on any thread) is visible to every read after it.
     pub fn wait(&self, t: &mut T::Endpoint) {
         let node = t.node().idx();
+        let obs_start = t.obs_now();
         let dsm = &self.dsm;
         let global = &self.global;
         self.node_barriers[node].wait_leader(t, |t| {
@@ -121,6 +122,11 @@ impl<T: Transport> HierBarrier<T> {
             global.wait(t);
             dsm.si_fence(t);
         });
+        // The whole episode — local rendezvous, leader fences, global
+        // rendezvous — counts as barrier wait for this thread.
+        self.dsm
+            .profile()
+            .record(node, obs::Site::BarrierWait, t.obs_now().saturating_sub(obs_start));
     }
 }
 
@@ -186,6 +192,18 @@ mod tests {
         });
         writer.join().unwrap();
         assert_eq!(reader.join().unwrap(), 123);
+    }
+
+    #[test]
+    fn barrier_wait_lands_in_latency_profile() {
+        let net = tiny_net(1);
+        let dsm = carina::Dsm::new(net.clone(), 1 << 20, CarinaConfig::default());
+        let barrier = HierBarrier::new(dsm.clone(), &[1]);
+        let mut t = thread(&net, 0, 0);
+        barrier.wait(&mut t);
+        barrier.wait(&mut t);
+        let prof = dsm.profile().snapshot();
+        assert_eq!(prof.get(obs::Site::BarrierWait).count(), 2);
     }
 
     #[test]

@@ -56,6 +56,13 @@ impl DsmGlobalLock {
     /// Acquire: one remote atomic on the lock word, plus waiting for the
     /// previous holder's release to propagate.
     pub fn acquire<E: Endpoint>(&self, t: &mut E) {
+        self.acquire_tracked(t);
+    }
+
+    /// [`acquire`](Self::acquire), reporting whether the lock changed hands
+    /// between nodes (a *handover*: the previous holder was a different
+    /// node, so the release flag crossed the network to reach us).
+    pub fn acquire_tracked<E: Endpoint>(&self, t: &mut E) -> bool {
         // The CAS on the lock word costs a round trip regardless of outcome.
         t.rdma_cas(self.home);
         let mut st = self.state.lock();
@@ -91,6 +98,7 @@ impl DsmGlobalLock {
                 std::thread::yield_now();
             }
         }
+        switched
     }
 
     /// Release: a posted write of the lock word (the successor's spin flag).

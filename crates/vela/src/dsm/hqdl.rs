@@ -85,6 +85,8 @@ pub struct Hqdl<T: Transport = SimTransport> {
     global: Arc<DsmGlobalLock>,
     node_queues: Vec<NodeQueue<T>>,
     batch_limit: usize,
+    /// Per-lock observability, registered with the DSM's lock registry.
+    obs: Arc<obs::LockObs>,
     sections: AtomicU64,
     batches: AtomicU64,
     acquire_cycles: AtomicU64,
@@ -97,8 +99,16 @@ impl<T: Transport> Hqdl<T> {
     /// `batch_limit`: maximum sections executed per global-lock tenure
     /// ("either because there are no more, or a limit is reached").
     pub fn new(dsm: Arc<Dsm<T>>, batch_limit: usize) -> Arc<Self> {
+        Self::new_named(dsm, batch_limit, "hqdl")
+    }
+
+    /// [`new`](Self::new) with a name for per-lock statistics: the lock
+    /// registers itself in the DSM's [`obs::LockRegistry`] so run reports
+    /// can attribute delegation behaviour to individual locks.
+    pub fn new_named(dsm: Arc<Dsm<T>>, batch_limit: usize, name: &str) -> Arc<Self> {
         assert!(batch_limit > 0, "batch limit must be positive");
         let nodes = dsm.net().topology().nodes;
+        let obs = dsm.lock_registry().register(name);
         Arc::new(Hqdl {
             global: DsmGlobalLock::new(NodeId(0)),
             node_queues: (0..nodes)
@@ -109,6 +119,7 @@ impl<T: Transport> Hqdl<T> {
                 .collect(),
             dsm,
             batch_limit,
+            obs,
             sections: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             acquire_cycles: AtomicU64::new(0),
@@ -116,6 +127,11 @@ impl<T: Transport> Hqdl<T> {
             section_cycles: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
         })
+    }
+
+    /// This lock's live observability counters.
+    pub fn observer(&self) -> &Arc<obs::LockObs> {
+        &self.obs
     }
 
     pub fn stats(&self) -> HqdlStats {
@@ -148,7 +164,22 @@ impl<T: Transport> Hqdl<T> {
         let publish = t.cost().intersocket_latency;
         t.compute(publish);
         let node = t.node().idx();
+        obs::LockObs::bump(&self.obs.delegations);
+        let lock_obs = self.obs.clone();
+        let enqueued_at = t.obs_now();
+        let delegator = t.loc();
         self.node_queues[node].queue.push(Box::new(move |ht: &mut T::Endpoint| {
+            // Helpers can run with a clock behind the delegator's on the
+            // sim transport; a saturating difference keeps the histogram
+            // honest rather than wrapping.
+            lock_obs
+                .queue_wait
+                .record(ht.obs_now().saturating_sub(enqueued_at));
+            if ht.loc() == delegator {
+                obs::LockObs::bump(&lock_obs.executed_local);
+            } else {
+                obs::LockObs::bump(&lock_obs.executed_remote);
+            }
             let r = f(ht);
             // SAFETY: sole writer before the `done` release.
             unsafe { *s.value.get() = Some(r) };
@@ -211,8 +242,17 @@ impl<T: Transport> Hqdl<T> {
             return;
         }
         let t0 = t.now();
-        self.global.acquire(t);
+        let obs_t0 = t.obs_now();
+        let switched = self.global.acquire_tracked(t);
         let t1 = t.now();
+        let acquire_dur = t.obs_now().saturating_sub(obs_t0);
+        self.obs.acquire.record(acquire_dur);
+        self.dsm
+            .profile()
+            .record(node, obs::Site::LockAcquire, acquire_dur);
+        if switched {
+            obs::LockObs::bump(&self.obs.handovers);
+        }
         // Open the delegation queue: one SI to observe earlier critical
         // sections executed on other nodes.
         self.dsm.si_fence(t);
@@ -244,6 +284,8 @@ impl<T: Transport> Hqdl<T> {
         self.sections.fetch_add(executed as u64, Ordering::Relaxed);
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.max_batch.fetch_max(executed as u64, Ordering::Relaxed);
+        obs::LockObs::bump(&self.obs.batches);
+        self.obs.batch_size.record(executed as u64);
         let t3 = t.now();
         self.section_cycles.fetch_add(t3 - t2, Ordering::Relaxed);
         // Close the queue: one SD to publish every section's writes.
@@ -305,6 +347,52 @@ mod tests {
         assert_eq!(st.sections_executed, 1501);
         // Batching: far fewer global-lock tenures than sections.
         assert!(st.batches <= st.sections_executed);
+
+        // The lock registered itself and its observer saw every section.
+        let snaps = dsm.lock_registry().snapshots();
+        assert_eq!(snaps.len(), 1);
+        let obs = &snaps[0];
+        assert_eq!(obs.name, "hqdl");
+        assert_eq!(obs.delegations, 1501);
+        assert_eq!(obs.executed(), 1501);
+        assert_eq!(obs.queue_wait.count(), 1501);
+        assert_eq!(obs.batches, st.batches);
+        assert_eq!(obs.batch_size.count(), st.batches);
+        assert_eq!(obs.acquire.count(), st.batches);
+        // Three nodes contended: the global lock changed hands.
+        assert!(obs.handovers >= 2);
+        // One thread per node: every delegator is its own helper.
+        assert_eq!(obs.executed_local, 1501);
+        // Acquire latency also lands in the DSM-wide profile.
+        let prof = dsm.profile().snapshot();
+        assert_eq!(
+            prof.get(obs::Site::LockAcquire).count(),
+            st.batches
+        );
+    }
+
+    #[test]
+    fn helper_executing_anothers_section_counts_as_remote() {
+        let (dsm, net) = setup(1);
+        let addr = GlobalAddr(PAGE_BYTES);
+        let lock = Hqdl::new_named(dsm.clone(), 64, "counter");
+        // Core 0 delegates a detached increment; core 1's helper drains it
+        // (FIFO, so the increment lands before core 1's own read).
+        let mut a = thread(&net, 0, 0);
+        let d = dsm.clone();
+        let fut = lock.delegate(&mut a, move |ht| {
+            let v = d.read_u64(ht, addr);
+            d.write_u64(ht, addr, v + 1);
+        });
+        let mut b = thread(&net, 0, 1);
+        let d = dsm.clone();
+        assert_eq!(lock.delegate_wait(&mut b, move |ht| d.read_u64(ht, addr)), 1);
+        assert!(fut.is_done());
+        let snap = lock.observer().snapshot();
+        assert_eq!(snap.name, "counter");
+        assert_eq!(snap.executed_remote, 1); // a's section, run by b
+        assert_eq!(snap.executed_local, 1); // b's own section
+        assert_eq!(snap.queue_wait.count(), 2);
     }
 
     #[test]

@@ -186,6 +186,7 @@ pub fn run_mpi_variant(nodes: usize, ranks_per_node: usize, p: BsParams) -> Outc
         checksum: results[0],
         coherence: Default::default(),
         net,
+        profile: Default::default(),
     }
 }
 

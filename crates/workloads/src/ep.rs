@@ -159,6 +159,7 @@ pub fn run_pgas(nodes: usize, threads_per_node: usize, p: EpParams) -> Outcome {
         checksum,
         coherence: report.coherence,
         net: report.net,
+        profile: report.profile,
     }
 }
 

@@ -23,6 +23,8 @@ pub struct Outcome {
     pub checksum: f64,
     pub coherence: CoherenceSnapshot,
     pub net: NetStatsSnapshot,
+    /// Latency histograms of the run (merged across nodes).
+    pub profile: obs::ProfileSnapshot,
 }
 
 impl Outcome {
@@ -49,6 +51,7 @@ pub fn outcome_of(report: argo::RunReport<f64>) -> Outcome {
         checksum: report.results.iter().sum(),
         coherence: report.coherence,
         net: report.net,
+        profile: report.profile,
     }
 }
 
@@ -224,6 +227,7 @@ mod tests {
             checksum,
             coherence: Default::default(),
             net: Default::default(),
+            profile: Default::default(),
         };
         let seq = mk(1000, 5.0);
         let par = mk(250, 5.0000001);

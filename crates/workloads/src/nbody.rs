@@ -251,6 +251,7 @@ pub fn run_mpi_variant(nodes: usize, ranks_per_node: usize, p: NbodyParams) -> O
         checksum: results[0],
         coherence: Default::default(),
         net,
+        profile: Default::default(),
     }
 }
 

@@ -202,6 +202,7 @@ pub fn run_argo(nodes: usize, threads_per_node: usize, p: TspParams) -> Outcome 
         checksum: best,
         coherence: report.coherence,
         net: report.net,
+        profile: report.profile,
     }
 }
 

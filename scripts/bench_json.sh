@@ -20,6 +20,11 @@ CRITERION_MINI_OUT="$OUT_DIR" cargo bench -p bench --bench simulator_throughput
 CRITERION_MINI_OUT="$OUT_DIR" cargo bench -p bench --bench fences
 CRITERION_MINI_OUT="$OUT_DIR" cargo bench -p bench --bench drain
 
+# Argoscope: instrumented reference run on both backends. Emits the
+# Perfetto traces and report JSON under target/argoscope/; the sim
+# report's latency percentiles are embedded in BENCH_simulator.json below.
+cargo run --release --example argoscope
+
 python3 - "$OUT_DIR" "$BASELINE_DIR" <<'EOF'
 import json, glob, os, sys
 
@@ -55,6 +60,16 @@ if ratios:
     for r in ratios:
         g *= r
     report["geomean_speedup"] = g ** (1.0 / len(ratios))
+
+# Latency percentiles from the argoscope reference run (virtual cycles):
+# per-site count/mean/p50/p90/p99 histograms plus per-lock delegation
+# stats, straight out of RunReport::to_json().
+scope = "target/argoscope/report_sim.json"
+if os.path.exists(scope):
+    with open(scope) as fh:
+        scope_report = json.load(fh)
+    report["argoscope_latency"] = scope_report["profile"]
+    report["argoscope_locks"] = scope_report["locks"]
 
 with open("BENCH_simulator.json", "w") as fh:
     json.dump(report, fh, indent=2)

@@ -13,7 +13,7 @@
 use argo::types::GlobalF64Array;
 use argo::{ArgoConfig, ArgoMachine};
 use carina::CoherenceSnapshot;
-use rma::Transport;
+use rma::{Endpoint, Transport};
 use workloads::{matmul, sor};
 
 /// Producer/consumer over a page-striped array: even tids write their
@@ -190,6 +190,59 @@ fn matmul_end_to_end_on_native() {
     );
     assert_eq!(nat.cycles, 0, "native backend has no virtual clock");
     assert!(nat.wall_seconds > 0.0);
+}
+
+/// Observability event *counts* are backend-independent for a fully
+/// deterministic program: one thread per node, phase-separated by
+/// barriers, and delegated sections that are compute-only (so helper
+/// batching nondeterminism cannot leak into miss counts). The latency
+/// *values* differ by design — virtual cycles vs wall nanoseconds — but
+/// both backends must observe the same events the same number of times.
+#[test]
+fn observability_counts_identical_on_both_backends() {
+    fn counts<T: Transport>(
+        machine: &std::sync::Arc<ArgoMachine<T>>,
+    ) -> (u64, u64, u64, u64, u64, u64, u64, u64) {
+        let arr = GlobalF64Array::alloc(machine.dsm(), 1024);
+        let lock = vela::Hqdl::new_named(machine.dsm().clone(), 32, "obs");
+        let report = machine.run(move |ctx| {
+            for i in ctx.my_chunk(1024) {
+                arr.set(ctx, i, (i * 3) as f64);
+            }
+            ctx.barrier();
+            let mut s = 0.0;
+            for i in 0..1024 {
+                s += arr.get(ctx, i);
+            }
+            ctx.barrier();
+            for _ in 0..40 {
+                lock.delegate_wait(&mut ctx.thread, |ht| ht.compute(10));
+            }
+            ctx.barrier();
+            s
+        });
+        let lock = &report.locks[0];
+        (
+            report.coherence.read_misses,
+            report.coherence.write_faults,
+            report.profile.get(obs::Site::ReadMiss).count(),
+            report.profile.get(obs::Site::WriteFault).count(),
+            report.profile.get(obs::Site::BarrierWait).count(),
+            lock.delegations,
+            lock.executed(),
+            lock.queue_wait.count(),
+        )
+    }
+    let (sim, native) = machines(3, 1);
+    let cs = counts(&sim);
+    let cn = counts(&native);
+    assert_eq!(cs, cn, "observability event counts diverged across backends");
+    assert!(cs.0 > 0 && cs.1 > 0, "program must miss and fault");
+    assert_eq!(cs.0, cs.2, "every read miss must be profiled");
+    assert_eq!(cs.1, cs.3, "every write fault must be profiled");
+    assert_eq!(cs.4, 3 * 3, "three threads, three barriers each");
+    assert_eq!(cs.5, 3 * 40);
+    assert_eq!(cs.5, cs.6, "every delegation must execute exactly once");
 }
 
 #[test]
