@@ -9,7 +9,7 @@
 
 use carina::Dsm;
 use mem::GlobalAddr;
-use rma::{Endpoint, SimTransport, Transport};
+use rma::{Endpoint, SimTransport, Transport, VerbClass, VerbError};
 use simnet::NodeId;
 use std::sync::Arc;
 
@@ -26,14 +26,39 @@ impl<T: Transport> PgasCtx<T> {
         PgasCtx { dsm }
     }
 
+    /// Reissue a fine-grained PGAS verb until it lands, charging backoff
+    /// as local compute. PGAS has no coherence to fall back on, so an
+    /// exhausted budget aborts (same contract as the DSM's panicking ops).
+    fn insist(
+        &self,
+        t: &mut T::Endpoint,
+        class: VerbClass,
+        salt: u64,
+        mut verb: impl FnMut(&mut T::Endpoint) -> Result<(), VerbError>,
+    ) {
+        let r = self.dsm.config().retry.run(class, salt, |a| {
+            if a.step > 0 {
+                t.compute(a.step);
+            }
+            verb(t)
+        });
+        if let Err(e) = r {
+            panic!("unrecoverable DSM fault: {e}");
+        }
+    }
+
     fn charge(&self, t: &mut T::Endpoint, addr: GlobalAddr, write: bool) {
         let home = self.dsm.home_of(addr);
         if home == t.node().0 {
             t.dram_access();
         } else if write {
-            t.rdma_write(NodeId(home), ELEM_BYTES);
+            self.insist(t, VerbClass::Downgrade, addr.0, |t| {
+                t.rdma_write(NodeId(home), ELEM_BYTES).map(|_| ())
+            });
         } else {
-            t.rdma_read(NodeId(home), ELEM_BYTES);
+            self.insist(t, VerbClass::PageFetch, addr.0, |t| {
+                t.rdma_read(NodeId(home), ELEM_BYTES)
+            });
         }
     }
 
@@ -72,7 +97,9 @@ impl<T: Transport> PgasCtx<T> {
             if home == t.node().0 {
                 t.dram_access();
             } else {
-                t.rdma_read(NodeId(home), run_words as u64 * 8);
+                self.insist(t, VerbClass::PageFetch, a.0, |t| {
+                    t.rdma_read(NodeId(home), run_words as u64 * 8)
+                });
             }
             for k in 0..run_words {
                 out.push(f64::from_bits(self.dsm.peek_u64(addr.offset((i + k) as u64 * 8))));
@@ -93,7 +120,9 @@ impl<T: Transport> PgasCtx<T> {
             if home == t.node().0 {
                 t.dram_access();
             } else {
-                t.rdma_write(NodeId(home), run_words as u64 * 8);
+                self.insist(t, VerbClass::Downgrade, a.0, |t| {
+                    t.rdma_write(NodeId(home), run_words as u64 * 8).map(|_| ())
+                });
             }
             for k in 0..run_words {
                 self.dsm.poke_u64(addr.offset((i + k) as u64 * 8), data[i + k].to_bits());

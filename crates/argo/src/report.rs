@@ -66,6 +66,13 @@ impl<R> RunReport<R> {
             n.rdma_atomics,
             n.handler_invocations
         );
+        if c.verb_retries > 0 || c.verb_exhaustions > 0 {
+            let _ = writeln!(
+                s,
+                "resilience   : {} verb retries, {} budgets exhausted",
+                c.verb_retries, c.verb_exhaustions
+            );
+        }
         s
     }
 
@@ -94,6 +101,7 @@ impl<R> RunReport<R> {
              \"checkpoints\":{},\"p_to_s\":{},\"nw_to_sw\":{},\"sw_to_mw\":{},\
              \"evictions\":{},\"si_fences\":{},\"sd_fences\":{},\"decays\":{},\
              \"downgrade_batches\":{},\"downgrade_batch_pages\":{},\
+             \"verb_retries\":{},\"verb_exhaustions\":{},\
              \"mean_drain_batch\":{:.3},\"diff_efficiency\":{:.4},\"si_keep_ratio\":{:.4}}}",
             c.read_hits,
             c.write_hits,
@@ -115,6 +123,8 @@ impl<R> RunReport<R> {
             c.decays,
             c.downgrade_batches,
             c.downgrade_batch_pages,
+            c.verb_retries,
+            c.verb_exhaustions,
             c.mean_drain_batch(),
             c.diff_efficiency(),
             c.si_keep_ratio()
@@ -219,6 +229,13 @@ mod tests {
         assert_eq!(
             coh.get("read_misses").unwrap().as_u64(),
             Some(report.coherence.read_misses)
+        );
+        // Healthy fabric: retry counters are present and zero.
+        assert_eq!(coh.get("verb_retries").unwrap().as_u64(), Some(0));
+        assert_eq!(coh.get("verb_exhaustions").unwrap().as_u64(), Some(0));
+        assert_eq!(
+            doc.get("profile").unwrap().get("retry").unwrap().get("count").unwrap().as_u64(),
+            Some(0)
         );
         assert_eq!(
             doc.get("network").unwrap().get("rdma_reads").unwrap().as_u64(),

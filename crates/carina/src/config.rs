@@ -3,6 +3,7 @@
 use crate::classification::ClassificationMode;
 use mem::addr::HomePolicy;
 use mem::CacheConfig;
+use rma::RetryPolicy;
 
 /// Whether SD fences drain the write buffer with one home-coalesced
 /// `rdma_write_batch` per home node, or with one `rdma_write` per page.
@@ -66,6 +67,9 @@ pub struct CarinaConfig {
     pub fence_scan_cycles: u64,
     /// Cycles to flip protection on one page (the mprotect analogue).
     pub protect_cycles: u64,
+    /// How failed verbs are reissued (backoff, jitter, per-class budgets).
+    /// Irrelevant on a healthy fabric — no verb ever fails there.
+    pub retry: RetryPolicy,
 }
 
 impl Default for CarinaConfig {
@@ -84,6 +88,7 @@ impl Default for CarinaConfig {
             checkpoint_cycles: 4200, // 2×64 cache lines of cold DRAM traffic
             fence_scan_cycles: 6,
             protect_cycles: 150,
+            retry: RetryPolicy::default(),
         }
     }
 }

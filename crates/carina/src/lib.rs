@@ -25,6 +25,7 @@ pub mod census;
 pub mod classification;
 pub mod config;
 pub mod directory;
+pub mod error;
 pub mod protocol;
 pub mod stats;
 pub mod trace;
@@ -33,7 +34,12 @@ pub mod write_buffer;
 pub use census::{Census, HotPage};
 pub use classification::{ClassificationMode, DirView, PageClass, WriterClass};
 pub use config::{BatchDrain, CarinaConfig};
+pub use error::DsmError;
 pub use protocol::Dsm;
 pub use stats::{CoherenceSnapshot, CoherenceStats, StatShard};
+
+// Re-exported so programs handling DSM errors can name the fault and retry
+// vocabulary without depending on `rma` directly.
+pub use rma::{RetryPolicy, VerbClass, VerbError};
 pub use trace::{Event as TraceEvent, TracedEvent, Tracer, TracerStats};
 pub use write_buffer::WriteBuffer;

@@ -27,13 +27,14 @@
 use crate::classification::{node_bit, ClassificationMode, DirView, PageClass};
 use crate::config::{BatchDrain, CarinaConfig};
 use crate::directory::{DirCaches, Pyxis};
+use crate::error::DsmError;
 use crate::stats::CoherenceStats;
 use crate::write_buffer::WriteBuffer;
 use mem::{
     GlobalAddr, GlobalAllocator, GlobalMemory, PageCache, PageData, PageNum, SlotGuard,
     CHUNK_WORDS, PAGE_BYTES,
 };
-use rma::{Endpoint, SimTransport, Transport};
+use rma::{Endpoint, Retried, RetryExhausted, SimTransport, Transport, VerbClass};
 use simnet::NodeId;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -255,18 +256,71 @@ impl<T: Transport> Dsm<T> {
     }
 
     // ------------------------------------------------------------------
+    // Retry bookkeeping
+    // ------------------------------------------------------------------
+
+    /// Fold a retry outcome into the stats and profile, and translate an
+    /// exhausted budget into a [`DsmError`] naming the route. Every remote
+    /// verb site funnels through here; on a healthy fabric the zero-retry
+    /// arm is the only one ever taken and records nothing.
+    #[inline]
+    fn verb_retried<R>(
+        &self,
+        me: u16,
+        target: u16,
+        r: Result<Retried<R>, RetryExhausted>,
+    ) -> Result<R, DsmError> {
+        match r {
+            Ok(Retried { value, retries: 0, .. }) => Ok(value),
+            Ok(Retried { value, retries, delay }) => {
+                CoherenceStats::add(&self.stats.shard(me).verb_retries, retries as u64);
+                self.profile.record(me as usize, obs::Site::Retry, delay);
+                Ok(value)
+            }
+            Err(e) => {
+                CoherenceStats::bump(&self.stats.shard(me).verb_exhaustions);
+                CoherenceStats::add(
+                    &self.stats.shard(me).verb_retries,
+                    e.attempts.saturating_sub(1) as u64,
+                );
+                self.profile.record(me as usize, obs::Site::Retry, e.delay);
+                Err(DsmError::new(e, me, target))
+            }
+        }
+    }
+
+    /// The panicking flavors' shared exit: programs that opted out of
+    /// fault handling abort with the route and class in the message.
+    #[inline]
+    fn unrecoverable<R>(r: Result<R, DsmError>) -> R {
+        match r {
+            Ok(v) => v,
+            Err(e) => panic!("unrecoverable DSM fault: {e}"),
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Typed access path
     // ------------------------------------------------------------------
 
     /// Read an aligned 64-bit word at `addr`.
+    ///
+    /// Panics if the fabric stays broken past the retry budget; see
+    /// [`Self::try_read_u64`] for the fallible flavor.
     pub fn read_u64(&self, t: &mut T::Endpoint, addr: GlobalAddr) -> u64 {
+        Self::unrecoverable(self.try_read_u64(t, addr))
+    }
+
+    /// Read an aligned 64-bit word at `addr`, surfacing retry-budget
+    /// exhaustion as a [`DsmError`] instead of panicking.
+    pub fn try_read_u64(&self, t: &mut T::Endpoint, addr: GlobalAddr) -> Result<u64, DsmError> {
         let page = addr.page();
         let word = addr.word_index();
         let me = t.node().0;
         t.compute(self.config.hit_cycles);
         if self.global.home_of(page) == me {
-            self.register_reader_home(t, page, me);
-            return self.global.home_page(page).load(word);
+            self.register_reader_home(t, page, me)?;
+            return Ok(self.global.home_page(page).load(word));
         }
         let ns = &self.nodes[me as usize];
         let line = ns.cache.line_of(page);
@@ -276,50 +330,65 @@ impl<T: Transport> Dsm<T> {
         if let Some((v, ready)) = ns.cache.slot_for(page).try_read(line, idx, word) {
             CoherenceStats::bump(&self.stats.shard(me).read_hits);
             t.merge(ready);
-            return v;
+            return Ok(v);
         }
         let mut st = ns.cache.lock_slot(page);
         if st.tag == Some(line) && st.pages[idx].valid {
             CoherenceStats::bump(&self.stats.shard(me).read_hits);
             t.merge(st.ready_at);
-            return st.data(idx).load(word);
+            return Ok(st.data(idx).load(word));
         }
-        self.read_miss(t, &mut st, page, me);
-        st.data(idx).load(word)
+        self.read_miss(t, &mut st, page, me)?;
+        Ok(st.data(idx).load(word))
     }
 
     /// Write an aligned 64-bit word at `addr`.
+    ///
+    /// Panics if the fabric stays broken past the retry budget; see
+    /// [`Self::try_write_u64`] for the fallible flavor.
     pub fn write_u64(&self, t: &mut T::Endpoint, addr: GlobalAddr, value: u64) {
+        Self::unrecoverable(self.try_write_u64(t, addr, value))
+    }
+
+    /// Write an aligned 64-bit word at `addr`, surfacing retry-budget
+    /// exhaustion as a [`DsmError`] instead of panicking.
+    pub fn try_write_u64(
+        &self,
+        t: &mut T::Endpoint,
+        addr: GlobalAddr,
+        value: u64,
+    ) -> Result<(), DsmError> {
         let page = addr.page();
         let word = addr.word_index();
         let me = t.node().0;
         t.compute(self.config.hit_cycles);
         if self.global.home_of(page) == me {
-            self.register_writer_home(t, page, me);
+            self.register_writer_home(t, page, me)?;
             self.global.home_page(page).store(word, value);
-            return;
+            return Ok(());
         }
         let ns = &self.nodes[me as usize];
         let mut st = ns.cache.lock_slot(page);
         let line = ns.cache.line_of(page);
         let idx = ns.cache.index_in_line(page);
         if st.tag != Some(line) || !st.pages[idx].valid {
-            self.read_miss(t, &mut st, page, me); // write-allocate
+            self.read_miss(t, &mut st, page, me)?; // write-allocate
         }
         let was_dirty = st.pages[idx].dirty;
         if was_dirty {
             CoherenceStats::bump(&self.stats.shard(me).write_hits);
             Self::store_cached(&st, idx, word, value);
-            return;
+            return Ok(());
         }
-        let buffered = self.write_fault_locked(t, &mut st, page, me);
+        let buffered = self.write_fault_locked(t, &mut st, page, me)?;
         Self::store_cached(&st, idx, word, value);
         drop(st);
         if buffered {
             if let Some(victim) = ns.wbuf.push(page) {
-                self.downgrade(t, victim, me);
+                self.downgrade(t, victim, me)?;
             }
         }
+        Ok(())
     }
 
     /// Store into a cached page under its slot lock, maintaining the
@@ -350,7 +419,7 @@ impl<T: Transport> Dsm<T> {
         st: &mut SlotGuard<'_>,
         page: PageNum,
         me: u16,
-    ) -> bool {
+    ) -> Result<bool, DsmError> {
         let ns = &self.nodes[me as usize];
         let idx = ns.cache.index_in_line(page);
         let obs_start = t.obs_now();
@@ -358,7 +427,7 @@ impl<T: Transport> Dsm<T> {
         self.tracer
             .record(|| obs_start, || crate::trace::Event::WriteFault { node: me, page });
         t.fault_trap();
-        self.register_writer(t, page, me);
+        self.register_writer(t, page, me)?;
         let view = self.dir_caches.entry(me, page).view();
         let need_twin = !(self.config.sw_no_diff && view.writers == node_bit(me));
         debug_assert!(st.pages[idx].mask.is_empty(), "clean page carries mask bits");
@@ -378,7 +447,7 @@ impl<T: Transport> Dsm<T> {
             obs::Site::WriteFault,
             t.obs_now().saturating_sub(obs_start),
         );
-        view.must_self_downgrade(self.config.mode, me)
+        Ok(view.must_self_downgrade(self.config.mode, me))
     }
 
     /// Read an aligned f64.
@@ -386,9 +455,24 @@ impl<T: Transport> Dsm<T> {
         f64::from_bits(self.read_u64(t, addr))
     }
 
+    /// Fallible flavor of [`Self::read_f64`].
+    pub fn try_read_f64(&self, t: &mut T::Endpoint, addr: GlobalAddr) -> Result<f64, DsmError> {
+        self.try_read_u64(t, addr).map(f64::from_bits)
+    }
+
     /// Write an aligned f64.
     pub fn write_f64(&self, t: &mut T::Endpoint, addr: GlobalAddr, value: f64) {
         self.write_u64(t, addr, value.to_bits());
+    }
+
+    /// Fallible flavor of [`Self::write_f64`].
+    pub fn try_write_f64(
+        &self,
+        t: &mut T::Endpoint,
+        addr: GlobalAddr,
+        value: f64,
+    ) -> Result<(), DsmError> {
+        self.try_write_u64(t, addr, value.to_bits())
     }
 
     /// Bulk read of `out.len()` consecutive words starting at `addr`.
@@ -399,6 +483,16 @@ impl<T: Transport> Dsm<T> {
     /// loop whose per-element cost is hidden by hardware caches. Workload
     /// kernels use this for row-contiguous access.
     pub fn read_u64_slice(&self, t: &mut T::Endpoint, addr: GlobalAddr, out: &mut [u64]) {
+        Self::unrecoverable(self.try_read_u64_slice(t, addr, out))
+    }
+
+    /// Fallible flavor of [`Self::read_u64_slice`].
+    pub fn try_read_u64_slice(
+        &self,
+        t: &mut T::Endpoint,
+        addr: GlobalAddr,
+        out: &mut [u64],
+    ) -> Result<(), DsmError> {
         let me = t.node().0;
         let mut i = 0usize;
         while i < out.len() {
@@ -408,7 +502,7 @@ impl<T: Transport> Dsm<T> {
             let run = (mem::WORDS_PER_PAGE - first_word).min(out.len() - i);
             t.compute(self.config.hit_cycles + run as u64 * STREAM_WORD_CYCLES);
             if self.global.home_of(page) == me {
-                self.register_reader_home(t, page, me);
+                self.register_reader_home(t, page, me)?;
                 let hp = self.global.home_page(page);
                 for k in 0..run {
                     out[i + k] = hp.load(first_word + k);
@@ -434,7 +528,7 @@ impl<T: Transport> Dsm<T> {
                     CoherenceStats::bump(&self.stats.shard(me).read_hits);
                     t.merge(st.ready_at);
                 } else {
-                    self.read_miss(t, &mut st, page, me);
+                    self.read_miss(t, &mut st, page, me)?;
                 }
                 let data = st.data(idx);
                 for k in 0..run {
@@ -443,10 +537,21 @@ impl<T: Transport> Dsm<T> {
             }
             i += run;
         }
+        Ok(())
     }
 
     /// Bulk write of consecutive words (see [`Self::read_u64_slice`]).
     pub fn write_u64_slice(&self, t: &mut T::Endpoint, addr: GlobalAddr, data: &[u64]) {
+        Self::unrecoverable(self.try_write_u64_slice(t, addr, data))
+    }
+
+    /// Fallible flavor of [`Self::write_u64_slice`].
+    pub fn try_write_u64_slice(
+        &self,
+        t: &mut T::Endpoint,
+        addr: GlobalAddr,
+        data: &[u64],
+    ) -> Result<(), DsmError> {
         let me = t.node().0;
         let mut i = 0usize;
         while i < data.len() {
@@ -456,7 +561,7 @@ impl<T: Transport> Dsm<T> {
             let run = (mem::WORDS_PER_PAGE - first_word).min(data.len() - i);
             t.compute(self.config.hit_cycles + run as u64 * STREAM_WORD_CYCLES);
             if self.global.home_of(page) == me {
-                self.register_writer_home(t, page, me);
+                self.register_writer_home(t, page, me)?;
                 let hp = self.global.home_page(page);
                 for k in 0..run {
                     hp.store(first_word + k, data[i + k]);
@@ -467,13 +572,13 @@ impl<T: Transport> Dsm<T> {
                 let line = ns.cache.line_of(page);
                 let idx = ns.cache.index_in_line(page);
                 if st.tag != Some(line) || !st.pages[idx].valid {
-                    self.read_miss(t, &mut st, page, me); // write-allocate
+                    self.read_miss(t, &mut st, page, me)?; // write-allocate
                 }
                 let buffered = if st.pages[idx].dirty {
                     CoherenceStats::bump(&self.stats.shard(me).write_hits);
                     false
                 } else {
-                    self.write_fault_locked(t, &mut st, page, me)
+                    self.write_fault_locked(t, &mut st, page, me)?
                 };
                 let pd = st.data(idx);
                 {
@@ -493,16 +598,27 @@ impl<T: Transport> Dsm<T> {
                 drop(st);
                 if buffered {
                     if let Some(victim) = ns.wbuf.push(page) {
-                        self.downgrade(t, victim, me);
+                        self.downgrade(t, victim, me)?;
                     }
                 }
             }
             i += run;
         }
+        Ok(())
     }
 
     /// Bulk f64 read (see [`Self::read_u64_slice`]).
     pub fn read_f64_slice(&self, t: &mut T::Endpoint, addr: GlobalAddr, out: &mut [f64]) {
+        Self::unrecoverable(self.try_read_f64_slice(t, addr, out))
+    }
+
+    /// Fallible flavor of [`Self::read_f64_slice`].
+    pub fn try_read_f64_slice(
+        &self,
+        t: &mut T::Endpoint,
+        addr: GlobalAddr,
+        out: &mut [f64],
+    ) -> Result<(), DsmError> {
         // Reuse the u64 path by reinterpreting the buffer in place: f64 and
         // u64 have identical size and alignment, and every u64 bit pattern
         // is a valid f64 (and vice versa), so no scratch copy is needed.
@@ -510,15 +626,25 @@ impl<T: Transport> Dsm<T> {
         // the borrow is exclusive for the duration of the call.
         let words =
             unsafe { std::slice::from_raw_parts_mut(out.as_mut_ptr().cast::<u64>(), out.len()) };
-        self.read_u64_slice(t, addr, words);
+        self.try_read_u64_slice(t, addr, words)
     }
 
     /// Bulk f64 write (see [`Self::write_u64_slice`]).
     pub fn write_f64_slice(&self, t: &mut T::Endpoint, addr: GlobalAddr, data: &[f64]) {
-        // Safety: as in `read_f64_slice`; shared borrow, read-only.
+        Self::unrecoverable(self.try_write_f64_slice(t, addr, data))
+    }
+
+    /// Fallible flavor of [`Self::write_f64_slice`].
+    pub fn try_write_f64_slice(
+        &self,
+        t: &mut T::Endpoint,
+        addr: GlobalAddr,
+        data: &[f64],
+    ) -> Result<(), DsmError> {
+        // Safety: as in `try_read_f64_slice`; shared borrow, read-only.
         let words =
             unsafe { std::slice::from_raw_parts(data.as_ptr().cast::<u64>(), data.len()) };
-        self.write_u64_slice(t, addr, words);
+        self.try_write_u64_slice(t, addr, words)
     }
 
     // ------------------------------------------------------------------
@@ -529,6 +655,11 @@ impl<T: Transport> Dsm<T> {
     /// that Table 1 requires for the configured mode. Dirty pages are
     /// downgraded before invalidation so no write is lost.
     pub fn si_fence(&self, t: &mut T::Endpoint) {
+        Self::unrecoverable(self.try_si_fence(t))
+    }
+
+    /// Fallible flavor of [`Self::si_fence`].
+    pub fn try_si_fence(&self, t: &mut T::Endpoint) -> Result<(), DsmError> {
         let me = t.node().0;
         let obs_start = t.obs_now();
         CoherenceStats::bump(&self.stats.shard(me).si_fences);
@@ -549,7 +680,7 @@ impl<T: Transport> Dsm<T> {
                 let view = self.dir_caches.entry(me, page).view();
                 if view.must_self_invalidate(self.config.mode, me) {
                     if st.pages[idx].dirty {
-                        self.downgrade_locked(t, &mut st, page, me);
+                        self.downgrade_locked(t, &mut st, page, me)?;
                         ns.wbuf.remove(page);
                     }
                     st.pages[idx].invalidate();
@@ -586,11 +717,17 @@ impl<T: Transport> Dsm<T> {
                 dur_cycles: dur,
             },
         );
+        Ok(())
     }
 
     /// Self-downgrade fence (release side): drain the write buffer and wait
     /// for every posted write of this node to settle at its home.
     pub fn sd_fence(&self, t: &mut T::Endpoint) {
+        Self::unrecoverable(self.try_sd_fence(t))
+    }
+
+    /// Fallible flavor of [`Self::sd_fence`].
+    pub fn try_sd_fence(&self, t: &mut T::Endpoint) -> Result<(), DsmError> {
         let me = t.node().0;
         let obs_start = t.obs_now();
         CoherenceStats::bump(&self.stats.shard(me).sd_fences);
@@ -602,14 +739,14 @@ impl<T: Transport> Dsm<T> {
             BatchDrain::Never => false,
         };
         if batch {
-            self.drain_batched(t, &drained, me);
+            self.drain_batched(t, &drained, me)?;
         } else {
             for page in drained {
-                self.downgrade(t, page, me);
+                self.downgrade(t, page, me)?;
             }
         }
         if self.config.mode == ClassificationMode::PsNaive {
-            self.naive_checkpoint_sweep(t, me);
+            self.naive_checkpoint_sweep(t, me)?;
         }
         // Wait for posted downgrades/notifications to become globally
         // visible. `pending_settle` carries the settle time of every write
@@ -628,6 +765,7 @@ impl<T: Transport> Dsm<T> {
                 dur_cycles: dur,
             },
         );
+        Ok(())
     }
 
     /// The naïve P/S scheme's sync-point obligation (§3.4.2): checkpoint
@@ -635,7 +773,7 @@ impl<T: Transport> Dsm<T> {
     /// serviced. The page stays dirty and private; the checkpoint cost is
     /// paid at *every* synchronization point — which is why Figure 8 shows
     /// naïve P/S performing no better than no classification at all.
-    fn naive_checkpoint_sweep(&self, t: &mut T::Endpoint, me: u16) {
+    fn naive_checkpoint_sweep(&self, t: &mut T::Endpoint, me: u16) -> Result<(), DsmError> {
         let ns = &self.nodes[me as usize];
         // O(dirty): clean and empty slots owe the sweep nothing.
         for slot_idx in ns.cache.dirty_indices() {
@@ -663,10 +801,11 @@ impl<T: Transport> Dsm<T> {
                     self.silently_write_through(&st, page, idx);
                 } else {
                     // Became shared since the write fault: downgrade now.
-                    self.downgrade_locked(t, &mut st, page, me);
+                    self.downgrade_locked(t, &mut st, page, me)?;
                 }
             }
         }
+        Ok(())
     }
 
     fn silently_write_through(&self, st: &SlotGuard<'_>, page: PageNum, idx: usize) {
@@ -688,7 +827,13 @@ impl<T: Transport> Dsm<T> {
     /// Handle a read miss on `page`: evict/flush the conflicting line if
     /// needed, then fetch the whole line from the pages' homes, registering
     /// as a reader of each fetched page.
-    fn read_miss(&self, t: &mut T::Endpoint, st: &mut SlotGuard<'_>, page: PageNum, me: u16) {
+    fn read_miss(
+        &self,
+        t: &mut T::Endpoint,
+        st: &mut SlotGuard<'_>,
+        page: PageNum,
+        me: u16,
+    ) -> Result<(), DsmError> {
         let obs_start = t.obs_now();
         CoherenceStats::bump(&self.stats.shard(me).read_misses);
         self.heat.bump(page.0 as usize);
@@ -707,7 +852,7 @@ impl<T: Transport> Dsm<T> {
                         evicted_live = true;
                         if st.pages[idx].dirty {
                             let old_page = PageNum(old_base.0 + idx as u64);
-                            self.downgrade_locked(t, st, old_page, me);
+                            self.downgrade_locked(t, st, old_page, me)?;
                             ns.wbuf.remove(old_page);
                         }
                     }
@@ -748,12 +893,21 @@ impl<T: Transport> Dsm<T> {
             let mut reg_done = start;
             for &idx in idxs {
                 let p = PageNum(base.0 + idx as u64);
-                if let Some(completed) = self.register_reader_remote(t, p, me, *home, start) {
+                if let Some(completed) = self.register_reader_remote(t, p, me, *home, start)? {
                     reg_done = reg_done.max(completed);
                 }
             }
             let bytes = idxs.len() as u64 * PAGE_BYTES;
-            let timing = self.net.rdma_read(t.loc(), NodeId(*home), reg_done, bytes);
+            let loc = t.loc();
+            let timing = self.verb_retried(
+                me,
+                *home,
+                self.config.retry.run(
+                    VerbClass::PageFetch,
+                    base.0.wrapping_add((*home as u64) << 48),
+                    |a| self.net.rdma_read(loc, NodeId(*home), reg_done + a.delay, bytes),
+                ),
+            )?;
             done = done.max(timing.initiator_done);
             for &idx in idxs {
                 let p = PageNum(base.0 + idx as u64);
@@ -771,6 +925,7 @@ impl<T: Transport> Dsm<T> {
             obs::Site::ReadMiss,
             t.obs_now().saturating_sub(obs_start),
         );
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -778,10 +933,15 @@ impl<T: Transport> Dsm<T> {
     // ------------------------------------------------------------------
 
     /// Register as a reader of a page homed here (local, cheap).
-    fn register_reader_home(&self, t: &mut T::Endpoint, page: PageNum, me: u16) {
+    fn register_reader_home(
+        &self,
+        t: &mut T::Endpoint,
+        page: PageNum,
+        me: u16,
+    ) -> Result<(), DsmError> {
         let ns = &self.nodes[me as usize];
         if ns.reg_read.get(page) {
-            return;
+            return Ok(());
         }
         t.dram_access();
         let before = self.pyxis.entry(page).or_readers(node_bit(me));
@@ -791,7 +951,7 @@ impl<T: Transport> Dsm<T> {
         };
         self.dir_caches.entry(me, page).store_view(after);
         ns.reg_read.set(page);
-        self.handle_read_transition(t, page, me, before, after);
+        self.handle_read_transition(t, page, me, before, after)
     }
 
     /// Register as a reader of `page` at remote `home`, issuing the
@@ -805,13 +965,20 @@ impl<T: Transport> Dsm<T> {
         me: u16,
         home: u16,
         start: u64,
-    ) -> Option<u64> {
+    ) -> Result<Option<u64>, DsmError> {
         if self.nodes[me as usize].reg_read.get(page) {
             // Already a registered reader: refresh is piggy-backed on the
             // data fetch (no separate atomic).
-            return None;
+            return Ok(None);
         }
-        let timing = self.net.rdma_fetch_or(t.loc(), NodeId(home), start);
+        let loc = t.loc();
+        let timing = self.verb_retried(
+            me,
+            home,
+            self.config.retry.run(VerbClass::DirectoryAtomic, page.0, |a| {
+                self.net.rdma_fetch_or(loc, NodeId(home), start + a.delay)
+            }),
+        )?;
         let mut op_clock = timing.initiator_done;
         if self.config.active_directory {
             op_clock += self.net.cost().handler_cycles;
@@ -827,8 +994,8 @@ impl<T: Transport> Dsm<T> {
         };
         self.dir_caches.entry(me, page).store_view(after);
         self.nodes[me as usize].reg_read.set(page);
-        self.handle_read_transition(t, page, me, before, after);
-        Some(op_clock)
+        self.handle_read_transition(t, page, me, before, after)?;
+        Ok(Some(op_clock))
     }
 
     /// Detect and service a P→S transition caused by our read.
@@ -839,7 +1006,7 @@ impl<T: Transport> Dsm<T> {
         me: u16,
         before: DirView,
         after: DirView,
-    ) {
+    ) -> Result<(), DsmError> {
         let prior = before.accessors();
         if prior != 0 && prior & node_bit(me) == 0 && prior.count_ones() == 1 {
             let owner = prior.trailing_zeros() as u16;
@@ -849,33 +1016,58 @@ impl<T: Transport> Dsm<T> {
                 newcomer: me,
                 owner,
             });
-            self.notify(t, owner, page, after, me);
+            self.notify(t, owner, page, after, me)?;
             if self.config.mode == ClassificationMode::PsNaive {
                 // Service the transition from the owner's checkpoint: one
                 // extra round trip to the owner (§3.4.2 "naïve solution").
-                let timing = self.net.rdma_read(t.loc(), NodeId(owner), t.now(), PAGE_BYTES);
+                let loc = t.loc();
+                let now = t.now();
+                let timing = self.verb_retried(
+                    me,
+                    owner,
+                    self.config.retry.run(VerbClass::PageFetch, page.0, |a| {
+                        self.net.rdma_read(loc, NodeId(owner), now + a.delay, PAGE_BYTES)
+                    }),
+                )?;
                 t.merge(timing.initiator_done);
             }
         }
+        Ok(())
     }
 
     /// Register as a writer of a page homed here.
-    fn register_writer_home(&self, t: &mut T::Endpoint, page: PageNum, me: u16) {
+    fn register_writer_home(
+        &self,
+        t: &mut T::Endpoint,
+        page: PageNum,
+        me: u16,
+    ) -> Result<(), DsmError> {
         if self.nodes[me as usize].reg_write.get(page) {
-            return;
+            return Ok(());
         }
         t.dram_access();
-        self.register_writer_common(t, page, me);
+        self.register_writer_common(t, page, me)
     }
 
     /// Register as a writer of a (remote) page; charges the directory
     /// atomic unless we are already registered.
-    fn register_writer(&self, t: &mut T::Endpoint, page: PageNum, me: u16) {
+    fn register_writer(&self, t: &mut T::Endpoint, page: PageNum, me: u16) -> Result<(), DsmError> {
         if self.nodes[me as usize].reg_write.get(page) {
-            return;
+            return Ok(());
         }
         let home = self.global.home_of(page);
-        t.rdma_fetch_or(NodeId(home));
+        // Endpoint-level verb: backoff is spent as local compute before the
+        // reissue (the endpoint's own clock is the only timeline here).
+        self.verb_retried(
+            me,
+            home,
+            self.config.retry.run(VerbClass::DirectoryAtomic, page.0, |a| {
+                if a.step > 0 {
+                    t.compute(a.step);
+                }
+                t.rdma_fetch_or(NodeId(home))
+            }),
+        )?;
         if self.config.active_directory {
             t.compute(self.net.cost().handler_cycles);
             self.net
@@ -883,10 +1075,15 @@ impl<T: Transport> Dsm<T> {
                 .handler_invocations
                 .fetch_add(1, Ordering::Relaxed);
         }
-        self.register_writer_common(t, page, me);
+        self.register_writer_common(t, page, me)
     }
 
-    fn register_writer_common(&self, t: &mut T::Endpoint, page: PageNum, me: u16) {
+    fn register_writer_common(
+        &self,
+        t: &mut T::Endpoint,
+        page: PageNum,
+        me: u16,
+    ) -> Result<(), DsmError> {
         let before = self.pyxis.entry(page).or_writers(node_bit(me));
         let after = DirView {
             readers: before.readers,
@@ -906,7 +1103,7 @@ impl<T: Transport> Dsm<T> {
                 newcomer: me,
                 owner,
             });
-            self.notify(t, owner, page, after, me);
+            self.notify(t, owner, page, after, me)?;
         }
         // Writer-class transitions.
         match before.writers.count_ones() {
@@ -923,7 +1120,7 @@ impl<T: Transport> Dsm<T> {
                     while others != 0 {
                         let n = others.trailing_zeros() as u16;
                         others &= others - 1;
-                        self.notify(t, n, page, after, me);
+                        self.notify(t, n, page, after, me)?;
                     }
                 }
             1 if before.writers & node_bit(me) == 0 => {
@@ -937,18 +1134,26 @@ impl<T: Transport> Dsm<T> {
                     new_writer: me,
                     old_writer: w,
                 });
-                self.notify(t, w, page, after, me);
+                self.notify(t, w, page, after, me)?;
             }
             _ => {}
         }
+        Ok(())
     }
 
     /// Remotely update `target`'s directory cache entry for `page` — the
     /// passive notification mechanism. A posted one-sided write; no code
     /// runs at `target`.
-    fn notify(&self, t: &mut T::Endpoint, target: u16, page: PageNum, view: DirView, me: u16) {
+    fn notify(
+        &self,
+        t: &mut T::Endpoint,
+        target: u16,
+        page: PageNum,
+        view: DirView,
+        me: u16,
+    ) -> Result<(), DsmError> {
         if target == me {
-            return;
+            return Ok(());
         }
         self.dir_caches.entry(target, page).or_view(view);
         self.tracer.record(|| t.obs_now(), || crate::trace::Event::Notify {
@@ -956,7 +1161,17 @@ impl<T: Transport> Dsm<T> {
             to: target,
             page,
         });
-        let timing = self.net.rdma_write(t.loc(), NodeId(target), t.now(), NOTIFY_BYTES);
+        let loc = t.loc();
+        let now = t.now();
+        let timing = self.verb_retried(
+            me,
+            target,
+            self.config.retry.run(
+                VerbClass::Notify,
+                page.0.wrapping_add((target as u64) << 48),
+                |a| self.net.rdma_write(loc, NodeId(target), now + a.delay, NOTIFY_BYTES),
+            ),
+        )?;
         t.merge(timing.initiator_done);
         if self.config.active_directory {
             t.compute(self.net.cost().handler_cycles);
@@ -968,6 +1183,7 @@ impl<T: Transport> Dsm<T> {
         self.nodes[me as usize]
             .pending_settle
             .fetch_max(timing.settled, Ordering::AcqRel);
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -976,31 +1192,46 @@ impl<T: Transport> Dsm<T> {
 
     /// Downgrade `page` (write its dirty data back to home), locking its
     /// slot. Used by write-buffer overflow and fence drains.
-    fn downgrade(&self, t: &mut T::Endpoint, page: PageNum, me: u16) {
+    fn downgrade(&self, t: &mut T::Endpoint, page: PageNum, me: u16) -> Result<(), DsmError> {
         let ns = &self.nodes[me as usize];
         let mut st = ns.cache.lock_slot(page);
         if st.tag != Some(ns.cache.line_of(page)) {
-            return; // evicted (and flushed) since it was buffered
+            return Ok(()); // evicted (and flushed) since it was buffered
         }
-        self.downgrade_locked(t, &mut st, page, me);
+        self.downgrade_locked(t, &mut st, page, me)
     }
 
     /// Downgrade with the slot lock already held: resolve the data locally,
     /// then post the write-back home immediately (the per-page path).
-    fn downgrade_locked(&self, t: &mut T::Endpoint, st: &mut SlotGuard<'_>, page: PageNum, me: u16) {
+    fn downgrade_locked(
+        &self,
+        t: &mut T::Endpoint,
+        st: &mut SlotGuard<'_>,
+        page: PageNum,
+        me: u16,
+    ) -> Result<(), DsmError> {
         let Some(bytes) = self.downgrade_local(t, st, page, me) else {
-            return;
+            return Ok(());
         };
         let home = self.global.home_of(page);
         if home == me {
             // Cannot happen: local pages are never cached. Kept as a guard.
-            return;
+            return Ok(());
         }
-        let timing = self.net.rdma_write(t.loc(), NodeId(home), t.now(), bytes);
+        let loc = t.loc();
+        let now = t.now();
+        let timing = self.verb_retried(
+            me,
+            home,
+            self.config.retry.run(VerbClass::Downgrade, page.0, |a| {
+                self.net.rdma_write(loc, NodeId(home), now + a.delay, bytes)
+            }),
+        )?;
         t.merge(timing.initiator_done);
         self.nodes[me as usize]
             .pending_settle
             .fetch_max(timing.settled, Ordering::AcqRel);
+        Ok(())
     }
 
     /// The local half of a downgrade: diff (or copy) the dirty page into
@@ -1072,7 +1303,12 @@ impl<T: Transport> Dsm<T> {
     /// FIFO order, but instead of one verb per page each home receives one
     /// `rdma_write_batch` (one doorbell, one posting) carrying all of its
     /// pages' diffs. Homes appear in first-victim order.
-    fn drain_batched(&self, t: &mut T::Endpoint, pages: &[PageNum], me: u16) {
+    fn drain_batched(
+        &self,
+        t: &mut T::Endpoint,
+        pages: &[PageNum],
+        me: u16,
+    ) -> Result<(), DsmError> {
         let ns = &self.nodes[me as usize];
         let mut batches: Vec<(u16, Vec<u64>)> = Vec::new();
         for &page in pages {
@@ -1093,9 +1329,15 @@ impl<T: Transport> Dsm<T> {
             }
         }
         for (home, sizes) in &batches {
-            let timing = self
-                .net
-                .rdma_write_batch(t.loc(), NodeId(*home), t.now(), sizes);
+            let loc = t.loc();
+            let now = t.now();
+            let timing = self.verb_retried(
+                me,
+                *home,
+                self.config.retry.run(VerbClass::DrainBatch, *home as u64, |a| {
+                    self.net.rdma_write_batch(loc, NodeId(*home), now + a.delay, sizes)
+                }),
+            )?;
             t.merge(timing.initiator_done);
             ns.pending_settle.fetch_max(timing.settled, Ordering::AcqRel);
             CoherenceStats::bump(&self.stats.shard(me).downgrade_batches);
@@ -1111,6 +1353,7 @@ impl<T: Transport> Dsm<T> {
                     bytes: sizes.iter().sum(),
                 });
         }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -1160,6 +1403,11 @@ impl<T: Transport> Dsm<T> {
     /// [`Self::reset_for_parallel_section`], all work is charged to the
     /// calling thread's clock and statistics are preserved.
     pub fn decay_classification(&self, t: &mut T::Endpoint) {
+        Self::unrecoverable(self.try_decay_classification(t))
+    }
+
+    /// Fallible flavor of [`Self::decay_classification`].
+    pub fn try_decay_classification(&self, t: &mut T::Endpoint) -> Result<(), DsmError> {
         let me = t.node().0;
         for (n, ns) in self.nodes.iter().enumerate() {
             for slot_idx in ns.cache.occupied_indices() {
@@ -1175,7 +1423,7 @@ impl<T: Transport> Dsm<T> {
                         let page = PageNum(base.0 + idx as u64);
                         // Downgrade on behalf of the owning node; charge
                         // the decay initiator (it coordinates the epoch).
-                        self.downgrade_as(t, &mut st, page, n as u16);
+                        self.downgrade_as(t, &mut st, page, n as u16)?;
                         ns.wbuf.remove(page);
                     }
                     st.pages[idx].invalidate();
@@ -1192,16 +1440,23 @@ impl<T: Transport> Dsm<T> {
         self.pyxis.reset_all();
         self.dir_caches.reset_all();
         CoherenceStats::bump(&self.stats.shard(me).decays);
+        Ok(())
     }
 
     /// [`Self::downgrade_locked`] but writing back on behalf of node
     /// `owner` (used by the collective decay, where one thread flushes
     /// every node's cache).
-    fn downgrade_as(&self, t: &mut T::Endpoint, st: &mut SlotGuard<'_>, page: PageNum, owner: u16) {
+    fn downgrade_as(
+        &self,
+        t: &mut T::Endpoint,
+        st: &mut SlotGuard<'_>,
+        page: PageNum,
+        owner: u16,
+    ) -> Result<(), DsmError> {
         let ns = &self.nodes[owner as usize];
         let idx = ns.cache.index_in_line(page);
         if !st.pages[idx].valid || !st.pages[idx].dirty {
-            return;
+            return Ok(());
         }
         let home = self.global.home_of(page);
         let home_page = self.global.home_page(page);
@@ -1229,11 +1484,21 @@ impl<T: Transport> Dsm<T> {
         st.pages[idx].twin = None;
         st.pages[idx].mask.clear();
         if home != owner {
-            let timing = self.net.rdma_write(t.loc(), NodeId(home), t.now(), bytes);
+            let loc = t.loc();
+            let now = t.now();
+            let me = t.node().0;
+            let timing = self.verb_retried(
+                me,
+                home,
+                self.config.retry.run(VerbClass::Downgrade, page.0, |a| {
+                    self.net.rdma_write(loc, NodeId(home), now + a.delay, bytes)
+                }),
+            )?;
             t.merge(timing.settled);
             CoherenceStats::bump(&self.stats.shard(owner).writebacks);
             CoherenceStats::add(&self.stats.shard(owner).writeback_bytes, bytes);
         }
+        Ok(())
     }
 
     /// Check the protocol's internal invariants; returns a list of

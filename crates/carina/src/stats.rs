@@ -55,6 +55,10 @@ pub struct StatShard {
     pub downgrade_batches: AtomicU64,
     /// Write-backs carried inside those batches.
     pub downgrade_batch_pages: AtomicU64,
+    /// Verb reissues after a fabric failure (0 on a healthy fabric).
+    pub verb_retries: AtomicU64,
+    /// Retry budgets exhausted — each one surfaced a `DsmError`.
+    pub verb_exhaustions: AtomicU64,
 }
 
 impl StatShard {
@@ -80,6 +84,8 @@ impl StatShard {
         out.decays += l(&self.decays);
         out.downgrade_batches += l(&self.downgrade_batches);
         out.downgrade_batch_pages += l(&self.downgrade_batch_pages);
+        out.verb_retries += l(&self.verb_retries);
+        out.verb_exhaustions += l(&self.verb_exhaustions);
     }
 
     fn reset(&self) {
@@ -104,6 +110,8 @@ impl StatShard {
         z(&self.decays);
         z(&self.downgrade_batches);
         z(&self.downgrade_batch_pages);
+        z(&self.verb_retries);
+        z(&self.verb_exhaustions);
     }
 }
 
@@ -136,6 +144,8 @@ pub struct CoherenceSnapshot {
     pub decays: u64,
     pub downgrade_batches: u64,
     pub downgrade_batch_pages: u64,
+    pub verb_retries: u64,
+    pub verb_exhaustions: u64,
 }
 
 impl CoherenceStats {

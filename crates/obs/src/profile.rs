@@ -25,17 +25,22 @@ pub enum Site {
     BarrierWait,
     /// Global lock acquire (CAS loop + transfer latency).
     LockAcquire,
+    /// A verb retry episode: total backoff charged before the verb finally
+    /// succeeded (or the budget exhausted). Empty unless the fabric injects
+    /// faults.
+    Retry,
 }
 
 impl Site {
     /// All sites, in index order.
-    pub const ALL: [Site; 6] = [
+    pub const ALL: [Site; 7] = [
         Site::ReadMiss,
         Site::WriteFault,
         Site::SdFence,
         Site::SiFence,
         Site::BarrierWait,
         Site::LockAcquire,
+        Site::Retry,
     ];
 
     pub const COUNT: usize = Self::ALL.len();
@@ -54,6 +59,7 @@ impl Site {
             Site::SiFence => "si_fence",
             Site::BarrierWait => "barrier_wait",
             Site::LockAcquire => "lock_acquire",
+            Site::Retry => "retry",
         }
     }
 }
@@ -182,7 +188,7 @@ mod tests {
         for (i, site) in Site::ALL.iter().enumerate() {
             assert_eq!(site.index(), i);
         }
-        assert_eq!(Site::COUNT, 6);
+        assert_eq!(Site::COUNT, 7);
     }
 
     #[test]

@@ -1,0 +1,687 @@
+//! Deterministic fault injection: [`FaultPlan`] + [`FaultyTransport`].
+//!
+//! [`FaultyTransport`] wraps any [`Transport`] and perturbs the *verb*
+//! layer only: it drops verbs, times them out, duplicates deliveries, adds
+//! latency spikes, and browns out whole NICs — without ever touching the
+//! data plane. That is exactly the failure surface of a real one-sided
+//! fabric: payload bytes are moved by (idempotent) protocol actions after a
+//! verb succeeds, so a dropped or duplicated verb can change *when* things
+//! happen and *what the accounting says*, never *what memory holds* — which
+//! is what `tests/chaos.rs` proves end-to-end.
+//!
+//! The schedule is a pure function of the plan's seed, the verb kind, a
+//! per-kind issue counter, and the target node. No wall clock, no global
+//! RNG: replaying the same verb sequence against the same plan reproduces
+//! the same faults, on any backend. Brownouts are the one exception — they
+//! are windows in *virtual time* (`at` stamps), meaningful on the simulator
+//! and degenerate (always `at == 0`) on native, where only the
+//! `[0, u64::MAX)` blackout window is useful.
+
+use crate::retry::splitmix64;
+use crate::transport::{Completion, Endpoint, Transport, VerbError};
+use simnet::{ClusterTopology, CostModel, NetStats, NodeId, PerNodeSnapshot, ThreadLoc};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A window of virtual time during which one node's NIC answers nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Brownout {
+    pub node: NodeId,
+    /// First virtual instant of the outage (inclusive).
+    pub from: u64,
+    /// End of the outage (exclusive). `u64::MAX` makes it a blackout that
+    /// never clears — the canonical way to exhaust retry budgets.
+    pub until: u64,
+}
+
+/// A seeded, reproducible schedule of fabric misbehavior.
+///
+/// Rates are per-million per verb issue and independent: a verb is first
+/// checked against the brownout windows, then may be dropped, timed out,
+/// duplicated, or spiked (in that precedence order; at most one applies).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    pub seed: u64,
+    /// Probability (ppm) that a verb's payload is lost ([`VerbError::Dropped`]).
+    pub drop_per_million: u32,
+    /// Probability (ppm) that a verb completes no one knows when
+    /// ([`VerbError::Timeout`]).
+    pub timeout_per_million: u32,
+    /// Probability (ppm) that a verb is delivered twice (the fabric retried
+    /// under the initiator; both deliveries are accounted).
+    pub duplicate_per_million: u32,
+    /// Probability (ppm) that a verb completes late by [`Self::spike_cycles`].
+    pub spike_per_million: u32,
+    /// Extra latency charged by a spike.
+    pub spike_cycles: u64,
+    /// NIC outage windows; verbs targeting the node inside a window fail
+    /// with [`VerbError::NicStall`].
+    pub brownouts: Vec<Brownout>,
+}
+
+impl FaultPlan {
+    /// No faults at all: the wrapper becomes a single predicted branch per
+    /// verb.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether this plan can never inject anything.
+    pub fn is_disabled(&self) -> bool {
+        self.drop_per_million == 0
+            && self.timeout_per_million == 0
+            && self.duplicate_per_million == 0
+            && self.spike_per_million == 0
+            && self.brownouts.is_empty()
+    }
+
+    /// A moderately hostile mixed plan: ~2% drops, ~1% timeouts, ~2%
+    /// duplicates, ~2% spikes of 20k cycles. Well inside the default
+    /// [`crate::RetryPolicy`] budget.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_per_million: 20_000,
+            timeout_per_million: 10_000,
+            duplicate_per_million: 20_000,
+            spike_per_million: 20_000,
+            spike_cycles: 20_000,
+            ..Self::default()
+        }
+    }
+
+    /// A permanent outage of `node`: every verb targeting it stalls, so any
+    /// retry budget eventually exhausts. The clean-degradation test plan.
+    pub fn blackout(node: NodeId) -> Self {
+        FaultPlan {
+            brownouts: vec![Brownout {
+                node,
+                from: 0,
+                until: u64::MAX,
+            }],
+            ..Self::default()
+        }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_drops(mut self, per_million: u32) -> Self {
+        self.drop_per_million = per_million;
+        self
+    }
+
+    pub fn with_timeouts(mut self, per_million: u32) -> Self {
+        self.timeout_per_million = per_million;
+        self
+    }
+
+    pub fn with_duplicates(mut self, per_million: u32) -> Self {
+        self.duplicate_per_million = per_million;
+        self
+    }
+
+    pub fn with_spikes(mut self, per_million: u32, cycles: u64) -> Self {
+        self.spike_per_million = per_million;
+        self.spike_cycles = cycles;
+        self
+    }
+
+    pub fn with_brownout(mut self, node: NodeId, from: u64, until: u64) -> Self {
+        self.brownouts.push(Brownout { node, from, until });
+        self
+    }
+}
+
+/// Counts of injected faults, for reports and assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSnapshot {
+    pub dropped: u64,
+    pub timed_out: u64,
+    pub duplicated: u64,
+    pub spiked: u64,
+    pub stalled: u64,
+}
+
+impl FaultSnapshot {
+    /// Total verbs that observed *any* injected fault.
+    pub fn total(&self) -> u64 {
+        self.dropped + self.timed_out + self.duplicated + self.spiked + self.stalled
+    }
+}
+
+#[derive(Debug, Default)]
+struct FaultCounters {
+    dropped: AtomicU64,
+    timed_out: AtomicU64,
+    duplicated: AtomicU64,
+    spiked: AtomicU64,
+    stalled: AtomicU64,
+}
+
+/// Verb kinds for the per-kind issue counters that key the schedule.
+#[derive(Debug, Clone, Copy)]
+enum VerbKind {
+    Read = 0,
+    Write = 1,
+    Batch = 2,
+    Atomic = 3,
+}
+
+enum Decision {
+    Deliver,
+    Duplicate,
+    Spike(u64),
+    Fail(VerbError),
+}
+
+/// A fault-injecting wrapper around any backend.
+///
+/// Build with [`FaultyTransport::wrap`]; a [`FaultPlan::disabled`] plan
+/// reduces every verb to one extra branch and a forwarded call.
+#[derive(Debug)]
+pub struct FaultyTransport<T: Transport> {
+    inner: Arc<T>,
+    plan: FaultPlan,
+    enabled: bool,
+    /// Verbs issued so far, per [`VerbKind`] — the deterministic schedule
+    /// key (virtual time is *not* part of the drop/duplicate/spike draw, so
+    /// the same verb sequence faults identically on every backend).
+    issued: [AtomicU64; 4],
+    injected: FaultCounters,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    pub fn wrap(inner: Arc<T>, plan: FaultPlan) -> Arc<Self> {
+        let enabled = !plan.is_disabled();
+        Arc::new(FaultyTransport {
+            inner,
+            plan,
+            enabled,
+            issued: Default::default(),
+            injected: FaultCounters::default(),
+        })
+    }
+
+    pub fn inner(&self) -> &Arc<T> {
+        &self.inner
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// How many faults of each kind have been injected so far.
+    pub fn injected(&self) -> FaultSnapshot {
+        let l = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        FaultSnapshot {
+            dropped: l(&self.injected.dropped),
+            timed_out: l(&self.injected.timed_out),
+            duplicated: l(&self.injected.duplicated),
+            spiked: l(&self.injected.spiked),
+            stalled: l(&self.injected.stalled),
+        }
+    }
+
+    fn decide(&self, kind: VerbKind, target: NodeId, at: u64) -> Decision {
+        if !self.enabled {
+            return Decision::Deliver;
+        }
+        let n = self.issued[kind as usize].fetch_add(1, Ordering::Relaxed);
+        for b in &self.plan.brownouts {
+            if b.node == target && at >= b.from && at < b.until {
+                self.injected.stalled.fetch_add(1, Ordering::Relaxed);
+                return Decision::Fail(VerbError::NicStall);
+            }
+        }
+        let h = splitmix64(
+            self.plan
+                .seed
+                .wrapping_add((kind as u64) << 56)
+                .wrapping_add((target.0 as u64) << 40)
+                .wrapping_add(n.wrapping_mul(0x2545_F491_4F6C_DD1D)),
+        );
+        // Four independent per-million draws from one mixed word.
+        let draw = |i: u64| splitmix64(h.wrapping_add(i)) % 1_000_000;
+        if draw(1) < self.plan.drop_per_million as u64 {
+            self.injected.dropped.fetch_add(1, Ordering::Relaxed);
+            return Decision::Fail(VerbError::Dropped);
+        }
+        if draw(2) < self.plan.timeout_per_million as u64 {
+            self.injected.timed_out.fetch_add(1, Ordering::Relaxed);
+            return Decision::Fail(VerbError::Timeout);
+        }
+        if draw(3) < self.plan.duplicate_per_million as u64 {
+            self.injected.duplicated.fetch_add(1, Ordering::Relaxed);
+            return Decision::Duplicate;
+        }
+        if draw(4) < self.plan.spike_per_million as u64 {
+            self.injected.spiked.fetch_add(1, Ordering::Relaxed);
+            return Decision::Spike(self.plan.spike_cycles);
+        }
+        Decision::Deliver
+    }
+
+    /// Run one fabric-level verb under a decision: `issue(at)` performs it.
+    fn inject(
+        &self,
+        kind: VerbKind,
+        target: NodeId,
+        at: u64,
+        issue: impl Fn(u64) -> Result<Completion, VerbError>,
+    ) -> Result<Completion, VerbError> {
+        match self.decide(kind, target, at) {
+            Decision::Fail(e) => Err(e),
+            Decision::Deliver => issue(at),
+            Decision::Duplicate => {
+                // The fabric delivered twice: both deliveries are timed and
+                // accounted; the payload is idempotent so memory is unmoved.
+                let first = issue(at)?;
+                let second = issue(first.initiator_done)?;
+                Ok(Completion {
+                    initiator_done: second.initiator_done,
+                    settled: first.settled.max(second.settled),
+                })
+            }
+            Decision::Spike(extra) => {
+                let c = issue(at)?;
+                Ok(Completion {
+                    initiator_done: c.initiator_done.saturating_add(extra),
+                    settled: c.settled.saturating_add(extra),
+                })
+            }
+        }
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    type Endpoint = FaultyEndpoint<T>;
+
+    fn endpoint(this: &Arc<Self>, loc: ThreadLoc) -> FaultyEndpoint<T> {
+        FaultyEndpoint {
+            inner: T::endpoint(&this.inner, loc),
+            fab: this.clone(),
+        }
+    }
+
+    #[inline]
+    fn topology(&self) -> &ClusterTopology {
+        self.inner.topology()
+    }
+
+    #[inline]
+    fn cost(&self) -> &CostModel {
+        self.inner.cost()
+    }
+
+    #[inline]
+    fn stats(&self) -> &NetStats {
+        self.inner.stats()
+    }
+
+    fn per_node_stats(&self) -> Vec<PerNodeSnapshot> {
+        self.inner.per_node_stats()
+    }
+
+    fn reset_per_node_stats(&self) {
+        self.inner.reset_per_node_stats()
+    }
+
+    fn rdma_read(
+        &self,
+        from: ThreadLoc,
+        target: NodeId,
+        at: u64,
+        bytes: u64,
+    ) -> Result<Completion, VerbError> {
+        self.inject(VerbKind::Read, target, at, |at| {
+            self.inner.rdma_read(from, target, at, bytes)
+        })
+    }
+
+    fn rdma_write(
+        &self,
+        from: ThreadLoc,
+        target: NodeId,
+        at: u64,
+        bytes: u64,
+    ) -> Result<Completion, VerbError> {
+        self.inject(VerbKind::Write, target, at, |at| {
+            self.inner.rdma_write(from, target, at, bytes)
+        })
+    }
+
+    fn rdma_write_batch(
+        &self,
+        from: ThreadLoc,
+        target: NodeId,
+        at: u64,
+        sizes: &[u64],
+    ) -> Result<Completion, VerbError> {
+        self.inject(VerbKind::Batch, target, at, |at| {
+            self.inner.rdma_write_batch(from, target, at, sizes)
+        })
+    }
+
+    #[inline]
+    fn prefers_batched_drain(&self) -> bool {
+        self.inner.prefers_batched_drain()
+    }
+
+    fn rdma_fetch_or(
+        &self,
+        from: ThreadLoc,
+        target: NodeId,
+        at: u64,
+    ) -> Result<Completion, VerbError> {
+        self.inject(VerbKind::Atomic, target, at, |at| {
+            self.inner.rdma_fetch_or(from, target, at)
+        })
+    }
+
+    fn rdma_fetch_add(
+        &self,
+        from: ThreadLoc,
+        target: NodeId,
+        at: u64,
+    ) -> Result<Completion, VerbError> {
+        self.inject(VerbKind::Atomic, target, at, |at| {
+            self.inner.rdma_fetch_add(from, target, at)
+        })
+    }
+
+    fn rdma_cas(&self, from: ThreadLoc, target: NodeId, at: u64) -> Result<Completion, VerbError> {
+        self.inject(VerbKind::Atomic, target, at, |at| {
+            self.inner.rdma_cas(from, target, at)
+        })
+    }
+
+    #[inline]
+    fn drained_at(&self, node: NodeId) -> u64 {
+        self.inner.drained_at(node)
+    }
+}
+
+/// The issue port of a [`FaultyTransport`]: wraps the inner endpoint and
+/// consults the shared fault schedule before every verb.
+#[derive(Debug)]
+pub struct FaultyEndpoint<T: Transport> {
+    inner: T::Endpoint,
+    fab: Arc<FaultyTransport<T>>,
+}
+
+// Manual impl: `#[derive(Clone)]` would demand `T: Clone`, which the fabric
+// behind an `Arc` does not need.
+impl<T: Transport> Clone for FaultyEndpoint<T> {
+    fn clone(&self) -> Self {
+        FaultyEndpoint {
+            inner: self.inner.clone(),
+            fab: self.fab.clone(),
+        }
+    }
+}
+
+impl<T: Transport> FaultyEndpoint<T> {
+    pub fn inner(&self) -> &T::Endpoint {
+        &self.inner
+    }
+}
+
+impl<T: Transport> Endpoint for FaultyEndpoint<T> {
+    #[inline]
+    fn loc(&self) -> ThreadLoc {
+        self.inner.loc()
+    }
+
+    #[inline]
+    fn now(&self) -> u64 {
+        self.inner.now()
+    }
+
+    #[inline]
+    fn obs_now(&self) -> u64 {
+        self.inner.obs_now()
+    }
+
+    #[inline]
+    fn now_secs(&self) -> f64 {
+        self.inner.now_secs()
+    }
+
+    #[inline]
+    fn cost(&self) -> &CostModel {
+        self.inner.cost()
+    }
+
+    #[inline]
+    fn compute(&mut self, cycles: u64) {
+        self.inner.compute(cycles)
+    }
+
+    #[inline]
+    fn dram_access(&mut self) {
+        self.inner.dram_access()
+    }
+
+    #[inline]
+    fn fault_trap(&mut self) {
+        self.inner.fault_trap()
+    }
+
+    #[inline]
+    fn merge(&mut self, t: u64) {
+        self.inner.merge(t)
+    }
+
+    fn rdma_read(&mut self, target: NodeId, bytes: u64) -> Result<(), VerbError> {
+        match self.fab.decide(VerbKind::Read, target, self.inner.now()) {
+            Decision::Fail(e) => Err(e),
+            Decision::Deliver => self.inner.rdma_read(target, bytes),
+            Decision::Duplicate => {
+                self.inner.rdma_read(target, bytes)?;
+                self.inner.rdma_read(target, bytes)
+            }
+            Decision::Spike(extra) => {
+                self.inner.rdma_read(target, bytes)?;
+                self.inner.compute(extra);
+                Ok(())
+            }
+        }
+    }
+
+    fn rdma_write(&mut self, target: NodeId, bytes: u64) -> Result<u64, VerbError> {
+        match self.fab.decide(VerbKind::Write, target, self.inner.now()) {
+            Decision::Fail(e) => Err(e),
+            Decision::Deliver => self.inner.rdma_write(target, bytes),
+            Decision::Duplicate => {
+                let a = self.inner.rdma_write(target, bytes)?;
+                let b = self.inner.rdma_write(target, bytes)?;
+                Ok(a.max(b))
+            }
+            Decision::Spike(extra) => {
+                let s = self.inner.rdma_write(target, bytes)?;
+                Ok(s.saturating_add(extra))
+            }
+        }
+    }
+
+    fn rdma_write_batch(&mut self, target: NodeId, sizes: &[u64]) -> Result<u64, VerbError> {
+        match self.fab.decide(VerbKind::Batch, target, self.inner.now()) {
+            Decision::Fail(e) => Err(e),
+            Decision::Deliver => self.inner.rdma_write_batch(target, sizes),
+            Decision::Duplicate => {
+                let a = self.inner.rdma_write_batch(target, sizes)?;
+                let b = self.inner.rdma_write_batch(target, sizes)?;
+                Ok(a.max(b))
+            }
+            Decision::Spike(extra) => {
+                let s = self.inner.rdma_write_batch(target, sizes)?;
+                Ok(s.saturating_add(extra))
+            }
+        }
+    }
+
+    fn rdma_fetch_or(&mut self, target: NodeId) -> Result<(), VerbError> {
+        self.atomic(target, |e| e.rdma_fetch_or(target))
+    }
+
+    fn rdma_fetch_add(&mut self, target: NodeId) -> Result<(), VerbError> {
+        self.atomic(target, |e| e.rdma_fetch_add(target))
+    }
+
+    fn rdma_cas(&mut self, target: NodeId) -> Result<(), VerbError> {
+        self.atomic(target, |e| e.rdma_cas(target))
+    }
+
+    #[inline]
+    fn wait_drain(&mut self, target: NodeId) {
+        self.inner.wait_drain(target)
+    }
+}
+
+impl<T: Transport> FaultyEndpoint<T> {
+    fn atomic(
+        &mut self,
+        target: NodeId,
+        issue: impl Fn(&mut T::Endpoint) -> Result<(), VerbError>,
+    ) -> Result<(), VerbError> {
+        match self.fab.decide(VerbKind::Atomic, target, self.inner.now()) {
+            Decision::Fail(e) => Err(e),
+            Decision::Deliver => issue(&mut self.inner),
+            Decision::Duplicate => {
+                issue(&mut self.inner)?;
+                issue(&mut self.inner)
+            }
+            Decision::Spike(extra) => {
+                issue(&mut self.inner)?;
+                self.inner.compute(extra);
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NativeTransport, SimTransport};
+    use simnet::Interconnect;
+
+    fn sim() -> Arc<SimTransport> {
+        Interconnect::new(ClusterTopology::tiny(2), CostModel::paper_2011())
+    }
+
+    #[test]
+    fn disabled_plan_forwards_everything() {
+        let f = FaultyTransport::wrap(sim(), FaultPlan::disabled());
+        let loc = f.topology().loc(NodeId(0), 0);
+        for _ in 0..100 {
+            f.rdma_read(loc, NodeId(1), 0, 4096).unwrap();
+            f.rdma_write(loc, NodeId(1), 0, 64).unwrap();
+            f.rdma_cas(loc, NodeId(1), 0).unwrap();
+        }
+        assert_eq!(f.injected(), FaultSnapshot::default());
+        assert_eq!(f.stats().snapshot().rdma_reads, 100);
+    }
+
+    #[test]
+    fn schedule_is_reproducible_and_seed_sensitive() {
+        let plan = FaultPlan::seeded(42);
+        let run = |plan: FaultPlan| {
+            let f = FaultyTransport::wrap(sim(), plan);
+            let loc = f.topology().loc(NodeId(0), 0);
+            (0..500)
+                .map(|i| f.rdma_read(loc, NodeId(1 - (i % 2) as u16), 0, 64).is_ok())
+                .collect::<Vec<_>>()
+        };
+        let a = run(plan.clone());
+        let b = run(plan);
+        assert_eq!(a, b, "same plan, same verb sequence, different faults");
+        assert!(a.iter().any(|ok| !ok), "a 2% drop plan never dropped in 500 verbs");
+        let c = run(FaultPlan::seeded(43));
+        assert_ne!(a, c, "different seeds produced the identical schedule");
+    }
+
+    #[test]
+    fn schedule_ignores_virtual_time_so_backends_agree() {
+        let plan = FaultPlan::seeded(7);
+        let on_sim = {
+            let f = FaultyTransport::wrap(sim(), plan.clone());
+            let loc = f.topology().loc(NodeId(0), 0);
+            (0..300)
+                .map(|i| f.rdma_write(loc, NodeId(1), i * 777, 64).is_ok())
+                .collect::<Vec<_>>()
+        };
+        let on_native = {
+            let f = FaultyTransport::wrap(NativeTransport::new(ClusterTopology::tiny(2)), plan);
+            let loc = f.topology().loc(NodeId(0), 0);
+            (0..300)
+                .map(|_| f.rdma_write(loc, NodeId(1), 0, 64).is_ok())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(on_sim, on_native);
+    }
+
+    #[test]
+    fn brownout_stalls_only_its_node_and_window() {
+        let plan = FaultPlan::default().with_brownout(NodeId(1), 1_000, 2_000);
+        let f = FaultyTransport::wrap(sim(), plan);
+        let loc = f.topology().loc(NodeId(0), 0);
+        assert!(f.rdma_read(loc, NodeId(1), 0, 64).is_ok());
+        assert_eq!(
+            f.rdma_read(loc, NodeId(1), 1_500, 64).unwrap_err(),
+            VerbError::NicStall
+        );
+        // Other node unaffected; window end clears it.
+        assert!(f.rdma_read(loc, NodeId(0), 1_500, 64).is_ok());
+        assert!(f.rdma_read(loc, NodeId(1), 2_000, 64).is_ok());
+        assert_eq!(f.injected().stalled, 1);
+    }
+
+    #[test]
+    fn blackout_never_clears() {
+        let f = FaultyTransport::wrap(sim(), FaultPlan::blackout(NodeId(1)));
+        let loc = f.topology().loc(NodeId(0), 0);
+        for at in [0u64, 1 << 20, 1 << 40, u64::MAX - 1] {
+            assert_eq!(f.rdma_read(loc, NodeId(1), at, 64), Err(VerbError::NicStall));
+        }
+    }
+
+    #[test]
+    fn duplicates_account_twice_but_deliver_the_same_payload() {
+        let plan = FaultPlan::default().with_seed(3).with_duplicates(1_000_000);
+        let f = FaultyTransport::wrap(sim(), plan);
+        let loc = f.topology().loc(NodeId(0), 0);
+        let c = f.rdma_write(loc, NodeId(1), 0, 64).unwrap();
+        assert_eq!(f.injected().duplicated, 1);
+        assert_eq!(f.stats().snapshot().rdma_writes, 2);
+        // The duplicate finishes after a single delivery would have.
+        let single = Transport::rdma_write(&*sim(), loc, NodeId(1), 0, 64).unwrap();
+        assert!(c.initiator_done > single.initiator_done);
+    }
+
+    #[test]
+    fn spikes_delay_completions() {
+        let plan = FaultPlan::default().with_seed(5).with_spikes(1_000_000, 9_999);
+        let f = FaultyTransport::wrap(sim(), plan);
+        let loc = f.topology().loc(NodeId(0), 0);
+        let spiked = f.rdma_read(loc, NodeId(1), 0, 64).unwrap();
+        let clean = Transport::rdma_read(&*sim(), loc, NodeId(1), 0, 64).unwrap();
+        assert_eq!(spiked.initiator_done, clean.initiator_done + 9_999);
+        assert_eq!(f.injected().spiked, 1);
+    }
+
+    #[test]
+    fn faulty_endpoint_forwards_placement_and_clock() {
+        let f = FaultyTransport::wrap(sim(), FaultPlan::disabled());
+        let loc = f.topology().loc(NodeId(1), 1);
+        let mut e = <FaultyTransport<SimTransport> as Transport>::endpoint(&f, loc);
+        assert_eq!(Endpoint::loc(&e), loc);
+        e.compute(123);
+        assert_eq!(e.now(), 123);
+        e.rdma_read(NodeId(0), 4096).unwrap();
+        assert!(e.now() > 123);
+    }
+}

@@ -24,14 +24,28 @@
 //! Dispatch is static throughout: no `dyn Transport` exists on the read-hit
 //! or fence hot paths. Generic structs default their parameter to
 //! [`SimTransport`], so pre-existing call sites compile unchanged.
+//!
+//! ## Puppis: fallibility, faults, and retry
+//!
+//! Every verb on the trait surface returns `Result<_, VerbError>`. The two
+//! concrete backends never fail, but [`FaultyTransport`] wraps either of
+//! them with a seeded, reproducible [`FaultPlan`] (drops, timeouts,
+//! duplicates, latency spikes, NIC brownouts), and [`RetryPolicy`] gives
+//! the layers above a deterministic capped-exponential-backoff answer to
+//! those failures — safe precisely because Carina's one-sided verbs are
+//! idempotent.
 
+pub mod fault;
 pub mod native;
+pub mod retry;
 pub mod sim;
 pub mod transport;
 
+pub use fault::{Brownout, FaultPlan, FaultSnapshot, FaultyEndpoint, FaultyTransport};
 pub use native::{NativeEndpoint, NativeTransport};
+pub use retry::{splitmix64, Attempt, Retried, RetryExhausted, RetryPolicy, VerbClass};
 pub use sim::{SimEndpoint, SimTransport};
-pub use transport::{Completion, Endpoint, Transport};
+pub use transport::{Completion, Endpoint, Transport, VerbError};
 
 // Kept re-exported so call sites migrating to the transport layer can name
 // the concrete simulator types through one crate.

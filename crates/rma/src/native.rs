@@ -16,7 +16,7 @@
 //! suite compare traffic shapes, and lets wall-clock benchmarks report
 //! verbs/second.
 
-use crate::transport::{Completion, Endpoint, Transport};
+use crate::transport::{Completion, Endpoint, Transport, VerbError};
 use simnet::stats::PerNodeStats;
 use simnet::{ClusterTopology, CostModel, NetStats, NodeId, PerNodeSnapshot, ThreadLoc};
 use std::sync::atomic::Ordering;
@@ -107,19 +107,31 @@ impl Transport for NativeTransport {
     }
 
     #[inline]
-    fn rdma_read(&self, from: ThreadLoc, target: NodeId, _at: u64, bytes: u64) -> Completion {
+    fn rdma_read(
+        &self,
+        from: ThreadLoc,
+        target: NodeId,
+        _at: u64,
+        bytes: u64,
+    ) -> Result<Completion, VerbError> {
         self.stats.rdma_reads.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes_read.fetch_add(bytes, Ordering::Relaxed);
         self.account(target, from.node, bytes);
-        Completion::instant(0)
+        Ok(Completion::instant(0))
     }
 
     #[inline]
-    fn rdma_write(&self, from: ThreadLoc, target: NodeId, _at: u64, bytes: u64) -> Completion {
+    fn rdma_write(
+        &self,
+        from: ThreadLoc,
+        target: NodeId,
+        _at: u64,
+        bytes: u64,
+    ) -> Result<Completion, VerbError> {
         self.stats.rdma_writes.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes_written.fetch_add(bytes, Ordering::Relaxed);
         self.account(from.node, target, bytes);
-        Completion::instant(0)
+        Ok(Completion::instant(0))
     }
 
     /// One counter update per counter for the whole batch — the final
@@ -132,7 +144,7 @@ impl Transport for NativeTransport {
         target: NodeId,
         _at: u64,
         sizes: &[u64],
-    ) -> Completion {
+    ) -> Result<Completion, VerbError> {
         let total: u64 = sizes.iter().sum();
         self.stats
             .rdma_writes
@@ -146,7 +158,7 @@ impl Transport for NativeTransport {
             d.bytes_in.fetch_add(total, Ordering::Relaxed);
             d.ops_in.fetch_add(sizes.len() as u64, Ordering::Relaxed);
         }
-        Completion::instant(0)
+        Ok(Completion::instant(0))
     }
 
     /// Issuing a verb costs real host time here, so coalescing the fence
@@ -157,18 +169,33 @@ impl Transport for NativeTransport {
     }
 
     #[inline]
-    fn rdma_fetch_or(&self, from: ThreadLoc, target: NodeId, _at: u64) -> Completion {
-        self.atomic(from, target)
+    fn rdma_fetch_or(
+        &self,
+        from: ThreadLoc,
+        target: NodeId,
+        _at: u64,
+    ) -> Result<Completion, VerbError> {
+        Ok(self.atomic(from, target))
     }
 
     #[inline]
-    fn rdma_fetch_add(&self, from: ThreadLoc, target: NodeId, _at: u64) -> Completion {
-        self.atomic(from, target)
+    fn rdma_fetch_add(
+        &self,
+        from: ThreadLoc,
+        target: NodeId,
+        _at: u64,
+    ) -> Result<Completion, VerbError> {
+        Ok(self.atomic(from, target))
     }
 
     #[inline]
-    fn rdma_cas(&self, from: ThreadLoc, target: NodeId, _at: u64) -> Completion {
-        self.atomic(from, target)
+    fn rdma_cas(
+        &self,
+        from: ThreadLoc,
+        target: NodeId,
+        _at: u64,
+    ) -> Result<Completion, VerbError> {
+        Ok(self.atomic(from, target))
     }
 
     /// Nothing queues: writes are plain stores, visible under the engine's
@@ -239,33 +266,36 @@ impl Endpoint for NativeEndpoint {
     fn merge(&mut self, _t: u64) {}
 
     #[inline]
-    fn rdma_read(&mut self, target: NodeId, bytes: u64) {
-        Transport::rdma_read(&*self.net, self.loc, target, 0, bytes);
+    fn rdma_read(&mut self, target: NodeId, bytes: u64) -> Result<(), VerbError> {
+        Transport::rdma_read(&*self.net, self.loc, target, 0, bytes).map(|_| ())
     }
 
     #[inline]
-    fn rdma_write(&mut self, target: NodeId, bytes: u64) -> u64 {
-        Transport::rdma_write(&*self.net, self.loc, target, 0, bytes).settled
+    fn rdma_write(&mut self, target: NodeId, bytes: u64) -> Result<u64, VerbError> {
+        Transport::rdma_write(&*self.net, self.loc, target, 0, bytes).map(|c| c.settled)
     }
 
     #[inline]
-    fn rdma_write_batch(&mut self, target: NodeId, sizes: &[u64]) -> u64 {
-        Transport::rdma_write_batch(&*self.net, self.loc, target, 0, sizes).settled
+    fn rdma_write_batch(&mut self, target: NodeId, sizes: &[u64]) -> Result<u64, VerbError> {
+        Transport::rdma_write_batch(&*self.net, self.loc, target, 0, sizes).map(|c| c.settled)
     }
 
     #[inline]
-    fn rdma_fetch_or(&mut self, target: NodeId) {
+    fn rdma_fetch_or(&mut self, target: NodeId) -> Result<(), VerbError> {
         self.net.atomic(self.loc, target);
+        Ok(())
     }
 
     #[inline]
-    fn rdma_fetch_add(&mut self, target: NodeId) {
+    fn rdma_fetch_add(&mut self, target: NodeId) -> Result<(), VerbError> {
         self.net.atomic(self.loc, target);
+        Ok(())
     }
 
     #[inline]
-    fn rdma_cas(&mut self, target: NodeId) {
+    fn rdma_cas(&mut self, target: NodeId) -> Result<(), VerbError> {
         self.net.atomic(self.loc, target);
+        Ok(())
     }
 
     #[inline]
@@ -282,9 +312,9 @@ mod tests {
         let loc = net.topology().loc(NodeId(0), 0);
         let mut e = <NativeTransport as Transport>::endpoint(&net, loc);
         e.compute(1_000_000);
-        e.rdma_read(NodeId(1), 4096);
-        let settled = Endpoint::rdma_write(&mut e, NodeId(1), 64);
-        e.rdma_fetch_or(NodeId(1));
+        e.rdma_read(NodeId(1), 4096).unwrap();
+        let settled = Endpoint::rdma_write(&mut e, NodeId(1), 64).unwrap();
+        e.rdma_fetch_or(NodeId(1)).unwrap();
         assert_eq!(e.now(), 0);
         assert_eq!(settled, 0);
         let s = net.stats().snapshot();
@@ -313,7 +343,7 @@ mod tests {
     fn intra_node_traffic_is_not_accounted() {
         let net = NativeTransport::new(ClusterTopology::tiny(2));
         let loc = net.topology().loc(NodeId(0), 0);
-        Transport::rdma_read(&*net, loc, NodeId(0), 0, 4096);
+        Transport::rdma_read(&*net, loc, NodeId(0), 0, 4096).unwrap();
         assert_eq!(net.per_node_stats()[0].bytes_in, 0);
         assert_eq!(net.stats().snapshot().rdma_reads, 1);
     }

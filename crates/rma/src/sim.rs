@@ -10,7 +10,7 @@
 //! results are bit-for-bit identical by construction, and
 //! `examples/determinism_probe.rs` checks it empirically.
 
-use crate::transport::{Completion, Endpoint, Transport};
+use crate::transport::{Completion, Endpoint, Transport, VerbError};
 use simnet::{
     ClusterTopology, CostModel, Interconnect, NetStats, NodeId, PerNodeSnapshot, SimThread,
     ThreadLoc,
@@ -54,13 +54,25 @@ impl Transport for Interconnect {
     }
 
     #[inline]
-    fn rdma_read(&self, from: ThreadLoc, target: NodeId, at: u64, bytes: u64) -> Completion {
-        Interconnect::rdma_read(self, from, target, at, bytes).into()
+    fn rdma_read(
+        &self,
+        from: ThreadLoc,
+        target: NodeId,
+        at: u64,
+        bytes: u64,
+    ) -> Result<Completion, VerbError> {
+        Ok(Interconnect::rdma_read(self, from, target, at, bytes).into())
     }
 
     #[inline]
-    fn rdma_write(&self, from: ThreadLoc, target: NodeId, at: u64, bytes: u64) -> Completion {
-        Interconnect::rdma_write(self, from, target, at, bytes).into()
+    fn rdma_write(
+        &self,
+        from: ThreadLoc,
+        target: NodeId,
+        at: u64,
+        bytes: u64,
+    ) -> Result<Completion, VerbError> {
+        Ok(Interconnect::rdma_write(self, from, target, at, bytes).into())
     }
 
     #[inline]
@@ -70,23 +82,38 @@ impl Transport for Interconnect {
         target: NodeId,
         at: u64,
         sizes: &[u64],
-    ) -> Completion {
-        Interconnect::rdma_write_batch(self, from, target, at, sizes).into()
+    ) -> Result<Completion, VerbError> {
+        Ok(Interconnect::rdma_write_batch(self, from, target, at, sizes).into())
     }
 
     #[inline]
-    fn rdma_fetch_or(&self, from: ThreadLoc, target: NodeId, at: u64) -> Completion {
-        Interconnect::rdma_atomic(self, from, target, at).into()
+    fn rdma_fetch_or(
+        &self,
+        from: ThreadLoc,
+        target: NodeId,
+        at: u64,
+    ) -> Result<Completion, VerbError> {
+        Ok(Interconnect::rdma_atomic(self, from, target, at).into())
     }
 
     #[inline]
-    fn rdma_fetch_add(&self, from: ThreadLoc, target: NodeId, at: u64) -> Completion {
-        Interconnect::rdma_atomic(self, from, target, at).into()
+    fn rdma_fetch_add(
+        &self,
+        from: ThreadLoc,
+        target: NodeId,
+        at: u64,
+    ) -> Result<Completion, VerbError> {
+        Ok(Interconnect::rdma_atomic(self, from, target, at).into())
     }
 
     #[inline]
-    fn rdma_cas(&self, from: ThreadLoc, target: NodeId, at: u64) -> Completion {
-        Interconnect::rdma_atomic(self, from, target, at).into()
+    fn rdma_cas(
+        &self,
+        from: ThreadLoc,
+        target: NodeId,
+        at: u64,
+    ) -> Result<Completion, VerbError> {
+        Ok(Interconnect::rdma_atomic(self, from, target, at).into())
     }
 
     #[inline]
@@ -137,33 +164,37 @@ impl Endpoint for SimThread {
     }
 
     #[inline]
-    fn rdma_read(&mut self, target: NodeId, bytes: u64) {
-        SimThread::rdma_read(self, target, bytes)
+    fn rdma_read(&mut self, target: NodeId, bytes: u64) -> Result<(), VerbError> {
+        SimThread::rdma_read(self, target, bytes);
+        Ok(())
     }
 
     #[inline]
-    fn rdma_write(&mut self, target: NodeId, bytes: u64) -> u64 {
-        SimThread::rdma_write(self, target, bytes)
+    fn rdma_write(&mut self, target: NodeId, bytes: u64) -> Result<u64, VerbError> {
+        Ok(SimThread::rdma_write(self, target, bytes))
     }
 
     #[inline]
-    fn rdma_write_batch(&mut self, target: NodeId, sizes: &[u64]) -> u64 {
-        SimThread::rdma_write_batch(self, target, sizes)
+    fn rdma_write_batch(&mut self, target: NodeId, sizes: &[u64]) -> Result<u64, VerbError> {
+        Ok(SimThread::rdma_write_batch(self, target, sizes))
     }
 
     #[inline]
-    fn rdma_fetch_or(&mut self, target: NodeId) {
-        SimThread::rdma_atomic(self, target)
+    fn rdma_fetch_or(&mut self, target: NodeId) -> Result<(), VerbError> {
+        SimThread::rdma_atomic(self, target);
+        Ok(())
     }
 
     #[inline]
-    fn rdma_fetch_add(&mut self, target: NodeId) {
-        SimThread::rdma_atomic(self, target)
+    fn rdma_fetch_add(&mut self, target: NodeId) -> Result<(), VerbError> {
+        SimThread::rdma_atomic(self, target);
+        Ok(())
     }
 
     #[inline]
-    fn rdma_cas(&mut self, target: NodeId) {
-        SimThread::rdma_atomic(self, target)
+    fn rdma_cas(&mut self, target: NodeId) -> Result<(), VerbError> {
+        SimThread::rdma_atomic(self, target);
+        Ok(())
     }
 
     #[inline]
@@ -187,16 +218,16 @@ mod tests {
         let b = fabric();
         let loc = a.topology().loc(NodeId(0), 0);
         let t1 = Interconnect::rdma_read(&a, loc, NodeId(1), 0, 4096);
-        let c1 = Transport::rdma_read(&*b, loc, NodeId(1), 0, 4096);
+        let c1 = Transport::rdma_read(&*b, loc, NodeId(1), 0, 4096).unwrap();
         assert_eq!(t1.initiator_done, c1.initiator_done);
         assert_eq!(t1.settled, c1.settled);
 
         let t2 = Interconnect::rdma_write(&a, loc, NodeId(1), 500, 64);
-        let c2 = Transport::rdma_write(&*b, loc, NodeId(1), 500, 64);
+        let c2 = Transport::rdma_write(&*b, loc, NodeId(1), 500, 64).unwrap();
         assert_eq!((t2.initiator_done, t2.settled), (c2.initiator_done, c2.settled));
 
         let t3 = Interconnect::rdma_atomic(&a, loc, NodeId(1), 900);
-        let c3 = Transport::rdma_fetch_or(&*b, loc, NodeId(1), 900);
+        let c3 = Transport::rdma_fetch_or(&*b, loc, NodeId(1), 900).unwrap();
         assert_eq!((t3.initiator_done, t3.settled), (c3.initiator_done, c3.settled));
     }
 
@@ -206,9 +237,9 @@ mod tests {
     #[test]
     fn atomic_flavors_price_identically() {
         let loc = ClusterTopology::tiny(2).loc(NodeId(0), 0);
-        let or = Transport::rdma_fetch_or(&*fabric(), loc, NodeId(1), 0);
-        let add = Transport::rdma_fetch_add(&*fabric(), loc, NodeId(1), 0);
-        let cas = Transport::rdma_cas(&*fabric(), loc, NodeId(1), 0);
+        let or = Transport::rdma_fetch_or(&*fabric(), loc, NodeId(1), 0).unwrap();
+        let add = Transport::rdma_fetch_add(&*fabric(), loc, NodeId(1), 0).unwrap();
+        let cas = Transport::rdma_cas(&*fabric(), loc, NodeId(1), 0).unwrap();
         assert_eq!(or, add);
         assert_eq!(add, cas);
     }
@@ -219,7 +250,7 @@ mod tests {
         let loc = net.topology().loc(NodeId(0), 0);
         let mut e = <SimTransport as Transport>::endpoint(&net, loc);
         Endpoint::compute(&mut e, 100);
-        Endpoint::rdma_read(&mut e, NodeId(1), 4096);
+        Endpoint::rdma_read(&mut e, NodeId(1), 4096).unwrap();
         let c = net.cost();
         assert_eq!(
             Endpoint::now(&e),

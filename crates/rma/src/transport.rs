@@ -8,8 +8,48 @@
 
 use simnet::net::VerbTiming;
 use simnet::{ClusterTopology, CostModel, NetStats, NodeId, PerNodeSnapshot, ThreadLoc};
-use std::fmt::Debug;
+use std::fmt::{self, Debug};
 use std::sync::Arc;
+
+/// Why a verb did not complete.
+///
+/// Real fabrics surface these as work-completion error CQEs; here they come
+/// from [`crate::FaultyTransport`] (the concrete backends are infallible).
+/// Every variant is transient from the protocol's point of view: Carina's
+/// verbs are idempotent, so the only correct reactions are *reissue* or
+/// *give up* — never a protocol-level repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VerbError {
+    /// The verb was issued but no completion arrived in time.
+    Timeout,
+    /// The target NIC is browned out (backpressured / resetting); retry
+    /// after a backoff.
+    NicStall,
+    /// The posted payload was lost in the fabric.
+    Dropped,
+    /// The initiator tore the verb down before completion.
+    Cancelled,
+}
+
+impl VerbError {
+    /// Stable snake_case name for logs and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            VerbError::Timeout => "timeout",
+            VerbError::NicStall => "nic_stall",
+            VerbError::Dropped => "dropped",
+            VerbError::Cancelled => "cancelled",
+        }
+    }
+}
+
+impl fmt::Display for VerbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::error::Error for VerbError {}
 
 /// Outcome of a verb: when the initiator may continue and when the payload is
 /// settled at the target.
@@ -87,37 +127,56 @@ pub trait Transport: Send + Sync + Debug + 'static {
     fn reset_per_node_stats(&self);
 
     /// Blocking one-sided read of `bytes` from `target`'s memory.
-    fn rdma_read(&self, from: ThreadLoc, target: NodeId, at: u64, bytes: u64) -> Completion;
+    ///
+    /// All verbs are fallible at the trait surface: the concrete backends
+    /// never fail, but wrappers such as [`crate::FaultyTransport`] may
+    /// return a [`VerbError`], and every caller must decide between reissue
+    /// and giving up (verbs are idempotent, so reissue is always safe).
+    fn rdma_read(
+        &self,
+        from: ThreadLoc,
+        target: NodeId,
+        at: u64,
+        bytes: u64,
+    ) -> Result<Completion, VerbError>;
 
     /// Posted one-sided write of `bytes` into `target`'s memory. The
     /// initiator unblocks at `initiator_done`; the payload is visible at
     /// `settled`.
-    fn rdma_write(&self, from: ThreadLoc, target: NodeId, at: u64, bytes: u64) -> Completion;
+    fn rdma_write(
+        &self,
+        from: ThreadLoc,
+        target: NodeId,
+        at: u64,
+        bytes: u64,
+    ) -> Result<Completion, VerbError>;
 
     /// Home-coalesced posted write: `sizes.len()` payloads to the same
     /// `target` behind a single doorbell. Must account exactly like the
     /// equivalent sequence of [`Self::rdma_write`]s (one write + its bytes
     /// per payload); backends differ only in timing and host-side cost. The
     /// default chains single writes, so every backend is correct without
-    /// opting in.
+    /// opting in. A failure partway leaves the earlier payloads delivered —
+    /// callers reissue the whole batch, which is safe because payloads are
+    /// idempotent.
     fn rdma_write_batch(
         &self,
         from: ThreadLoc,
         target: NodeId,
         at: u64,
         sizes: &[u64],
-    ) -> Completion {
+    ) -> Result<Completion, VerbError> {
         let mut now = at;
         let mut settled = at;
         for &bytes in sizes {
-            let c = self.rdma_write(from, target, now, bytes);
+            let c = self.rdma_write(from, target, now, bytes)?;
             now = c.initiator_done;
             settled = settled.max(c.settled);
         }
-        Completion {
+        Ok(Completion {
             initiator_done: now,
             settled,
-        }
+        })
     }
 
     /// Whether SD fences should coalesce their drain into per-home
@@ -132,14 +191,24 @@ pub trait Transport: Send + Sync + Debug + 'static {
 
     /// Blocking remote fetch-or on a directory word (reader/writer
     /// registration, paper §3.2).
-    fn rdma_fetch_or(&self, from: ThreadLoc, target: NodeId, at: u64) -> Completion;
+    fn rdma_fetch_or(
+        &self,
+        from: ThreadLoc,
+        target: NodeId,
+        at: u64,
+    ) -> Result<Completion, VerbError>;
 
     /// Blocking remote fetch-add on a synchronization word (ticket locks,
     /// barrier counters).
-    fn rdma_fetch_add(&self, from: ThreadLoc, target: NodeId, at: u64) -> Completion;
+    fn rdma_fetch_add(
+        &self,
+        from: ThreadLoc,
+        target: NodeId,
+        at: u64,
+    ) -> Result<Completion, VerbError>;
 
     /// Blocking remote compare-and-swap on a synchronization word.
-    fn rdma_cas(&self, from: ThreadLoc, target: NodeId, at: u64) -> Completion;
+    fn rdma_cas(&self, from: ThreadLoc, target: NodeId, at: u64) -> Result<Completion, VerbError>;
 
     /// Time at which `node`'s NIC has drained everything posted so far; the
     /// completion side of an SD fence. Always 0 on backends without queues.
@@ -197,31 +266,35 @@ pub trait Endpoint: Send + Clone + Debug + 'static {
     fn merge(&mut self, t: u64);
 
     /// Blocking one-sided read of `bytes` from `target`'s memory.
-    fn rdma_read(&mut self, target: NodeId, bytes: u64);
+    ///
+    /// Endpoint verbs are fallible like the fabric-level ones; on `Err` the
+    /// endpoint's clock has *not* advanced past the failed verb, so the
+    /// caller may charge a backoff and reissue.
+    fn rdma_read(&mut self, target: NodeId, bytes: u64) -> Result<(), VerbError>;
 
     /// Posted one-sided write of `bytes` to `target`'s memory; returns the
     /// settle stamp (SD fences collect the max of these).
-    fn rdma_write(&mut self, target: NodeId, bytes: u64) -> u64;
+    fn rdma_write(&mut self, target: NodeId, bytes: u64) -> Result<u64, VerbError>;
 
     /// Posted batch write of `sizes.len()` payloads to `target` behind one
     /// doorbell; returns the settle stamp of the whole batch. The default
     /// chains single writes.
-    fn rdma_write_batch(&mut self, target: NodeId, sizes: &[u64]) -> u64 {
+    fn rdma_write_batch(&mut self, target: NodeId, sizes: &[u64]) -> Result<u64, VerbError> {
         let mut settled = 0;
         for &bytes in sizes {
-            settled = settled.max(self.rdma_write(target, bytes));
+            settled = settled.max(self.rdma_write(target, bytes)?);
         }
-        settled
+        Ok(settled)
     }
 
     /// Blocking remote fetch-or (directory registration).
-    fn rdma_fetch_or(&mut self, target: NodeId);
+    fn rdma_fetch_or(&mut self, target: NodeId) -> Result<(), VerbError>;
 
     /// Blocking remote fetch-add (tickets, counters).
-    fn rdma_fetch_add(&mut self, target: NodeId);
+    fn rdma_fetch_add(&mut self, target: NodeId) -> Result<(), VerbError>;
 
     /// Blocking remote compare-and-swap.
-    fn rdma_cas(&mut self, target: NodeId);
+    fn rdma_cas(&mut self, target: NodeId) -> Result<(), VerbError>;
 
     /// Block until `target`'s NIC has drained everything posted so far.
     fn wait_drain(&mut self, target: NodeId);

@@ -7,41 +7,68 @@
 //! backend charges nothing); it pins down what protocol code is allowed to
 //! rely on:
 //!
+//! - verbs are fallible in the signature but infallible on a healthy
+//!   fabric: every completion arrives as `Ok`;
 //! - completions are ordered: `settled >= initiator_done`;
 //! - verbs tick the shared [`NetStats`] counters and the per-node tables;
 //! - per-node accounting conserves bytes (every remote byte out lands in);
 //! - intra-node traffic is free (no per-node accounting);
 //! - all three atomic flavors count as `rdma_atomics`;
 //! - endpoints report the placement they were built with, their clock never
-//!   runs backwards, and posted writes settle no earlier than issue time.
+//!   runs backwards, and posted writes settle no earlier than issue time;
+//! - a fault-injecting wrapper with a disabled plan is indistinguishable
+//!   from the bare fabric.
 
 use rma::{ClusterTopology, Endpoint, NativeTransport, NodeId, Transport};
-use rma::{CostModel, Interconnect, SimTransport};
+use rma::{CostModel, FaultPlan, FaultyTransport, Interconnect, SimTransport};
 use std::sync::Arc;
 
 fn completions_are_ordered<T: Transport>(net: &Arc<T>) {
     let loc = net.topology().loc(NodeId(0), 0);
-    let r = net.rdma_read(loc, NodeId(1), 0, 4096);
+    let r = net.rdma_read(loc, NodeId(1), 0, 4096).unwrap();
     assert!(r.settled >= r.initiator_done, "read settle before unblock");
-    let w = net.rdma_write(loc, NodeId(1), 0, 4096);
+    let w = net.rdma_write(loc, NodeId(1), 0, 4096).unwrap();
     assert!(w.settled >= w.initiator_done, "write settle before unblock");
     for c in [
-        net.rdma_fetch_or(loc, NodeId(1), 0),
-        net.rdma_fetch_add(loc, NodeId(1), 0),
-        net.rdma_cas(loc, NodeId(1), 0),
+        net.rdma_fetch_or(loc, NodeId(1), 0).unwrap(),
+        net.rdma_fetch_add(loc, NodeId(1), 0).unwrap(),
+        net.rdma_cas(loc, NodeId(1), 0).unwrap(),
     ] {
         assert!(c.settled >= c.initiator_done, "atomic settle before unblock");
+    }
+}
+
+/// A healthy fabric never fails a verb: the `Result` surface is for fault
+/// injection and real NICs, and protocol code may rely on `Ok` when no
+/// faults are configured.
+fn healthy_fabric_is_infallible<T: Transport>(net: &Arc<T>) {
+    let loc = net.topology().loc(NodeId(0), 0);
+    for _ in 0..64 {
+        assert!(net.rdma_read(loc, NodeId(1), 0, 4096).is_ok());
+        assert!(net.rdma_write(loc, NodeId(1), 0, 64).is_ok());
+        assert!(net.rdma_write_batch(loc, NodeId(1), 0, &[64, 4096]).is_ok());
+        assert!(net.rdma_fetch_or(loc, NodeId(1), 0).is_ok());
+        assert!(net.rdma_fetch_add(loc, NodeId(1), 0).is_ok());
+        assert!(net.rdma_cas(loc, NodeId(1), 0).is_ok());
+    }
+    let mut e = T::endpoint(net, loc);
+    for _ in 0..64 {
+        assert!(e.rdma_read(NodeId(1), 4096).is_ok());
+        assert!(e.rdma_write(NodeId(1), 64).is_ok());
+        assert!(e.rdma_fetch_or(NodeId(1)).is_ok());
+        assert!(e.rdma_fetch_add(NodeId(1)).is_ok());
+        assert!(e.rdma_cas(NodeId(1)).is_ok());
     }
 }
 
 fn verbs_are_counted<T: Transport>(net: &Arc<T>) {
     let loc = net.topology().loc(NodeId(0), 0);
     let before = net.stats().snapshot();
-    net.rdma_read(loc, NodeId(1), 0, 4096);
-    net.rdma_write(loc, NodeId(1), 0, 128);
-    net.rdma_fetch_or(loc, NodeId(1), 0);
-    net.rdma_fetch_add(loc, NodeId(1), 0);
-    net.rdma_cas(loc, NodeId(1), 0);
+    net.rdma_read(loc, NodeId(1), 0, 4096).unwrap();
+    net.rdma_write(loc, NodeId(1), 0, 128).unwrap();
+    net.rdma_fetch_or(loc, NodeId(1), 0).unwrap();
+    net.rdma_fetch_add(loc, NodeId(1), 0).unwrap();
+    net.rdma_cas(loc, NodeId(1), 0).unwrap();
     let after = net.stats().snapshot();
     assert_eq!(after.rdma_reads - before.rdma_reads, 1);
     assert_eq!(after.rdma_writes - before.rdma_writes, 1);
@@ -56,7 +83,7 @@ fn per_node_accounting_conserves<T: Transport>(net: &Arc<T>) {
     for src in 0..nodes as u16 {
         for dst in 0..nodes as u16 {
             let loc = net.topology().loc(NodeId(src), 0);
-            net.rdma_write(loc, NodeId(dst), 0, 1000 + dst as u64);
+            net.rdma_write(loc, NodeId(dst), 0, 1000 + dst as u64).unwrap();
         }
     }
     let per = net.per_node_stats();
@@ -70,8 +97,8 @@ fn per_node_accounting_conserves<T: Transport>(net: &Arc<T>) {
 fn intra_node_traffic_is_free<T: Transport>(net: &Arc<T>) {
     net.reset_per_node_stats();
     let loc = net.topology().loc(NodeId(0), 0);
-    net.rdma_read(loc, NodeId(0), 0, 4096);
-    net.rdma_write(loc, NodeId(0), 0, 4096);
+    net.rdma_read(loc, NodeId(0), 0, 4096).unwrap();
+    net.rdma_write(loc, NodeId(0), 0, 4096).unwrap();
     let per = net.per_node_stats();
     assert_eq!(per[0].bytes_in, 0, "intra-node read accounted");
     assert_eq!(per[0].bytes_out, 0, "intra-node write accounted");
@@ -91,13 +118,13 @@ fn endpoints_carry_placement_and_monotone_clocks<T: Transport>(net: &Arc<T>) {
     e.fault_trap();
     assert!(e.now() >= last, "local ops reversed the clock");
     last = e.now();
-    e.rdma_read(NodeId(0), 4096);
-    let settled = e.rdma_write(NodeId(0), 64);
+    e.rdma_read(NodeId(0), 4096).unwrap();
+    let settled = e.rdma_write(NodeId(0), 64).unwrap();
     assert!(e.now() >= last, "verbs reversed the clock");
     assert!(settled >= last, "posted write settled before issue");
-    e.rdma_fetch_or(NodeId(0));
-    e.rdma_fetch_add(NodeId(0));
-    e.rdma_cas(NodeId(0));
+    e.rdma_fetch_or(NodeId(0)).unwrap();
+    e.rdma_fetch_add(NodeId(0)).unwrap();
+    e.rdma_cas(NodeId(0)).unwrap();
     last = e.now();
     e.merge(last + 1_000);
     assert!(e.now() >= last, "merge reversed the clock");
@@ -110,7 +137,7 @@ fn endpoint_clones_share_the_fabric<T: Transport>(net: &Arc<T>) {
     let e = T::endpoint(net, loc);
     let mut e2 = e.clone();
     let before = net.stats().snapshot().rdma_reads;
-    e2.rdma_read(NodeId(1), 64);
+    e2.rdma_read(NodeId(1), 64).unwrap();
     assert_eq!(net.stats().snapshot().rdma_reads, before + 1);
 }
 
@@ -123,7 +150,7 @@ fn batched_writes_count_like_singles<T: Transport>(net: &Arc<T>) {
     let sizes = [4096u64, 72, 4096, 160];
     let total: u64 = sizes.iter().sum();
     let before = net.stats().snapshot();
-    let b = net.rdma_write_batch(loc, NodeId(1), 0, &sizes);
+    let b = net.rdma_write_batch(loc, NodeId(1), 0, &sizes).unwrap();
     assert!(b.settled >= b.initiator_done, "batch settle before unblock");
     let after = net.stats().snapshot();
     assert_eq!(after.rdma_writes - before.rdma_writes, sizes.len() as u64);
@@ -134,7 +161,7 @@ fn batched_writes_count_like_singles<T: Transport>(net: &Arc<T>) {
     assert_eq!(per[1].ops_in, sizes.len() as u64, "batch ops_in mismatch");
 
     let mid = net.stats().snapshot();
-    net.rdma_write_batch(loc, NodeId(1), 0, &[]);
+    net.rdma_write_batch(loc, NodeId(1), 0, &[]).unwrap();
     let end = net.stats().snapshot();
     assert_eq!(end.rdma_writes, mid.rdma_writes, "empty batch counted");
     assert_eq!(end.bytes_written, mid.bytes_written);
@@ -143,7 +170,7 @@ fn batched_writes_count_like_singles<T: Transport>(net: &Arc<T>) {
     // Endpoint flavor reaches the same fabric counters.
     let mut e = T::endpoint(net, loc);
     let before = net.stats().snapshot();
-    let settled = e.rdma_write_batch(NodeId(1), &sizes);
+    let settled = e.rdma_write_batch(NodeId(1), &sizes).unwrap();
     assert!(settled >= e.now(), "batch settled before issue completed");
     let after = net.stats().snapshot();
     assert_eq!(after.rdma_writes - before.rdma_writes, sizes.len() as u64);
@@ -153,6 +180,7 @@ fn batched_writes_count_like_singles<T: Transport>(net: &Arc<T>) {
 
 fn run_all<T: Transport>(net: Arc<T>) {
     completions_are_ordered(&net);
+    healthy_fabric_is_infallible(&net);
     verbs_are_counted(&net);
     per_node_accounting_conserves(&net);
     intra_node_traffic_is_free(&net);
@@ -173,6 +201,37 @@ fn native_transport_meets_the_contract() {
     run_all(NativeTransport::new(topo));
 }
 
+/// A [`FaultyTransport`] whose plan is disabled must be indistinguishable
+/// from the bare fabric — it is a pass-through, not a new backend.
+#[test]
+fn disabled_faulty_wrapper_meets_the_contract() {
+    let topo = ClusterTopology::paper(4);
+    let sim = Interconnect::new(topo, CostModel::paper_2011());
+    run_all(FaultyTransport::wrap(sim, FaultPlan::disabled()));
+    let native = NativeTransport::new(topo);
+    run_all(FaultyTransport::wrap(native, FaultPlan::disabled()));
+}
+
+/// Even under an aggressive fault plan, every `Ok` completion still obeys
+/// the ordering contract, and the injected-fault counters tick.
+#[test]
+fn faulty_wrapper_failures_are_typed_and_ordered() {
+    let topo = ClusterTopology::tiny(2);
+    let sim = Interconnect::new(topo, CostModel::paper_2011());
+    let net = FaultyTransport::wrap(sim, FaultPlan::seeded(7));
+    let loc = net.topology().loc(NodeId(0), 0);
+    let mut failures = 0u64;
+    for i in 0..512 {
+        match net.rdma_write(loc, NodeId(1), i, 256) {
+            Ok(c) => assert!(c.settled >= c.initiator_done),
+            Err(_) => failures += 1,
+        }
+    }
+    assert!(failures > 0, "seeded plan injected nothing over 512 writes");
+    let snap = net.injected();
+    assert_eq!(snap.dropped + snap.timed_out + snap.stalled, failures);
+}
+
 /// The simulator additionally promises real latencies: remote verbs cost at
 /// least a network round trip, which the generic contract cannot ask for.
 #[test]
@@ -181,7 +240,7 @@ fn sim_transport_charges_latency() {
     let net = Interconnect::new(topo, CostModel::paper_2011());
     let c = *Transport::cost(&*net);
     let loc = net.topology().loc(NodeId(0), 0);
-    let r = Transport::rdma_read(&*net, loc, NodeId(1), 0, 4096);
+    let r = Transport::rdma_read(&*net, loc, NodeId(1), 0, 4096).unwrap();
     assert!(r.initiator_done >= 2 * c.network_latency);
 }
 
@@ -192,7 +251,7 @@ fn native_transport_is_timeless() {
     let topo = ClusterTopology::tiny(2);
     let net = NativeTransport::new(topo);
     let loc = net.topology().loc(NodeId(0), 0);
-    let r = net.rdma_read(loc, NodeId(1), 0, 4096);
+    let r = net.rdma_read(loc, NodeId(1), 0, 4096).unwrap();
     assert_eq!((r.initiator_done, r.settled), (0, 0));
     let mut e = <NativeTransport as Transport>::endpoint(&net, loc);
     e.compute(1_000_000);

@@ -1,0 +1,169 @@
+//! Property tests for the resilience layer: retry backoff schedules and
+//! the deterministic fault injector must behave algebraically — same
+//! inputs, same schedule; caps respected; duplicates never failures.
+
+use proptest::prelude::*;
+use rma::{
+    Endpoint, FaultPlan, FaultyTransport, NativeTransport, RetryPolicy, Transport, VerbClass,
+    VerbError,
+};
+use simnet::{ClusterTopology, CostModel, Interconnect, NodeId};
+use std::sync::Arc;
+
+fn class_of(i: u8) -> VerbClass {
+    VerbClass::ALL[i as usize % VerbClass::COUNT]
+}
+
+fn sim(nodes: usize) -> Arc<Interconnect> {
+    Interconnect::new(ClusterTopology::tiny(nodes), CostModel::paper_2011())
+}
+
+proptest! {
+    /// The backoff before any retry is a pure function of
+    /// (policy, class, retry index, salt): recomputing it gives the same
+    /// cycles, and a different jitter seed gives a different schedule
+    /// somewhere in the first few steps.
+    #[test]
+    fn prop_backoff_is_deterministic(
+        seed in 0u64..u64::MAX,
+        salt in 0u64..u64::MAX,
+        class in 0u8..7,
+        retry in 1u32..24,
+    ) {
+        let p = RetryPolicy::default().with_seed(seed);
+        let c = class_of(class);
+        prop_assert_eq!(p.backoff_step(c, retry, salt), p.backoff_step(c, retry, salt));
+        let q = RetryPolicy::default().with_seed(seed ^ 0xDEAD_BEEF);
+        let differs = (1..=8).any(|k| p.backoff_step(c, k, salt) != q.backoff_step(c, k, salt));
+        prop_assert!(differs, "jitter seed had no effect on the first 8 steps");
+    }
+
+    /// Every step respects the exponential floor and the jittered ceiling:
+    /// base<<k capped at max, plus at most 25% jitter on top.
+    #[test]
+    fn prop_backoff_respects_caps(
+        seed in 0u64..u64::MAX,
+        salt in 0u64..u64::MAX,
+        class in 0u8..7,
+        retry in 1u32..64,
+        base in 1u64..100_000,
+        cap in 1u64..10_000_000,
+    ) {
+        let p = RetryPolicy {
+            base_backoff_cycles: base,
+            max_backoff_cycles: cap,
+            jitter_seed: seed,
+            ..RetryPolicy::default()
+        };
+        let c = class_of(class);
+        let step = p.backoff_step(c, retry, salt);
+        let exp = base.checked_shl(retry - 1).unwrap_or(u64::MAX).min(cap);
+        prop_assert!(step >= exp, "step {} below the exponential floor {}", step, exp);
+        prop_assert!(
+            step <= exp + exp / 4,
+            "step {} exceeds floor {} + 25% jitter",
+            step,
+            exp
+        );
+    }
+
+    /// `run` against a permanently failing verb spends exactly the attempt
+    /// budget, reports the last error, and accumulates the full backoff
+    /// schedule as its delay — deterministically.
+    #[test]
+    fn prop_exhaustion_spends_the_exact_budget(
+        salt in 0u64..u64::MAX,
+        class in 0u8..7,
+        attempts in 1u32..12,
+    ) {
+        let c = class_of(class);
+        let p = RetryPolicy::default().with_budget(c, attempts);
+        let mut issued = 0u32;
+        let err = p
+            .run::<()>(c, salt, |a| {
+                assert_eq!(a.index, issued, "attempts must be issued in order");
+                issued += 1;
+                Err(VerbError::Timeout)
+            })
+            .expect_err("the verb never succeeds");
+        prop_assert_eq!(issued, attempts);
+        prop_assert_eq!(err.attempts, attempts);
+        prop_assert_eq!(err.last_error, VerbError::Timeout);
+        let schedule: u64 = (1..attempts).map(|k| p.backoff_step(c, k, salt)).sum();
+        prop_assert_eq!(err.delay, schedule);
+    }
+
+    /// The injector's schedule is reproducible: the same plan over the same
+    /// single-issuer verb sequence yields the same ok/err pattern and the
+    /// same injection counts — on a simulated *and* a native fabric.
+    #[test]
+    fn prop_fault_schedule_replays(
+        seed in 0u64..u64::MAX,
+        drops in 0u32..400_000,
+        timeouts in 0u32..400_000,
+        ops in proptest::collection::vec((0u8..4, 1u64..4096), 1..60),
+    ) {
+        let plan = FaultPlan::default()
+            .with_seed(seed)
+            .with_drops(drops)
+            .with_timeouts(timeouts);
+        fn drive<T: Transport>(
+            fab: Arc<FaultyTransport<T>>,
+            ops: &[(u8, u64)],
+        ) -> Vec<Result<(), VerbError>> {
+            let loc = fab.topology().loc(NodeId(0), 0);
+            let mut e = <FaultyTransport<T> as Transport>::endpoint(&fab, loc);
+            ops.iter()
+                .map(|&(kind, bytes)| match kind {
+                    0 => e.rdma_read(NodeId(1), bytes),
+                    1 => e.rdma_write(NodeId(1), bytes).map(|_| ()),
+                    2 => e.rdma_write_batch(NodeId(1), &[bytes]).map(|_| ()),
+                    _ => e.rdma_cas(NodeId(1)),
+                })
+                .collect()
+        }
+        let a = FaultyTransport::wrap(sim(2), plan.clone());
+        let b = FaultyTransport::wrap(sim(2), plan.clone());
+        let pat_a = drive(a.clone(), &ops);
+        prop_assert_eq!(&pat_a, &drive(b.clone(), &ops));
+        prop_assert_eq!(a.injected(), b.injected());
+        let n = FaultyTransport::wrap(NativeTransport::new(ClusterTopology::tiny(2)), plan);
+        prop_assert_eq!(&pat_a, &drive(n.clone(), &ops));
+        prop_assert_eq!(a.injected(), n.injected());
+    }
+
+    /// Duplicates are never failures: under a duplicates-only plan every
+    /// verb succeeds, a duplicated verb's completion is no earlier than its
+    /// issue time, and the inner fabric sees each duplicated verb exactly
+    /// twice — the payload is idempotent, only the accounting doubles.
+    #[test]
+    fn prop_duplicates_are_idempotent_successes(
+        seed in 0u64..u64::MAX,
+        rate in 1u32..1_000_001,
+        ops in proptest::collection::vec((0u8..3, 1u64..8192, 0u64..1_000_000), 1..50),
+    ) {
+        let plan = FaultPlan::default().with_seed(seed).with_duplicates(rate);
+        let fab = FaultyTransport::wrap(sim(2), plan);
+        let loc = fab.topology().loc(NodeId(0), 0);
+        for &(kind, bytes, at) in &ops {
+            let c = match kind {
+                0 => Transport::rdma_read(&*fab, loc, NodeId(1), at, bytes),
+                1 => Transport::rdma_write(&*fab, loc, NodeId(1), at, bytes),
+                _ => Transport::rdma_cas(&*fab, loc, NodeId(1), at),
+            };
+            let c = c.expect("duplication must never fail a verb");
+            prop_assert!(c.initiator_done > at, "a verb must cost time");
+            prop_assert!(c.settled >= c.initiator_done);
+        }
+        let snap = fab.injected();
+        // A duplicates-only plan must inject nothing but duplicates.
+        prop_assert_eq!(snap.total(), snap.duplicated);
+        // Each duplicate is delivered (and accounted) exactly twice.
+        let issued = ops.len() as u64;
+        let inner_ops = {
+            let s = fab.stats().snapshot();
+            s.rdma_reads + s.rdma_writes + s.rdma_atomics
+        };
+        prop_assert_eq!(inner_ops, issued + snap.duplicated);
+    }
+}

@@ -1,0 +1,49 @@
+//! Typed configuration errors for cluster construction.
+//!
+//! Malformed shapes (zero-node clusters, sub-unity oversubscription, cores
+//! that don't exist) are *reportable* conditions for harnesses and config
+//! loaders: constructors come in `try_*` flavors returning [`ConfigError`],
+//! and the original panicking flavors remain as thin wrappers.
+
+use crate::topology::NodeId;
+use std::fmt;
+
+/// A cluster shape or fabric parameter that cannot be built.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// The oversubscription factor must be finite and >= 1.
+    Oversubscription { factor: f64 },
+    /// A topology dimension (nodes, sockets, cores) is zero.
+    EmptyTopology { nodes: usize, sockets_per_node: usize, cores_per_socket: usize },
+    /// A node id addressed past the end of the cluster.
+    NodeOutOfRange { node: NodeId, nodes: usize },
+    /// A local core index addressed past the node's core count.
+    CoreOutOfRange { core: usize, cores_per_node: usize },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Oversubscription { factor } => {
+                write!(f, "oversubscription factor must be finite and >= 1, got {factor}")
+            }
+            ConfigError::EmptyTopology {
+                nodes,
+                sockets_per_node,
+                cores_per_socket,
+            } => write!(
+                f,
+                "topology dimensions must be nonzero: {nodes} nodes x \
+                 {sockets_per_node} sockets x {cores_per_socket} cores"
+            ),
+            ConfigError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range for a {nodes}-node cluster")
+            }
+            ConfigError::CoreOutOfRange { core, cores_per_node } => {
+                write!(f, "core {core} out of range for {cores_per_node} cores/node")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}

@@ -25,6 +25,7 @@
 
 pub mod clock;
 pub mod cost;
+pub mod error;
 pub mod msg;
 pub mod net;
 pub mod stats;
@@ -33,6 +34,7 @@ pub mod topology;
 
 pub use clock::SimThread;
 pub use cost::CostModel;
+pub use error::ConfigError;
 pub use msg::{Msg, MsgWorld, RecvError, Tag};
 pub use net::Interconnect;
 pub use stats::{NetStats, PerNodeSnapshot};

@@ -48,25 +48,44 @@ impl Interconnect {
 
     /// A fabric whose core is oversubscribed by `factor` (e.g. 2.0 for the
     /// paper's 2:1 fabric). `factor <= 1` means full bisection.
+    ///
+    /// # Panics
+    /// Panics on a malformed shape; [`Self::try_with_oversubscription`]
+    /// reports the same conditions as a [`crate::ConfigError`] instead.
     pub fn with_oversubscription(
         topology: ClusterTopology,
         cost: CostModel,
         factor: f64,
     ) -> Arc<Self> {
-        assert!(factor >= 1.0 && factor.is_finite(), "oversubscription >= 1");
+        Self::try_with_oversubscription(topology, cost, factor)
+            .unwrap_or_else(|e| panic!("invalid interconnect config: {e}"))
+    }
+
+    /// Fallible flavor of [`Self::with_oversubscription`]: rejects
+    /// sub-unity or non-finite oversubscription and empty topologies with a
+    /// typed error instead of aborting.
+    pub fn try_with_oversubscription(
+        topology: ClusterTopology,
+        cost: CostModel,
+        factor: f64,
+    ) -> Result<Arc<Self>, crate::ConfigError> {
+        if !(factor >= 1.0 && factor.is_finite()) {
+            return Err(crate::ConfigError::Oversubscription { factor });
+        }
+        topology.validate()?;
         let spines = if factor > 1.0 {
             ((topology.nodes as f64 / factor).ceil() as usize).max(1)
         } else {
             0
         };
-        Arc::new(Interconnect {
+        Ok(Arc::new(Interconnect {
             topology,
             cost,
             nic: (0..topology.nodes).map(|_| AtomicU64::new(0)).collect(),
             spines: (0..spines).map(|_| AtomicU64::new(0)).collect(),
             stats: NetStats::default(),
             per_node: (0..topology.nodes).map(|_| PerNodeStats::default()).collect(),
-        })
+        }))
     }
 
     #[inline]
@@ -417,6 +436,31 @@ mod tests {
             CostModel::paper_2011(),
             0.5,
         );
+    }
+
+    #[test]
+    fn try_constructor_reports_bad_shapes_as_typed_errors() {
+        for bad in [0.5, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                Interconnect::try_with_oversubscription(
+                    ClusterTopology::tiny(2),
+                    CostModel::paper_2011(),
+                    bad,
+                ),
+                Err(crate::ConfigError::Oversubscription { .. })
+            ));
+        }
+        let empty = ClusterTopology { nodes: 0, sockets_per_node: 1, cores_per_socket: 1 };
+        assert!(matches!(
+            Interconnect::try_with_oversubscription(empty, CostModel::paper_2011(), 1.0),
+            Err(crate::ConfigError::EmptyTopology { .. })
+        ));
+        assert!(Interconnect::try_with_oversubscription(
+            ClusterTopology::tiny(2),
+            CostModel::paper_2011(),
+            2.0,
+        )
+        .is_ok());
     }
 
     #[test]

@@ -88,22 +88,48 @@ impl ClusterTopology {
         self.nodes * self.cores_per_node()
     }
 
+    /// Check that every dimension is nonzero (a shape with no cores cannot
+    /// place any thread).
+    pub fn validate(&self) -> Result<(), crate::ConfigError> {
+        if self.nodes == 0 || self.sockets_per_node == 0 || self.cores_per_socket == 0 {
+            return Err(crate::ConfigError::EmptyTopology {
+                nodes: self.nodes,
+                sockets_per_node: self.sockets_per_node,
+                cores_per_socket: self.cores_per_socket,
+            });
+        }
+        Ok(())
+    }
+
     /// Placement of local core index `core` (0-based within the node).
     ///
     /// # Panics
-    /// Panics if `node` or `core` is out of range.
+    /// Panics if `node` or `core` is out of range; [`Self::try_loc`]
+    /// reports the same conditions as a typed error instead.
     pub fn loc(&self, node: NodeId, core: usize) -> ThreadLoc {
-        assert!(node.idx() < self.nodes, "node {node} out of range");
-        assert!(
-            core < self.cores_per_node(),
-            "core {core} out of range for {} cores/node",
-            self.cores_per_node()
-        );
-        ThreadLoc {
+        self.try_loc(node, core)
+            .unwrap_or_else(|e| panic!("invalid placement: {e}"))
+    }
+
+    /// Fallible flavor of [`Self::loc`].
+    pub fn try_loc(&self, node: NodeId, core: usize) -> Result<ThreadLoc, crate::ConfigError> {
+        if node.idx() >= self.nodes {
+            return Err(crate::ConfigError::NodeOutOfRange {
+                node,
+                nodes: self.nodes,
+            });
+        }
+        if core >= self.cores_per_node() {
+            return Err(crate::ConfigError::CoreOutOfRange {
+                core,
+                cores_per_node: self.cores_per_node(),
+            });
+        }
+        Ok(ThreadLoc {
             node,
             socket: (core / self.cores_per_socket) as u16,
             core: (core % self.cores_per_socket) as u16,
-        }
+        })
     }
 
     /// Iterate over all `(NodeId, local core index)` pairs.
@@ -153,5 +179,26 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn loc_panics_on_bad_core() {
         ClusterTopology::tiny(1).loc(NodeId(0), 99);
+    }
+
+    #[test]
+    fn try_loc_reports_bad_placements_as_typed_errors() {
+        let t = ClusterTopology::tiny(2);
+        assert_eq!(t.try_loc(NodeId(0), 1).unwrap(), t.loc(NodeId(0), 1));
+        assert_eq!(
+            t.try_loc(NodeId(5), 0),
+            Err(crate::ConfigError::NodeOutOfRange { node: NodeId(5), nodes: 2 })
+        );
+        assert_eq!(
+            t.try_loc(NodeId(0), 2),
+            Err(crate::ConfigError::CoreOutOfRange { core: 2, cores_per_node: 2 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_empty_dimensions() {
+        assert!(ClusterTopology::tiny(1).validate().is_ok());
+        let z = ClusterTopology { nodes: 0, sockets_per_node: 1, cores_per_socket: 1 };
+        assert!(matches!(z.validate(), Err(crate::ConfigError::EmptyTopology { .. })));
     }
 }

@@ -66,7 +66,7 @@ impl<T: Transport> DsmCohortLock<T> {
     ) -> Arc<Self> {
         let nodes = dsm.net().topology().nodes;
         Arc::new(DsmCohortLock {
-            global: DsmGlobalLock::new(NodeId(0)),
+            global: DsmGlobalLock::with_retry(NodeId(0), dsm.config().retry),
             tiers: (0..nodes)
                 .map(|_| LocalTier {
                     state: Mutex::new(TierState {

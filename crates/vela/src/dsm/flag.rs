@@ -11,9 +11,10 @@
 //! application's terms), so it is exercised through one-sided atomics on
 //! its home node, not through the page cache.
 
-use carina::Dsm;
+use crate::dsm::global_lock::lock_fault;
+use carina::{Dsm, DsmError};
 use parking_lot::{Condvar, Mutex};
-use rma::{Endpoint, SimTransport, Transport};
+use rma::{Endpoint, SimTransport, Transport, VerbClass};
 use simnet::NodeId;
 use std::sync::Arc;
 
@@ -48,13 +49,35 @@ impl<T: Transport> DsmFlag<T> {
 
     /// Release semantics: publish all our writes (SD fence), then raise
     /// the flag with a one-sided write to its home.
+    ///
+    /// Panics if the fabric stays broken past the retry budget; see
+    /// [`Self::try_signal`] for the fallible flavor.
     pub fn signal(&self, t: &mut T::Endpoint) {
-        self.dsm.sd_fence(t);
-        t.rdma_write(self.home, 8);
+        if let Err(e) = self.try_signal(t) {
+            panic!("unrecoverable DSM fault: {e}");
+        }
+    }
+
+    /// Fallible flavor of [`Self::signal`]: the generation only advances if
+    /// both the fence and the flag write reach the fabric, so waiters never
+    /// observe a signal whose payload was lost.
+    pub fn try_signal(&self, t: &mut T::Endpoint) -> Result<(), DsmError> {
+        self.dsm.try_sd_fence(t)?;
+        self.dsm
+            .config()
+            .retry
+            .run(VerbClass::FlagWrite, self.home.0 as u64, |a| {
+                if a.step > 0 {
+                    t.compute(a.step);
+                }
+                t.rdma_write(self.home, 8).map(|_| ())
+            })
+            .map_err(|e| lock_fault(e, t.node().0, self.home.0))?;
         let mut st = self.state.lock();
         st.generation += 1;
         st.signal_clock = st.signal_clock.max(t.now());
         self.cond.notify_all();
+        Ok(())
     }
 
     /// Current generation (for [`Self::wait_past`]).
@@ -67,6 +90,13 @@ impl<T: Transport> DsmFlag<T> {
     /// polling loop; each poll is a one-sided read, charged on wakeup as a
     /// final successful poll.
     pub fn wait_past(&self, t: &mut T::Endpoint, seen: u64) {
+        if let Err(e) = self.try_wait_past(t, seen) {
+            panic!("unrecoverable DSM fault: {e}");
+        }
+    }
+
+    /// Fallible flavor of [`Self::wait_past`].
+    pub fn try_wait_past(&self, t: &mut T::Endpoint, seen: u64) -> Result<(), DsmError> {
         {
             let mut st = self.state.lock();
             while st.generation <= seen {
@@ -74,9 +104,19 @@ impl<T: Transport> DsmFlag<T> {
             }
             t.merge(st.signal_clock);
         }
-        // The successful poll: one remote read of the flag word.
-        t.rdma_read(self.home, 8);
-        self.dsm.si_fence(t);
+        // The successful poll: one remote read of the flag word. A dropped
+        // poll is just another unsuccessful poll — reissue after backing off.
+        self.dsm
+            .config()
+            .retry
+            .run(VerbClass::FlagWrite, !(self.home.0 as u64), |a| {
+                if a.step > 0 {
+                    t.compute(a.step);
+                }
+                t.rdma_read(self.home, 8)
+            })
+            .map_err(|e| lock_fault(e, t.node().0, self.home.0))?;
+        self.dsm.try_si_fence(t)
     }
 
     /// Wait for the *next* signal after this call. Note: if the signal of

@@ -7,10 +7,24 @@
 //! deliberately **not** part of this type — HQDL's whole point is choosing
 //! where those fences go (paper §4.2).
 
+use carina::DsmError;
 use parking_lot::{Condvar, Mutex};
-use rma::Endpoint;
+use rma::{Endpoint, RetryExhausted, RetryPolicy, VerbClass};
 use simnet::NodeId;
 use std::sync::Arc;
+
+/// Translate an exhausted retry budget into the DSM-level error, naming
+/// the route (Vela builds it field-wise; the carina constructor is private
+/// to the protocol engine).
+pub(crate) fn lock_fault(e: RetryExhausted, node: u16, target: u16) -> DsmError {
+    DsmError {
+        class: e.class,
+        attempts: e.attempts,
+        last_error: e.last_error,
+        node,
+        target,
+    }
+}
 
 struct LockState {
     locked: bool,
@@ -32,6 +46,7 @@ pub struct GlobalLockStats {
 /// A global (cluster-wide) mutual-exclusion lock with virtual-time costs.
 pub struct DsmGlobalLock {
     home: NodeId,
+    retry: RetryPolicy,
     state: Mutex<(LockState, GlobalLockStats)>,
     cond: Condvar,
 }
@@ -39,8 +54,16 @@ pub struct DsmGlobalLock {
 impl DsmGlobalLock {
     /// `home`: the node whose memory holds the lock word.
     pub fn new(home: NodeId) -> Arc<Self> {
+        Self::with_retry(home, RetryPolicy::default())
+    }
+
+    /// [`new`](Self::new) with an explicit policy for reissuing the lock
+    /// word's CAS and hand-off write when the fabric drops them. Locks
+    /// built by higher layers inherit their DSM's configured policy.
+    pub fn with_retry(home: NodeId, retry: RetryPolicy) -> Arc<Self> {
         Arc::new(DsmGlobalLock {
             home,
+            retry,
             state: Mutex::new((
                 LockState {
                     locked: false,
@@ -55,16 +78,42 @@ impl DsmGlobalLock {
 
     /// Acquire: one remote atomic on the lock word, plus waiting for the
     /// previous holder's release to propagate.
+    ///
+    /// Panics if the fabric stays broken past the retry budget; see
+    /// [`Self::try_acquire`] for the fallible flavor.
     pub fn acquire<E: Endpoint>(&self, t: &mut E) {
         self.acquire_tracked(t);
+    }
+
+    /// Fallible flavor of [`Self::acquire`].
+    pub fn try_acquire<E: Endpoint>(&self, t: &mut E) -> Result<(), DsmError> {
+        self.try_acquire_tracked(t).map(|_| ())
     }
 
     /// [`acquire`](Self::acquire), reporting whether the lock changed hands
     /// between nodes (a *handover*: the previous holder was a different
     /// node, so the release flag crossed the network to reach us).
     pub fn acquire_tracked<E: Endpoint>(&self, t: &mut E) -> bool {
-        // The CAS on the lock word costs a round trip regardless of outcome.
-        t.rdma_cas(self.home);
+        match self.try_acquire_tracked(t) {
+            Ok(switched) => switched,
+            Err(e) => panic!("unrecoverable DSM fault: {e}"),
+        }
+    }
+
+    /// Fallible flavor of [`Self::acquire_tracked`]: an exhausted CAS
+    /// budget surfaces *before* any queue state changes, so a failed
+    /// acquisition leaves the lock exactly as it found it.
+    pub fn try_acquire_tracked<E: Endpoint>(&self, t: &mut E) -> Result<bool, DsmError> {
+        // The CAS on the lock word costs a round trip regardless of
+        // outcome; a dropped CAS is reissued after backing off locally.
+        self.retry
+            .run(VerbClass::LockAtomic, self.home.0 as u64, |a| {
+                if a.step > 0 {
+                    t.compute(a.step);
+                }
+                t.rdma_cas(self.home)
+            })
+            .map_err(|e| lock_fault(e, t.node().0, self.home.0))?;
         let mut st = self.state.lock();
         while st.0.locked {
             self.cond.wait(&mut st);
@@ -98,17 +147,37 @@ impl DsmGlobalLock {
                 std::thread::yield_now();
             }
         }
-        switched
+        Ok(switched)
     }
 
     /// Release: a posted write of the lock word (the successor's spin flag).
+    ///
+    /// Panics if the fabric stays broken past the retry budget; see
+    /// [`Self::try_release`] for the fallible flavor.
     pub fn release<E: Endpoint>(&self, t: &mut E) {
-        t.rdma_write(self.home, 8);
+        if let Err(e) = self.try_release(t) {
+            panic!("unrecoverable DSM fault: {e}");
+        }
+    }
+
+    /// Fallible flavor of [`Self::release`]: if the hand-off write never
+    /// lands, the lock stays held (the successor must not observe a release
+    /// that did not reach the fabric).
+    pub fn try_release<E: Endpoint>(&self, t: &mut E) -> Result<(), DsmError> {
+        self.retry
+            .run(VerbClass::LockAtomic, !(self.home.0 as u64), |a| {
+                if a.step > 0 {
+                    t.compute(a.step);
+                }
+                t.rdma_write(self.home, 8).map(|_| ())
+            })
+            .map_err(|e| lock_fault(e, t.node().0, self.home.0))?;
         let mut st = self.state.lock();
         assert!(st.0.locked, "releasing an unheld global lock");
         st.0.locked = false;
         st.0.last_release = t.now();
         self.cond.notify_one();
+        Ok(())
     }
 
     pub fn stats(&self) -> GlobalLockStats {

@@ -110,7 +110,7 @@ impl<T: Transport> Hqdl<T> {
         let nodes = dsm.net().topology().nodes;
         let obs = dsm.lock_registry().register(name);
         Arc::new(Hqdl {
-            global: DsmGlobalLock::new(NodeId(0)),
+            global: DsmGlobalLock::with_retry(NodeId(0), dsm.config().retry),
             node_queues: (0..nodes)
                 .map(|_| NodeQueue {
                     queue: SegQueue::new(),

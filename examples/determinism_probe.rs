@@ -17,6 +17,7 @@
 #![allow(clippy::needless_range_loop)]
 use carina::{CarinaConfig, ClassificationMode, Dsm};
 use mem::{CacheConfig, GlobalAddr, PAGE_BYTES};
+use rma::{Endpoint as _, FaultPlan, FaultyTransport, SimTransport, Transport};
 use simnet::{ClusterTopology, CostModel, Interconnect, NodeId, SimThread};
 use std::sync::Arc;
 
@@ -131,6 +132,74 @@ fn workout(mode: ClassificationMode) {
     println!("net {:#?}", dsm.net().stats().snapshot());
 }
 
+/// The faulted half of the probe: the same style of fixed single-threaded
+/// scenario, but driven through a [`FaultyTransport`] with a seeded plan.
+/// Everything here is deterministic — the fault schedule is a pure function
+/// of the seed and the verb sequence, the backoff schedule of the retry
+/// policy — so the checksum, the clocks, the injection counts, *and* the
+/// retry counters are all pinned by the committed baseline. The checksum
+/// must also be bit-identical to the fault-free run of the same scenario:
+/// faults may only ever perturb timing and accounting.
+fn faulted_scenario(plan: FaultPlan) -> (u64, Vec<u64>, u64, u64, rma::FaultSnapshot) {
+    let nodes = 3usize;
+    let topo = ClusterTopology::tiny(nodes);
+    let net = FaultyTransport::wrap(Interconnect::new(topo, CostModel::paper_2011()), plan);
+    let dsm: Arc<Dsm<FaultyTransport<SimTransport>>> =
+        Dsm::new(net.clone(), 4 << 20, CarinaConfig::default());
+    let mut ts: Vec<_> = (0..nodes)
+        .map(|n| <FaultyTransport<SimTransport> as Transport>::endpoint(&net, topo.loc(NodeId(n as u16), 0)))
+        .collect();
+    for round in 0..4u64 {
+        for n in 0..nodes {
+            let t = &mut ts[n];
+            for p in 0..16u64 {
+                let a = GlobalAddr((p + 1) * PAGE_BYTES + round * 16);
+                dsm.write_u64(t, a, round * 1000 + p * 10 + n as u64);
+                let _ = dsm.read_u64(t, a);
+            }
+            dsm.sd_fence(t);
+        }
+        for n in 0..nodes {
+            dsm.si_fence(&mut ts[n]);
+        }
+    }
+    let v = dsm.check_invariants();
+    assert!(v.is_empty(), "invariants violated under faults: {v:?}");
+    let mut checksum = 0u64;
+    for p in 0..24u64 {
+        for w in (0..mem::WORDS_PER_PAGE as u64).step_by(7) {
+            checksum = checksum
+                .wrapping_mul(1099511628211)
+                .wrapping_add(dsm.peek_u64(GlobalAddr(p * PAGE_BYTES + w * 8)));
+        }
+    }
+    let s = dsm.stats().snapshot();
+    (
+        checksum,
+        ts.iter().map(|t| t.now()).collect(),
+        s.verb_retries,
+        s.verb_exhaustions,
+        net.injected(),
+    )
+}
+
+fn faulted_probe(seed: u64) {
+    let (clean_sum, _, clean_retries, _, _) = faulted_scenario(FaultPlan::disabled());
+    assert_eq!(clean_retries, 0, "a healthy fabric must not retry");
+    let (sum, clocks, retries, exhaustions, injected) = faulted_scenario(FaultPlan::seeded(seed));
+    println!("=== faulted seed {seed} ===");
+    println!("checksum        {sum}");
+    println!("matches_clean   {}", sum == clean_sum);
+    for (n, c) in clocks.iter().enumerate() {
+        println!("clock[{n}]        {c}");
+    }
+    println!("verb_retries    {retries}");
+    println!("verb_exhaustions {exhaustions}");
+    println!("injected {injected:?}");
+    assert_eq!(sum, clean_sum, "faults changed the data plane");
+    assert_eq!(exhaustions, 0, "a mild plan exhausted a retry budget");
+}
+
 fn main() {
     for mode in [
         ClassificationMode::AllShared,
@@ -138,6 +207,9 @@ fn main() {
         ClassificationMode::Ps3,
     ] {
         workout(mode);
+    }
+    for seed in [2026u64, 4052] {
+        faulted_probe(seed);
     }
 }
 

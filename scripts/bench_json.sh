@@ -61,6 +61,21 @@ if ratios:
         g *= r
     report["geomean_speedup"] = g ** (1.0 / len(ratios))
 
+# Resilience guard: the fallible verb surface and the (disabled) fault
+# injection hook must stay free on the hot fence path. When a baseline
+# exists, any fences/* benchmark slowing down past noise fails the build.
+FENCE_FLOOR = 0.75
+slow = [
+    (bid, e["speedup"])
+    for e in report["benchmarks"]
+    for bid in [e["id"]]
+    if bid.startswith("fences/") and "speedup" in e and e["speedup"] < FENCE_FLOOR
+]
+if slow:
+    for bid, s in slow:
+        print(f"FENCE REGRESSION: {bid} speedup {s:.3f} < {FENCE_FLOOR}", file=sys.stderr)
+    sys.exit(1)
+
 # Latency percentiles from the argoscope reference run (virtual cycles):
 # per-site count/mean/p50/p90/p99 histograms plus per-lock delegation
 # stats, straight out of RunReport::to_json().

@@ -1,0 +1,294 @@
+//! Chaos suite: whole-application runs under deterministic fault injection.
+//!
+//! The Carina data plane moves bytes through host memory only *after* a
+//! verb succeeds, and every remote touchpoint retries with backoff — so a
+//! hostile fabric may change when things happen and what the accounting
+//! says, but never what the computation produces. These tests run real
+//! workloads (matmul, SOR, NAS EP) under seeded [`rma::FaultPlan`]s and
+//! assert the checksums are **bit-identical** to the fault-free run, that
+//! the injected faults actually happened, and that the retry machinery
+//! accounted for them. A permanent blackout then shows the other half of
+//! the contract: an exhausted budget surfaces as a clean [`DsmError`], not
+//! a hang or a poisoned machine.
+
+use argo::{ArgoConfig, ArgoMachine};
+use carina::{CarinaConfig, Dsm, DsmError};
+use mem::{GlobalAddr, PAGE_BYTES};
+use rma::{
+    FaultPlan, FaultSnapshot, FaultyTransport, SimTransport, Transport, VerbClass,
+    VerbError,
+};
+use simnet::{Interconnect, NodeId};
+use std::sync::Arc;
+use workloads::harness::Outcome;
+use workloads::{ep, matmul, sor};
+
+type ChaosNet = FaultyTransport<SimTransport>;
+
+/// The workloads here are deliberately small, so per-mille fault rates
+/// would often never fire; chaos runs get a viciously lossy fabric instead
+/// (~28% of verb issues fail outright) plus frequent duplicates and spikes.
+fn hostile(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        drop_per_million: 200_000,
+        timeout_per_million: 100_000,
+        duplicate_per_million: 150_000,
+        spike_per_million: 150_000,
+        spike_cycles: 20_000,
+        ..FaultPlan::default()
+    }
+}
+
+/// An Argo machine whose simulator fabric is wrapped in a fault injector.
+/// Returns the fabric handle too, so tests can read the injection counts.
+/// The retry budget is raised to 16 attempts per class: at the hostile
+/// failure rate that makes spurious exhaustion astronomically unlikely
+/// (0.28^16), so any panic here is a real protocol bug.
+fn chaos_machine(
+    nodes: usize,
+    tpn: usize,
+    plan: FaultPlan,
+) -> (Arc<ArgoMachine<ChaosNet>>, Arc<ChaosNet>) {
+    let mut cfg = ArgoConfig::small(nodes, tpn);
+    cfg.carina.retry.max_attempts = [16; VerbClass::COUNT];
+    let net = FaultyTransport::wrap(Interconnect::new(cfg.topology(), cfg.cost), plan);
+    (ArgoMachine::on(cfg, net.clone()), net)
+}
+
+/// Fault-free reference run of the same shape.
+fn clean_machine(nodes: usize, tpn: usize) -> Arc<ArgoMachine<ChaosNet>> {
+    chaos_machine(nodes, tpn, FaultPlan::disabled()).0
+}
+
+/// The core chaos property: same program, same shape, hostile fabric —
+/// identical bits out, visible faults and retries in the books.
+fn assert_faulted_run_matches(clean: &Outcome, faulted: &Outcome, net: &ChaosNet, what: &str) {
+    assert_eq!(
+        faulted.checksum.to_bits(),
+        clean.checksum.to_bits(),
+        "{what}: checksum diverged under faults (clean {} faulted {})",
+        clean.checksum,
+        faulted.checksum
+    );
+    assert!(net.injected().total() > 0, "{what}: the fault plan never fired");
+    assert_eq!(
+        faulted.coherence.verb_exhaustions, 0,
+        "{what}: a mixed plan well inside the budget must never exhaust"
+    );
+}
+
+#[test]
+fn matmul_is_bit_identical_under_mixed_faults() {
+    let p = matmul::MatmulParams { n: 64 };
+    let clean = matmul::run_argo(&clean_machine(2, 2), p);
+    assert_eq!(clean.coherence.verb_retries, 0, "healthy fabric must not retry");
+    for seed in [11u64, 12, 13] {
+        let (m, net) = chaos_machine(2, 2, hostile(seed));
+        let faulted = matmul::run_argo(&m, p);
+        assert_faulted_run_matches(&clean, &faulted, &net, "matmul");
+        assert!(
+            faulted.coherence.verb_retries > 0,
+            "seed {seed}: faults were injected but nothing retried"
+        );
+        // Every retry episode lands in the observability profile.
+        assert!(faulted.profile.get(obs::Site::Retry).count() > 0);
+    }
+}
+
+#[test]
+fn sor_is_bit_identical_under_mixed_faults() {
+    let p = sor::SorParams { n: 48, iterations: 4, omega: 1.25 };
+    let clean = sor::run_argo(&clean_machine(3, 1), p);
+    for seed in [21u64, 22] {
+        let (m, net) = chaos_machine(3, 1, hostile(seed));
+        let faulted = sor::run_argo(&m, p);
+        assert_faulted_run_matches(&clean, &faulted, &net, "sor");
+        assert!(faulted.coherence.verb_retries > 0);
+    }
+}
+
+#[test]
+fn ep_is_bit_identical_under_mixed_faults() {
+    let p = ep::EpParams { pairs: 1 << 14 };
+    let clean = ep::run_argo(&clean_machine(2, 2), p);
+    for seed in [31u64, 32] {
+        let (m, net) = chaos_machine(2, 2, hostile(seed));
+        let faulted = ep::run_argo(&m, p);
+        assert_faulted_run_matches(&clean, &faulted, &net, "ep");
+    }
+}
+
+/// Duplicates and latency spikes are not failures: nothing retries, the
+/// budget never moves, and the bits still match — only timing and the
+/// fabric's verb accounting change.
+#[test]
+fn duplicates_and_spikes_change_timing_not_results() {
+    let p = matmul::MatmulParams { n: 64 };
+    let clean = matmul::run_argo(&clean_machine(2, 2), p);
+    let plan = FaultPlan::default()
+        .with_seed(99)
+        .with_duplicates(400_000)
+        .with_spikes(400_000, 25_000);
+    let (m, net) = chaos_machine(2, 2, plan);
+    let faulted = matmul::run_argo(&m, p);
+    assert_eq!(faulted.checksum.to_bits(), clean.checksum.to_bits());
+    let injected = net.injected();
+    assert!(injected.duplicated > 0 && injected.spiked > 0);
+    assert_eq!(injected.dropped + injected.timed_out + injected.stalled, 0);
+    assert_eq!(faulted.coherence.verb_retries, 0, "nothing failed, nothing retries");
+    assert_eq!(faulted.coherence.verb_exhaustions, 0);
+    assert!(
+        faulted.cycles > clean.cycles,
+        "spiked completions must cost virtual time"
+    );
+}
+
+/// A transient brownout (well shorter than the retry schedule's total
+/// budget) is ridden out by backoff: the program completes with the right
+/// answer, and every stall it survived shows up as a retry in the
+/// coherence stats and the latency profile.
+#[test]
+fn transient_brownout_is_survived_by_backoff() {
+    use argo::types::GlobalF64Array;
+    fn run(plan: FaultPlan) -> (f64, Arc<ChaosNet>, Outcome) {
+        let (m, net) = chaos_machine(2, 1, plan);
+        let arr = GlobalF64Array::alloc(m.dsm(), 2048);
+        let report = m.run(move |ctx| {
+            for i in ctx.my_chunk(2048) {
+                arr.set(ctx, i, (i * i) as f64);
+            }
+            ctx.barrier();
+            (0..2048).map(|i| arr.get(ctx, i)).sum::<f64>()
+        });
+        let sum = report.results[0];
+        assert!(report.results.iter().all(|&s| s.to_bits() == sum.to_bits()));
+        (
+            sum,
+            net,
+            Outcome {
+                cycles: report.cycles,
+                seconds: report.seconds,
+                wall_seconds: report.wall_seconds,
+                checksum: sum,
+                coherence: report.coherence,
+                net: report.net,
+                profile: report.profile.clone(),
+            },
+        )
+    }
+    let (clean_sum, _, clean) = run(FaultPlan::disabled());
+    assert_eq!(clean.coherence.verb_retries, 0);
+    let plan = FaultPlan::default().with_brownout(NodeId(1), 0, 150_000);
+    let (sum, net, faulted) = run(plan);
+    assert_eq!(sum.to_bits(), clean_sum.to_bits(), "brownout changed the data");
+    assert!(net.injected().stalled > 0, "the brownout window was never hit");
+    assert!(faulted.coherence.verb_retries > 0, "stalls must surface as retries");
+    assert!(faulted.profile.get(obs::Site::Retry).count() > 0);
+    assert_eq!(faulted.coherence.verb_exhaustions, 0);
+    assert!(
+        faulted.cycles > clean.cycles,
+        "riding out a brownout must cost virtual time"
+    );
+}
+
+/// The same seed replays the same faults. A single thread is the sole verb
+/// issuer, so the per-kind issue counters tick in program order and the
+/// schedule is a pure function of the seed — two runs agree on every
+/// injection count, and a different seed disagrees.
+#[test]
+fn fault_schedules_replay_exactly_per_seed() {
+    fn run(seed: u64) -> (Vec<u64>, FaultSnapshot) {
+        let cfg = ArgoConfig::small(2, 1);
+        let net = FaultyTransport::wrap(Interconnect::new(cfg.topology(), cfg.cost), hostile(seed));
+        let dsm: Arc<Dsm<ChaosNet>> = Dsm::new(net.clone(), 1 << 20, CarinaConfig::default());
+        let mut t = <ChaosNet as Transport>::endpoint(&net, net.topology().loc(NodeId(0), 0));
+        // One word per page across 24 pages (half of them remote), with a
+        // fence cycle in the middle: write faults, directory updates, group
+        // fetches, and drains all draw from the schedule.
+        for i in 0..24u64 {
+            dsm.write_u64(&mut t, GlobalAddr(i * PAGE_BYTES), i * i);
+        }
+        dsm.sd_fence(&mut t);
+        dsm.si_fence(&mut t);
+        let vals = (0..24u64)
+            .map(|i| dsm.read_u64(&mut t, GlobalAddr(i * PAGE_BYTES)))
+            .collect();
+        (vals, net.injected())
+    }
+    let (vals_a, inj_a) = run(77);
+    let (vals_b, inj_b) = run(77);
+    assert_eq!(vals_a, vals_b);
+    assert!(vals_a.iter().enumerate().all(|(i, &v)| v == (i * i) as u64));
+    assert_eq!(inj_a, inj_b, "same seed, different fault schedule");
+    assert!(inj_a.total() > 0);
+    let (vals_c, inj_c) = run(78);
+    assert_eq!(vals_a, vals_c, "faults may never change the data plane");
+    assert_ne!(inj_a, inj_c, "different seeds produced the identical schedule");
+}
+
+/// A permanent blackout exhausts the retry budget; the fallible API
+/// surfaces a typed [`DsmError`] — promptly, with no deadlock — and the
+/// machine stays usable for traffic that avoids the dead node.
+#[test]
+fn blackout_surfaces_a_clean_error_without_deadlock() {
+    let cfg = ArgoConfig::small(2, 1);
+    let net = FaultyTransport::wrap(
+        Interconnect::new(cfg.topology(), cfg.cost),
+        FaultPlan::blackout(NodeId(1)),
+    );
+    let dsm: Arc<Dsm<ChaosNet>> = Dsm::new(net.clone(), 1 << 20, CarinaConfig::default());
+    let mut t = <ChaosNet as Transport>::endpoint(&net, net.topology().loc(NodeId(0), 0));
+
+    // Find one page homed on the dead node and one homed locally.
+    let mut dead = GlobalAddr(0);
+    while dsm.home_of(dead) != 1 {
+        dead = dead.offset(PAGE_BYTES);
+    }
+    let mut alive = GlobalAddr(0);
+    while dsm.home_of(alive) != 0 {
+        alive = alive.offset(PAGE_BYTES);
+    }
+
+    let err = dsm
+        .try_read_u64(&mut t, dead)
+        .expect_err("a blacked-out home must not produce data");
+    assert_eq!(err.last_error, VerbError::NicStall);
+    assert_eq!(err.node, 0);
+    assert_eq!(err.target, 1);
+    assert!(err.attempts > 1, "exhaustion implies the budget was actually spent");
+    let msg = format!("{err}");
+    assert!(msg.contains("failed after"), "unhelpful error: {msg}");
+
+    // Writes to the dead home fail the same way; both failures are counted.
+    assert!(dsm.try_write_u64(&mut t, dead, 7).is_err());
+    let snap = dsm.stats().snapshot();
+    assert_eq!(snap.verb_exhaustions, 2);
+    assert!(snap.verb_retries > 0);
+    assert!(net.injected().stalled > 0);
+
+    // Graceful degradation: the local half of the address space still works.
+    dsm.write_u64(&mut t, alive, 42);
+    assert_eq!(dsm.read_u64(&mut t, alive), 42);
+}
+
+/// The lock layer degrades just as cleanly: a CAS against a dead lock home
+/// returns `Err` instead of spinning forever, and leaves no residue.
+#[test]
+fn lock_acquire_against_dead_home_fails_cleanly() {
+    let cfg = ArgoConfig::small(2, 1);
+    let net = FaultyTransport::wrap(
+        Interconnect::new(cfg.topology(), cfg.cost),
+        FaultPlan::blackout(NodeId(0)),
+    );
+    let dsm: Arc<Dsm<ChaosNet>> = Dsm::new(net.clone(), 1 << 20, CarinaConfig::default());
+    let lock = vela::DsmGlobalLock::with_retry(NodeId(0), dsm.config().retry);
+    let mut t = <ChaosNet as Transport>::endpoint(&net, net.topology().loc(NodeId(1), 0));
+    let err: DsmError = lock
+        .try_acquire(&mut t)
+        .expect_err("a dead lock home must not grant the lock");
+    assert_eq!(err.last_error, VerbError::NicStall);
+    // The failed acquisition left no residue — the lock never counted as
+    // held, so nothing downstream can double-release it.
+    assert_eq!(lock.stats().acquisitions, 0);
+}

@@ -258,3 +258,73 @@ fn sor_end_to_end_on_native() {
     );
     assert_eq!(nat.cycles, 0);
 }
+
+/// The fault schedule is a pure function of (seed, verb kind, issue count,
+/// target) — virtual time is deliberately left out of the draw — so a
+/// single issuer replaying the same verb sequence sees the *same* faults
+/// on the simulator and on native hardware, even though their clocks are
+/// unrelated.
+#[test]
+fn fault_schedule_is_backend_independent() {
+    use rma::{Endpoint as _, FaultPlan, FaultyTransport, VerbError};
+    use simnet::{ClusterTopology, NodeId};
+
+    fn pattern<T: Transport>(fab: std::sync::Arc<FaultyTransport<T>>) -> Vec<Result<(), VerbError>> {
+        let loc = fab.topology().loc(NodeId(0), 0);
+        let mut e = <FaultyTransport<T> as Transport>::endpoint(&fab, loc);
+        let mut out = Vec::new();
+        for i in 0..200u64 {
+            let target = NodeId(1 + (i % 2) as u16);
+            out.push(e.rdma_read(target, 64 + i));
+            out.push(e.rdma_write(target, 64).map(|_| ()));
+            out.push(e.rdma_cas(target));
+            e.compute(997); // desynchronize the clocks: the schedule must not care
+        }
+        out
+    }
+    let plan = FaultPlan::seeded(1234);
+    let topo = ClusterTopology::tiny(3);
+    let sim = pattern(FaultyTransport::wrap(
+        simnet::Interconnect::new(topo, simnet::CostModel::paper_2011()),
+        plan.clone(),
+    ));
+    let nat = pattern(FaultyTransport::wrap(rma::NativeTransport::new(topo), plan));
+    assert_eq!(sim, nat, "fault schedule diverged across backends");
+    assert!(sim.iter().any(|r| r.is_err()), "the plan never fired");
+}
+
+/// Whole-application chaos across backends: the same hostile plan on the
+/// simulator and the native backend leaves the checksums in agreement —
+/// faults perturb timing and accounting on both, never the data plane.
+#[test]
+fn matmul_under_faults_agrees_across_backends() {
+    use rma::{FaultPlan, FaultyTransport, VerbClass};
+
+    let p = matmul::MatmulParams { n: 48 };
+    let plan = FaultPlan::seeded(5)
+        .with_drops(150_000)
+        .with_timeouts(50_000);
+    let mut cfg = ArgoConfig::small(2, 2);
+    cfg.carina.retry.max_attempts = [16; VerbClass::COUNT];
+    let sim_net = FaultyTransport::wrap(
+        simnet::Interconnect::new(cfg.topology(), cfg.cost),
+        plan.clone(),
+    );
+    let nat_net = FaultyTransport::wrap(
+        rma::NativeTransport::with_cost(cfg.topology(), cfg.cost),
+        plan,
+    );
+    let sim = matmul::run_argo(&ArgoMachine::on(cfg, sim_net.clone()), p);
+    let nat = matmul::run_argo(&ArgoMachine::on(cfg, nat_net.clone()), p);
+    assert!(
+        nat.checksum_matches(&sim, 1e-9),
+        "faulted matmul diverged: sim {} native {}",
+        sim.checksum,
+        nat.checksum
+    );
+    assert!(sim_net.injected().total() > 0 && nat_net.injected().total() > 0);
+    assert_eq!(sim.coherence.verb_exhaustions, 0);
+    assert_eq!(nat.coherence.verb_exhaustions, 0);
+    check_invariants(&sim.coherence);
+    check_invariants(&nat.coherence);
+}
