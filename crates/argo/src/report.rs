@@ -66,6 +66,16 @@ impl<R> RunReport<R> {
             n.rdma_atomics,
             n.handler_invocations
         );
+        if c.prefetch_issued > 0 {
+            let _ = writeln!(
+                s,
+                "prefetch     : {} pages issued, {} hit, {} wasted ({:.0}% accurate)",
+                c.prefetch_issued,
+                c.prefetch_hits,
+                c.prefetch_wasted,
+                100.0 * c.prefetch_accuracy()
+            );
+        }
         if c.verb_retries > 0 || c.verb_exhaustions > 0 {
             let _ = writeln!(
                 s,
@@ -102,6 +112,8 @@ impl<R> RunReport<R> {
              \"evictions\":{},\"si_fences\":{},\"sd_fences\":{},\"decays\":{},\
              \"downgrade_batches\":{},\"downgrade_batch_pages\":{},\
              \"verb_retries\":{},\"verb_exhaustions\":{},\
+             \"prefetch_issued\":{},\"prefetch_hits\":{},\"prefetch_wasted\":{},\
+             \"prefetch_accuracy\":{:.4},\
              \"mean_drain_batch\":{:.3},\"diff_efficiency\":{:.4},\"si_keep_ratio\":{:.4}}}",
             c.read_hits,
             c.write_hits,
@@ -125,6 +137,10 @@ impl<R> RunReport<R> {
             c.downgrade_batch_pages,
             c.verb_retries,
             c.verb_exhaustions,
+            c.prefetch_issued,
+            c.prefetch_hits,
+            c.prefetch_wasted,
+            c.prefetch_accuracy(),
             c.mean_drain_batch(),
             c.diff_efficiency(),
             c.si_keep_ratio()

@@ -44,6 +44,23 @@ pub struct CarinaConfig {
     pub write_buffer_shards: usize,
     /// How SD fences post the drained pages home (see [`BatchDrain`]).
     pub batch_drain: BatchDrain,
+    /// Under [`BatchDrain::Auto`], coalesce anyway — even on transports
+    /// that price per-page drains well — once a fence drains at least this
+    /// many pages. Small drains keep the per-page path (one doorbell per
+    /// home is pure overhead when a home only holds a page or two); big
+    /// drains amortize it. The `sd_fence_drain` benchmark puts break-even
+    /// at ~8 buffered pages: batching is host-cost-neutral there and wins
+    /// on both wall and virtual time above it.
+    pub batch_drain_cutover: usize,
+    /// Read-miss stride prefetcher: capacity of the per-node prefetch ring
+    /// in *lines*. `0` (the default) disables prefetching entirely.
+    /// Prefetched lines live in a side ring — never in the page cache —
+    /// until a demand miss consumes them, so coherence invariants are
+    /// untouched; SI fences and parallel-section resets flush the ring.
+    pub prefetch_lines: usize,
+    /// How many consecutive same-stride line misses a core must take
+    /// before the predictor starts issuing speculative line fetches.
+    pub prefetch_streak: u32,
     /// Ablation: charge a software message-handler invocation at the home
     /// node for every directory operation and notification, as a
     /// traditional *active* directory would. Argo's contribution is that
@@ -81,6 +98,9 @@ impl Default for CarinaConfig {
             write_buffer_pages: 8192,
             write_buffer_shards: crate::write_buffer::DEFAULT_SHARDS,
             batch_drain: BatchDrain::Auto,
+            batch_drain_cutover: 8,
+            prefetch_lines: 0,
+            prefetch_streak: 2,
             active_directory: false,
             sw_no_diff: false,
             hit_cycles: 4,

@@ -34,10 +34,18 @@ use mem::{
     GlobalAddr, GlobalAllocator, GlobalMemory, PageCache, PageData, PageNum, SlotGuard,
     CHUNK_WORDS, PAGE_BYTES,
 };
-use rma::{Endpoint, Retried, RetryExhausted, SimTransport, Transport, VerbClass};
+use rma::{
+    Attempt, AttemptSeq, Completion, Endpoint, Retried, RetryExhausted, SimTransport, Transport,
+    VerbClass, VerbToken,
+};
+
+/// An issued-but-unpolled verb: its token, the resumable remainder of the
+/// retry schedule, and the schedule entry that issued it.
+type IssuedVerb = (VerbToken, AttemptSeq, Attempt);
 use simnet::NodeId;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Wire overhead of a downgrade message header (address + length).
 const DOWNGRADE_HEADER_BYTES: u64 = 32;
@@ -81,6 +89,42 @@ impl PageBitSet {
     }
 }
 
+/// One core's stride predictor: the last line it missed on, the stride of
+/// that miss relative to the one before, and how many consecutive misses
+/// have repeated the stride.
+#[derive(Debug, Default, Clone, Copy)]
+struct StridePredictor {
+    last_line: u64,
+    stride: i64,
+    streak: u32,
+    /// False until the core's first miss seeds `last_line`.
+    primed: bool,
+}
+
+/// A speculatively fetched line parked outside the page cache until a
+/// demand miss claims it.
+#[derive(Debug)]
+struct PrefetchedLine {
+    line: u64,
+    /// Virtual time the speculative reads complete. Never merged into the
+    /// *issuing* thread's clock — only a consuming demand miss pays it.
+    ready_at: u64,
+    /// Remote pages of the line with their home contents as snapshotted at
+    /// prefetch time.
+    pages: Vec<(PageNum, PageData)>,
+}
+
+/// Per-node speculation state: per-core stride predictors plus the ring of
+/// prefetched lines. Lives entirely outside the page cache (and therefore
+/// outside every coherence invariant); SI fences, section resets, and
+/// classification decays flush it, which is what makes consuming a stale
+/// snapshot sound under the DSM's acquire semantics.
+#[derive(Debug, Default)]
+struct Prefetcher {
+    cores: Vec<StridePredictor>,
+    ring: VecDeque<PrefetchedLine>,
+}
+
 /// Per-node coherence state.
 #[derive(Debug)]
 struct NodeState {
@@ -91,6 +135,9 @@ struct NodeState {
     /// Fast-path: pages this node has registered as reader / writer of.
     reg_read: PageBitSet,
     reg_write: PageBitSet,
+    /// Stride-prefetch state (inert unless `CarinaConfig::prefetch_lines`
+    /// is nonzero).
+    prefetch: Mutex<Prefetcher>,
 }
 
 /// The distributed shared memory: data plane plus the Carina protocol.
@@ -167,6 +214,7 @@ impl<T: Transport> Dsm<T> {
                     pending_settle: AtomicU64::new(0),
                     reg_read: PageBitSet::new(total_pages),
                     reg_write: PageBitSet::new(total_pages),
+                    prefetch: Mutex::new(Prefetcher::default()),
                 })
                 .collect(),
         })
@@ -285,6 +333,45 @@ impl<T: Transport> Dsm<T> {
                 );
                 self.profile.record(me as usize, obs::Site::Retry, e.delay);
                 Err(DsmError::new(e, me, target))
+            }
+        }
+    }
+
+    /// Drive an issued verb token to completion, reissuing along the
+    /// schedule remainder when a failure surfaces at poll time, and fold
+    /// the outcome into the usual retry bookkeeping. `reissue` posts a
+    /// replacement given the cumulative backoff delay of the next attempt.
+    /// Retrying at poll time walks exactly the schedule the blocking path
+    /// would have walked — only the moment the failure is *observed* moves.
+    fn poll_retried(
+        &self,
+        t: &mut T::Endpoint,
+        me: u16,
+        target: u16,
+        issued: IssuedVerb,
+        mut reissue: impl FnMut(&mut T::Endpoint, u64) -> VerbToken,
+    ) -> Result<Completion, DsmError> {
+        let (mut token, mut seq, mut attempt) = issued;
+        loop {
+            match t.wait(token) {
+                Ok(c) => {
+                    return self.verb_retried(
+                        me,
+                        target,
+                        Ok(Retried {
+                            value: c,
+                            retries: attempt.index,
+                            delay: attempt.delay,
+                        }),
+                    );
+                }
+                Err(e) => match seq.next() {
+                    Some(a) => {
+                        attempt = a;
+                        token = reissue(t, a.delay);
+                    }
+                    None => return self.verb_retried(me, target, Err(seq.exhausted(e))),
+                },
             }
         }
     }
@@ -663,6 +750,9 @@ impl<T: Transport> Dsm<T> {
         let me = t.node().0;
         let obs_start = t.obs_now();
         CoherenceStats::bump(&self.stats.shard(me).si_fences);
+        // An acquire invalidates speculation too: ring snapshots predate
+        // the synchronization this fence establishes.
+        self.flush_prefetch(me);
         let ns = &self.nodes[me as usize];
         // O(resident): only slots holding a line are visited; empty slots
         // of a roomy cache cost nothing.
@@ -733,8 +823,15 @@ impl<T: Transport> Dsm<T> {
         CoherenceStats::bump(&self.stats.shard(me).sd_fences);
         let ns = &self.nodes[me as usize];
         let drained = ns.wbuf.drain();
+        // Auto: defer to the transport, except that big drains coalesce
+        // everywhere — one doorbell per home amortizes once a fence moves
+        // `batch_drain_cutover` pages, while small drains keep the
+        // per-page path its timing calibration.
         let batch = match self.config.batch_drain {
-            BatchDrain::Auto => self.net.prefers_batched_drain(),
+            BatchDrain::Auto => {
+                self.net.prefers_batched_drain()
+                    || drained.len() >= self.config.batch_drain_cutover
+            }
             BatchDrain::Always => true,
             BatchDrain::Never => false,
         };
@@ -885,31 +982,63 @@ impl<T: Transport> Dsm<T> {
                 None => group.push((home, vec![idx])),
             }
         }
-        for (home, idxs) in &group {
-            // Directory registrations for the group's pages are issued
-            // back-to-back (pipelined one-sided atomics: latencies overlap,
-            // only wire occupancy serializes), then one read of the group's
-            // pages. Groups for distinct homes also overlap.
+        // A line the stride predictor fetched ahead of time satisfies its
+        // pages from the ring; only uncovered pages go to the wire.
+        let prefetched = self.take_prefetched(me, line);
+        // Issue phase: every group's registrations run back-to-back
+        // (pipelined one-sided atomics: latencies overlap, only wire
+        // occupancy serializes), then its data read is *posted* — for all
+        // homes — before any completion is polled. In-flight transfers to
+        // distinct homes therefore overlap on the fabric instead of
+        // queuing behind one another on this thread.
+        let obs_issue = t.obs_now();
+        let mut inflight: Vec<(u64, Option<IssuedVerb>)> = Vec::with_capacity(group.len());
+        for (home, idxs) in &mut group {
             let mut reg_done = start;
-            for &idx in idxs {
+            for &idx in idxs.iter() {
                 let p = PageNum(base.0 + idx as u64);
                 if let Some(completed) = self.register_reader_remote(t, p, me, *home, start)? {
                     reg_done = reg_done.max(completed);
                 }
             }
-            let bytes = idxs.len() as u64 * PAGE_BYTES;
-            let loc = t.loc();
-            let timing = self.verb_retried(
-                me,
-                *home,
-                self.config.retry.run(
-                    VerbClass::PageFetch,
-                    base.0.wrapping_add((*home as u64) << 48),
-                    |a| self.net.rdma_read(loc, NodeId(*home), reg_done + a.delay, bytes),
-                ),
-            )?;
-            done = done.max(timing.initiator_done);
-            for &idx in idxs {
+            // Registration covered the whole group; pages the prefetcher
+            // already has in the ring need no data read of their own.
+            if let Some(pf) = &prefetched {
+                idxs.retain(|&idx| {
+                    let p = PageNum(base.0 + idx as u64);
+                    !pf.pages.iter().any(|(q, _)| *q == p)
+                });
+            }
+            let token = if idxs.is_empty() {
+                None
+            } else {
+                let bytes = idxs.len() as u64 * PAGE_BYTES;
+                let mut seq = self
+                    .config
+                    .retry
+                    .attempt_seq(VerbClass::PageFetch, base.0.wrapping_add((*home as u64) << 48));
+                let a0 = seq.next().expect("retry budget is at least one attempt");
+                let tok = t.issue_read(NodeId(*home), bytes, reg_done + a0.delay);
+                Some((tok, seq, a0))
+            };
+            inflight.push((reg_done, token));
+        }
+        // Poll phase: completions fold in as a single max, so the line fill
+        // costs one slowest-home round trip rather than the sum.
+        let overlapped = inflight.iter().filter(|(_, tok)| tok.is_some()).count() > 1;
+        for ((home, idxs), (reg_done, token)) in group.into_iter().zip(inflight) {
+            if let Some((tok, seq, a0)) = token {
+                let bytes = idxs.len() as u64 * PAGE_BYTES;
+                let timing = self.poll_retried(t, me, home, (tok, seq, a0), |t, delay| {
+                    t.issue_read(NodeId(home), bytes, reg_done + delay)
+                })?;
+                done = done.max(timing.initiator_done);
+            } else {
+                // Entirely prefetched: the data is already in flight (or
+                // landed); the fill is ready once the registrations are.
+                done = done.max(reg_done);
+            }
+            for idx in idxs {
                 let p = PageNum(base.0 + idx as u64);
                 st.alloc_data(idx).copy_from(self.global.home_page(p));
                 st.pages[idx].valid = true;
@@ -918,14 +1047,197 @@ impl<T: Transport> Dsm<T> {
                 st.pages[idx].mask.clear();
             }
         }
+        if let Some(pf) = prefetched {
+            done = self.consume_prefetched(st, pf, done, me);
+        }
         t.merge(done);
         st.ready_at = t.now();
+        if overlapped {
+            self.profile.record(
+                me as usize,
+                obs::Site::IssueToPoll,
+                t.obs_now().saturating_sub(obs_issue),
+            );
+        }
+        self.maybe_prefetch(t, line, me);
         self.profile.record(
             me as usize,
             obs::Site::ReadMiss,
             t.obs_now().saturating_sub(obs_start),
         );
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Stride prefetch
+    // ------------------------------------------------------------------
+
+    /// Pull the ring entry for `line` (if any) out of the node's prefetch
+    /// ring so the in-progress demand fill can consume it.
+    fn take_prefetched(&self, me: u16, line: u64) -> Option<PrefetchedLine> {
+        if self.config.prefetch_lines == 0 {
+            return None;
+        }
+        let mut pf = self.nodes[me as usize].prefetch.lock().unwrap();
+        let pos = pf.ring.iter().position(|e| e.line == line)?;
+        pf.ring.remove(pos)
+    }
+
+    /// Fold a claimed ring entry into the slot being filled: every page the
+    /// slot still misses is satisfied from the speculative snapshot (a hit,
+    /// paying the speculative read's completion time instead of a fresh
+    /// round trip); anything else in the entry is wasted.
+    fn consume_prefetched(
+        &self,
+        st: &mut SlotGuard<'_>,
+        pf: PrefetchedLine,
+        mut done: u64,
+        me: u16,
+    ) -> u64 {
+        let ns = &self.nodes[me as usize];
+        let shard = self.stats.shard(me);
+        for (p, data) in pf.pages {
+            let idx = ns.cache.index_in_line(p);
+            if st.pages[idx].valid {
+                CoherenceStats::bump(&shard.prefetch_wasted);
+                continue;
+            }
+            st.alloc_data(idx).copy_from(&data);
+            st.pages[idx].valid = true;
+            st.pages[idx].dirty = false;
+            st.pages[idx].twin = None;
+            st.pages[idx].mask.clear();
+            CoherenceStats::bump(&shard.prefetch_hits);
+            done = done.max(pf.ready_at);
+        }
+        done
+    }
+
+    /// Advance `t`'s core's stride predictor past a demand miss on `line`
+    /// and, once a stride has repeated `prefetch_streak` times, issue a
+    /// speculative fetch of the predicted next line into the ring.
+    fn maybe_prefetch(&self, t: &mut T::Endpoint, line: u64, me: u16) {
+        if self.config.prefetch_lines == 0 {
+            return;
+        }
+        let ns = &self.nodes[me as usize];
+        let core = t.loc().core as usize;
+        let next = {
+            let mut pf = ns.prefetch.lock().unwrap();
+            if pf.cores.len() <= core {
+                pf.cores.resize(core + 1, StridePredictor::default());
+            }
+            let p = &mut pf.cores[core];
+            let stride = if p.primed {
+                line.wrapping_sub(p.last_line) as i64
+            } else {
+                0
+            };
+            if p.primed && stride != 0 && stride == p.stride {
+                p.streak += 1;
+            } else {
+                p.streak = u32::from(p.primed && stride != 0);
+            }
+            p.stride = stride;
+            p.last_line = line;
+            p.primed = true;
+            let (streak, stride) = (p.streak, p.stride);
+            if streak < self.config.prefetch_streak {
+                None
+            } else {
+                let next = line.wrapping_add(stride as u64);
+                if next == line || pf.ring.iter().any(|e| e.line == next) {
+                    None
+                } else {
+                    Some(next)
+                }
+            }
+        };
+        if let Some(next) = next {
+            self.prefetch_line(t, next, me);
+        }
+    }
+
+    /// Speculatively fetch every remote page of `line`. Fire-and-forget:
+    /// the issued reads are polled immediately but their completion time is
+    /// parked in the ring entry, never merged into the issuing thread's
+    /// clock; a verb failure silently drops the line (speculation never
+    /// retries and never surfaces errors). Takes no slot locks, so it is
+    /// safe to call while a demand fill still holds its slot — pages the
+    /// cache already holds are simply fetched redundantly and counted
+    /// wasted when the entry is claimed or flushed.
+    fn prefetch_line(&self, t: &mut T::Endpoint, line: u64, me: u16) {
+        let ns = &self.nodes[me as usize];
+        let base = ns.cache.line_base(line);
+        let total_pages = self.global.total_pages();
+        let mut group: Vec<(u16, Vec<PageNum>)> = Vec::new();
+        for i in 0..self.config.cache.pages_per_line as u64 {
+            let p = PageNum(base.0 + i);
+            if p.0 >= total_pages {
+                continue;
+            }
+            let home = self.global.home_of(p);
+            if home == me {
+                continue;
+            }
+            match group.iter_mut().find(|(h, _)| *h == home) {
+                Some((_, v)) => v.push(p),
+                None => group.push((home, vec![p])),
+            }
+        }
+        if group.is_empty() {
+            return;
+        }
+        let shard = self.stats.shard(me);
+        let pages_total: u64 = group.iter().map(|(_, ps)| ps.len() as u64).sum();
+        CoherenceStats::add(&shard.prefetch_issued, pages_total);
+        let not_before = t.now();
+        let tokens: Vec<VerbToken> = group
+            .iter()
+            .map(|(home, ps)| {
+                t.issue_read(NodeId(*home), ps.len() as u64 * PAGE_BYTES, not_before)
+            })
+            .collect();
+        let mut ready_at = not_before;
+        let mut ok = true;
+        for tok in tokens {
+            match t.poll(tok) {
+                Some(Ok(c)) => ready_at = ready_at.max(c.initiator_done),
+                // Failed or still in flight: drop the whole line.
+                Some(Err(_)) | None => ok = false,
+            }
+        }
+        if !ok {
+            CoherenceStats::add(&shard.prefetch_wasted, pages_total);
+            return;
+        }
+        let pages: Vec<(PageNum, PageData)> = group
+            .iter()
+            .flat_map(|(_, ps)| ps.iter().map(|&p| (p, self.global.home_page(p).snapshot())))
+            .collect();
+        let mut pf = ns.prefetch.lock().unwrap();
+        pf.ring.push_back(PrefetchedLine { line, ready_at, pages });
+        while pf.ring.len() > self.config.prefetch_lines {
+            if let Some(old) = pf.ring.pop_front() {
+                CoherenceStats::add(&shard.prefetch_wasted, old.pages.len() as u64);
+            }
+        }
+    }
+
+    /// Drop every speculative line (and all predictor history) `node`
+    /// holds, counting unconsumed pages as wasted. Acquire-side fences and
+    /// phase resets call this: consuming a snapshot taken before the
+    /// acquire would hand the program values it already synchronized away.
+    fn flush_prefetch(&self, node: u16) {
+        if self.config.prefetch_lines == 0 {
+            return;
+        }
+        let mut pf = self.nodes[node as usize].prefetch.lock().unwrap();
+        let shard = self.stats.shard(node);
+        while let Some(e) = pf.ring.pop_front() {
+            CoherenceStats::add(&shard.prefetch_wasted, e.pages.len() as u64);
+        }
+        pf.cores.clear();
     }
 
     // ------------------------------------------------------------------
@@ -1328,17 +1640,28 @@ impl<T: Transport> Dsm<T> {
                 None => batches.push((home, vec![bytes])),
             }
         }
+        if batches.is_empty() {
+            return Ok(());
+        }
+        // Issue every home's batch before polling any: drains to distinct
+        // homes overlap on the fabric, so the fence pays the slowest home's
+        // posting once instead of summing every home's. Homes still hit the
+        // wire in first-victim order.
+        let obs_issue = t.obs_now();
+        let base = t.now();
+        let mut inflight = Vec::with_capacity(batches.len());
         for (home, sizes) in &batches {
-            let loc = t.loc();
-            let now = t.now();
-            let timing = self.verb_retried(
-                me,
-                *home,
-                self.config.retry.run(VerbClass::DrainBatch, *home as u64, |a| {
-                    self.net.rdma_write_batch(loc, NodeId(*home), now + a.delay, sizes)
-                }),
-            )?;
-            t.merge(timing.initiator_done);
+            let mut seq = self.config.retry.attempt_seq(VerbClass::DrainBatch, *home as u64);
+            let a0 = seq.next().expect("retry budget is at least one attempt");
+            let token = t.issue_write_batch(NodeId(*home), sizes, base + a0.delay);
+            inflight.push((token, seq, a0));
+        }
+        let mut done = base;
+        for ((home, sizes), (token, seq, a0)) in batches.iter().zip(inflight) {
+            let timing = self.poll_retried(t, me, *home, (token, seq, a0), |t, delay| {
+                t.issue_write_batch(NodeId(*home), sizes, base + delay)
+            })?;
+            done = done.max(timing.initiator_done);
             ns.pending_settle.fetch_max(timing.settled, Ordering::AcqRel);
             CoherenceStats::bump(&self.stats.shard(me).downgrade_batches);
             CoherenceStats::add(
@@ -1353,6 +1676,12 @@ impl<T: Transport> Dsm<T> {
                     bytes: sizes.iter().sum(),
                 });
         }
+        t.merge(done);
+        self.profile.record(
+            me as usize,
+            obs::Site::IssueToPoll,
+            t.obs_now().saturating_sub(obs_issue),
+        );
         Ok(())
     }
 
@@ -1365,7 +1694,8 @@ impl<T: Transport> Dsm<T> {
     /// plane only — initialization is excluded from measurements), then
     /// nulls every reader/writer map, directory cache, and statistic.
     pub fn reset_for_parallel_section(&self) {
-        for ns in self.nodes.iter() {
+        for (n, ns) in self.nodes.iter().enumerate() {
+            self.flush_prefetch(n as u16);
             for slot_idx in ns.cache.occupied_indices() {
                 let mut st = ns.cache.lock_index(slot_idx);
                 let Some(tag) = st.tag else { continue };
@@ -1410,6 +1740,7 @@ impl<T: Transport> Dsm<T> {
     pub fn try_decay_classification(&self, t: &mut T::Endpoint) -> Result<(), DsmError> {
         let me = t.node().0;
         for (n, ns) in self.nodes.iter().enumerate() {
+            self.flush_prefetch(n as u16);
             for slot_idx in ns.cache.occupied_indices() {
                 let mut st = ns.cache.lock_index(slot_idx);
                 let Some(tag) = st.tag else { continue };

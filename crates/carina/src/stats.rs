@@ -59,6 +59,13 @@ pub struct StatShard {
     pub verb_retries: AtomicU64,
     /// Retry budgets exhausted — each one surfaced a `DsmError`.
     pub verb_exhaustions: AtomicU64,
+    /// Pages fetched speculatively by the stride prefetcher.
+    pub prefetch_issued: AtomicU64,
+    /// Prefetched pages a demand miss later consumed.
+    pub prefetch_hits: AtomicU64,
+    /// Prefetched pages dropped unconsumed (ring overflow, fence flush, or
+    /// a failed speculative verb).
+    pub prefetch_wasted: AtomicU64,
 }
 
 impl StatShard {
@@ -86,6 +93,9 @@ impl StatShard {
         out.downgrade_batch_pages += l(&self.downgrade_batch_pages);
         out.verb_retries += l(&self.verb_retries);
         out.verb_exhaustions += l(&self.verb_exhaustions);
+        out.prefetch_issued += l(&self.prefetch_issued);
+        out.prefetch_hits += l(&self.prefetch_hits);
+        out.prefetch_wasted += l(&self.prefetch_wasted);
     }
 
     fn reset(&self) {
@@ -112,6 +122,9 @@ impl StatShard {
         z(&self.downgrade_batch_pages);
         z(&self.verb_retries);
         z(&self.verb_exhaustions);
+        z(&self.prefetch_issued);
+        z(&self.prefetch_hits);
+        z(&self.prefetch_wasted);
     }
 }
 
@@ -146,6 +159,9 @@ pub struct CoherenceSnapshot {
     pub downgrade_batch_pages: u64,
     pub verb_retries: u64,
     pub verb_exhaustions: u64,
+    pub prefetch_issued: u64,
+    pub prefetch_hits: u64,
+    pub prefetch_wasted: u64,
 }
 
 impl CoherenceStats {
@@ -212,6 +228,17 @@ impl CoherenceSnapshot {
             return 0.0;
         }
         self.downgrade_batch_pages as f64 / self.downgrade_batches as f64
+    }
+
+    /// Fraction of speculatively fetched pages a demand miss later
+    /// consumed (the stride predictor's accuracy; 0.0 when prefetching is
+    /// off or nothing resolved yet).
+    pub fn prefetch_accuracy(&self) -> f64 {
+        let resolved = self.prefetch_hits + self.prefetch_wasted;
+        if resolved == 0 {
+            return 0.0;
+        }
+        self.prefetch_hits as f64 / resolved as f64
     }
 
     /// Fraction of write-back wire bytes that were diffed words — how much

@@ -484,3 +484,110 @@ fn invariants_hold_through_a_protocol_workout() {
     let v = dsm.check_invariants();
     assert!(v.is_empty(), "after decay: {v:?}");
 }
+
+#[test]
+fn stride_prefetcher_hides_miss_latency() {
+    // Node 0 streams all pages; interleaved homing makes every odd page a
+    // remote miss with a constant line stride of 2, which the predictor
+    // locks onto after `prefetch_streak` repeats. The prefetched copies
+    // must be consumed (hits), produce identical values, and make the run
+    // cheaper in virtual time than the same stream without speculation.
+    let run = |prefetch_lines: usize| {
+        let (dsm, mut ts) = cluster(
+            2,
+            CarinaConfig {
+                cache: CacheConfig::new(1024, 1),
+                prefetch_lines,
+                prefetch_streak: 2,
+                ..CarinaConfig::default()
+            },
+        );
+        for p in 0..200u64 {
+            dsm.poke_u64(GlobalAddr(p * PAGE_BYTES), p + 1);
+        }
+        let t = &mut ts[0];
+        let mut sum = 0u64;
+        for p in 1..200u64 {
+            sum += dsm.read_u64(t, GlobalAddr(p * PAGE_BYTES));
+        }
+        let v = dsm.check_invariants();
+        assert!(v.is_empty(), "prefetch broke invariants: {v:?}");
+        (sum, t.now(), dsm.stats().snapshot())
+    };
+    let (sum_off, clock_off, s_off) = run(0);
+    let (sum_on, clock_on, s_on) = run(8);
+    assert_eq!(sum_off, sum_on, "speculation must not change values");
+    assert_eq!(s_off.prefetch_issued, 0);
+    assert!(s_on.prefetch_issued > 0);
+    assert!(s_on.prefetch_hits > 50, "stride stream must hit the ring: {s_on:?}");
+    assert!(
+        clock_on < clock_off,
+        "prefetch hits must hide fetch latency: {clock_on} !< {clock_off}"
+    );
+}
+
+#[test]
+fn si_fence_flushes_speculation_and_counts_waste() {
+    let (dsm, mut ts) = cluster(
+        2,
+        CarinaConfig {
+            cache: CacheConfig::new(1024, 1),
+            prefetch_lines: 8,
+            prefetch_streak: 1,
+            ..CarinaConfig::default()
+        },
+    );
+    let t = &mut ts[0];
+    // Misses on lines 1, 3, 5: the second confirms stride 2 (prefetching
+    // line 5, which the third miss consumes), the third posts line 7 into
+    // the ring where it sits unclaimed.
+    for p in [1u64, 3, 5] {
+        dsm.read_u64(t, GlobalAddr(p * PAGE_BYTES));
+    }
+    let before = dsm.stats().snapshot();
+    assert!(
+        before.prefetch_issued > before.prefetch_hits + before.prefetch_wasted,
+        "a line should still be parked in the ring: {before:?}"
+    );
+    dsm.si_fence(t);
+    let after = dsm.stats().snapshot();
+    assert_eq!(
+        after.prefetch_hits + after.prefetch_wasted,
+        after.prefetch_issued,
+        "the acquire must flush (and account) all parked speculation"
+    );
+    // The flush is what makes speculation sound across synchronization:
+    // a value written before this node's acquire must be observed, not
+    // shadowed by a pre-acquire snapshot.
+    dsm.poke_u64(GlobalAddr(7 * PAGE_BYTES), 77);
+    assert_eq!(dsm.read_u64(t, GlobalAddr(7 * PAGE_BYTES)), 77);
+}
+
+#[test]
+fn auto_drain_coalesces_past_the_cutover() {
+    let (dsm, mut ts) = cluster(
+        2,
+        CarinaConfig {
+            cache: CacheConfig::new(1024, 1),
+            batch_drain_cutover: 4,
+            ..CarinaConfig::default()
+        },
+    );
+    let t = &mut ts[0];
+    // Three dirty pages: below the cutover, Auto keeps the simulator's
+    // per-page path.
+    for salt in 0..3 {
+        dsm.write_u64(t, addr_homed_at(2, 1, salt), salt);
+    }
+    dsm.sd_fence(t);
+    assert_eq!(dsm.stats().snapshot().downgrade_batches, 0);
+    // Four dirty pages: at the cutover, the fence coalesces into one
+    // batched verb per home even though the transport declines.
+    for salt in 10..14 {
+        dsm.write_u64(t, addr_homed_at(2, 1, salt), salt);
+    }
+    dsm.sd_fence(t);
+    let s = dsm.stats().snapshot();
+    assert_eq!(s.downgrade_batches, 1);
+    assert_eq!(s.downgrade_batch_pages, 4);
+}

@@ -29,11 +29,15 @@ pub enum Site {
     /// succeeded (or the budget exhausted). Empty unless the fabric injects
     /// faults.
     Retry,
+    /// The issue→poll window of an overlapped verb group (read-miss line
+    /// fills, fence drain batches): time between posting the first verb of
+    /// the group and completing the last poll.
+    IssueToPoll,
 }
 
 impl Site {
     /// All sites, in index order.
-    pub const ALL: [Site; 7] = [
+    pub const ALL: [Site; 8] = [
         Site::ReadMiss,
         Site::WriteFault,
         Site::SdFence,
@@ -41,6 +45,7 @@ impl Site {
         Site::BarrierWait,
         Site::LockAcquire,
         Site::Retry,
+        Site::IssueToPoll,
     ];
 
     pub const COUNT: usize = Self::ALL.len();
@@ -60,6 +65,7 @@ impl Site {
             Site::BarrierWait => "barrier_wait",
             Site::LockAcquire => "lock_acquire",
             Site::Retry => "retry",
+            Site::IssueToPoll => "issue_to_poll",
         }
     }
 }
@@ -188,7 +194,7 @@ mod tests {
         for (i, site) in Site::ALL.iter().enumerate() {
             assert_eq!(site.index(), i);
         }
-        assert_eq!(Site::COUNT, 7);
+        assert_eq!(Site::COUNT, 8);
     }
 
     #[test]

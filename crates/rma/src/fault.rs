@@ -18,7 +18,7 @@
 //! `[0, u64::MAX)` blackout window is useful.
 
 use crate::retry::splitmix64;
-use crate::transport::{Completion, Endpoint, Transport, VerbError};
+use crate::transport::{Completion, Endpoint, TokenSlab, Transport, VerbError, VerbToken};
 use simnet::{ClusterTopology, CostModel, NetStats, NodeId, PerNodeSnapshot, ThreadLoc};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -303,6 +303,7 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         FaultyEndpoint {
             inner: T::endpoint(&this.inner, loc),
             fab: this.clone(),
+            pending: TokenSlab::default(),
         }
     }
 
@@ -404,12 +405,63 @@ impl<T: Transport> Transport for FaultyTransport<T> {
     }
 }
 
+/// The verb parameters an async fault needs to replay its inner verb (a
+/// duplicated delivery issues the second copy at poll time).
+#[derive(Debug, Clone)]
+enum AsyncOp {
+    Read { target: NodeId, bytes: u64 },
+    Write { target: NodeId, bytes: u64 },
+    Batch { target: NodeId, sizes: Vec<u64> },
+}
+
+impl AsyncOp {
+    fn target(&self) -> NodeId {
+        match self {
+            AsyncOp::Read { target, .. }
+            | AsyncOp::Write { target, .. }
+            | AsyncOp::Batch { target, .. } => *target,
+        }
+    }
+
+    fn kind(&self) -> VerbKind {
+        match self {
+            AsyncOp::Read { .. } => VerbKind::Read,
+            AsyncOp::Write { .. } => VerbKind::Write,
+            AsyncOp::Batch { .. } => VerbKind::Batch,
+        }
+    }
+}
+
+/// One async verb in flight through the fault layer. The fate is decided at
+/// *issue* time (consuming the same time-free per-kind schedule counter the
+/// blocking path does); this records what must happen when it is polled.
+#[derive(Debug, Clone)]
+enum PendingFault {
+    /// Healthy: forward the inner completion.
+    Deliver(VerbToken),
+    /// The fabric delivers twice: the second copy enters the wire at poll
+    /// time, once the first delivery's initiator window is known.
+    Duplicate { first: VerbToken, op: AsyncOp },
+    /// Completes late. Reads delay the initiator by `extra` (mirroring the
+    /// blocking path's post-read compute); posted writes only push out the
+    /// settle stamp.
+    Spike {
+        token: VerbToken,
+        extra: u64,
+        read: bool,
+    },
+    /// Decided lost/stalled at issue; the error CQE surfaces at poll. No
+    /// inner verb was ever posted.
+    Fail(VerbError),
+}
+
 /// The issue port of a [`FaultyTransport`]: wraps the inner endpoint and
 /// consults the shared fault schedule before every verb.
 #[derive(Debug)]
 pub struct FaultyEndpoint<T: Transport> {
     inner: T::Endpoint,
     fab: Arc<FaultyTransport<T>>,
+    pending: TokenSlab<PendingFault>,
 }
 
 // Manual impl: `#[derive(Clone)]` would demand `T: Clone`, which the fabric
@@ -419,6 +471,7 @@ impl<T: Transport> Clone for FaultyEndpoint<T> {
         FaultyEndpoint {
             inner: self.inner.clone(),
             fab: self.fab.clone(),
+            pending: self.pending.clone(),
         }
     }
 }
@@ -473,6 +526,49 @@ impl<T: Transport> Endpoint for FaultyEndpoint<T> {
     #[inline]
     fn merge(&mut self, t: u64) {
         self.inner.merge(t)
+    }
+
+    fn issue_read(&mut self, target: NodeId, bytes: u64, not_before: u64) -> VerbToken {
+        self.issue_faulty(AsyncOp::Read { target, bytes }, not_before)
+    }
+
+    fn issue_write(&mut self, target: NodeId, bytes: u64, not_before: u64) -> VerbToken {
+        self.issue_faulty(AsyncOp::Write { target, bytes }, not_before)
+    }
+
+    fn issue_write_batch(&mut self, target: NodeId, sizes: &[u64], not_before: u64) -> VerbToken {
+        self.issue_faulty(
+            AsyncOp::Batch {
+                target,
+                sizes: sizes.to_vec(),
+            },
+            not_before,
+        )
+    }
+
+    fn poll(&mut self, token: VerbToken) -> Option<Result<Completion, VerbError>> {
+        let outcome = match self.pending.take(token) {
+            PendingFault::Fail(e) => Err(e),
+            PendingFault::Deliver(t) => self.inner.wait(t),
+            PendingFault::Duplicate { first, op } => self.inner.wait(first).and_then(|c1| {
+                let second = self.issue_inner(&op, c1.initiator_done);
+                self.inner.wait(second).map(|c2| Completion {
+                    initiator_done: c2.initiator_done,
+                    settled: c1.settled.max(c2.settled),
+                })
+            }),
+            PendingFault::Spike { token, extra, read } => {
+                self.inner.wait(token).map(|c| Completion {
+                    initiator_done: if read {
+                        c.initiator_done.saturating_add(extra)
+                    } else {
+                        c.initiator_done
+                    },
+                    settled: c.settled.saturating_add(extra),
+                })
+            }
+        };
+        Some(outcome)
     }
 
     fn rdma_read(&mut self, target: NodeId, bytes: u64) -> Result<(), VerbError> {
@@ -542,6 +638,38 @@ impl<T: Transport> Endpoint for FaultyEndpoint<T> {
 }
 
 impl<T: Transport> FaultyEndpoint<T> {
+    /// Post `op` on the inner endpoint, entering the fabric at `not_before`.
+    fn issue_inner(&mut self, op: &AsyncOp, not_before: u64) -> VerbToken {
+        match op {
+            AsyncOp::Read { target, bytes } => self.inner.issue_read(*target, *bytes, not_before),
+            AsyncOp::Write { target, bytes } => self.inner.issue_write(*target, *bytes, not_before),
+            AsyncOp::Batch { target, sizes } => {
+                self.inner.issue_write_batch(*target, sizes, not_before)
+            }
+        }
+    }
+
+    /// Decide `op`'s fate now (consuming its per-kind schedule counter, so
+    /// blocking and async drivers of the same verb sequence fault the same
+    /// way) and record what poll must do.
+    fn issue_faulty(&mut self, op: AsyncOp, not_before: u64) -> VerbToken {
+        let at = self.inner.now().max(not_before);
+        let pending = match self.fab.decide(op.kind(), op.target(), at) {
+            Decision::Fail(e) => PendingFault::Fail(e),
+            Decision::Deliver => PendingFault::Deliver(self.issue_inner(&op, not_before)),
+            Decision::Duplicate => PendingFault::Duplicate {
+                first: self.issue_inner(&op, not_before),
+                op,
+            },
+            Decision::Spike(extra) => PendingFault::Spike {
+                token: self.issue_inner(&op, not_before),
+                extra,
+                read: matches!(op, AsyncOp::Read { .. }),
+            },
+        };
+        self.pending.insert(pending)
+    }
+
     fn atomic(
         &mut self,
         target: NodeId,
@@ -671,6 +799,61 @@ mod tests {
         let clean = Transport::rdma_read(&*sim(), loc, NodeId(1), 0, 64).unwrap();
         assert_eq!(spiked.initiator_done, clean.initiator_done + 9_999);
         assert_eq!(f.injected().spiked, 1);
+    }
+
+    /// The same verb sequence driven through blocking verbs and through
+    /// issue + wait + merge faults identically (same per-kind schedule
+    /// counters consumed at issue) and leaves the clock in the same place.
+    #[test]
+    fn async_verbs_fault_on_the_blocking_schedule() {
+        let plan = FaultPlan::seeded(42);
+        let drive = |asynchronous: bool| {
+            let f = FaultyTransport::wrap(sim(), plan.clone());
+            let loc = f.topology().loc(NodeId(0), 0);
+            let mut e = <FaultyTransport<SimTransport> as Transport>::endpoint(&f, loc);
+            let outcomes: Vec<bool> = (0..300)
+                .map(|i| {
+                    if asynchronous {
+                        let tok = if i % 2 == 0 {
+                            e.issue_write(NodeId(1), 64, e.now())
+                        } else {
+                            e.issue_read(NodeId(1), 256, e.now())
+                        };
+                        match e.wait(tok) {
+                            Ok(c) => {
+                                e.merge(c.initiator_done);
+                                true
+                            }
+                            Err(_) => false,
+                        }
+                    } else if i % 2 == 0 {
+                        Endpoint::rdma_write(&mut e, NodeId(1), 64).is_ok()
+                    } else {
+                        Endpoint::rdma_read(&mut e, NodeId(1), 256).is_ok()
+                    }
+                })
+                .collect();
+            (outcomes, e.now(), f.injected())
+        };
+        let blocking = drive(false);
+        let asynchronous = drive(true);
+        assert_eq!(blocking.0, asynchronous.0, "fault schedules diverged");
+        assert_eq!(blocking.1, asynchronous.1, "clocks diverged");
+        assert_eq!(blocking.2, asynchronous.2, "injection counters diverged");
+        assert!(asynchronous.2.total() > 0, "plan injected nothing");
+    }
+
+    /// A lost verb is decided (and counted) at issue, but the error CQE
+    /// only surfaces when the token is polled.
+    #[test]
+    fn async_failures_surface_at_poll() {
+        let f = FaultyTransport::wrap(sim(), FaultPlan::blackout(NodeId(1)));
+        let loc = f.topology().loc(NodeId(0), 0);
+        let mut e = <FaultyTransport<SimTransport> as Transport>::endpoint(&f, loc);
+        let tok = e.issue_read(NodeId(1), 4096, 0);
+        assert_eq!(f.injected().stalled, 1, "fate decided at issue");
+        assert_eq!(e.wait(tok), Err(VerbError::NicStall));
+        assert_eq!(e.now(), 0, "a failed verb must not advance the clock");
     }
 
     #[test]

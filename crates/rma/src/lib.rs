@@ -43,9 +43,9 @@ pub mod transport;
 
 pub use fault::{Brownout, FaultPlan, FaultSnapshot, FaultyEndpoint, FaultyTransport};
 pub use native::{NativeEndpoint, NativeTransport};
-pub use retry::{splitmix64, Attempt, Retried, RetryExhausted, RetryPolicy, VerbClass};
+pub use retry::{splitmix64, Attempt, AttemptSeq, Retried, RetryExhausted, RetryPolicy, VerbClass};
 pub use sim::{SimEndpoint, SimTransport};
-pub use transport::{Completion, Endpoint, Transport, VerbError};
+pub use transport::{Completion, Endpoint, Transport, VerbError, VerbToken};
 
 // Kept re-exported so call sites migrating to the transport layer can name
 // the concrete simulator types through one crate.

@@ -208,6 +208,22 @@ impl RetryPolicy {
         exp + jitter
     }
 
+    /// The full attempt schedule for one verb at one call site, as a
+    /// resumable iterator. This is [`RetryPolicy::run`]'s engine, split out
+    /// so issue/poll callers — which issue a verb, go do other work, and
+    /// only learn of the failure when they poll the completion — can walk
+    /// the *identical* schedule across that gap.
+    pub fn attempt_seq(&self, class: VerbClass, salt: u64) -> AttemptSeq {
+        AttemptSeq {
+            policy: *self,
+            class,
+            salt,
+            next_index: 0,
+            delay: 0,
+            budget: self.attempts(class),
+        }
+    }
+
     /// Drive `op` until it succeeds or the class budget runs out.
     ///
     /// `op` receives the [`Attempt`] so the caller decides how to *spend*
@@ -221,40 +237,90 @@ impl RetryPolicy {
         salt: u64,
         mut op: impl FnMut(Attempt) -> Result<R, VerbError>,
     ) -> Result<Retried<R>, RetryExhausted> {
-        let budget = self.attempts(class);
-        let mut delay = 0u64;
-        let mut attempt = 0u32;
+        let mut seq = self.attempt_seq(class, salt);
         loop {
-            let step = if attempt == 0 {
-                0
-            } else {
-                self.backoff_step(class, attempt, salt)
+            // The budget is at least 1, so the first `next()` always yields.
+            let Some(attempt) = seq.next() else {
+                unreachable!("attempt budget underflow");
             };
-            delay += step;
-            match op(Attempt {
-                index: attempt,
-                step,
-                delay,
-            }) {
+            match op(attempt) {
                 Ok(value) => {
                     return Ok(Retried {
                         value,
-                        retries: attempt,
-                        delay,
+                        retries: attempt.index,
+                        delay: attempt.delay,
                     })
                 }
                 Err(last_error) => {
-                    attempt += 1;
-                    if attempt >= budget {
-                        return Err(RetryExhausted {
-                            class,
-                            attempts: attempt,
-                            last_error,
-                            delay,
-                        });
+                    if seq.is_exhausted() {
+                        return Err(seq.exhausted(last_error));
                     }
                 }
             }
+        }
+    }
+}
+
+/// The deterministic attempt schedule of one verb: yields [`Attempt`]s in
+/// order (index 0 first, backoff already accumulated into `delay`) until the
+/// class budget runs out. Produced by [`RetryPolicy::attempt_seq`]; the
+/// sequence is a pure function of `(policy, class, salt)`, so a caller that
+/// issues attempt 0, parks the token, and resumes the schedule at poll time
+/// retries at exactly the instants the blocking [`RetryPolicy::run`] loop
+/// would have.
+#[derive(Debug, Clone)]
+pub struct AttemptSeq {
+    policy: RetryPolicy,
+    class: VerbClass,
+    salt: u64,
+    next_index: u32,
+    delay: u64,
+    budget: u32,
+}
+
+impl AttemptSeq {
+    /// The verb class this schedule belongs to.
+    #[inline]
+    pub fn class(&self) -> VerbClass {
+        self.class
+    }
+
+    /// The next attempt, or `None` once the budget is spent.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: callers resume it statefully
+    pub fn next(&mut self) -> Option<Attempt> {
+        if self.next_index >= self.budget {
+            return None;
+        }
+        let index = self.next_index;
+        let step = if index == 0 {
+            0
+        } else {
+            self.policy.backoff_step(self.class, index, self.salt)
+        };
+        self.delay += step;
+        self.next_index += 1;
+        Some(Attempt {
+            index,
+            step,
+            delay: self.delay,
+        })
+    }
+
+    /// Whether every attempt in the budget has been handed out.
+    #[inline]
+    pub fn is_exhausted(&self) -> bool {
+        self.next_index >= self.budget
+    }
+
+    /// The terminal error once the schedule is spent (`attempts` = budget,
+    /// `delay` = total backoff handed out) — exactly what
+    /// [`RetryPolicy::run`] reports.
+    pub fn exhausted(&self, last_error: VerbError) -> RetryExhausted {
+        RetryExhausted {
+            class: self.class,
+            attempts: self.next_index,
+            last_error,
+            delay: self.delay,
         }
     }
 }
@@ -353,6 +419,28 @@ mod tests {
         let a: Vec<u64> = (1..=5).map(|r| p.backoff_step(VerbClass::PageFetch, r, 1)).collect();
         let b: Vec<u64> = (1..=5).map(|r| p.backoff_step(VerbClass::PageFetch, r, 2)).collect();
         assert_ne!(a, b);
+    }
+
+    /// The resumable schedule is the same sequence `run` walks, attempt for
+    /// attempt, including the terminal exhaustion report.
+    #[test]
+    fn attempt_seq_replays_run_schedule() {
+        let p = RetryPolicy::default().with_budget(VerbClass::DrainBatch, 4);
+        let mut from_run = Vec::new();
+        let err = p
+            .run(VerbClass::DrainBatch, 77, |a| {
+                from_run.push(a);
+                Err::<(), _>(VerbError::Timeout)
+            })
+            .unwrap_err();
+        let mut seq = p.attempt_seq(VerbClass::DrainBatch, 77);
+        let mut from_seq = Vec::new();
+        while let Some(a) = seq.next() {
+            from_seq.push(a);
+        }
+        assert_eq!(from_run, from_seq);
+        assert!(seq.is_exhausted());
+        assert_eq!(seq.exhausted(VerbError::Timeout), err);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! results are bit-for-bit identical by construction, and
 //! `examples/determinism_probe.rs` checks it empirically.
 
-use crate::transport::{Completion, Endpoint, Transport, VerbError};
+use crate::transport::{Completion, Endpoint, Transport, VerbError, VerbToken};
 use simnet::{
     ClusterTopology, CostModel, Interconnect, NetStats, NodeId, PerNodeSnapshot, SimThread,
     ThreadLoc,
@@ -163,20 +163,30 @@ impl Endpoint for SimThread {
         SimThread::merge(self, t)
     }
 
+    // The blocking read/write/batch verbs use the trait's default
+    // issue + wait + merge wrappers, which reduce to exactly the inherent
+    // arithmetic (issue at `now`, merge `initiator_done`).
+
     #[inline]
-    fn rdma_read(&mut self, target: NodeId, bytes: u64) -> Result<(), VerbError> {
-        SimThread::rdma_read(self, target, bytes);
-        Ok(())
+    fn issue_read(&mut self, target: NodeId, bytes: u64, not_before: u64) -> VerbToken {
+        VerbToken::from_raw(SimThread::issue_read(self, target, bytes, not_before))
     }
 
     #[inline]
-    fn rdma_write(&mut self, target: NodeId, bytes: u64) -> Result<u64, VerbError> {
-        Ok(SimThread::rdma_write(self, target, bytes))
+    fn issue_write(&mut self, target: NodeId, bytes: u64, not_before: u64) -> VerbToken {
+        VerbToken::from_raw(SimThread::issue_write(self, target, bytes, not_before))
     }
 
     #[inline]
-    fn rdma_write_batch(&mut self, target: NodeId, sizes: &[u64]) -> Result<u64, VerbError> {
-        Ok(SimThread::rdma_write_batch(self, target, sizes))
+    fn issue_write_batch(&mut self, target: NodeId, sizes: &[u64], not_before: u64) -> VerbToken {
+        VerbToken::from_raw(SimThread::issue_write_batch(self, target, sizes, not_before))
+    }
+
+    #[inline]
+    fn poll(&mut self, token: VerbToken) -> Option<Result<Completion, VerbError>> {
+        // Timing is computed eagerly at issue, so completions are always
+        // ready by the time anyone polls.
+        Some(Ok(SimThread::resolve_issued(self, token.raw()).into()))
     }
 
     #[inline]
@@ -242,6 +252,23 @@ mod tests {
         let cas = Transport::rdma_cas(&*fabric(), loc, NodeId(1), 0).unwrap();
         assert_eq!(or, add);
         assert_eq!(add, cas);
+    }
+
+    /// The blocking trait verb and a hand-rolled issue + wait + merge are
+    /// the same arithmetic (the blocking verb *is* that wrapper).
+    #[test]
+    fn blocking_verbs_are_issue_plus_wait() {
+        let (na, nb) = (fabric(), fabric());
+        let loc = na.topology().loc(NodeId(0), 0);
+        let mut a = <SimTransport as Transport>::endpoint(&na, loc);
+        let mut b = <SimTransport as Transport>::endpoint(&nb, loc);
+        let settled = Endpoint::rdma_write(&mut a, NodeId(1), 4096).unwrap();
+        let base = Endpoint::now(&b);
+        let tok = Endpoint::issue_write(&mut b, NodeId(1), 4096, base);
+        let c = Endpoint::wait(&mut b, tok).unwrap();
+        Endpoint::merge(&mut b, c.initiator_done);
+        assert_eq!(Endpoint::now(&a), Endpoint::now(&b));
+        assert_eq!(settled, c.settled);
     }
 
     #[test]

@@ -87,6 +87,84 @@ impl From<VerbTiming> for Completion {
     }
 }
 
+/// Opaque handle to a verb issued through [`Endpoint::issue_read`] /
+/// [`Endpoint::issue_write`] / [`Endpoint::issue_write_batch`], resolved
+/// exactly once by [`Endpoint::poll`] or [`Endpoint::wait`].
+///
+/// Mirrors a work-request ID on an RDMA send queue: issuing never blocks
+/// and never fails (even on a faulty fabric — errors surface as completion
+/// events, like error CQEs), and the initiator's clock does not advance
+/// until it waits on the completion and merges it. Tokens are endpoint-
+/// local: resolving one on any other endpoint, or twice, is a caller bug
+/// and panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VerbToken(u64);
+
+impl VerbToken {
+    /// Wrap a backend-local raw handle (slot index + generation).
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        VerbToken(raw)
+    }
+
+    /// The backend-local raw handle.
+    pub(crate) fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// A generation-tagged slab of unresolved verbs, shared by the endpoint
+/// implementations in this crate. Slots recycle through a free list; each
+/// recycle bumps the slot's generation so a consumed or foreign token is
+/// detected (and panics) instead of resolving some other verb.
+#[derive(Debug, Clone)]
+pub(crate) struct TokenSlab<P> {
+    slots: Vec<(u32, Option<P>)>,
+    free: Vec<u32>,
+}
+
+impl<P> Default for TokenSlab<P> {
+    fn default() -> Self {
+        TokenSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+}
+
+impl<P> TokenSlab<P> {
+    pub(crate) fn insert(&mut self, payload: P) -> VerbToken {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize].1 = Some(payload);
+                s
+            }
+            None => {
+                self.slots.push((0, Some(payload)));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let generation = self.slots[slot as usize].0;
+        VerbToken::from_raw((u64::from(generation) << 32) | u64::from(slot))
+    }
+
+    pub(crate) fn take(&mut self, token: VerbToken) -> P {
+        let raw = token.raw();
+        let slot = (raw & 0xFFFF_FFFF) as usize;
+        let generation = (raw >> 32) as u32;
+        let entry = self
+            .slots
+            .get_mut(slot)
+            .filter(|(g, _)| *g == generation)
+            .and_then(|(_, p)| p.take());
+        let Some(payload) = entry else {
+            panic!("stale or foreign verb token (raw {raw:#x})");
+        };
+        self.slots[slot].0 = self.slots[slot].0.wrapping_add(1);
+        self.free.push(slot as u32);
+        payload
+    }
+}
+
 /// A backend fabric: the process-wide half of the transport.
 ///
 /// All verbs are *one-sided*: no code executes at the target node. The data
@@ -265,26 +343,78 @@ pub trait Endpoint: Send + Clone + Debug + 'static {
     /// before `t` (lock hand-off, barrier exit, fence settle point).
     fn merge(&mut self, t: u64);
 
+    // --- Asynchronous verb surface (completion-queue model) ---------------
+    //
+    // `issue_*` post a verb and return immediately with a token; `poll` /
+    // `wait` resolve tokens later. Issuing neither advances nor consults the
+    // caller-visible clock: on clocked backends the verb enters the fabric at
+    // `max(now, not_before)`, and the initiator only pays for it when it
+    // merges the completion's `initiator_done`. This is what lets a caller
+    // put many verbs in flight and pay only for the slowest.
+
+    /// Post a one-sided read of `bytes` from `target`, entering the fabric
+    /// no earlier than `not_before` (clocked backends use
+    /// `max(now, not_before)`; unclocked ones ignore it).
+    fn issue_read(&mut self, target: NodeId, bytes: u64, not_before: u64) -> VerbToken;
+
+    /// Post a one-sided write of `bytes` to `target` (see
+    /// [`Endpoint::issue_read`] for the `not_before` contract).
+    fn issue_write(&mut self, target: NodeId, bytes: u64, not_before: u64) -> VerbToken;
+
+    /// Post a home-coalesced batch write behind one doorbell (see
+    /// [`Transport::rdma_write_batch`] for accounting semantics).
+    fn issue_write_batch(&mut self, target: NodeId, sizes: &[u64], not_before: u64) -> VerbToken;
+
+    /// Non-blocking completion check. `None` means still in flight; `Some`
+    /// consumes the token and yields the verb's outcome. Does **not** merge
+    /// anything into the endpoint's clock — the caller decides when (and
+    /// whether) to pay for the completion via [`Endpoint::merge`].
+    fn poll(&mut self, token: VerbToken) -> Option<Result<Completion, VerbError>>;
+
+    /// Block the *host* thread until `token` resolves, consuming it. Like
+    /// [`Endpoint::poll`] this never touches the endpoint's clock: waiting
+    /// on a completion is free until the caller merges it.
+    fn wait(&mut self, token: VerbToken) -> Result<Completion, VerbError> {
+        loop {
+            if let Some(r) = self.poll(token) {
+                return r;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    // --- Blocking verb surface (issue + wait + merge) ---------------------
+
     /// Blocking one-sided read of `bytes` from `target`'s memory.
     ///
     /// Endpoint verbs are fallible like the fabric-level ones; on `Err` the
     /// endpoint's clock has *not* advanced past the failed verb, so the
-    /// caller may charge a backoff and reissue.
-    fn rdma_read(&mut self, target: NodeId, bytes: u64) -> Result<(), VerbError>;
+    /// caller may charge a backoff and reissue. The default body is the thin
+    /// wrapper every backend's blocking verb reduces to: issue at `now`,
+    /// wait, merge the completion.
+    fn rdma_read(&mut self, target: NodeId, bytes: u64) -> Result<(), VerbError> {
+        let token = self.issue_read(target, bytes, self.now());
+        let c = self.wait(token)?;
+        self.merge(c.initiator_done);
+        Ok(())
+    }
 
     /// Posted one-sided write of `bytes` to `target`'s memory; returns the
     /// settle stamp (SD fences collect the max of these).
-    fn rdma_write(&mut self, target: NodeId, bytes: u64) -> Result<u64, VerbError>;
+    fn rdma_write(&mut self, target: NodeId, bytes: u64) -> Result<u64, VerbError> {
+        let token = self.issue_write(target, bytes, self.now());
+        let c = self.wait(token)?;
+        self.merge(c.initiator_done);
+        Ok(c.settled)
+    }
 
     /// Posted batch write of `sizes.len()` payloads to `target` behind one
-    /// doorbell; returns the settle stamp of the whole batch. The default
-    /// chains single writes.
+    /// doorbell; returns the settle stamp of the whole batch.
     fn rdma_write_batch(&mut self, target: NodeId, sizes: &[u64]) -> Result<u64, VerbError> {
-        let mut settled = 0;
-        for &bytes in sizes {
-            settled = settled.max(self.rdma_write(target, bytes)?);
-        }
-        Ok(settled)
+        let token = self.issue_write_batch(target, sizes, self.now());
+        let c = self.wait(token)?;
+        self.merge(c.initiator_done);
+        Ok(c.settled)
     }
 
     /// Blocking remote fetch-or (directory registration).

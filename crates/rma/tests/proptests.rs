@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use rma::{
-    Endpoint, FaultPlan, FaultyTransport, NativeTransport, RetryPolicy, Transport, VerbClass,
-    VerbError,
+    splitmix64, Completion, Endpoint, FaultPlan, FaultyTransport, NativeTransport, Retried,
+    RetryExhausted, RetryPolicy, Transport, VerbClass, VerbError, VerbToken,
 };
 use simnet::{ClusterTopology, CostModel, Interconnect, NodeId};
 use std::sync::Arc;
@@ -165,5 +165,145 @@ proptest! {
             s.rdma_reads + s.rdma_writes + s.rdma_atomics
         };
         prop_assert_eq!(inner_ops, issued + snap.duplicated);
+    }
+
+    /// Completion poll order is immaterial: issue a batch of verbs, then
+    /// resolve the tokens in issue order on one fabric and in an arbitrary
+    /// permutation on an identical fabric. Every per-verb completion and
+    /// the merged clock horizon must come out the same — on the simulated
+    /// *and* the native backend.
+    #[test]
+    fn prop_poll_order_never_changes_results(
+        seed in 0u64..u64::MAX,
+        ops in proptest::collection::vec((0u8..3, 1u64..8192, 0u64..200_000), 2..40),
+    ) {
+        fn drive<T: Transport>(
+            fab: &Arc<T>,
+            ops: &[(u8, u64, u64)],
+            shuffle_seed: Option<u64>,
+        ) -> (Vec<Completion>, u64) {
+            let loc = fab.topology().loc(NodeId(0), 0);
+            let mut e = T::endpoint(fab, loc);
+            let mut tokens: Vec<Option<VerbToken>> = ops
+                .iter()
+                .map(|&(kind, bytes, nb)| match kind {
+                    0 => e.issue_read(NodeId(1), bytes, nb),
+                    1 => e.issue_write(NodeId(1), bytes, nb),
+                    _ => e.issue_write_batch(NodeId(1), &[bytes, bytes / 2 + 1], nb),
+                })
+                .map(Some)
+                .collect();
+            let mut order: Vec<usize> = (0..tokens.len()).collect();
+            if let Some(s) = shuffle_seed {
+                for i in (1..order.len()).rev() {
+                    let j = (splitmix64(s ^ (i as u64)) % (i as u64 + 1)) as usize;
+                    order.swap(i, j);
+                }
+            }
+            let mut done: Vec<Option<Completion>> = vec![None; tokens.len()];
+            for &i in &order {
+                let c = e
+                    .poll(tokens[i].take().expect("each token polled once"))
+                    .expect("every backend today resolves by poll time")
+                    .expect("healthy fabric");
+                done[i] = Some(c);
+            }
+            let horizon = done.iter().map(|c| c.unwrap().initiator_done).max().unwrap();
+            e.merge(horizon);
+            (done.into_iter().map(Option::unwrap).collect(), e.now())
+        }
+        let (in_order, clock_a) = drive(&sim(2), &ops, None);
+        let (permuted, clock_b) = drive(&sim(2), &ops, Some(seed));
+        prop_assert_eq!(&in_order, &permuted);
+        prop_assert_eq!(clock_a, clock_b);
+        let nat = || NativeTransport::new(ClusterTopology::tiny(2));
+        let (n_in_order, n_clock_a) = drive(&nat(), &ops, None);
+        let (n_permuted, n_clock_b) = drive(&nat(), &ops, Some(seed));
+        prop_assert_eq!(&n_in_order, &n_permuted);
+        prop_assert_eq!(n_clock_a, n_clock_b);
+    }
+
+    /// A `VerbError` surfacing at poll time retries identically to the
+    /// blocking path: walking `attempt_seq` across the issue/poll gap —
+    /// reissue on each polled failure, merge only on success — produces
+    /// the same per-op outcomes (retry counts, backoff delays, settle
+    /// stamps, exhaustions), the same injected-fault totals, and the same
+    /// final clock as `RetryPolicy::run` around the blocking verbs.
+    #[test]
+    fn prop_poll_time_retry_matches_blocking_path(
+        fault_seed in 0u64..u64::MAX,
+        jitter_seed in 0u64..u64::MAX,
+        budget in 1u32..8,
+        drops in 50_000u32..600_000,
+        timeouts in 50_000u32..600_000,
+        ops in proptest::collection::vec((0u8..3, 1u64..8192, 0u64..u64::MAX), 1..40),
+    ) {
+        type Outcome = Result<Retried<u64>, RetryExhausted>;
+        let plan = FaultPlan::default()
+            .with_seed(fault_seed)
+            .with_drops(drops)
+            .with_timeouts(timeouts);
+        let policy = RetryPolicy {
+            max_attempts: [budget; VerbClass::COUNT],
+            ..RetryPolicy::default().with_seed(jitter_seed)
+        };
+        let class = |kind: u8| match kind {
+            0 => VerbClass::PageFetch,
+            1 => VerbClass::Downgrade,
+            _ => VerbClass::DrainBatch,
+        };
+        let blocking = {
+            let fab = FaultyTransport::wrap(sim(2), plan.clone());
+            let loc = fab.topology().loc(NodeId(0), 0);
+            let mut e = <FaultyTransport<_> as Transport>::endpoint(&fab, loc);
+            let outs: Vec<Outcome> = ops
+                .iter()
+                .map(|&(kind, bytes, salt)| {
+                    policy.run(class(kind), salt, |_a| match kind {
+                        0 => e.rdma_read(NodeId(1), bytes).map(|_| 0),
+                        1 => e.rdma_write(NodeId(1), bytes),
+                        _ => e.rdma_write_batch(NodeId(1), &[bytes]),
+                    })
+                })
+                .collect();
+            (outs, e.now(), fab.injected())
+        };
+        let polled = {
+            let fab = FaultyTransport::wrap(sim(2), plan);
+            let loc = fab.topology().loc(NodeId(0), 0);
+            let mut e = <FaultyTransport<_> as Transport>::endpoint(&fab, loc);
+            let outs: Vec<Outcome> = ops
+                .iter()
+                .map(|&(kind, bytes, salt)| {
+                    let mut seq = policy.attempt_seq(class(kind), salt);
+                    let mut attempt = seq.next().expect("budget is at least 1");
+                    loop {
+                        let token = match kind {
+                            0 => e.issue_read(NodeId(1), bytes, e.now()),
+                            1 => e.issue_write(NodeId(1), bytes, e.now()),
+                            _ => e.issue_write_batch(NodeId(1), &[bytes], e.now()),
+                        };
+                        match e.wait(token) {
+                            Ok(c) => {
+                                e.merge(c.initiator_done);
+                                break Ok(Retried {
+                                    value: if kind == 0 { 0 } else { c.settled },
+                                    retries: attempt.index,
+                                    delay: attempt.delay,
+                                });
+                            }
+                            Err(err) => match seq.next() {
+                                Some(a) => attempt = a,
+                                None => break Err(seq.exhausted(err)),
+                            },
+                        }
+                    }
+                })
+                .collect();
+            (outs, e.now(), fab.injected())
+        };
+        prop_assert_eq!(&blocking.0, &polled.0);
+        prop_assert_eq!(blocking.1, polled.1);
+        prop_assert_eq!(blocking.2, polled.2);
     }
 }

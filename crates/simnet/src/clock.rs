@@ -6,9 +6,57 @@
 //! causally-later events never carry earlier timestamps (a conservative
 //! parallel virtual-time simulation).
 
-use crate::net::Interconnect;
+use crate::net::{Interconnect, VerbTiming};
 use crate::topology::{NodeId, ThreadLoc};
 use std::sync::Arc;
+
+/// A slab of verbs issued but not yet resolved. Raw handles encode
+/// `generation << 32 | slot`; the generation bumps every time a slot is
+/// recycled, so a stale or duplicated handle is caught instead of silently
+/// resolving a different verb.
+///
+/// The simulator computes verb timing eagerly at issue (the interconnect is
+/// a closed-form cost model), so "in flight" here means "issued, timing
+/// reserved on the NIC timelines, but not yet folded into any thread's
+/// clock" — exactly the window in which latency is hidden.
+#[derive(Debug, Clone, Default)]
+struct PendingVerbs {
+    slots: Vec<(u32, Option<VerbTiming>)>,
+    free: Vec<u32>,
+}
+
+impl PendingVerbs {
+    fn insert(&mut self, timing: VerbTiming) -> u64 {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize].1 = Some(timing);
+                s
+            }
+            None => {
+                self.slots.push((0, Some(timing)));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let generation = self.slots[slot as usize].0;
+        (u64::from(generation) << 32) | u64::from(slot)
+    }
+
+    fn take(&mut self, raw: u64) -> VerbTiming {
+        let slot = (raw & 0xFFFF_FFFF) as usize;
+        let generation = (raw >> 32) as u32;
+        let entry = self
+            .slots
+            .get_mut(slot)
+            .filter(|(g, _)| *g == generation)
+            .and_then(|(_, t)| t.take());
+        let Some(timing) = entry else {
+            panic!("stale or foreign verb token (raw {raw:#x})");
+        };
+        self.slots[slot].0 = self.slots[slot].0.wrapping_add(1);
+        self.free.push(slot as u32);
+        timing
+    }
+}
 
 /// A simulated hardware thread: placement + virtual clock + interconnect.
 ///
@@ -37,11 +85,17 @@ pub struct SimThread {
     loc: ThreadLoc,
     now: u64,
     net: Arc<Interconnect>,
+    pending: PendingVerbs,
 }
 
 impl SimThread {
     pub fn new(loc: ThreadLoc, net: Arc<Interconnect>) -> Self {
-        SimThread { loc, now: 0, net }
+        SimThread {
+            loc,
+            now: 0,
+            net,
+            pending: PendingVerbs::default(),
+        }
     }
 
     #[inline]
@@ -120,6 +174,39 @@ impl SimThread {
         t.settled
     }
 
+    /// Issue a one-sided read without blocking: the verb enters the fabric
+    /// at `max(now, not_before)`, its NIC occupancy is reserved, and the
+    /// thread's clock is untouched. Returns a raw completion handle for
+    /// [`SimThread::resolve_issued`].
+    pub fn issue_read(&mut self, target: NodeId, bytes: u64, not_before: u64) -> u64 {
+        let at = self.now.max(not_before);
+        let t = self.net.rdma_read(self.loc, target, at, bytes);
+        self.pending.insert(t)
+    }
+
+    /// Issue a posted write without blocking (see [`SimThread::issue_read`]).
+    pub fn issue_write(&mut self, target: NodeId, bytes: u64, not_before: u64) -> u64 {
+        let at = self.now.max(not_before);
+        let t = self.net.rdma_write(self.loc, target, at, bytes);
+        self.pending.insert(t)
+    }
+
+    /// Issue a home-coalesced batch write without blocking (see
+    /// [`SimThread::issue_read`]).
+    pub fn issue_write_batch(&mut self, target: NodeId, sizes: &[u64], not_before: u64) -> u64 {
+        let at = self.now.max(not_before);
+        let t = self.net.rdma_write_batch(self.loc, target, at, sizes);
+        self.pending.insert(t)
+    }
+
+    /// Resolve a handle from one of the `issue_*` verbs, consuming it. The
+    /// clock is *not* merged: the caller folds `initiator_done` in (via
+    /// [`SimThread::merge`]) when — and only when — it actually waits on
+    /// the verb. Panics on a stale or foreign handle.
+    pub fn resolve_issued(&mut self, raw: u64) -> VerbTiming {
+        self.pending.take(raw)
+    }
+
     /// Blocking remote atomic (fetch-and-add on a directory word).
     pub fn rdma_atomic(&mut self, target: NodeId) {
         let t = self.net.rdma_atomic(self.loc, target, self.now);
@@ -170,6 +257,37 @@ mod tests {
         let mut t = thread_on(0);
         let settled = t.rdma_write(NodeId(1), 4096);
         assert!(settled > t.now());
+    }
+
+    #[test]
+    fn issue_then_resolve_hides_latency() {
+        let c = CostModel::paper_2011();
+        // Blocking: two chained reads pay two full round trips.
+        let mut seq = thread_on(0);
+        seq.rdma_read(NodeId(1), 4096);
+        seq.rdma_read(NodeId(2), 4096);
+        // Async: both issued back to back, resolved afterwards — the
+        // latencies overlap, only NIC occupancy serializes.
+        let mut t = thread_on(0);
+        let a = t.issue_read(NodeId(1), 4096, 0);
+        let b = t.issue_read(NodeId(2), 4096, 0);
+        assert_eq!(t.now(), 0, "issuing must not advance the clock");
+        let done = t
+            .resolve_issued(a)
+            .initiator_done
+            .max(t.resolve_issued(b).initiator_done);
+        t.merge(done);
+        assert!(t.now() < seq.now(), "overlap must beat chaining");
+        assert!(t.now() >= 2 * c.network_latency + c.transfer_cycles(4096));
+    }
+
+    #[test]
+    #[should_panic(expected = "stale or foreign verb token")]
+    fn resolving_a_token_twice_panics() {
+        let mut t = thread_on(0);
+        let a = t.issue_read(NodeId(1), 4096, 0);
+        let _ = t.resolve_issued(a);
+        let _ = t.resolve_issued(a);
     }
 
     #[test]

@@ -19,6 +19,7 @@ mkdir -p "$OUT_DIR"
 CRITERION_MINI_OUT="$OUT_DIR" cargo bench -p bench --bench simulator_throughput
 CRITERION_MINI_OUT="$OUT_DIR" cargo bench -p bench --bench fences
 CRITERION_MINI_OUT="$OUT_DIR" cargo bench -p bench --bench drain
+CRITERION_MINI_OUT="$OUT_DIR" cargo bench -p bench --bench read_miss
 
 # Argoscope: instrumented reference run on both backends. Emits the
 # Perfetto traces and report JSON under target/argoscope/; the sim

@@ -177,6 +177,44 @@ fn batched_drain_equals_per_page_drain_on_both_backends() {
     assert_eq!(sim_b.2.writebacks, sim_p.2.writebacks);
 }
 
+/// Overlapped verb issue is a timing feature only. Multi-page cache lines
+/// make every read miss put several home groups' reads in flight before
+/// polling any; `BatchDrain::Always` makes every SD fence post all per-home
+/// drain batches before polling any; and the stride prefetcher adds
+/// speculative reads on top. None of that may change what memory says:
+/// final home memory and every observed value must be bit-identical across
+/// configurations and across backends.
+#[test]
+fn overlapped_fills_and_prefetch_identical_memory_on_both_backends() {
+    use carina::BatchDrain;
+    use mem::CacheConfig;
+    type Run = (Vec<u64>, Vec<f64>, CoherenceSnapshot);
+    fn run(cfg: ArgoConfig) -> (Run, Run) {
+        let sim = producer_consumer(&ArgoMachine::new(cfg), 16384);
+        let nat = producer_consumer(&ArgoMachine::native(cfg), 16384);
+        (sim, nat)
+    }
+    let mut plain = ArgoConfig::small(3, 2);
+    plain.carina.cache = CacheConfig::new(256, 4); // multi-group line fills
+    plain.carina.batch_drain = BatchDrain::Always; // overlapped fence drains
+    let mut speculative = plain;
+    speculative.carina.prefetch_lines = 8;
+    speculative.carina.prefetch_streak = 2;
+    let (sim_plain, nat_plain) = run(plain);
+    let (sim_spec, nat_spec) = run(speculative);
+    assert_eq!(sim_plain.0, nat_plain.0, "backends diverged (plain)");
+    assert_eq!(sim_spec.0, nat_spec.0, "backends diverged (speculative)");
+    assert_eq!(sim_plain.0, sim_spec.0, "prefetch changed memory (sim)");
+    assert_eq!(sim_plain.1, sim_spec.1, "prefetch changed observed values");
+    check_invariants(&sim_spec.2);
+    check_invariants(&nat_spec.2);
+    assert!(
+        sim_spec.2.prefetch_issued > 0 && sim_spec.2.prefetch_hits > 0,
+        "the sequential sum phase must engage the stride predictor: {:?}",
+        sim_spec.2
+    );
+}
+
 #[test]
 fn matmul_end_to_end_on_native() {
     let p = matmul::MatmulParams { n: 48 };
