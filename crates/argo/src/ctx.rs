@@ -6,19 +6,19 @@
 //! rather than barriers), and measurement control.
 
 use crate::machine::ArgoConfig;
-use carina::Dsm;
+use carina::{CarinaSiSd, Coherence, Dsm};
 use mem::GlobalAddr;
 use rma::{Endpoint, SimTransport, Transport};
 use std::sync::Arc;
 use vela::{ClockBarrier, HierBarrier};
 
 /// The handle each simulated thread receives in [`crate::ArgoMachine::run`].
-pub struct ArgoCtx<T: Transport = SimTransport> {
+pub struct ArgoCtx<T: Transport = SimTransport, C: Coherence = CarinaSiSd> {
     /// The thread's virtual clock and placement (an RMA endpoint). Public
     /// so workloads can charge their compute costs directly.
     pub thread: T::Endpoint,
-    dsm: Arc<Dsm<T>>,
-    barrier: Arc<HierBarrier<T>>,
+    dsm: Arc<Dsm<T, C>>,
+    barrier: Arc<HierBarrier<T, C>>,
     control: Arc<ClockBarrier>,
     tid: usize,
     nthreads: usize,
@@ -26,11 +26,11 @@ pub struct ArgoCtx<T: Transport = SimTransport> {
     measure_from: u64,
 }
 
-impl<T: Transport> ArgoCtx<T> {
+impl<T: Transport, C: Coherence> ArgoCtx<T, C> {
     pub(crate) fn new(
         thread: T::Endpoint,
-        dsm: Arc<Dsm<T>>,
-        barrier: Arc<HierBarrier<T>>,
+        dsm: Arc<Dsm<T, C>>,
+        barrier: Arc<HierBarrier<T, C>>,
         control: Arc<ClockBarrier>,
         tid: usize,
         nthreads: usize,
@@ -74,7 +74,7 @@ impl<T: Transport> ArgoCtx<T> {
 
     /// The underlying DSM (for direct protocol access, e.g. Vela locks).
     #[inline]
-    pub fn dsm(&self) -> &Arc<Dsm<T>> {
+    pub fn dsm(&self) -> &Arc<Dsm<T, C>> {
         &self.dsm
     }
 

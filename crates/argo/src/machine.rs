@@ -8,7 +8,7 @@
 //! excluded, as the paper does).
 
 use crate::ctx::ArgoCtx;
-use carina::{CarinaConfig, CoherenceSnapshot, Dsm};
+use carina::{CarinaConfig, CarinaSiSd, Coherence, CoherenceSnapshot, Dsm};
 use rma::{NativeTransport, SimTransport, Transport};
 use simnet::stats::NetStatsSnapshot;
 use simnet::{ClusterTopology, CostModel, Interconnect, NodeId};
@@ -91,15 +91,17 @@ pub struct RunReport<R> {
     pub profile: obs::ProfileSnapshot,
     /// Per-lock delegation statistics, in lock-registration order.
     pub locks: Vec<obs::LockObsSnapshot>,
+    /// The coherence policy the region ran under (`Coherence::NAME`).
+    pub policy: &'static str,
 }
 
 /// An Argo cluster, generic over its RMA transport. The default transport
 /// is the virtual-time simulator; [`ArgoMachine::native`] builds the same
 /// machine on the wall-clock shared-memory backend.
-pub struct ArgoMachine<T: Transport = SimTransport> {
+pub struct ArgoMachine<T: Transport = SimTransport, C: Coherence = CarinaSiSd> {
     config: ArgoConfig,
     net: Arc<T>,
-    dsm: Arc<Dsm<T>>,
+    dsm: Arc<Dsm<T, C>>,
 }
 
 fn check_shape(config: &ArgoConfig) {
@@ -114,6 +116,14 @@ fn check_shape(config: &ArgoConfig) {
 impl ArgoMachine {
     /// A simulated cluster (virtual-time interconnect).
     pub fn new(config: ArgoConfig) -> Arc<Self> {
+        Self::with_policy(config)
+    }
+}
+
+impl<C: Coherence> ArgoMachine<SimTransport, C> {
+    /// A simulated cluster running an explicit coherence policy, e.g.
+    /// `ArgoMachine::<_, Tardis>::with_policy(cfg)`.
+    pub fn with_policy(config: ArgoConfig) -> Arc<Self> {
         check_shape(&config);
         let net = Interconnect::new(config.topology(), config.cost);
         Self::on(config, net)
@@ -124,18 +134,25 @@ impl ArgoMachine<NativeTransport> {
     /// The same machine on real shared memory: identical protocol engine,
     /// no virtual clock, wall-clock timing in [`RunReport::wall_seconds`].
     pub fn native(config: ArgoConfig) -> Arc<Self> {
+        Self::native_with_policy(config)
+    }
+}
+
+impl<C: Coherence> ArgoMachine<NativeTransport, C> {
+    /// [`native`](ArgoMachine::native) with an explicit coherence policy.
+    pub fn native_with_policy(config: ArgoConfig) -> Arc<Self> {
         check_shape(&config);
         let net = NativeTransport::with_cost(config.topology(), config.cost);
         Self::on(config, net)
     }
 }
 
-impl<T: Transport> ArgoMachine<T> {
+impl<T: Transport, C: Coherence> ArgoMachine<T, C> {
     /// Build a machine on an existing fabric (any transport).
     pub fn on(config: ArgoConfig, net: Arc<T>) -> Arc<Self> {
         check_shape(&config);
         assert_eq!(net.topology(), &config.topology(), "fabric/config shape mismatch");
-        let dsm = Dsm::new(net.clone(), config.bytes_per_node, config.carina);
+        let dsm = Dsm::with_policy(net.clone(), config.bytes_per_node, config.carina);
         Arc::new(ArgoMachine { config, net, dsm })
     }
 
@@ -143,7 +160,7 @@ impl<T: Transport> ArgoMachine<T> {
         &self.config
     }
 
-    pub fn dsm(&self) -> &Arc<Dsm<T>> {
+    pub fn dsm(&self) -> &Arc<Dsm<T, C>> {
         &self.dsm
     }
 
@@ -161,7 +178,7 @@ impl<T: Transport> ArgoMachine<T> {
     pub fn run<R, F>(self: &Arc<Self>, f: F) -> RunReport<R>
     where
         R: Send + 'static,
-        F: Fn(&mut ArgoCtx<T>) -> R + Send + Sync + 'static,
+        F: Fn(&mut ArgoCtx<T, C>) -> R + Send + Sync + 'static,
     {
         let cfg = self.config;
         let topo = cfg.topology();
@@ -214,6 +231,7 @@ impl<T: Transport> ArgoMachine<T> {
             net: self.net.stats().snapshot(),
             profile: self.dsm.profile().snapshot(),
             locks: self.dsm.lock_registry().snapshots(),
+            policy: self.dsm.policy_name(),
         }
     }
 }

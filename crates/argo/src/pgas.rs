@@ -7,7 +7,7 @@
 //! cost model over the same global memory layout — no page cache, no
 //! directory, no fences.
 
-use carina::Dsm;
+use carina::{CarinaSiSd, Coherence, Dsm};
 use mem::GlobalAddr;
 use rma::{Endpoint, SimTransport, Transport, VerbClass, VerbError};
 use simnet::NodeId;
@@ -17,12 +17,12 @@ use std::sync::Arc;
 const ELEM_BYTES: u64 = 8;
 
 /// PGAS access handle: same global memory, UPC cost semantics.
-pub struct PgasCtx<T: Transport = SimTransport> {
-    dsm: Arc<Dsm<T>>,
+pub struct PgasCtx<T: Transport = SimTransport, C: Coherence = CarinaSiSd> {
+    dsm: Arc<Dsm<T, C>>,
 }
 
-impl<T: Transport> PgasCtx<T> {
-    pub fn new(dsm: Arc<Dsm<T>>) -> Self {
+impl<T: Transport, C: Coherence> PgasCtx<T, C> {
+    pub fn new(dsm: Arc<Dsm<T, C>>) -> Self {
         PgasCtx { dsm }
     }
 

@@ -30,9 +30,10 @@ impl<R> RunReport<R> {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "virtual time : {:.3} ms ({} cycles)",
+            "virtual time : {:.3} ms ({} cycles), policy {}",
             self.seconds * 1e3,
-            self.cycles
+            self.cycles,
+            self.policy
         );
         let c = &self.coherence;
         let _ = writeln!(
@@ -76,6 +77,16 @@ impl<R> RunReport<R> {
                 100.0 * c.prefetch_accuracy()
             );
         }
+        if c.lease_renewals > 0 || c.lease_expiries > 0 || c.lease_kept > 0 {
+            let _ = writeln!(
+                s,
+                "leases       : {} renewals, {} kept at SI, {} expired ({:.0}% kept)",
+                c.lease_renewals,
+                c.lease_kept,
+                c.lease_expiries,
+                100.0 * c.lease_keep_ratio()
+            );
+        }
         if c.verb_retries > 0 || c.verb_exhaustions > 0 {
             let _ = writeln!(
                 s,
@@ -97,11 +108,12 @@ impl<R> RunReport<R> {
         s.push('{');
         let _ = write!(
             s,
-            "\"cycles\":{},\"seconds\":{:.9},\"wall_seconds\":{:.6},\"threads\":{}",
+            "\"cycles\":{},\"seconds\":{:.9},\"wall_seconds\":{:.6},\"threads\":{},\"policy\":\"{}\"",
             self.cycles,
             self.seconds,
             self.wall_seconds,
-            self.results.len()
+            self.results.len(),
+            self.policy
         );
         let _ = write!(
             s,
@@ -114,6 +126,8 @@ impl<R> RunReport<R> {
              \"verb_retries\":{},\"verb_exhaustions\":{},\
              \"prefetch_issued\":{},\"prefetch_hits\":{},\"prefetch_wasted\":{},\
              \"prefetch_accuracy\":{:.4},\
+             \"lease_renewals\":{},\"lease_expiries\":{},\"lease_kept\":{},\
+             \"lease_keep_ratio\":{:.4},\
              \"mean_drain_batch\":{:.3},\"diff_efficiency\":{:.4},\"si_keep_ratio\":{:.4}}}",
             c.read_hits,
             c.write_hits,
@@ -141,6 +155,10 @@ impl<R> RunReport<R> {
             c.prefetch_hits,
             c.prefetch_wasted,
             c.prefetch_accuracy(),
+            c.lease_renewals,
+            c.lease_expiries,
+            c.lease_kept,
+            c.lease_keep_ratio(),
             c.mean_drain_batch(),
             c.diff_efficiency(),
             c.si_keep_ratio()

@@ -8,28 +8,28 @@
 //! `vela::Hqdl` — which is what Figure 12 measures.)
 
 use crate::ctx::ArgoCtx;
-use carina::Dsm;
+use carina::{CarinaSiSd, Coherence, Dsm};
 use rma::{Endpoint, SimTransport, Transport};
 use simnet::NodeId;
 use std::sync::Arc;
 use vela::DsmGlobalLock;
 
 /// A cluster-wide mutex with pthreads semantics (SI on lock, SD on unlock).
-pub struct ArgoMutex<T: Transport = SimTransport> {
-    dsm: Arc<Dsm<T>>,
+pub struct ArgoMutex<T: Transport = SimTransport, C: Coherence = CarinaSiSd> {
+    dsm: Arc<Dsm<T, C>>,
     lock: Arc<DsmGlobalLock>,
     obs: Arc<obs::LockObs>,
 }
 
-impl<T: Transport> ArgoMutex<T> {
+impl<T: Transport, C: Coherence> ArgoMutex<T, C> {
     /// Create a mutex whose lock word lives on `home`.
-    pub fn new(dsm: Arc<Dsm<T>>, home: u16) -> Arc<Self> {
+    pub fn new(dsm: Arc<Dsm<T, C>>, home: u16) -> Arc<Self> {
         Self::new_named(dsm, home, "mutex")
     }
 
     /// [`new`](Self::new) with a name for per-lock statistics in run
     /// reports.
-    pub fn new_named(dsm: Arc<Dsm<T>>, home: u16, name: &str) -> Arc<Self> {
+    pub fn new_named(dsm: Arc<Dsm<T, C>>, home: u16, name: &str) -> Arc<Self> {
         let obs = dsm.lock_registry().register(name);
         Arc::new(ArgoMutex {
             lock: DsmGlobalLock::new(NodeId(home)),
@@ -40,7 +40,7 @@ impl<T: Transport> ArgoMutex<T> {
 
     /// Acquire: take the global lock, then self-invalidate so this thread
     /// observes every earlier critical section's writes.
-    pub fn lock(&self, ctx: &mut ArgoCtx<T>) -> ArgoMutexGuard<'_, T> {
+    pub fn lock(&self, ctx: &mut ArgoCtx<T, C>) -> ArgoMutexGuard<'_, T, C> {
         let t = &mut ctx.thread;
         let obs_start = t.obs_now();
         let switched = self.lock.acquire_tracked(t);
@@ -57,7 +57,7 @@ impl<T: Transport> ArgoMutex<T> {
     }
 
     /// Run `f` as a critical section (lock, f, unlock).
-    pub fn with<R>(&self, ctx: &mut ArgoCtx<T>, f: impl FnOnce(&mut ArgoCtx<T>) -> R) -> R {
+    pub fn with<R>(&self, ctx: &mut ArgoCtx<T, C>, f: impl FnOnce(&mut ArgoCtx<T, C>) -> R) -> R {
         let guard = self.lock(ctx);
         let r = f(ctx);
         guard.unlock(ctx);
@@ -69,14 +69,14 @@ impl<T: Transport> ArgoMutex<T> {
 /// context (the context cannot be captured in the guard because the critical
 /// section itself needs it mutably).
 #[must_use = "the mutex stays locked until unlock(ctx) is called"]
-pub struct ArgoMutexGuard<'a, T: Transport = SimTransport> {
-    mutex: &'a ArgoMutex<T>,
+pub struct ArgoMutexGuard<'a, T: Transport = SimTransport, C: Coherence = CarinaSiSd> {
+    mutex: &'a ArgoMutex<T, C>,
 }
 
-impl<T: Transport> ArgoMutexGuard<'_, T> {
+impl<T: Transport, C: Coherence> ArgoMutexGuard<'_, T, C> {
     /// Release: self-downgrade (publish this section's writes), then free
     /// the global lock.
-    pub fn unlock(self, ctx: &mut ArgoCtx<T>) {
+    pub fn unlock(self, ctx: &mut ArgoCtx<T, C>) {
         self.mutex.dsm.sd_fence(&mut ctx.thread);
         self.mutex.lock.release(&mut ctx.thread);
     }

@@ -5,7 +5,7 @@
 //! coherence layer via an [`crate::ArgoCtx`].
 
 use crate::ctx::ArgoCtx;
-use carina::Dsm;
+use carina::{Coherence, Dsm};
 use mem::{GlobalAddr, PAGE_BYTES};
 use rma::Transport;
 
@@ -27,7 +27,7 @@ macro_rules! array_common {
     ($ty:ident) => {
         impl $ty {
             /// Allocate page-aligned storage for `len` elements.
-            pub fn alloc<T: Transport>(dsm: &Dsm<T>, len: usize) -> Self {
+            pub fn alloc<T: Transport, C: Coherence>(dsm: &Dsm<T, C>, len: usize) -> Self {
                 let bytes = (len as u64 * 8).div_ceil(PAGE_BYTES) * PAGE_BYTES;
                 let base = dsm
                     .allocator()
@@ -44,7 +44,7 @@ macro_rules! array_common {
             /// Allocate with pages block-distributed across nodes, so each
             /// node's block-partitioned chunk of the array is homed
             /// locally (see `Dsm::alloc_blocked`).
-            pub fn alloc_blocked<T: Transport>(dsm: &Dsm<T>, len: usize) -> Self {
+            pub fn alloc_blocked<T: Transport, C: Coherence>(dsm: &Dsm<T, C>, len: usize) -> Self {
                 let bytes = (len as u64 * 8).div_ceil(PAGE_BYTES) * PAGE_BYTES;
                 let base = dsm.alloc_blocked(bytes).expect("out of global memory");
                 $ty { base, len }
@@ -79,24 +79,24 @@ array_common!(GlobalF64Array);
 
 impl GlobalU64Array {
     #[inline]
-    pub fn get<T: Transport>(&self, ctx: &mut ArgoCtx<T>, i: usize) -> u64 {
+    pub fn get<T: Transport, C: Coherence>(&self, ctx: &mut ArgoCtx<T, C>, i: usize) -> u64 {
         ctx.read_u64(self.addr(i))
     }
 
     #[inline]
-    pub fn set<T: Transport>(&self, ctx: &mut ArgoCtx<T>, i: usize, v: u64) {
+    pub fn set<T: Transport, C: Coherence>(&self, ctx: &mut ArgoCtx<T, C>, i: usize, v: u64) {
         ctx.write_u64(self.addr(i), v)
     }
 }
 
 impl GlobalF64Array {
     #[inline]
-    pub fn get<T: Transport>(&self, ctx: &mut ArgoCtx<T>, i: usize) -> f64 {
+    pub fn get<T: Transport, C: Coherence>(&self, ctx: &mut ArgoCtx<T, C>, i: usize) -> f64 {
         ctx.read_f64(self.addr(i))
     }
 
     #[inline]
-    pub fn set<T: Transport>(&self, ctx: &mut ArgoCtx<T>, i: usize, v: f64) {
+    pub fn set<T: Transport, C: Coherence>(&self, ctx: &mut ArgoCtx<T, C>, i: usize, v: f64) {
         ctx.write_f64(self.addr(i), v)
     }
 }
@@ -110,7 +110,7 @@ pub struct GlobalMatrix {
 }
 
 impl GlobalMatrix {
-    pub fn alloc<T: Transport>(dsm: &Dsm<T>, rows: usize, cols: usize) -> Self {
+    pub fn alloc<T: Transport, C: Coherence>(dsm: &Dsm<T, C>, rows: usize, cols: usize) -> Self {
         GlobalMatrix {
             data: GlobalF64Array::alloc(dsm, rows * cols),
             rows,
@@ -129,13 +129,13 @@ impl GlobalMatrix {
     }
 
     #[inline]
-    pub fn get<T: Transport>(&self, ctx: &mut ArgoCtx<T>, r: usize, c: usize) -> f64 {
+    pub fn get<T: Transport, C: Coherence>(&self, ctx: &mut ArgoCtx<T, C>, r: usize, c: usize) -> f64 {
         assert!(r < self.rows && c < self.cols, "({r},{c}) out of bounds");
         self.data.get(ctx, r * self.cols + c)
     }
 
     #[inline]
-    pub fn set<T: Transport>(&self, ctx: &mut ArgoCtx<T>, r: usize, c: usize, v: f64) {
+    pub fn set<T: Transport, C: Coherence>(&self, ctx: &mut ArgoCtx<T, C>, r: usize, c: usize, v: f64) {
         assert!(r < self.rows && c < self.cols, "({r},{c}) out of bounds");
         self.data.set(ctx, r * self.cols + c, v)
     }

@@ -1,0 +1,128 @@
+//! Coherence-policy head-to-head on the protocol's sharpest trade-off:
+//! read-mostly sharing across repeated synchronization.
+//!
+//! Under SI/SD classification, a page with one writer and several readers
+//! is Shared/SW, and every reader self-invalidates it at every SI fence —
+//! each sync round re-fetches the whole read set even when nothing
+//! changed. Under Tardis, a read installs a timestamp lease; an SI fence
+//! only drops pages whose lease expired against the reader's logical
+//! clock, so an unchanged read set survives sync after sync (and the
+//! adaptive lease doubles on each renewal, stretching the quiet period).
+//!
+//! `read_mostly/{sisd,tardis}` times one sync round — reader SI fence plus
+//! a sweep over the shared read set — after a warm-up that lets Tardis's
+//! leases adapt. Tardis should win by roughly the read-miss refill cost;
+//! `private/{sisd,tardis}` pins the other side (no sharing, both policies
+//! keep everything) so the lease bookkeeping shows up as overhead, not as
+//! a free lunch.
+
+use carina::{CarinaConfig, CarinaSiSd, Coherence, Dsm, Tardis};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mem::{GlobalAddr, PAGE_BYTES};
+use rma::SimTransport;
+use simnet::{ClusterTopology, CostModel, Interconnect, NodeId, SimThread};
+use std::sync::Arc;
+
+const READ_PAGES: u64 = 64;
+
+fn cluster<C: Coherence>() -> (Arc<Dsm<SimTransport, C>>, SimThread, SimThread) {
+    let topo = ClusterTopology::tiny(2);
+    let net = Interconnect::new(topo, CostModel::paper_2011());
+    let dsm = Dsm::with_policy(net.clone(), 64 << 20, CarinaConfig::default());
+    let reader = SimThread::new(topo.loc(NodeId(0), 0), net.clone());
+    let writer = SimThread::new(topo.loc(NodeId(1), 0), net);
+    (dsm, reader, writer)
+}
+
+/// Read-mostly sharing: node 1 wrote the region once (so it is genuinely
+/// shared, not private), node 0 re-reads it across repeated acquire
+/// fences while nothing changes.
+fn bench_read_mostly(c: &mut Criterion) {
+    fn setup<C: Coherence>() -> (Arc<Dsm<SimTransport, C>>, SimThread) {
+        let (dsm, mut reader, mut writer) = cluster::<C>();
+        for p in 0..READ_PAGES {
+            dsm.write_u64(&mut writer, GlobalAddr((2 * p + 1) * PAGE_BYTES), p);
+        }
+        dsm.sd_fence(&mut writer);
+        // Warm-up rounds: classification settles (SI/SD) and leases adapt
+        // upward (Tardis) before the timed section.
+        for _ in 0..8 {
+            dsm.si_fence(&mut reader);
+            for p in 0..READ_PAGES {
+                let _ = dsm.read_u64(&mut reader, GlobalAddr((2 * p + 1) * PAGE_BYTES));
+            }
+        }
+        (dsm, reader)
+    }
+    let mut g = c.benchmark_group("coherence");
+    {
+        let (dsm, mut t) = setup::<CarinaSiSd>();
+        g.bench_function(format!("read_mostly_{READ_PAGES}p/sisd"), |b| {
+            b.iter(|| {
+                dsm.si_fence(&mut t);
+                for p in 0..READ_PAGES {
+                    let _ = dsm.read_u64(&mut t, GlobalAddr((2 * p + 1) * PAGE_BYTES));
+                }
+            })
+        });
+    }
+    {
+        let (dsm, mut t) = setup::<Tardis>();
+        g.bench_function(format!("read_mostly_{READ_PAGES}p/tardis"), |b| {
+            b.iter(|| {
+                dsm.si_fence(&mut t);
+                for p in 0..READ_PAGES {
+                    let _ = dsm.read_u64(&mut t, GlobalAddr((2 * p + 1) * PAGE_BYTES));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Private working set: the reader is the only node that ever touches the
+/// pages. SI/SD classifies them Private and keeps them; Tardis keeps them
+/// through leases. Neither policy should pay a refill, so this pins the
+/// policies' fixed per-fence and per-hit overheads against each other.
+fn bench_private(c: &mut Criterion) {
+    fn setup<C: Coherence>() -> (Arc<Dsm<SimTransport, C>>, SimThread) {
+        let (dsm, mut reader, _writer) = cluster::<C>();
+        for p in 0..READ_PAGES {
+            let _ = dsm.read_u64(&mut reader, GlobalAddr((2 * p + 1) * PAGE_BYTES));
+        }
+        for _ in 0..8 {
+            dsm.si_fence(&mut reader);
+            for p in 0..READ_PAGES {
+                let _ = dsm.read_u64(&mut reader, GlobalAddr((2 * p + 1) * PAGE_BYTES));
+            }
+        }
+        (dsm, reader)
+    }
+    let mut g = c.benchmark_group("coherence");
+    {
+        let (dsm, mut t) = setup::<CarinaSiSd>();
+        g.bench_function(format!("private_{READ_PAGES}p/sisd"), |b| {
+            b.iter(|| {
+                dsm.si_fence(&mut t);
+                for p in 0..READ_PAGES {
+                    let _ = dsm.read_u64(&mut t, GlobalAddr((2 * p + 1) * PAGE_BYTES));
+                }
+            })
+        });
+    }
+    {
+        let (dsm, mut t) = setup::<Tardis>();
+        g.bench_function(format!("private_{READ_PAGES}p/tardis"), |b| {
+            b.iter(|| {
+                dsm.si_fence(&mut t);
+                for p in 0..READ_PAGES {
+                    let _ = dsm.read_u64(&mut t, GlobalAddr((2 * p + 1) * PAGE_BYTES));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_read_mostly, bench_private);
+criterion_main!(benches);

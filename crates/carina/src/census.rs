@@ -99,10 +99,11 @@ fn writer_idx(w: WriterClass) -> usize {
     }
 }
 
-impl<T: Transport> Dsm<T> {
-    /// Walk the home directory and the heat counters into a [`Census`],
-    /// listing the `top_k` hottest pages. Read-only; intended for quiescent
-    /// points.
+impl<T: Transport, C: crate::coherence::Coherence> Dsm<T, C> {
+    /// Walk the policy's accessor views and the heat counters into a
+    /// [`Census`], listing the `top_k` hottest pages. Read-only; intended
+    /// for quiescent points. Authoritative under SI/SD; under timestamp
+    /// policies the views are diagnostic (see [`crate::coherence::Coherence::census_view`]).
     pub fn census(&self, top_k: usize) -> Census {
         let total_pages = self.total_pages();
         let mut by_class = [[0u64; 3]; 2];

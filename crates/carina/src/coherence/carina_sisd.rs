@@ -1,0 +1,313 @@
+//! The paper's protocol as a [`Coherence`] policy: Pyxis reader/writer
+//! full maps, P/S × NW/SW/MW classification, Table 1 fence predicates, and
+//! deferred invalidation through per-node directory caches.
+//!
+//! This file is the *decision* half of what used to be hard-wired into the
+//! engine: registration transitions (§3.3, §3.5), the SI predicate (Table
+//! 1), the naïve P/S checkpoint obligation (§3.4.2), and the single-writer
+//! no-diff extension. The engine still owns every verb.
+
+use super::{Coherence, PageBitSet, RegisterOutcome, WriteDisposition};
+use crate::classification::{node_bit, ClassificationMode, DirView, PageClass};
+use crate::config::CarinaConfig;
+use crate::directory::{DirCaches, Pyxis};
+use crate::stats::{CoherenceStats, StatShard};
+use crate::trace::Event;
+use mem::PageNum;
+
+/// The shipped Argo protocol (self-invalidation / self-downgrade with
+/// passive Pyxis classification).
+#[derive(Debug)]
+pub struct CarinaSiSd {
+    mode: ClassificationMode,
+    sw_no_diff: bool,
+    pyxis: Pyxis,
+    dir_caches: DirCaches,
+    /// Fast-path mirrors of "this node's bit is already in the home maps".
+    reg_read: Vec<PageBitSet>,
+    reg_write: Vec<PageBitSet>,
+}
+
+impl CarinaSiSd {
+    /// The directory view `node` currently holds for `page`.
+    #[inline]
+    pub(crate) fn node_view(&self, node: u16, page: PageNum) -> DirView {
+        self.dir_caches.entry(node, page).view()
+    }
+
+    /// The authoritative home directory view for `page`.
+    #[inline]
+    pub(crate) fn home_view(&self, page: PageNum) -> DirView {
+        self.pyxis.entry(page).view()
+    }
+
+    /// Detect a P→S transition caused by `me` joining `prior`'s accessors:
+    /// the single prior owner must be notified (and under naïve P/S, a
+    /// read newcomer must fetch the owner's checkpoint).
+    fn private_owner(prior: u128, me: u16) -> Option<u16> {
+        if prior != 0 && prior & node_bit(me) == 0 && prior.count_ones() == 1 {
+            Some(prior.trailing_zeros() as u16)
+        } else {
+            None
+        }
+    }
+}
+
+impl Coherence for CarinaSiSd {
+    const NAME: &'static str = "sisd";
+
+    fn new(nodes: usize, total_pages: u64, config: &CarinaConfig) -> Self {
+        CarinaSiSd {
+            mode: config.mode,
+            sw_no_diff: config.sw_no_diff,
+            pyxis: Pyxis::new(total_pages),
+            dir_caches: DirCaches::new(nodes, total_pages),
+            reg_read: (0..nodes).map(|_| PageBitSet::new(total_pages)).collect(),
+            reg_write: (0..nodes).map(|_| PageBitSet::new(total_pages)).collect(),
+        }
+    }
+
+    #[inline]
+    fn read_registered(&self, me: u16, _home: u16, page: PageNum) -> bool {
+        self.reg_read[me as usize].get(page)
+    }
+
+    #[inline]
+    fn write_registered(&self, me: u16, _home: u16, page: PageNum) -> bool {
+        self.reg_write[me as usize].get(page)
+    }
+
+    fn register_reader(
+        &self,
+        me: u16,
+        _home: u16,
+        page: PageNum,
+        shard: &StatShard,
+    ) -> RegisterOutcome {
+        let before = self.pyxis.entry(page).or_readers(node_bit(me));
+        let after = DirView {
+            readers: before.readers | node_bit(me),
+            writers: before.writers,
+        };
+        self.dir_caches.entry(me, page).store_view(after);
+        self.reg_read[me as usize].set(page);
+        // P→S caused by our read (§3.3): we notify the private owner.
+        let Some(owner) = Self::private_owner(before.accessors(), me) else {
+            return RegisterOutcome::quiet();
+        };
+        CoherenceStats::bump(&shard.p_to_s);
+        self.dir_caches.entry(owner, page).or_view(after);
+        RegisterOutcome {
+            notify: vec![owner],
+            fetch_from: (self.mode == ClassificationMode::PsNaive).then_some(owner),
+            events: vec![Event::PToS { page, newcomer: me, owner }],
+        }
+    }
+
+    fn register_writer(
+        &self,
+        me: u16,
+        _home: u16,
+        page: PageNum,
+        shard: &StatShard,
+    ) -> RegisterOutcome {
+        let before = self.pyxis.entry(page).or_writers(node_bit(me));
+        let after = DirView {
+            readers: before.readers,
+            writers: before.writers | node_bit(me),
+        };
+        self.dir_caches.entry(me, page).store_view(after);
+        self.reg_write[me as usize].set(page);
+
+        let mut out = RegisterOutcome::quiet();
+        let prior = before.accessors();
+        // P→S caused by a write from a new node (§3.5 "Private, but
+        // written by a new node").
+        if let Some(owner) = Self::private_owner(prior, me) {
+            CoherenceStats::bump(&shard.p_to_s);
+            self.dir_caches.entry(owner, page).or_view(after);
+            out.notify.push(owner);
+            out.events.push(Event::PToS { page, newcomer: me, owner });
+        }
+        // Writer-class transitions.
+        match before.writers.count_ones() {
+            0
+                // NW→SW. If the page is shared, every node caching it must
+                // learn there is now a writer (§3.5 "Shared, NW").
+                if (prior.count_ones() > 1 || (prior != 0 && prior & node_bit(me) == 0)) => {
+                    CoherenceStats::bump(&shard.nw_to_sw);
+                    out.events.push(Event::NwToSw { page, writer: me });
+                    let mut others = prior & !node_bit(me);
+                    while others != 0 {
+                        let n = others.trailing_zeros() as u16;
+                        others &= others - 1;
+                        if n != me {
+                            self.dir_caches.entry(n, page).or_view(after);
+                            out.notify.push(n);
+                        }
+                    }
+                }
+            1 if before.writers & node_bit(me) == 0 => {
+                // SW→MW: only the previous single writer needs to know
+                // (§3.5 "Shared, SW"); for everyone else SW and MW are
+                // equivalent.
+                CoherenceStats::bump(&shard.sw_to_mw);
+                let w = before.writers.trailing_zeros() as u16;
+                out.events.push(Event::SwToMw { page, new_writer: me, old_writer: w });
+                if w != me {
+                    self.dir_caches.entry(w, page).or_view(after);
+                    out.notify.push(w);
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+
+    fn write_disposition(&self, me: u16, page: PageNum) -> WriteDisposition {
+        let view = self.dir_caches.entry(me, page).view();
+        WriteDisposition {
+            // A single writer may skip twin/diff (the sw_no_diff
+            // extension): no other node can have written the page.
+            need_twin: !(self.sw_no_diff && view.writers == node_bit(me)),
+            buffer: view.must_self_downgrade(self.mode, me),
+        }
+    }
+
+    fn begin_si_fence(&self, _me: u16) {}
+
+    fn must_self_invalidate(&self, me: u16, page: PageNum, _shard: &StatShard) -> bool {
+        self.dir_caches
+            .entry(me, page)
+            .view()
+            .must_self_invalidate(self.mode, me)
+    }
+
+    fn end_sd_fence(&self, _me: u16) {}
+
+    fn needs_checkpoint_sweep(&self) -> bool {
+        self.mode == ClassificationMode::PsNaive
+    }
+
+    fn private_in_cache(&self, me: u16, page: PageNum) -> bool {
+        self.dir_caches.entry(me, page).view().page_class() == PageClass::Private
+    }
+
+    fn downgrade_skip_diff(&self, me: u16, page: PageNum) -> bool {
+        self.dir_caches.entry(me, page).view().writers == node_bit(me)
+    }
+
+    fn buffers_every_dirty_page(&self) -> bool {
+        self.mode != ClassificationMode::PsNaive
+    }
+
+    fn census_view(&self, page: PageNum) -> DirView {
+        self.pyxis.entry(page).view()
+    }
+
+    fn invariant_problems(&self, node: u16, dirty: &[PageNum]) -> Vec<String> {
+        let mut problems = Vec::new();
+        let me = node;
+        let n = node as usize;
+        for &page in dirty {
+            let home = self.pyxis.entry(page).view();
+            if home.writers & node_bit(me) == 0 {
+                problems.push(format!(
+                    "n{n}: dirty page {} without writer registration",
+                    page.0
+                ));
+            }
+        }
+        // Fast-path bitsets must be a subset of the home maps.
+        for q in 0..self.pyxis.total_pages() {
+            let page = PageNum(q);
+            let home = self.pyxis.entry(page).view();
+            if self.reg_read[n].get(page) && home.readers & node_bit(me) == 0 {
+                problems.push(format!("n{n}: reg_read bit for {q} not in home map"));
+            }
+            if self.reg_write[n].get(page) && home.writers & node_bit(me) == 0 {
+                problems.push(format!("n{n}: reg_write bit for {q} not in home map"));
+            }
+        }
+        problems
+    }
+
+    fn reset_all(&self) {
+        self.pyxis.reset_all();
+        self.dir_caches.reset_all();
+        for b in &self.reg_read {
+            b.clear_all();
+        }
+        for b in &self.reg_write {
+            b.clear_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::CoherenceStats;
+
+    fn policy(nodes: usize) -> CarinaSiSd {
+        CarinaSiSd::new(nodes, 16, &CarinaConfig::default())
+    }
+
+    #[test]
+    fn read_then_write_transitions() {
+        let c = policy(3);
+        let stats = CoherenceStats::new(3);
+        let p = PageNum(3);
+        // n0 reads: private, quiet.
+        assert!(c.register_reader(0, 1, p, stats.shard(0)).is_quiet());
+        assert!(c.read_registered(0, 1, p));
+        // n1 reads: P→S, owner n0 notified.
+        let oc = c.register_reader(1, 1, p, stats.shard(1));
+        assert_eq!(oc.notify, vec![0]);
+        assert!(oc.fetch_from.is_none()); // Ps3: no checkpoint service
+        // n2 writes: NW→SW, both sharers notified.
+        let oc = c.register_writer(2, 1, p, stats.shard(2));
+        assert!(oc.notify.contains(&0) && oc.notify.contains(&1));
+        // n0 writes: SW→MW, only prior writer n2 notified.
+        let oc = c.register_writer(0, 1, p, stats.shard(0));
+        assert_eq!(oc.notify, vec![2]);
+        let s = stats.snapshot();
+        assert_eq!((s.p_to_s, s.nw_to_sw, s.sw_to_mw), (1, 1, 1));
+    }
+
+    #[test]
+    fn ps_naive_read_newcomer_fetches_checkpoint() {
+        let cfg = CarinaConfig::with_mode(ClassificationMode::PsNaive);
+        let c = CarinaSiSd::new(2, 16, &cfg);
+        let stats = CoherenceStats::new(2);
+        let p = PageNum(1);
+        c.register_writer(0, 1, p, stats.shard(0));
+        let oc = c.register_reader(1, 1, p, stats.shard(1));
+        assert_eq!(oc.fetch_from, Some(0));
+    }
+
+    #[test]
+    fn disposition_tracks_table1() {
+        let c = policy(2);
+        let stats = CoherenceStats::new(2);
+        let p = PageNum(2);
+        c.register_writer(0, 1, p, stats.shard(0));
+        let d = c.write_disposition(0, p);
+        assert!(d.need_twin && d.buffer); // Ps3 buffers everything
+        assert!(!c.must_self_invalidate(0, p, stats.shard(0))); // private
+        c.register_reader(1, 1, p, stats.shard(1));
+        // n1 shares a single-writer page: n1 invalidates, writer n0 keeps.
+        assert!(c.must_self_invalidate(1, p, stats.shard(1)));
+        assert!(!c.must_self_invalidate(0, p, stats.shard(0)));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let c = policy(2);
+        let stats = CoherenceStats::new(2);
+        c.register_reader(0, 1, PageNum(0), stats.shard(0));
+        c.reset_all();
+        assert!(!c.read_registered(0, 1, PageNum(0)));
+        assert_eq!(c.census_view(PageNum(0)), DirView::default());
+    }
+}

@@ -1,0 +1,295 @@
+//! Pluggable coherence policies.
+//!
+//! The Carina engine ([`crate::protocol::Dsm`]) owns the *mechanism*: the
+//! data plane, transport verbs, retry/fault plumbing, write buffer, and
+//! issue/poll overlap. Everything that is a protocol *decision* — what a
+//! read miss registers, how a write fault classifies, what an SI fence must
+//! invalidate, what an SD fence owes beyond the drain, and what metadata
+//! the directory carries — lives behind the [`Coherence`] trait, so the
+//! paper's SI/SD protocol ([`CarinaSiSd`]) can be compared head-to-head
+//! against alternatives on the identical engine.
+//!
+//! Two policies ship:
+//! - [`CarinaSiSd`] — the paper's protocol: Pyxis reader/writer full maps,
+//!   P/S × NW/SW/MW classification (Table 1), deferred invalidation via
+//!   directory-cache notifications.
+//! - [`Tardis`] — a timestamp-lease protocol in the spirit of TARDIS
+//!   (Yu & Devadas, PACT'15), adapted to the DSM's fence model: reads
+//!   install a bounded lease (`rts = pts + lease`), writes bump `wts` past
+//!   every granted lease, and an acquire fence invalidates only *expired*
+//!   leases against the acquirer's logical clock. No sharer bitmap, no
+//!   extra verbs — the same one-sided directory atomics carry timestamps
+//!   instead of full maps.
+//!
+//! Dispatch is static, mirroring the transport generic: `Dsm<T, C>` with
+//! `C: Coherence` defaulting to [`CarinaSiSd`], so existing call sites
+//! compile unchanged and either policy monomorphizes to straight-line code.
+
+mod carina_sisd;
+mod tardis;
+
+pub use carina_sisd::CarinaSiSd;
+pub use tardis::Tardis;
+
+use crate::classification::DirView;
+use crate::config::CarinaConfig;
+use crate::stats::StatShard;
+use crate::trace::Event;
+use mem::PageNum;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A lock-free page-indexed bitset: the fast-path mirror of "this node has
+/// registered with the home directory", checked on every access.
+#[derive(Debug)]
+pub struct PageBitSet {
+    words: Vec<AtomicU64>,
+}
+
+impl PageBitSet {
+    pub fn new(pages: u64) -> Self {
+        PageBitSet {
+            words: (0..pages.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, page: PageNum) -> bool {
+        let w = (page.0 / 64) as usize;
+        self.words[w].load(Ordering::Relaxed) & (1 << (page.0 % 64)) != 0
+    }
+
+    #[inline]
+    pub fn set(&self, page: PageNum) {
+        let w = (page.0 / 64) as usize;
+        self.words[w].fetch_or(1 << (page.0 % 64), Ordering::Relaxed);
+    }
+
+    pub fn clear_all(&self) {
+        for w in &self.words {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// What a registration decided: wire work the engine must now perform on
+/// the policy's behalf. The policy has already applied its local metadata
+/// mutations and bumped its transition counters; the engine prices and
+/// posts the verbs (with retry and settle tracking) and records the trace
+/// events with its endpoint clock.
+#[derive(Debug, Default)]
+pub struct RegisterOutcome {
+    /// Nodes whose directory caches this registration must update remotely
+    /// (the passive notification mechanism). The engine posts one
+    /// notification verb per target; the metadata itself was already
+    /// deposited by the policy (host-side, like the real one-sided write).
+    pub notify: Vec<u16>,
+    /// Service this fill from `owner`'s checkpoint with one extra page
+    /// fetch (the naïve P/S scheme's P→S obligation, §3.4.2).
+    pub fetch_from: Option<u16>,
+    /// Classification-transition events to trace.
+    pub events: Vec<Event>,
+}
+
+impl RegisterOutcome {
+    /// A registration that caused no transition: nothing to post or trace.
+    #[inline]
+    pub fn quiet() -> Self {
+        RegisterOutcome::default()
+    }
+
+    /// True if the engine has no wire or trace work to do — the common
+    /// case, kept cheap (no allocation ever happened for a quiet outcome).
+    #[inline]
+    pub fn is_quiet(&self) -> bool {
+        self.notify.is_empty() && self.fetch_from.is_none() && self.events.is_empty()
+    }
+}
+
+/// What a write fault must set up for the faulting page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteDisposition {
+    /// Snapshot a twin for diffing at downgrade time. Policies that can
+    /// prove single-writer ownership may skip it (the `sw_no_diff`
+    /// extension); everyone else diffs to tolerate false sharing.
+    pub need_twin: bool,
+    /// Enter the page in the FIFO write buffer so fences (and overflow)
+    /// drain it. Policies that self-downgrade everything say `true`;
+    /// the naïve P/S scheme exempts private pages and checkpoints instead.
+    pub buffer: bool,
+}
+
+/// A coherence policy: every protocol *decision* point of the engine.
+///
+/// Methods take `me` (the acting node) and, where the distinction matters
+/// for cost or semantics, the page's `home`. The engine guarantees:
+///
+/// - `register_reader` / `register_writer` are only called when the
+///   corresponding `*_registered` check returned `false`, and the
+///   directory access (local DRAM or remote atomic verb) has already been
+///   charged/performed — the policy applies pure metadata mutations.
+/// - `write_disposition` is called after `register_writer` for the same
+///   page (under the page's slot lock).
+/// - `begin_si_fence` runs before any `must_self_invalidate` query of that
+///   fence; `end_sd_fence` runs after the fence's drain has settled.
+/// - `reset_all` is only called at quiescent points.
+pub trait Coherence: std::fmt::Debug + Send + Sync + Sized + 'static {
+    /// Short lowercase name (CLI value, bench ids, report labels).
+    const NAME: &'static str;
+
+    /// Build policy state for `nodes` nodes over `total_pages` pages.
+    fn new(nodes: usize, total_pages: u64, config: &CarinaConfig) -> Self;
+
+    // --- fast-path registration checks -------------------------------
+
+    /// Is `me`'s read registration for `page` still current (no directory
+    /// access needed before serving the fill)?
+    fn read_registered(&self, me: u16, home: u16, page: PageNum) -> bool;
+
+    /// Is `me`'s write registration for `page` still current?
+    fn write_registered(&self, me: u16, home: u16, page: PageNum) -> bool;
+
+    // --- registration (read-miss fill / write-fault classification) --
+
+    /// Deposit `me`'s read registration for `page` and decide the fallout.
+    fn register_reader(
+        &self,
+        me: u16,
+        home: u16,
+        page: PageNum,
+        shard: &StatShard,
+    ) -> RegisterOutcome;
+
+    /// Deposit `me`'s write registration for `page` and decide the fallout.
+    fn register_writer(
+        &self,
+        me: u16,
+        home: u16,
+        page: PageNum,
+        shard: &StatShard,
+    ) -> RegisterOutcome;
+
+    /// Twin/buffer decision for the write fault that just registered.
+    fn write_disposition(&self, me: u16, page: PageNum) -> WriteDisposition;
+
+    // --- fences --------------------------------------------------------
+
+    /// Acquire-side hook, before the invalidation sweep.
+    fn begin_si_fence(&self, me: u16);
+
+    /// Must `me` invalidate its cached copy of `page` at this acquire?
+    /// Called once per resident page per SI fence.
+    fn must_self_invalidate(&self, me: u16, page: PageNum, shard: &StatShard) -> bool;
+
+    /// Release-side hook, after the drain has settled.
+    fn end_sd_fence(&self, me: u16);
+
+    /// Does the release side owe a checkpoint sweep over dirty private
+    /// pages (the naïve P/S scheme's obligation)?
+    fn needs_checkpoint_sweep(&self) -> bool {
+        false
+    }
+
+    /// During a checkpoint sweep: is `page` (dirty in `me`'s cache)
+    /// private, i.e. checkpointed locally rather than downgraded?
+    fn private_in_cache(&self, _me: u16, _page: PageNum) -> bool {
+        false
+    }
+
+    // --- downgrades ------------------------------------------------------
+
+    /// May `me` skip the twin diff and ship the whole page when
+    /// downgrading `page` (only sound when no other node can have written
+    /// it)? The engine additionally gates this on `sw_no_diff`.
+    fn downgrade_skip_diff(&self, me: u16, page: PageNum) -> bool;
+
+    // --- diagnostics & invariants -----------------------------------
+
+    /// Does the write buffer hold exactly the dirty set at quiescent
+    /// points (invariant 3)? Policies that exempt pages from buffering
+    /// (naïve P/S privates) answer `false`.
+    fn buffers_every_dirty_page(&self) -> bool {
+        true
+    }
+
+    /// A best-effort accessor view of `page` for the census and tests.
+    /// Authoritative under [`CarinaSiSd`]; synthesized from grant state
+    /// under timestamp policies (documented per policy).
+    fn census_view(&self, page: PageNum) -> DirView;
+
+    /// Policy-specific invariant violations for `node`, given its dirty
+    /// page set at a quiescent point. Appended to the engine's own checks.
+    fn invariant_problems(&self, node: u16, dirty: &[PageNum]) -> Vec<String>;
+
+    /// Null all policy metadata (end-of-initialization reset, decay).
+    fn reset_all(&self);
+}
+
+/// Which coherence policy to instantiate — the dynamic counterpart of the
+/// static `C: Coherence` parameter, for CLI surfaces (`--coherence
+/// {sisd,tardis}`) that pick a monomorphized code path at startup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PolicyKind {
+    /// The paper's SI/SD protocol with Pyxis classification.
+    #[default]
+    SiSd,
+    /// Timestamp leases (TARDIS-style).
+    Tardis,
+}
+
+impl PolicyKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::SiSd => CarinaSiSd::NAME,
+            PolicyKind::Tardis => Tardis::NAME,
+        }
+    }
+}
+
+impl std::str::FromStr for PolicyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sisd" | "carina" | "si-sd" => Ok(PolicyKind::SiSd),
+            "tardis" | "lease" => Ok(PolicyKind::Tardis),
+            other => Err(format!("unknown coherence policy {other:?} (try sisd|tardis)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitset_set_get_clear() {
+        let b = PageBitSet::new(130);
+        assert!(!b.get(PageNum(129)));
+        b.set(PageNum(129));
+        b.set(PageNum(0));
+        assert!(b.get(PageNum(129)));
+        assert!(b.get(PageNum(0)));
+        assert!(!b.get(PageNum(64)));
+        b.clear_all();
+        assert!(!b.get(PageNum(129)));
+    }
+
+    #[test]
+    fn policy_kind_parses() {
+        assert_eq!("sisd".parse::<PolicyKind>().unwrap(), PolicyKind::SiSd);
+        assert_eq!("tardis".parse::<PolicyKind>().unwrap(), PolicyKind::Tardis);
+        assert!("mesi".parse::<PolicyKind>().is_err());
+        assert_eq!(PolicyKind::SiSd.name(), "sisd");
+        assert_eq!(PolicyKind::Tardis.name(), "tardis");
+    }
+
+    #[test]
+    fn quiet_outcome_is_quiet() {
+        assert!(RegisterOutcome::quiet().is_quiet());
+        let oc = RegisterOutcome {
+            notify: vec![1],
+            ..Default::default()
+        };
+        assert!(!oc.is_quiet());
+    }
+}

@@ -1,0 +1,499 @@
+//! Tardis: timestamp-lease coherence on the Carina engine.
+//!
+//! An adaptation of TARDIS (Yu & Devadas, PACT'15) to the DSM's
+//! acquire/release fence model. Instead of Pyxis reader/writer full maps,
+//! every page's home entry carries two logical timestamps:
+//!
+//! - `wts` — the write timestamp of the home copy's current version;
+//! - `rts` — the time through which that version is *promised* valid (the
+//!   max of every granted read lease).
+//!
+//! Each node keeps a logical clock `pts`. The protocol is four rules:
+//!
+//! 1. **Read fill**: `pts = max(pts, wts)`, then take a lease
+//!    `rts = max(rts, pts + lease)` with the same one-sided directory
+//!    atomic Carina uses for registration (timestamps ride in the entry,
+//!    no extra verbs). The copy is valid through the granted `rts`.
+//! 2. **Write fault**: bump `wts = max(wts, rts) + 1` — past every granted
+//!    lease — and `pts = max(pts, wts)`. The writer grants itself a lease
+//!    on the new version, so (like Table 1's S/SW row) its own fences keep
+//!    the page it is writing.
+//! 3. **Release** (`sd_fence`, after the drain settles): publish
+//!    `gts = max(gts, pts)` to the global clock. The data is home by the
+//!    time the timestamp moves, so any later acquirer that sees the clock
+//!    also sees the data.
+//! 4. **Acquire** (`si_fence`, before the sweep): `pts = max(pts, gts)`,
+//!    then invalidate exactly the cached pages whose granted lease has
+//!    `rts < pts` — *expired* leases. Unexpired leases are kept: that is
+//!    the entire win on read-mostly pages, where SI/SD's MW class would
+//!    have invalidated everything.
+//!
+//! Soundness (DRF programs): if node W writes page p and releases, and
+//! node A subsequently acquires, then `wts_p > rts` held at W's bump for
+//! every lease granted before it, W's release published `gts >= pts_W >=
+//! wts_p`, and A's acquire merges `pts_A >= gts > rts(lease)` — so A's
+//! stale lease on p is expired and A refetches. Conversely a page nobody
+//! wrote keeps `rts >= pts` and survives.
+//!
+//! **Adaptive leases.** A fixed lease suffers amplification: every write
+//! bumps `wts` past the max granted `rts`, so after one global clock jump
+//! all same-round leases expire together and read-only pages thrash like
+//! AllShared. Each page's home entry therefore carries its own lease
+//! length: renewing a lease on an *unchanged* page (it expired only
+//! because the clock moved past it) doubles the page's lease up to
+//! `tardis_lease_max`; writing the page halves it down to
+//! `tardis_lease_min`. Read-mostly pages quickly earn leases long enough
+//! to ride out unrelated writers; write-hot pages keep short leases and
+//! cheap bumps.
+//!
+//! Deviations from the paper's TARDIS, called out in DESIGN.md §12: a
+//! single shared `gts` cell stands in for timestamp piggybacking on every
+//! message (the DSM has no per-message metadata channel); leases are per
+//! page rather than per cache line; and there is no speculative `pts`
+//! advance on misses. Home-node reads take no lease at all — the home
+//! copy is authoritative, which is the DSM analogue of TARDIS's owner
+//! state.
+
+use super::{Coherence, PageBitSet, RegisterOutcome, WriteDisposition};
+use crate::classification::{node_bit, DirView};
+use crate::config::CarinaConfig;
+use crate::directory::DirEntry;
+use crate::stats::{CoherenceStats, StatShard};
+use mem::PageNum;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One page's home timestamp entry.
+#[derive(Debug)]
+struct TsEntry {
+    /// Write timestamp of the home copy's version.
+    wts: AtomicU64,
+    /// Promise horizon: max granted read lease. Invariant: `wts <= rts`
+    /// whenever `rts > 0`.
+    rts: AtomicU64,
+    /// This page's current lease length (adaptive, see module docs).
+    lease: AtomicU64,
+    /// Diagnostic accessor maps for the census and invariant checks.
+    /// Never consulted by a protocol decision — Tardis's whole point is
+    /// that it needs no sharer bitmap.
+    diag: DirEntry,
+}
+
+/// One node's clock and lease table.
+#[derive(Debug)]
+struct NodeClock {
+    /// The node's logical clock.
+    pts: AtomicU64,
+    /// Release epoch: bumped at every `end_sd_fence`, so a write fault
+    /// re-bumps `wts` at most once per epoch (the version the next release
+    /// publishes) instead of on every home-page store.
+    epoch: AtomicU64,
+    /// Pages this node holds a (possibly expired) lease on.
+    granted: PageBitSet,
+    /// The granted `rts` per page (valid where `granted` is set).
+    lease_rts: Vec<AtomicU64>,
+    /// The `wts` the lease was granted against (renewal-of-unchanged-page
+    /// detection).
+    lease_wts: Vec<AtomicU64>,
+    /// Epoch of this node's last `wts` bump per page.
+    wrote_epoch: Vec<AtomicU64>,
+}
+
+/// Timestamp-lease coherence (TARDIS-style).
+#[derive(Debug)]
+pub struct Tardis {
+    entries: Vec<TsEntry>,
+    nodes: Vec<NodeClock>,
+    /// The global clock releases publish into and acquires merge from.
+    gts: AtomicU64,
+    lease_init: u64,
+    lease_min: u64,
+    lease_max: u64,
+}
+
+impl Tardis {
+    #[inline]
+    fn entry(&self, page: PageNum) -> &TsEntry {
+        &self.entries[page.0 as usize]
+    }
+
+    /// Home `wts`/`rts` of `page` (tests and proptests).
+    pub fn timestamps(&self, page: PageNum) -> (u64, u64) {
+        let e = self.entry(page);
+        (e.wts.load(Ordering::Acquire), e.rts.load(Ordering::Acquire))
+    }
+
+    /// `node`'s logical clock (tests and proptests).
+    pub fn clock(&self, node: u16) -> u64 {
+        self.nodes[node as usize].pts.load(Ordering::Acquire)
+    }
+
+    /// The lease `node` currently holds on `page`, if any (tests).
+    pub fn granted_lease(&self, node: u16, page: PageNum) -> Option<u64> {
+        let nc = &self.nodes[node as usize];
+        nc.granted
+            .get(page)
+            .then(|| nc.lease_rts[page.0 as usize].load(Ordering::Relaxed))
+    }
+
+    /// The page's current adaptive lease length (tests and benches).
+    pub fn lease_len(&self, page: PageNum) -> u64 {
+        self.entry(page).lease.load(Ordering::Relaxed)
+    }
+}
+
+impl Coherence for Tardis {
+    const NAME: &'static str = "tardis";
+
+    fn new(nodes: usize, total_pages: u64, config: &CarinaConfig) -> Self {
+        let lease_init = config.tardis_lease.max(1);
+        let lease_min = config.tardis_lease_min.max(1).min(lease_init);
+        let lease_max = config.tardis_lease_max.max(lease_init);
+        Tardis {
+            entries: (0..total_pages)
+                .map(|_| TsEntry {
+                    wts: AtomicU64::new(0),
+                    rts: AtomicU64::new(0),
+                    lease: AtomicU64::new(lease_init),
+                    diag: DirEntry::default(),
+                })
+                .collect(),
+            nodes: (0..nodes)
+                .map(|_| NodeClock {
+                    pts: AtomicU64::new(0),
+                    epoch: AtomicU64::new(1),
+                    granted: PageBitSet::new(total_pages),
+                    lease_rts: (0..total_pages).map(|_| AtomicU64::new(0)).collect(),
+                    lease_wts: (0..total_pages).map(|_| AtomicU64::new(0)).collect(),
+                    wrote_epoch: (0..total_pages).map(|_| AtomicU64::new(0)).collect(),
+                })
+                .collect(),
+            gts: AtomicU64::new(0),
+            lease_init,
+            lease_min,
+            lease_max,
+        }
+    }
+
+    #[inline]
+    fn read_registered(&self, me: u16, home: u16, page: PageNum) -> bool {
+        if home == me {
+            // The home copy is authoritative; home reads need no lease.
+            return true;
+        }
+        let nc = &self.nodes[me as usize];
+        nc.granted.get(page)
+            && nc.lease_rts[page.0 as usize].load(Ordering::Relaxed)
+                >= nc.pts.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn write_registered(&self, me: u16, _home: u16, page: PageNum) -> bool {
+        // One `wts` bump per page per release epoch covers every store of
+        // the epoch: leases granted before the bump are already past; a
+        // lease granted *during* our epoch on the page we are writing
+        // would be a data race, which DRF excludes.
+        let nc = &self.nodes[me as usize];
+        nc.wrote_epoch[page.0 as usize].load(Ordering::Relaxed)
+            == nc.epoch.load(Ordering::Relaxed)
+    }
+
+    fn register_reader(
+        &self,
+        me: u16,
+        _home: u16,
+        page: PageNum,
+        shard: &StatShard,
+    ) -> RegisterOutcome {
+        let e = self.entry(page);
+        let nc = &self.nodes[me as usize];
+        let q = page.0 as usize;
+        let renewal = nc.granted.get(page);
+        let wts = e.wts.load(Ordering::Acquire);
+        nc.pts.fetch_max(wts, Ordering::AcqRel);
+        let pts = nc.pts.load(Ordering::Acquire);
+        // Adaptive growth: renewing a lease on an unchanged version means
+        // the lease expired only because unrelated writers moved the
+        // clock — double it so the page rides out more of them.
+        let lease = if renewal && nc.lease_wts[q].load(Ordering::Relaxed) == wts {
+            let grown = (e.lease.load(Ordering::Relaxed) * 2).min(self.lease_max);
+            e.lease.store(grown, Ordering::Relaxed);
+            grown
+        } else {
+            e.lease.load(Ordering::Relaxed)
+        };
+        let grant = pts.saturating_add(lease);
+        let prev = e.rts.fetch_max(grant, Ordering::AcqRel);
+        nc.lease_rts[q].store(prev.max(grant), Ordering::Relaxed);
+        nc.lease_wts[q].store(wts, Ordering::Relaxed);
+        if renewal {
+            CoherenceStats::bump(&shard.lease_renewals);
+        } else {
+            nc.granted.set(page);
+        }
+        e.diag.or_readers(node_bit(me));
+        RegisterOutcome::quiet()
+    }
+
+    fn register_writer(
+        &self,
+        me: u16,
+        _home: u16,
+        page: PageNum,
+        _shard: &StatShard,
+    ) -> RegisterOutcome {
+        let e = self.entry(page);
+        let nc = &self.nodes[me as usize];
+        let q = page.0 as usize;
+        // Bump wts past every granted lease (CAS loop: concurrent writers
+        // each get a distinct version).
+        let mut w = e.wts.load(Ordering::Acquire);
+        let new = loop {
+            let r = e.rts.load(Ordering::Acquire);
+            let next = w.max(r) + 1;
+            match e
+                .wts
+                .compare_exchange_weak(w, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => break next,
+                Err(cur) => w = cur,
+            }
+        };
+        // Shrink the page's lease: it is write-active, long promises on it
+        // only inflate future bumps.
+        let shrunk = (e.lease.load(Ordering::Relaxed) / 2).max(self.lease_min);
+        e.lease.store(shrunk, Ordering::Relaxed);
+        nc.pts.fetch_max(new, Ordering::AcqRel);
+        // Self-lease on the new version (registered at home via rts so any
+        // other writer's bump lands past it): our own fences keep the page
+        // we are writing, mirroring Table 1's single-writer row.
+        let grant = new.saturating_add(shrunk);
+        e.rts.fetch_max(grant, Ordering::AcqRel);
+        nc.lease_rts[q].fetch_max(grant, Ordering::Relaxed);
+        nc.lease_wts[q].store(new, Ordering::Relaxed);
+        nc.granted.set(page);
+        nc.wrote_epoch[q].store(nc.epoch.load(Ordering::Relaxed), Ordering::Relaxed);
+        e.diag.or_writers(node_bit(me));
+        RegisterOutcome::quiet()
+    }
+
+    fn write_disposition(&self, _me: u16, _page: PageNum) -> WriteDisposition {
+        // No sharer map means no single-writer proof: always twin (false
+        // sharing is possible) and always buffer (every dirty page is
+        // drained at the release that publishes its timestamp).
+        WriteDisposition { need_twin: true, buffer: true }
+    }
+
+    fn begin_si_fence(&self, me: u16) {
+        // Acquire: observe every published release.
+        self.nodes[me as usize]
+            .pts
+            .fetch_max(self.gts.load(Ordering::Acquire), Ordering::AcqRel);
+    }
+
+    fn must_self_invalidate(&self, me: u16, page: PageNum, shard: &StatShard) -> bool {
+        let nc = &self.nodes[me as usize];
+        let pts = nc.pts.load(Ordering::Acquire);
+        let held = nc.granted.get(page)
+            && nc.lease_rts[page.0 as usize].load(Ordering::Relaxed) >= pts;
+        if held {
+            CoherenceStats::bump(&shard.lease_kept);
+        } else {
+            CoherenceStats::bump(&shard.lease_expiries);
+        }
+        !held
+    }
+
+    fn end_sd_fence(&self, me: u16) {
+        let nc = &self.nodes[me as usize];
+        // Publish after the drain settled: clock moves only once data is
+        // home.
+        self.gts
+            .fetch_max(nc.pts.load(Ordering::Acquire), Ordering::AcqRel);
+        nc.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn downgrade_skip_diff(&self, _me: u16, _page: PageNum) -> bool {
+        false
+    }
+
+    fn census_view(&self, page: PageNum) -> DirView {
+        // Diagnostic maps only (home reads take no lease and writers are
+        // recorded at bump time); good enough for the census's heat and
+        // sharing reports, never used for a protocol decision.
+        self.entry(page).diag.view()
+    }
+
+    fn invariant_problems(&self, node: u16, dirty: &[PageNum]) -> Vec<String> {
+        let mut problems = Vec::new();
+        let n = node as usize;
+        let nc = &self.nodes[n];
+        for &page in dirty {
+            if self.entry(page).diag.view().writers & node_bit(node) == 0 {
+                problems.push(format!(
+                    "n{n}: dirty page {} without a wts bump on record",
+                    page.0
+                ));
+            }
+            if !nc.granted.get(page) {
+                problems.push(format!("n{n}: dirty page {} holds no lease", page.0));
+            }
+        }
+        for (q, e) in self.entries.iter().enumerate() {
+            let (wts, rts) = (
+                e.wts.load(Ordering::Acquire),
+                e.rts.load(Ordering::Acquire),
+            );
+            if rts < wts {
+                problems.push(format!("page {q}: rts {rts} < wts {wts}"));
+            }
+            if nc.granted.get(PageNum(q as u64))
+                && nc.lease_rts[q].load(Ordering::Relaxed) > rts
+            {
+                problems.push(format!(
+                    "n{n}: lease on page {q} beyond home rts ({} > {rts})",
+                    nc.lease_rts[q].load(Ordering::Relaxed)
+                ));
+            }
+        }
+        problems
+    }
+
+    fn reset_all(&self) {
+        for e in &self.entries {
+            e.wts.store(0, Ordering::Relaxed);
+            e.rts.store(0, Ordering::Relaxed);
+            e.lease.store(self.lease_init, Ordering::Relaxed);
+            e.diag.reset();
+        }
+        for nc in &self.nodes {
+            nc.pts.store(0, Ordering::Relaxed);
+            nc.epoch.store(1, Ordering::Relaxed);
+            nc.granted.clear_all();
+            for a in &nc.lease_rts {
+                a.store(0, Ordering::Relaxed);
+            }
+            for a in &nc.lease_wts {
+                a.store(0, Ordering::Relaxed);
+            }
+            for a in &nc.wrote_epoch {
+                a.store(0, Ordering::Relaxed);
+            }
+        }
+        self.gts.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::CoherenceStats;
+
+    fn policy(nodes: usize) -> Tardis {
+        Tardis::new(nodes, 8, &CarinaConfig::default())
+    }
+
+    #[test]
+    fn lease_grant_and_expiry_cycle() {
+        let c = policy(2);
+        let s = CoherenceStats::new(2);
+        let p = PageNum(3);
+        // n0 reads p (homed on n1): lease granted, fence keeps it.
+        assert!(!c.read_registered(0, 1, p));
+        c.register_reader(0, 1, p, s.shard(0));
+        assert!(c.read_registered(0, 1, p));
+        c.begin_si_fence(0);
+        assert!(!c.must_self_invalidate(0, p, s.shard(0)));
+        // n1 writes p and releases: n0's next acquire expires the lease.
+        c.register_writer(1, 1, p, s.shard(1));
+        c.end_sd_fence(1);
+        c.begin_si_fence(0);
+        assert!(c.must_self_invalidate(0, p, s.shard(0)));
+        assert!(!c.read_registered(0, 1, p));
+        // Refetch = renewal.
+        c.register_reader(0, 1, p, s.shard(0));
+        assert!(c.read_registered(0, 1, p));
+        let snap = s.snapshot();
+        assert_eq!(snap.lease_renewals, 1);
+        assert_eq!(snap.lease_expiries, 1);
+        assert_eq!(snap.lease_kept, 1);
+    }
+
+    #[test]
+    fn wts_never_exceeds_rts() {
+        let c = policy(2);
+        let s = CoherenceStats::new(2);
+        let p = PageNum(0);
+        for _ in 0..5 {
+            c.register_reader(0, 1, p, s.shard(0));
+            c.register_writer(1, 1, p, s.shard(1));
+            c.end_sd_fence(1);
+            c.begin_si_fence(0);
+            let (wts, rts) = c.timestamps(p);
+            assert!(wts <= rts, "wts {wts} > rts {rts}");
+        }
+    }
+
+    #[test]
+    fn unwritten_pages_survive_unrelated_writes_after_adaptation() {
+        let c = policy(2);
+        let s = CoherenceStats::new(2);
+        let cold = PageNum(1); // read-only page
+        let hot = PageNum(2); // write-hot page
+        c.register_reader(0, 1, cold, s.shard(0));
+        let mut kept_after_growth = false;
+        for _ in 0..12 {
+            c.register_writer(1, 1, hot, s.shard(1));
+            c.end_sd_fence(1);
+            c.begin_si_fence(0);
+            if !c.must_self_invalidate(0, cold, s.shard(0)) {
+                kept_after_growth = true;
+            } else {
+                c.register_reader(0, 1, cold, s.shard(0)); // renew, lease doubles
+            }
+        }
+        assert!(
+            kept_after_growth,
+            "adaptive lease never outlived the hot page's writes"
+        );
+        assert!(c.lease_len(cold) > c.lease_len(hot));
+    }
+
+    #[test]
+    fn write_epoch_gates_rebumps() {
+        let c = policy(2);
+        let s = CoherenceStats::new(2);
+        let p = PageNum(4);
+        assert!(!c.write_registered(0, 0, p));
+        c.register_writer(0, 0, p, s.shard(0));
+        assert!(c.write_registered(0, 0, p));
+        let (w1, _) = c.timestamps(p);
+        // Same epoch: no new bump needed.
+        c.end_sd_fence(0);
+        assert!(!c.write_registered(0, 0, p));
+        c.register_writer(0, 0, p, s.shard(0));
+        let (w2, _) = c.timestamps(p);
+        assert!(w2 > w1);
+    }
+
+    #[test]
+    fn home_reads_take_no_lease() {
+        let c = policy(2);
+        assert!(c.read_registered(0, 0, PageNum(5)));
+        assert_eq!(c.granted_lease(0, PageNum(5)), None);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let c = policy(2);
+        let s = CoherenceStats::new(2);
+        c.register_reader(0, 1, PageNum(0), s.shard(0));
+        c.register_writer(1, 1, PageNum(0), s.shard(1));
+        c.end_sd_fence(1);
+        c.reset_all();
+        assert_eq!(c.timestamps(PageNum(0)), (0, 0));
+        assert_eq!(c.clock(0), 0);
+        assert_eq!(c.clock(1), 0);
+        assert!(!c.read_registered(0, 1, PageNum(0)));
+        assert!(c.invariant_problems(0, &[]).is_empty());
+    }
+}

@@ -84,6 +84,15 @@ pub struct CarinaConfig {
     pub fence_scan_cycles: u64,
     /// Cycles to flip protection on one page (the mprotect analogue).
     pub protect_cycles: u64,
+    /// Initial per-page lease length for the Tardis timestamp policy
+    /// (logical-clock ticks a read grant stays valid). Ignored by SI/SD.
+    pub tardis_lease: u64,
+    /// Adaptive-lease floor: writes halve a page's lease no lower than
+    /// this (Tardis only).
+    pub tardis_lease_min: u64,
+    /// Adaptive-lease ceiling: renewals of an unchanged page double its
+    /// lease no higher than this (Tardis only).
+    pub tardis_lease_max: u64,
     /// How failed verbs are reissued (backoff, jitter, per-class budgets).
     /// Irrelevant on a healthy fabric — no verb ever fails there.
     pub retry: RetryPolicy,
@@ -108,6 +117,9 @@ impl Default for CarinaConfig {
             checkpoint_cycles: 4200, // 2×64 cache lines of cold DRAM traffic
             fence_scan_cycles: 6,
             protect_cycles: 150,
+            tardis_lease: 64,
+            tardis_lease_min: 8,
+            tardis_lease_max: 4096,
             retry: RetryPolicy::default(),
         }
     }

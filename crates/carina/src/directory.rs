@@ -122,6 +122,12 @@ impl Pyxis {
         &self.entries[page.0 as usize]
     }
 
+    /// How many pages the directory covers.
+    #[inline]
+    pub fn total_pages(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
     /// Reset every entry — the paper's "initialization writes do not count"
     /// rule: reader/writer maps are nulled when the parallel section starts.
     pub fn reset_all(&self) {

@@ -23,6 +23,7 @@
 
 pub mod census;
 pub mod classification;
+pub mod coherence;
 pub mod config;
 pub mod directory;
 pub mod error;
@@ -33,6 +34,7 @@ pub mod write_buffer;
 
 pub use census::{Census, HotPage};
 pub use classification::{ClassificationMode, DirView, PageClass, WriterClass};
+pub use coherence::{CarinaSiSd, Coherence, PolicyKind, RegisterOutcome, Tardis, WriteDisposition};
 pub use config::{BatchDrain, CarinaConfig};
 pub use error::DsmError;
 pub use protocol::Dsm;

@@ -1,32 +1,40 @@
 //! The Carina protocol engine.
 //!
-//! [`Dsm`] ties together the global memory, the Pyxis directory, the
-//! per-node directory caches, page caches and write buffers, and implements
-//! the access path of the paper's §3:
+//! [`Dsm`] ties together the global memory, a pluggable [`Coherence`]
+//! policy, page caches and write buffers, and implements the access path of
+//! the paper's §3:
 //!
 //! - **Read miss** (§3.3): fetch a whole cache line of pages from their
-//!   homes, depositing our reader ID in each page's directory entry with a
-//!   remote fetch-or. The prior map tells us whether we caused a P→S
-//!   transition, in which case *we* notify the private owner by remotely
-//!   updating its directory cache (no handler runs anywhere).
+//!   homes, depositing our registration in each page's directory entry with
+//!   a remote fetch-or. What the registration *means* — reader full-map
+//!   bits and P→S detection under [`CarinaSiSd`], a timestamp lease under
+//!   [`crate::coherence::Tardis`] — is the policy's decision; the engine
+//!   posts whatever notification or fetch verbs the policy's
+//!   [`RegisterOutcome`] asks for (no handler runs anywhere).
 //! - **Write fault** (§3.5): first write to a page registers us as a
-//!   writer, possibly causing NW→SW (notify all sharers) or SW→MW (notify
-//!   the single writer), snapshots a twin for diffing, and enqueues the page
-//!   in the FIFO write buffer (§3.6.1) whose overflow downgrades the oldest
-//!   dirty page.
-//! - **SI fence** (§3.1): sweep the page cache and invalidate exactly what
-//!   Table 1 says for the configured classification mode.
+//!   writer; the policy classifies the fault (possibly asking the engine to
+//!   notify sharers) and decides twin and buffering via
+//!   [`crate::coherence::WriteDisposition`]; the page enters the FIFO write
+//!   buffer (§3.6.1) whose overflow downgrades the oldest dirty page.
+//! - **SI fence** (§3.1): sweep the page cache and invalidate exactly the
+//!   pages the policy's predicate names (Table 1 under SI/SD; expired
+//!   leases under Tardis).
 //! - **SD fence** (§3.1): drain the write buffer, diffing dirty pages
 //!   against their twins and posting the result to their homes; wait for
-//!   all posted writes to settle.
+//!   all posted writes to settle, then give the policy its release hook.
+//!
+//! The split is mechanism vs decision: the engine owns transport verbs,
+//! retry/fault plumbing, issue/poll overlap, prefetching, and the write
+//! buffer; the policy owns every *what-to-do* question. Both axes dispatch
+//! statically: `Dsm<T, C>` defaults to `SimTransport` + `CarinaSiSd`.
 //!
 //! Pages whose home is the accessing node are read and written directly in
-//! home memory (they are local); they still register in the directory so
+//! home memory (they are local); they still register with the policy so
 //! remote sharers classify them correctly.
 
-use crate::classification::{node_bit, ClassificationMode, DirView, PageClass};
+use crate::coherence::{CarinaSiSd, Coherence, RegisterOutcome};
+use crate::classification::DirView;
 use crate::config::{BatchDrain, CarinaConfig};
-use crate::directory::{DirCaches, Pyxis};
 use crate::error::DsmError;
 use crate::stats::CoherenceStats;
 use crate::write_buffer::WriteBuffer;
@@ -36,7 +44,7 @@ use mem::{
 };
 use rma::{
     Attempt, AttemptSeq, Completion, Endpoint, Retried, RetryExhausted, SimTransport, Transport,
-    VerbClass, VerbToken,
+    VerbClass, VerbError, VerbToken,
 };
 
 /// An issued-but-unpolled verb: its token, the resumable remainder of the
@@ -55,39 +63,6 @@ const DIFF_WORD_BYTES: u64 = 10;
 const NOTIFY_BYTES: u64 = 32;
 /// Per-word compute charge of bulk (streaming) slice access.
 const STREAM_WORD_CYCLES: u64 = 1;
-
-/// A lock-free page-indexed bitset: the fast-path mirror of "this node's
-/// bit is already in the directory maps", checked on every access.
-#[derive(Debug)]
-struct PageBitSet {
-    words: Vec<AtomicU64>,
-}
-
-impl PageBitSet {
-    fn new(pages: u64) -> Self {
-        PageBitSet {
-            words: (0..pages.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
-        }
-    }
-
-    #[inline]
-    fn get(&self, page: PageNum) -> bool {
-        let w = (page.0 / 64) as usize;
-        self.words[w].load(Ordering::Relaxed) & (1 << (page.0 % 64)) != 0
-    }
-
-    #[inline]
-    fn set(&self, page: PageNum) {
-        let w = (page.0 / 64) as usize;
-        self.words[w].fetch_or(1 << (page.0 % 64), Ordering::Relaxed);
-    }
-
-    fn clear_all(&self) {
-        for w in &self.words {
-            w.store(0, Ordering::Relaxed);
-        }
-    }
-}
 
 /// One core's stride predictor: the last line it missed on, the stride of
 /// that miss relative to the one before, and how many consecutive misses
@@ -125,26 +100,27 @@ struct Prefetcher {
     ring: VecDeque<PrefetchedLine>,
 }
 
-/// Per-node coherence state.
+/// Per-node engine state (registration fast paths live in the policy).
 #[derive(Debug)]
 struct NodeState {
     cache: PageCache,
     wbuf: WriteBuffer,
     /// Max settle time of writes this node has posted but not yet fenced.
     pending_settle: AtomicU64,
-    /// Fast-path: pages this node has registered as reader / writer of.
-    reg_read: PageBitSet,
-    reg_write: PageBitSet,
     /// Stride-prefetch state (inert unless `CarinaConfig::prefetch_lines`
     /// is nonzero).
     prefetch: Mutex<Prefetcher>,
 }
 
-/// The distributed shared memory: data plane plus the Carina protocol.
+/// The distributed shared memory: data plane plus a pluggable coherence
+/// protocol.
 ///
-/// Generic over the RMA [`Transport`] backend; defaults to the virtual-time
-/// [`SimTransport`]. All dispatch is static — instantiating with
-/// `rma::NativeTransport` runs the identical protocol at wall-clock speed.
+/// Generic over the RMA [`Transport`] backend and the [`Coherence`] policy;
+/// defaults to the virtual-time [`SimTransport`] running the paper's
+/// [`CarinaSiSd`]. All dispatch is static — instantiating with
+/// `rma::NativeTransport` runs the identical protocol at wall-clock speed,
+/// and instantiating with [`crate::coherence::Tardis`] runs timestamp
+/// leases on the identical engine.
 ///
 /// ```
 /// use carina::{CarinaConfig, Dsm};
@@ -164,10 +140,9 @@ struct NodeState {
 /// assert_eq!(dsm.read_u64(&mut consumer, addr), 7);
 /// ```
 #[derive(Debug)]
-pub struct Dsm<T: Transport = SimTransport> {
+pub struct Dsm<T: Transport = SimTransport, C: Coherence = CarinaSiSd> {
     global: GlobalMemory,
-    pyxis: Pyxis,
-    dir_caches: DirCaches,
+    coherence: C,
     allocator: GlobalAllocator,
     net: Arc<T>,
     config: CarinaConfig,
@@ -186,15 +161,22 @@ pub struct Dsm<T: Transport = SimTransport> {
 
 impl<T: Transport> Dsm<T> {
     /// Build a DSM over `net`'s topology with `bytes_per_node` of global
-    /// memory contributed by each node.
+    /// memory contributed by each node, running the paper's SI/SD protocol.
     pub fn new(net: Arc<T>, bytes_per_node: u64, config: CarinaConfig) -> Arc<Self> {
+        Dsm::with_policy(net, bytes_per_node, config)
+    }
+}
+
+impl<T: Transport, C: Coherence> Dsm<T, C> {
+    /// Build a DSM over `net`'s topology with `bytes_per_node` of global
+    /// memory contributed by each node, running coherence policy `C`.
+    pub fn with_policy(net: Arc<T>, bytes_per_node: u64, config: CarinaConfig) -> Arc<Self> {
         let n = net.topology().nodes;
-        assert!(n <= 128, "Pyxis full maps support up to 128 nodes");
+        assert!(n <= 128, "directory metadata supports up to 128 nodes");
         let global = GlobalMemory::with_policy(n, bytes_per_node, config.home_policy);
         let total_pages = global.total_pages();
         Arc::new(Dsm {
-            pyxis: Pyxis::new(total_pages),
-            dir_caches: DirCaches::new(n, total_pages),
+            coherence: C::new(n, total_pages, &config),
             allocator: GlobalAllocator::new(global.total_bytes()),
             global,
             net,
@@ -212,12 +194,22 @@ impl<T: Transport> Dsm<T> {
                         config.write_buffer_shards,
                     ),
                     pending_settle: AtomicU64::new(0),
-                    reg_read: PageBitSet::new(total_pages),
-                    reg_write: PageBitSet::new(total_pages),
                     prefetch: Mutex::new(Prefetcher::default()),
                 })
                 .collect(),
         })
+    }
+
+    /// The coherence policy's short name (report labels, bench ids).
+    #[inline]
+    pub fn policy_name(&self) -> &'static str {
+        C::NAME
+    }
+
+    /// The coherence policy instance (tests and policy-specific probes).
+    #[inline]
+    pub fn coherence(&self) -> &C {
+        &self.coherence
     }
 
     #[inline]
@@ -376,6 +368,40 @@ impl<T: Transport> Dsm<T> {
         }
     }
 
+    /// Issue one network-timeline verb with the full retry schedule and
+    /// bookkeeping: `verb` posts the operation at the issue time it is
+    /// given (`base` plus the attempt's cumulative backoff). Every
+    /// fire-and-wait remote verb site — notifications, write-backs,
+    /// directory atomics, checkpoint fetches — funnels its
+    /// `RetryPolicy::run` + error-map boilerplate through here.
+    #[inline]
+    fn net_verb(
+        &self,
+        me: u16,
+        target: u16,
+        class: VerbClass,
+        salt: u64,
+        base: u64,
+        mut verb: impl FnMut(u64) -> Result<Completion, VerbError>,
+    ) -> Result<Completion, DsmError> {
+        self.verb_retried(
+            me,
+            target,
+            self.config.retry.run(class, salt, |a| verb(base + a.delay)),
+        )
+    }
+
+    /// Fold a posted write's completion into `me`'s clock and fence
+    /// obligations: the initiator-done time advances the endpoint, the
+    /// settle time joins the set the next SD fence must await.
+    #[inline]
+    fn settle_posted(&self, t: &mut T::Endpoint, me: u16, timing: &Completion) {
+        t.merge(timing.initiator_done);
+        self.nodes[me as usize]
+            .pending_settle
+            .fetch_max(timing.settled, Ordering::AcqRel);
+    }
+
     /// The panicking flavors' shared exit: programs that opted out of
     /// fault handling abort with the route and class in the message.
     #[inline]
@@ -515,10 +541,9 @@ impl<T: Transport> Dsm<T> {
             .record(|| obs_start, || crate::trace::Event::WriteFault { node: me, page });
         t.fault_trap();
         self.register_writer(t, page, me)?;
-        let view = self.dir_caches.entry(me, page).view();
-        let need_twin = !(self.config.sw_no_diff && view.writers == node_bit(me));
+        let disp = self.coherence.write_disposition(me, page);
         debug_assert!(st.pages[idx].mask.is_empty(), "clean page carries mask bits");
-        if need_twin {
+        if disp.need_twin {
             // The twin starts empty; `store_cached` copies each 64-word
             // chunk from the live data the first time the chunk is written,
             // so only touched chunks are ever materialized. The *virtual*
@@ -534,7 +559,7 @@ impl<T: Transport> Dsm<T> {
             obs::Site::WriteFault,
             t.obs_now().saturating_sub(obs_start),
         );
-        Ok(view.must_self_downgrade(self.config.mode, me))
+        Ok(disp.buffer)
     }
 
     /// Read an aligned f64.
@@ -753,6 +778,8 @@ impl<T: Transport> Dsm<T> {
         // An acquire invalidates speculation too: ring snapshots predate
         // the synchronization this fence establishes.
         self.flush_prefetch(me);
+        // Acquire-side policy hook (Tardis merges the global clock here).
+        self.coherence.begin_si_fence(me);
         let ns = &self.nodes[me as usize];
         // O(resident): only slots holding a line are visited; empty slots
         // of a roomy cache cost nothing.
@@ -767,8 +794,10 @@ impl<T: Transport> Dsm<T> {
                 }
                 let page = PageNum(base.0 + idx as u64);
                 t.compute(self.config.fence_scan_cycles);
-                let view = self.dir_caches.entry(me, page).view();
-                if view.must_self_invalidate(self.config.mode, me) {
+                if self
+                    .coherence
+                    .must_self_invalidate(me, page, self.stats.shard(me))
+                {
                     if st.pages[idx].dirty {
                         self.downgrade_locked(t, &mut st, page, me)?;
                         ns.wbuf.remove(page);
@@ -842,7 +871,7 @@ impl<T: Transport> Dsm<T> {
                 self.downgrade(t, page, me)?;
             }
         }
-        if self.config.mode == ClassificationMode::PsNaive {
+        if self.coherence.needs_checkpoint_sweep() {
             self.naive_checkpoint_sweep(t, me)?;
         }
         // Wait for posted downgrades/notifications to become globally
@@ -852,6 +881,9 @@ impl<T: Transport> Dsm<T> {
         // also holds *other* nodes' future reservations and must not be
         // merged wholesale.
         t.merge(ns.pending_settle.load(Ordering::Acquire));
+        // Release-side policy hook, after the drain settled (Tardis
+        // publishes its clock and opens a new write epoch here).
+        self.coherence.end_sd_fence(me);
         let dur = t.obs_now().saturating_sub(obs_start);
         self.profile.record(me as usize, obs::Site::SdFence, dur);
         self.tracer.record(
@@ -882,8 +914,7 @@ impl<T: Transport> Dsm<T> {
                     continue;
                 }
                 let page = PageNum(base.0 + idx as u64);
-                let view = self.dir_caches.entry(me, page).view();
-                if view.page_class() == PageClass::Private {
+                if self.coherence.private_in_cache(me, page) {
                     // Local checkpoint copy; the simulator also quietly
                     // deposits the data at home so a later P→S reader finds
                     // it (the newcomer is charged the checkpoint-service
@@ -1251,19 +1282,14 @@ impl<T: Transport> Dsm<T> {
         page: PageNum,
         me: u16,
     ) -> Result<(), DsmError> {
-        let ns = &self.nodes[me as usize];
-        if ns.reg_read.get(page) {
+        if self.coherence.read_registered(me, me, page) {
             return Ok(());
         }
         t.dram_access();
-        let before = self.pyxis.entry(page).or_readers(node_bit(me));
-        let after = DirView {
-            readers: before.readers | node_bit(me),
-            writers: before.writers,
-        };
-        self.dir_caches.entry(me, page).store_view(after);
-        ns.reg_read.set(page);
-        self.handle_read_transition(t, page, me, before, after)
+        let outcome = self
+            .coherence
+            .register_reader(me, me, page, self.stats.shard(me));
+        self.apply_outcome(t, page, me, outcome)
     }
 
     /// Register as a reader of `page` at remote `home`, issuing the
@@ -1278,19 +1304,15 @@ impl<T: Transport> Dsm<T> {
         home: u16,
         start: u64,
     ) -> Result<Option<u64>, DsmError> {
-        if self.nodes[me as usize].reg_read.get(page) {
-            // Already a registered reader: refresh is piggy-backed on the
-            // data fetch (no separate atomic).
+        if self.coherence.read_registered(me, home, page) {
+            // Already registered (or the lease still holds): refresh is
+            // piggy-backed on the data fetch (no separate atomic).
             return Ok(None);
         }
         let loc = t.loc();
-        let timing = self.verb_retried(
-            me,
-            home,
-            self.config.retry.run(VerbClass::DirectoryAtomic, page.0, |a| {
-                self.net.rdma_fetch_or(loc, NodeId(home), start + a.delay)
-            }),
-        )?;
+        let timing = self.net_verb(me, home, VerbClass::DirectoryAtomic, page.0, start, |at| {
+            self.net.rdma_fetch_or(loc, NodeId(home), at)
+        })?;
         let mut op_clock = timing.initiator_done;
         if self.config.active_directory {
             op_clock += self.net.cost().handler_cycles;
@@ -1299,52 +1321,11 @@ impl<T: Transport> Dsm<T> {
                 .handler_invocations
                 .fetch_add(1, Ordering::Relaxed);
         }
-        let before = self.pyxis.entry(page).or_readers(node_bit(me));
-        let after = DirView {
-            readers: before.readers | node_bit(me),
-            writers: before.writers,
-        };
-        self.dir_caches.entry(me, page).store_view(after);
-        self.nodes[me as usize].reg_read.set(page);
-        self.handle_read_transition(t, page, me, before, after)?;
+        let outcome = self
+            .coherence
+            .register_reader(me, home, page, self.stats.shard(me));
+        self.apply_outcome(t, page, me, outcome)?;
         Ok(Some(op_clock))
-    }
-
-    /// Detect and service a P→S transition caused by our read.
-    fn handle_read_transition(
-        &self,
-        t: &mut T::Endpoint,
-        page: PageNum,
-        me: u16,
-        before: DirView,
-        after: DirView,
-    ) -> Result<(), DsmError> {
-        let prior = before.accessors();
-        if prior != 0 && prior & node_bit(me) == 0 && prior.count_ones() == 1 {
-            let owner = prior.trailing_zeros() as u16;
-            CoherenceStats::bump(&self.stats.shard(me).p_to_s);
-            self.tracer.record(|| t.obs_now(), || crate::trace::Event::PToS {
-                page,
-                newcomer: me,
-                owner,
-            });
-            self.notify(t, owner, page, after, me)?;
-            if self.config.mode == ClassificationMode::PsNaive {
-                // Service the transition from the owner's checkpoint: one
-                // extra round trip to the owner (§3.4.2 "naïve solution").
-                let loc = t.loc();
-                let now = t.now();
-                let timing = self.verb_retried(
-                    me,
-                    owner,
-                    self.config.retry.run(VerbClass::PageFetch, page.0, |a| {
-                        self.net.rdma_read(loc, NodeId(owner), now + a.delay, PAGE_BYTES)
-                    }),
-                )?;
-                t.merge(timing.initiator_done);
-            }
-        }
-        Ok(())
     }
 
     /// Register as a writer of a page homed here.
@@ -1354,20 +1335,23 @@ impl<T: Transport> Dsm<T> {
         page: PageNum,
         me: u16,
     ) -> Result<(), DsmError> {
-        if self.nodes[me as usize].reg_write.get(page) {
+        if self.coherence.write_registered(me, me, page) {
             return Ok(());
         }
         t.dram_access();
-        self.register_writer_common(t, page, me)
+        let outcome = self
+            .coherence
+            .register_writer(me, me, page, self.stats.shard(me));
+        self.apply_outcome(t, page, me, outcome)
     }
 
     /// Register as a writer of a (remote) page; charges the directory
     /// atomic unless we are already registered.
     fn register_writer(&self, t: &mut T::Endpoint, page: PageNum, me: u16) -> Result<(), DsmError> {
-        if self.nodes[me as usize].reg_write.get(page) {
+        let home = self.global.home_of(page);
+        if self.coherence.write_registered(me, home, page) {
             return Ok(());
         }
-        let home = self.global.home_of(page);
         // Endpoint-level verb: backoff is spent as local compute before the
         // reissue (the endpoint's own clock is the only timeline here).
         self.verb_retried(
@@ -1387,104 +1371,74 @@ impl<T: Transport> Dsm<T> {
                 .handler_invocations
                 .fetch_add(1, Ordering::Relaxed);
         }
-        self.register_writer_common(t, page, me)
+        let outcome = self
+            .coherence
+            .register_writer(me, home, page, self.stats.shard(me));
+        self.apply_outcome(t, page, me, outcome)
     }
 
-    fn register_writer_common(
+    /// Perform the wire work a registration decided on: trace its
+    /// transition events, post one notification per affected node, and
+    /// service a checkpoint fetch if the policy asked for one. The policy
+    /// already applied all metadata mutations host-side; this is purely
+    /// the engine's verbs-and-clocks half.
+    fn apply_outcome(
         &self,
         t: &mut T::Endpoint,
         page: PageNum,
         me: u16,
+        outcome: RegisterOutcome,
     ) -> Result<(), DsmError> {
-        let before = self.pyxis.entry(page).or_writers(node_bit(me));
-        let after = DirView {
-            readers: before.readers,
-            writers: before.writers | node_bit(me),
-        };
-        self.dir_caches.entry(me, page).store_view(after);
-        self.nodes[me as usize].reg_write.set(page);
-
-        // P→S caused by a write from a new node (§3.5 "Private, but written
-        // by a new node").
-        let prior = before.accessors();
-        if prior != 0 && prior & node_bit(me) == 0 && prior.count_ones() == 1 {
-            let owner = prior.trailing_zeros() as u16;
-            CoherenceStats::bump(&self.stats.shard(me).p_to_s);
-            self.tracer.record(|| t.obs_now(), || crate::trace::Event::PToS {
-                page,
-                newcomer: me,
-                owner,
-            });
-            self.notify(t, owner, page, after, me)?;
+        if outcome.is_quiet() {
+            return Ok(());
         }
-        // Writer-class transitions.
-        match before.writers.count_ones() {
-            0
-                // NW→SW. If the page is shared, every node caching it must
-                // learn there is now a writer (§3.5 "Shared, NW").
-                if (prior.count_ones() > 1 || (prior != 0 && prior & node_bit(me) == 0)) => {
-                    CoherenceStats::bump(&self.stats.shard(me).nw_to_sw);
-                    self.tracer.record(|| t.obs_now(), || crate::trace::Event::NwToSw {
-                        page,
-                        writer: me,
-                    });
-                    let mut others = prior & !node_bit(me);
-                    while others != 0 {
-                        let n = others.trailing_zeros() as u16;
-                        others &= others - 1;
-                        self.notify(t, n, page, after, me)?;
-                    }
-                }
-            1 if before.writers & node_bit(me) == 0 => {
-                // SW→MW: only the previous single writer needs to know
-                // (§3.5 "Shared, SW"); for everyone else SW and MW are
-                // equivalent.
-                CoherenceStats::bump(&self.stats.shard(me).sw_to_mw);
-                let w = before.writers.trailing_zeros() as u16;
-                self.tracer.record(|| t.obs_now(), || crate::trace::Event::SwToMw {
-                    page,
-                    new_writer: me,
-                    old_writer: w,
-                });
-                self.notify(t, w, page, after, me)?;
-            }
-            _ => {}
+        for ev in outcome.events {
+            self.tracer.record(|| t.obs_now(), move || ev);
+        }
+        for target in outcome.notify {
+            self.notify(t, target, page, me)?;
+        }
+        if let Some(owner) = outcome.fetch_from {
+            // Service the fill from `owner`'s checkpoint: one extra round
+            // trip (§3.4.2 "naïve solution").
+            let loc = t.loc();
+            let timing = self.net_verb(me, owner, VerbClass::PageFetch, page.0, t.now(), |at| {
+                self.net.rdma_read(loc, NodeId(owner), at, PAGE_BYTES)
+            })?;
+            t.merge(timing.initiator_done);
         }
         Ok(())
     }
 
-    /// Remotely update `target`'s directory cache entry for `page` — the
-    /// passive notification mechanism. A posted one-sided write; no code
-    /// runs at `target`.
+    /// Post the wire half of a directory-cache notification — the passive
+    /// mechanism's one-sided write; no code runs at `target`. The metadata
+    /// itself was already deposited by the policy (host-side, like the
+    /// real remote OR).
     fn notify(
         &self,
         t: &mut T::Endpoint,
         target: u16,
         page: PageNum,
-        view: DirView,
         me: u16,
     ) -> Result<(), DsmError> {
         if target == me {
             return Ok(());
         }
-        self.dir_caches.entry(target, page).or_view(view);
         self.tracer.record(|| t.obs_now(), || crate::trace::Event::Notify {
             from: me,
             to: target,
             page,
         });
         let loc = t.loc();
-        let now = t.now();
-        let timing = self.verb_retried(
+        let timing = self.net_verb(
             me,
             target,
-            self.config.retry.run(
-                VerbClass::Notify,
-                page.0.wrapping_add((target as u64) << 48),
-                |a| self.net.rdma_write(loc, NodeId(target), now + a.delay, NOTIFY_BYTES),
-            ),
+            VerbClass::Notify,
+            page.0.wrapping_add((target as u64) << 48),
+            t.now(),
+            |at| self.net.rdma_write(loc, NodeId(target), at, NOTIFY_BYTES),
         )?;
-        t.merge(timing.initiator_done);
+        self.settle_posted(t, me, &timing);
         if self.config.active_directory {
             t.compute(self.net.cost().handler_cycles);
             self.net
@@ -1492,9 +1446,6 @@ impl<T: Transport> Dsm<T> {
                 .handler_invocations
                 .fetch_add(1, Ordering::Relaxed);
         }
-        self.nodes[me as usize]
-            .pending_settle
-            .fetch_max(timing.settled, Ordering::AcqRel);
         Ok(())
     }
 
@@ -1531,18 +1482,10 @@ impl<T: Transport> Dsm<T> {
             return Ok(());
         }
         let loc = t.loc();
-        let now = t.now();
-        let timing = self.verb_retried(
-            me,
-            home,
-            self.config.retry.run(VerbClass::Downgrade, page.0, |a| {
-                self.net.rdma_write(loc, NodeId(home), now + a.delay, bytes)
-            }),
-        )?;
-        t.merge(timing.initiator_done);
-        self.nodes[me as usize]
-            .pending_settle
-            .fetch_max(timing.settled, Ordering::AcqRel);
+        let timing = self.net_verb(me, home, VerbClass::Downgrade, page.0, t.now(), |at| {
+            self.net.rdma_write(loc, NodeId(home), at, bytes)
+        })?;
+        self.settle_posted(t, me, &timing);
         Ok(())
     }
 
@@ -1564,12 +1507,12 @@ impl<T: Transport> Dsm<T> {
             return None;
         }
         let home_page = self.global.home_page(page);
-        let view = self.dir_caches.entry(me, page).view();
         // A single writer may skip diff transmission: no other node can
         // have written this page, so the whole page is safe to send and the
         // diff computation is saved (the sw_no_diff extension; paper §3.2
-        // leaves it as future work).
-        let sw_skip = self.config.sw_no_diff && view.writers == node_bit(me);
+        // leaves it as future work). Only sound when the policy can prove
+        // single-writer ownership — Tardis never can and always diffs.
+        let sw_skip = self.config.sw_no_diff && self.coherence.downgrade_skip_diff(me, page);
         let data = st.data(idx);
         let bytes = match (&st.pages[idx].twin, sw_skip) {
             (Some(twin), false) => {
@@ -1712,11 +1655,8 @@ impl<T: Transport> Dsm<T> {
             }
             let _ = ns.wbuf.drain();
             ns.pending_settle.store(0, Ordering::Release);
-            ns.reg_read.clear_all();
-            ns.reg_write.clear_all();
         }
-        self.pyxis.reset_all();
-        self.dir_caches.reset_all();
+        self.coherence.reset_all();
         self.stats.reset();
         self.profile.reset();
         self.heat.reset();
@@ -1765,11 +1705,8 @@ impl<T: Transport> Dsm<T> {
                 st.ready_at = 0;
             }
             ns.pending_settle.store(0, Ordering::Release);
-            ns.reg_read.clear_all();
-            ns.reg_write.clear_all();
         }
-        self.pyxis.reset_all();
-        self.dir_caches.reset_all();
+        self.coherence.reset_all();
         CoherenceStats::bump(&self.stats.shard(me).decays);
         Ok(())
     }
@@ -1816,15 +1753,10 @@ impl<T: Transport> Dsm<T> {
         st.pages[idx].mask.clear();
         if home != owner {
             let loc = t.loc();
-            let now = t.now();
             let me = t.node().0;
-            let timing = self.verb_retried(
-                me,
-                home,
-                self.config.retry.run(VerbClass::Downgrade, page.0, |a| {
-                    self.net.rdma_write(loc, NodeId(home), now + a.delay, bytes)
-                }),
-            )?;
+            let timing = self.net_verb(me, home, VerbClass::Downgrade, page.0, t.now(), |at| {
+                self.net.rdma_write(loc, NodeId(home), at, bytes)
+            })?;
             t.merge(timing.settled);
             CoherenceStats::bump(&self.stats.shard(owner).writebacks);
             CoherenceStats::add(&self.stats.shard(owner).writeback_bytes, bytes);
@@ -1834,14 +1766,16 @@ impl<T: Transport> Dsm<T> {
 
     /// Check the protocol's internal invariants; returns a list of
     /// violations (empty = healthy). Intended for tests and debugging at
-    /// quiescent points (no concurrent accesses):
+    /// quiescent points (no concurrent accesses).
     ///
-    /// 1. A dirty cached page always has its writer bit registered.
-    /// 2. Clean pages hold no twin; dirty pages are valid.
-    /// 3. In P/S3 and AllShared modes, a quiescent node's write buffer
-    ///    contains exactly its dirty page set (no leaks, no strays).
-    /// 4. Every registered fast-path bit is reflected in the home maps.
-    /// 5. Cached pages are never homed on the caching node.
+    /// Engine-owned checks:
+    /// 1. Clean pages hold no twin or mask bits; dirty pages are valid.
+    /// 2. When the policy buffers every dirty page, a quiescent node's
+    ///    write buffer contains exactly its dirty page set.
+    /// 3. Cached pages are never homed on the caching node.
+    ///
+    /// Policy-owned checks (registration consistency, `wts <= rts`, lease
+    /// subsumption, …) are appended via [`Coherence::invariant_problems`].
     pub fn check_invariants(&self) -> Vec<String> {
         let mut problems = Vec::new();
         for (n, ns) in self.nodes.iter().enumerate() {
@@ -1862,13 +1796,6 @@ impl<T: Transport> Dsm<T> {
                             problems.push(format!("n{n}: dirty but invalid page {}", page.0));
                         }
                         dirty_pages.push(page);
-                        let home = self.pyxis.entry(page).view();
-                        if home.writers & node_bit(me) == 0 {
-                            problems.push(format!(
-                                "n{n}: dirty page {} without writer registration",
-                                page.0
-                            ));
-                        }
                     } else if cp.twin.is_some() {
                         problems.push(format!("n{n}: clean page {} holds a twin", page.0));
                     } else if !cp.mask.is_empty() {
@@ -1878,7 +1805,7 @@ impl<T: Transport> Dsm<T> {
                     }
                 }
             }
-            if self.config.mode != ClassificationMode::PsNaive {
+            if self.coherence.buffers_every_dirty_page() {
                 let mut buffered = ns.wbuf.snapshot();
                 buffered.sort_unstable();
                 let mut dirty = dirty_pages.clone();
@@ -1891,17 +1818,7 @@ impl<T: Transport> Dsm<T> {
                     ));
                 }
             }
-            // Fast-path bitsets must be a subset of the home maps.
-            for q in 0..self.global.total_pages() {
-                let page = PageNum(q);
-                let home = self.pyxis.entry(page).view();
-                if ns.reg_read.get(page) && home.readers & node_bit(me) == 0 {
-                    problems.push(format!("n{n}: reg_read bit for {q} not in home map"));
-                }
-                if ns.reg_write.get(page) && home.writers & node_bit(me) == 0 {
-                    problems.push(format!("n{n}: reg_write bit for {q} not in home map"));
-                }
-            }
+            problems.extend(self.coherence.invariant_problems(me, &dirty_pages));
         }
         problems
     }
@@ -1920,19 +1837,24 @@ impl<T: Transport> Dsm<T> {
             .store(addr.word_index(), value)
     }
 
+    /// The policy's accessor view for `page` (census walks). Authoritative
+    /// under SI/SD; diagnostic under timestamp policies.
+    pub fn home_dir_view_of_page(&self, page: PageNum) -> DirView {
+        self.coherence.census_view(page)
+    }
+}
+
+/// SI/SD-specific directory inspection (tests and the protocol tour peek
+/// at the full maps; timestamp policies have no equivalent).
+impl<T: Transport> Dsm<T, CarinaSiSd> {
     /// The directory view a node currently holds for `addr`'s page
     /// (test/diagnostic aid).
     pub fn dir_view(&self, node: u16, addr: GlobalAddr) -> DirView {
-        self.dir_caches.entry(node, addr.page()).view()
+        self.coherence.node_view(node, addr.page())
     }
 
     /// The authoritative home directory view for `addr`'s page.
     pub fn home_dir_view(&self, addr: GlobalAddr) -> DirView {
-        self.pyxis.entry(addr.page()).view()
-    }
-
-    /// The authoritative home directory view for `page` (census walks).
-    pub fn home_dir_view_of_page(&self, page: PageNum) -> DirView {
-        self.pyxis.entry(page).view()
+        self.coherence.home_view(addr.page())
     }
 }

@@ -66,6 +66,14 @@ pub struct StatShard {
     /// Prefetched pages dropped unconsumed (ring overflow, fence flush, or
     /// a failed speculative verb).
     pub prefetch_wasted: AtomicU64,
+    /// Leases re-granted on a page the node already held (Tardis only).
+    pub lease_renewals: AtomicU64,
+    /// Cached pages an SI fence dropped because their lease expired
+    /// (Tardis only).
+    pub lease_expiries: AtomicU64,
+    /// Cached pages an SI fence kept because their lease was still valid —
+    /// the invalidations the timestamp protocol avoided (Tardis only).
+    pub lease_kept: AtomicU64,
 }
 
 impl StatShard {
@@ -96,6 +104,9 @@ impl StatShard {
         out.prefetch_issued += l(&self.prefetch_issued);
         out.prefetch_hits += l(&self.prefetch_hits);
         out.prefetch_wasted += l(&self.prefetch_wasted);
+        out.lease_renewals += l(&self.lease_renewals);
+        out.lease_expiries += l(&self.lease_expiries);
+        out.lease_kept += l(&self.lease_kept);
     }
 
     fn reset(&self) {
@@ -125,6 +136,9 @@ impl StatShard {
         z(&self.prefetch_issued);
         z(&self.prefetch_hits);
         z(&self.prefetch_wasted);
+        z(&self.lease_renewals);
+        z(&self.lease_expiries);
+        z(&self.lease_kept);
     }
 }
 
@@ -162,6 +176,9 @@ pub struct CoherenceSnapshot {
     pub prefetch_issued: u64,
     pub prefetch_hits: u64,
     pub prefetch_wasted: u64,
+    pub lease_renewals: u64,
+    pub lease_expiries: u64,
+    pub lease_kept: u64,
 }
 
 impl CoherenceStats {
@@ -239,6 +256,17 @@ impl CoherenceSnapshot {
             return 0.0;
         }
         self.prefetch_hits as f64 / resolved as f64
+    }
+
+    /// Fraction of lease-held pages an SI fence kept because their lease
+    /// was still valid — the invalidations Tardis avoided (0.0 under
+    /// policies that grant no leases).
+    pub fn lease_keep_ratio(&self) -> f64 {
+        let total = self.lease_expiries + self.lease_kept;
+        if total == 0 {
+            return 0.0;
+        }
+        self.lease_kept as f64 / total as f64
     }
 
     /// Fraction of write-back wire bytes that were diffed words — how much

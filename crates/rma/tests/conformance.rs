@@ -259,3 +259,45 @@ fn native_transport_is_timeless() {
     assert_eq!(e.now(), 0);
     assert_eq!(net.drained_at(NodeId(0)), 0);
 }
+
+// --- DSM contract: every transport x coherence-policy combination ---
+
+/// The protocol-level contract every (transport, coherence policy) pair
+/// must meet: a value written before an SD fence is observed by a remote
+/// reader after its SI fence, read-your-own-writes holds without fences,
+/// and the engine's internal invariants stay clean at the end.
+fn dsm_meets_the_contract<T: Transport, C: carina::Coherence>(net: Arc<T>) {
+    use mem::GlobalAddr;
+    let dsm = carina::Dsm::<T, C>::with_policy(net.clone(), 1 << 20, carina::CarinaConfig::default());
+    let topo = net.topology();
+    let mut a = T::endpoint(&net, topo.loc(NodeId(0), 0));
+    let mut b = T::endpoint(&net, topo.loc(NodeId(1), 0));
+    let addr = GlobalAddr(dsm.total_bytes() / 2); // homed on node 1
+
+    // Read-your-own-writes, no fences needed.
+    dsm.write_u64(&mut a, addr, 7);
+    assert_eq!(dsm.read_u64(&mut a, addr), 7, "{}: RYOW broke", C::NAME);
+
+    // Release/acquire publication across nodes.
+    dsm.sd_fence(&mut a);
+    dsm.si_fence(&mut b);
+    assert_eq!(dsm.read_u64(&mut b, addr), 7, "{}: publication broke", C::NAME);
+
+    // A second round through the same page (lease renewal / re-fetch path).
+    dsm.write_u64(&mut b, addr, 9);
+    dsm.sd_fence(&mut b);
+    dsm.si_fence(&mut a);
+    assert_eq!(dsm.read_u64(&mut a, addr), 9, "{}: second round broke", C::NAME);
+
+    dsm.check_invariants();
+}
+
+#[test]
+fn dsm_contract_holds_for_every_policy_and_backend() {
+    let topo = ClusterTopology::tiny(2);
+    let cost = CostModel::paper_2011();
+    dsm_meets_the_contract::<_, carina::CarinaSiSd>(Interconnect::new(topo, cost));
+    dsm_meets_the_contract::<_, carina::Tardis>(Interconnect::new(topo, cost));
+    dsm_meets_the_contract::<_, carina::CarinaSiSd>(NativeTransport::with_cost(topo, cost));
+    dsm_meets_the_contract::<_, carina::Tardis>(NativeTransport::with_cost(topo, cost));
+}

@@ -6,7 +6,7 @@
 //! self-invalidates the node's cache → node-local release. One SD and one
 //! SI per *node* per barrier episode, not per thread.
 
-use carina::Dsm;
+use carina::{CarinaSiSd, Coherence, Dsm};
 use parking_lot::{Condvar, Mutex};
 use rma::{Endpoint, SimTransport, Transport};
 use std::sync::Arc;
@@ -84,16 +84,16 @@ impl ClockBarrier {
 }
 
 /// Argo's hierarchical barrier over a DSM cluster.
-pub struct HierBarrier<T: Transport = SimTransport> {
-    dsm: Arc<Dsm<T>>,
+pub struct HierBarrier<T: Transport = SimTransport, C: Coherence = CarinaSiSd> {
+    dsm: Arc<Dsm<T, C>>,
     node_barriers: Vec<ClockBarrier>,
     global: Arc<ClockBarrier>,
 }
 
-impl<T: Transport> HierBarrier<T> {
+impl<T: Transport, C: Coherence> HierBarrier<T, C> {
     /// `threads_per_node[i]` = participating threads on node `i`. Nodes
     /// with zero threads do not participate.
-    pub fn new(dsm: Arc<Dsm<T>>, threads_per_node: &[usize]) -> Self {
+    pub fn new(dsm: Arc<Dsm<T, C>>, threads_per_node: &[usize]) -> Self {
         let cost = dsm.net().cost();
         let active_nodes = threads_per_node.iter().filter(|&&n| n > 0).count();
         assert!(active_nodes > 0, "barrier needs at least one active node");

@@ -11,7 +11,7 @@
 //! delegation eliminates, and is why HQDL wins in Figure 12.
 
 use crate::dsm::global_lock::DsmGlobalLock;
-use carina::Dsm;
+use carina::{CarinaSiSd, Coherence, Dsm};
 use parking_lot::{Condvar, Mutex};
 use rma::{Endpoint, SimTransport, Transport};
 use simnet::NodeId;
@@ -45,22 +45,22 @@ pub enum FencePlacement {
 }
 
 /// A hierarchical (cohort) lock over a DSM cluster.
-pub struct DsmCohortLock<T: Transport = SimTransport> {
-    dsm: Arc<Dsm<T>>,
+pub struct DsmCohortLock<T: Transport = SimTransport, C: Coherence = CarinaSiSd> {
+    dsm: Arc<Dsm<T, C>>,
     global: Arc<DsmGlobalLock>,
     tiers: Vec<LocalTier>,
     pass_limit: u64,
     fencing: FencePlacement,
 }
 
-impl<T: Transport> DsmCohortLock<T> {
+impl<T: Transport, C: Coherence> DsmCohortLock<T, C> {
     /// The paper's baseline configuration: per-section fences.
-    pub fn new(dsm: Arc<Dsm<T>>, pass_limit: u64) -> Arc<Self> {
+    pub fn new(dsm: Arc<Dsm<T, C>>, pass_limit: u64) -> Arc<Self> {
         Self::with_fencing(dsm, pass_limit, FencePlacement::PerSection)
     }
 
     pub fn with_fencing(
-        dsm: Arc<Dsm<T>>,
+        dsm: Arc<Dsm<T, C>>,
         pass_limit: u64,
         fencing: FencePlacement,
     ) -> Arc<Self> {

@@ -12,7 +12,7 @@
 //! its home node, not through the page cache.
 
 use crate::dsm::global_lock::lock_fault;
-use carina::{Dsm, DsmError};
+use carina::{CarinaSiSd, Coherence, Dsm, DsmError};
 use parking_lot::{Condvar, Mutex};
 use rma::{Endpoint, SimTransport, Transport, VerbClass};
 use simnet::NodeId;
@@ -26,16 +26,16 @@ struct FlagState {
 }
 
 /// A cluster-wide signal/wait flag with release/acquire fence semantics.
-pub struct DsmFlag<T: Transport = SimTransport> {
-    dsm: Arc<Dsm<T>>,
+pub struct DsmFlag<T: Transport = SimTransport, C: Coherence = CarinaSiSd> {
+    dsm: Arc<Dsm<T, C>>,
     home: NodeId,
     state: Mutex<FlagState>,
     cond: Condvar,
 }
 
-impl<T: Transport> DsmFlag<T> {
+impl<T: Transport, C: Coherence> DsmFlag<T, C> {
     /// Create a flag whose word lives on `home`.
-    pub fn new(dsm: Arc<Dsm<T>>, home: NodeId) -> Arc<Self> {
+    pub fn new(dsm: Arc<Dsm<T, C>>, home: NodeId) -> Arc<Self> {
         Arc::new(DsmFlag {
             dsm,
             home,

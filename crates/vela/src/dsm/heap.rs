@@ -10,7 +10,7 @@
 //! Same algorithm as [`crate::pairing_heap`], but every word access goes
 //! through `Dsm::{read,write}_u64` and is charged virtual time.
 
-use carina::Dsm;
+use carina::{Coherence, Dsm};
 use mem::GlobalAddr;
 use rma::Transport;
 
@@ -43,8 +43,8 @@ impl DsmPairingHeap {
 
     /// Initialize an empty heap at `base` (which must have
     /// [`Self::bytes_needed`] bytes of space).
-    pub fn init<T: Transport>(
-        dsm: &Dsm<T>,
+    pub fn init<T: Transport, C: Coherence>(
+        dsm: &Dsm<T, C>,
         t: &mut T::Endpoint,
         base: GlobalAddr,
         capacity: u64,
@@ -73,35 +73,35 @@ impl DsmPairingHeap {
         self.word(HEADER_WORDS + node * NODE_WORDS + field)
     }
 
-    fn key<T: Transport>(&self, dsm: &Dsm<T>, t: &mut T::Endpoint, n: u64) -> u64 {
+    fn key<T: Transport, C: Coherence>(&self, dsm: &Dsm<T, C>, t: &mut T::Endpoint, n: u64) -> u64 {
         dsm.read_u64(t, self.node_word(n, 0))
     }
 
-    fn child<T: Transport>(&self, dsm: &Dsm<T>, t: &mut T::Endpoint, n: u64) -> u64 {
+    fn child<T: Transport, C: Coherence>(&self, dsm: &Dsm<T, C>, t: &mut T::Endpoint, n: u64) -> u64 {
         dsm.read_u64(t, self.node_word(n, 1))
     }
 
-    fn sibling<T: Transport>(&self, dsm: &Dsm<T>, t: &mut T::Endpoint, n: u64) -> u64 {
+    fn sibling<T: Transport, C: Coherence>(&self, dsm: &Dsm<T, C>, t: &mut T::Endpoint, n: u64) -> u64 {
         dsm.read_u64(t, self.node_word(n, 2))
     }
 
-    fn set_child<T: Transport>(&self, dsm: &Dsm<T>, t: &mut T::Endpoint, n: u64, v: u64) {
+    fn set_child<T: Transport, C: Coherence>(&self, dsm: &Dsm<T, C>, t: &mut T::Endpoint, n: u64, v: u64) {
         dsm.write_u64(t, self.node_word(n, 1), v);
     }
 
-    fn set_sibling<T: Transport>(&self, dsm: &Dsm<T>, t: &mut T::Endpoint, n: u64, v: u64) {
+    fn set_sibling<T: Transport, C: Coherence>(&self, dsm: &Dsm<T, C>, t: &mut T::Endpoint, n: u64, v: u64) {
         dsm.write_u64(t, self.node_word(n, 2), v);
     }
 
-    pub fn len<T: Transport>(&self, dsm: &Dsm<T>, t: &mut T::Endpoint) -> u64 {
+    pub fn len<T: Transport, C: Coherence>(&self, dsm: &Dsm<T, C>, t: &mut T::Endpoint) -> u64 {
         dsm.read_u64(t, self.word(H_LEN))
     }
 
-    pub fn is_empty<T: Transport>(&self, dsm: &Dsm<T>, t: &mut T::Endpoint) -> bool {
+    pub fn is_empty<T: Transport, C: Coherence>(&self, dsm: &Dsm<T, C>, t: &mut T::Endpoint) -> bool {
         self.len(dsm, t) == 0
     }
 
-    fn alloc<T: Transport>(&self, dsm: &Dsm<T>, t: &mut T::Endpoint, key: u64) -> u64 {
+    fn alloc<T: Transport, C: Coherence>(&self, dsm: &Dsm<T, C>, t: &mut T::Endpoint, key: u64) -> u64 {
         let free = dsm.read_u64(t, self.word(H_FREE));
         let n = if free != NONE {
             let next_free = self.sibling(dsm, t, free);
@@ -120,13 +120,13 @@ impl DsmPairingHeap {
         n
     }
 
-    fn release<T: Transport>(&self, dsm: &Dsm<T>, t: &mut T::Endpoint, n: u64) {
+    fn release<T: Transport, C: Coherence>(&self, dsm: &Dsm<T, C>, t: &mut T::Endpoint, n: u64) {
         let free = dsm.read_u64(t, self.word(H_FREE));
         self.set_sibling(dsm, t, n, free);
         dsm.write_u64(t, self.word(H_FREE), n);
     }
 
-    fn meld<T: Transport>(&self, dsm: &Dsm<T>, t: &mut T::Endpoint, a: u64, b: u64) -> u64 {
+    fn meld<T: Transport, C: Coherence>(&self, dsm: &Dsm<T, C>, t: &mut T::Endpoint, a: u64, b: u64) -> u64 {
         if a == NONE {
             return b;
         }
@@ -144,7 +144,7 @@ impl DsmPairingHeap {
         parent
     }
 
-    pub fn insert<T: Transport>(&self, dsm: &Dsm<T>, t: &mut T::Endpoint, key: u64) {
+    pub fn insert<T: Transport, C: Coherence>(&self, dsm: &Dsm<T, C>, t: &mut T::Endpoint, key: u64) {
         let n = self.alloc(dsm, t, key);
         let root = dsm.read_u64(t, self.word(H_ROOT));
         let new_root = self.meld(dsm, t, root, n);
@@ -153,7 +153,7 @@ impl DsmPairingHeap {
         dsm.write_u64(t, self.word(H_LEN), len + 1);
     }
 
-    pub fn extract_min<T: Transport>(&self, dsm: &Dsm<T>, t: &mut T::Endpoint) -> Option<u64> {
+    pub fn extract_min<T: Transport, C: Coherence>(&self, dsm: &Dsm<T, C>, t: &mut T::Endpoint) -> Option<u64> {
         let root = dsm.read_u64(t, self.word(H_ROOT));
         if root == NONE {
             return None;

@@ -23,7 +23,7 @@
 //! single node, otherwise there are only negligible stalls on other nodes."
 
 use crate::dsm::global_lock::DsmGlobalLock;
-use carina::Dsm;
+use carina::{CarinaSiSd, Coherence, Dsm};
 use crossbeam::queue::SegQueue;
 use parking_lot::lock_api::RawMutex as _;
 use parking_lot::RawMutex;
@@ -80,8 +80,8 @@ pub struct HqdlStats {
 }
 
 /// A hierarchical queue delegation lock over a DSM cluster.
-pub struct Hqdl<T: Transport = SimTransport> {
-    dsm: Arc<Dsm<T>>,
+pub struct Hqdl<T: Transport = SimTransport, C: Coherence = CarinaSiSd> {
+    dsm: Arc<Dsm<T, C>>,
     global: Arc<DsmGlobalLock>,
     node_queues: Vec<NodeQueue<T>>,
     batch_limit: usize,
@@ -95,17 +95,17 @@ pub struct Hqdl<T: Transport = SimTransport> {
     max_batch: AtomicU64,
 }
 
-impl<T: Transport> Hqdl<T> {
+impl<T: Transport, C: Coherence> Hqdl<T, C> {
     /// `batch_limit`: maximum sections executed per global-lock tenure
     /// ("either because there are no more, or a limit is reached").
-    pub fn new(dsm: Arc<Dsm<T>>, batch_limit: usize) -> Arc<Self> {
+    pub fn new(dsm: Arc<Dsm<T, C>>, batch_limit: usize) -> Arc<Self> {
         Self::new_named(dsm, batch_limit, "hqdl")
     }
 
     /// [`new`](Self::new) with a name for per-lock statistics: the lock
     /// registers itself in the DSM's [`obs::LockRegistry`] so run reports
     /// can attribute delegation behaviour to individual locks.
-    pub fn new_named(dsm: Arc<Dsm<T>>, batch_limit: usize, name: &str) -> Arc<Self> {
+    pub fn new_named(dsm: Arc<Dsm<T, C>>, batch_limit: usize, name: &str) -> Arc<Self> {
         assert!(batch_limit > 0, "batch limit must be positive");
         let nodes = dsm.net().topology().nodes;
         let obs = dsm.lock_registry().register(name);

@@ -13,6 +13,7 @@ use argo::types::GlobalF64Array;
 use argo::ArgoMachine;
 use simnet::{CostModel, Tag};
 use std::sync::Arc;
+use carina::Coherence;
 use rma::{Endpoint, Transport};
 
 /// Problem parameters.
@@ -80,16 +81,16 @@ pub fn reference_checksum(p: BsParams) -> f64 {
 
 /// Run on an Argo cluster (also serves as the "Pthreads" baseline when the
 /// machine has a single node).
-pub fn run_argo<T: Transport>(machine: &Arc<ArgoMachine<T>>, p: BsParams) -> Outcome {
+pub fn run_argo<T: Transport, C: Coherence>(machine: &Arc<ArgoMachine<T, C>>, p: BsParams) -> Outcome {
     run_argo_with(machine, p, false)
 }
 
 /// As [`run_argo`], optionally allocating the option arrays with
 /// block-distributed homes (each thread's chunk mostly node-local) — the
 /// per-allocation distribution hint explored by `ablation_distribution`.
-pub fn run_argo_with<T: Transport>(machine: &Arc<ArgoMachine<T>>, p: BsParams, blocked: bool) -> Outcome {
+pub fn run_argo_with<T: Transport, C: Coherence>(machine: &Arc<ArgoMachine<T, C>>, p: BsParams, blocked: bool) -> Outcome {
     let dsm = machine.dsm();
-    let alloc = |dsm: &carina::Dsm<T>, len: usize| {
+    let alloc = |dsm: &carina::Dsm<T, C>, len: usize| {
         if blocked {
             GlobalF64Array::alloc_blocked(dsm, len)
         } else {

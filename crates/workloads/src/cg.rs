@@ -20,6 +20,7 @@ use argo::{ArgoConfig, ArgoMachine, PgasCtx};
 use simnet::CostModel;
 use std::sync::Arc;
 use vela::ClockBarrier;
+use carina::Coherence;
 use rma::{Endpoint, Transport};
 
 #[derive(Debug, Clone, Copy)]
@@ -99,7 +100,7 @@ pub fn reference_checksum(p: CgParams) -> f64 {
 }
 
 /// Run on an Argo cluster (with `nodes == 1` this is the OpenMP baseline).
-pub fn run_argo<T: Transport>(machine: &Arc<ArgoMachine<T>>, prm: CgParams) -> Outcome {
+pub fn run_argo<T: Transport, C: Coherence>(machine: &Arc<ArgoMachine<T, C>>, prm: CgParams) -> Outcome {
     let dsm = machine.dsm();
     let cfg = *machine.config();
     let n = prm.n;

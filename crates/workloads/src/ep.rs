@@ -12,6 +12,7 @@ use argo::{ArgoConfig, ArgoMachine, PgasCtx};
 use simnet::CostModel;
 use std::sync::Arc;
 use vela::ClockBarrier;
+use carina::Coherence;
 use rma::{Endpoint, Transport};
 
 #[derive(Debug, Clone, Copy)]
@@ -93,7 +94,7 @@ pub fn reference_tally(p: EpParams) -> EpTally {
 }
 
 /// Run on an Argo cluster (with `nodes == 1` this is the OpenMP baseline).
-pub fn run_argo<T: Transport>(machine: &Arc<ArgoMachine<T>>, p: EpParams) -> Outcome {
+pub fn run_argo<T: Transport, C: Coherence>(machine: &Arc<ArgoMachine<T, C>>, p: EpParams) -> Outcome {
     let dsm = machine.dsm();
     let cfg = *machine.config();
     let reducer = Arc::new(GlobalReducer::new(dsm, cfg.total_threads(), cfg.nodes));

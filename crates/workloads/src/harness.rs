@@ -4,7 +4,7 @@
 
 use argo::ArgoCtx;
 use argo::types::GlobalF64Array;
-use carina::CoherenceSnapshot;
+use carina::{Coherence, CoherenceSnapshot};
 use rma::Transport;
 use simnet::stats::NetStatsSnapshot;
 use simnet::{ClusterTopology, CostModel, Interconnect, MsgWorld, NodeId, SimThread};
@@ -151,7 +151,7 @@ pub struct GlobalReducer {
 const SLOT_STRIDE: usize = 512;
 
 impl GlobalReducer {
-    pub fn new<T: Transport>(dsm: &carina::Dsm<T>, nthreads: usize, nodes: usize) -> Self {
+    pub fn new<T: Transport, C: Coherence>(dsm: &carina::Dsm<T, C>, nthreads: usize, nodes: usize) -> Self {
         GlobalReducer {
             thread_slots: GlobalF64Array::alloc(dsm, nthreads * SLOT_STRIDE),
             node_slots: GlobalF64Array::alloc(dsm, nodes * SLOT_STRIDE),
@@ -162,7 +162,7 @@ impl GlobalReducer {
 
     /// Collective sum across all region threads. Every thread receives the
     /// total. Involves two barriers.
-    pub fn sum<T: Transport>(&self, ctx: &mut ArgoCtx<T>, value: f64) -> f64 {
+    pub fn sum<T: Transport, C: Coherence>(&self, ctx: &mut ArgoCtx<T, C>, value: f64) -> f64 {
         let tid = ctx.tid();
         self.thread_slots.set(ctx, tid * SLOT_STRIDE, value);
         ctx.barrier();

@@ -17,6 +17,7 @@ use crate::harness::{outcome_of, Outcome};
 use argo::types::GlobalF64Array;
 use argo::{ArgoCtx, ArgoMachine};
 use std::sync::Arc;
+use carina::Coherence;
 use rma::{Endpoint, Transport};
 
 #[derive(Debug, Clone, Copy)]
@@ -148,7 +149,7 @@ pub fn reference_checksum(p: LuParams) -> f64 {
     reference_factor(p).iter().sum()
 }
 
-fn load_block<T: Transport>(ctx: &mut ArgoCtx<T>, mat: &GlobalF64Array, n: usize, b: usize, bi: usize, bj: usize) -> Vec<f64> {
+fn load_block<T: Transport, C: Coherence>(ctx: &mut ArgoCtx<T, C>, mat: &GlobalF64Array, n: usize, b: usize, bi: usize, bj: usize) -> Vec<f64> {
     let mut blk = vec![0.0; b * b];
     for r in 0..b {
         let src = (bi * b + r) * n + bj * b;
@@ -157,7 +158,7 @@ fn load_block<T: Transport>(ctx: &mut ArgoCtx<T>, mat: &GlobalF64Array, n: usize
     blk
 }
 
-fn store_block<T: Transport>(ctx: &mut ArgoCtx<T>, mat: &GlobalF64Array, n: usize, b: usize, bi: usize, bj: usize, blk: &[f64]) {
+fn store_block<T: Transport, C: Coherence>(ctx: &mut ArgoCtx<T, C>, mat: &GlobalF64Array, n: usize, b: usize, bi: usize, bj: usize, blk: &[f64]) {
     for r in 0..b {
         let dst = (bi * b + r) * n + bj * b;
         ctx.write_f64_slice(mat.addr(dst), &blk[r * b..(r + 1) * b]);
@@ -165,7 +166,7 @@ fn store_block<T: Transport>(ctx: &mut ArgoCtx<T>, mat: &GlobalF64Array, n: usiz
 }
 
 /// Run on an Argo cluster.
-pub fn run_argo<T: Transport>(machine: &Arc<ArgoMachine<T>>, p: LuParams) -> Outcome {
+pub fn run_argo<T: Transport, C: Coherence>(machine: &Arc<ArgoMachine<T, C>>, p: LuParams) -> Outcome {
     let (n, b) = (p.n, p.block);
     assert_eq!(n % b, 0, "n must be a multiple of the block size");
     let nb = n / b;

@@ -22,6 +22,7 @@ use argo::types::GlobalF64Array;
 use argo::ArgoMachine;
 use simnet::{CostModel, Tag};
 use std::sync::Arc;
+use carina::Coherence;
 use rma::{Endpoint, Transport};
 
 #[derive(Debug, Clone, Copy)]
@@ -69,7 +70,7 @@ pub fn reference_checksum(p: MatmulParams) -> f64 {
 
 /// Run on an Argo cluster. Row-block decomposition of C; the kernel is the
 /// rank-1-update ("ikj") order so every DSM access is row-contiguous.
-pub fn run_argo<T: Transport>(machine: &Arc<ArgoMachine<T>>, p: MatmulParams) -> Outcome {
+pub fn run_argo<T: Transport, C: Coherence>(machine: &Arc<ArgoMachine<T, C>>, p: MatmulParams) -> Outcome {
     let dsm = machine.dsm();
     let n = p.n;
     let a = GlobalF64Array::alloc(dsm, n * n);

@@ -14,6 +14,7 @@ use argo::types::GlobalF64Array;
 use argo::ArgoMachine;
 use simnet::{CostModel, Tag};
 use std::sync::Arc;
+use carina::Coherence;
 use rma::{Endpoint, Transport};
 
 #[derive(Debug, Clone, Copy)]
@@ -131,7 +132,7 @@ fn step_chunk(
 }
 
 /// Run on an Argo cluster.
-pub fn run_argo<T: Transport>(machine: &Arc<ArgoMachine<T>>, p: NbodyParams) -> Outcome {
+pub fn run_argo<T: Transport, C: Coherence>(machine: &Arc<ArgoMachine<T, C>>, p: NbodyParams) -> Outcome {
     let dsm = machine.dsm();
     let n = p.bodies;
     // Double-buffered positions (3 axes × 2 buffers) + masses.

@@ -16,6 +16,7 @@ use crate::harness::{outcome_of, Outcome};
 use argo::types::GlobalF64Array;
 use argo::ArgoMachine;
 use std::sync::Arc;
+use carina::Coherence;
 use rma::{Endpoint, Transport};
 
 #[derive(Debug, Clone, Copy)]
@@ -73,7 +74,7 @@ pub fn reference_checksum(p: SorParams) -> f64 {
 }
 
 /// Run on an Argo cluster.
-pub fn run_argo<T: Transport>(machine: &Arc<ArgoMachine<T>>, p: SorParams) -> Outcome {
+pub fn run_argo<T: Transport, C: Coherence>(machine: &Arc<ArgoMachine<T, C>>, p: SorParams) -> Outcome {
     let n = p.n;
     let grid = GlobalF64Array::alloc(machine.dsm(), n * n);
     let omega = p.omega;

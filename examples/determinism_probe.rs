@@ -15,16 +15,19 @@
 // Indexed loops below mirror the reference kernels (multi-array accesses
 // keyed by one index); iterator rewrites would obscure them.
 #![allow(clippy::needless_range_loop)]
-use carina::{CarinaConfig, ClassificationMode, Dsm};
+use carina::{CarinaConfig, ClassificationMode, Coherence, Dsm, Tardis};
 use mem::{CacheConfig, GlobalAddr, PAGE_BYTES};
 use rma::{Endpoint as _, FaultPlan, FaultyTransport, SimTransport, Transport};
 use simnet::{ClusterTopology, CostModel, Interconnect, NodeId, SimThread};
 use std::sync::Arc;
 
-fn cluster(nodes: usize, config: CarinaConfig) -> (Arc<Dsm>, Vec<SimThread>) {
+fn cluster<C: Coherence>(
+    nodes: usize,
+    config: CarinaConfig,
+) -> (Arc<Dsm<SimTransport, C>>, Vec<SimThread>) {
     let topo = ClusterTopology::tiny(nodes);
     let net = Interconnect::new(topo, CostModel::paper_2011());
-    let dsm = Dsm::new(net.clone(), 4 << 20, config);
+    let dsm = Dsm::with_policy(net.clone(), 4 << 20, config);
     let threads = (0..nodes)
         .map(|n| SimThread::new(topo.loc(NodeId(n as u16), 0), net.clone()))
         .collect();
@@ -33,12 +36,14 @@ fn cluster(nodes: usize, config: CarinaConfig) -> (Arc<Dsm>, Vec<SimThread>) {
 
 /// A fixed workout touching every protocol path: misses, hits, write
 /// faults, false sharing, fences, evictions, buffer overflow, and decay.
-fn workout(mode: ClassificationMode) {
+/// Generic over the coherence policy so the same script pins both the
+/// SI/SD engine and the Tardis lease engine.
+fn workout<C: Coherence>(header: String, mode: ClassificationMode) {
     let nodes = 3usize;
     let mut cfg = CarinaConfig::with_mode(mode);
     cfg.cache = CacheConfig::new(64, 2); // small enough to force conflicts
     cfg.write_buffer_pages = 4; // small enough to overflow
-    let (dsm, mut ts) = cluster(nodes, cfg);
+    let (dsm, mut ts) = cluster::<C>(nodes, cfg);
 
     // Phase 1: every node reads a shared region homed across the cluster.
     for round in 0..3u64 {
@@ -121,7 +126,7 @@ fn workout(mode: ClassificationMode) {
     let slice_sum: u64 = buf.iter().sum();
     let fslice_sum: f64 = fbuf.iter().sum();
     let s = dsm.stats().snapshot();
-    println!("=== mode {mode:?} ===");
+    println!("=== {header} ===");
     println!("checksum        {checksum}");
     println!("slice_sum       {slice_sum}");
     println!("fslice_sum      {fslice_sum}");
@@ -201,12 +206,20 @@ fn faulted_probe(seed: u64) {
 }
 
 fn main() {
+    // `determinism_probe tardis` pins the timestamp-lease policy against
+    // results/determinism_baseline_tardis.txt; the default run pins the
+    // SI/SD policy (all three classification modes) plus the faulted
+    // sections against results/determinism_baseline.txt.
+    if std::env::args().nth(1).as_deref() == Some("tardis") {
+        workout::<Tardis>("policy tardis".to_string(), ClassificationMode::Ps3);
+        return;
+    }
     for mode in [
         ClassificationMode::AllShared,
         ClassificationMode::PsNaive,
         ClassificationMode::Ps3,
     ] {
-        workout(mode);
+        workout::<carina::CarinaSiSd>(format!("mode {mode:?}"), mode);
     }
     for seed in [2026u64, 4052] {
         faulted_probe(seed);

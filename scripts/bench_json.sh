@@ -20,6 +20,16 @@ CRITERION_MINI_OUT="$OUT_DIR" cargo bench -p bench --bench simulator_throughput
 CRITERION_MINI_OUT="$OUT_DIR" cargo bench -p bench --bench fences
 CRITERION_MINI_OUT="$OUT_DIR" cargo bench -p bench --bench drain
 CRITERION_MINI_OUT="$OUT_DIR" cargo bench -p bench --bench read_miss
+# Coherence-policy head-to-head (coherence/read_mostly_64p/{sisd,tardis},
+# coherence/private_64p/{sisd,tardis}): the per-fence-round cost of SI/SD
+# classification vs Tardis timestamp leases on the two extreme sharing
+# patterns. Feeds the per-policy rows of BENCH_simulator.json.
+CRITERION_MINI_OUT="$OUT_DIR" cargo bench -p bench --bench coherence
+
+# Policy head-to-head table (virtual cycles + ledgers, checksums asserted
+# bit-identical across policies on both backends). Output is informational
+# here; the hard claims are asserted inside the binary itself.
+cargo run --release -p bench --bin bench_coherence
 
 # Argoscope: instrumented reference run on both backends. Emits the
 # Perfetto traces and report JSON under target/argoscope/; the sim

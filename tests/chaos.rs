@@ -61,6 +61,18 @@ fn clean_machine(nodes: usize, tpn: usize) -> Arc<ArgoMachine<ChaosNet>> {
     chaos_machine(nodes, tpn, FaultPlan::disabled()).0
 }
 
+/// [`chaos_machine`] under an explicit coherence policy.
+fn chaos_machine_with<C: carina::Coherence>(
+    nodes: usize,
+    tpn: usize,
+    plan: FaultPlan,
+) -> (Arc<ArgoMachine<ChaosNet, C>>, Arc<ChaosNet>) {
+    let mut cfg = ArgoConfig::small(nodes, tpn);
+    cfg.carina.retry.max_attempts = [16; VerbClass::COUNT];
+    let net = FaultyTransport::wrap(Interconnect::new(cfg.topology(), cfg.cost), plan);
+    (ArgoMachine::on(cfg, net.clone()), net)
+}
+
 /// The core chaos property: same program, same shape, hostile fabric —
 /// identical bits out, visible faults and retries in the books.
 fn assert_faulted_run_matches(clean: &Outcome, faulted: &Outcome, net: &ChaosNet, what: &str) {
@@ -122,6 +134,40 @@ fn ep_is_bit_identical_under_mixed_faults() {
 /// Duplicates and latency spikes are not failures: nothing retries, the
 /// budget never moves, and the bits still match — only timing and the
 /// fabric's verb accounting change.
+/// The chaos contract is policy-independent: the same hostile fabric under
+/// the Tardis lease protocol still produces bit-identical checksums, and
+/// the lease machinery keeps working through retries.
+#[test]
+fn matmul_is_bit_identical_under_mixed_faults_tardis() {
+    let p = matmul::MatmulParams { n: 64 };
+    let clean = matmul::run_argo(
+        &chaos_machine_with::<carina::Tardis>(2, 2, FaultPlan::disabled()).0,
+        p,
+    );
+    assert_eq!(clean.coherence.verb_retries, 0, "healthy fabric must not retry");
+    for seed in [31u64, 32] {
+        let (m, net) = chaos_machine_with::<carina::Tardis>(2, 2, hostile(seed));
+        let faulted = matmul::run_argo(&m, p);
+        assert_faulted_run_matches(&clean, &faulted, &net, "matmul/tardis");
+        assert!(faulted.coherence.verb_retries > 0);
+    }
+}
+
+#[test]
+fn sor_is_bit_identical_under_mixed_faults_tardis() {
+    let p = sor::SorParams { n: 48, iterations: 4, omega: 1.25 };
+    let clean = sor::run_argo(
+        &chaos_machine_with::<carina::Tardis>(3, 1, FaultPlan::disabled()).0,
+        p,
+    );
+    for seed in [33u64, 34] {
+        let (m, net) = chaos_machine_with::<carina::Tardis>(3, 1, hostile(seed));
+        let faulted = sor::run_argo(&m, p);
+        assert_faulted_run_matches(&clean, &faulted, &net, "sor/tardis");
+        assert!(faulted.coherence.verb_retries > 0);
+    }
+}
+
 #[test]
 fn duplicates_and_spikes_change_timing_not_results() {
     let p = matmul::MatmulParams { n: 64 };
@@ -309,7 +355,7 @@ fn prefetch_speculation_is_bit_identical_under_mixed_faults() {
         cfg.carina.prefetch_lines = 8;
         cfg.carina.prefetch_streak = 2;
         let net = FaultyTransport::wrap(Interconnect::new(cfg.topology(), cfg.cost), hostile(seed));
-        let m = ArgoMachine::on(cfg, net.clone());
+        let m = ArgoMachine::<_, carina::CarinaSiSd>::on(cfg, net.clone());
         let faulted = matmul::run_argo(&m, p);
         assert_faulted_run_matches(&clean, &faulted, &net, "matmul+prefetch");
         let c = &faulted.coherence;

@@ -12,15 +12,15 @@
 
 use argo::types::GlobalF64Array;
 use argo::{ArgoConfig, ArgoMachine};
-use carina::CoherenceSnapshot;
+use carina::{CarinaSiSd, Coherence, CoherenceSnapshot};
 use rma::{Endpoint, Transport};
 use workloads::{matmul, sor};
 
 /// Producer/consumer over a page-striped array: even tids write their
 /// chunk, a barrier publishes, every thread then sums the whole array.
 /// Returns (final memory words, per-thread sums, coherence stats).
-fn producer_consumer<T: Transport>(
-    machine: &std::sync::Arc<ArgoMachine<T>>,
+fn producer_consumer<T: Transport, C: Coherence>(
+    machine: &std::sync::Arc<ArgoMachine<T, C>>,
     n: usize,
 ) -> (Vec<u64>, Vec<f64>, CoherenceSnapshot) {
     let arr = GlobalF64Array::alloc(machine.dsm(), n);
@@ -44,8 +44,8 @@ fn producer_consumer<T: Transport>(
 /// Multi-phase barrier program: each phase, every thread increments every
 /// slot it owns and reads a neighbour thread's slot from the previous
 /// phase. Exercises repeated SI/SD cycles rather than one publish.
-fn barrier_phases<T: Transport>(
-    machine: &std::sync::Arc<ArgoMachine<T>>,
+fn barrier_phases<T: Transport, C: Coherence>(
+    machine: &std::sync::Arc<ArgoMachine<T, C>>,
     phases: usize,
 ) -> (Vec<u64>, CoherenceSnapshot) {
     let total = machine.config().total_threads();
@@ -93,6 +93,29 @@ fn machines(nodes: usize, tpn: usize) -> (
     (ArgoMachine::new(cfg), ArgoMachine::native(cfg))
 }
 
+type MachinePair<C> = (
+    std::sync::Arc<ArgoMachine<rma::SimTransport, C>>,
+    std::sync::Arc<ArgoMachine<rma::NativeTransport, C>>,
+);
+
+/// [`machines`] under an explicit coherence policy.
+fn machines_with<C: Coherence>(nodes: usize, tpn: usize) -> MachinePair<C> {
+    let cfg = ArgoConfig::small(nodes, tpn);
+    (ArgoMachine::with_policy(cfg), ArgoMachine::native_with_policy(cfg))
+}
+
+/// Structural invariants that hold under any policy (Tardis never reflects
+/// classification transitions, so the fence identities are all we pin).
+fn check_invariants_any_policy(c: &CoherenceSnapshot) {
+    assert!(c.read_misses > 0, "cross-node program must miss");
+    assert!(c.write_faults > 0, "cross-node program must write-fault");
+    assert!(c.si_fences > 0 && c.sd_fences > 0, "barriers must fence");
+    assert!(
+        c.writeback_bytes == 0 || c.writebacks > 0,
+        "writeback bytes without writeback events"
+    );
+}
+
 #[test]
 fn producer_consumer_identical_memory_on_both_backends() {
     let (sim, native) = machines(3, 2);
@@ -104,6 +127,33 @@ fn producer_consumer_identical_memory_on_both_backends() {
     assert!(sums_sim.iter().all(|&s| s == expect));
     check_invariants(&coh_sim);
     check_invariants(&coh_nat);
+}
+
+/// The backend-equivalence promise is policy-independent: the same two
+/// programs must agree across backends under the Tardis lease protocol
+/// too, and its lease counters must actually move.
+#[test]
+fn producer_consumer_identical_memory_on_both_backends_tardis() {
+    let (sim, native) = machines_with::<carina::Tardis>(3, 2);
+    let (mem_sim, sums_sim, coh_sim) = producer_consumer(&sim, 2048);
+    let (mem_nat, sums_nat, coh_nat) = producer_consumer(&native, 2048);
+    assert_eq!(mem_sim, mem_nat, "final memory diverged across backends");
+    assert_eq!(sums_sim, sums_nat, "observed values diverged");
+    let expect: f64 = (0..2048u64).map(|i| (i * i) as f64).sum();
+    assert!(sums_sim.iter().all(|&s| s == expect));
+    check_invariants_any_policy(&coh_sim);
+    check_invariants_any_policy(&coh_nat);
+}
+
+#[test]
+fn barrier_phases_identical_memory_on_both_backends_tardis() {
+    let (sim, native) = machines_with::<carina::Tardis>(2, 3);
+    let (mem_sim, coh_sim) = barrier_phases(&sim, 5);
+    let (mem_nat, coh_nat) = barrier_phases(&native, 5);
+    assert_eq!(mem_sim, mem_nat, "final memory diverged across backends");
+    assert!(mem_sim.iter().all(|&w| f64::from_bits(w) == 5.0));
+    check_invariants_any_policy(&coh_sim);
+    check_invariants_any_policy(&coh_nat);
 }
 
 #[test]
@@ -352,8 +402,8 @@ fn matmul_under_faults_agrees_across_backends() {
         rma::NativeTransport::with_cost(cfg.topology(), cfg.cost),
         plan,
     );
-    let sim = matmul::run_argo(&ArgoMachine::on(cfg, sim_net.clone()), p);
-    let nat = matmul::run_argo(&ArgoMachine::on(cfg, nat_net.clone()), p);
+    let sim = matmul::run_argo(&ArgoMachine::<_, CarinaSiSd>::on(cfg, sim_net.clone()), p);
+    let nat = matmul::run_argo(&ArgoMachine::<_, CarinaSiSd>::on(cfg, nat_net.clone()), p);
     assert!(
         nat.checksum_matches(&sim, 1e-9),
         "faulted matmul diverged: sim {} native {}",
