@@ -87,6 +87,16 @@ impl<R> RunReport<R> {
                 100.0 * c.lease_keep_ratio()
             );
         }
+        if c.mode_to_lease + c.mode_to_sisd + c.mode_lease_checks > 0 {
+            let _ = writeln!(
+                s,
+                "modes        : {} →lease, {} →si/sd switches, {} reconciles ({:.0}% lease-governed)",
+                c.mode_to_lease,
+                c.mode_to_sisd,
+                c.mode_reconciles,
+                100.0 * c.lease_mode_occupancy()
+            );
+        }
         if c.verb_retries > 0 || c.verb_exhaustions > 0 {
             let _ = writeln!(
                 s,
@@ -128,6 +138,9 @@ impl<R> RunReport<R> {
              \"prefetch_accuracy\":{:.4},\
              \"lease_renewals\":{},\"lease_expiries\":{},\"lease_kept\":{},\
              \"lease_keep_ratio\":{:.4},\
+             \"mode_to_lease\":{},\"mode_to_sisd\":{},\"mode_lease_checks\":{},\
+             \"mode_classify_checks\":{},\"mode_reconciles\":{},\
+             \"lease_mode_occupancy\":{:.4},\
              \"mean_drain_batch\":{:.3},\"diff_efficiency\":{:.4},\"si_keep_ratio\":{:.4}}}",
             c.read_hits,
             c.write_hits,
@@ -159,6 +172,12 @@ impl<R> RunReport<R> {
             c.lease_expiries,
             c.lease_kept,
             c.lease_keep_ratio(),
+            c.mode_to_lease,
+            c.mode_to_sisd,
+            c.mode_lease_checks,
+            c.mode_classify_checks,
+            c.mode_reconciles,
+            c.lease_mode_occupancy(),
             c.mean_drain_batch(),
             c.diff_efficiency(),
             c.si_keep_ratio()

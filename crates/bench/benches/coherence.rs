@@ -9,14 +9,21 @@
 //! clock, so an unchanged read set survives sync after sync (and the
 //! adaptive lease doubles on each renewal, stretching the quiet period).
 //!
-//! `read_mostly/{sisd,tardis}` times one sync round — reader SI fence plus
-//! a sweep over the shared read set — after a warm-up that lets Tardis's
-//! leases adapt. Tardis should win by roughly the read-miss refill cost;
-//! `private/{sisd,tardis}` pins the other side (no sharing, both policies
-//! keep everything) so the lease bookkeeping shows up as overhead, not as
-//! a free lunch.
+//! `read_mostly/{sisd,tardis,pyxis}` times one sync round — reader SI
+//! fence plus a sweep over the shared read set — after a warm-up that lets
+//! Tardis's leases adapt (and Pyxis's signals switch the pages to lease
+//! mode). Tardis should win by roughly the read-miss refill cost, and
+//! Pyxis should track it; `private/{sisd,tardis,pyxis}` pins the other
+//! side (no sharing, every policy keeps everything) so the lease and
+//! signal bookkeeping shows up as overhead, not as a free lunch.
+//!
+//! `mixed/{sisd,tardis,pyxis}` is the hybrid's home turf: half the region
+//! is read-mostly, half is rewritten by the writer every round. SI/SD
+//! refetches both halves at every reader fence; Tardis leases the quiet
+//! half but pays lease churn on the hot half; Pyxis should lease the quiet
+//! half and classify the hot half — beating both.
 
-use carina::{CarinaConfig, CarinaSiSd, Coherence, Dsm, Tardis};
+use carina::{CarinaConfig, CarinaSiSd, Coherence, Dsm, Pyxis, Tardis};
 use criterion::{criterion_group, criterion_main, Criterion};
 use mem::{GlobalAddr, PAGE_BYTES};
 use rma::SimTransport;
@@ -77,6 +84,17 @@ fn bench_read_mostly(c: &mut Criterion) {
             })
         });
     }
+    {
+        let (dsm, mut t) = setup::<Pyxis>();
+        g.bench_function(format!("read_mostly_{READ_PAGES}p/pyxis"), |b| {
+            b.iter(|| {
+                dsm.si_fence(&mut t);
+                for p in 0..READ_PAGES {
+                    let _ = dsm.read_u64(&mut t, GlobalAddr((2 * p + 1) * PAGE_BYTES));
+                }
+            })
+        });
+    }
     g.finish();
 }
 
@@ -121,8 +139,77 @@ fn bench_private(c: &mut Criterion) {
             })
         });
     }
+    {
+        let (dsm, mut t) = setup::<Pyxis>();
+        g.bench_function(format!("private_{READ_PAGES}p/pyxis"), |b| {
+            b.iter(|| {
+                dsm.si_fence(&mut t);
+                for p in 0..READ_PAGES {
+                    let _ = dsm.read_u64(&mut t, GlobalAddr((2 * p + 1) * PAGE_BYTES));
+                }
+            })
+        });
+    }
     g.finish();
 }
 
-criterion_group!(benches, bench_read_mostly, bench_private);
+/// Mixed sharing — the adaptivity gap itself. A 64-page quiet set is
+/// written once and then only read; a 32-page hot set is rewritten by the
+/// writer every round. One timed round = writer rewrites the hot set and
+/// releases, reader acquires and sweeps the whole region.
+fn bench_mixed(c: &mut Criterion) {
+    const HOT: u64 = READ_PAGES / 2;
+    fn round<C: Coherence>(
+        dsm: &Dsm<SimTransport, C>,
+        reader: &mut SimThread,
+        writer: &mut SimThread,
+        r: u64,
+    ) {
+        for p in 0..HOT {
+            dsm.write_u64(
+                writer,
+                GlobalAddr((2 * (READ_PAGES + p) + 1) * PAGE_BYTES),
+                r + p,
+            );
+        }
+        dsm.sd_fence(writer);
+        dsm.si_fence(reader);
+        for p in 0..READ_PAGES + HOT {
+            let _ = dsm.read_u64(reader, GlobalAddr((2 * p + 1) * PAGE_BYTES));
+        }
+    }
+    fn setup<C: Coherence>() -> (Arc<Dsm<SimTransport, C>>, SimThread, SimThread) {
+        let (dsm, mut reader, mut writer) = cluster::<C>();
+        for p in 0..READ_PAGES + HOT {
+            dsm.write_u64(&mut writer, GlobalAddr((2 * p + 1) * PAGE_BYTES), p);
+        }
+        dsm.sd_fence(&mut writer);
+        for r in 0..8 {
+            round(&dsm, &mut reader, &mut writer, r);
+        }
+        (dsm, reader, writer)
+    }
+    let mut g = c.benchmark_group("coherence");
+    {
+        let (dsm, mut reader, mut writer) = setup::<CarinaSiSd>();
+        g.bench_function(format!("mixed_{READ_PAGES}p/sisd"), |b| {
+            b.iter(|| round(&dsm, &mut reader, &mut writer, 9))
+        });
+    }
+    {
+        let (dsm, mut reader, mut writer) = setup::<Tardis>();
+        g.bench_function(format!("mixed_{READ_PAGES}p/tardis"), |b| {
+            b.iter(|| round(&dsm, &mut reader, &mut writer, 9))
+        });
+    }
+    {
+        let (dsm, mut reader, mut writer) = setup::<Pyxis>();
+        g.bench_function(format!("mixed_{READ_PAGES}p/pyxis"), |b| {
+            b.iter(|| round(&dsm, &mut reader, &mut writer, 9))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_read_mostly, bench_private, bench_mixed);
 criterion_main!(benches);

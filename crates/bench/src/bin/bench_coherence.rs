@@ -1,23 +1,34 @@
-//! Coherence-policy head-to-head: the same workloads under Carina SI/SD
-//! and Tardis timestamp leases, on both transports.
+//! Coherence-policy head-to-head: the same workloads under Carina SI/SD,
+//! Tardis timestamp leases, and the Pyxis hybrid, on both transports.
 //!
 //! Runs matmul, SOR, and NAS EP under each policy on the virtual-time
 //! simulator (virtual cycles) and the native backend (wall seconds), plus
-//! a fence-heavy read-mostly loop where the policies differ most. Prints
-//! one table row per (workload, policy, backend) with the run's lease and
-//! invalidation ledgers, and asserts every checksum pair is bit-identical
-//! across policies — the head-to-head is only meaningful if both engines
-//! compute the same answer.
+//! a fence-heavy read-mostly loop and a mixed quiet+hot scenario where the
+//! policies differ most. Prints one table row per (workload, policy,
+//! backend) with the run's lease, invalidation, and mode ledgers, and
+//! asserts every checksum is bit-identical across policies — the
+//! head-to-head is only meaningful if all engines compute the same answer.
+//!
+//! Machine-checked headline claims (sim backend):
+//! - Tardis cuts SI invalidations on read-mostly sharing; so does Pyxis.
+//! - Pyxis's *steady-state* read-mostly round cost (marginal cycles per
+//!   extra round, which excludes its one-time adaptation transient) is
+//!   within 10% of the better pure policy.
+//! - Pyxis's SOR cost is within 10% of the better pure policy (its pages
+//!   stay in classification mode, so it dodges the Tardis write-heavy
+//!   penalty).
+//! - The mixed scenario's *total* (adaptation included) beats both pure
+//!   policies outright.
 //!
 //! Usage: `bench_coherence` (text table to stdout; feeds EXPERIMENTS.md).
 
 use argo::{ArgoConfig, ArgoMachine};
-use carina::{CarinaSiSd, Coherence, Tardis};
+use carina::{CarinaSiSd, Coherence, Pyxis, Tardis};
 use workloads::harness::Outcome;
 use workloads::{ep, matmul, sor};
 
 struct Row {
-    workload: &'static str,
+    workload: String,
     policy: &'static str,
     backend: &'static str,
     cycles: u64,
@@ -27,11 +38,12 @@ struct Row {
     si_kept: u64,
     lease_kept: u64,
     read_misses: u64,
+    mode_switches: u64,
 }
 
-fn row(workload: &'static str, policy: &'static str, backend: &'static str, o: &Outcome) -> Row {
+fn row(workload: &str, policy: &'static str, backend: &'static str, o: &Outcome) -> Row {
     Row {
-        workload,
+        workload: workload.to_string(),
         policy,
         backend,
         cycles: o.cycles,
@@ -41,40 +53,56 @@ fn row(workload: &'static str, policy: &'static str, backend: &'static str, o: &
         si_kept: o.coherence.si_kept,
         lease_kept: o.coherence.lease_kept,
         read_misses: o.coherence.read_misses,
+        mode_switches: o.coherence.mode_to_lease + o.coherence.mode_to_sisd,
     }
 }
 
-fn run_pair<F>(workload: &'static str, rows: &mut Vec<Row>, run: F)
+const POLICIES: [&str; 3] = ["sisd", "tardis", "pyxis"];
+
+/// Run `workload` under every (policy, backend) combination and pin the
+/// checksums bit-identical across policies per backend.
+fn run_trio<F>(workload: &str, rows: &mut Vec<Row>, run: F)
 where
-    F: Fn(bool, bool) -> Outcome, // (tardis?, native?) -> outcome
+    F: Fn(&'static str, bool) -> Outcome, // (policy, native?) -> outcome
 {
-    let sisd_sim = run(false, false);
-    let tardis_sim = run(true, false);
-    let sisd_nat = run(false, true);
-    let tardis_nat = run(true, true);
-    assert_eq!(
-        sisd_sim.checksum.to_bits(),
-        tardis_sim.checksum.to_bits(),
-        "{workload}: policies disagree on the simulator"
-    );
-    assert_eq!(
-        sisd_nat.checksum.to_bits(),
-        tardis_nat.checksum.to_bits(),
-        "{workload}: policies disagree on the native backend"
-    );
-    rows.push(row(workload, "sisd", "sim", &sisd_sim));
-    rows.push(row(workload, "tardis", "sim", &tardis_sim));
-    rows.push(row(workload, "sisd", "native", &sisd_nat));
-    rows.push(row(workload, "tardis", "native", &tardis_nat));
+    for native in [false, true] {
+        let backend = if native { "native" } else { "sim" };
+        let outs: Vec<Outcome> = POLICIES.iter().map(|p| run(p, native)).collect();
+        for w in outs.windows(2) {
+            assert_eq!(
+                w[0].checksum.to_bits(),
+                w[1].checksum.to_bits(),
+                "{workload}: policies disagree on the {backend} backend"
+            );
+        }
+        for (p, o) in POLICIES.iter().zip(&outs) {
+            rows.push(row(workload, p, backend, o));
+        }
+    }
+}
+
+fn outcome_of(report: argo::RunReport<f64>) -> Outcome {
+    Outcome {
+        cycles: report.cycles,
+        seconds: report.seconds,
+        wall_seconds: report.wall_seconds,
+        checksum: report.results.iter().sum(),
+        coherence: report.coherence,
+        net: report.net,
+        profile: report.profile,
+    }
 }
 
 /// Fence-heavy read-mostly loop: one writer initializes a region, readers
 /// then sweep it through repeated acquire fences while nothing changes —
 /// the published-data pattern leases were designed for.
-fn read_mostly<C: Coherence>(native: bool) -> Outcome {
+fn read_mostly<C: Coherence>(native: bool, rounds: usize) -> Outcome {
     use argo::types::GlobalF64Array;
     let cfg = ArgoConfig::small(4, 2);
-    fn run<T: rma::Transport, C: Coherence>(m: &std::sync::Arc<ArgoMachine<T, C>>) -> Outcome {
+    fn run<T: rma::Transport, C: Coherence>(
+        m: &std::sync::Arc<ArgoMachine<T, C>>,
+        rounds: usize,
+    ) -> Outcome {
         let n = 16 * 1024usize;
         let arr = GlobalF64Array::alloc(m.dsm(), n);
         let report = m.run(move |ctx| {
@@ -89,7 +117,7 @@ fn read_mostly<C: Coherence>(native: bool) -> Outcome {
             // S/SW: one registered writer, fences every round.
             ctx.barrier();
             let mut sum = 0.0;
-            for _round in 0..10 {
+            for _round in 0..rounds {
                 ctx.barrier(); // SI+SD per round; the data never changes
                 for i in (0..n).step_by(64) {
                     sum += arr.get(ctx, i);
@@ -97,20 +125,63 @@ fn read_mostly<C: Coherence>(native: bool) -> Outcome {
             }
             sum
         });
-        Outcome {
-            cycles: report.cycles,
-            seconds: report.seconds,
-            wall_seconds: report.wall_seconds,
-            checksum: report.results.iter().sum(),
-            coherence: report.coherence,
-            net: report.net,
-            profile: report.profile,
-        }
+        outcome_of(report)
     }
     if native {
-        run(&ArgoMachine::<rma::NativeTransport, C>::native_with_policy(cfg))
+        run(&ArgoMachine::<rma::NativeTransport, C>::native_with_policy(cfg), rounds)
     } else {
-        run(&ArgoMachine::<rma::SimTransport, C>::with_policy(cfg))
+        run(&ArgoMachine::<rma::SimTransport, C>::with_policy(cfg), rounds)
+    }
+}
+
+/// Mixed sharing — the hybrid's home turf. A quiet region is written once
+/// and re-read every round; a hot region is rewritten by one writer every
+/// round and read back by everyone. SI/SD refetches both regions at every
+/// reader fence; Tardis leases the quiet region but pays lease churn (and
+/// writer self-refetches) on the hot one; Pyxis should lease the quiet
+/// region, classify the hot one, and beat both.
+fn mixed<C: Coherence>(native: bool, rounds: usize) -> Outcome {
+    use argo::types::GlobalF64Array;
+    let cfg = ArgoConfig::small(4, 2);
+    fn run<T: rma::Transport, C: Coherence>(
+        m: &std::sync::Arc<ArgoMachine<T, C>>,
+        rounds: usize,
+    ) -> Outcome {
+        let quiet_n = 16 * 1024usize;
+        let hot_n = 4 * 1024usize;
+        let quiet = GlobalF64Array::alloc(m.dsm(), quiet_n);
+        let hot = GlobalF64Array::alloc(m.dsm(), hot_n);
+        let report = m.run(move |ctx| {
+            if ctx.tid() == 0 {
+                for i in 0..quiet_n {
+                    quiet.set(ctx, i, i as f64);
+                }
+            }
+            ctx.barrier();
+            let mut sum = 0.0;
+            for round in 0..rounds {
+                if ctx.tid() == 0 {
+                    for i in (0..hot_n).step_by(8) {
+                        hot.set(ctx, i, (round * 7 + i) as f64);
+                    }
+                }
+                ctx.barrier(); // publishes the round's hot writes
+                for i in (0..quiet_n).step_by(64) {
+                    sum += quiet.get(ctx, i);
+                }
+                for i in (0..hot_n).step_by(64) {
+                    sum += hot.get(ctx, i);
+                }
+                ctx.barrier(); // orders this round's reads before the next writes
+            }
+            sum
+        });
+        outcome_of(report)
+    }
+    if native {
+        run(&ArgoMachine::<rma::NativeTransport, C>::native_with_policy(cfg), rounds)
+    } else {
+        run(&ArgoMachine::<rma::SimTransport, C>::with_policy(cfg), rounds)
     }
 }
 
@@ -118,44 +189,63 @@ fn main() {
     let mut rows = Vec::new();
 
     let p = matmul::MatmulParams { n: 96 };
-    run_pair("matmul_96", &mut rows, |tardis, native| match (tardis, native) {
-        (false, false) => matmul::run_argo(&ArgoMachine::<rma::SimTransport, CarinaSiSd>::with_policy(ArgoConfig::small(4, 2)), p),
-        (true, false) => matmul::run_argo(&ArgoMachine::<rma::SimTransport, Tardis>::with_policy(ArgoConfig::small(4, 2)), p),
-        (false, true) => matmul::run_argo(&ArgoMachine::<rma::NativeTransport, CarinaSiSd>::native_with_policy(ArgoConfig::small(4, 2)), p),
-        (true, true) => matmul::run_argo(&ArgoMachine::<rma::NativeTransport, Tardis>::native_with_policy(ArgoConfig::small(4, 2)), p),
-    });
-
-    let p = sor::SorParams { n: 96, iterations: 8, omega: 1.25 };
-    run_pair("sor_96x8", &mut rows, |tardis, native| match (tardis, native) {
-        (false, false) => sor::run_argo(&ArgoMachine::<rma::SimTransport, CarinaSiSd>::with_policy(ArgoConfig::small(4, 2)), p),
-        (true, false) => sor::run_argo(&ArgoMachine::<rma::SimTransport, Tardis>::with_policy(ArgoConfig::small(4, 2)), p),
-        (false, true) => sor::run_argo(&ArgoMachine::<rma::NativeTransport, CarinaSiSd>::native_with_policy(ArgoConfig::small(4, 2)), p),
-        (true, true) => sor::run_argo(&ArgoMachine::<rma::NativeTransport, Tardis>::native_with_policy(ArgoConfig::small(4, 2)), p),
-    });
-
-    let p = ep::EpParams { pairs: 1 << 14 };
-    run_pair("ep_16k", &mut rows, |tardis, native| match (tardis, native) {
-        (false, false) => ep::run_argo(&ArgoMachine::<rma::SimTransport, CarinaSiSd>::with_policy(ArgoConfig::small(4, 2)), p),
-        (true, false) => ep::run_argo(&ArgoMachine::<rma::SimTransport, Tardis>::with_policy(ArgoConfig::small(4, 2)), p),
-        (false, true) => ep::run_argo(&ArgoMachine::<rma::NativeTransport, CarinaSiSd>::native_with_policy(ArgoConfig::small(4, 2)), p),
-        (true, true) => ep::run_argo(&ArgoMachine::<rma::NativeTransport, Tardis>::native_with_policy(ArgoConfig::small(4, 2)), p),
-    });
-
-    run_pair("read_mostly_10r", &mut rows, |tardis, native| {
-        if tardis {
-            read_mostly::<Tardis>(native)
-        } else {
-            read_mostly::<CarinaSiSd>(native)
+    run_trio("matmul_96", &mut rows, |policy, native| {
+        let cfg = ArgoConfig::small(4, 2);
+        match (policy, native) {
+            ("sisd", false) => matmul::run_argo(&ArgoMachine::<rma::SimTransport, CarinaSiSd>::with_policy(cfg), p),
+            ("tardis", false) => matmul::run_argo(&ArgoMachine::<rma::SimTransport, Tardis>::with_policy(cfg), p),
+            ("pyxis", false) => matmul::run_argo(&ArgoMachine::<rma::SimTransport, Pyxis>::with_policy(cfg), p),
+            ("sisd", true) => matmul::run_argo(&ArgoMachine::<rma::NativeTransport, CarinaSiSd>::native_with_policy(cfg), p),
+            ("tardis", true) => matmul::run_argo(&ArgoMachine::<rma::NativeTransport, Tardis>::native_with_policy(cfg), p),
+            _ => matmul::run_argo(&ArgoMachine::<rma::NativeTransport, Pyxis>::native_with_policy(cfg), p),
         }
     });
 
+    let p = sor::SorParams { n: 96, iterations: 8, omega: 1.25 };
+    run_trio("sor_96x8", &mut rows, |policy, native| {
+        let cfg = ArgoConfig::small(4, 2);
+        match (policy, native) {
+            ("sisd", false) => sor::run_argo(&ArgoMachine::<rma::SimTransport, CarinaSiSd>::with_policy(cfg), p),
+            ("tardis", false) => sor::run_argo(&ArgoMachine::<rma::SimTransport, Tardis>::with_policy(cfg), p),
+            ("pyxis", false) => sor::run_argo(&ArgoMachine::<rma::SimTransport, Pyxis>::with_policy(cfg), p),
+            ("sisd", true) => sor::run_argo(&ArgoMachine::<rma::NativeTransport, CarinaSiSd>::native_with_policy(cfg), p),
+            ("tardis", true) => sor::run_argo(&ArgoMachine::<rma::NativeTransport, Tardis>::native_with_policy(cfg), p),
+            _ => sor::run_argo(&ArgoMachine::<rma::NativeTransport, Pyxis>::native_with_policy(cfg), p),
+        }
+    });
+
+    let p = ep::EpParams { pairs: 1 << 14 };
+    run_trio("ep_16k", &mut rows, |policy, native| {
+        let cfg = ArgoConfig::small(4, 2);
+        match (policy, native) {
+            ("sisd", false) => ep::run_argo(&ArgoMachine::<rma::SimTransport, CarinaSiSd>::with_policy(cfg), p),
+            ("tardis", false) => ep::run_argo(&ArgoMachine::<rma::SimTransport, Tardis>::with_policy(cfg), p),
+            ("pyxis", false) => ep::run_argo(&ArgoMachine::<rma::SimTransport, Pyxis>::with_policy(cfg), p),
+            ("sisd", true) => ep::run_argo(&ArgoMachine::<rma::NativeTransport, CarinaSiSd>::native_with_policy(cfg), p),
+            ("tardis", true) => ep::run_argo(&ArgoMachine::<rma::NativeTransport, Tardis>::native_with_policy(cfg), p),
+            _ => ep::run_argo(&ArgoMachine::<rma::NativeTransport, Pyxis>::native_with_policy(cfg), p),
+        }
+    });
+
+    run_trio("read_mostly_10r", &mut rows, |policy, native| match policy {
+        "sisd" => read_mostly::<CarinaSiSd>(native, 10),
+        "tardis" => read_mostly::<Tardis>(native, 10),
+        _ => read_mostly::<Pyxis>(native, 10),
+    });
+
+    run_trio("mixed_16r", &mut rows, |policy, native| match policy {
+        "sisd" => mixed::<CarinaSiSd>(native, 16),
+        "tardis" => mixed::<Tardis>(native, 16),
+        _ => mixed::<Pyxis>(native, 16),
+    });
+
     println!(
-        "{:<16} {:<7} {:<7} {:>14} {:>10} {:>10} {:>8} {:>10} {:>10}",
-        "workload", "policy", "backend", "cycles", "wall_ms", "si_inval", "si_kept", "lease_kept", "rd_misses"
+        "{:<16} {:<7} {:<7} {:>14} {:>10} {:>10} {:>8} {:>10} {:>10} {:>8}",
+        "workload", "policy", "backend", "cycles", "wall_ms", "si_inval", "si_kept", "lease_kept", "rd_misses", "switches"
     );
     for r in &rows {
         println!(
-            "{:<16} {:<7} {:<7} {:>14} {:>10.3} {:>10} {:>8} {:>10} {:>10}",
+            "{:<16} {:<7} {:<7} {:>14} {:>10.3} {:>10} {:>8} {:>10} {:>10} {:>8}",
             r.workload,
             r.policy,
             r.backend,
@@ -164,35 +254,101 @@ fn main() {
             r.si_invalidated,
             r.si_kept,
             r.lease_kept,
-            r.read_misses
+            r.read_misses,
+            r.mode_switches
         );
     }
 
-    // The headline claims, machine-checked on every run:
-    // Tardis must reduce SI invalidations on the read-mostly pattern.
-    let inval = |w: &str, p: &str| {
+    let find = |w: &str, p: &str| {
         rows.iter()
             .find(|r| r.workload == w && r.policy == p && r.backend == "sim")
-            .map(|r| r.si_invalidated)
             .unwrap()
     };
-    let (s, t) = (inval("read_mostly_10r", "sisd"), inval("read_mostly_10r", "tardis"));
+
+    // The headline claims, machine-checked on every run.
+    // 1. Leases must cut SI invalidations on the read-mostly pattern — and
+    //    the hybrid must inherit the cut.
+    let (s, t, h) = (
+        find("read_mostly_10r", "sisd").si_invalidated,
+        find("read_mostly_10r", "tardis").si_invalidated,
+        find("read_mostly_10r", "pyxis").si_invalidated,
+    );
     assert!(
         t < s,
         "tardis must avoid invalidations on read-mostly sharing (sisd {s}, tardis {t})"
     );
-    println!("\nread-mostly SI invalidations: sisd {s} vs tardis {t} ({:.1}x fewer)", s as f64 / t.max(1) as f64);
-    let _ = rows.last().map(|r| r.checksum); // checksums asserted in run_pair
+    assert!(
+        h < s,
+        "pyxis must avoid invalidations on read-mostly sharing (sisd {s}, pyxis {h})"
+    );
+    println!(
+        "\nread-mostly SI invalidations: sisd {s} vs tardis {t} vs pyxis {h} ({:.1}x / {:.1}x fewer)",
+        s as f64 / t.max(1) as f64,
+        s as f64 / h.max(1) as f64
+    );
+    let _ = rows.last().map(|r| r.checksum); // checksums asserted in run_trio
 
     // Virtual-cycle comparison on the sim backend.
-    for w in ["matmul_96", "sor_96x8", "ep_16k", "read_mostly_10r"] {
-        let c = |p: &str| {
-            rows.iter()
-                .find(|r| r.workload == w && r.policy == p && r.backend == "sim")
-                .map(|r| r.cycles)
-                .unwrap()
-        };
-        println!("{w}: sisd {} cycles, tardis {} cycles ({:+.1}%)", c("sisd"), c("tardis"),
-            100.0 * (c("tardis") as f64 - c("sisd") as f64) / c("sisd") as f64);
+    for w in ["matmul_96", "sor_96x8", "ep_16k", "read_mostly_10r", "mixed_16r"] {
+        let c = |p: &str| find(w, p).cycles;
+        println!(
+            "{w}: sisd {} cycles, tardis {} ({:+.1}%), pyxis {} ({:+.1}%)",
+            c("sisd"),
+            c("tardis"),
+            100.0 * (c("tardis") as f64 - c("sisd") as f64) / c("sisd") as f64,
+            c("pyxis"),
+            100.0 * (c("pyxis") as f64 - c("sisd") as f64) / c("sisd") as f64
+        );
     }
+
+    // 2. SOR (write-heavy): the hybrid keeps every page in classification
+    //    mode and must land within 10% of the better pure policy — i.e.,
+    //    it strictly avoids the Tardis write-heavy penalty.
+    let sor_best = find("sor_96x8", "sisd").cycles.min(find("sor_96x8", "tardis").cycles);
+    let sor_pyxis = find("sor_96x8", "pyxis").cycles;
+    assert!(
+        sor_pyxis as f64 <= 1.10 * sor_best as f64,
+        "pyxis must stay within 10% of the better policy on SOR (best {sor_best}, pyxis {sor_pyxis})"
+    );
+
+    // 3. Read-mostly steady state: the marginal cost of extra rounds once
+    //    modes have settled (total(30) - total(10)) / 20, which excludes
+    //    the one-time adaptation transient, must be within 10% of the
+    //    better pure policy's.
+    let marginal = |long: &Outcome, short: &Row| {
+        (long.cycles.saturating_sub(short.cycles)) as f64 / 20.0
+    };
+    let long_sisd = read_mostly::<CarinaSiSd>(false, 30);
+    let long_tardis = read_mostly::<Tardis>(false, 30);
+    let long_pyxis = read_mostly::<Pyxis>(false, 30);
+    let m_sisd = marginal(&long_sisd, find("read_mostly_10r", "sisd"));
+    let m_tardis = marginal(&long_tardis, find("read_mostly_10r", "tardis"));
+    let m_pyxis = marginal(&long_pyxis, find("read_mostly_10r", "pyxis"));
+    println!(
+        "read-mostly steady-state cycles/round: sisd {m_sisd:.0}, tardis {m_tardis:.0}, pyxis {m_pyxis:.0}"
+    );
+    let m_best = m_sisd.min(m_tardis);
+    assert!(
+        m_pyxis <= 1.10 * m_best,
+        "pyxis steady-state read-mostly round must be within 10% of the better policy \
+         (best {m_best:.0}, pyxis {m_pyxis:.0})"
+    );
+
+    // 4. Mixed: the hybrid's total — adaptation transient included — must
+    //    beat both pure policies outright.
+    let (mx_s, mx_t, mx_h) = (
+        find("mixed_16r", "sisd").cycles,
+        find("mixed_16r", "tardis").cycles,
+        find("mixed_16r", "pyxis").cycles,
+    );
+    assert!(
+        mx_h < mx_s && mx_h < mx_t,
+        "pyxis must beat both pure policies on the mixed scenario \
+         (sisd {mx_s}, tardis {mx_t}, pyxis {mx_h})"
+    );
+    println!(
+        "mixed_16r: pyxis beats sisd by {:.1}% and tardis by {:.1}%",
+        100.0 * (mx_s as f64 - mx_h as f64) / mx_s as f64,
+        100.0 * (mx_t as f64 - mx_h as f64) / mx_t as f64
+    );
 }

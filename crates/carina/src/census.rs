@@ -8,6 +8,7 @@
 //! workload.
 
 use crate::classification::{PageClass, WriterClass};
+use crate::coherence::PageMode;
 use crate::protocol::Dsm;
 use mem::PageNum;
 use rma::Transport;
@@ -27,6 +28,9 @@ pub struct HotPage {
     pub home: u16,
     pub class: PageClass,
     pub writers: WriterClass,
+    /// Which protocol governs the page right now: fixed under the pure
+    /// policies, per-page under the Pyxis hybrid.
+    pub mode: PageMode,
 }
 
 /// Snapshot of directory-wide classification state.
@@ -37,6 +41,9 @@ pub struct Census {
     pub untouched: u64,
     /// Touched pages by `[page_class][writer_class]` (see [`CLASS_NAMES`]).
     pub by_class: [[u64; 3]; 2],
+    /// Touched pages by governing protocol: `[classify, lease]`. Pure
+    /// policies land every touched page in one cell; Pyxis splits them.
+    pub by_mode: [u64; 2],
     /// Total read misses across all pages.
     pub total_misses: u64,
     /// The `top_k` hottest pages, most-missed first.
@@ -60,6 +67,10 @@ impl Census {
             self.untouched,
             self.total_misses
         ));
+        out.push_str(&format!(
+            "  mode: {} si/sd, {} lease\n",
+            self.by_mode[0], self.by_mode[1]
+        ));
         out.push_str("  class       nw         sw         mw\n");
         for (pi, row) in self.by_class.iter().enumerate() {
             out.push_str(&format!(
@@ -71,12 +82,13 @@ impl Census {
             out.push_str("  hottest pages:\n");
             for hp in &self.hottest {
                 out.push_str(&format!(
-                    "    p{:<8} misses={:<8} home=n{:<3} {}/{}\n",
+                    "    p{:<8} misses={:<8} home=n{:<3} {}/{} mode={}\n",
                     hp.page.0,
                     hp.misses,
                     hp.home,
                     CLASS_NAMES[class_idx(hp.class)],
-                    WRITER_NAMES[writer_idx(hp.writers)]
+                    WRITER_NAMES[writer_idx(hp.writers)],
+                    hp.mode.name()
                 ));
             }
         }
@@ -99,6 +111,13 @@ fn writer_idx(w: WriterClass) -> usize {
     }
 }
 
+fn mode_idx(m: PageMode) -> usize {
+    match m {
+        PageMode::Classify => 0,
+        PageMode::Lease => 1,
+    }
+}
+
 impl<T: Transport, C: crate::coherence::Coherence> Dsm<T, C> {
     /// Walk the policy's accessor views and the heat counters into a
     /// [`Census`], listing the `top_k` hottest pages. Read-only; intended
@@ -107,14 +126,17 @@ impl<T: Transport, C: crate::coherence::Coherence> Dsm<T, C> {
     pub fn census(&self, top_k: usize) -> Census {
         let total_pages = self.total_pages();
         let mut by_class = [[0u64; 3]; 2];
+        let mut by_mode = [0u64; 2];
         let mut untouched = 0u64;
         for q in 0..total_pages {
-            let view = self.home_dir_view_of_page(PageNum(q));
+            let page = PageNum(q);
+            let view = self.home_dir_view_of_page(page);
             if view.accessors() == 0 {
                 untouched += 1;
                 continue;
             }
             by_class[class_idx(view.page_class())][writer_idx(view.writer_class())] += 1;
+            by_mode[mode_idx(self.page_mode_of(page))] += 1;
         }
         let heat = self.page_heat();
         let hottest = heat
@@ -129,6 +151,7 @@ impl<T: Transport, C: crate::coherence::Coherence> Dsm<T, C> {
                     home: self.home_of(mem::GlobalAddr(q as u64 * mem::PAGE_BYTES)),
                     class: view.page_class(),
                     writers: view.writer_class(),
+                    mode: self.page_mode_of(page),
                 }
             })
             .collect();
@@ -136,6 +159,7 @@ impl<T: Transport, C: crate::coherence::Coherence> Dsm<T, C> {
             total_pages,
             untouched,
             by_class,
+            by_mode,
             total_misses: heat.total(),
             hottest,
         }

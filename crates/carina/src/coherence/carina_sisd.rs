@@ -174,7 +174,7 @@ impl Coherence for CarinaSiSd {
         }
     }
 
-    fn begin_si_fence(&self, _me: u16) {}
+    fn begin_si_fence(&self, _me: u16, _shard: &StatShard) {}
 
     fn must_self_invalidate(&self, me: u16, page: PageNum, _shard: &StatShard) -> bool {
         self.dir_caches
@@ -183,7 +183,7 @@ impl Coherence for CarinaSiSd {
             .must_self_invalidate(self.mode, me)
     }
 
-    fn end_sd_fence(&self, _me: u16) {}
+    fn end_sd_fence(&self, _me: u16, _shard: &StatShard) {}
 
     fn needs_checkpoint_sweep(&self) -> bool {
         self.mode == ClassificationMode::PsNaive

@@ -9,7 +9,7 @@
 //! paper's SI/SD protocol ([`CarinaSiSd`]) can be compared head-to-head
 //! against alternatives on the identical engine.
 //!
-//! Two policies ship:
+//! Three policies ship:
 //! - [`CarinaSiSd`] — the paper's protocol: Pyxis reader/writer full maps,
 //!   P/S × NW/SW/MW classification (Table 1), deferred invalidation via
 //!   directory-cache notifications.
@@ -20,15 +20,23 @@
 //!   leases against the acquirer's logical clock. No sharer bitmap, no
 //!   extra verbs — the same one-sided directory atomics carry timestamps
 //!   instead of full maps.
+//! - [`Pyxis`] — a census-driven hybrid that runs each page under
+//!   whichever of the two fits its access pattern: leases on read-mostly
+//!   pages, SI/SD classification on write-shared ones, switching per page
+//!   at fence boundaries with hysteresis (DESIGN.md §13).
 //!
 //! Dispatch is static, mirroring the transport generic: `Dsm<T, C>` with
 //! `C: Coherence` defaulting to [`CarinaSiSd`], so existing call sites
-//! compile unchanged and either policy monomorphizes to straight-line code.
+//! compile unchanged and any policy monomorphizes to straight-line code.
 
 mod carina_sisd;
+mod lease_clock;
+mod pyxis;
 mod tardis;
 
 pub use carina_sisd::CarinaSiSd;
+pub use lease_clock::LeaseClock;
+pub use pyxis::Pyxis;
 pub use tardis::Tardis;
 
 use crate::classification::DirView;
@@ -105,6 +113,27 @@ impl RegisterOutcome {
     }
 }
 
+/// Which protocol family governs a page right now — the census's per-page
+/// mode column. Single-protocol policies answer uniformly; [`Pyxis`]
+/// answers per page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PageMode {
+    /// SI/SD classification: Table 1 fence predicates over the sharer maps.
+    #[default]
+    Classify,
+    /// Timestamp leases: expiry against the acquirer's logical clock.
+    Lease,
+}
+
+impl PageMode {
+    pub fn name(self) -> &'static str {
+        match self {
+            PageMode::Classify => "si/sd",
+            PageMode::Lease => "lease",
+        }
+    }
+}
+
 /// What a write fault must set up for the faulting page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WriteDisposition {
@@ -173,15 +202,17 @@ pub trait Coherence: std::fmt::Debug + Send + Sync + Sized + 'static {
 
     // --- fences --------------------------------------------------------
 
-    /// Acquire-side hook, before the invalidation sweep.
-    fn begin_si_fence(&self, me: u16);
+    /// Acquire-side hook, before the invalidation sweep. Fence hooks are
+    /// the protocol's epoch-safe points: adaptive policies apply their
+    /// deferred per-page decisions (mode switches) here and nowhere else.
+    fn begin_si_fence(&self, me: u16, shard: &StatShard);
 
     /// Must `me` invalidate its cached copy of `page` at this acquire?
     /// Called once per resident page per SI fence.
     fn must_self_invalidate(&self, me: u16, page: PageNum, shard: &StatShard) -> bool;
 
     /// Release-side hook, after the drain has settled.
-    fn end_sd_fence(&self, me: u16);
+    fn end_sd_fence(&self, me: u16, shard: &StatShard);
 
     /// Does the release side owe a checkpoint sweep over dirty private
     /// pages (the naïve P/S scheme's obligation)?
@@ -202,6 +233,15 @@ pub trait Coherence: std::fmt::Debug + Send + Sync + Sized + 'static {
     /// it)? The engine additionally gates this on `sw_no_diff`.
     fn downgrade_skip_diff(&self, me: u16, page: PageNum) -> bool;
 
+    /// `me`'s dirty copy of `page` just landed in home memory (fence
+    /// drain, write-buffer overflow, or eviction). This — not the write
+    /// fault — is the moment a new version of the page exists anywhere
+    /// another node can fetch it, so timestamp policies advance the page's
+    /// version here: bumping at fault time would stamp a version whose
+    /// bytes are not home yet, and a concurrent read fill could be granted
+    /// a lease on stale data that outlives the writer's release.
+    fn note_downgrade(&self, _me: u16, _page: PageNum) {}
+
     // --- diagnostics & invariants -----------------------------------
 
     /// Does the write buffer hold exactly the dirty set at quiescent
@@ -216,6 +256,12 @@ pub trait Coherence: std::fmt::Debug + Send + Sync + Sized + 'static {
     /// under timestamp policies (documented per policy).
     fn census_view(&self, page: PageNum) -> DirView;
 
+    /// The protocol family currently governing `page` (the census's mode
+    /// column). Static for single-protocol policies, per page for hybrids.
+    fn page_mode(&self, _page: PageNum) -> PageMode {
+        PageMode::Classify
+    }
+
     /// Policy-specific invariant violations for `node`, given its dirty
     /// page set at a quiescent point. Appended to the engine's own checks.
     fn invariant_problems(&self, node: u16, dirty: &[PageNum]) -> Vec<String>;
@@ -226,7 +272,7 @@ pub trait Coherence: std::fmt::Debug + Send + Sync + Sized + 'static {
 
 /// Which coherence policy to instantiate — the dynamic counterpart of the
 /// static `C: Coherence` parameter, for CLI surfaces (`--coherence
-/// {sisd,tardis}`) that pick a monomorphized code path at startup.
+/// {sisd,tardis,pyxis}`) that pick a monomorphized code path at startup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PolicyKind {
     /// The paper's SI/SD protocol with Pyxis classification.
@@ -234,6 +280,8 @@ pub enum PolicyKind {
     SiSd,
     /// Timestamp leases (TARDIS-style).
     Tardis,
+    /// The census-driven per-page hybrid of the two.
+    Pyxis,
 }
 
 impl PolicyKind {
@@ -241,6 +289,7 @@ impl PolicyKind {
         match self {
             PolicyKind::SiSd => CarinaSiSd::NAME,
             PolicyKind::Tardis => Tardis::NAME,
+            PolicyKind::Pyxis => Pyxis::NAME,
         }
     }
 }
@@ -252,7 +301,10 @@ impl std::str::FromStr for PolicyKind {
         match s {
             "sisd" | "carina" | "si-sd" => Ok(PolicyKind::SiSd),
             "tardis" | "lease" => Ok(PolicyKind::Tardis),
-            other => Err(format!("unknown coherence policy {other:?} (try sisd|tardis)")),
+            "pyxis" | "hybrid" => Ok(PolicyKind::Pyxis),
+            other => Err(format!(
+                "unknown coherence policy {other:?} (try sisd|tardis|pyxis)"
+            )),
         }
     }
 }
@@ -278,9 +330,12 @@ mod tests {
     fn policy_kind_parses() {
         assert_eq!("sisd".parse::<PolicyKind>().unwrap(), PolicyKind::SiSd);
         assert_eq!("tardis".parse::<PolicyKind>().unwrap(), PolicyKind::Tardis);
+        assert_eq!("pyxis".parse::<PolicyKind>().unwrap(), PolicyKind::Pyxis);
+        assert_eq!("hybrid".parse::<PolicyKind>().unwrap(), PolicyKind::Pyxis);
         assert!("mesi".parse::<PolicyKind>().is_err());
         assert_eq!(PolicyKind::SiSd.name(), "sisd");
         assert_eq!(PolicyKind::Tardis.name(), "tardis");
+        assert_eq!(PolicyKind::Pyxis.name(), "pyxis");
     }
 
     #[test]

@@ -14,14 +14,33 @@
 //!    `rts = max(rts, pts + lease)` with the same one-sided directory
 //!    atomic Carina uses for registration (timestamps ride in the entry,
 //!    no extra verbs). The copy is valid through the granted `rts`.
-//! 2. **Write fault**: bump `wts = max(wts, rts) + 1` — past every granted
-//!    lease — and `pts = max(pts, wts)`. The writer grants itself a lease
-//!    on the new version, so (like Table 1's S/SW row) its own fences keep
-//!    the page it is writing.
-//! 3. **Release** (`sd_fence`, after the drain settles): publish
-//!    `gts = max(gts, pts)` to the global clock. The data is home by the
-//!    time the timestamp moves, so any later acquirer that sees the clock
-//!    also sees the data.
+//! 2. **Write fault**: `pts = max(pts, wts)` and halve the page's lease.
+//!    The version does not move yet — the new bytes exist only in the
+//!    writer's cache — and the writer takes *no* lease: a lease asserts
+//!    the whole copy is current, which a multi-writer diff protocol
+//!    cannot prove for a written page (words another node wrote are as
+//!    old as the last fill; hardware TARDIS writes under exclusive
+//!    ownership, which is what makes its write-side leases sound).
+//!    Written pages follow SI/SD discipline instead: drained at the
+//!    release, self-invalidated at the writer's next acquire.
+//! 3. **Downgrade** (the dirty copy lands in home memory — fence drain,
+//!    buffer overflow, or eviction): bump `wts = max(wts, rts) + 1` — past
+//!    every granted lease — keep `rts >= wts`, and
+//!    `pts = max(pts, wts)`. Bumping here rather than at the fault is
+//!    what makes rule 4's release argument sound: a version number never
+//!    exists before its bytes are fetchable. (Bumping at fault time lets a
+//!    concurrent read fill lease the *old* home bytes at a clock past the
+//!    new version, and that stale copy would survive the writer's
+//!    release.) The release (`end_sd_fence`, after every drain settled)
+//!    then publishes `gts = max(gts, pts)`. Writes to pages homed at the
+//!    writer never downgrade — the stores land in home memory directly —
+//!    so their bump is deferred to the release itself, after every store
+//!    of the epoch, via a per-epoch queue of home-written pages. Because
+//!    threads of one node share the epoch, the release opens the next
+//!    epoch *before* draining that queue and the engine re-checks
+//!    registration after every home store: a store either precedes the
+//!    bump (old epoch still visible) or re-queues its page for the
+//!    storing thread's own release.
 //! 4. **Acquire** (`si_fence`, before the sweep): `pts = max(pts, gts)`,
 //!    then invalidate exactly the cached pages whose granted lease has
 //!    `rts < pts` — *expired* leases. Unexpired leases are kept: that is
@@ -29,11 +48,20 @@
 //!    have invalidated everything.
 //!
 //! Soundness (DRF programs): if node W writes page p and releases, and
-//! node A subsequently acquires, then `wts_p > rts` held at W's bump for
-//! every lease granted before it, W's release published `gts >= pts_W >=
-//! wts_p`, and A's acquire merges `pts_A >= gts > rts(lease)` — so A's
-//! stale lease on p is expired and A refetches. Conversely a page nobody
+//! node A subsequently acquires, then `wts_p > rts` held at W's drain-time
+//! bump for every lease granted before it (grants and bumps serialize on
+//! the entry lock below), W's release published `gts >= pts_W >= wts_p`,
+//! and A's acquire merges `pts_A >= gts > rts(lease)` — so A's stale lease
+//! on p is expired and A refetches. A lease granted *after* the bump is on
+//! the new version, whose bytes are already home. Conversely a page nobody
 //! wrote keeps `rts >= pts` and survives.
+//!
+//! The per-entry mutex stands in for the directory's serialization point:
+//! a reader's grant (`read wts → extend rts`) and a drain's bump
+//! (`read rts → advance wts`) are each two steps over two cells, and
+//! interleaving them can grant a lease the bump never saw. Hardware TARDIS
+//! gets this atomicity for free at the LLC; the lock is host-side only and
+//! costs no modeled cycles.
 //!
 //! **Adaptive leases.** A fixed lease suffers amplification: every write
 //! bumps `wts` past the max granted `rts`, so after one global clock jump
@@ -54,17 +82,21 @@
 //! copy is authoritative, which is the DSM analogue of TARDIS's owner
 //! state.
 
-use super::{Coherence, PageBitSet, RegisterOutcome, WriteDisposition};
+use super::{Coherence, LeaseClock, PageBitSet, PageMode, RegisterOutcome, WriteDisposition};
 use crate::classification::{node_bit, DirView};
 use crate::config::CarinaConfig;
 use crate::directory::DirEntry;
 use crate::stats::{CoherenceStats, StatShard};
 use mem::PageNum;
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One page's home timestamp entry.
 #[derive(Debug)]
 struct TsEntry {
+    /// Serializes lease grants against version bumps (see module docs);
+    /// the fields stay atomics so fence predicates read them lock-free.
+    lock: Mutex<()>,
     /// Write timestamp of the home copy's version.
     wts: AtomicU64,
     /// Promise horizon: max granted read lease. Invariant: `wts <= rts`
@@ -96,6 +128,11 @@ struct NodeClock {
     lease_wts: Vec<AtomicU64>,
     /// Epoch of this node's last `wts` bump per page.
     wrote_epoch: Vec<AtomicU64>,
+    /// Pages homed *here* and written this epoch. Home stores land in home
+    /// memory directly — no cached copy, no drain — so their version bump
+    /// is deferred to `end_sd_fence` (after every store of the epoch) and
+    /// this queue remembers which pages owe one.
+    home_writes: Mutex<Vec<PageNum>>,
 }
 
 /// Timestamp-lease coherence (TARDIS-style).
@@ -105,9 +142,8 @@ pub struct Tardis {
     nodes: Vec<NodeClock>,
     /// The global clock releases publish into and acquires merge from.
     gts: AtomicU64,
-    lease_init: u64,
-    lease_min: u64,
-    lease_max: u64,
+    /// The shared adaptive grow/shrink rule (see [`LeaseClock`]).
+    clock: LeaseClock,
 }
 
 impl Tardis {
@@ -145,15 +181,14 @@ impl Coherence for Tardis {
     const NAME: &'static str = "tardis";
 
     fn new(nodes: usize, total_pages: u64, config: &CarinaConfig) -> Self {
-        let lease_init = config.tardis_lease.max(1);
-        let lease_min = config.tardis_lease_min.max(1).min(lease_init);
-        let lease_max = config.tardis_lease_max.max(lease_init);
+        let clock = LeaseClock::from_config(config);
         Tardis {
             entries: (0..total_pages)
                 .map(|_| TsEntry {
+                    lock: Mutex::new(()),
                     wts: AtomicU64::new(0),
                     rts: AtomicU64::new(0),
-                    lease: AtomicU64::new(lease_init),
+                    lease: AtomicU64::new(clock.initial()),
                     diag: DirEntry::default(),
                 })
                 .collect(),
@@ -165,12 +200,11 @@ impl Coherence for Tardis {
                     lease_rts: (0..total_pages).map(|_| AtomicU64::new(0)).collect(),
                     lease_wts: (0..total_pages).map(|_| AtomicU64::new(0)).collect(),
                     wrote_epoch: (0..total_pages).map(|_| AtomicU64::new(0)).collect(),
+                    home_writes: Mutex::new(Vec::new()),
                 })
                 .collect(),
             gts: AtomicU64::new(0),
-            lease_init,
-            lease_min,
-            lease_max,
+            clock,
         }
     }
 
@@ -191,10 +225,13 @@ impl Coherence for Tardis {
         // One `wts` bump per page per release epoch covers every store of
         // the epoch: leases granted before the bump are already past; a
         // lease granted *during* our epoch on the page we are writing
-        // would be a data race, which DRF excludes.
+        // would be a data race, which DRF excludes. SeqCst pairs with the
+        // epoch increment in `end_sd_fence`: a gate check that reads the
+        // old epoch is totally ordered before the increment, hence before
+        // the queue drain that bumps the page.
         let nc = &self.nodes[me as usize];
         nc.wrote_epoch[page.0 as usize].load(Ordering::Relaxed)
-            == nc.epoch.load(Ordering::Relaxed)
+            == nc.epoch.load(Ordering::SeqCst)
     }
 
     fn register_reader(
@@ -207,6 +244,7 @@ impl Coherence for Tardis {
         let e = self.entry(page);
         let nc = &self.nodes[me as usize];
         let q = page.0 as usize;
+        let _serial = e.lock.lock();
         let renewal = nc.granted.get(page);
         let wts = e.wts.load(Ordering::Acquire);
         nc.pts.fetch_max(wts, Ordering::AcqRel);
@@ -215,9 +253,7 @@ impl Coherence for Tardis {
         // the lease expired only because unrelated writers moved the
         // clock — double it so the page rides out more of them.
         let lease = if renewal && nc.lease_wts[q].load(Ordering::Relaxed) == wts {
-            let grown = (e.lease.load(Ordering::Relaxed) * 2).min(self.lease_max);
-            e.lease.store(grown, Ordering::Relaxed);
-            grown
+            self.clock.grow(&e.lease)
         } else {
             e.lease.load(Ordering::Relaxed)
         };
@@ -237,40 +273,42 @@ impl Coherence for Tardis {
     fn register_writer(
         &self,
         me: u16,
-        _home: u16,
+        home: u16,
         page: PageNum,
         _shard: &StatShard,
     ) -> RegisterOutcome {
         let e = self.entry(page);
         let nc = &self.nodes[me as usize];
         let q = page.0 as usize;
-        // Bump wts past every granted lease (CAS loop: concurrent writers
-        // each get a distinct version).
-        let mut w = e.wts.load(Ordering::Acquire);
-        let new = loop {
-            let r = e.rts.load(Ordering::Acquire);
-            let next = w.max(r) + 1;
-            match e
-                .wts
-                .compare_exchange_weak(w, next, Ordering::AcqRel, Ordering::Acquire)
-            {
-                Ok(_) => break next,
-                Err(cur) => w = cur,
-            }
-        };
-        // Shrink the page's lease: it is write-active, long promises on it
-        // only inflate future bumps.
-        let shrunk = (e.lease.load(Ordering::Relaxed) / 2).max(self.lease_min);
-        e.lease.store(shrunk, Ordering::Relaxed);
-        nc.pts.fetch_max(new, Ordering::AcqRel);
-        // Self-lease on the new version (registered at home via rts so any
-        // other writer's bump lands past it): our own fences keep the page
-        // we are writing, mirroring Table 1's single-writer row.
-        let grant = new.saturating_add(shrunk);
-        e.rts.fetch_max(grant, Ordering::AcqRel);
-        nc.lease_rts[q].fetch_max(grant, Ordering::Relaxed);
-        nc.lease_wts[q].store(new, Ordering::Relaxed);
-        nc.granted.set(page);
+        let _serial = e.lock.lock();
+        // Shrink the page's lease: it is write-active, and long promises
+        // on it only inflate future bumps.
+        self.clock.shrink(&e.lease);
+        // No self-lease, in either branch. A lease asserts the *whole*
+        // copy is current, and a multi-writer diff protocol cannot prove
+        // that for a written page: words another node wrote are exactly as
+        // old as the last fill. (Hardware TARDIS writes under exclusive
+        // ownership, which is what makes its write-side leases sound.)
+        // Written pages follow SI/SD discipline instead — drain at the
+        // release, self-invalidate at the writer's next acquire — and
+        // leases protect only read-filled copies.
+        if home == me {
+            // Home stores land in home memory directly — there is no
+            // cached copy and no drain, so no `note_downgrade` will ever
+            // fire for this page. The epoch's bytes become the published
+            // version at the *release*, after every store of the epoch;
+            // queue the bump for `end_sd_fence`. (Bumping now would mint a
+            // version whose later same-epoch stores are still in flight —
+            // the exact stale-lease window rule 3 closes for remote
+            // writes.)
+            nc.home_writes.lock().push(page);
+        } else {
+            // The version does not move here — the new bytes exist only in
+            // this writer's cache until the downgrade (rule 3). Write at
+            // the current clock: `pts = max(pts, wts)`.
+            let wts = e.wts.load(Ordering::Acquire);
+            nc.pts.fetch_max(wts, Ordering::AcqRel);
+        }
         nc.wrote_epoch[q].store(nc.epoch.load(Ordering::Relaxed), Ordering::Relaxed);
         e.diag.or_writers(node_bit(me));
         RegisterOutcome::quiet()
@@ -283,7 +321,7 @@ impl Coherence for Tardis {
         WriteDisposition { need_twin: true, buffer: true }
     }
 
-    fn begin_si_fence(&self, me: u16) {
+    fn begin_si_fence(&self, me: u16, _shard: &StatShard) {
         // Acquire: observe every published release.
         self.nodes[me as usize]
             .pts
@@ -303,17 +341,56 @@ impl Coherence for Tardis {
         !held
     }
 
-    fn end_sd_fence(&self, me: u16) {
+    fn end_sd_fence(&self, me: u16, _shard: &StatShard) {
         let nc = &self.nodes[me as usize];
+        // Open the next epoch *before* draining the home-write queue. A
+        // sibling thread's store is covered by the bumps below only if it
+        // landed first — and the store path re-checks registration after
+        // every home store, so a storer either still reads the old epoch
+        // here (its store preceded this increment, hence the bumps) or
+        // reads the new one and re-queues the page for its own release.
+        nc.epoch.fetch_add(1, Ordering::SeqCst);
+        // Home-written pages had no drain: their stores hit home memory
+        // directly, and this release is the moment the epoch's bytes
+        // become the published version.
+        let pending = std::mem::take(&mut *nc.home_writes.lock());
+        for page in pending {
+            self.note_downgrade(me, page);
+        }
         // Publish after the drain settled: clock moves only once data is
         // home.
         self.gts
             .fetch_max(nc.pts.load(Ordering::Acquire), Ordering::AcqRel);
-        nc.epoch.fetch_add(1, Ordering::AcqRel);
     }
 
     fn downgrade_skip_diff(&self, _me: u16, _page: PageNum) -> bool {
         false
+    }
+
+    fn note_downgrade(&self, me: u16, page: PageNum) {
+        let e = self.entry(page);
+        let nc = &self.nodes[me as usize];
+        let _serial = e.lock.lock();
+        // The drained bytes are home: this is the moment the new version
+        // exists. Bump past every granted lease — anyone still holding one
+        // leased the old bytes, and the release about to publish our clock
+        // will expire them at their next acquire.
+        let v = e
+            .wts
+            .load(Ordering::Acquire)
+            .max(e.rts.load(Ordering::Acquire))
+            + 1;
+        e.wts.store(v, Ordering::Release);
+        // Keep `wts <= rts` (an rts below the version would promise the
+        // previous version past its life). No self-lease: see
+        // `register_writer` — written copies cannot be proven whole.
+        e.rts.fetch_max(v, Ordering::AcqRel);
+        nc.pts.fetch_max(v, Ordering::AcqRel);
+        e.diag.or_writers(node_bit(me));
+    }
+
+    fn page_mode(&self, _page: PageNum) -> PageMode {
+        PageMode::Lease
     }
 
     fn census_view(&self, page: PageNum) -> DirView {
@@ -330,12 +407,9 @@ impl Coherence for Tardis {
         for &page in dirty {
             if self.entry(page).diag.view().writers & node_bit(node) == 0 {
                 problems.push(format!(
-                    "n{n}: dirty page {} without a wts bump on record",
+                    "n{n}: dirty page {} without a writer on record",
                     page.0
                 ));
-            }
-            if !nc.granted.get(page) {
-                problems.push(format!("n{n}: dirty page {} holds no lease", page.0));
             }
         }
         for (q, e) in self.entries.iter().enumerate() {
@@ -362,7 +436,7 @@ impl Coherence for Tardis {
         for e in &self.entries {
             e.wts.store(0, Ordering::Relaxed);
             e.rts.store(0, Ordering::Relaxed);
-            e.lease.store(self.lease_init, Ordering::Relaxed);
+            e.lease.store(self.clock.initial(), Ordering::Relaxed);
             e.diag.reset();
         }
         for nc in &self.nodes {
@@ -378,6 +452,7 @@ impl Coherence for Tardis {
             for a in &nc.wrote_epoch {
                 a.store(0, Ordering::Relaxed);
             }
+            nc.home_writes.lock().clear();
         }
         self.gts.store(0, Ordering::Relaxed);
     }
@@ -401,12 +476,13 @@ mod tests {
         assert!(!c.read_registered(0, 1, p));
         c.register_reader(0, 1, p, s.shard(0));
         assert!(c.read_registered(0, 1, p));
-        c.begin_si_fence(0);
+        c.begin_si_fence(0, s.shard(0));
         assert!(!c.must_self_invalidate(0, p, s.shard(0)));
-        // n1 writes p and releases: n0's next acquire expires the lease.
+        // n1 writes p (homed at n1: the release itself bumps) and
+        // releases: n0's next acquire expires the lease.
         c.register_writer(1, 1, p, s.shard(1));
-        c.end_sd_fence(1);
-        c.begin_si_fence(0);
+        c.end_sd_fence(1, s.shard(1));
+        c.begin_si_fence(0, s.shard(0));
         assert!(c.must_self_invalidate(0, p, s.shard(0)));
         assert!(!c.read_registered(0, 1, p));
         // Refetch = renewal.
@@ -426,8 +502,8 @@ mod tests {
         for _ in 0..5 {
             c.register_reader(0, 1, p, s.shard(0));
             c.register_writer(1, 1, p, s.shard(1));
-            c.end_sd_fence(1);
-            c.begin_si_fence(0);
+            c.end_sd_fence(1, s.shard(1));
+            c.begin_si_fence(0, s.shard(0));
             let (wts, rts) = c.timestamps(p);
             assert!(wts <= rts, "wts {wts} > rts {rts}");
         }
@@ -442,9 +518,11 @@ mod tests {
         c.register_reader(0, 1, cold, s.shard(0));
         let mut kept_after_growth = false;
         for _ in 0..12 {
-            c.register_writer(1, 1, hot, s.shard(1));
-            c.end_sd_fence(1);
-            c.begin_si_fence(0);
+            if !c.write_registered(1, 1, hot) {
+                c.register_writer(1, 1, hot, s.shard(1));
+            }
+            c.end_sd_fence(1, s.shard(1));
+            c.begin_si_fence(0, s.shard(0));
             if !c.must_self_invalidate(0, cold, s.shard(0)) {
                 kept_after_growth = true;
             } else {
@@ -459,20 +537,51 @@ mod tests {
     }
 
     #[test]
-    fn write_epoch_gates_rebumps() {
+    fn version_moves_at_drain_not_at_fault() {
         let c = policy(2);
         let s = CoherenceStats::new(2);
-        let p = PageNum(4);
-        assert!(!c.write_registered(0, 0, p));
+        let p = PageNum(4); // homed at n1, written by n0: the drained path
+        assert!(!c.write_registered(0, 1, p));
+        c.register_writer(0, 1, p, s.shard(0));
+        assert!(c.write_registered(0, 1, p));
+        let (w_fault, _) = c.timestamps(p);
+        assert_eq!(w_fault, 0, "the write fault must not publish a version");
+        // The drain creates the version, past every granted lease.
+        let (_, rts_before) = c.timestamps(p);
+        c.note_downgrade(0, p);
+        let (w_drain, _) = c.timestamps(p);
+        assert!(w_drain > rts_before);
+        // Epoch gating: one self-lease registration per release epoch.
+        c.end_sd_fence(0, s.shard(0));
+        assert!(!c.write_registered(0, 1, p));
+        c.register_writer(0, 1, p, s.shard(0));
+        assert!(c.write_registered(0, 1, p));
+    }
+
+    #[test]
+    fn home_writes_bump_at_release_not_before() {
+        let c = policy(2);
+        let s = CoherenceStats::new(2);
+        let p = PageNum(2); // homed at n0, written by n0: no drain exists
+        // n1 leases the page first.
+        c.register_reader(1, 0, p, s.shard(1));
+        c.begin_si_fence(1, s.shard(1));
+        assert!(!c.must_self_invalidate(1, p, s.shard(1)));
+        // The home write registers but must not mint a version: the
+        // epoch's stores are still landing.
         c.register_writer(0, 0, p, s.shard(0));
-        assert!(c.write_registered(0, 0, p));
-        let (w1, _) = c.timestamps(p);
-        // Same epoch: no new bump needed.
-        c.end_sd_fence(0);
-        assert!(!c.write_registered(0, 0, p));
-        c.register_writer(0, 0, p, s.shard(0));
-        let (w2, _) = c.timestamps(p);
-        assert!(w2 > w1);
+        let (w_fault, _) = c.timestamps(p);
+        assert_eq!(w_fault, 0, "home write published a version before release");
+        // The release bumps past n1's lease and publishes the clock.
+        c.end_sd_fence(0, s.shard(0));
+        let (w_rel, rts) = c.timestamps(p);
+        assert!(w_rel > 0 && w_rel <= rts);
+        c.begin_si_fence(1, s.shard(1));
+        assert!(c.must_self_invalidate(1, p, s.shard(1)));
+        // One bump per epoch: the queue drained.
+        let again = c.timestamps(p).0;
+        c.end_sd_fence(0, s.shard(0));
+        assert_eq!(c.timestamps(p).0, again, "release re-bumped a drained queue");
     }
 
     #[test]
@@ -488,7 +597,7 @@ mod tests {
         let s = CoherenceStats::new(2);
         c.register_reader(0, 1, PageNum(0), s.shard(0));
         c.register_writer(1, 1, PageNum(0), s.shard(1));
-        c.end_sd_fence(1);
+        c.end_sd_fence(1, s.shard(1));
         c.reset_all();
         assert_eq!(c.timestamps(PageNum(0)), (0, 0));
         assert_eq!(c.clock(0), 0);

@@ -93,6 +93,13 @@ pub struct CarinaConfig {
     /// Adaptive-lease ceiling: renewals of an unchanged page double its
     /// lease no higher than this (Tardis only).
     pub tardis_lease_max: u64,
+    /// Evidence score a page must accumulate before the Pyxis hybrid
+    /// switches its mode at the next fence boundary (higher = more
+    /// hysteresis, slower adaptation). Ignored by the pure policies.
+    pub pyxis_switch_threshold: i64,
+    /// Saturation bound for the Pyxis per-page evidence score; caps how
+    /// much history a page can hold against a phase change (Pyxis only).
+    pub pyxis_score_cap: i64,
     /// How failed verbs are reissued (backoff, jitter, per-class budgets).
     /// Irrelevant on a healthy fabric — no verb ever fails there.
     pub retry: RetryPolicy,
@@ -120,6 +127,8 @@ impl Default for CarinaConfig {
             tardis_lease: 64,
             tardis_lease_min: 8,
             tardis_lease_max: 4096,
+            pyxis_switch_threshold: 3,
+            pyxis_score_cap: 8,
             retry: RetryPolicy::default(),
         }
     }

@@ -478,6 +478,12 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
         if self.global.home_of(page) == me {
             self.register_writer_home(t, page, me)?;
             self.global.home_page(page).store(word, value);
+            // A sibling thread's release may have closed our write epoch
+            // between the registration above and the store landing, in
+            // which case the epoch's version bump did not cover this byte.
+            // Re-checking after the store re-registers the page so the
+            // next release covers it. (No-op for map-based policies.)
+            self.register_writer_home(t, page, me)?;
             return Ok(());
         }
         let ns = &self.nodes[me as usize];
@@ -678,6 +684,10 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
                 for k in 0..run {
                     hp.store(first_word + k, data[i + k]);
                 }
+                // Post-store re-check, as in `try_write_u64`: a sibling
+                // thread's release mid-run must not leave these bytes
+                // outside the epoch's version bump.
+                self.register_writer_home(t, page, me)?;
             } else {
                 let ns = &self.nodes[me as usize];
                 let mut st = ns.cache.lock_slot(page);
@@ -779,7 +789,7 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
         // the synchronization this fence establishes.
         self.flush_prefetch(me);
         // Acquire-side policy hook (Tardis merges the global clock here).
-        self.coherence.begin_si_fence(me);
+        self.coherence.begin_si_fence(me, self.stats.shard(me));
         let ns = &self.nodes[me as usize];
         // O(resident): only slots holding a line are visited; empty slots
         // of a roomy cache cost nothing.
@@ -883,7 +893,7 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
         t.merge(ns.pending_settle.load(Ordering::Acquire));
         // Release-side policy hook, after the drain settled (Tardis
         // publishes its clock and opens a new write epoch here).
-        self.coherence.end_sd_fence(me);
+        self.coherence.end_sd_fence(me, self.stats.shard(me));
         let dur = t.obs_now().saturating_sub(obs_start);
         self.profile.record(me as usize, obs::Site::SdFence, dur);
         self.tracer.record(
@@ -1540,6 +1550,9 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
         st.pages[idx].dirty = false;
         st.pages[idx].twin = None;
         st.pages[idx].mask.clear();
+        // The new version is home: let the policy advance its clocks (all
+        // drain paths — fence, overflow, eviction — funnel through here).
+        self.coherence.note_downgrade(me, page);
         // The real implementation re-protects the page read-only so the
         // next write faults again.
         t.compute(self.config.protect_cycles);
@@ -1841,6 +1854,12 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
     /// under SI/SD; diagnostic under timestamp policies.
     pub fn home_dir_view_of_page(&self, page: PageNum) -> DirView {
         self.coherence.census_view(page)
+    }
+
+    /// Which protocol currently governs `page` (census walks). Fixed for
+    /// the pure policies; per-page under the Pyxis hybrid.
+    pub fn page_mode_of(&self, page: PageNum) -> crate::coherence::PageMode {
+        self.coherence.page_mode(page)
     }
 }
 

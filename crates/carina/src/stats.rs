@@ -74,6 +74,21 @@ pub struct StatShard {
     /// Cached pages an SI fence kept because their lease was still valid —
     /// the invalidations the timestamp protocol avoided (Tardis only).
     pub lease_kept: AtomicU64,
+    /// Pages the hybrid switched classify→lease at a fence boundary
+    /// (Pyxis only).
+    pub mode_to_lease: AtomicU64,
+    /// Pages the hybrid switched lease→classify at a fence boundary
+    /// (Pyxis only).
+    pub mode_to_sisd: AtomicU64,
+    /// SI-fence page examinations governed by lease mode (Pyxis only).
+    pub mode_lease_checks: AtomicU64,
+    /// SI-fence page examinations governed by classification mode (Pyxis
+    /// only).
+    pub mode_classify_checks: AtomicU64,
+    /// Forced invalidations at the first acquire observing a page's mode
+    /// switch — the reconcile rule that keeps transitions sound (Pyxis
+    /// only).
+    pub mode_reconciles: AtomicU64,
 }
 
 impl StatShard {
@@ -107,6 +122,11 @@ impl StatShard {
         out.lease_renewals += l(&self.lease_renewals);
         out.lease_expiries += l(&self.lease_expiries);
         out.lease_kept += l(&self.lease_kept);
+        out.mode_to_lease += l(&self.mode_to_lease);
+        out.mode_to_sisd += l(&self.mode_to_sisd);
+        out.mode_lease_checks += l(&self.mode_lease_checks);
+        out.mode_classify_checks += l(&self.mode_classify_checks);
+        out.mode_reconciles += l(&self.mode_reconciles);
     }
 
     fn reset(&self) {
@@ -139,6 +159,11 @@ impl StatShard {
         z(&self.lease_renewals);
         z(&self.lease_expiries);
         z(&self.lease_kept);
+        z(&self.mode_to_lease);
+        z(&self.mode_to_sisd);
+        z(&self.mode_lease_checks);
+        z(&self.mode_classify_checks);
+        z(&self.mode_reconciles);
     }
 }
 
@@ -179,6 +204,11 @@ pub struct CoherenceSnapshot {
     pub lease_renewals: u64,
     pub lease_expiries: u64,
     pub lease_kept: u64,
+    pub mode_to_lease: u64,
+    pub mode_to_sisd: u64,
+    pub mode_lease_checks: u64,
+    pub mode_classify_checks: u64,
+    pub mode_reconciles: u64,
 }
 
 impl CoherenceStats {
@@ -267,6 +297,17 @@ impl CoherenceSnapshot {
             return 0.0;
         }
         self.lease_kept as f64 / total as f64
+    }
+
+    /// Fraction of SI-fence page examinations governed by lease mode — how
+    /// much of the hybrid's footprint timestamps ended up covering (0.0
+    /// under the pure policies, which never tick the mode counters).
+    pub fn lease_mode_occupancy(&self) -> f64 {
+        let total = self.mode_lease_checks + self.mode_classify_checks;
+        if total == 0 {
+            return 0.0;
+        }
+        self.mode_lease_checks as f64 / total as f64
     }
 
     /// Fraction of write-back wire bytes that were diffed words — how much

@@ -1,0 +1,241 @@
+//! Property tests for the Pyxis hybrid coherence policy.
+//!
+//! Two claims carry the hybrid's correctness and must hold under *every*
+//! schedule, not just the ones the examples happen to drive:
+//!
+//! 1. **Switches happen only at fence boundaries.** The access paths
+//!    (reads, writes, registration, even the invalidation sweep itself)
+//!    may only *accumulate* evidence; a page's mode epoch moves exclusively
+//!    inside `begin_si_fence`/`end_sd_fence`. This is what lets mode
+//!    transitions compose with the engine's issue/poll overlap, write
+//!    buffer, and retry machinery without any engine changes.
+//! 2. **No stale read survives a switch.** Whole-machine runs under
+//!    randomized round schedules — with the switch threshold dropped to 1
+//!    so modes flap as aggressively as the hysteresis allows — must
+//!    produce bit-identical memory and read-back values to the same
+//!    schedule replayed under pure SI/SD and pure Tardis. A page crossing
+//!    lease→SI/SD (or back) with a stale copy alive anywhere would break
+//!    the identity.
+//!
+//! The policy-level harness drives Pyxis exactly as the engine does:
+//! registration only when the matching `*_registered` check fails, and the
+//! invalidation predicate only between `begin_si_fence` and the end of the
+//! sweep.
+
+use carina::{CarinaConfig, Coherence, CoherenceStats, Dsm, Pyxis, Tardis};
+use mem::{GlobalAddr, PageNum, PAGE_BYTES};
+use proptest::prelude::*;
+use simnet::{ClusterTopology, CostModel, Interconnect, NodeId, SimThread};
+use std::sync::Arc;
+
+const NODES: usize = 3;
+const PAGES: u64 = 8;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Read { node: u16, page: u64 },
+    Write { node: u16, page: u64 },
+    SiFence { node: u16 },
+    SdFence { node: u16 },
+}
+
+fn decode(raw: (u16, u64, u8)) -> Op {
+    let (node, page, kind) = raw;
+    match kind {
+        0 | 1 => Op::Read { node, page },
+        2 => Op::Write { node, page },
+        3 => Op::SiFence { node },
+        _ => Op::SdFence { node },
+    }
+}
+
+fn op_strategy() -> (std::ops::Range<u16>, std::ops::Range<u64>, std::ops::Range<u8>) {
+    (0u16..NODES as u16, 0u64..PAGES, 0u8..5)
+}
+
+/// Aggressive adaptation: one piece of evidence is enough to enqueue a
+/// switch, so schedules of a couple hundred ops exercise both directions.
+fn flappy_config() -> CarinaConfig {
+    CarinaConfig {
+        pyxis_switch_threshold: 1,
+        pyxis_score_cap: 2,
+        ..CarinaConfig::default()
+    }
+}
+
+/// Drive one op through the policy the way `Dsm` would, recording the
+/// mode-epoch table before and after to detect out-of-bound switches.
+fn apply(t: &Pyxis, stats: &CoherenceStats, op: Op) {
+    let shard = stats.shard(match op {
+        Op::Read { node, .. } | Op::Write { node, .. } => node,
+        Op::SiFence { node } | Op::SdFence { node } => node,
+    });
+    match op {
+        Op::Read { node, page } => {
+            let home = (page % NODES as u64) as u16;
+            if !t.read_registered(node, home, PageNum(page)) {
+                t.register_reader(node, home, PageNum(page), shard);
+            }
+        }
+        Op::Write { node, page } => {
+            let home = (page % NODES as u64) as u16;
+            if !t.write_registered(node, home, PageNum(page)) {
+                t.register_writer(node, home, PageNum(page), shard);
+            }
+            t.write_disposition(node, PageNum(page));
+        }
+        Op::SiFence { node } => {
+            t.begin_si_fence(node, shard);
+            for q in 0..PAGES {
+                let _ = t.must_self_invalidate(node, PageNum(q), shard);
+            }
+        }
+        Op::SdFence { node } => t.end_sd_fence(node, shard),
+    }
+}
+
+fn switch_table(t: &Pyxis) -> Vec<u64> {
+    (0..PAGES).map(|q| t.switch_count(PageNum(q))).collect()
+}
+
+proptest! {
+    /// Invariant 1: the mode-epoch table is frozen everywhere except
+    /// inside the two fence hooks — and the moment a hook runs, the
+    /// stats ledger accounts for every flip it applied.
+    #[test]
+    fn prop_switches_only_at_fence_boundaries(
+        ops in proptest::collection::vec(op_strategy(), 1..250)
+    ) {
+        let t = Pyxis::new(NODES, PAGES, &flappy_config());
+        let stats = CoherenceStats::new(NODES);
+        for op in ops.into_iter().map(decode) {
+            let before = switch_table(&t);
+            let switches_before = {
+                let s = stats.snapshot();
+                s.mode_to_lease + s.mode_to_sisd
+            };
+            apply(&t, &stats, op);
+            let after = switch_table(&t);
+            let switches_after = {
+                let s = stats.snapshot();
+                s.mode_to_lease + s.mode_to_sisd
+            };
+            let flips: u64 = before
+                .iter()
+                .zip(&after)
+                .map(|(b, a)| a - b)
+                .sum();
+            match op {
+                Op::SiFence { .. } | Op::SdFence { .. } => {
+                    prop_assert!(
+                        switches_after - switches_before == flips,
+                        "fence hook applied {} flips but accounted {}",
+                        flips, switches_after - switches_before
+                    );
+                }
+                _ => {
+                    prop_assert!(
+                        flips == 0,
+                        "mode switched outside a fence boundary after {:?}", op
+                    );
+                    prop_assert_eq!(switches_after, switches_before);
+                }
+            }
+        }
+    }
+
+    /// Invariant 1b: evidence saturates at the cap and a switch resets the
+    /// page's score, so the hysteresis bound is honored under every
+    /// schedule.
+    #[test]
+    fn prop_score_stays_within_cap(
+        ops in proptest::collection::vec(op_strategy(), 1..250)
+    ) {
+        let cfg = flappy_config();
+        let t = Pyxis::new(NODES, PAGES, &cfg);
+        let stats = CoherenceStats::new(NODES);
+        for op in ops.into_iter().map(decode) {
+            apply(&t, &stats, op);
+            for q in 0..PAGES {
+                let s = t.score_of(PageNum(q));
+                prop_assert!(
+                    s.abs() <= cfg.pyxis_score_cap,
+                    "page {q}: score {s} escaped the ±{} cap",
+                    cfg.pyxis_score_cap
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-machine bit-identity under randomized switch schedules.
+// ---------------------------------------------------------------------------
+
+fn cluster<C: Coherence>(
+    config: CarinaConfig,
+) -> (Arc<Dsm<Interconnect, C>>, Vec<SimThread>) {
+    let topo = ClusterTopology::tiny(NODES);
+    let net = Interconnect::new(topo, CostModel::paper_2011());
+    let dsm = Dsm::with_policy(net.clone(), 2 << 20, config);
+    let threads = (0..NODES)
+        .map(|n| SimThread::new(topo.loc(NodeId(n as u16), 0), net.clone()))
+        .collect();
+    (dsm, threads)
+}
+
+/// One randomized round: `writer` rewrites its pages and releases, then
+/// every node acquires and reads the full region. Sequential driving makes
+/// the schedule trivially DRF while still crossing real fences, so every
+/// read must observe the latest release — under any policy and any mode
+/// schedule.
+fn run_rounds<C: Coherence>(
+    config: CarinaConfig,
+    rounds: &[(u16, u8)],
+) -> (Vec<u64>, Vec<u64>) {
+    let (dsm, mut ts) = cluster::<C>(config);
+    let mut observed = Vec::new();
+    for (r, &(writer, touch_mask)) in rounds.iter().enumerate() {
+        let w = writer as usize % NODES;
+        for p in 0..PAGES {
+            if touch_mask & (1 << p) != 0 {
+                let a = GlobalAddr((p + 1) * PAGE_BYTES + (p % 4) * 8);
+                dsm.write_u64(&mut ts[w], a, (r as u64) << 16 | p << 4 | w as u64);
+            }
+        }
+        dsm.sd_fence(&mut ts[w]);
+        for t in ts.iter_mut() {
+            dsm.si_fence(t);
+            for p in 0..PAGES {
+                let a = GlobalAddr((p + 1) * PAGE_BYTES + (p % 4) * 8);
+                observed.push(dsm.read_u64(t, a));
+            }
+            dsm.sd_fence(t);
+        }
+    }
+    let mem = (0..(PAGES + 1) * mem::WORDS_PER_PAGE as u64)
+        .map(|w| dsm.peek_u64(GlobalAddr(w * 8)))
+        .collect();
+    (mem, observed)
+}
+
+proptest! {
+    /// Invariant 2: with the hybrid flapping as fast as its hysteresis
+    /// allows, every value read and every final memory word matches the
+    /// pure policies bit for bit — a stale read surviving any
+    /// lease↔SI/SD transition would break the identity.
+    #[test]
+    fn prop_randomized_switch_schedules_preserve_bit_identity(
+        rounds in proptest::collection::vec((0u16..NODES as u16, 1u8..255u8), 2..10)
+    ) {
+        let (mem_pyxis, seen_pyxis) = run_rounds::<Pyxis>(flappy_config(), &rounds);
+        let (mem_sisd, seen_sisd) =
+            run_rounds::<carina::CarinaSiSd>(CarinaConfig::default(), &rounds);
+        let (mem_tardis, seen_tardis) =
+            run_rounds::<Tardis>(CarinaConfig::default(), &rounds);
+        prop_assert!(seen_pyxis == seen_sisd, "pyxis read-back diverged from si/sd");
+        prop_assert!(seen_pyxis == seen_tardis, "pyxis read-back diverged from tardis");
+        prop_assert!(mem_pyxis == mem_sisd, "pyxis final memory diverged from si/sd");
+        prop_assert!(mem_pyxis == mem_tardis, "pyxis final memory diverged from tardis");
+    }
+}

@@ -9,14 +9,18 @@
 //!    the version it was granted against.
 //! 2. Lease renewal is monotone: `rts` never decreases, and a node's
 //!    logical clock (`pts`) never runs backwards.
-//! 3. Write-after-lease ordering: a write to a page is timestamped
-//!    strictly after every lease granted on that page before the write,
-//!    so no expired reader can observe it in its lease window.
+//! 3. Write-after-lease ordering: the downgrade that lands a write's
+//!    bytes in home memory is timestamped strictly after every lease
+//!    granted on the page before it, so no expired reader can observe the
+//!    new version in its old lease window. (The write *fault* publishes
+//!    no version at all — the bytes are not home yet.)
 //!
 //! The harness drives the policy exactly as the engine does: registration
-//! is attempted only when the matching `*_registered` check fails, and
-//! fences call `begin_si_fence`/`end_sd_fence` around the invalidation
-//! predicate.
+//! is attempted only when the matching `*_registered` check fails, fences
+//! call `begin_si_fence`/`end_sd_fence` around the invalidation predicate,
+//! and — like the engine's drain paths — every page dirtied since the last
+//! fence is `note_downgrade`d before the release hook (or before its
+//! invalidation at an acquire).
 
 use carina::{CarinaConfig, Coherence, StatShard, Tardis};
 use mem::PageNum;
@@ -50,8 +54,16 @@ fn op_strategy() -> (std::ops::Range<u16>, std::ops::Range<u64>, std::ops::Range
     (0u16..NODES as u16, 0u64..PAGES, 0u8..4)
 }
 
+/// Per-node dirty sets: the engine drains (and `note_downgrade`s) these
+/// at fences; the harness mirrors that.
+type Dirty = Vec<[bool; PAGES as usize]>;
+
+fn new_dirty() -> Dirty {
+    vec![[false; PAGES as usize]; NODES]
+}
+
 /// Drive one op through the policy the way `Dsm` would.
-fn apply(t: &Tardis, shard: &StatShard, op: Op) {
+fn apply(t: &Tardis, shard: &StatShard, dirty: &mut Dirty, op: Op) {
     match op {
         Op::Read { node, page } => {
             let home = (page % NODES as u64) as u16;
@@ -64,14 +76,31 @@ fn apply(t: &Tardis, shard: &StatShard, op: Op) {
             if !t.write_registered(node, home, PageNum(page)) {
                 t.register_writer(node, home, PageNum(page), shard);
             }
-        }
-        Op::SiFence { node } => {
-            t.begin_si_fence(node);
-            for q in 0..PAGES {
-                let _ = t.must_self_invalidate(node, PageNum(q), shard);
+            // Home pages are never cached at home: their stores hit home
+            // memory directly and the policy bumps them at the release,
+            // so only remote writes enter the drained dirty set.
+            if home != node {
+                dirty[node as usize][page as usize] = true;
             }
         }
-        Op::SdFence { node } => t.end_sd_fence(node),
+        Op::SiFence { node } => {
+            t.begin_si_fence(node, shard);
+            for q in 0..PAGES {
+                let inval = t.must_self_invalidate(node, PageNum(q), shard);
+                // The engine downgrades a dirty page before invalidating.
+                if inval && std::mem::take(&mut dirty[node as usize][q as usize]) {
+                    t.note_downgrade(node, PageNum(q));
+                }
+            }
+        }
+        Op::SdFence { node } => {
+            for q in 0..PAGES {
+                if std::mem::take(&mut dirty[node as usize][q as usize]) {
+                    t.note_downgrade(node, PageNum(q));
+                }
+            }
+            t.end_sd_fence(node, shard);
+        }
     }
 }
 
@@ -83,8 +112,9 @@ proptest! {
     fn prop_wts_never_exceeds_rts(ops in proptest::collection::vec(op_strategy(), 1..200)) {
         let t = Tardis::new(NODES, PAGES, &CarinaConfig::default());
         let shard = StatShard::default();
+        let mut dirty = new_dirty();
         for op in ops.into_iter().map(decode) {
-            apply(&t, &shard, op);
+            apply(&t, &shard, &mut dirty, op);
             for q in 0..PAGES {
                 let (wts, rts) = t.timestamps(PageNum(q));
                 prop_assert!(wts <= rts, "page {q}: wts {wts} > rts {rts} after {op:?}");
@@ -100,8 +130,9 @@ proptest! {
         let shard = StatShard::default();
         let mut last_rts = vec![0u64; PAGES as usize];
         let mut last_pts = [0u64; NODES];
+        let mut dirty = new_dirty();
         for op in ops.into_iter().map(decode) {
-            apply(&t, &shard, op);
+            apply(&t, &shard, &mut dirty, op);
             for q in 0..PAGES {
                 let (_, rts) = t.timestamps(PageNum(q));
                 prop_assert!(
@@ -123,29 +154,49 @@ proptest! {
         }
     }
 
-    /// Invariant 3: write-after-lease ordering — every write that bumps a
-    /// page's version lands strictly after the largest lease granted on
-    /// that page before the write.
+    /// Invariant 3: write-after-lease ordering — every drain that lands a
+    /// new version in home memory is timestamped strictly after the
+    /// largest lease granted on the page before it, while the write fault
+    /// itself publishes no version at all.
     #[test]
-    fn prop_writes_order_after_granted_leases(
+    fn prop_drains_order_after_granted_leases(
         ops in proptest::collection::vec(op_strategy(), 1..200)
     ) {
         let t = Tardis::new(NODES, PAGES, &CarinaConfig::default());
         let shard = StatShard::default();
+        let mut dirty = new_dirty();
         for op in ops.into_iter().map(decode) {
-            if let Op::Write { node, page } = op {
-                let home = (page % NODES as u64) as u16;
-                if !t.write_registered(node, home, PageNum(page)) {
-                    let (_, rts_before) = t.timestamps(PageNum(page));
-                    t.register_writer(node, home, PageNum(page), &shard);
-                    let (wts_after, _) = t.timestamps(PageNum(page));
-                    prop_assert!(
-                        wts_after > rts_before,
-                        "page {page}: write at {wts_after} not past granted rts {rts_before}"
-                    );
+            match op {
+                Op::Write { node, page } => {
+                    let home = (page % NODES as u64) as u16;
+                    if !t.write_registered(node, home, PageNum(page)) {
+                        let (wts_before, _) = t.timestamps(PageNum(page));
+                        t.register_writer(node, home, PageNum(page), &shard);
+                        let (wts_after, _) = t.timestamps(PageNum(page));
+                        prop_assert!(
+                            wts_after == wts_before,
+                            "page {page}: fault moved the version {wts_before} -> {wts_after}"
+                        );
+                    }
+                    if home != node {
+                        dirty[node as usize][page as usize] = true;
+                    }
                 }
-            } else {
-                apply(&t, &shard, op);
+                Op::SdFence { node } => {
+                    for q in 0..PAGES {
+                        if std::mem::take(&mut dirty[node as usize][q as usize]) {
+                            let (_, rts_before) = t.timestamps(PageNum(q));
+                            t.note_downgrade(node, PageNum(q));
+                            let (wts_after, _) = t.timestamps(PageNum(q));
+                            prop_assert!(
+                                wts_after > rts_before,
+                                "page {q}: drain at {wts_after} not past granted rts {rts_before}"
+                            );
+                        }
+                    }
+                    t.end_sd_fence(node, &shard);
+                }
+                _ => apply(&t, &shard, &mut dirty, op),
             }
         }
     }
@@ -159,12 +210,15 @@ proptest! {
     ) {
         let t = Tardis::new(NODES, PAGES, &CarinaConfig::default());
         let shard = StatShard::default();
+        let mut dirty = new_dirty();
         for op in ops.into_iter().map(decode) {
             if let Op::SiFence { node } = op {
-                t.begin_si_fence(node);
-                let pts = t.clock(node);
+                t.begin_si_fence(node, &shard);
                 for q in 0..PAGES {
                     let granted = t.granted_lease(node, PageNum(q));
+                    // Sampled per page: a drain earlier in this sweep
+                    // advances the node's own clock.
+                    let pts = t.clock(node);
                     let must = t.must_self_invalidate(node, PageNum(q), &shard);
                     // With no lease held there is nothing cached to keep,
                     // so only granted leases constrain the predicate.
@@ -175,9 +229,12 @@ proptest! {
                             node, q, rts, pts
                         );
                     }
+                    if must && std::mem::take(&mut dirty[node as usize][q as usize]) {
+                        t.note_downgrade(node, PageNum(q));
+                    }
                 }
             } else {
-                apply(&t, &shard, op);
+                apply(&t, &shard, &mut dirty, op);
             }
         }
     }

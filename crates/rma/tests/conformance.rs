@@ -298,6 +298,8 @@ fn dsm_contract_holds_for_every_policy_and_backend() {
     let cost = CostModel::paper_2011();
     dsm_meets_the_contract::<_, carina::CarinaSiSd>(Interconnect::new(topo, cost));
     dsm_meets_the_contract::<_, carina::Tardis>(Interconnect::new(topo, cost));
+    dsm_meets_the_contract::<_, carina::Pyxis>(Interconnect::new(topo, cost));
     dsm_meets_the_contract::<_, carina::CarinaSiSd>(NativeTransport::with_cost(topo, cost));
     dsm_meets_the_contract::<_, carina::Tardis>(NativeTransport::with_cost(topo, cost));
+    dsm_meets_the_contract::<_, carina::Pyxis>(NativeTransport::with_cost(topo, cost));
 }

@@ -207,12 +207,21 @@ fn faulted_probe(seed: u64) {
 
 fn main() {
     // `determinism_probe tardis` pins the timestamp-lease policy against
-    // results/determinism_baseline_tardis.txt; the default run pins the
+    // results/determinism_baseline_tardis.txt, `determinism_probe pyxis`
+    // pins the hybrid (mode switches included) against
+    // results/determinism_baseline_pyxis.txt; the default run pins the
     // SI/SD policy (all three classification modes) plus the faulted
     // sections against results/determinism_baseline.txt.
-    if std::env::args().nth(1).as_deref() == Some("tardis") {
-        workout::<Tardis>("policy tardis".to_string(), ClassificationMode::Ps3);
-        return;
+    match std::env::args().nth(1).as_deref() {
+        Some("tardis") => {
+            workout::<Tardis>("policy tardis".to_string(), ClassificationMode::Ps3);
+            return;
+        }
+        Some("pyxis") => {
+            workout::<carina::Pyxis>("policy pyxis".to_string(), ClassificationMode::Ps3);
+            return;
+        }
+        _ => {}
     }
     for mode in [
         ClassificationMode::AllShared,

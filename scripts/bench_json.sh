@@ -20,10 +20,11 @@ CRITERION_MINI_OUT="$OUT_DIR" cargo bench -p bench --bench simulator_throughput
 CRITERION_MINI_OUT="$OUT_DIR" cargo bench -p bench --bench fences
 CRITERION_MINI_OUT="$OUT_DIR" cargo bench -p bench --bench drain
 CRITERION_MINI_OUT="$OUT_DIR" cargo bench -p bench --bench read_miss
-# Coherence-policy head-to-head (coherence/read_mostly_64p/{sisd,tardis},
-# coherence/private_64p/{sisd,tardis}): the per-fence-round cost of SI/SD
-# classification vs Tardis timestamp leases on the two extreme sharing
-# patterns. Feeds the per-policy rows of BENCH_simulator.json.
+# Coherence-policy head-to-head (coherence/{read_mostly,private,mixed}_64p/
+# {sisd,tardis,pyxis}): the per-fence-round cost of SI/SD classification vs
+# Tardis timestamp leases vs the Pyxis census-driven hybrid on the two
+# extreme sharing patterns plus a mixed region where neither pure policy
+# wins. Feeds the per-policy rows of BENCH_simulator.json.
 CRITERION_MINI_OUT="$OUT_DIR" cargo bench -p bench --bench coherence
 
 # Policy head-to-head table (virtual cycles + ledgers, checksums asserted

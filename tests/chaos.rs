@@ -168,6 +168,40 @@ fn sor_is_bit_identical_under_mixed_faults_tardis() {
     }
 }
 
+/// The Pyxis hybrid adapts its per-page modes from access signals, and
+/// retries perturb nothing the signals see (virtual time, not host time),
+/// so hostile fabrics must not change its checksums either.
+#[test]
+fn matmul_is_bit_identical_under_mixed_faults_pyxis() {
+    let p = matmul::MatmulParams { n: 64 };
+    let clean = matmul::run_argo(
+        &chaos_machine_with::<carina::Pyxis>(2, 2, FaultPlan::disabled()).0,
+        p,
+    );
+    assert_eq!(clean.coherence.verb_retries, 0, "healthy fabric must not retry");
+    for seed in [35u64, 36] {
+        let (m, net) = chaos_machine_with::<carina::Pyxis>(2, 2, hostile(seed));
+        let faulted = matmul::run_argo(&m, p);
+        assert_faulted_run_matches(&clean, &faulted, &net, "matmul/pyxis");
+        assert!(faulted.coherence.verb_retries > 0);
+    }
+}
+
+#[test]
+fn sor_is_bit_identical_under_mixed_faults_pyxis() {
+    let p = sor::SorParams { n: 48, iterations: 4, omega: 1.25 };
+    let clean = sor::run_argo(
+        &chaos_machine_with::<carina::Pyxis>(3, 1, FaultPlan::disabled()).0,
+        p,
+    );
+    for seed in [37u64, 38] {
+        let (m, net) = chaos_machine_with::<carina::Pyxis>(3, 1, hostile(seed));
+        let faulted = sor::run_argo(&m, p);
+        assert_faulted_run_matches(&clean, &faulted, &net, "sor/pyxis");
+        assert!(faulted.coherence.verb_retries > 0);
+    }
+}
+
 #[test]
 fn duplicates_and_spikes_change_timing_not_results() {
     let p = matmul::MatmulParams { n: 64 };

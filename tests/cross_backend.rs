@@ -157,6 +157,30 @@ fn barrier_phases_identical_memory_on_both_backends_tardis() {
 }
 
 #[test]
+fn producer_consumer_identical_memory_on_both_backends_pyxis() {
+    let (sim, native) = machines_with::<carina::Pyxis>(3, 2);
+    let (mem_sim, sums_sim, coh_sim) = producer_consumer(&sim, 2048);
+    let (mem_nat, sums_nat, coh_nat) = producer_consumer(&native, 2048);
+    assert_eq!(mem_sim, mem_nat, "final memory diverged across backends");
+    assert_eq!(sums_sim, sums_nat, "observed values diverged");
+    let expect: f64 = (0..2048u64).map(|i| (i * i) as f64).sum();
+    assert!(sums_sim.iter().all(|&s| s == expect));
+    check_invariants_any_policy(&coh_sim);
+    check_invariants_any_policy(&coh_nat);
+}
+
+#[test]
+fn barrier_phases_identical_memory_on_both_backends_pyxis() {
+    let (sim, native) = machines_with::<carina::Pyxis>(2, 3);
+    let (mem_sim, coh_sim) = barrier_phases(&sim, 5);
+    let (mem_nat, coh_nat) = barrier_phases(&native, 5);
+    assert_eq!(mem_sim, mem_nat, "final memory diverged across backends");
+    assert!(mem_sim.iter().all(|&w| f64::from_bits(w) == 5.0));
+    check_invariants_any_policy(&coh_sim);
+    check_invariants_any_policy(&coh_nat);
+}
+
+#[test]
 fn barrier_phases_identical_memory_on_both_backends() {
     let (sim, native) = machines(2, 3);
     let (mem_sim, coh_sim) = barrier_phases(&sim, 5);

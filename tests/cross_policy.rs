@@ -2,16 +2,18 @@
 //! copies die and *what* the directory remembers — never what a
 //! data-race-free program computes.
 //!
-//! Each program here runs twice on identically configured machines, once
-//! under the Carina SI/SD classification protocol and once under the
-//! Tardis timestamp-lease protocol, and the results must be bit-identical.
-//! The policies' *mechanisms* are allowed (expected!) to differ, and the
-//! tests also pin that: Tardis runs grant leases and never reflect
-//! classification transitions; Carina runs do the opposite.
+//! Each program here runs on identically configured machines once per
+//! policy — the Carina SI/SD classification protocol, the Tardis
+//! timestamp-lease protocol, and the Pyxis hybrid — and the results must
+//! be bit-identical. The policies' *mechanisms* are allowed (expected!)
+//! to differ, and the tests also pin that: Tardis runs grant leases and
+//! never reflect classification transitions; Carina runs do the opposite;
+//! Pyxis maintains the classification ledger in both modes (and may tick
+//! either family's counters on top).
 
 use argo::types::GlobalF64Array;
 use argo::{ArgoConfig, ArgoMachine};
-use carina::{CarinaSiSd, Coherence, CoherenceSnapshot, Tardis};
+use carina::{CarinaSiSd, Coherence, CoherenceSnapshot, Pyxis, Tardis};
 use rma::SimTransport;
 use std::sync::Arc;
 use workloads::{matmul, sor};
@@ -36,6 +38,20 @@ fn assert_carina_shaped(c: &CoherenceSnapshot) {
         0,
         "si/sd grants no leases"
     );
+    assert_eq!(c.mode_lease_checks + c.mode_classify_checks, 0, "pure policies tick no mode counters");
+}
+
+/// Pyxis's ledger: every fence examination is attributed to exactly one
+/// mode (either family's protocol counters may tick on top), and the
+/// reconcile counter only moves when a switch actually happened.
+fn assert_pyxis_shaped(c: &CoherenceSnapshot) {
+    assert!(
+        c.mode_lease_checks + c.mode_classify_checks > 0,
+        "a pyxis run with fences must attribute examinations to a mode"
+    );
+    if c.mode_to_lease + c.mode_to_sisd == 0 {
+        assert_eq!(c.mode_reconciles, 0, "reconciles require a switch");
+    }
 }
 
 #[test]
@@ -43,6 +59,7 @@ fn matmul_checksum_is_policy_independent() {
     let p = matmul::MatmulParams { n: 64 };
     let sisd = matmul::run_argo(&machine::<CarinaSiSd>(2, 2), p);
     let tardis = matmul::run_argo(&machine::<Tardis>(2, 2), p);
+    let pyxis = matmul::run_argo(&machine::<Pyxis>(2, 2), p);
     assert_eq!(
         sisd.checksum.to_bits(),
         tardis.checksum.to_bits(),
@@ -50,8 +67,16 @@ fn matmul_checksum_is_policy_independent() {
         sisd.checksum,
         tardis.checksum
     );
+    assert_eq!(
+        sisd.checksum.to_bits(),
+        pyxis.checksum.to_bits(),
+        "matmul diverged across policies: sisd {} pyxis {}",
+        sisd.checksum,
+        pyxis.checksum
+    );
     assert_carina_shaped(&sisd.coherence);
     assert_tardis_shaped(&tardis.coherence);
+    assert_pyxis_shaped(&pyxis.coherence);
 }
 
 #[test]
@@ -59,6 +84,7 @@ fn sor_checksum_is_policy_independent() {
     let p = sor::SorParams { n: 48, iterations: 4, omega: 1.25 };
     let sisd = sor::run_argo(&machine::<CarinaSiSd>(3, 1), p);
     let tardis = sor::run_argo(&machine::<Tardis>(3, 1), p);
+    let pyxis = sor::run_argo(&machine::<Pyxis>(3, 1), p);
     assert_eq!(
         sisd.checksum.to_bits(),
         tardis.checksum.to_bits(),
@@ -66,8 +92,16 @@ fn sor_checksum_is_policy_independent() {
         sisd.checksum,
         tardis.checksum
     );
+    assert_eq!(
+        sisd.checksum.to_bits(),
+        pyxis.checksum.to_bits(),
+        "sor diverged across policies: sisd {} pyxis {}",
+        sisd.checksum,
+        pyxis.checksum
+    );
     assert_carina_shaped(&sisd.coherence);
     assert_tardis_shaped(&tardis.coherence);
+    assert_pyxis_shaped(&pyxis.coherence);
 }
 
 /// Word-for-word final memory identity, not just a checksum: every thread
@@ -99,8 +133,11 @@ fn final_memory_words_are_policy_independent() {
     }
     let (mem_sisd, sums_sisd) = run::<CarinaSiSd>(4096);
     let (mem_tardis, sums_tardis) = run::<Tardis>(4096);
+    let (mem_pyxis, sums_pyxis) = run::<Pyxis>(4096);
     assert_eq!(mem_sisd, mem_tardis, "final memory diverged across policies");
     assert_eq!(sums_sisd, sums_tardis, "observed values diverged across policies");
+    assert_eq!(mem_sisd, mem_pyxis, "final memory diverged under pyxis");
+    assert_eq!(sums_sisd, sums_pyxis, "observed values diverged under pyxis");
 }
 
 /// The report carries the policy name end to end.
@@ -114,4 +151,8 @@ fn run_report_names_the_policy() {
     let report = m.run(|ctx| ctx.tid());
     assert_eq!(report.policy, "sisd");
     assert!(report.summary().contains("policy sisd"));
+    let m = machine::<Pyxis>(2, 1);
+    let report = m.run(|ctx| ctx.tid());
+    assert_eq!(report.policy, "pyxis");
+    assert!(report.to_json().contains("\"policy\":\"pyxis\""));
 }
