@@ -91,9 +91,21 @@ pub struct RunReport<R> {
     pub profile: obs::ProfileSnapshot,
     /// Per-lock delegation statistics, in lock-registration order.
     pub locks: Vec<obs::LockObsSnapshot>,
+    /// Total read misses counted by the per-page heatmap.
+    pub heat_total: u64,
+    /// The hottest pages as `(page index, miss count)`, hottest first
+    /// (top [`HOT_PAGES`] only; ties broken by page index).
+    pub hot_pages: Vec<(usize, u64)>,
+    /// Event-tracer health; non-zero `dropped` means the trace is partial.
+    pub tracer: carina::TracerStats,
+    /// Flight-recorder health: ring occupancy, drops, tail captures.
+    pub recorder: carina::RecorderStats,
     /// The coherence policy the region ran under (`Coherence::NAME`).
     pub policy: &'static str,
 }
+
+/// How many of the hottest pages a [`RunReport`] carries.
+pub const HOT_PAGES: usize = 8;
 
 /// An Argo cluster, generic over its RMA transport. The default transport
 /// is the virtual-time simulator; [`ArgoMachine::native`] builds the same
@@ -231,6 +243,10 @@ impl<T: Transport, C: Coherence> ArgoMachine<T, C> {
             net: self.net.stats().snapshot(),
             profile: self.dsm.profile().snapshot(),
             locks: self.dsm.lock_registry().snapshots(),
+            heat_total: self.dsm.page_heat().total(),
+            hot_pages: self.dsm.page_heat().top_k(HOT_PAGES),
+            tracer: self.dsm.tracer().stats(),
+            recorder: self.dsm.lyra().stats(),
             policy: self.dsm.policy_name(),
         }
     }

@@ -104,6 +104,32 @@ impl<R> RunReport<R> {
                 c.verb_retries, c.verb_exhaustions
             );
         }
+        if self.heat_total > 0 {
+            let mut hot = String::new();
+            for (i, (page, n)) in self.hot_pages.iter().enumerate() {
+                if i > 0 {
+                    hot.push_str(", ");
+                }
+                let _ = write!(hot, "#{page}:{n}");
+            }
+            let _ = writeln!(
+                s,
+                "heat         : {} misses over pages; hottest {}",
+                self.heat_total, hot
+            );
+        }
+        let rec = &self.recorder;
+        let _ = writeln!(
+            s,
+            "recorder     : {} records kept / {} submitted, {} dropped, {} tail captures{}; tracer {} kept / {} dropped",
+            rec.kept,
+            rec.submitted,
+            rec.dropped,
+            rec.tail_captures,
+            if rec.enabled { "" } else { " (disabled)" },
+            self.tracer.recorded.saturating_sub(self.tracer.dropped),
+            self.tracer.dropped
+        );
         s
     }
 
@@ -204,6 +230,32 @@ impl<R> RunReport<R> {
             let _ = write!(s, "\"{}\":{}", site.name(), hist_json(self.profile.get(*site)));
         }
         s.push('}');
+        s.push_str(",\"heat\":{");
+        let _ = write!(s, "\"total\":{},\"hot_pages\":[", self.heat_total);
+        for (i, (page, misses)) in self.hot_pages.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{{\"page\":{page},\"misses\":{misses}}}");
+        }
+        s.push_str("]}");
+        let rec = &self.recorder;
+        let _ = write!(
+            s,
+            ",\"recorder\":{{\"submitted\":{},\"kept\":{},\"dropped\":{},\
+             \"tail_captures\":{},\"capacity_per_node\":{},\"enabled\":{}}}",
+            rec.submitted,
+            rec.kept,
+            rec.dropped,
+            rec.tail_captures,
+            rec.capacity_per_node,
+            rec.enabled
+        );
+        let _ = write!(
+            s,
+            ",\"tracer\":{{\"recorded\":{},\"dropped\":{},\"buffered\":{}}}",
+            self.tracer.recorded, self.tracer.dropped, self.tracer.buffered
+        );
         s.push_str(",\"locks\":[");
         for (i, l) in self.locks.iter().enumerate() {
             if i > 0 {
@@ -263,6 +315,12 @@ mod tests {
         assert!(s.contains("read misses"));
         assert!(s.contains("batched drains"));
         assert!(s.contains("handlers"));
+        // This workload misses across nodes, so the heatmap line renders
+        // with the hottest pages, and the recorder line is always present.
+        assert!(s.contains("heat         :"));
+        assert!(s.contains("hottest #"));
+        assert!(s.contains("recorder     :"));
+        assert!(s.contains("tail captures"));
         assert!(report.headline().contains("ms virtual"));
     }
 
@@ -304,5 +362,25 @@ mod tests {
         assert!(bw.get("count").unwrap().as_u64().unwrap() >= 4);
         // No locks registered: empty but present array.
         assert!(doc.get("locks").unwrap().as_arr().unwrap().is_empty());
+        // Heatmap: total matches the snapshot, hottest-first ordering.
+        let heat = doc.get("heat").unwrap();
+        assert_eq!(heat.get("total").unwrap().as_u64(), Some(report.heat_total));
+        let hot = heat.get("hot_pages").unwrap().as_arr().unwrap();
+        assert!(!hot.is_empty(), "cross-node workload must have hot pages");
+        let misses: Vec<u64> =
+            hot.iter().map(|p| p.get("misses").unwrap().as_u64().unwrap()).collect();
+        assert!(misses.windows(2).all(|w| w[0] >= w[1]), "hot pages sorted hottest-first");
+        // Flight recorder ran alongside (always on) and lost nothing here.
+        let rec = doc.get("recorder").unwrap();
+        assert_eq!(rec.get("submitted").unwrap().as_u64(), Some(report.recorder.submitted));
+        assert!(report.recorder.submitted > 0, "fences/misses must submit records");
+        assert_eq!(
+            rec.get("kept").unwrap().as_u64().unwrap()
+                + rec.get("dropped").unwrap().as_u64().unwrap(),
+            report.recorder.submitted
+        );
+        // Tracer is disabled by default: present, all zero.
+        let tr = doc.get("tracer").unwrap();
+        assert_eq!(tr.get("dropped").unwrap().as_u64(), Some(0));
     }
 }

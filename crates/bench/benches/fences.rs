@@ -11,6 +11,10 @@
 //!
 //! Residency is steady across iterations because read-only pages are
 //! Private under P/S3 classification, and private pages survive SI fences.
+//!
+//! Set `LYRA_DISABLED=1` to run with the flight recorder off: the CI
+//! overhead guard (`scripts/bench_json.sh`) times both configurations and
+//! fails if always-on recording costs more than a few percent here.
 
 use carina::{CarinaConfig, Dsm};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -24,6 +28,9 @@ fn resident_dsm(pages: u64) -> (Arc<Dsm>, SimThread) {
     let topo = ClusterTopology::tiny(2);
     let net = Interconnect::new(topo, CostModel::paper_2011());
     let dsm = Dsm::new(net.clone(), 64 << 20, CarinaConfig::default());
+    if std::env::var_os("LYRA_DISABLED").is_some() {
+        dsm.lyra().set_enabled(false);
+    }
     let mut t = SimThread::new(topo.loc(NodeId(0), 0), net);
     // Odd pages are homed at node 1 (interleaved homes): reading them from
     // node 0 fills distinct cache slots. Nobody else touches them, so they

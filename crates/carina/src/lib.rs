@@ -48,3 +48,9 @@ pub use stats::{CoherenceSnapshot, CoherenceStats, StatShard};
 pub use rma::{RetryPolicy, VerbClass, VerbError};
 pub use trace::{Event as TraceEvent, TracedEvent, Tracer, TracerStats};
 pub use write_buffer::WriteBuffer;
+
+// Lyra observability surface, re-exported so DSM users need not name `obs`.
+pub use obs::{
+    Fate, FlightRecorder, MetricsSnapshot, RecordKind, RecorderStats, SpanId, TailCapture,
+    VerbRecord,
+};

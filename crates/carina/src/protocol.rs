@@ -156,6 +156,13 @@ pub struct Dsm<T: Transport = SimTransport, C: Coherence = CarinaSiSd> {
     /// Per-page read-miss counters feeding [`Dsm::census`]'s hottest-pages
     /// report.
     heat: obs::PageHeat,
+    /// The Lyra flight recorder: per-node rings of the last N verb records,
+    /// the span minter, and tail captures. Always on; purely passive (it
+    /// reads the observability clock and writes side tables nothing on the
+    /// protocol path reads back), so determinism probes pin bit-identical
+    /// output with it enabled. `Arc` because fault-injecting transports
+    /// share it to attribute injected fates to spans.
+    lyra: Arc<obs::FlightRecorder>,
     nodes: Vec<NodeState>,
 }
 
@@ -175,6 +182,10 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
         assert!(n <= 128, "directory metadata supports up to 128 nodes");
         let global = GlobalMemory::with_policy(n, bytes_per_node, config.home_policy);
         let total_pages = global.total_pages();
+        let lyra = Arc::new(obs::FlightRecorder::new(n, config.lyra_ring));
+        // Fault-injecting transports record the fates they decide against
+        // the issuing endpoint's span; concrete backends ignore this.
+        net.attach_recorder(lyra.clone());
         Arc::new(Dsm {
             coherence: C::new(n, total_pages, &config),
             allocator: GlobalAllocator::new(global.total_bytes()),
@@ -186,6 +197,7 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
             profile: obs::LatencyProfile::new(n),
             lock_obs: obs::LockRegistry::new(),
             heat: obs::PageHeat::new(total_pages as usize),
+            lyra,
             nodes: (0..n)
                 .map(|_| NodeState {
                     cache: PageCache::new(config.cache),
@@ -254,6 +266,62 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
         &self.heat
     }
 
+    /// The Lyra flight recorder: per-node verb-record rings, span minter,
+    /// and tail captures (see [`obs::FlightRecorder`]).
+    #[inline]
+    pub fn lyra(&self) -> &obs::FlightRecorder {
+        &self.lyra
+    }
+
+    /// A live metrics exposition: coherence counters, recorder/tracer
+    /// health, and per-site latency summaries, pollable mid-run on either
+    /// backend. Render with [`obs::MetricsSnapshot::to_prometheus`] or
+    /// [`obs::MetricsSnapshot::to_json`].
+    pub fn metrics_snapshot(&self) -> obs::MetricsSnapshot {
+        let mut m = obs::MetricsSnapshot::default();
+        let policy = [("policy", C::NAME)];
+        let s = self.stats.snapshot();
+        m.counter("carina_read_hits", &policy, s.read_hits);
+        m.counter("carina_read_misses", &policy, s.read_misses);
+        m.counter("carina_write_hits", &policy, s.write_hits);
+        m.counter("carina_write_faults", &policy, s.write_faults);
+        m.counter("carina_si_fences", &policy, s.si_fences);
+        m.counter("carina_sd_fences", &policy, s.sd_fences);
+        m.counter("carina_si_invalidated", &policy, s.si_invalidated);
+        m.counter("carina_si_kept", &policy, s.si_kept);
+        m.counter("carina_writebacks", &policy, s.writebacks);
+        m.counter("carina_writeback_bytes", &policy, s.writeback_bytes);
+        m.counter("carina_verb_retries", &policy, s.verb_retries);
+        m.counter("carina_verb_exhaustions", &policy, s.verb_exhaustions);
+        m.counter("carina_lease_expiries", &policy, s.lease_expiries);
+        m.counter(
+            "carina_mode_switches",
+            &policy,
+            s.mode_to_lease + s.mode_to_sisd,
+        );
+        m.counter("carina_heat_total_misses", &[], self.heat.total());
+        let rs = self.lyra.stats();
+        m.counter("lyra_records_submitted", &[], rs.submitted);
+        m.counter("lyra_records_dropped", &[], rs.dropped);
+        m.counter("lyra_tail_captures", &[], rs.tail_captures);
+        m.gauge("lyra_records_kept", &[], rs.kept as f64);
+        m.gauge(
+            "lyra_recorder_enabled",
+            &[],
+            if rs.enabled { 1.0 } else { 0.0 },
+        );
+        m.counter("carina_trace_events_dropped", &[], self.tracer.dropped());
+        let prof = self.profile.snapshot();
+        for site in obs::Site::ALL {
+            let h = prof.get(site);
+            if h.is_empty() {
+                continue;
+            }
+            m.summary("carina_site_latency", &[("site", site.name())], h);
+        }
+        m
+    }
+
     #[inline]
     pub fn allocator(&self) -> &GlobalAllocator {
         &self.allocator
@@ -299,15 +367,19 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
     // Retry bookkeeping
     // ------------------------------------------------------------------
 
-    /// Fold a retry outcome into the stats and profile, and translate an
-    /// exhausted budget into a [`DsmError`] naming the route. Every remote
-    /// verb site funnels through here; on a healthy fabric the zero-retry
-    /// arm is the only one ever taken and records nothing.
+    /// Fold a retry outcome into the stats, profile, and flight recorder,
+    /// and translate an exhausted budget into a [`DsmError`] naming the
+    /// route. Every remote verb site funnels through here; on a healthy
+    /// fabric the zero-retry arm is the only one ever taken and records
+    /// nothing. `span` attributes the retry records to the protocol site
+    /// that issued the verb; `obs_at` is the caller's observability clock.
     #[inline]
     fn verb_retried<R>(
         &self,
         me: u16,
         target: u16,
+        span: obs::SpanId,
+        obs_at: u64,
         r: Result<Retried<R>, RetryExhausted>,
     ) -> Result<R, DsmError> {
         match r {
@@ -315,6 +387,16 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
             Ok(Retried { value, retries, delay }) => {
                 CoherenceStats::add(&self.stats.shard(me).verb_retries, retries as u64);
                 self.profile.record(me as usize, obs::Site::Retry, delay);
+                self.lyra.record(me as usize, || obs::VerbRecord {
+                    span,
+                    start: obs_at,
+                    arg: delay,
+                    target: target as u32,
+                    node: me,
+                    attempt: retries as u16,
+                    kind: obs::RecordKind::VerbRetry,
+                    ..obs::VerbRecord::blank()
+                });
                 Ok(value)
             }
             Err(e) => {
@@ -324,6 +406,18 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
                     e.attempts.saturating_sub(1) as u64,
                 );
                 self.profile.record(me as usize, obs::Site::Retry, e.delay);
+                self.lyra.record(me as usize, || obs::VerbRecord {
+                    span,
+                    start: obs_at,
+                    arg: e.delay,
+                    target: target as u32,
+                    node: me,
+                    attempt: e.attempts as u16,
+                    kind: obs::RecordKind::VerbExhausted,
+                    fate: obs::Fate::Exhausted,
+                    class: e.class as u8,
+                    ..obs::VerbRecord::blank()
+                });
                 Err(DsmError::new(e, me, target))
             }
         }
@@ -335,34 +429,87 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
     /// replacement given the cumulative backoff delay of the next attempt.
     /// Retrying at poll time walks exactly the schedule the blocking path
     /// would have walked — only the moment the failure is *observed* moves.
+    ///
+    /// Lyra: the issue→poll pair is flight-recorded under the span carried
+    /// by the [`AttemptSeq`] — one `VerbIssue` slice spanning issue to
+    /// completion (whose end marks the arrival on the target's track), one
+    /// `VerbPoll` instant at completion, and one `VerbRetry` instant per
+    /// reissue carrying the failed attempt's fate.
+    #[allow(clippy::too_many_arguments)]
     fn poll_retried(
         &self,
         t: &mut T::Endpoint,
         me: u16,
         target: u16,
         issued: IssuedVerb,
+        obs_issued: u64,
+        class: VerbClass,
+        bytes: u64,
         mut reissue: impl FnMut(&mut T::Endpoint, u64) -> VerbToken,
     ) -> Result<Completion, DsmError> {
         let (mut token, mut seq, mut attempt) = issued;
+        let span = seq.span();
         loop {
             match t.wait(token) {
                 Ok(c) => {
-                    return self.verb_retried(
-                        me,
-                        target,
-                        Ok(Retried {
-                            value: c,
-                            retries: attempt.index,
-                            delay: attempt.delay,
-                        }),
-                    );
+                    let now = t.obs_now();
+                    self.lyra_record(t, me, || obs::VerbRecord {
+                        span,
+                        start: obs_issued,
+                        dur: now.saturating_sub(obs_issued),
+                        arg: bytes,
+                        target: target as u32,
+                        node: me,
+                        attempt: attempt.index as u16,
+                        kind: obs::RecordKind::VerbIssue,
+                        class: class as u8,
+                        ..obs::VerbRecord::blank()
+                    });
+                    self.lyra_record(t, me, || obs::VerbRecord {
+                        span,
+                        start: now,
+                        arg: now.saturating_sub(obs_issued),
+                        target: target as u32,
+                        node: me,
+                        attempt: attempt.index as u16,
+                        kind: obs::RecordKind::VerbPoll,
+                        class: class as u8,
+                        ..obs::VerbRecord::blank()
+                    });
+                    // Stats/profile only: each reissue already produced its
+                    // own `VerbRetry` flight record above, so funneling
+                    // through `verb_retried` would double-record it.
+                    if attempt.index > 0 {
+                        CoherenceStats::add(
+                            &self.stats.shard(me).verb_retries,
+                            attempt.index as u64,
+                        );
+                        self.profile.record(me as usize, obs::Site::Retry, attempt.delay);
+                    }
+                    return Ok(c);
                 }
                 Err(e) => match seq.next() {
                     Some(a) => {
+                        let now = t.obs_now();
+                        self.lyra_record(t, me, || obs::VerbRecord {
+                            span,
+                            start: now,
+                            arg: a.delay,
+                            target: target as u32,
+                            node: me,
+                            attempt: a.index as u16,
+                            kind: obs::RecordKind::VerbRetry,
+                            fate: obs::Fate::from_error_name(e.name()),
+                            class: class as u8,
+                            ..obs::VerbRecord::blank()
+                        });
                         attempt = a;
                         token = reissue(t, a.delay);
                     }
-                    None => return self.verb_retried(me, target, Err(seq.exhausted(e))),
+                    None => {
+                        let now = t.obs_now();
+                        return self.verb_retried(me, target, span, now, Err(seq.exhausted(e)));
+                    }
                 },
             }
         }
@@ -373,8 +520,11 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
     /// given (`base` plus the attempt's cumulative backoff). Every
     /// fire-and-wait remote verb site — notifications, write-backs,
     /// directory atomics, checkpoint fetches — funnels its
-    /// `RetryPolicy::run` + error-map boilerplate through here.
+    /// `RetryPolicy::run` + error-map boilerplate through here. `span` and
+    /// `obs_at` feed the flight recorder (the blocking path records one
+    /// aggregate `VerbRetry`/`VerbExhausted` entry, not one per attempt).
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     fn net_verb(
         &self,
         me: u16,
@@ -382,11 +532,15 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
         class: VerbClass,
         salt: u64,
         base: u64,
+        span: obs::SpanId,
+        obs_at: u64,
         mut verb: impl FnMut(u64) -> Result<Completion, VerbError>,
     ) -> Result<Completion, DsmError> {
         self.verb_retried(
             me,
             target,
+            span,
+            obs_at,
             self.config.retry.run(class, salt, |a| verb(base + a.delay)),
         )
     }
@@ -400,6 +554,66 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
         self.nodes[me as usize]
             .pending_settle
             .fetch_max(timing.settled, Ordering::AcqRel);
+    }
+
+    /// Mint the span for a protocol operation starting on `t`: the
+    /// endpoint's single-writer lane when present (plain stores, no atomic
+    /// read-modify-writes), else the recorder's shared per-node minter.
+    #[inline]
+    pub fn mint_span(&self, t: &mut T::Endpoint, me: u16) -> obs::SpanId {
+        match t.lyra_lane() {
+            Some(lane) => lane.mint(),
+            None => self.lyra.mint(me as usize),
+        }
+    }
+
+    /// Flight-record through `t`'s single-writer lane when present, falling
+    /// back to the recorder's shared multi-writer ring. Hot sites that hold
+    /// the issuing endpoint route here; writers without one (the blocking
+    /// retry aggregates, the fault injector) use the shared ring directly.
+    #[inline]
+    fn lyra_record(
+        &self,
+        t: &mut T::Endpoint,
+        me: u16,
+        make: impl FnOnce() -> obs::VerbRecord,
+    ) {
+        match t.lyra_lane() {
+            Some(lane) => lane.record(make),
+            None => self.lyra.record(me as usize, make),
+        }
+    }
+
+    /// Fold one completed protocol site into every observability surface:
+    /// the latency histogram, a `Site` flight record carrying the span,
+    /// and — when the latency crosses `lyra_tail_threshold` — a tail
+    /// capture of the node's ring around the offender. Public because the
+    /// synchronization layer (Vela locks/barriers) funnels its own sites
+    /// through the same path.
+    #[inline]
+    pub fn record_site(
+        &self,
+        t: &mut T::Endpoint,
+        me: u16,
+        site: obs::Site,
+        span: obs::SpanId,
+        start: u64,
+        dur: u64,
+    ) {
+        self.profile.record(me as usize, site, dur);
+        self.lyra_record(t, me, || obs::VerbRecord {
+            span,
+            start,
+            dur,
+            node: me,
+            kind: obs::RecordKind::Site,
+            site: site.index() as u8,
+            ..obs::VerbRecord::blank()
+        });
+        let threshold = self.config.lyra_tail_threshold;
+        if threshold > 0 && dur >= threshold {
+            self.lyra.capture_tail(me as usize, site.index() as u8, span, start, dur);
+        }
     }
 
     /// The panicking flavors' shared exit: programs that opted out of
@@ -542,6 +756,8 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
         let ns = &self.nodes[me as usize];
         let idx = ns.cache.index_in_line(page);
         let obs_start = t.obs_now();
+        let span = self.mint_span(t, me);
+        t.set_span(span);
         CoherenceStats::bump(&self.stats.shard(me).write_faults);
         self.tracer
             .record(|| obs_start, || crate::trace::Event::WriteFault { node: me, page });
@@ -560,11 +776,15 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
             CoherenceStats::bump(&self.stats.shard(me).twins_created);
         }
         st.pages[idx].dirty = true;
-        self.profile.record(
-            me as usize,
+        self.record_site(
+            t,
+            me,
             obs::Site::WriteFault,
+            span,
+            obs_start,
             t.obs_now().saturating_sub(obs_start),
         );
+        t.set_span(obs::SpanId::NONE);
         Ok(disp.buffer)
     }
 
@@ -784,7 +1004,16 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
     pub fn try_si_fence(&self, t: &mut T::Endpoint) -> Result<(), DsmError> {
         let me = t.node().0;
         let obs_start = t.obs_now();
+        let span = self.mint_span(t, me);
+        t.set_span(span);
         CoherenceStats::bump(&self.stats.shard(me).si_fences);
+        // Baselines for the fence's policy-event deltas: Tardis expiries
+        // and Pyxis mode switches both land in this node's shard during the
+        // sweep, so the before/after difference is what *this* fence did.
+        let shard = self.stats.shard(me);
+        let expiries_before = shard.lease_expiries.load(Ordering::Relaxed);
+        let switches_before = shard.mode_to_lease.load(Ordering::Relaxed)
+            + shard.mode_to_sisd.load(Ordering::Relaxed);
         // An acquire invalidates speculation too: ring snapshots predate
         // the synchronization this fence establishes.
         self.flush_prefetch(me);
@@ -837,7 +1066,39 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
             }
         }
         let dur = t.obs_now().saturating_sub(obs_start);
-        self.profile.record(me as usize, obs::Site::SiFence, dur);
+        self.record_site(t, me, obs::Site::SiFence, span, obs_start, dur);
+        let expired = shard
+            .lease_expiries
+            .load(Ordering::Relaxed)
+            .saturating_sub(expiries_before);
+        if expired > 0 {
+            self.lyra_record(t, me, || obs::VerbRecord {
+                span,
+                start: obs_start,
+                dur,
+                arg: expired,
+                node: me,
+                kind: obs::RecordKind::LeaseExpiry,
+                site: obs::Site::SiFence.index() as u8,
+                ..obs::VerbRecord::blank()
+            });
+        }
+        let switched = (shard.mode_to_lease.load(Ordering::Relaxed)
+            + shard.mode_to_sisd.load(Ordering::Relaxed))
+        .saturating_sub(switches_before);
+        if switched > 0 {
+            self.lyra_record(t, me, || obs::VerbRecord {
+                span,
+                start: obs_start,
+                dur,
+                arg: switched,
+                node: me,
+                kind: obs::RecordKind::ModeSwitch,
+                site: obs::Site::SiFence.index() as u8,
+                ..obs::VerbRecord::blank()
+            });
+        }
+        t.set_span(obs::SpanId::NONE);
         self.tracer.record(
             || obs_start,
             || crate::trace::Event::Fence {
@@ -859,7 +1120,14 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
     pub fn try_sd_fence(&self, t: &mut T::Endpoint) -> Result<(), DsmError> {
         let me = t.node().0;
         let obs_start = t.obs_now();
+        let span = self.mint_span(t, me);
+        t.set_span(span);
         CoherenceStats::bump(&self.stats.shard(me).sd_fences);
+        // Pyxis applies pending mode switches at its release hook; baseline
+        // the counters so the fence's delta becomes a `ModeSwitch` record.
+        let shard = self.stats.shard(me);
+        let switches_before = shard.mode_to_lease.load(Ordering::Relaxed)
+            + shard.mode_to_sisd.load(Ordering::Relaxed);
         let ns = &self.nodes[me as usize];
         let drained = ns.wbuf.drain();
         // Auto: defer to the transport, except that big drains coalesce
@@ -895,7 +1163,23 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
         // publishes its clock and opens a new write epoch here).
         self.coherence.end_sd_fence(me, self.stats.shard(me));
         let dur = t.obs_now().saturating_sub(obs_start);
-        self.profile.record(me as usize, obs::Site::SdFence, dur);
+        self.record_site(t, me, obs::Site::SdFence, span, obs_start, dur);
+        let switched = (shard.mode_to_lease.load(Ordering::Relaxed)
+            + shard.mode_to_sisd.load(Ordering::Relaxed))
+        .saturating_sub(switches_before);
+        if switched > 0 {
+            self.lyra_record(t, me, || obs::VerbRecord {
+                span,
+                start: obs_start,
+                dur,
+                arg: switched,
+                node: me,
+                kind: obs::RecordKind::ModeSwitch,
+                site: obs::Site::SdFence.index() as u8,
+                ..obs::VerbRecord::blank()
+            });
+        }
+        t.set_span(obs::SpanId::NONE);
         self.tracer.record(
             || obs_start,
             || crate::trace::Event::Fence {
@@ -973,6 +1257,8 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
         me: u16,
     ) -> Result<(), DsmError> {
         let obs_start = t.obs_now();
+        let span = self.mint_span(t, me);
+        t.set_span(span);
         CoherenceStats::bump(&self.stats.shard(me).read_misses);
         self.heat.bump(page.0 as usize);
         self.tracer
@@ -1057,7 +1343,8 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
                 let mut seq = self
                     .config
                     .retry
-                    .attempt_seq(VerbClass::PageFetch, base.0.wrapping_add((*home as u64) << 48));
+                    .attempt_seq(VerbClass::PageFetch, base.0.wrapping_add((*home as u64) << 48))
+                    .with_span(span);
                 let a0 = seq.next().expect("retry budget is at least one attempt");
                 let tok = t.issue_read(NodeId(*home), bytes, reg_done + a0.delay);
                 Some((tok, seq, a0))
@@ -1070,9 +1357,16 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
         for ((home, idxs), (reg_done, token)) in group.into_iter().zip(inflight) {
             if let Some((tok, seq, a0)) = token {
                 let bytes = idxs.len() as u64 * PAGE_BYTES;
-                let timing = self.poll_retried(t, me, home, (tok, seq, a0), |t, delay| {
-                    t.issue_read(NodeId(home), bytes, reg_done + delay)
-                })?;
+                let timing = self.poll_retried(
+                    t,
+                    me,
+                    home,
+                    (tok, seq, a0),
+                    obs_issue,
+                    VerbClass::PageFetch,
+                    bytes,
+                    |t, delay| t.issue_read(NodeId(home), bytes, reg_done + delay),
+                )?;
                 done = done.max(timing.initiator_done);
             } else {
                 // Entirely prefetched: the data is already in flight (or
@@ -1101,11 +1395,15 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
             );
         }
         self.maybe_prefetch(t, line, me);
-        self.profile.record(
-            me as usize,
+        self.record_site(
+            t,
+            me,
             obs::Site::ReadMiss,
+            span,
+            obs_start,
             t.obs_now().saturating_sub(obs_start),
         );
+        t.set_span(obs::SpanId::NONE);
         Ok(())
     }
 
@@ -1320,9 +1618,18 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
             return Ok(None);
         }
         let loc = t.loc();
-        let timing = self.net_verb(me, home, VerbClass::DirectoryAtomic, page.0, start, |at| {
-            self.net.rdma_fetch_or(loc, NodeId(home), at)
-        })?;
+        let span = t.current_span();
+        let obs_at = t.obs_now();
+        let timing = self.net_verb(
+            me,
+            home,
+            VerbClass::DirectoryAtomic,
+            page.0,
+            start,
+            span,
+            obs_at,
+            |at| self.net.rdma_fetch_or(loc, NodeId(home), at),
+        )?;
         let mut op_clock = timing.initiator_done;
         if self.config.active_directory {
             op_clock += self.net.cost().handler_cycles;
@@ -1364,9 +1671,13 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
         }
         // Endpoint-level verb: backoff is spent as local compute before the
         // reissue (the endpoint's own clock is the only timeline here).
+        let span = t.current_span();
+        let obs_at = t.obs_now();
         self.verb_retried(
             me,
             home,
+            span,
+            obs_at,
             self.config.retry.run(VerbClass::DirectoryAtomic, page.0, |a| {
                 if a.step > 0 {
                     t.compute(a.step);
@@ -1412,9 +1723,18 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
             // Service the fill from `owner`'s checkpoint: one extra round
             // trip (§3.4.2 "naïve solution").
             let loc = t.loc();
-            let timing = self.net_verb(me, owner, VerbClass::PageFetch, page.0, t.now(), |at| {
-                self.net.rdma_read(loc, NodeId(owner), at, PAGE_BYTES)
-            })?;
+            let span = t.current_span();
+            let obs_at = t.obs_now();
+            let timing = self.net_verb(
+                me,
+                owner,
+                VerbClass::PageFetch,
+                page.0,
+                t.now(),
+                span,
+                obs_at,
+                |at| self.net.rdma_read(loc, NodeId(owner), at, PAGE_BYTES),
+            )?;
             t.merge(timing.initiator_done);
         }
         Ok(())
@@ -1440,12 +1760,16 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
             page,
         });
         let loc = t.loc();
+        let span = t.current_span();
+        let obs_at = t.obs_now();
         let timing = self.net_verb(
             me,
             target,
             VerbClass::Notify,
             page.0.wrapping_add((target as u64) << 48),
             t.now(),
+            span,
+            obs_at,
             |at| self.net.rdma_write(loc, NodeId(target), at, NOTIFY_BYTES),
         )?;
         self.settle_posted(t, me, &timing);
@@ -1492,9 +1816,18 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
             return Ok(());
         }
         let loc = t.loc();
-        let timing = self.net_verb(me, home, VerbClass::Downgrade, page.0, t.now(), |at| {
-            self.net.rdma_write(loc, NodeId(home), at, bytes)
-        })?;
+        let span = t.current_span();
+        let obs_at = t.obs_now();
+        let timing = self.net_verb(
+            me,
+            home,
+            VerbClass::Downgrade,
+            page.0,
+            t.now(),
+            span,
+            obs_at,
+            |at| self.net.rdma_write(loc, NodeId(home), at, bytes),
+        )?;
         self.settle_posted(t, me, &timing);
         Ok(())
     }
@@ -1604,19 +1937,31 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
         // posting once instead of summing every home's. Homes still hit the
         // wire in first-victim order.
         let obs_issue = t.obs_now();
+        let span = t.current_span();
         let base = t.now();
         let mut inflight = Vec::with_capacity(batches.len());
         for (home, sizes) in &batches {
-            let mut seq = self.config.retry.attempt_seq(VerbClass::DrainBatch, *home as u64);
+            let mut seq = self
+                .config
+                .retry
+                .attempt_seq(VerbClass::DrainBatch, *home as u64)
+                .with_span(span);
             let a0 = seq.next().expect("retry budget is at least one attempt");
             let token = t.issue_write_batch(NodeId(*home), sizes, base + a0.delay);
             inflight.push((token, seq, a0));
         }
         let mut done = base;
         for ((home, sizes), (token, seq, a0)) in batches.iter().zip(inflight) {
-            let timing = self.poll_retried(t, me, *home, (token, seq, a0), |t, delay| {
-                t.issue_write_batch(NodeId(*home), sizes, base + delay)
-            })?;
+            let timing = self.poll_retried(
+                t,
+                me,
+                *home,
+                (token, seq, a0),
+                obs_issue,
+                VerbClass::DrainBatch,
+                sizes.iter().sum(),
+                |t, delay| t.issue_write_batch(NodeId(*home), sizes, base + delay),
+            )?;
             done = done.max(timing.initiator_done);
             ns.pending_settle.fetch_max(timing.settled, Ordering::AcqRel);
             CoherenceStats::bump(&self.stats.shard(me).downgrade_batches);
@@ -1674,6 +2019,7 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
         self.profile.reset();
         self.heat.reset();
         self.lock_obs.reset();
+        self.lyra.reset();
     }
 
     /// Adaptive classification by decay — the extension the paper sketches
@@ -1767,9 +2113,18 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
         if home != owner {
             let loc = t.loc();
             let me = t.node().0;
-            let timing = self.net_verb(me, home, VerbClass::Downgrade, page.0, t.now(), |at| {
-                self.net.rdma_write(loc, NodeId(home), at, bytes)
-            })?;
+            let span = t.current_span();
+            let obs_at = t.obs_now();
+            let timing = self.net_verb(
+                me,
+                home,
+                VerbClass::Downgrade,
+                page.0,
+                t.now(),
+                span,
+                obs_at,
+                |at| self.net.rdma_write(loc, NodeId(home), at, bytes),
+            )?;
             t.merge(timing.settled);
             CoherenceStats::bump(&self.stats.shard(owner).writebacks);
             CoherenceStats::add(&self.stats.shard(owner).writeback_bytes, bytes);

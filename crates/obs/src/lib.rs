@@ -20,6 +20,14 @@
 //! - [`json`] — the tiny JSON writer/parser used by the Perfetto trace
 //!   emitter, `RunReport::to_json()`, and the golden tests (no external
 //!   dependencies are available in this build environment).
+//! - [`span`] — [`SpanId`], the causal handle minted at every protocol
+//!   site and threaded through the verb layer's issue/poll/retry halves.
+//! - [`lyra`] — the always-on [`FlightRecorder`]: per-node lock-free rings
+//!   of fixed-size [`VerbRecord`]s with counted loss, tail-latency ring
+//!   captures, and a flow-arrow Perfetto export. Compiled to a no-op by
+//!   the `recorder-off` feature.
+//! - [`metrics`] — [`MetricsSnapshot`], a live Prometheus-text + JSON
+//!   metrics exposition pollable mid-run on both backends.
 //!
 //! Units are deliberately the caller's problem: histograms store whatever
 //! the backend's observability clock counts — virtual cycles under the
@@ -30,10 +38,19 @@ pub mod heat;
 pub mod hist;
 pub mod json;
 pub mod lock_stats;
+pub mod lyra;
+pub mod metrics;
 pub mod profile;
+pub mod span;
 
 pub use heat::PageHeat;
 pub use hist::{Histogram, HistogramSnapshot, BUCKETS};
 pub use json::JsonValue;
 pub use lock_stats::{LockObs, LockObsSnapshot, LockRegistry};
+pub use lyra::{
+    Fate, FlightRecorder, Lane, RecordKind, RecorderStats, TailCapture, VerbRecord, NO_CLASS,
+    NO_SITE, NO_TARGET,
+};
+pub use metrics::{Metric, MetricValue, MetricsSnapshot};
 pub use profile::{LatencyProfile, ProfileSnapshot, Site};
+pub use span::{SpanId, SpanMinter};

@@ -1,0 +1,1165 @@
+//! Lyra: the always-on flight recorder.
+//!
+//! Per-node lock-free rings of fixed-size [`VerbRecord`]s capturing the
+//! last N protocol operations — verb issues/polls, retries, injected fault
+//! fates, coherence mode switches, lease expiries — each stamped with the
+//! [`SpanId`] of the protocol site it served. Two ring flavors share one
+//! node timeline:
+//!
+//! - **Lanes** ([`Lane`]) are *single-writer* rings handed to endpoints:
+//!   the hot path is a plain head bump plus seqlock stores — **zero
+//!   read-modify-write instructions** — because exclusive ownership (the
+//!   `&mut` receiver) makes the claim protocol unnecessary. All protocol
+//!   sites record through their endpoint's lane.
+//! - The **shared ring** is the multi-writer fallback (one `fetch_add`
+//!   ticket + a claim CAS behind a per-slot seqlock) for writers without
+//!   an endpoint in hand: fault injectors, blocking-path retry summaries,
+//!   tests driving [`FlightRecorder::record`] directly.
+//!
+//! Both allocate nothing per record and are closure-gated no-ops when
+//! disabled: the timestamp/record closure is never invoked, so the
+//! observability clock is never read. Loss is bounded and *counted*: every
+//! submitted record is either resident in a ring, or accounted as dropped
+//! (evicted by a later lap, or abandoned after being lapped mid-claim) —
+//! `kept + dropped == submitted` holds at quiescence, and the proptests
+//! pin it. Snapshots, tail captures, and the chrome-trace export merge a
+//! node's shared ring and all its lanes into one timeline ordered by
+//! record start time.
+//!
+//! The recorder is purely passive: it reads the observability clock the
+//! caller hands it and writes side tables nobody on the protocol path ever
+//! reads back, which is why the simulator's determinism probes stay
+//! bit-identical with it enabled.
+//!
+//! Compile-out: building `obs` with the `recorder-off` feature turns
+//! [`FlightRecorder::record`] and friends into empty inline bodies.
+
+use crate::json::escape;
+use crate::profile::Site;
+use crate::span::{SpanId, SpanMinter};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// `target` value meaning "no remote node involved".
+pub const NO_TARGET: u32 = u32::MAX;
+/// `site` value meaning "not attributed to a profile site".
+pub const NO_SITE: u8 = 0xFF;
+/// `class` value meaning "no verb class".
+pub const NO_CLASS: u8 = 0xFF;
+
+/// What a [`VerbRecord`] describes. Stable `u8` encoding — new kinds
+/// append only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RecordKind {
+    /// A completed protocol site (read-miss, fence, lock acquire...):
+    /// `site` names it, `dur` is its full latency.
+    Site = 0,
+    /// A verb posted to the fabric: `target` is the home, `arg` the bytes.
+    VerbIssue = 1,
+    /// A verb completion observed at poll/wait: `dur` is issue→poll.
+    VerbPoll = 2,
+    /// A reissue after a failed attempt: `attempt` is the new attempt
+    /// index, `fate` the error that triggered it, `arg` the backoff paid.
+    VerbRetry = 3,
+    /// A retry budget ran dry: `attempt` is the attempt count, `fate` the
+    /// final error.
+    VerbExhausted = 4,
+    /// Puppis decided a fate for an issued verb: `fate` says which.
+    FaultInjected = 5,
+    /// Pyxis moved pages between lease and SI/SD modes at a fence
+    /// boundary: `arg` is how many switched, `site` the fence site.
+    ModeSwitch = 6,
+    /// Tardis/Pyxis lease expiries noticed at an SI fence: `arg` is the
+    /// count.
+    LeaseExpiry = 7,
+}
+
+impl RecordKind {
+    pub fn from_u8(v: u8) -> RecordKind {
+        match v {
+            1 => RecordKind::VerbIssue,
+            2 => RecordKind::VerbPoll,
+            3 => RecordKind::VerbRetry,
+            4 => RecordKind::VerbExhausted,
+            5 => RecordKind::FaultInjected,
+            6 => RecordKind::ModeSwitch,
+            7 => RecordKind::LeaseExpiry,
+            _ => RecordKind::Site,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            RecordKind::Site => "site",
+            RecordKind::VerbIssue => "verb_issue",
+            RecordKind::VerbPoll => "verb_poll",
+            RecordKind::VerbRetry => "verb_retry",
+            RecordKind::VerbExhausted => "verb_exhausted",
+            RecordKind::FaultInjected => "fault_injected",
+            RecordKind::ModeSwitch => "mode_switch",
+            RecordKind::LeaseExpiry => "lease_expiry",
+        }
+    }
+}
+
+/// How a verb (or attempt) ended up. Mirrors `rma::VerbError`'s vocabulary
+/// plus the injector's duplicate/spike outcomes, without depending on
+/// `rma` (the dependency points the other way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Fate {
+    Ok = 0,
+    Timeout = 1,
+    NicStall = 2,
+    Dropped = 3,
+    Cancelled = 4,
+    Duplicate = 5,
+    Spike = 6,
+    Exhausted = 7,
+}
+
+impl Fate {
+    pub fn from_u8(v: u8) -> Fate {
+        match v {
+            1 => Fate::Timeout,
+            2 => Fate::NicStall,
+            3 => Fate::Dropped,
+            4 => Fate::Cancelled,
+            5 => Fate::Duplicate,
+            6 => Fate::Spike,
+            7 => Fate::Exhausted,
+            _ => Fate::Ok,
+        }
+    }
+
+    /// Map `rma::VerbError::name()` strings (the rma crate calls this so
+    /// the two vocabularies can never skew silently).
+    pub fn from_error_name(name: &str) -> Fate {
+        match name {
+            "timeout" => Fate::Timeout,
+            "nic_stall" => Fate::NicStall,
+            "dropped" => Fate::Dropped,
+            "cancelled" => Fate::Cancelled,
+            _ => Fate::Ok,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Fate::Ok => "ok",
+            Fate::Timeout => "timeout",
+            Fate::NicStall => "nic_stall",
+            Fate::Dropped => "dropped",
+            Fate::Cancelled => "cancelled",
+            Fate::Duplicate => "duplicate",
+            Fate::Spike => "spike",
+            Fate::Exhausted => "exhausted",
+        }
+    }
+}
+
+/// One fixed-size flight-recorder entry: 48 bytes, `Copy`, no pointers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerbRecord {
+    /// The protocol operation this record belongs to ([`SpanId::NONE`] if
+    /// unattributed).
+    pub span: SpanId,
+    /// Observability-clock timestamp (virtual cycles on the simulator,
+    /// wall nanoseconds on the native backend).
+    pub start: u64,
+    /// Duration in the same units; 0 for instantaneous events.
+    pub dur: u64,
+    /// Kind-specific payload: bytes, backoff cycles, switch counts, page.
+    pub arg: u64,
+    /// Remote node involved, or [`NO_TARGET`].
+    pub target: u32,
+    /// The recording node.
+    pub node: u16,
+    /// Attempt index within the span's retry sequence (0 = first try).
+    pub attempt: u16,
+    pub kind: RecordKind,
+    /// [`Site`] index, or [`NO_SITE`].
+    pub site: u8,
+    pub fate: Fate,
+    /// `rma::VerbClass` index, or [`NO_CLASS`].
+    pub class: u8,
+}
+
+impl VerbRecord {
+    /// A blank record callers fill in with struct-update syntax.
+    pub fn blank() -> VerbRecord {
+        VerbRecord {
+            span: SpanId::NONE,
+            start: 0,
+            dur: 0,
+            arg: 0,
+            target: NO_TARGET,
+            node: 0,
+            attempt: 0,
+            kind: RecordKind::Site,
+            site: NO_SITE,
+            fate: Fate::Ok,
+            class: NO_CLASS,
+        }
+    }
+
+    pub const WORDS: usize = 6;
+
+    #[cfg_attr(feature = "recorder-off", allow(dead_code))]
+    #[inline]
+    fn encode(&self) -> [u64; Self::WORDS] {
+        [
+            self.span.0,
+            self.start,
+            self.dur,
+            self.arg,
+            (self.target as u64)
+                | ((self.node as u64) << 32)
+                | ((self.attempt as u64) << 48),
+            (self.kind as u64)
+                | ((self.site as u64) << 8)
+                | ((self.fate as u64) << 16)
+                | ((self.class as u64) << 24),
+        ]
+    }
+
+    #[inline]
+    fn decode(w: [u64; Self::WORDS]) -> VerbRecord {
+        VerbRecord {
+            span: SpanId(w[0]),
+            start: w[1],
+            dur: w[2],
+            arg: w[3],
+            target: w[4] as u32,
+            node: (w[4] >> 32) as u16,
+            attempt: (w[4] >> 48) as u16,
+            kind: RecordKind::from_u8(w[5] as u8),
+            site: (w[5] >> 8) as u8,
+            fate: Fate::from_u8((w[5] >> 16) as u8),
+            class: (w[5] >> 24) as u8,
+        }
+    }
+
+    /// The profile site this record is attributed to, if any.
+    pub fn site_enum(&self) -> Option<Site> {
+        Site::ALL.get(self.site as usize).copied()
+    }
+}
+
+/// One ring slot: a seqlock over the six payload words. The sequence
+/// encodes the owning ticket — `2t+1` while ticket `t`'s writer is
+/// mid-record, `2t+2` once published, `0` never written — so readers can
+/// both detect tears and recover the chronological order.
+struct Slot {
+    seq: AtomicU64,
+    words: [AtomicU64; VerbRecord::WORDS],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// One node's ring. `push` is lock-free: writers race only when the ring
+/// laps itself, and then the *newest* ticket wins the slot while older
+/// in-flight writers abandon (counted as drops).
+struct NodeRing {
+    head: AtomicU64,
+    #[cfg_attr(feature = "recorder-off", allow(dead_code))]
+    mask: usize,
+    slots: Box<[Slot]>,
+}
+
+impl NodeRing {
+    fn new(capacity: usize) -> NodeRing {
+        let cap = capacity.next_power_of_two().max(8);
+        NodeRing {
+            head: AtomicU64::new(0),
+            mask: cap - 1,
+            slots: (0..cap).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    #[cfg_attr(feature = "recorder-off", allow(dead_code))]
+    fn push(&self, rec: &VerbRecord, dropped: &AtomicU64) {
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket as usize) & self.mask];
+        let claim = 2 * ticket + 1;
+        loop {
+            let s = slot.seq.load(Ordering::Acquire);
+            if s > claim {
+                // A later lap already owns (or published into) this slot;
+                // our record is the stale one. Never write — just account.
+                dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            if s.is_multiple_of(2) {
+                // Previous occupant fully published (or slot untouched):
+                // claim it. Claiming over a published record evicts it.
+                if slot
+                    .seq
+                    .compare_exchange_weak(s, claim, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    if s != 0 {
+                        dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                    break;
+                }
+            } else {
+                // An older-lap writer is mid-record; it will publish in a
+                // handful of stores. Newer writers wait so no two writers
+                // ever store payload words concurrently (no torn records).
+                std::hint::spin_loop();
+            }
+        }
+        for (w, v) in slot.words.iter().zip(rec.encode()) {
+            w.store(v, Ordering::Relaxed);
+        }
+        slot.seq.store(claim + 1, Ordering::Release);
+    }
+
+    /// All published records with their tickets. Slots mid-write are
+    /// skipped (they will be counted as kept or dropped once their writer
+    /// lands).
+    fn snapshot(&self) -> Vec<(u64, VerbRecord)> {
+        snapshot_slots(&self.slots)
+    }
+
+    fn kept(&self) -> u64 {
+        kept_slots(&self.slots)
+    }
+
+    fn reset(&self) {
+        // Not concurrency-safe against in-flight writers; callers reset
+        // only between parallel sections, like the rest of the stats.
+        self.head.store(0, Ordering::Relaxed);
+        for slot in self.slots.iter() {
+            slot.seq.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Seqlock-validated read of every published slot, with its ticket.
+fn snapshot_slots(slots: &[Slot]) -> Vec<(u64, VerbRecord)> {
+    let mut out: Vec<(u64, VerbRecord)> = Vec::with_capacity(slots.len());
+    for slot in slots.iter() {
+        let s1 = slot.seq.load(Ordering::Acquire);
+        if s1 == 0 || s1 % 2 != 0 {
+            continue;
+        }
+        let words = std::array::from_fn(|i| slot.words[i].load(Ordering::Relaxed));
+        std::sync::atomic::fence(Ordering::Acquire);
+        let s2 = slot.seq.load(Ordering::Acquire);
+        if s1 != s2 {
+            continue; // torn: a writer landed mid-read
+        }
+        out.push(((s1 - 2) / 2, VerbRecord::decode(words)));
+    }
+    out.sort_by_key(|&(ticket, _)| ticket);
+    out
+}
+
+fn kept_slots(slots: &[Slot]) -> u64 {
+    slots
+        .iter()
+        .filter(|s| {
+            let v = s.seq.load(Ordering::Acquire);
+            v != 0 && v % 2 == 0
+        })
+        .count() as u64
+}
+
+/// One lane's ring: identical slot format to [`NodeRing`], but with a
+/// **single writer** (the owning [`Lane`]), so `push` needs no ticket
+/// `fetch_add` and no claim CAS — the entire hot path is plain stores.
+/// Tickets are still encoded in the slot seqs so snapshots recover push
+/// order, and `span_next` lives here (not on the handle) so span ids stay
+/// unique when a recycled ring gets a new owner.
+struct LaneRing {
+    node: u32,
+    /// Per-node registration index; tags lane-minted span ids.
+    id: u32,
+    /// Next ticket. Written only by the owner (plain load + store), read
+    /// by snapshotters for the submitted count.
+    head: AtomicU64,
+    mask: usize,
+    slots: Box<[Slot]>,
+    /// Next span sequence (1-based). Owner-only writes, like `head`.
+    span_next: AtomicU64,
+}
+
+impl LaneRing {
+    fn new(node: u32, id: u32, capacity: usize) -> LaneRing {
+        let cap = capacity.next_power_of_two().max(8);
+        LaneRing {
+            node,
+            id,
+            head: AtomicU64::new(0),
+            mask: cap - 1,
+            slots: (0..cap).map(|_| Slot::new()).collect(),
+            span_next: AtomicU64::new(1),
+        }
+    }
+
+    #[cfg_attr(feature = "recorder-off", allow(dead_code))]
+    #[inline]
+    fn push(&self, rec: &VerbRecord) {
+        let ticket = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(ticket as usize) & self.mask];
+        // Seqlock writer: mark the slot mid-write, store the payload,
+        // publish. The release fence orders the odd marker before the
+        // payload stores so a racing snapshot can never accept a slot it
+        // saw us half-overwrite; the release store orders the payload
+        // before publication.
+        slot.seq.store(2 * ticket + 1, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::Release);
+        for (w, v) in slot.words.iter().zip(rec.encode()) {
+            w.store(v, Ordering::Relaxed);
+        }
+        slot.seq.store(2 * ticket + 2, Ordering::Release);
+        self.head.store(ticket + 1, Ordering::Relaxed);
+    }
+
+    fn submitted(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Records evicted by ring laps. With a single writer nothing is ever
+    /// abandoned mid-claim, so eviction is the only loss.
+    fn dropped(&self) -> u64 {
+        self.submitted().saturating_sub(self.slots.len() as u64)
+    }
+
+    fn reset(&self) {
+        self.head.store(0, Ordering::Relaxed);
+        self.span_next.store(1, Ordering::Relaxed);
+        for slot in self.slots.iter() {
+            slot.seq.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A node's registered lanes plus the free list recycling feeds.
+#[derive(Default)]
+struct LaneSet {
+    all: Vec<Arc<LaneRing>>,
+    free: Vec<Arc<LaneRing>>,
+}
+
+/// An exclusive single-writer recording handle onto one node's timeline.
+///
+/// Endpoints own one lane each (the `&mut` receivers enforce the single
+/// writer), which is what lets [`Lane::record`] skip every atomic
+/// read-modify-write the shared ring's multi-writer claim protocol needs:
+/// recording is a handful of plain stores, and minting a span is a plain
+/// increment. Records land in the same per-node timeline as
+/// [`FlightRecorder::record`] — snapshots and exports merge all sources.
+///
+/// **Cloning registers a sibling lane** (two owners may never share one);
+/// dropping returns the ring to the node's free list so short-lived
+/// endpoints don't grow memory without bound — a recycled ring keeps its
+/// records (it is the same node's history) and its span counter (ids stay
+/// unique across owners).
+pub struct Lane {
+    fr: Arc<FlightRecorder>,
+    ring: Arc<LaneRing>,
+}
+
+/// Bit position of the lane tag inside a lane-minted [`SpanId`]: node in
+/// the top 16 bits, `lane + 1` in bits 32..48, sequence below. The +1
+/// keeps lane-minted ids disjoint from [`SpanMinter`]'s (whose bits 32..48
+/// are zero until a node mints 2^32 spans).
+#[cfg_attr(feature = "recorder-off", allow(dead_code))]
+const LANE_TAG_SHIFT: u32 = 32;
+
+impl Lane {
+    /// The node this lane records for.
+    #[inline]
+    pub fn node(&self) -> usize {
+        self.ring.node as usize
+    }
+
+    /// Mint a span id for an operation starting on this lane's endpoint.
+    /// Disabled recorders mint [`SpanId::NONE`] (nothing will record it).
+    #[inline]
+    pub fn mint(&mut self) -> SpanId {
+        #[cfg(feature = "recorder-off")]
+        {
+            SpanId::NONE
+        }
+        #[cfg(not(feature = "recorder-off"))]
+        {
+            if !self.fr.enabled.load(Ordering::Relaxed) {
+                return SpanId::NONE;
+            }
+            let seq = self.ring.span_next.load(Ordering::Relaxed);
+            self.ring.span_next.store(seq + 1, Ordering::Relaxed);
+            let lane_tag = ((self.ring.id as u64 % 0xFFFF) + 1) << LANE_TAG_SHIFT;
+            SpanId(((self.ring.node as u64) << 48) | lane_tag | (seq & 0xFFFF_FFFF))
+        }
+    }
+
+    /// Record one entry. Same closure gating as [`FlightRecorder::record`]:
+    /// a disabled recorder never runs `make`, so it never reads the clock.
+    #[inline]
+    pub fn record(&mut self, make: impl FnOnce() -> VerbRecord) {
+        #[cfg(feature = "recorder-off")]
+        {
+            let _ = make;
+        }
+        #[cfg(not(feature = "recorder-off"))]
+        {
+            if !self.fr.enabled.load(Ordering::Relaxed) {
+                return;
+            }
+            let rec = make();
+            self.ring.push(&rec);
+        }
+    }
+}
+
+impl Clone for Lane {
+    /// A lane has exactly one writer, so a clone is a *sibling* lane on
+    /// the same node (fresh or recycled), never a second handle to this
+    /// ring.
+    fn clone(&self) -> Lane {
+        FlightRecorder::lane(&self.fr, self.ring.node as usize)
+    }
+}
+
+impl Drop for Lane {
+    fn drop(&mut self) {
+        let mut set = lock_lanes(&self.fr.lanes[self.ring.node as usize]);
+        set.free.push(self.ring.clone());
+    }
+}
+
+impl std::fmt::Debug for Lane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lane")
+            .field("node", &self.ring.node)
+            .field("id", &self.ring.id)
+            .field("submitted", &self.ring.submitted())
+            .finish()
+    }
+}
+
+fn lock_lanes(m: &Mutex<LaneSet>) -> std::sync::MutexGuard<'_, LaneSet> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// A ring snapshot taken because one operation crossed the tail-latency
+/// threshold: the offender plus everything the node did around it.
+#[derive(Debug, Clone)]
+pub struct TailCapture {
+    pub node: usize,
+    /// [`Site`] index of the slow operation.
+    pub site: u8,
+    pub span: SpanId,
+    pub start: u64,
+    pub dur: u64,
+    /// The node's ring contents at capture time, oldest first.
+    pub records: Vec<VerbRecord>,
+}
+
+/// Counters a report surfaces so silent event loss is visible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecorderStats {
+    pub nodes: usize,
+    pub capacity_per_node: usize,
+    /// Records submitted across all nodes (ring writes attempted).
+    pub submitted: u64,
+    /// Records currently resident across all rings.
+    pub kept: u64,
+    /// Records lost: evicted by a later lap or abandoned after being
+    /// lapped. At quiescence `kept + dropped == submitted`.
+    pub dropped: u64,
+    /// Tail-threshold crossings observed (captures stored is bounded).
+    pub tail_captures: u64,
+    pub enabled: bool,
+}
+
+/// The per-node flight recorder. See the module docs for the contract.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    rings: Box<[NodeRing]>,
+    /// Per-node single-writer lane rings (see [`Lane`]); registration and
+    /// snapshots take the mutex, recording never does.
+    lanes: Box<[Mutex<LaneSet>]>,
+    capacity: usize,
+    minter: SpanMinter,
+    enabled: AtomicBool,
+    dropped: AtomicU64,
+    tail_crossings: AtomicU64,
+    captures: Mutex<Vec<TailCapture>>,
+    #[cfg_attr(feature = "recorder-off", allow(dead_code))]
+    max_captures: usize,
+}
+
+impl std::fmt::Debug for LaneSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LaneSet")
+            .field("lanes", &self.all.len())
+            .field("free", &self.free.len())
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for NodeRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeRing")
+            .field("capacity", &self.slots.len())
+            .field("head", &self.head.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// `capacity` is per node, rounded up to a power of two (min 8).
+    pub fn new(nodes: usize, capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            rings: (0..nodes.max(1)).map(|_| NodeRing::new(capacity)).collect(),
+            lanes: (0..nodes.max(1)).map(|_| Mutex::new(LaneSet::default())).collect(),
+            capacity,
+            minter: SpanMinter::new(nodes.max(1)),
+            enabled: AtomicBool::new(true),
+            dropped: AtomicU64::new(0),
+            tail_crossings: AtomicU64::new(0),
+            captures: Mutex::new(Vec::new()),
+            max_captures: 32,
+        }
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Register (or recycle) a single-writer [`Lane`] for `node`. Cold
+    /// path: endpoints call this once at construction, never per record.
+    /// Associated fn because `&Arc<Self>` is not a stable receiver.
+    pub fn lane(fr: &Arc<FlightRecorder>, node: usize) -> Lane {
+        let node = node.min(fr.rings.len() - 1);
+        let mut set = lock_lanes(&fr.lanes[node]);
+        let ring = set.free.pop().unwrap_or_else(|| {
+            let ring = Arc::new(LaneRing::new(node as u32, set.all.len() as u32, fr.capacity));
+            set.all.push(ring.clone());
+            ring
+        });
+        drop(set);
+        Lane { fr: fr.clone(), ring }
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        #[cfg(feature = "recorder-off")]
+        {
+            false
+        }
+        #[cfg(not(feature = "recorder-off"))]
+        {
+            self.enabled.load(Ordering::Relaxed)
+        }
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Mint a span for `node`. Span ids feed only observability records;
+    /// with the recorder compiled out this is free and returns NONE.
+    #[inline]
+    pub fn mint(&self, node: usize) -> SpanId {
+        #[cfg(feature = "recorder-off")]
+        {
+            let _ = node;
+            SpanId::NONE
+        }
+        #[cfg(not(feature = "recorder-off"))]
+        {
+            self.minter.mint(node)
+        }
+    }
+
+    /// Record one entry for `node`. The closure runs only when enabled —
+    /// callers put the clock read inside it, so a disabled recorder never
+    /// observes time. Clamps out-of-range nodes to the last ring.
+    #[inline]
+    pub fn record(&self, node: usize, make: impl FnOnce() -> VerbRecord) {
+        #[cfg(feature = "recorder-off")]
+        {
+            let _ = (node, make);
+        }
+        #[cfg(not(feature = "recorder-off"))]
+        {
+            if !self.enabled.load(Ordering::Relaxed) {
+                return;
+            }
+            let rec = make();
+            let ring = &self.rings[node.min(self.rings.len() - 1)];
+            ring.push(&rec, &self.dropped);
+        }
+    }
+
+    /// Snapshot the ring around an operation that crossed the tail
+    /// threshold. Crossings are always counted; at most `max_captures`
+    /// full snapshots are kept (off the hot path: one mutex + one clone,
+    /// paid only by already-slow operations).
+    pub fn capture_tail(&self, node: usize, site: u8, span: SpanId, start: u64, dur: u64) {
+        #[cfg(feature = "recorder-off")]
+        {
+            let _ = (node, site, span, start, dur);
+        }
+        #[cfg(not(feature = "recorder-off"))]
+        {
+            if !self.enabled.load(Ordering::Relaxed) {
+                return;
+            }
+            self.tail_crossings.fetch_add(1, Ordering::Relaxed);
+            let mut caps = match self.captures.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            if caps.len() >= self.max_captures {
+                return;
+            }
+            let records = self.node_records(node);
+            caps.push(TailCapture { node, site, span, start, dur, records });
+        }
+    }
+
+    /// One node's resident records across the shared ring and every lane,
+    /// merged into a single timeline: ordered by record start time, ties
+    /// broken by source (shared ring first, then lanes in registration
+    /// order) and push order within a source.
+    fn node_records(&self, node: usize) -> Vec<VerbRecord> {
+        let node = node.min(self.rings.len() - 1);
+        let mut keyed: Vec<((u64, u32, u64), VerbRecord)> = self.rings[node]
+            .snapshot()
+            .into_iter()
+            .map(|(ticket, rec)| ((rec.start, 0, ticket), rec))
+            .collect();
+        let set = lock_lanes(&self.lanes[node]);
+        for ring in set.all.iter() {
+            keyed.extend(
+                snapshot_slots(&ring.slots)
+                    .into_iter()
+                    .map(|(ticket, rec)| ((rec.start, ring.id + 1, ticket), rec)),
+            );
+        }
+        drop(set);
+        keyed.sort_by_key(|&(key, _)| key);
+        keyed.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// The stored tail captures, in trigger order.
+    pub fn tail_captures(&self) -> Vec<TailCapture> {
+        match self.captures.lock() {
+            Ok(g) => g.clone(),
+            Err(p) => p.into_inner().clone(),
+        }
+    }
+
+    /// One node's resident records (shared ring + lanes), oldest first.
+    pub fn snapshot(&self, node: usize) -> Vec<VerbRecord> {
+        if node >= self.rings.len() {
+            return Vec::new();
+        }
+        self.node_records(node)
+    }
+
+    pub fn stats(&self) -> RecorderStats {
+        let mut submitted: u64 = self.rings.iter().map(|r| r.head.load(Ordering::Relaxed)).sum();
+        let mut kept: u64 = self.rings.iter().map(|r| r.kept()).sum();
+        let mut dropped = self.dropped.load(Ordering::Relaxed);
+        for lanes in self.lanes.iter() {
+            let set = lock_lanes(lanes);
+            for ring in set.all.iter() {
+                submitted += ring.submitted();
+                kept += kept_slots(&ring.slots);
+                dropped += ring.dropped();
+            }
+        }
+        RecorderStats {
+            nodes: self.rings.len(),
+            capacity_per_node: self.rings[0].slots.len(),
+            submitted,
+            kept,
+            dropped,
+            tail_captures: self.tail_crossings.load(Ordering::Relaxed),
+            enabled: self.enabled(),
+        }
+    }
+
+    /// Clear rings (shared and lanes), drop counters, captures, and span
+    /// mints (between parallel sections, alongside the other stats resets).
+    pub fn reset(&self) {
+        for ring in self.rings.iter() {
+            ring.reset();
+        }
+        for lanes in self.lanes.iter() {
+            let set = lock_lanes(lanes);
+            for ring in set.all.iter() {
+                ring.reset();
+            }
+        }
+        self.minter.reset();
+        self.dropped.store(0, Ordering::Relaxed);
+        self.tail_crossings.store(0, Ordering::Relaxed);
+        match self.captures.lock() {
+            Ok(mut g) => g.clear(),
+            Err(p) => p.into_inner().clear(),
+        }
+    }
+
+    /// Chrome-trace (Perfetto) export of every node's ring, with flow
+    /// arrows linking all records of a span — parent site → issue →
+    /// retries → poll — and requester→home arrival marks on the target
+    /// node's track. Same `displayTimeUnit` contract as the Carina
+    /// tracer: timestamps are the observability clock, unscaled.
+    pub fn to_chrome_trace(&self) -> String {
+        // (tid, ts, order, json) — sorted so output is deterministic and
+        // each flow chain appears in ts order.
+        let mut events: Vec<(u64, u64, u64, String)> = Vec::new();
+        let mut order: u64 = 0;
+        for node in 0..self.rings.len() {
+            events.push((
+                node as u64,
+                0,
+                order,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{node},\
+                     \"args\":{{\"name\":\"lyra node {node}\"}}}}"
+                ),
+            ));
+            order += 1;
+        }
+
+        // Collect records per span for flow chains while emitting slices.
+        // chain: span -> Vec<(ts, tid, order_of_slice)>
+        let mut chains: std::collections::BTreeMap<u64, Vec<(u64, u64)>> =
+            std::collections::BTreeMap::new();
+        for node in 0..self.rings.len() {
+            for rec in self.node_records(node) {
+                let tid = node as u64;
+                let name = match rec.kind {
+                    RecordKind::Site => rec
+                        .site_enum()
+                        .map(|s| s.name())
+                        .unwrap_or("site"),
+                    k => k.name(),
+                };
+                let args = format!(
+                    "\"span\":\"{:#x}\",\"attempt\":{},\"fate\":\"{}\",\"target\":{},\"arg\":{}",
+                    rec.span.0,
+                    rec.attempt,
+                    rec.fate.name(),
+                    if rec.target == NO_TARGET { -1i64 } else { rec.target as i64 },
+                    rec.arg,
+                );
+                let body = if rec.dur > 0 {
+                    format!(
+                        "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{},\
+                         \"dur\":{},\"args\":{{{args}}}}}",
+                        escape(name),
+                        rec.start,
+                        rec.dur,
+                    )
+                } else {
+                    format!(
+                        "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{tid},\
+                         \"ts\":{},\"args\":{{{args}}}}}",
+                        escape(name),
+                        rec.start,
+                    )
+                };
+                events.push((tid, rec.start, order, body));
+                order += 1;
+                if !rec.span.is_none() {
+                    chains.entry(rec.span.0).or_default().push((rec.start, tid));
+                    // Cross-node hop: mark the verb's arrival on the home
+                    // node's track and chain it, so requester→home draws
+                    // as an arrow between the two tracks.
+                    if rec.kind == RecordKind::VerbIssue && rec.target != NO_TARGET {
+                        let home = rec.target as u64;
+                        let at = rec.start + rec.dur;
+                        events.push((
+                            home,
+                            at,
+                            order,
+                            format!(
+                                "{{\"name\":\"arrive {}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\
+                                 \"tid\":{home},\"ts\":{at},\"args\":{{\"span\":\"{:#x}\"}}}}",
+                                escape(name),
+                                rec.span.0,
+                            ),
+                        ));
+                        order += 1;
+                        chains.entry(rec.span.0).or_default().push((at, home));
+                    }
+                }
+            }
+        }
+
+        // Flow arrows: one chain per span that produced 2+ records.
+        for (span, mut hops) in chains {
+            if hops.len() < 2 {
+                continue;
+            }
+            hops.sort();
+            let last = hops.len() - 1;
+            for (i, (ts, tid)) in hops.into_iter().enumerate() {
+                let ph = if i == 0 {
+                    "s"
+                } else if i == last {
+                    "f"
+                } else {
+                    "t"
+                };
+                let bp = if ph == "s" { "" } else { ",\"bp\":\"e\"" };
+                events.push((
+                    tid,
+                    ts,
+                    order,
+                    format!(
+                        "{{\"name\":\"span\",\"cat\":\"lyra\",\"ph\":\"{ph}\",\"id\":\"{span:#x}\",\
+                         \"pid\":0,\"tid\":{tid},\"ts\":{ts}{bp}}}"
+                    ),
+                ));
+                order += 1;
+            }
+        }
+
+        events.sort_by_key(|&(tid, ts, ord, _)| (tid, ts, ord));
+        let stats = self.stats();
+        let mut out = String::with_capacity(events.len() * 96 + 256);
+        out.push_str(&format!(
+            "{{\"displayTimeUnit\":\"ns\",\"otherData\":{{\"submitted\":{},\"kept\":{},\
+             \"dropped\":{},\"tail_captures\":{},\"capacity_per_node\":{}}},\"traceEvents\":[",
+            stats.submitted, stats.kept, stats.dropped, stats.tail_captures, stats.capacity_per_node,
+        ));
+        for (i, (_, _, _, body)) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(body);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+#[cfg(all(test, not(feature = "recorder-off")))]
+mod tests {
+    use super::*;
+
+    fn rec(span: SpanId, start: u64, kind: RecordKind) -> VerbRecord {
+        VerbRecord { span, start, kind, node: 0, ..VerbRecord::blank() }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let r = VerbRecord {
+            span: SpanId::pack(3, 77),
+            start: 123_456,
+            dur: 42,
+            arg: 4096,
+            target: 2,
+            node: 3,
+            attempt: 5,
+            kind: RecordKind::VerbRetry,
+            site: Site::ReadMiss.index() as u8,
+            fate: Fate::Timeout,
+            class: 4,
+        };
+        assert_eq!(VerbRecord::decode(r.encode()), r);
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_and_counts_evictions() {
+        let fr = FlightRecorder::new(1, 8);
+        for i in 0..20u64 {
+            fr.record(0, || rec(SpanId::pack(0, i + 1), i, RecordKind::Site));
+        }
+        let snap = fr.snapshot(0);
+        assert_eq!(snap.len(), 8);
+        // Oldest-first, and only the last 8 survive.
+        let starts: Vec<u64> = snap.iter().map(|r| r.start).collect();
+        assert_eq!(starts, (12..20).collect::<Vec<_>>());
+        let st = fr.stats();
+        assert_eq!(st.submitted, 20);
+        assert_eq!(st.kept, 8);
+        assert_eq!(st.dropped, 12);
+        assert_eq!(st.kept + st.dropped, st.submitted);
+    }
+
+    #[test]
+    fn disabled_recorder_never_runs_the_closure() {
+        let fr = FlightRecorder::new(1, 8);
+        fr.set_enabled(false);
+        fr.record(0, || panic!("closure must not run while disabled"));
+        fr.capture_tail(0, NO_SITE, SpanId::NONE, 0, u64::MAX);
+        assert_eq!(fr.stats().submitted, 0);
+        assert_eq!(fr.stats().tail_captures, 0);
+        assert!(!fr.stats().enabled);
+    }
+
+    #[test]
+    fn tail_capture_stores_the_ring_and_counts_crossings() {
+        let fr = FlightRecorder::new(2, 8);
+        let span = fr.mint(1);
+        fr.record(1, || rec(span, 10, RecordKind::VerbIssue));
+        fr.record(1, || rec(span, 30, RecordKind::VerbPoll));
+        fr.capture_tail(1, Site::SdFence.index() as u8, span, 10, 20);
+        let caps = fr.tail_captures();
+        assert_eq!(caps.len(), 1);
+        assert_eq!(caps[0].node, 1);
+        assert_eq!(caps[0].records.len(), 2);
+        assert_eq!(caps[0].records[0].kind, RecordKind::VerbIssue);
+        assert_eq!(fr.stats().tail_captures, 1);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let fr = FlightRecorder::new(1, 8);
+        fr.record(0, || rec(fr.mint(0), 1, RecordKind::Site));
+        fr.capture_tail(0, 0, SpanId::NONE, 0, 9);
+        fr.reset();
+        let st = fr.stats();
+        assert_eq!((st.submitted, st.kept, st.dropped, st.tail_captures), (0, 0, 0, 0));
+        assert!(fr.snapshot(0).is_empty());
+        assert!(fr.tail_captures().is_empty());
+        assert_eq!(fr.mint(0).seq(), 1);
+    }
+
+    #[test]
+    fn lane_records_merge_into_the_node_timeline() {
+        let fr = Arc::new(FlightRecorder::new(2, 8));
+        let mut lane = FlightRecorder::lane(&fr, 1);
+        let span = lane.mint();
+        assert!(!span.is_none());
+        assert_eq!(span.node(), 1);
+        // Interleave lane and shared-ring records; the snapshot must merge
+        // them by start time.
+        lane.record(|| rec(span, 10, RecordKind::VerbIssue));
+        fr.record(1, || rec(fr.mint(1), 20, RecordKind::FaultInjected));
+        lane.record(|| rec(span, 30, RecordKind::VerbPoll));
+        let snap = fr.snapshot(1);
+        let starts: Vec<u64> = snap.iter().map(|r| r.start).collect();
+        assert_eq!(starts, vec![10, 20, 30]);
+        let st = fr.stats();
+        assert_eq!(st.submitted, 3);
+        assert_eq!(st.kept, 3);
+        assert_eq!(st.dropped, 0);
+    }
+
+    #[test]
+    fn lane_eviction_is_counted_loss() {
+        let fr = Arc::new(FlightRecorder::new(1, 8));
+        let mut lane = FlightRecorder::lane(&fr, 0);
+        for i in 0..20u64 {
+            lane.record(|| rec(SpanId::pack(0, i + 1), i, RecordKind::Site));
+        }
+        let snap = fr.snapshot(0);
+        let starts: Vec<u64> = snap.iter().map(|r| r.start).collect();
+        assert_eq!(starts, (12..20).collect::<Vec<_>>());
+        let st = fr.stats();
+        assert_eq!(st.submitted, 20);
+        assert_eq!(st.kept, 8);
+        assert_eq!(st.dropped, 12);
+    }
+
+    #[test]
+    fn lane_spans_are_unique_across_siblings_and_the_shared_minter() {
+        let fr = Arc::new(FlightRecorder::new(1, 8));
+        let mut a = FlightRecorder::lane(&fr, 0);
+        let mut b = a.clone(); // sibling lane, not a second writer
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10 {
+            assert!(seen.insert(a.mint()));
+            assert!(seen.insert(b.mint()));
+            assert!(seen.insert(fr.mint(0)));
+        }
+        assert_eq!(seen.len(), 30);
+    }
+
+    #[test]
+    fn dropped_lane_rings_are_recycled_with_their_history() {
+        let fr = Arc::new(FlightRecorder::new(1, 8));
+        let mut lane = FlightRecorder::lane(&fr, 0);
+        lane.record(|| rec(SpanId::pack(0, 1), 1, RecordKind::Site));
+        let first_span = lane.mint();
+        drop(lane);
+        // The recycled ring keeps its records and continues its span
+        // sequence: no double-counting, no duplicate ids.
+        let mut again = FlightRecorder::lane(&fr, 0);
+        assert_ne!(again.mint(), first_span);
+        again.record(|| rec(SpanId::pack(0, 2), 2, RecordKind::Site));
+        assert_eq!(fr.stats().submitted, 2);
+        assert_eq!(fr.snapshot(0).len(), 2);
+    }
+
+    #[test]
+    fn disabled_recorder_skips_lane_closures_and_mints_none() {
+        let fr = Arc::new(FlightRecorder::new(1, 8));
+        let mut lane = FlightRecorder::lane(&fr, 0);
+        fr.set_enabled(false);
+        assert!(lane.mint().is_none());
+        lane.record(|| panic!("closure must not run while disabled"));
+        assert_eq!(fr.stats().submitted, 0);
+    }
+
+    #[test]
+    fn chrome_trace_links_a_span_with_flow_arrows() {
+        let fr = FlightRecorder::new(2, 16);
+        let span = fr.mint(0);
+        fr.record(0, || VerbRecord {
+            span,
+            start: 100,
+            dur: 50,
+            target: 1,
+            kind: RecordKind::VerbIssue,
+            class: 0,
+            ..VerbRecord::blank()
+        });
+        fr.record(0, || VerbRecord {
+            span,
+            start: 160,
+            attempt: 1,
+            fate: Fate::Dropped,
+            kind: RecordKind::VerbRetry,
+            ..VerbRecord::blank()
+        });
+        fr.record(0, || VerbRecord {
+            span,
+            start: 400,
+            dur: 300,
+            site: Site::ReadMiss.index() as u8,
+            kind: RecordKind::Site,
+            ..VerbRecord::blank()
+        });
+        let trace = fr.to_chrome_trace();
+        // Parses with the in-tree JSON parser.
+        let v = crate::json::JsonValue::parse(&trace).expect("valid JSON");
+        let evs = v.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        let phases: Vec<&str> = evs
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(|p| p.as_str()))
+            .collect();
+        assert!(phases.contains(&"s"), "flow start missing: {phases:?}");
+        assert!(phases.contains(&"f"), "flow finish missing: {phases:?}");
+        // The cross-node arrival instant landed on the home's track.
+        assert!(trace.contains("arrive verb_issue"));
+        // Flow id is the span id.
+        assert!(trace.contains(&format!("\"id\":\"{:#x}\"", span.0)));
+    }
+}

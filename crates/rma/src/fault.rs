@@ -19,9 +19,11 @@
 
 use crate::retry::splitmix64;
 use crate::transport::{Completion, Endpoint, TokenSlab, Transport, VerbError, VerbToken};
+use obs::lyra::{Fate, FlightRecorder, RecordKind, VerbRecord};
+use obs::SpanId;
 use simnet::{ClusterTopology, CostModel, NetStats, NodeId, PerNodeSnapshot, ThreadLoc};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A window of virtual time during which one node's NIC answers nothing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -191,6 +193,9 @@ pub struct FaultyTransport<T: Transport> {
     /// the same verb sequence faults identically on every backend).
     issued: [AtomicU64; 4],
     injected: FaultCounters,
+    /// Lyra hook: once attached, every decided fault also lands in the
+    /// flight recorder, stamped with the issuing endpoint's current span.
+    recorder: OnceLock<Arc<FlightRecorder>>,
 }
 
 impl<T: Transport> FaultyTransport<T> {
@@ -202,7 +207,23 @@ impl<T: Transport> FaultyTransport<T> {
             enabled,
             issued: Default::default(),
             injected: FaultCounters::default(),
+            recorder: OnceLock::new(),
         })
+    }
+
+    /// Attach a flight recorder; injected fault fates will be recorded with
+    /// the span of whichever endpoint issued the verb. First attach wins
+    /// (later calls are ignored) — observability only, never an error. Also
+    /// forwarded to the wrapped backend so its endpoints open single-writer
+    /// lanes.
+    pub fn attach_recorder(&self, recorder: Arc<FlightRecorder>) {
+        self.inner.attach_recorder(recorder.clone());
+        let _ = self.recorder.set(recorder);
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.get()
     }
 
     pub fn inner(&self) -> &Arc<T> {
@@ -304,6 +325,7 @@ impl<T: Transport> Transport for FaultyTransport<T> {
             inner: T::endpoint(&this.inner, loc),
             fab: this.clone(),
             pending: TokenSlab::default(),
+            span: SpanId::NONE,
         }
     }
 
@@ -403,6 +425,10 @@ impl<T: Transport> Transport for FaultyTransport<T> {
     fn drained_at(&self, node: NodeId) -> u64 {
         self.inner.drained_at(node)
     }
+
+    fn attach_recorder(&self, recorder: Arc<FlightRecorder>) {
+        FaultyTransport::attach_recorder(self, recorder);
+    }
 }
 
 /// The verb parameters an async fault needs to replay its inner verb (a
@@ -462,6 +488,9 @@ pub struct FaultyEndpoint<T: Transport> {
     inner: T::Endpoint,
     fab: Arc<FaultyTransport<T>>,
     pending: TokenSlab<PendingFault>,
+    /// Lyra span of the protocol operation currently issuing through this
+    /// endpoint; stamped onto decided fault fates.
+    span: SpanId,
 }
 
 // Manual impl: `#[derive(Clone)]` would demand `T: Clone`, which the fabric
@@ -472,6 +501,7 @@ impl<T: Transport> Clone for FaultyEndpoint<T> {
             inner: self.inner.clone(),
             fab: self.fab.clone(),
             pending: self.pending.clone(),
+            span: self.span,
         }
     }
 }
@@ -479,6 +509,37 @@ impl<T: Transport> Clone for FaultyEndpoint<T> {
 impl<T: Transport> FaultyEndpoint<T> {
     pub fn inner(&self) -> &T::Endpoint {
         &self.inner
+    }
+
+    /// Flight-record a decided fault, attributed to the current span. A
+    /// healthy `Deliver` records nothing; with no recorder attached (or a
+    /// disabled one) this is a branch.
+    fn note_fault(&self, decision: &Decision, kind: VerbKind, target: NodeId) {
+        let Some(rec) = self.fab.recorder.get() else {
+            return;
+        };
+        let fate = match decision {
+            Decision::Deliver => return,
+            Decision::Duplicate => Fate::Duplicate,
+            Decision::Spike(_) => Fate::Spike,
+            Decision::Fail(e) => Fate::from_error_name(e.name()),
+        };
+        let node = self.inner.node().0 as usize;
+        let span = self.span;
+        let extra = match decision {
+            Decision::Spike(extra) => *extra,
+            _ => kind as u64, // which schedule counter decided the fate
+        };
+        rec.record(node, || VerbRecord {
+            span,
+            start: self.inner.obs_now(),
+            arg: extra,
+            target: target.0 as u32,
+            node: node as u16,
+            kind: RecordKind::FaultInjected,
+            fate,
+            ..VerbRecord::blank()
+        });
     }
 }
 
@@ -528,6 +589,22 @@ impl<T: Transport> Endpoint for FaultyEndpoint<T> {
         self.inner.merge(t)
     }
 
+    #[inline]
+    fn set_span(&mut self, span: SpanId) {
+        self.span = span;
+        self.inner.set_span(span);
+    }
+
+    #[inline]
+    fn current_span(&self) -> SpanId {
+        self.span
+    }
+
+    #[inline]
+    fn lyra_lane(&mut self) -> Option<&mut obs::Lane> {
+        self.inner.lyra_lane()
+    }
+
     fn issue_read(&mut self, target: NodeId, bytes: u64, not_before: u64) -> VerbToken {
         self.issue_faulty(AsyncOp::Read { target, bytes }, not_before)
     }
@@ -572,7 +649,9 @@ impl<T: Transport> Endpoint for FaultyEndpoint<T> {
     }
 
     fn rdma_read(&mut self, target: NodeId, bytes: u64) -> Result<(), VerbError> {
-        match self.fab.decide(VerbKind::Read, target, self.inner.now()) {
+        let decision = self.fab.decide(VerbKind::Read, target, self.inner.now());
+        self.note_fault(&decision, VerbKind::Read, target);
+        match decision {
             Decision::Fail(e) => Err(e),
             Decision::Deliver => self.inner.rdma_read(target, bytes),
             Decision::Duplicate => {
@@ -588,7 +667,9 @@ impl<T: Transport> Endpoint for FaultyEndpoint<T> {
     }
 
     fn rdma_write(&mut self, target: NodeId, bytes: u64) -> Result<u64, VerbError> {
-        match self.fab.decide(VerbKind::Write, target, self.inner.now()) {
+        let decision = self.fab.decide(VerbKind::Write, target, self.inner.now());
+        self.note_fault(&decision, VerbKind::Write, target);
+        match decision {
             Decision::Fail(e) => Err(e),
             Decision::Deliver => self.inner.rdma_write(target, bytes),
             Decision::Duplicate => {
@@ -604,7 +685,9 @@ impl<T: Transport> Endpoint for FaultyEndpoint<T> {
     }
 
     fn rdma_write_batch(&mut self, target: NodeId, sizes: &[u64]) -> Result<u64, VerbError> {
-        match self.fab.decide(VerbKind::Batch, target, self.inner.now()) {
+        let decision = self.fab.decide(VerbKind::Batch, target, self.inner.now());
+        self.note_fault(&decision, VerbKind::Batch, target);
+        match decision {
             Decision::Fail(e) => Err(e),
             Decision::Deliver => self.inner.rdma_write_batch(target, sizes),
             Decision::Duplicate => {
@@ -654,7 +737,9 @@ impl<T: Transport> FaultyEndpoint<T> {
     /// way) and record what poll must do.
     fn issue_faulty(&mut self, op: AsyncOp, not_before: u64) -> VerbToken {
         let at = self.inner.now().max(not_before);
-        let pending = match self.fab.decide(op.kind(), op.target(), at) {
+        let decision = self.fab.decide(op.kind(), op.target(), at);
+        self.note_fault(&decision, op.kind(), op.target());
+        let pending = match decision {
             Decision::Fail(e) => PendingFault::Fail(e),
             Decision::Deliver => PendingFault::Deliver(self.issue_inner(&op, not_before)),
             Decision::Duplicate => PendingFault::Duplicate {
@@ -675,7 +760,9 @@ impl<T: Transport> FaultyEndpoint<T> {
         target: NodeId,
         issue: impl Fn(&mut T::Endpoint) -> Result<(), VerbError>,
     ) -> Result<(), VerbError> {
-        match self.fab.decide(VerbKind::Atomic, target, self.inner.now()) {
+        let decision = self.fab.decide(VerbKind::Atomic, target, self.inner.now());
+        self.note_fault(&decision, VerbKind::Atomic, target);
+        match decision {
             Decision::Fail(e) => Err(e),
             Decision::Deliver => issue(&mut self.inner),
             Decision::Duplicate => {

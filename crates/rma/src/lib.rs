@@ -50,3 +50,7 @@ pub use transport::{Completion, Endpoint, Transport, VerbError, VerbToken};
 // Kept re-exported so call sites migrating to the transport layer can name
 // the concrete simulator types through one crate.
 pub use simnet::{ClusterTopology, CostModel, Interconnect, NodeId, SimThread, ThreadLoc};
+
+// Lyra: the span handle the verb layer threads through issue/poll/retry,
+// re-exported so transport users need not name `obs` directly.
+pub use obs::SpanId;

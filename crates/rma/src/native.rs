@@ -20,7 +20,7 @@ use crate::transport::{Completion, Endpoint, TokenSlab, Transport, VerbError, Ve
 use simnet::stats::PerNodeStats;
 use simnet::{ClusterTopology, CostModel, NetStats, NodeId, PerNodeSnapshot, ThreadLoc};
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A fabric with no latency model: topology + verb accounting only.
 #[derive(Debug)]
@@ -32,6 +32,9 @@ pub struct NativeTransport {
     cost: CostModel,
     stats: NetStats,
     per_node: Vec<PerNodeStats>,
+    /// Lyra flight recorder, attached by the DSM layer before endpoints are
+    /// created; endpoints open single-writer lanes against it.
+    recorder: OnceLock<Arc<obs::FlightRecorder>>,
 }
 
 impl NativeTransport {
@@ -47,6 +50,7 @@ impl NativeTransport {
             cost,
             stats: NetStats::default(),
             per_node: (0..topology.nodes).map(|_| PerNodeStats::default()).collect(),
+            recorder: OnceLock::new(),
         })
     }
 
@@ -75,10 +79,16 @@ impl Transport for NativeTransport {
     type Endpoint = NativeEndpoint;
 
     fn endpoint(this: &Arc<Self>, loc: ThreadLoc) -> NativeEndpoint {
+        let lane = this
+            .recorder
+            .get()
+            .map(|fr| obs::FlightRecorder::lane(fr, loc.node.idx()));
         NativeEndpoint {
             loc,
             net: this.clone(),
             pending: TokenSlab::default(),
+            span: obs::SpanId::NONE,
+            lane,
         }
     }
 
@@ -205,6 +215,12 @@ impl Transport for NativeTransport {
     fn drained_at(&self, _node: NodeId) -> u64 {
         0
     }
+
+    // No faults to stamp, but endpoints created after this open
+    // single-writer lanes against the recorder. First attach wins.
+    fn attach_recorder(&self, recorder: Arc<obs::FlightRecorder>) {
+        let _ = self.recorder.set(recorder);
+    }
 }
 
 /// A native issue port: placement plus a handle to the fabric's counters.
@@ -217,6 +233,10 @@ pub struct NativeEndpoint {
     /// everything at issue time, so entries only hold the finished
     /// [`Completion`] until the caller collects it.
     pending: TokenSlab<Completion>,
+    /// Lyra span of the operation currently issuing through this endpoint.
+    span: obs::SpanId,
+    /// Single-writer Lyra lane (present once a recorder is attached).
+    lane: Option<obs::Lane>,
 }
 
 impl NativeEndpoint {
@@ -269,6 +289,21 @@ impl Endpoint for NativeEndpoint {
 
     #[inline]
     fn merge(&mut self, _t: u64) {}
+
+    #[inline]
+    fn set_span(&mut self, span: obs::SpanId) {
+        self.span = span;
+    }
+
+    #[inline]
+    fn current_span(&self) -> obs::SpanId {
+        self.span
+    }
+
+    #[inline]
+    fn lyra_lane(&mut self) -> Option<&mut obs::Lane> {
+        self.lane.as_mut()
+    }
 
     // The blocking read/write/batch verbs use the trait's default
     // issue + wait + merge wrappers (merge is a no-op here), which tick the

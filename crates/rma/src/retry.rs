@@ -9,6 +9,7 @@
 //! of the same program retry at identical virtual instants.
 
 use crate::VerbError;
+use obs::SpanId;
 use std::fmt;
 
 /// The protocol-level classes a remote verb can belong to. Budgets and
@@ -221,6 +222,7 @@ impl RetryPolicy {
             next_index: 0,
             delay: 0,
             budget: self.attempts(class),
+            span: SpanId::NONE,
         }
     }
 
@@ -276,6 +278,10 @@ pub struct AttemptSeq {
     next_index: u32,
     delay: u64,
     budget: u32,
+    /// The Lyra span of the operation this schedule retries for. Purely
+    /// observational — not part of the schedule function, so attaching a
+    /// span can never change when attempts happen.
+    span: SpanId,
 }
 
 impl AttemptSeq {
@@ -283,6 +289,25 @@ impl AttemptSeq {
     #[inline]
     pub fn class(&self) -> VerbClass {
         self.class
+    }
+
+    /// Attach the parent operation's Lyra span (builder style).
+    pub fn with_span(mut self, span: SpanId) -> Self {
+        self.span = span;
+        self
+    }
+
+    /// The attached span, or [`SpanId::NONE`].
+    #[inline]
+    pub fn span(&self) -> SpanId {
+        self.span
+    }
+
+    /// The attempt index `next()` will hand out next (== attempts already
+    /// handed out; flight-recorder records key retries off this).
+    #[inline]
+    pub fn next_index(&self) -> u32 {
+        self.next_index
     }
 
     /// The next attempt, or `None` once the budget is spent.

@@ -120,6 +120,13 @@ impl Transport for Interconnect {
     fn drained_at(&self, node: NodeId) -> u64 {
         self.nic_drained_at(node)
     }
+
+    // The simulator injects no faults, but holds the recorder so endpoints
+    // created later open single-writer lanes against it (the fences bench
+    // also constructs `SimThread::new` directly and gets the same lane).
+    fn attach_recorder(&self, recorder: Arc<obs::FlightRecorder>) {
+        Interconnect::attach_recorder(self, recorder);
+    }
 }
 
 impl Endpoint for SimThread {
@@ -161,6 +168,11 @@ impl Endpoint for SimThread {
     #[inline]
     fn merge(&mut self, t: u64) {
         SimThread::merge(self, t)
+    }
+
+    #[inline]
+    fn lyra_lane(&mut self) -> Option<&mut obs::Lane> {
+        SimThread::lyra_lane(self)
     }
 
     // The blocking read/write/batch verbs use the trait's default

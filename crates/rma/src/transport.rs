@@ -6,6 +6,7 @@
 //! owns an endpoint through which it issues verbs and on which any notion of
 //! "time" (virtual cycles for the simulator, nothing for native) accrues.
 
+use obs::SpanId;
 use simnet::net::VerbTiming;
 use simnet::{ClusterTopology, CostModel, NetStats, NodeId, PerNodeSnapshot, ThreadLoc};
 use std::fmt::{self, Debug};
@@ -291,6 +292,15 @@ pub trait Transport: Send + Sync + Debug + 'static {
     /// Time at which `node`'s NIC has drained everything posted so far; the
     /// completion side of an SD fence. Always 0 on backends without queues.
     fn drained_at(&self, node: NodeId) -> u64;
+
+    /// Hand fault-injecting wrappers a flight-recorder handle so the fates
+    /// they decide are recorded against the spans they hit
+    /// ([`crate::FaultyTransport`] overrides this; first attach wins). The
+    /// concrete backends inject nothing and ignore it — the DSM layer calls
+    /// this unconditionally at construction.
+    fn attach_recorder(&self, recorder: Arc<obs::FlightRecorder>) {
+        let _ = recorder;
+    }
 }
 
 /// A per-thread issue port: placement, the thread's time base, and verb
@@ -342,6 +352,35 @@ pub trait Endpoint: Send + Clone + Debug + 'static {
     /// Fold in an externally observed timestamp: this thread cannot proceed
     /// before `t` (lock hand-off, barrier exit, fence settle point).
     fn merge(&mut self, t: u64);
+
+    // --- Lyra span plumbing -----------------------------------------------
+    //
+    // Purely observational: protocol sites attach the span of the operation
+    // they are servicing, and fault-injecting wrappers stamp it onto the
+    // fates they decide, so a flight-recorder timeline can link every verb
+    // (and every injected fault) back to its parent operation. Span ids
+    // never feed back into timing or protocol decisions.
+
+    /// Attach the Lyra span of the protocol operation about to issue verbs
+    /// through this endpoint ([`SpanId::NONE`] detaches). Default: ignored.
+    #[inline]
+    fn set_span(&mut self, _span: SpanId) {}
+
+    /// The span last attached via [`Endpoint::set_span`], or
+    /// [`SpanId::NONE`] on endpoints without storage.
+    #[inline]
+    fn current_span(&self) -> SpanId {
+        SpanId::NONE
+    }
+
+    /// This endpoint's single-writer Lyra lane, if the backend opened one
+    /// against an attached flight recorder. Protocol hot paths prefer the
+    /// lane (plain stores, no atomic read-modify-writes) and fall back to
+    /// the recorder's shared multi-writer ring when absent.
+    #[inline]
+    fn lyra_lane(&mut self) -> Option<&mut obs::Lane> {
+        None
+    }
 
     // --- Asynchronous verb surface (completion-queue model) ---------------
     //

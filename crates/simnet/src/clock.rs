@@ -86,16 +86,30 @@ pub struct SimThread {
     now: u64,
     net: Arc<Interconnect>,
     pending: PendingVerbs,
+    /// Single-writer Lyra lane, opened against the interconnect's attached
+    /// flight recorder (if any). Owning it here keeps hot-path recording
+    /// free of atomic read-modify-writes.
+    lane: Option<obs::Lane>,
 }
 
 impl SimThread {
     pub fn new(loc: ThreadLoc, net: Arc<Interconnect>) -> Self {
+        let lane = net
+            .recorder()
+            .map(|fr| obs::FlightRecorder::lane(fr, loc.node.idx()));
         SimThread {
             loc,
             now: 0,
             net,
             pending: PendingVerbs::default(),
+            lane,
         }
+    }
+
+    /// This thread's single-writer Lyra lane, if a recorder is attached.
+    #[inline]
+    pub fn lyra_lane(&mut self) -> Option<&mut obs::Lane> {
+        self.lane.as_mut()
     }
 
     #[inline]

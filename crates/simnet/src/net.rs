@@ -10,7 +10,7 @@ use crate::cost::CostModel;
 use crate::stats::{NetStats, PerNodeSnapshot, PerNodeStats};
 use crate::topology::{ClusterTopology, NodeId, ThreadLoc};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Outcome of charging a verb: when the initiating thread may continue and
 /// when the data is settled at the target.
@@ -38,6 +38,11 @@ pub struct Interconnect {
     spines: Vec<AtomicU64>,
     stats: NetStats,
     per_node: Vec<PerNodeStats>,
+    /// Lyra flight recorder, attached once by the DSM layer before any
+    /// endpoints are created. Threads spawned on this interconnect open a
+    /// single-writer [`obs::Lane`] against it so hot-path recording needs
+    /// no atomic read-modify-writes.
+    recorder: OnceLock<Arc<obs::FlightRecorder>>,
 }
 
 impl Interconnect {
@@ -85,6 +90,7 @@ impl Interconnect {
             spines: (0..spines).map(|_| AtomicU64::new(0)).collect(),
             stats: NetStats::default(),
             per_node: (0..topology.nodes).map(|_| PerNodeStats::default()).collect(),
+            recorder: OnceLock::new(),
         }))
     }
 
@@ -101,6 +107,18 @@ impl Interconnect {
     #[inline]
     pub fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    /// Attach the Lyra flight recorder. First attach wins; later calls are
+    /// ignored so re-wrapping transports can forward unconditionally.
+    pub fn attach_recorder(&self, recorder: Arc<obs::FlightRecorder>) {
+        let _ = self.recorder.set(recorder);
+    }
+
+    /// The attached Lyra recorder, if any.
+    #[inline]
+    pub fn recorder(&self) -> Option<&Arc<obs::FlightRecorder>> {
+        self.recorder.get()
     }
 
     /// Per-node traffic snapshot (who is the hotspot?).

@@ -115,6 +115,7 @@ impl<T: Transport, C: Coherence> HierBarrier<T, C> {
     pub fn wait(&self, t: &mut T::Endpoint) {
         let node = t.node().idx();
         let obs_start = t.obs_now();
+        let span = self.dsm.mint_span(t, node as u16);
         let dsm = &self.dsm;
         let global = &self.global;
         self.node_barriers[node].wait_leader(t, |t| {
@@ -124,9 +125,14 @@ impl<T: Transport, C: Coherence> HierBarrier<T, C> {
         });
         // The whole episode — local rendezvous, leader fences, global
         // rendezvous — counts as barrier wait for this thread.
-        self.dsm
-            .profile()
-            .record(node, obs::Site::BarrierWait, t.obs_now().saturating_sub(obs_start));
+        self.dsm.record_site(
+            t,
+            node as u16,
+            obs::Site::BarrierWait,
+            span,
+            obs_start,
+            t.obs_now().saturating_sub(obs_start),
+        );
     }
 }
 

@@ -243,13 +243,17 @@ impl<T: Transport, C: Coherence> Hqdl<T, C> {
         }
         let t0 = t.now();
         let obs_t0 = t.obs_now();
+        // One Lyra span covers the whole helper tenure: the global-lock
+        // acquire, both fences, and every verb a delegated section issues
+        // link back to it in the flight-recorder timeline.
+        let span = self.dsm.mint_span(t, node as u16);
+        t.set_span(span);
         let switched = self.global.acquire_tracked(t);
         let t1 = t.now();
         let acquire_dur = t.obs_now().saturating_sub(obs_t0);
         self.obs.acquire.record(acquire_dur);
         self.dsm
-            .profile()
-            .record(node, obs::Site::LockAcquire, acquire_dur);
+            .record_site(t, node as u16, obs::Site::LockAcquire, span, obs_t0, acquire_dur);
         if switched {
             obs::LockObs::bump(&self.obs.handovers);
         }
@@ -293,6 +297,7 @@ impl<T: Transport, C: Coherence> Hqdl<T, C> {
         self.fence_cycles
             .fetch_add((t2 - t1) + (t.now() - t3), Ordering::Relaxed);
         self.global.release(t);
+        t.set_span(rma::SpanId::NONE);
         // SAFETY: locked above.
         unsafe { nq.helper.unlock() };
     }

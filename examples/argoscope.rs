@@ -99,6 +99,25 @@ fn inspect<T: Transport>(machine: &Arc<ArgoMachine<T>>, backend: &str) {
     JsonValue::parse(&report_json).expect("report must be valid JSON");
     let report_path = dir.join(format!("report_{backend}.json"));
     std::fs::write(&report_path, &report_json).expect("write report");
+
+    // Lyra artifacts: the flight-recorder dump as a chrome trace with
+    // span flow arrows, and the live metrics in both expositions.
+    let lyra = machine.dsm().lyra().to_chrome_trace();
+    let lyra_doc = JsonValue::parse(&lyra).expect("lyra dump must be valid JSON");
+    assert!(
+        !lyra_doc.get("traceEvents").unwrap().as_arr().unwrap().is_empty(),
+        "flight recorder must hold records"
+    );
+    let lyra_path = dir.join(format!("lyra_{backend}.json"));
+    std::fs::write(&lyra_path, &lyra).expect("write lyra dump");
+    let metrics = machine.dsm().metrics_snapshot();
+    let prom_path = dir.join(format!("metrics_{backend}.prom"));
+    std::fs::write(&prom_path, metrics.to_prometheus()).expect("write metrics");
+    let metrics_json = metrics.to_json();
+    JsonValue::parse(&metrics_json).expect("metrics must be valid JSON");
+    let metrics_path = dir.join(format!("metrics_{backend}.json"));
+    std::fs::write(&metrics_path, &metrics_json).expect("write metrics json");
+
     println!(
         "trace  : {} ({} events buffered, {} dropped)",
         trace_path.display(),
@@ -106,6 +125,13 @@ fn inspect<T: Transport>(machine: &Arc<ArgoMachine<T>>, backend: &str) {
         stats.dropped
     );
     println!("report : {}", report_path.display());
+    println!(
+        "lyra   : {} ({} records kept, {} dropped)",
+        lyra_path.display(),
+        report.recorder.kept,
+        report.recorder.dropped
+    );
+    println!("metrics: {} (+ .json)", prom_path.display());
     println!();
 }
 

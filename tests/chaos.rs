@@ -373,6 +373,108 @@ fn lock_acquire_against_dead_home_fails_cleanly() {
     assert_eq!(lock.stats().acquisitions, 0);
 }
 
+/// The flight recorder under fire: a hostile fabric makes verbs retry, and
+/// the Lyra trace must tell the whole story — every retried attempt links
+/// by flow arrows (`s`/`t`/`f` keyed by span) to the protocol site that
+/// issued it, injected fault fates appear as `fault_injected` records, and
+/// a threshold-triggered tail capture holds the offender's full attempt
+/// history in its ring snapshot.
+#[test]
+fn chaos_trace_links_retried_attempts_to_their_site_span() {
+    use obs::{JsonValue, RecordKind, Site};
+    let cfg = ArgoConfig::small(2, 1);
+    let mut ccfg = CarinaConfig::default();
+    ccfg.retry.max_attempts = [16; VerbClass::COUNT];
+    // Tail threshold sized between the clean-path service time (a read
+    // miss on this fabric is ~10k cycles, a write fault ~7k) and the cost
+    // of an operation inflated by backoff or an injected spike — only
+    // slow offenders trigger captures.
+    ccfg.lyra_tail_threshold = 11_000;
+    let net = FaultyTransport::wrap(Interconnect::new(cfg.topology(), cfg.cost), hostile(77));
+    let dsm: Arc<Dsm<ChaosNet>> = Dsm::new(net.clone(), 1 << 20, ccfg);
+    let mut t = <ChaosNet as Transport>::endpoint(&net, net.topology().loc(NodeId(0), 0));
+    for i in 0..24u64 {
+        dsm.write_u64(&mut t, GlobalAddr(i * PAGE_BYTES), i * i);
+    }
+    dsm.sd_fence(&mut t);
+    dsm.si_fence(&mut t);
+    for i in 0..24u64 {
+        assert_eq!(dsm.read_u64(&mut t, GlobalAddr(i * PAGE_BYTES)), i * i);
+    }
+    assert!(net.injected().total() > 0, "the fault plan never fired");
+    assert!(dsm.stats().snapshot().verb_retries > 0, "nothing retried");
+
+    let doc = JsonValue::parse(&dsm.lyra().to_chrome_trace()).expect("valid lyra JSON");
+    let items = doc.get("traceEvents").unwrap().as_arr().unwrap();
+    let span_of = |e: &JsonValue| {
+        e.get("args").and_then(|a| a.get("span")).and_then(|s| s.as_str()).map(String::from)
+    };
+
+    // Every retried attempt names a span whose flow chain exists and whose
+    // parent site slice (read_miss / write_fault / fence) is in the trace.
+    let retry_spans: Vec<String> = items
+        .iter()
+        .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("verb_retry"))
+        .filter_map(span_of)
+        .collect();
+    assert!(!retry_spans.is_empty(), "retries happened but none were recorded");
+    for span in &retry_spans {
+        assert_ne!(span, "0x0", "a retry must be attributed to a minted span");
+        let phases: Vec<&str> = items
+            .iter()
+            .filter(|e| e.get("id").and_then(|i| i.as_str()) == Some(span))
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert!(
+            phases.contains(&"s") && phases.contains(&"f"),
+            "span {span}: retry not linked by flow arrows ({phases:?})"
+        );
+        assert!(
+            items.iter().any(|e| {
+                let name = e.get("name").and_then(|n| n.as_str()).unwrap_or("");
+                Site::ALL.iter().any(|s| s.name() == name) && span_of(e).as_deref() == Some(span)
+            }),
+            "span {span}: no parent site slice in the trace"
+        );
+    }
+
+    // The injector's decisions are first-class records with real fates.
+    let fault_fates: Vec<String> = items
+        .iter()
+        .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("fault_injected"))
+        .map(|e| e.get("args").unwrap().get("fate").unwrap().as_str().unwrap().to_string())
+        .collect();
+    assert!(!fault_fates.is_empty(), "injected faults left no flight records");
+    assert!(
+        fault_fates.iter().all(|f| f != "ok"),
+        "an injected fault cannot have fate ok: {fault_fates:?}"
+    );
+
+    // Tail capture: at least one slow operation crossed the threshold, and
+    // some capture's ring snapshot holds the full attempt history of the
+    // span that triggered it — retry records with non-ok fates plus the
+    // faults the injector dealt it.
+    let caps = dsm.lyra().tail_captures();
+    assert!(!caps.is_empty(), "threshold crossed but nothing captured");
+    assert!(dsm.lyra().stats().tail_captures >= caps.len() as u64);
+    let offender = caps
+        .iter()
+        .find(|c| {
+            let own = |k: RecordKind| c.records.iter().any(|r| r.span == c.span && r.kind == k);
+            own(RecordKind::VerbRetry) && own(RecordKind::FaultInjected)
+        })
+        .expect("no capture holds its own span's retry + fault history");
+    let history: Vec<_> =
+        offender.records.iter().filter(|r| r.span == offender.span).collect();
+    assert!(history.len() >= 3, "capture must hold the span's record chain");
+    // Per-attempt retry records (those naming the attempt that failed)
+    // carry the failure's fate; an injected fault never reads as ok.
+    assert!(history
+        .iter()
+        .filter(|r| r.kind == RecordKind::FaultInjected)
+        .all(|r| r.fate != obs::Fate::Ok));
+}
+
 /// Speculation under fire: the stride prefetcher issues extra fallible
 /// verbs whose failures the protocol must absorb silently — a failed
 /// speculative fetch is dropped (counted as waste), never retried and
