@@ -100,6 +100,11 @@ pub struct RunReport<R> {
     pub tracer: carina::TracerStats,
     /// Flight-recorder health: ring occupancy, drops, tail captures.
     pub recorder: carina::RecorderStats,
+    /// Volans membership epoch at region end (0 = membership never
+    /// changed: no failover, no join).
+    pub membership_epoch: u64,
+    /// Nodes alive in the Volans membership at region end.
+    pub nodes_alive: usize,
     /// The coherence policy the region ran under (`Coherence::NAME`).
     pub policy: &'static str,
 }
@@ -247,6 +252,8 @@ impl<T: Transport, C: Coherence> ArgoMachine<T, C> {
             hot_pages: self.dsm.page_heat().top_k(HOT_PAGES),
             tracer: self.dsm.tracer().stats(),
             recorder: self.dsm.lyra().stats(),
+            membership_epoch: self.dsm.membership().epoch(),
+            nodes_alive: self.dsm.membership().nodes_alive(),
             policy: self.dsm.policy_name(),
         }
     }

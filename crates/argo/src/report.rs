@@ -104,6 +104,17 @@ impl<R> RunReport<R> {
                 c.verb_retries, c.verb_exhaustions
             );
         }
+        if self.membership_epoch > 0 {
+            let _ = writeln!(
+                s,
+                "membership   : epoch {}, {} nodes alive, {} failovers, {} pages re-homed, {} shadow pages mirrored",
+                self.membership_epoch,
+                self.nodes_alive,
+                c.failovers,
+                c.pages_rehomed,
+                c.shadow_mirrored
+            );
+        }
         if self.heat_total > 0 {
             let mut hot = String::new();
             for (i, (page, n)) in self.hot_pages.iter().enumerate() {
@@ -153,6 +164,11 @@ impl<R> RunReport<R> {
         );
         let _ = write!(
             s,
+            ",\"membership\":{{\"epoch\":{},\"nodes_alive\":{}}}",
+            self.membership_epoch, self.nodes_alive
+        );
+        let _ = write!(
+            s,
             ",\"coherence\":{{\"read_hits\":{},\"write_hits\":{},\"read_misses\":{},\
              \"write_faults\":{},\"si_invalidated\":{},\"si_kept\":{},\"writebacks\":{},\
              \"writeback_bytes\":{},\"twins_created\":{},\"diff_words\":{},\
@@ -160,6 +176,7 @@ impl<R> RunReport<R> {
              \"evictions\":{},\"si_fences\":{},\"sd_fences\":{},\"decays\":{},\
              \"downgrade_batches\":{},\"downgrade_batch_pages\":{},\
              \"verb_retries\":{},\"verb_exhaustions\":{},\
+             \"failovers\":{},\"pages_rehomed\":{},\"shadow_mirrored\":{},\
              \"prefetch_issued\":{},\"prefetch_hits\":{},\"prefetch_wasted\":{},\
              \"prefetch_accuracy\":{:.4},\
              \"lease_renewals\":{},\"lease_expiries\":{},\"lease_kept\":{},\
@@ -190,6 +207,9 @@ impl<R> RunReport<R> {
             c.downgrade_batch_pages,
             c.verb_retries,
             c.verb_exhaustions,
+            c.failovers,
+            c.pages_rehomed,
+            c.shadow_mirrored,
             c.prefetch_issued,
             c.prefetch_hits,
             c.prefetch_wasted,
@@ -344,6 +364,12 @@ mod tests {
         // Healthy fabric: retry counters are present and zero.
         assert_eq!(coh.get("verb_retries").unwrap().as_u64(), Some(0));
         assert_eq!(coh.get("verb_exhaustions").unwrap().as_u64(), Some(0));
+        // Static membership: epoch 0, everyone alive, no failover work.
+        let mem = doc.get("membership").unwrap();
+        assert_eq!(mem.get("epoch").unwrap().as_u64(), Some(0));
+        assert_eq!(mem.get("nodes_alive").unwrap().as_u64(), Some(2));
+        assert_eq!(coh.get("failovers").unwrap().as_u64(), Some(0));
+        assert_eq!(coh.get("pages_rehomed").unwrap().as_u64(), Some(0));
         assert_eq!(
             doc.get("profile").unwrap().get("retry").unwrap().get("count").unwrap().as_u64(),
             Some(0)

@@ -232,6 +232,21 @@ impl Coherence for CarinaSiSd {
         problems
     }
 
+    fn on_membership_change(&self, rehomed: &[PageNum]) {
+        // A re-homed page's directory entry lived on the departed node and
+        // is gone with it: null the home maps, every node's cached copy,
+        // and the fast-path registration mirrors, so the first access under
+        // the new epoch re-registers at the rendezvous home from scratch.
+        for &page in rehomed {
+            self.pyxis.entry(page).reset();
+            for n in 0..self.reg_read.len() {
+                self.dir_caches.entry(n as u16, page).reset();
+                self.reg_read[n].clear(page);
+                self.reg_write[n].clear(page);
+            }
+        }
+    }
+
     fn reset_all(&self) {
         self.pyxis.reset_all();
         self.dir_caches.reset_all();

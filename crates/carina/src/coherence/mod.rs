@@ -72,6 +72,12 @@ impl PageBitSet {
         self.words[w].fetch_or(1 << (page.0 % 64), Ordering::Relaxed);
     }
 
+    #[inline]
+    pub fn clear(&self, page: PageNum) {
+        let w = (page.0 / 64) as usize;
+        self.words[w].fetch_and(!(1 << (page.0 % 64)), Ordering::Relaxed);
+    }
+
     pub fn clear_all(&self) {
         for w in &self.words {
             w.store(0, Ordering::Relaxed);
@@ -266,6 +272,15 @@ pub trait Coherence: std::fmt::Debug + Send + Sync + Sized + 'static {
     /// page set at a quiescent point. Appended to the engine's own checks.
     fn invariant_problems(&self, node: u16, dirty: &[PageNum]) -> Vec<String>;
 
+    /// Volans membership change: `rehomed` pages just moved to new home
+    /// nodes (their old home departed). The policy must null every piece of
+    /// per-page metadata tied to the old home — registrations, directory
+    /// caches, granted leases — so the first access under the new epoch
+    /// re-registers from scratch, exactly like the Pyxis mode-epoch
+    /// reconcile. Called under the engine's membership-transition lock,
+    /// after the re-homed pages' cached copies have been scrubbed.
+    fn on_membership_change(&self, _rehomed: &[PageNum]) {}
+
     /// Null all policy metadata (end-of-initialization reset, decay).
     fn reset_all(&self);
 }
@@ -322,6 +337,9 @@ mod tests {
         assert!(b.get(PageNum(129)));
         assert!(b.get(PageNum(0)));
         assert!(!b.get(PageNum(64)));
+        b.clear(PageNum(0));
+        assert!(!b.get(PageNum(0)));
+        assert!(b.get(PageNum(129)), "clear only drops its own bit");
         b.clear_all();
         assert!(!b.get(PageNum(129)));
     }

@@ -432,6 +432,26 @@ impl Coherence for Tardis {
         problems
     }
 
+    fn on_membership_change(&self, rehomed: &[PageNum]) {
+        // A re-homed page's timestamp entry lived on the departed node.
+        // Drop every granted lease on it (the copies it vouched for were
+        // scrubbed by the failover sweep) but keep `wts`/`rts` monotone —
+        // the flat entry store survives the re-homing, and regressing a
+        // clock could revalidate a lease some node still remembers.
+        for &page in rehomed {
+            let q = page.0 as usize;
+            let e = self.entry(page);
+            let _serial = e.lock.lock();
+            for nc in &self.nodes {
+                nc.granted.clear(page);
+                nc.lease_rts[q].store(0, Ordering::Relaxed);
+                nc.lease_wts[q].store(0, Ordering::Relaxed);
+                nc.wrote_epoch[q].store(0, Ordering::Relaxed);
+            }
+            e.diag.reset();
+        }
+    }
+
     fn reset_all(&self) {
         for e in &self.entries {
             e.wts.store(0, Ordering::Relaxed);

@@ -6,7 +6,7 @@
 //! from the `try_*` flavor of whichever public operation was underway; the
 //! panicking flavors translate it into an abort with the same message.
 
-use rma::{RetryExhausted, VerbClass, VerbError};
+use rma::{RetryExhausted, SpanId, VerbClass, VerbError};
 use std::fmt;
 
 /// A remote verb kept failing until its retry budget ran out.
@@ -22,6 +22,11 @@ pub struct DsmError {
     pub node: u16,
     /// Node the verb targeted.
     pub target: u16,
+    /// The Lyra span the failing verb ran under ([`SpanId::NONE`] when the
+    /// failure happened outside a traced verb). Volans failover records its
+    /// epoch bump under this span, so the trace draws a flow arrow from the
+    /// exhausted verb to the membership change it triggered.
+    pub span: SpanId,
 }
 
 impl DsmError {
@@ -32,7 +37,13 @@ impl DsmError {
             last_error: e.last_error,
             node,
             target,
+            span: SpanId::NONE,
         }
+    }
+
+    pub(crate) fn with_span(mut self, span: SpanId) -> Self {
+        self.span = span;
+        self
     }
 }
 
@@ -60,6 +71,7 @@ mod tests {
             last_error: VerbError::NicStall,
             node: 2,
             target: 0,
+            span: SpanId::NONE,
         };
         let s = e.to_string();
         assert!(s.contains("page_fetch"));

@@ -43,8 +43,8 @@ use mem::{
     CHUNK_WORDS, PAGE_BYTES,
 };
 use rma::{
-    Attempt, AttemptSeq, Completion, Endpoint, Retried, RetryExhausted, SimTransport, Transport,
-    VerbClass, VerbError, VerbToken,
+    rendezvous_home, Attempt, AttemptSeq, Completion, Endpoint, Membership, Retried,
+    RetryExhausted, SimTransport, Transport, VerbClass, VerbError, VerbToken,
 };
 
 /// An issued-but-unpolled verb: its token, the resumable remainder of the
@@ -163,6 +163,14 @@ pub struct Dsm<T: Transport = SimTransport, C: Coherence = CarinaSiSd> {
     /// output with it enabled. `Arc` because fault-injecting transports
     /// share it to attribute injected fates to spans.
     lyra: Arc<obs::FlightRecorder>,
+    /// Volans: the cluster membership view — epoch, alive set, per-node
+    /// observations. Epoch 0 means no membership change has ever happened;
+    /// every verb-path check is gated on that one relaxed load, so a
+    /// cluster that never loses a node pays nothing.
+    membership: Membership,
+    /// Serializes membership transitions (failover sweeps, joins). Never
+    /// touched on access paths.
+    transition: Mutex<()>,
     nodes: Vec<NodeState>,
 }
 
@@ -186,6 +194,26 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
         // Fault-injecting transports record the fates they decide against
         // the issuing endpoint's span; concrete backends ignore this.
         net.attach_recorder(lyra.clone());
+        let membership = Membership::new(n);
+        let latent = config.volans_latent_nodes.min(n.saturating_sub(1));
+        if latent > 0 {
+            // Latent nodes stand outside the initial membership: their
+            // interleaved home pages are re-homed to the founding members
+            // up front — a static homing decision like `alloc_blocked`, so
+            // the epoch stays 0 — and `Dsm::join_node` brings them in
+            // later at an epoch bump.
+            let first_latent = (n - latent) as u16;
+            for node in first_latent..n as u16 {
+                membership.mark_dead(node);
+            }
+            let founders: Vec<u16> = (0..first_latent).collect();
+            for q in 0..total_pages {
+                let page = PageNum(q);
+                if global.home_of(page) >= first_latent {
+                    global.set_home(page, rendezvous_home(q, &founders));
+                }
+            }
+        }
         Arc::new(Dsm {
             coherence: C::new(n, total_pages, &config),
             allocator: GlobalAllocator::new(global.total_bytes()),
@@ -198,6 +226,8 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
             lock_obs: obs::LockRegistry::new(),
             heat: obs::PageHeat::new(total_pages as usize),
             lyra,
+            membership,
+            transition: Mutex::new(()),
             nodes: (0..n)
                 .map(|_| NodeState {
                     cache: PageCache::new(config.cache),
@@ -298,6 +328,19 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
             "carina_mode_switches",
             &policy,
             s.mode_to_lease + s.mode_to_sisd,
+        );
+        m.counter("carina_failovers", &policy, s.failovers);
+        m.counter("carina_pages_rehomed", &policy, s.pages_rehomed);
+        m.counter("carina_shadow_mirrored", &policy, s.shadow_mirrored);
+        m.gauge(
+            "carina_membership_epoch",
+            &[],
+            self.membership.epoch() as f64,
+        );
+        m.gauge(
+            "carina_nodes_alive",
+            &[],
+            self.membership.nodes_alive() as f64,
         );
         m.counter("carina_heat_total_misses", &[], self.heat.total());
         let rs = self.lyra.stats();
@@ -418,7 +461,7 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
                     class: e.class as u8,
                     ..obs::VerbRecord::blank()
                 });
-                Err(DsmError::new(e, me, target))
+                Err(DsmError::new(e, me, target).with_span(span))
             }
         }
     }
@@ -536,6 +579,7 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
         obs_at: u64,
         mut verb: impl FnMut(u64) -> Result<Completion, VerbError>,
     ) -> Result<Completion, DsmError> {
+        self.check_alive(me, target, class, span)?;
         self.verb_retried(
             me,
             target,
@@ -627,6 +671,273 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
     }
 
     // ------------------------------------------------------------------
+    // Volans: membership, failover, join
+    // ------------------------------------------------------------------
+
+    /// Volans: the cluster membership view (epoch, alive set, per-node
+    /// observations).
+    #[inline]
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// Volans fail-fast: a verb about to target a departed node is rejected
+    /// before issue — `attempts: 0`, [`VerbError::Departed`] — so a failure
+    /// the membership already knows about costs no retry budget. Free until
+    /// the first membership change (epoch 0 short-circuits everything);
+    /// afterwards the caller's node also records its observation of the
+    /// current epoch, which is what the epoch-monotonicity property tests
+    /// gate admission on.
+    #[inline]
+    fn check_alive(
+        &self,
+        me: u16,
+        target: u16,
+        class: VerbClass,
+        span: obs::SpanId,
+    ) -> Result<(), DsmError> {
+        if self.membership.epoch() == 0 {
+            return Ok(());
+        }
+        self.membership.observe(me);
+        if self.membership.is_alive(target) {
+            return Ok(());
+        }
+        Err(DsmError {
+            class,
+            attempts: 0,
+            last_error: VerbError::Departed,
+            node: me,
+            target,
+            span,
+        })
+    }
+
+    /// Retry a failed protocol operation across a failover: when
+    /// `volans_failover` is on and the fault admits one, declare the target
+    /// departed (re-homing its pages) and re-run the operation against the
+    /// survivors. Loops because the retry can fail against a *different*
+    /// node; terminates because every iteration either declares one more
+    /// node dead (at most n−1 declarations exist) or gives up. Runs only
+    /// after the inner operation returned, so every slot guard the
+    /// operation held is already dropped — the failover sweep can take any
+    /// lock it needs.
+    fn failover_retry<R>(
+        &self,
+        t: &mut T::Endpoint,
+        mut e: DsmError,
+        mut op: impl FnMut(&Self, &mut T::Endpoint) -> Result<R, DsmError>,
+    ) -> Result<R, DsmError> {
+        loop {
+            if !self.config.volans_failover || !self.absorb_fault(t, e) {
+                return Err(e);
+            }
+            match op(self, t) {
+                Ok(v) => return Ok(v),
+                Err(next) => e = next,
+            }
+        }
+    }
+
+    /// Can a failover absorb `e`? [`VerbError::Departed`] means we raced a
+    /// declaration that already re-homed — the retry re-routes by itself.
+    /// Anything else that exhausted its budget is the deterministic death
+    /// signal: the target failed every reissue across the full backoff
+    /// schedule, so declare it departed. `false` only when there is no
+    /// survivor left to fail over to.
+    fn absorb_fault(&self, t: &mut T::Endpoint, e: DsmError) -> bool {
+        if e.last_error == VerbError::Departed {
+            return true;
+        }
+        let me = t.node().0;
+        self.declare_dead(e.target, me, e.span, t.obs_now())
+    }
+
+    /// Volans failover: declare `dead` departed, re-home every page it
+    /// homed onto the rendezvous survivors, scrub all cached copies of the
+    /// re-homed pages (dirty data is preserved by writing it through to the
+    /// flat store, which outlives the metadata change), null the affected
+    /// coherence state, and bump the membership epoch.
+    ///
+    /// Deterministic: the sweep order and [`rendezvous_home`] are pure
+    /// functions of `(page, survivors)`, so every declarer computes the
+    /// identical new homes. Idempotent — returns `true` when `dead` is (now)
+    /// departed and the cluster can continue, `false` when it is the last
+    /// survivor (nothing to re-home to; the caller must surface its error).
+    /// `span`/`obs_at` attribute the Lyra `EpochBump`/`Rehome` records to
+    /// the exhausted verb that triggered the declaration, giving Perfetto a
+    /// flow arrow from the failure to the transition.
+    pub fn declare_dead(&self, dead: u16, me: u16, span: obs::SpanId, obs_at: u64) -> bool {
+        let _serial = self.transition.lock().unwrap();
+        if !self.membership.is_alive(dead) {
+            // Someone else declared it while we waited: re-homing is done
+            // and our retry will route to the new homes.
+            return true;
+        }
+        let survivors: Vec<u16> = self
+            .membership
+            .alive_nodes()
+            .into_iter()
+            .filter(|&node| node != dead)
+            .collect();
+        if survivors.is_empty() {
+            return false;
+        }
+        // Re-home the departed node's pages. `set_home` moves no bytes —
+        // the flat page store survives the metadata change, so the last
+        // drained version of every page is intact at its new home.
+        let mut rehomed = Vec::new();
+        for q in 0..self.global.total_pages() {
+            let page = PageNum(q);
+            if self.global.home_of(page) == dead {
+                self.global.set_home(page, rendezvous_home(q, &survivors));
+                rehomed.push(page);
+            }
+        }
+        // Scrub every node's cached copy of a re-homed page: dirty data is
+        // written through to the flat store first (nothing is lost), then
+        // the copy is invalidated so the first post-failover access
+        // refetches under the new home — the forced invalidation the epoch
+        // bump implies. Safe mid-run: all stores to cached pages happen
+        // under the same per-slot locks taken here, and any thread blocked
+        // on our transition lock holds no slot lock (failover entry points
+        // run only after their operation returned).
+        for ns in &self.nodes {
+            for &page in &rehomed {
+                let mut st = ns.cache.lock_slot(page);
+                if st.tag != Some(ns.cache.line_of(page)) {
+                    continue;
+                }
+                let idx = ns.cache.index_in_line(page);
+                if !st.pages[idx].valid {
+                    continue;
+                }
+                if st.pages[idx].dirty {
+                    self.silently_write_through(&st, page, idx);
+                    ns.wbuf.remove(page);
+                }
+                st.pages[idx].invalidate();
+            }
+        }
+        self.coherence.on_membership_change(&rehomed);
+        self.membership.mark_dead(dead);
+        let epoch = self.membership.bump_epoch();
+        self.membership.observe(me);
+        let shard = self.stats.shard(me);
+        CoherenceStats::bump(&shard.failovers);
+        CoherenceStats::add(&shard.pages_rehomed, rehomed.len() as u64);
+        self.lyra.record(me as usize, || obs::VerbRecord {
+            span,
+            start: obs_at,
+            arg: epoch,
+            target: dead as u32,
+            node: me,
+            kind: obs::RecordKind::EpochBump,
+            ..obs::VerbRecord::blank()
+        });
+        if !rehomed.is_empty() {
+            self.lyra.record(me as usize, || obs::VerbRecord {
+                span,
+                start: obs_at,
+                arg: rehomed.len() as u64,
+                target: dead as u32,
+                node: me,
+                kind: obs::RecordKind::Rehome,
+                ..obs::VerbRecord::blank()
+            });
+        }
+        true
+    }
+
+    /// Volans online join: bring `node` into the membership at an epoch
+    /// bump. The joiner enters with an empty page cache and warms purely by
+    /// demand-faulting — no bulk transfer, and no re-homing either (pages
+    /// stay where they are; only future failovers rendezvous over the
+    /// larger survivor set). Returns the membership epoch after the join;
+    /// idempotent — joining an already-alive node changes nothing.
+    pub fn join_node(&self, node: u16) -> u64 {
+        let _serial = self.transition.lock().unwrap();
+        if !self.membership.mark_alive(node) {
+            return self.membership.epoch();
+        }
+        let epoch = self.membership.bump_epoch();
+        self.membership.observe(node);
+        self.lyra.record(node as usize, || obs::VerbRecord {
+            arg: epoch,
+            target: node as u32,
+            node,
+            kind: obs::RecordKind::EpochBump,
+            ..obs::VerbRecord::blank()
+        });
+        epoch
+    }
+
+    /// Volans shadow homes: mirror the fence's drained pages to each page's
+    /// rendezvous *successor* — the node that would inherit it if its home
+    /// died right now. Purely a warm spare against failover re-homing
+    /// latency: the flat store needs no second copy, so this posts modeled
+    /// whole-page traffic coalesced into one batched verb per successor,
+    /// off the hot path at the fence boundary.
+    fn mirror_to_successors(
+        &self,
+        t: &mut T::Endpoint,
+        pages: &[PageNum],
+        me: u16,
+    ) -> Result<(), DsmError> {
+        let alive = self.membership.alive_nodes();
+        if alive.len() < 2 {
+            return Ok(());
+        }
+        let mut batches: Vec<(u16, u64)> = Vec::new();
+        for &page in pages {
+            let home = self.global.home_of(page);
+            let heirs: Vec<u16> = alive.iter().copied().filter(|&n| n != home).collect();
+            if heirs.is_empty() {
+                continue;
+            }
+            let succ = rendezvous_home(page.0, &heirs);
+            if succ == me {
+                continue; // our own cached copy is the mirror
+            }
+            match batches.iter_mut().find(|(h, _)| *h == succ) {
+                Some((_, count)) => *count += 1,
+                None => batches.push((succ, 1)),
+            }
+        }
+        let loc = t.loc();
+        let span = t.current_span();
+        for (succ, count) in batches {
+            self.check_alive(me, succ, VerbClass::DrainBatch, span)?;
+            let sizes = vec![PAGE_BYTES; count as usize];
+            let obs_at = t.obs_now();
+            let timing = self.net_verb(
+                me,
+                succ,
+                VerbClass::DrainBatch,
+                ((succ as u64) << 32) | 1,
+                t.now(),
+                span,
+                obs_at,
+                |at| self.net.rdma_write_batch(loc, NodeId(succ), at, &sizes),
+            )?;
+            self.settle_posted(t, me, &timing);
+            CoherenceStats::add(&self.stats.shard(me).shadow_mirrored, count);
+        }
+        Ok(())
+    }
+
+    /// Is `page` currently cached dirty on `node`? Failure-path helper for
+    /// re-buffering pages a partially-failed drain did not reach.
+    fn is_dirty_cached(&self, node: u16, page: PageNum) -> bool {
+        let ns = &self.nodes[node as usize];
+        let st = ns.cache.lock_slot(page);
+        st.tag == Some(ns.cache.line_of(page)) && {
+            let idx = ns.cache.index_in_line(page);
+            st.pages[idx].valid && st.pages[idx].dirty
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Typed access path
     // ------------------------------------------------------------------
 
@@ -639,8 +950,17 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
     }
 
     /// Read an aligned 64-bit word at `addr`, surfacing retry-budget
-    /// exhaustion as a [`DsmError`] instead of panicking.
+    /// exhaustion as a [`DsmError`] instead of panicking. Under
+    /// `volans_failover`, an exhausted budget declares the target departed,
+    /// re-homes its pages, and re-runs the read against the survivors.
     pub fn try_read_u64(&self, t: &mut T::Endpoint, addr: GlobalAddr) -> Result<u64, DsmError> {
+        match self.read_u64_inner(t, addr) {
+            Ok(v) => Ok(v),
+            Err(e) => self.failover_retry(t, e, |dsm, t| dsm.read_u64_inner(t, addr)),
+        }
+    }
+
+    fn read_u64_inner(&self, t: &mut T::Endpoint, addr: GlobalAddr) -> Result<u64, DsmError> {
         let page = addr.page();
         let word = addr.word_index();
         let me = t.node().0;
@@ -678,8 +998,21 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
     }
 
     /// Write an aligned 64-bit word at `addr`, surfacing retry-budget
-    /// exhaustion as a [`DsmError`] instead of panicking.
+    /// exhaustion as a [`DsmError`] instead of panicking (failover-aware;
+    /// see [`Self::try_read_u64`]).
     pub fn try_write_u64(
+        &self,
+        t: &mut T::Endpoint,
+        addr: GlobalAddr,
+        value: u64,
+    ) -> Result<(), DsmError> {
+        match self.write_u64_inner(t, addr, value) {
+            Ok(()) => Ok(()),
+            Err(e) => self.failover_retry(t, e, |dsm, t| dsm.write_u64_inner(t, addr, value)),
+        }
+    }
+
+    fn write_u64_inner(
         &self,
         t: &mut T::Endpoint,
         addr: GlobalAddr,
@@ -824,8 +1157,23 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
         Self::unrecoverable(self.try_read_u64_slice(t, addr, out))
     }
 
-    /// Fallible flavor of [`Self::read_u64_slice`].
+    /// Fallible flavor of [`Self::read_u64_slice`] (failover-aware; see
+    /// [`Self::try_read_u64`]).
     pub fn try_read_u64_slice(
+        &self,
+        t: &mut T::Endpoint,
+        addr: GlobalAddr,
+        out: &mut [u64],
+    ) -> Result<(), DsmError> {
+        match self.read_u64_slice_inner(t, addr, out) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.failover_retry(t, e, |dsm, t| dsm.read_u64_slice_inner(t, addr, out))
+            }
+        }
+    }
+
+    fn read_u64_slice_inner(
         &self,
         t: &mut T::Endpoint,
         addr: GlobalAddr,
@@ -883,8 +1231,23 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
         Self::unrecoverable(self.try_write_u64_slice(t, addr, data))
     }
 
-    /// Fallible flavor of [`Self::write_u64_slice`].
+    /// Fallible flavor of [`Self::write_u64_slice`] (failover-aware; see
+    /// [`Self::try_read_u64`]).
     pub fn try_write_u64_slice(
+        &self,
+        t: &mut T::Endpoint,
+        addr: GlobalAddr,
+        data: &[u64],
+    ) -> Result<(), DsmError> {
+        match self.write_u64_slice_inner(t, addr, data) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.failover_retry(t, e, |dsm, t| dsm.write_u64_slice_inner(t, addr, data))
+            }
+        }
+    }
+
+    fn write_u64_slice_inner(
         &self,
         t: &mut T::Endpoint,
         addr: GlobalAddr,
@@ -1000,8 +1363,16 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
         Self::unrecoverable(self.try_si_fence(t))
     }
 
-    /// Fallible flavor of [`Self::si_fence`].
+    /// Fallible flavor of [`Self::si_fence`] (failover-aware; see
+    /// [`Self::try_read_u64`]).
     pub fn try_si_fence(&self, t: &mut T::Endpoint) -> Result<(), DsmError> {
+        match self.si_fence_inner(t) {
+            Ok(()) => Ok(()),
+            Err(e) => self.failover_retry(t, e, |dsm, t| dsm.si_fence_inner(t)),
+        }
+    }
+
+    fn si_fence_inner(&self, t: &mut T::Endpoint) -> Result<(), DsmError> {
         let me = t.node().0;
         let obs_start = t.obs_now();
         let span = self.mint_span(t, me);
@@ -1038,8 +1409,12 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
                     .must_self_invalidate(me, page, self.stats.shard(me))
                 {
                     if st.pages[idx].dirty {
-                        self.downgrade_locked(t, &mut st, page, me)?;
+                        // Unbuffer first: the downgrade's local half always
+                        // completes (errors only surface from the posting),
+                        // so on a failure the page is clean and must not
+                        // linger in the buffer.
                         ns.wbuf.remove(page);
+                        self.downgrade_locked(t, &mut st, page, me)?;
                     }
                     st.pages[idx].invalidate();
                     t.compute(self.config.protect_cycles);
@@ -1116,8 +1491,16 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
         Self::unrecoverable(self.try_sd_fence(t))
     }
 
-    /// Fallible flavor of [`Self::sd_fence`].
+    /// Fallible flavor of [`Self::sd_fence`] (failover-aware; see
+    /// [`Self::try_read_u64`]).
     pub fn try_sd_fence(&self, t: &mut T::Endpoint) -> Result<(), DsmError> {
+        match self.sd_fence_inner(t) {
+            Ok(()) => Ok(()),
+            Err(e) => self.failover_retry(t, e, |dsm, t| dsm.sd_fence_inner(t)),
+        }
+    }
+
+    fn sd_fence_inner(&self, t: &mut T::Endpoint) -> Result<(), DsmError> {
         let me = t.node().0;
         let obs_start = t.obs_now();
         let span = self.mint_span(t, me);
@@ -1145,12 +1528,27 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
         if batch {
             self.drain_batched(t, &drained, me)?;
         } else {
-            for page in drained {
-                self.downgrade(t, page, me)?;
+            for (i, &page) in drained.iter().enumerate() {
+                if let Err(e) = self.downgrade(t, page, me) {
+                    // Keep the buffer honest across the failure: pages the
+                    // drain did not reach (and are still dirty) go back in,
+                    // so a failover retry of this fence still drains them.
+                    for &rest in &drained[i..] {
+                        if self.is_dirty_cached(me, rest) {
+                            if let Some(victim) = ns.wbuf.push(rest) {
+                                let _ = self.downgrade(t, victim, me);
+                            }
+                        }
+                    }
+                    return Err(e);
+                }
             }
         }
         if self.coherence.needs_checkpoint_sweep() {
             self.naive_checkpoint_sweep(t, me)?;
+        }
+        if self.config.volans_shadow && !drained.is_empty() {
+            self.mirror_to_successors(t, &drained, me)?;
         }
         // Wait for posted downgrades/notifications to become globally
         // visible. `pending_settle` carries the settle time of every write
@@ -1276,8 +1674,9 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
                         evicted_live = true;
                         if st.pages[idx].dirty {
                             let old_page = PageNum(old_base.0 + idx as u64);
-                            self.downgrade_locked(t, st, old_page, me)?;
+                            // Unbuffer before posting (see `si_fence_inner`).
                             ns.wbuf.remove(old_page);
+                            self.downgrade_locked(t, st, old_page, me)?;
                         }
                     }
                 }
@@ -1321,6 +1720,7 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
         let obs_issue = t.obs_now();
         let mut inflight: Vec<(u64, Option<IssuedVerb>)> = Vec::with_capacity(group.len());
         for (home, idxs) in &mut group {
+            self.check_alive(me, *home, VerbClass::PageFetch, span)?;
             let mut reg_done = start;
             for &idx in idxs.iter() {
                 let p = PageNum(base.0 + idx as u64);
@@ -1673,6 +2073,7 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
         // reissue (the endpoint's own clock is the only timeline here).
         let span = t.current_span();
         let obs_at = t.obs_now();
+        self.check_alive(me, home, VerbClass::DirectoryAtomic, span)?;
         self.verb_retried(
             me,
             home,
@@ -1752,6 +2153,11 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
         me: u16,
     ) -> Result<(), DsmError> {
         if target == me {
+            return Ok(());
+        }
+        if self.membership.epoch() != 0 && !self.membership.is_alive(target) {
+            // The sharer departed: its directory cache died with it, so
+            // there is nothing left to notify.
             return Ok(());
         }
         self.tracer.record(|| t.obs_now(), || crate::trace::Event::Notify {
@@ -1941,6 +2347,7 @@ impl<T: Transport, C: Coherence> Dsm<T, C> {
         let base = t.now();
         let mut inflight = Vec::with_capacity(batches.len());
         for (home, sizes) in &batches {
+            self.check_alive(me, *home, VerbClass::DrainBatch, span)?;
             let mut seq = self
                 .config
                 .retry

@@ -89,6 +89,14 @@ pub struct StatShard {
     /// switch — the reconcile rule that keeps transitions sound (Pyxis
     /// only).
     pub mode_reconciles: AtomicU64,
+    /// Nodes this node declared dead after a retry budget exhausted
+    /// (Volans failover).
+    pub failovers: AtomicU64,
+    /// Pages re-homed from departed nodes to rendezvous survivors (Volans).
+    pub pages_rehomed: AtomicU64,
+    /// SD-fence drains mirrored to a page's rendezvous successor (Volans
+    /// shadow homes; counts mirrored pages).
+    pub shadow_mirrored: AtomicU64,
 }
 
 impl StatShard {
@@ -127,6 +135,9 @@ impl StatShard {
         out.mode_lease_checks += l(&self.mode_lease_checks);
         out.mode_classify_checks += l(&self.mode_classify_checks);
         out.mode_reconciles += l(&self.mode_reconciles);
+        out.failovers += l(&self.failovers);
+        out.pages_rehomed += l(&self.pages_rehomed);
+        out.shadow_mirrored += l(&self.shadow_mirrored);
     }
 
     fn reset(&self) {
@@ -164,6 +175,9 @@ impl StatShard {
         z(&self.mode_lease_checks);
         z(&self.mode_classify_checks);
         z(&self.mode_reconciles);
+        z(&self.failovers);
+        z(&self.pages_rehomed);
+        z(&self.shadow_mirrored);
     }
 }
 
@@ -209,6 +223,9 @@ pub struct CoherenceSnapshot {
     pub mode_lease_checks: u64,
     pub mode_classify_checks: u64,
     pub mode_reconciles: u64,
+    pub failovers: u64,
+    pub pages_rehomed: u64,
+    pub shadow_mirrored: u64,
 }
 
 impl CoherenceStats {

@@ -85,9 +85,12 @@ impl GlobalMemory {
         self.homes[page.0 as usize].load(Ordering::Relaxed)
     }
 
-    /// Re-home a page (distribution hint). Must happen before the page is
-    /// accessed through the coherence layer — re-homing live pages is not
-    /// a protocol transition.
+    /// Re-home a page. As a distribution hint this must happen before the
+    /// page is accessed through the coherence layer; re-homing a *live*
+    /// page is a membership transition (Volans failover) that only the
+    /// engine may perform, under its transition lock, with every cached
+    /// copy of the page scrubbed. Either way no bytes move — the flat
+    /// store is indexed by page number regardless of home metadata.
     pub fn set_home(&self, page: PageNum, node: u16) {
         assert!((node as usize) < self.nodes, "node {node} out of range");
         self.homes[page.0 as usize].store(node, Ordering::Relaxed);

@@ -73,6 +73,14 @@ pub enum RecordKind {
     /// Tardis/Pyxis lease expiries noticed at an SI fence: `arg` is the
     /// count.
     LeaseExpiry = 7,
+    /// Volans advanced the membership epoch: `arg` is the new epoch,
+    /// `target` the node whose departure (or join) caused it. Recorded
+    /// under the span of the exhausted verb that triggered the declaration,
+    /// so Perfetto draws a flow arrow from the failure to the failover.
+    EpochBump = 8,
+    /// Volans re-homed a departed node's pages: `arg` is how many pages
+    /// moved, `target` the departed node.
+    Rehome = 9,
 }
 
 impl RecordKind {
@@ -85,6 +93,8 @@ impl RecordKind {
             5 => RecordKind::FaultInjected,
             6 => RecordKind::ModeSwitch,
             7 => RecordKind::LeaseExpiry,
+            8 => RecordKind::EpochBump,
+            9 => RecordKind::Rehome,
             _ => RecordKind::Site,
         }
     }
@@ -99,6 +109,8 @@ impl RecordKind {
             RecordKind::FaultInjected => "fault_injected",
             RecordKind::ModeSwitch => "mode_switch",
             RecordKind::LeaseExpiry => "lease_expiry",
+            RecordKind::EpochBump => "epoch_bump",
+            RecordKind::Rehome => "rehome",
         }
     }
 }
@@ -117,6 +129,9 @@ pub enum Fate {
     Duplicate = 5,
     Spike = 6,
     Exhausted = 7,
+    /// The target left the membership view before the verb was issued
+    /// (Volans fail-fast).
+    Departed = 8,
 }
 
 impl Fate {
@@ -129,6 +144,7 @@ impl Fate {
             5 => Fate::Duplicate,
             6 => Fate::Spike,
             7 => Fate::Exhausted,
+            8 => Fate::Departed,
             _ => Fate::Ok,
         }
     }
@@ -141,6 +157,7 @@ impl Fate {
             "nic_stall" => Fate::NicStall,
             "dropped" => Fate::Dropped,
             "cancelled" => Fate::Cancelled,
+            "departed" => Fate::Departed,
             _ => Fate::Ok,
         }
     }
@@ -155,6 +172,7 @@ impl Fate {
             Fate::Duplicate => "duplicate",
             Fate::Spike => "spike",
             Fate::Exhausted => "exhausted",
+            Fate::Departed => "departed",
         }
     }
 }

@@ -105,6 +105,17 @@ impl FaultPlan {
         }
     }
 
+    /// A bounded outage of `node`: verbs targeting it stall inside the
+    /// virtual-time window `[from, until)` and succeed again afterwards.
+    /// The brownout-recovery counterpart of [`Self::blackout`]: a node that
+    /// comes back before the retry budget exhausts is never declared dead.
+    pub fn outage(node: NodeId, from: u64, until: u64) -> Self {
+        FaultPlan {
+            brownouts: vec![Brownout { node, from, until }],
+            ..Self::default()
+        }
+    }
+
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self

@@ -1,0 +1,277 @@
+//! Volans: cluster membership for elastic clusters.
+//!
+//! The membership view is the one piece of cluster-wide control state the
+//! paper's design never needed: which nodes are part of the cluster *right
+//! now*, stamped with a monotonically increasing **epoch** that bumps on
+//! every join or departure. It is deliberately tiny — an epoch counter, an
+//! alive bitset, and a per-node record of the newest epoch each node has
+//! observed — because everything expensive about a membership change
+//! (re-homing pages, scrubbing caches) belongs to the protocol layer above.
+//!
+//! Two properties the layers above rely on:
+//!
+//! - **Epoch monotonicity.** [`Membership::observe`] is a `fetch_max`, so a
+//!   node's observed epoch never moves backwards, and [`Membership::admit`]
+//!   rejects any verb stamped with an epoch older than what its target has
+//!   already observed. No verb from epoch *e* lands after epoch *e + 1* has
+//!   been observed at its target (proptested in `tests/`).
+//! - **Deterministic rendezvous re-homing.** [`rendezvous_home`] is
+//!   highest-random-weight (HRW) hashing over the survivor set: a pure
+//!   function of `(page, survivors)`, balanced across survivors, and stable
+//!   under permutation of the death order — a page's final home after any
+//!   sequence of departures is its initial home if that node survived, else
+//!   the HRW argmax over the final survivor set.
+
+use crate::retry::splitmix64;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Maximum cluster size the alive bitset covers (matches the directory
+/// metadata bound in the coherence layer).
+pub const MAX_NODES: usize = 128;
+
+/// The cluster membership view: epoch, alive set, per-node observations.
+///
+/// All methods are lock-free; transitions ([`Membership::mark_dead`],
+/// [`Membership::mark_alive`], [`Membership::bump_epoch`]) are expected to
+/// be serialized by the caller (the DSM holds a transition lock around the
+/// full failover sweep), while the read side ([`Membership::is_alive`],
+/// [`Membership::epoch`]) is hit on verb paths and stays a relaxed load.
+#[derive(Debug)]
+pub struct Membership {
+    /// Bumped once per membership change. Epoch 0 means "no change has
+    /// ever happened" — the hot paths use that to skip all checks.
+    epoch: AtomicU64,
+    /// Bit `n` of word `n / 64` set = node `n` is alive.
+    alive: [AtomicU64; MAX_NODES / 64],
+    /// Newest epoch each node has observed (fetch_max discipline).
+    observed: Vec<AtomicU64>,
+    nodes: usize,
+}
+
+impl Membership {
+    /// A cluster of `nodes` nodes, all alive, at epoch 0.
+    pub fn new(nodes: usize) -> Self {
+        assert!((1..=MAX_NODES).contains(&nodes), "membership supports 1..=128 nodes");
+        let alive = [AtomicU64::new(0), AtomicU64::new(0)];
+        for n in 0..nodes {
+            alive[n / 64].fetch_or(1 << (n % 64), Ordering::Relaxed);
+        }
+        Membership {
+            epoch: AtomicU64::new(0),
+            alive,
+            observed: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            nodes,
+        }
+    }
+
+    /// Total nodes the view covers (alive or not).
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The current membership epoch (0 = never changed).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Advance the epoch by one; returns the new epoch.
+    pub fn bump_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Is `node` currently part of the cluster?
+    #[inline]
+    pub fn is_alive(&self, node: u16) -> bool {
+        let n = node as usize;
+        n < self.nodes && self.alive[n / 64].load(Ordering::Relaxed) & (1 << (n % 64)) != 0
+    }
+
+    /// How many nodes are currently alive.
+    pub fn nodes_alive(&self) -> usize {
+        self.alive
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// The alive node ids, ascending (a deterministic survivor ordering for
+    /// the rendezvous rule).
+    pub fn alive_nodes(&self) -> Vec<u16> {
+        (0..self.nodes as u16).filter(|&n| self.is_alive(n)).collect()
+    }
+
+    /// Remove `node` from the alive set. Returns whether it *was* alive
+    /// (false = someone else already declared it; the transition is
+    /// idempotent). Does not bump the epoch — the caller bumps once after
+    /// the whole failover sweep so the new epoch implies the re-homing it
+    /// announces has happened.
+    pub fn mark_dead(&self, node: u16) -> bool {
+        let n = node as usize;
+        assert!(n < self.nodes, "node {node} out of range");
+        let prev = self.alive[n / 64].fetch_and(!(1 << (n % 64)), Ordering::AcqRel);
+        prev & (1 << (n % 64)) != 0
+    }
+
+    /// Add `node` to the alive set (online join). Returns whether it was
+    /// previously dead.
+    pub fn mark_alive(&self, node: u16) -> bool {
+        let n = node as usize;
+        assert!(n < self.nodes, "node {node} out of range");
+        let prev = self.alive[n / 64].fetch_or(1 << (n % 64), Ordering::AcqRel);
+        prev & (1 << (n % 64)) == 0
+    }
+
+    /// Record that `node` has observed the current epoch (fetch_max: the
+    /// observation never moves backwards). Returns the epoch it observed.
+    pub fn observe(&self, node: u16) -> u64 {
+        let e = self.epoch();
+        self.observed[node as usize].fetch_max(e, Ordering::AcqRel);
+        e
+    }
+
+    /// The newest epoch `node` has observed.
+    #[inline]
+    pub fn observed(&self, node: u16) -> u64 {
+        self.observed[node as usize].load(Ordering::Acquire)
+    }
+
+    /// Would a verb stamped at `verb_epoch` be admitted at `target`? A verb
+    /// from a superseded epoch (older than anything the target has already
+    /// observed) must be rejected: its issuer may not yet know about a
+    /// re-homing the target has already acted on.
+    #[inline]
+    pub fn admit(&self, verb_epoch: u64, target: u16) -> bool {
+        verb_epoch >= self.observed(target)
+    }
+}
+
+/// Highest-random-weight (rendezvous) choice of a home for `page` among
+/// `alive` survivors: the survivor with the largest keyed hash wins. Pure
+/// function of its arguments — every node computes the same answer with no
+/// coordination — and removing a non-winning node never changes the winner,
+/// which is what makes sequential failovers land on the same final homes in
+/// any death order.
+///
+/// # Panics
+/// Panics if `alive` is empty (there is no one left to home the page).
+pub fn rendezvous_home(page: u64, alive: &[u16]) -> u16 {
+    assert!(!alive.is_empty(), "rendezvous over an empty survivor set");
+    let mut best = (0u64, 0u16);
+    let mut found = false;
+    for &n in alive {
+        let w = splitmix64(
+            page.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(((n as u64) + 1).wrapping_mul(0xD6E8_FEB8_6659_FD93)),
+        );
+        if !found || (w, n) > best {
+            best = (w, n);
+            found = true;
+        }
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_all_alive_at_epoch_zero() {
+        let m = Membership::new(4);
+        assert_eq!(m.epoch(), 0);
+        assert_eq!(m.nodes_alive(), 4);
+        assert_eq!(m.alive_nodes(), vec![0, 1, 2, 3]);
+        assert!((0..4).all(|n| m.is_alive(n)));
+        assert!(!m.is_alive(4), "out-of-range nodes are never alive");
+    }
+
+    #[test]
+    fn death_is_idempotent_and_bumps_only_once() {
+        let m = Membership::new(3);
+        assert!(m.mark_dead(1), "first declaration transitions");
+        assert!(!m.mark_dead(1), "second declaration is a no-op");
+        assert_eq!(m.bump_epoch(), 1);
+        assert_eq!(m.nodes_alive(), 2);
+        assert_eq!(m.alive_nodes(), vec![0, 2]);
+    }
+
+    #[test]
+    fn join_restores_a_dead_node() {
+        let m = Membership::new(3);
+        m.mark_dead(2);
+        m.bump_epoch();
+        assert!(m.mark_alive(2));
+        assert!(!m.mark_alive(2), "joining an alive node is a no-op");
+        assert_eq!(m.bump_epoch(), 2);
+        assert_eq!(m.nodes_alive(), 3);
+    }
+
+    #[test]
+    fn observations_are_monotone_and_gate_admission() {
+        let m = Membership::new(2);
+        assert!(m.admit(0, 1), "epoch-0 verbs land before any change");
+        m.mark_dead(0);
+        m.bump_epoch();
+        assert_eq!(m.observe(1), 1);
+        assert!(!m.admit(0, 1), "superseded-epoch verb must be rejected");
+        assert!(m.admit(1, 1));
+        // Observation never regresses.
+        assert_eq!(m.observed(1), 1);
+        m.observe(1);
+        assert_eq!(m.observed(1), 1);
+    }
+
+    #[test]
+    fn rendezvous_is_deterministic_and_member_valued() {
+        let alive = [0u16, 2, 5];
+        for p in 0..1000u64 {
+            let h = rendezvous_home(p, &alive);
+            assert_eq!(h, rendezvous_home(p, &alive));
+            assert!(alive.contains(&h));
+        }
+    }
+
+    #[test]
+    fn rendezvous_ignores_survivor_ordering() {
+        let a = [0u16, 3, 4, 7];
+        let b = [7u16, 0, 4, 3];
+        for p in 0..1000u64 {
+            assert_eq!(rendezvous_home(p, &a), rendezvous_home(p, &b));
+        }
+    }
+
+    #[test]
+    fn rendezvous_balances_within_a_quarter() {
+        let alive = [0u16, 1, 3, 4, 6];
+        let mut counts = [0u64; 8];
+        let pages = 8192u64;
+        for p in 0..pages {
+            counts[rendezvous_home(p, &alive) as usize] += 1;
+        }
+        let fair = pages as f64 / alive.len() as f64;
+        for &n in &alive {
+            let c = counts[n as usize] as f64;
+            assert!(
+                (c - fair).abs() <= fair * 0.25,
+                "node {n} holds {c} of {pages} pages (fair share {fair})"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_loser_never_moves_the_winner() {
+        let all = [0u16, 1, 2, 3, 4, 5];
+        for p in 0..500u64 {
+            let w = rendezvous_home(p, &all);
+            for &gone in &all {
+                if gone == w {
+                    continue;
+                }
+                let rest: Vec<u16> = all.iter().copied().filter(|&n| n != gone).collect();
+                assert_eq!(rendezvous_home(p, &rest), w);
+            }
+        }
+    }
+}

@@ -23,6 +23,7 @@ pub(crate) fn lock_fault(e: RetryExhausted, node: u16, target: u16) -> DsmError 
         last_error: e.last_error,
         node,
         target,
+        span: rma::SpanId::NONE,
     }
 }
 

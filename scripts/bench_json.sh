@@ -77,8 +77,9 @@ def load(d):
 current = load(out_dir)
 baseline = load(baseline_dir) if os.path.isdir(baseline_dir) else {}
 
-report = {"benchmarks": [], "geomean_speedup": None}
+report = {"benchmarks": [], "geomean_speedup": None, "fence_geomean_speedup": None}
 ratios = []
+fence_ratios = []
 for bid, cur in sorted(current.items()):
     entry = {"id": bid, "current_mean_ns": cur["mean_ns"]}
     base = baseline.get(bid)
@@ -89,13 +90,20 @@ for bid, cur in sorted(current.items()):
         # microbenches have no meaningful pre-change baseline shape.
         if bid.startswith("simulator_throughput/"):
             ratios.append(entry["speedup"])
+        if bid.startswith("fences/"):
+            fence_ratios.append(entry["speedup"])
     report["benchmarks"].append(entry)
 
-if ratios:
+def geomean(rs):
     g = 1.0
-    for r in ratios:
+    for r in rs:
         g *= r
-    report["geomean_speedup"] = g ** (1.0 / len(ratios))
+    return g ** (1.0 / len(rs))
+
+if ratios:
+    report["geomean_speedup"] = geomean(ratios)
+if fence_ratios:
+    report["fence_geomean_speedup"] = geomean(fence_ratios)
 
 # Resilience guard: the fallible verb surface and the (disabled) fault
 # injection hook must stay free on the hot fence path. When a baseline
@@ -110,6 +118,19 @@ slow = [
 if slow:
     for bid, s in slow:
         print(f"FENCE REGRESSION: {bid} speedup {s:.3f} < {FENCE_FLOOR}", file=sys.stderr)
+    sys.exit(1)
+
+# Aggregate fence guard: individual fences may wobble inside FENCE_FLOOR,
+# but the suite as a whole must not creep down — the Volans membership
+# checks (epoch admission on every remote touchpoint, shadow-mirror hook
+# at drain) ride the fence path and their disabled/epoch-0 fast paths
+# must stay free. Tighter than the per-bench floor because geomean
+# averages out per-bench noise.
+FENCE_GEOMEAN_FLOOR = 0.90
+fg = report["fence_geomean_speedup"]
+if fg is not None and fg < FENCE_GEOMEAN_FLOOR:
+    print(f"FENCE GEOMEAN REGRESSION: fences/* geomean speedup {fg:.3f} "
+          f"< {FENCE_GEOMEAN_FLOOR}", file=sys.stderr)
     sys.exit(1)
 
 # Lyra overhead guard: the always-on flight recorder must be within

@@ -340,16 +340,72 @@ fn blackout_surfaces_a_clean_error_without_deadlock() {
     let msg = format!("{err}");
     assert!(msg.contains("failed after"), "unhelpful error: {msg}");
 
-    // Writes to the dead home fail the same way; both failures are counted.
-    assert!(dsm.try_write_u64(&mut t, dead, 7).is_err());
+    // The budget was spent exactly: the error reports every configured
+    // attempt for its class, no more and no fewer.
+    let budget = dsm.config().retry.attempts(err.class);
+    assert_eq!(err.attempts, budget, "exhaustion must spend the whole per-class budget");
+
+    // Writes to the dead home fail the same way; both failures are counted,
+    // and the retry counter carries exactly the two budgets' worth of
+    // reissues (attempts minus the first try, twice).
+    let werr = dsm
+        .try_write_u64(&mut t, dead, 7)
+        .expect_err("a blacked-out home must not accept writes");
+    assert_eq!(werr.attempts, budget);
     let snap = dsm.stats().snapshot();
     assert_eq!(snap.verb_exhaustions, 2);
-    assert!(snap.verb_retries > 0);
+    assert_eq!(
+        snap.verb_retries,
+        2 * (budget as u64 - 1),
+        "retries must equal the exhausted budgets' reissues exactly"
+    );
     assert!(net.injected().stalled > 0);
 
     // Graceful degradation: the local half of the address space still works.
     dsm.write_u64(&mut t, alive, 42);
     assert_eq!(dsm.read_u64(&mut t, alive), 42);
+}
+
+/// Volans stays out of the way of transient trouble: a node that browns
+/// out *and recovers* inside the retry schedule's total budget is never
+/// declared dead — failover is armed but idle, the membership epoch never
+/// moves, and the books show only retries.
+#[test]
+fn outage_recovers_without_death_declaration() {
+    use argo::types::GlobalF64Array;
+    fn run(plan: FaultPlan) -> (Arc<ChaosNet>, argo::RunReport<f64>) {
+        let mut cfg = ArgoConfig::small(2, 1);
+        cfg.carina.volans_failover = true;
+        let net = FaultyTransport::wrap(Interconnect::new(cfg.topology(), cfg.cost), plan);
+        let m: Arc<ArgoMachine<ChaosNet>> = ArgoMachine::on(cfg, net.clone());
+        let arr = GlobalF64Array::alloc(m.dsm(), 2048);
+        let report = m.run(move |ctx| {
+            for i in ctx.my_chunk(2048) {
+                arr.set(ctx, i, (i * i) as f64);
+            }
+            ctx.barrier();
+            (0..2048).map(|i| arr.get(ctx, i)).sum::<f64>()
+        });
+        (net, report)
+    }
+    let (_, clean) = run(FaultPlan::disabled());
+    assert_eq!(clean.coherence.verb_retries, 0);
+    let (net, faulted) = run(FaultPlan::outage(NodeId(1), 0, 150_000));
+    assert_eq!(
+        faulted.results[0].to_bits(),
+        clean.results[0].to_bits(),
+        "a survived outage changed the data"
+    );
+    assert!(net.injected().stalled > 0, "the outage window was never hit");
+    assert!(faulted.coherence.verb_retries > 0, "stalls must surface as retries");
+    assert_eq!(faulted.coherence.verb_exhaustions, 0, "the budget sufficed");
+    assert_eq!(
+        faulted.coherence.failovers, 0,
+        "a recovered node must never be declared dead"
+    );
+    assert_eq!(faulted.coherence.pages_rehomed, 0);
+    assert_eq!(faulted.membership_epoch, 0, "membership must not move for a brownout");
+    assert_eq!(faulted.nodes_alive, 2);
 }
 
 /// The lock layer degrades just as cleanly: a CAS against a dead lock home
